@@ -1,0 +1,228 @@
+//! The Binary Association Table: a two-column table mapping head values
+//! (usually dense OIDs) to tail values. All relational operators consume
+//! and produce BATs (see [`crate::ops`]).
+
+use crate::column::Column;
+use crate::error::{BatError, Result};
+use crate::value::{ColType, Val};
+
+/// Lightweight properties, used to steer algorithm selection (the paper
+/// §3.1: "Additional BAT properties are used to steer selection of more
+/// efficient algorithms, e.g., sorted columns lead to sort-merge join").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Props {
+    /// Tail is non-decreasing.
+    pub tail_sorted: bool,
+    /// Head values are unique.
+    pub head_key: bool,
+    /// Tail contains no nil values (always true in this kernel: nils are
+    /// not representable inside typed vectors; kept for catalog fidelity).
+    pub no_nil: bool,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bat {
+    head: Column,
+    tail: Column,
+    props: Props,
+}
+
+impl Bat {
+    /// Create from explicit head and tail columns of equal length.
+    pub fn new(head: Column, tail: Column) -> Result<Bat> {
+        if head.len() != tail.len() {
+            return Err(BatError::LengthMismatch { left: head.len(), right: tail.len() });
+        }
+        let props = Props {
+            tail_sorted: tail.is_sorted(),
+            head_key: matches!(head, Column::Void { .. }),
+            no_nil: true,
+        };
+        Ok(Bat { head, tail, props })
+    }
+
+    /// The common case: dense head `0@0, 1@0, …` over a tail column.
+    pub fn dense(tail: Column) -> Bat {
+        let len = tail.len();
+        let props =
+            Props { tail_sorted: tail.is_sorted(), head_key: true, no_nil: true };
+        Bat { head: Column::Void { seq: 0, len }, tail, props }
+    }
+
+    /// Dense head starting at `seq`.
+    pub fn dense_from(seq: u64, tail: Column) -> Bat {
+        let len = tail.len();
+        let props =
+            Props { tail_sorted: tail.is_sorted(), head_key: true, no_nil: true };
+        Bat { head: Column::Void { seq, len }, tail, props }
+    }
+
+    /// Empty BAT with a void head and a typed tail.
+    pub fn empty(tail_type: ColType) -> Bat {
+        Bat::dense(Column::empty(tail_type))
+    }
+
+    pub fn head(&self) -> &Column {
+        &self.head
+    }
+
+    pub fn tail(&self) -> &Column {
+        &self.tail
+    }
+
+    pub fn props(&self) -> Props {
+        self.props
+    }
+
+    pub fn count(&self) -> usize {
+        self.head.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    pub fn head_type(&self) -> ColType {
+        self.head.col_type()
+    }
+
+    pub fn tail_type(&self) -> ColType {
+        self.tail.col_type()
+    }
+
+    /// In-memory footprint in bytes (head + tail). This is the size the
+    /// ring protocols account against queue capacity.
+    pub fn byte_size(&self) -> usize {
+        self.head.byte_size() + self.tail.byte_size()
+    }
+
+    /// BUN (head, tail) pair at position `i` as scalars.
+    pub fn bun(&self, i: usize) -> (Val, Val) {
+        (self.head.get(i), self.tail.get(i))
+    }
+
+    /// Decompose into columns (consumes).
+    pub fn into_parts(self) -> (Column, Column) {
+        (self.head, self.tail)
+    }
+
+    /// Construct with explicitly claimed properties (used by operators
+    /// that guarantee them structurally, avoiding O(n) re-checks).
+    pub fn with_props(head: Column, tail: Column, props: Props) -> Result<Bat> {
+        if head.len() != tail.len() {
+            return Err(BatError::LengthMismatch { left: head.len(), right: tail.len() });
+        }
+        Ok(Bat { head, tail, props })
+    }
+
+    /// Append a BUN; keeps properties conservative (clears claims that may
+    /// no longer hold rather than re-scanning).
+    pub fn append(&mut self, head: Val, tail: Val) -> Result<()> {
+        self.head.push(&head)?;
+        self.tail.push(&tail)?;
+        self.props.tail_sorted = false;
+        self.props.head_key = matches!(self.head, Column::Void { .. });
+        Ok(())
+    }
+
+    /// Gather rows by position into a new BAT.
+    pub fn gather(&self, idx: &[usize]) -> Bat {
+        let head = self.head.gather(idx);
+        let tail = self.tail.gather(idx);
+        let props = Props { tail_sorted: tail.is_sorted(), head_key: false, no_nil: true };
+        Bat { head, tail, props }
+    }
+
+    /// Contiguous row range `[lo, hi)` — MAL's `algebra.slice`.
+    pub fn slice(&self, lo: usize, hi: usize) -> Bat {
+        let hi = hi.min(self.count());
+        let lo = lo.min(hi);
+        let head = self.head.slice(lo, hi);
+        let tail = self.tail.slice(lo, hi);
+        let props = Props {
+            tail_sorted: self.props.tail_sorted,
+            head_key: self.props.head_key,
+            no_nil: true,
+        };
+        Bat { head, tail, props }
+    }
+
+    /// Render the first `limit` BUNs, MonetDB `io.print` style; used by
+    /// examples and debugging.
+    pub fn render(&self, limit: usize) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "# BAT {}→{} [{} BUNs, {} bytes]",
+            self.head_type(),
+            self.tail_type(),
+            self.count(),
+            self.byte_size()
+        );
+        for i in 0..self.count().min(limit) {
+            let (h, t) = self.bun(i);
+            let _ = writeln!(s, "[ {h}, {t} ]");
+        }
+        if self.count() > limit {
+            let _ = writeln!(s, "… {} more", self.count() - limit);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_construction() {
+        let b = Bat::dense(Column::from(vec![10, 20, 30]));
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.bun(1), (Val::Oid(1), Val::Int(20)));
+        assert!(b.props().head_key);
+        assert!(b.props().tail_sorted);
+        assert_eq!(b.byte_size(), 12);
+    }
+
+    #[test]
+    fn new_checks_lengths() {
+        let r = Bat::new(Column::from(vec![1u64, 2]), Column::from(vec![1i32]));
+        assert!(matches!(r, Err(BatError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn append_and_props() {
+        let mut b = Bat::empty(ColType::Int);
+        b.append(Val::Oid(0), Val::Int(5)).unwrap();
+        b.append(Val::Oid(1), Val::Int(3)).unwrap();
+        assert_eq!(b.count(), 2);
+        assert!(b.props().head_key, "void head stays key");
+        assert!(b.append(Val::Oid(7), Val::Int(1)).is_err(), "void head must stay dense");
+    }
+
+    #[test]
+    fn slice_clamps() {
+        let b = Bat::dense(Column::from(vec![1, 2, 3, 4]));
+        let s = b.slice(1, 3);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.bun(0), (Val::Oid(1), Val::Int(2)));
+        assert_eq!(b.slice(10, 20).count(), 0);
+    }
+
+    #[test]
+    fn gather_rows() {
+        let b = Bat::dense(Column::from(vec!["a", "b", "c"]));
+        let g = b.gather(&[2, 0]);
+        assert_eq!(g.bun(0), (Val::Oid(2), Val::Str("c".into())));
+        assert_eq!(g.bun(1), (Val::Oid(0), Val::Str("a".into())));
+    }
+
+    #[test]
+    fn render_contains_header() {
+        let b = Bat::dense(Column::from(vec![1]));
+        let r = b.render(10);
+        assert!(r.contains("void→int"), "{r}");
+        assert!(r.contains("[ 0@0, 1 ]"), "{r}");
+    }
+}

@@ -1,0 +1,322 @@
+//! The SQL catalog and BAT registry: `schema.table.column → BAT`.
+//! This is what MonetDB's `sql.bind` resolves against (paper §3.2) and
+//! what the Data Cyclotron's data loader administers per node (structure
+//! S1 owns a subset of these BATs).
+
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::error::{BatError, Result};
+use crate::value::{ColType, Val};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Stable identifier of a BAT inside a [`BatStore`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BatKey(pub u32);
+
+impl fmt::Display for BatKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bat#{}", self.0)
+    }
+}
+
+/// Column definition inside a table.
+#[derive(Clone, Debug)]
+pub struct ColDef {
+    pub name: String,
+    pub ty: ColType,
+    pub bat: BatKey,
+}
+
+/// Table definition.
+#[derive(Clone, Debug)]
+pub struct TableDef {
+    pub schema: String,
+    pub name: String,
+    pub columns: Vec<ColDef>,
+    pub row_count: usize,
+}
+
+impl TableDef {
+    pub fn column(&self, name: &str) -> Option<&ColDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// The BAT registry: owns the actual column data. BATs are handed out as
+/// `Arc<Bat>` so the interpreter can share them across plan threads
+/// without copies (the paper's "pointer to a memory mapped region").
+#[derive(Default)]
+pub struct BatStore {
+    bats: Vec<Option<Arc<Bat>>>,
+}
+
+impl BatStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, bat: Bat) -> BatKey {
+        let key = BatKey(self.bats.len() as u32);
+        self.bats.push(Some(Arc::new(bat)));
+        key
+    }
+
+    pub fn insert_shared(&mut self, bat: Arc<Bat>) -> BatKey {
+        let key = BatKey(self.bats.len() as u32);
+        self.bats.push(Some(bat));
+        key
+    }
+
+    pub fn get(&self, key: BatKey) -> Result<Arc<Bat>> {
+        self.bats
+            .get(key.0 as usize)
+            .and_then(|o| o.clone())
+            .ok_or_else(|| BatError::NotFound(key.to_string()))
+    }
+
+    /// Replace the BAT behind a key (multi-version updates, §6.4).
+    pub fn replace(&mut self, key: BatKey, bat: Bat) -> Result<()> {
+        let slot = self
+            .bats
+            .get_mut(key.0 as usize)
+            .ok_or_else(|| BatError::NotFound(key.to_string()))?;
+        *slot = Some(Arc::new(bat));
+        Ok(())
+    }
+
+    /// Drop a BAT (frees memory; the key stays burned).
+    pub fn remove(&mut self, key: BatKey) -> Result<Arc<Bat>> {
+        let slot = self
+            .bats
+            .get_mut(key.0 as usize)
+            .ok_or_else(|| BatError::NotFound(key.to_string()))?;
+        slot.take().ok_or_else(|| BatError::NotFound(key.to_string()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.bats.iter().filter(|b| b.is_some()).count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn total_bytes(&self) -> usize {
+        self.bats.iter().flatten().map(|b| b.byte_size()).sum()
+    }
+}
+
+/// The SQL catalog.
+#[derive(Default)]
+pub struct Catalog {
+    /// `schema.table` → definition.
+    tables: BTreeMap<String, TableDef>,
+}
+
+fn qual(schema: &str, table: &str) -> String {
+    format!("{schema}.{table}")
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a table from column specs and row-major data. Convenience
+    /// for tests and examples; bulk loads use `create_table_columnar`.
+    pub fn create_table(
+        &mut self,
+        store: &mut BatStore,
+        schema: &str,
+        table: &str,
+        cols: &[(&str, ColType)],
+        rows: &[Vec<Val>],
+    ) -> Result<()> {
+        let mut columns: Vec<Column> = cols.iter().map(|&(_, ty)| Column::empty(ty)).collect();
+        for row in rows {
+            if row.len() != cols.len() {
+                return Err(BatError::LengthMismatch { left: row.len(), right: cols.len() });
+            }
+            for (c, v) in columns.iter_mut().zip(row) {
+                c.push(v)?;
+            }
+        }
+        self.create_table_columnar(
+            store,
+            schema,
+            table,
+            cols.iter().map(|&(n, _)| n).zip(columns).collect(),
+        )
+    }
+
+    /// Create a table from complete columns.
+    pub fn create_table_columnar(
+        &mut self,
+        store: &mut BatStore,
+        schema: &str,
+        table: &str,
+        cols: Vec<(&str, Column)>,
+    ) -> Result<()> {
+        let key = qual(schema, table);
+        if self.tables.contains_key(&key) {
+            return Err(BatError::AlreadyExists(key));
+        }
+        let row_count = cols.first().map(|(_, c)| c.len()).unwrap_or(0);
+        let mut columns = Vec::with_capacity(cols.len());
+        for (name, col) in cols {
+            if col.len() != row_count {
+                return Err(BatError::LengthMismatch { left: col.len(), right: row_count });
+            }
+            let ty = col.col_type();
+            let bat = store.insert(Bat::dense(col));
+            columns.push(ColDef { name: name.to_string(), ty, bat });
+        }
+        self.tables.insert(
+            key,
+            TableDef { schema: schema.to_string(), name: table.to_string(), columns, row_count },
+        );
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, store: &mut BatStore, schema: &str, table: &str) -> Result<()> {
+        let def = self
+            .tables
+            .remove(&qual(schema, table))
+            .ok_or_else(|| BatError::NotFound(qual(schema, table)))?;
+        for c in &def.columns {
+            let _ = store.remove(c.bat);
+        }
+        Ok(())
+    }
+
+    pub fn table(&self, schema: &str, table: &str) -> Result<&TableDef> {
+        self.tables
+            .get(&qual(schema, table))
+            .ok_or_else(|| BatError::NotFound(qual(schema, table)))
+    }
+
+    /// Find a table by bare name across schemas (SQL front-end
+    /// convenience; ambiguity is an error).
+    pub fn table_by_name(&self, table: &str) -> Result<&TableDef> {
+        let mut hits = self.tables.values().filter(|t| t.name == table);
+        let first = hits.next().ok_or_else(|| BatError::NotFound(table.to_string()))?;
+        if hits.next().is_some() {
+            return Err(BatError::Invalid(format!("ambiguous table name: {table}")));
+        }
+        Ok(first)
+    }
+
+    /// `sql.bind(schema, table, column, access)` — resolve a persistent
+    /// column BAT. `access` 0 is the readable base column (other access
+    /// modes carry deltas in MonetDB; only 0 is meaningful here).
+    pub fn bind(&self, schema: &str, table: &str, column: &str) -> Result<BatKey> {
+        let t = self.table(schema, table)?;
+        t.column(column)
+            .map(|c| c.bat)
+            .ok_or_else(|| BatError::NotFound(format!("{schema}.{table}.{column}")))
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &TableDef> {
+        self.tables.values()
+    }
+
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Catalog, BatStore) {
+        let mut cat = Catalog::new();
+        let mut store = BatStore::new();
+        cat.create_table(
+            &mut store,
+            "sys",
+            "t",
+            &[("id", ColType::Int), ("name", ColType::Str)],
+            &[
+                vec![Val::Int(1), Val::from("one")],
+                vec![Val::Int(2), Val::from("two")],
+            ],
+        )
+        .unwrap();
+        (cat, store)
+    }
+
+    #[test]
+    fn bind_resolves() {
+        let (cat, store) = setup();
+        let key = cat.bind("sys", "t", "id").unwrap();
+        let bat = store.get(key).unwrap();
+        assert_eq!(bat.count(), 2);
+        assert_eq!(bat.tail_type(), ColType::Int);
+    }
+
+    #[test]
+    fn bind_missing_column_errs() {
+        let (cat, _) = setup();
+        assert!(cat.bind("sys", "t", "nope").is_err());
+        assert!(cat.bind("sys", "missing", "id").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let (mut cat, mut store) = setup();
+        let r = cat.create_table(&mut store, "sys", "t", &[("x", ColType::Int)], &[]);
+        assert!(matches!(r, Err(BatError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let mut cat = Catalog::new();
+        let mut store = BatStore::new();
+        let r = cat.create_table(
+            &mut store,
+            "sys",
+            "bad",
+            &[("a", ColType::Int), ("b", ColType::Int)],
+            &[vec![Val::Int(1)]],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn drop_table_frees_bats() {
+        let (mut cat, mut store) = setup();
+        assert_eq!(store.len(), 2);
+        cat.drop_table(&mut store, "sys", "t").unwrap();
+        assert_eq!(store.len(), 0);
+        assert!(cat.table("sys", "t").is_err());
+    }
+
+    #[test]
+    fn table_by_name_unique() {
+        let (mut cat, mut store) = setup();
+        assert_eq!(cat.table_by_name("t").unwrap().row_count, 2);
+        cat.create_table(&mut store, "other", "t", &[("x", ColType::Int)], &[]).unwrap();
+        assert!(cat.table_by_name("t").is_err(), "ambiguous now");
+    }
+
+    #[test]
+    fn store_replace_and_remove() {
+        let mut store = BatStore::new();
+        let k = store.insert(Bat::dense(Column::from(vec![1, 2, 3])));
+        assert_eq!(store.get(k).unwrap().count(), 3);
+        store.replace(k, Bat::dense(Column::from(vec![9]))).unwrap();
+        assert_eq!(store.get(k).unwrap().count(), 1);
+        store.remove(k).unwrap();
+        assert!(store.get(k).is_err());
+        assert!(store.remove(k).is_err(), "double remove");
+    }
+
+    #[test]
+    fn total_bytes_tracks() {
+        let (_, store) = setup();
+        assert!(store.total_bytes() > 0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Typed columns. A column is a vector of one base type; `Void` is the
+//! virtual dense OID sequence (`seq, seq+1, …`) that MonetDB uses for BAT
+//! heads — it occupies no storage.
+
+use crate::error::{BatError, Result};
+use crate::heap::StrCol;
+use crate::value::{ColType, Val};
+use std::cmp::Ordering;
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Column {
+    /// Dense OID sequence starting at `seq`, of length `len`.
+    Void { seq: u64, len: usize },
+    Oid(Vec<u64>),
+    Int(Vec<i32>),
+    Lng(Vec<i64>),
+    Dbl(Vec<f64>),
+    Str(StrCol),
+    Bool(Vec<bool>),
+    /// Days since epoch.
+    Date(Vec<i32>),
+}
+
+/// Borrowed key for hashing/equality across column types: numerics are
+/// normalized to a bit pattern, strings borrow from the heap. Used by the
+/// hash-join and group-by kernels.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Key<'a> {
+    Num(u64),
+    Str(&'a str),
+}
+
+impl Column {
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Void { len, .. } => *len,
+            Column::Oid(v) => v.len(),
+            Column::Int(v) => v.len(),
+            Column::Lng(v) => v.len(),
+            Column::Dbl(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Date(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn col_type(&self) -> ColType {
+        match self {
+            Column::Void { .. } => ColType::Void,
+            Column::Oid(_) => ColType::Oid,
+            Column::Int(_) => ColType::Int,
+            Column::Lng(_) => ColType::Lng,
+            Column::Dbl(_) => ColType::Dbl,
+            Column::Str(_) => ColType::Str,
+            Column::Bool(_) => ColType::Bool,
+            Column::Date(_) => ColType::Date,
+        }
+    }
+
+    /// In-memory footprint of the values (what the ring protocols count).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Column::Void { .. } => 0,
+            Column::Oid(v) => v.len() * 8,
+            Column::Int(v) => v.len() * 4,
+            Column::Lng(v) => v.len() * 8,
+            Column::Dbl(v) => v.len() * 8,
+            Column::Str(v) => v.byte_size(),
+            Column::Bool(v) => v.len(),
+            Column::Date(v) => v.len() * 4,
+        }
+    }
+
+    pub fn get(&self, i: usize) -> Val {
+        match self {
+            Column::Void { seq, len } => {
+                debug_assert!(i < *len);
+                Val::Oid(seq + i as u64)
+            }
+            Column::Oid(v) => Val::Oid(v[i]),
+            Column::Int(v) => Val::Int(v[i]),
+            Column::Lng(v) => Val::Lng(v[i]),
+            Column::Dbl(v) => Val::Dbl(v[i]),
+            Column::Str(v) => Val::Str(v.get(i).to_string()),
+            Column::Bool(v) => Val::Bool(v[i]),
+            Column::Date(v) => Val::Date(v[i]),
+        }
+    }
+
+    /// Hashable key view of element `i` (no allocation).
+    pub fn key(&self, i: usize) -> Key<'_> {
+        match self {
+            Column::Void { seq, .. } => Key::Num(seq + i as u64),
+            Column::Oid(v) => Key::Num(v[i]),
+            Column::Int(v) => Key::Num(v[i] as i64 as u64),
+            Column::Lng(v) => Key::Num(v[i] as u64),
+            Column::Dbl(v) => Key::Num(v[i].to_bits()),
+            Column::Str(v) => Key::Str(v.get(i)),
+            Column::Bool(v) => Key::Num(v[i] as u64),
+            Column::Date(v) => Key::Num(v[i] as i64 as u64),
+        }
+    }
+
+    /// Can `key()` values of the two columns be meaningfully equated?
+    /// (Same normalization domain: exact numeric types must match, except
+    /// Void/Oid which share a domain.)
+    pub fn join_compatible(&self, other: &Column) -> bool {
+        use ColType::*;
+        let norm = |t: ColType| match t {
+            Void => Oid,
+            t => t,
+        };
+        norm(self.col_type()) == norm(other.col_type())
+    }
+
+    /// Compare elements `self[i]` vs `other[j]` with numeric coercion.
+    pub fn cmp_elem(&self, i: usize, other: &Column, j: usize) -> Option<Ordering> {
+        self.get(i).try_cmp(&other.get(j))
+    }
+
+    /// Compare element `i` against a constant.
+    pub fn cmp_val(&self, i: usize, v: &Val) -> Option<Ordering> {
+        self.get(i).try_cmp(v)
+    }
+
+    /// Materialize: `Void` becomes an explicit `Oid` vector; other columns
+    /// are returned unchanged.
+    pub fn materialize(self) -> Column {
+        match self {
+            Column::Void { seq, len } => Column::Oid((0..len as u64).map(|i| seq + i).collect()),
+            other => other,
+        }
+    }
+
+    /// Build a new column from the given indices of this one.
+    pub fn gather(&self, idx: &[usize]) -> Column {
+        match self {
+            Column::Void { seq, .. } => Column::Oid(idx.iter().map(|&i| seq + i as u64).collect()),
+            Column::Oid(v) => Column::Oid(idx.iter().map(|&i| v[i]).collect()),
+            Column::Int(v) => Column::Int(idx.iter().map(|&i| v[i]).collect()),
+            Column::Lng(v) => Column::Lng(idx.iter().map(|&i| v[i]).collect()),
+            Column::Dbl(v) => Column::Dbl(idx.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(v.gather(idx)),
+            Column::Bool(v) => Column::Bool(idx.iter().map(|&i| v[i]).collect()),
+            Column::Date(v) => Column::Date(idx.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    /// Contiguous sub-column `[lo, hi)`.
+    pub fn slice(&self, lo: usize, hi: usize) -> Column {
+        debug_assert!(lo <= hi && hi <= self.len());
+        match self {
+            Column::Void { seq, .. } => Column::Void { seq: seq + lo as u64, len: hi - lo },
+            _ => self.gather(&(lo..hi).collect::<Vec<_>>()),
+        }
+    }
+
+    /// Append a value of matching type; `Void` accepts only the next OID
+    /// in sequence.
+    pub fn push(&mut self, v: &Val) -> Result<()> {
+        match (self, v) {
+            (Column::Void { seq, len }, Val::Oid(o)) if *o == *seq + *len as u64 => {
+                *len += 1;
+                Ok(())
+            }
+            (Column::Oid(vec), Val::Oid(x)) => {
+                vec.push(*x);
+                Ok(())
+            }
+            (Column::Int(vec), Val::Int(x)) => {
+                vec.push(*x);
+                Ok(())
+            }
+            (Column::Lng(vec), Val::Lng(x)) => {
+                vec.push(*x);
+                Ok(())
+            }
+            (Column::Lng(vec), Val::Int(x)) => {
+                vec.push(*x as i64);
+                Ok(())
+            }
+            (Column::Dbl(vec), Val::Dbl(x)) => {
+                vec.push(*x);
+                Ok(())
+            }
+            (Column::Dbl(vec), Val::Int(x)) => {
+                vec.push(*x as f64);
+                Ok(())
+            }
+            (Column::Dbl(vec), Val::Lng(x)) => {
+                vec.push(*x as f64);
+                Ok(())
+            }
+            (Column::Str(col), Val::Str(s)) => {
+                col.push(s);
+                Ok(())
+            }
+            (Column::Bool(vec), Val::Bool(b)) => {
+                vec.push(*b);
+                Ok(())
+            }
+            (Column::Date(vec), Val::Date(d)) => {
+                vec.push(*d);
+                Ok(())
+            }
+            (me, v) => Err(BatError::TypeMismatch {
+                expected: me.col_type().name(),
+                got: format!("{v:?}"),
+            }),
+        }
+    }
+
+    /// Empty column of the given type.
+    pub fn empty(ty: ColType) -> Column {
+        match ty {
+            ColType::Void => Column::Void { seq: 0, len: 0 },
+            ColType::Oid => Column::Oid(Vec::new()),
+            ColType::Int => Column::Int(Vec::new()),
+            ColType::Lng => Column::Lng(Vec::new()),
+            ColType::Dbl => Column::Dbl(Vec::new()),
+            ColType::Str => Column::Str(StrCol::new()),
+            ColType::Bool => Column::Bool(Vec::new()),
+            ColType::Date => Column::Date(Vec::new()),
+        }
+    }
+
+    /// Is the column sorted non-decreasingly?
+    pub fn is_sorted(&self) -> bool {
+        match self {
+            Column::Void { .. } => true,
+            Column::Oid(v) => v.windows(2).all(|w| w[0] <= w[1]),
+            Column::Int(v) => v.windows(2).all(|w| w[0] <= w[1]),
+            Column::Lng(v) => v.windows(2).all(|w| w[0] <= w[1]),
+            Column::Dbl(v) => v.windows(2).all(|w| w[0] <= w[1]),
+            Column::Str(v) => (1..v.len()).all(|i| v.get(i - 1) <= v.get(i)),
+            Column::Bool(v) => v.windows(2).all(|w| w[0] <= w[1]),
+            Column::Date(v) => v.windows(2).all(|w| w[0] <= w[1]),
+        }
+    }
+
+    /// Sort permutation of the column (stable): indices such that
+    /// gathering with them yields a sorted column.
+    pub fn sort_perm(&self, descending: bool) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        match self {
+            Column::Void { .. } => {
+                if descending {
+                    idx.reverse();
+                }
+                return idx;
+            }
+            Column::Oid(v) => idx.sort_by_key(|&i| v[i]),
+            Column::Int(v) => idx.sort_by_key(|&i| v[i]),
+            Column::Lng(v) => idx.sort_by_key(|&i| v[i]),
+            Column::Dbl(v) => idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(Ordering::Equal)),
+            Column::Str(v) => idx.sort_by(|&a, &b| v.get(a).cmp(v.get(b))),
+            Column::Bool(v) => idx.sort_by_key(|&i| v[i]),
+            Column::Date(v) => idx.sort_by_key(|&i| v[i]),
+        }
+        if descending {
+            idx.reverse();
+        }
+        idx
+    }
+
+    /// Typed accessors for the hot kernels.
+    pub fn as_oid(&self) -> Option<&[u64]> {
+        match self {
+            Column::Oid(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn as_int(&self) -> Option<&[i32]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn as_lng(&self) -> Option<&[i64]> {
+        match self {
+            Column::Lng(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn as_dbl(&self) -> Option<&[f64]> {
+        match self {
+            Column::Dbl(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn as_str_col(&self) -> Option<&StrCol> {
+        match self {
+            Column::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// OID value at position `i` when this column is a head (Void or Oid).
+    pub fn oid_at(&self, i: usize) -> Option<u64> {
+        match self {
+            Column::Void { seq, len } if i < *len => Some(seq + i as u64),
+            Column::Oid(v) => v.get(i).copied(),
+            _ => None,
+        }
+    }
+
+    pub fn iter_vals(&self) -> impl Iterator<Item = Val> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+impl From<Vec<i32>> for Column {
+    fn from(v: Vec<i32>) -> Self {
+        Column::Int(v)
+    }
+}
+impl From<Vec<i64>> for Column {
+    fn from(v: Vec<i64>) -> Self {
+        Column::Lng(v)
+    }
+}
+impl From<Vec<f64>> for Column {
+    fn from(v: Vec<f64>) -> Self {
+        Column::Dbl(v)
+    }
+}
+impl From<Vec<u64>> for Column {
+    fn from(v: Vec<u64>) -> Self {
+        Column::Oid(v)
+    }
+}
+impl From<Vec<&str>> for Column {
+    fn from(v: Vec<&str>) -> Self {
+        Column::Str(v.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn void_is_virtual() {
+        let c = Column::Void { seq: 10, len: 5 };
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.byte_size(), 0);
+        assert_eq!(c.get(2), Val::Oid(12));
+        assert_eq!(c.oid_at(4), Some(14));
+        assert_eq!(c.oid_at(5), None);
+    }
+
+    #[test]
+    fn materialize_void() {
+        let c = Column::Void { seq: 3, len: 3 }.materialize();
+        assert_eq!(c, Column::Oid(vec![3, 4, 5]));
+    }
+
+    #[test]
+    fn gather_each_type() {
+        let idx = [2usize, 0];
+        assert_eq!(Column::from(vec![1, 2, 3]).gather(&idx), Column::Int(vec![3, 1]));
+        assert_eq!(
+            Column::from(vec!["a", "b", "c"]).gather(&idx),
+            Column::from(vec!["c", "a"])
+        );
+        assert_eq!(
+            Column::Void { seq: 5, len: 3 }.gather(&idx),
+            Column::Oid(vec![7, 5])
+        );
+    }
+
+    #[test]
+    fn slice_void_stays_void() {
+        let c = Column::Void { seq: 0, len: 10 }.slice(3, 7);
+        assert_eq!(c, Column::Void { seq: 3, len: 4 });
+    }
+
+    #[test]
+    fn keys_equate_within_domain() {
+        let a = Column::from(vec![5i32, 6]);
+        let b = Column::from(vec![5i32]);
+        assert_eq!(a.key(0), b.key(0));
+        assert_ne!(a.key(1), b.key(0));
+        let v = Column::Void { seq: 5, len: 1 };
+        let o = Column::from(vec![5u64]);
+        assert_eq!(v.key(0), o.key(0));
+        assert!(v.join_compatible(&o));
+        assert!(!a.join_compatible(&o));
+    }
+
+    #[test]
+    fn negative_int_keys_distinct() {
+        let c = Column::from(vec![-1i32, 1]);
+        assert_ne!(c.key(0), c.key(1));
+        // And -1 as Int equals -1 as Lng domain-wise only via matching types
+        let l = Column::from(vec![-1i64]);
+        assert_eq!(c.key(0), l.key(0), "i32 widened to i64 bit pattern");
+    }
+
+    #[test]
+    fn push_type_checked() {
+        let mut c = Column::empty(ColType::Int);
+        c.push(&Val::Int(1)).unwrap();
+        assert!(c.push(&Val::Str("x".into())).is_err());
+        let mut v = Column::Void { seq: 0, len: 0 };
+        v.push(&Val::Oid(0)).unwrap();
+        v.push(&Val::Oid(1)).unwrap();
+        assert!(v.push(&Val::Oid(5)).is_err(), "void only extends densely");
+    }
+
+    #[test]
+    fn sortedness_and_perm() {
+        let c = Column::from(vec![3, 1, 2]);
+        assert!(!c.is_sorted());
+        let perm = c.sort_perm(false);
+        assert_eq!(perm, vec![1, 2, 0]);
+        assert!(c.gather(&perm).is_sorted());
+        let desc = c.sort_perm(true);
+        assert_eq!(c.gather(&desc), Column::Int(vec![3, 2, 1]));
+    }
+
+    #[test]
+    fn sort_perm_stable() {
+        let c = Column::from(vec![1, 0, 1, 0]);
+        assert_eq!(c.sort_perm(false), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn string_sort() {
+        let c = Column::from(vec!["pear", "apple", "fig"]);
+        let perm = c.sort_perm(false);
+        assert_eq!(c.gather(&perm), Column::from(vec!["apple", "fig", "pear"]));
+    }
+}

@@ -1,0 +1,365 @@
+//! Aggregation: whole-column aggregates (`aggr.count/sum/min/max/avg`)
+//! and grouped variants driven by a group-id mapping produced by
+//! [`group_by`].
+
+use crate::bat::{Bat, Props};
+use crate::column::{Column, Key};
+use crate::error::{BatError, Result};
+use crate::value::Val;
+use std::collections::HashMap;
+
+/// `aggr.count(b)`.
+pub fn count(b: &Bat) -> u64 {
+    b.count() as u64
+}
+
+/// `aggr.sum(b)`: integer columns sum to `Lng`, floats to `Dbl`.
+pub fn sum(b: &Bat) -> Result<Val> {
+    Ok(match b.tail() {
+        Column::Int(v) => Val::Lng(v.iter().map(|&x| x as i64).sum()),
+        Column::Lng(v) => Val::Lng(v.iter().sum()),
+        Column::Dbl(v) => Val::Dbl(v.iter().sum()),
+        Column::Oid(v) => Val::Lng(v.iter().map(|&x| x as i64).sum()),
+        other => {
+            return Err(BatError::TypeMismatch {
+                expected: "numeric",
+                got: other.col_type().name().to_string(),
+            })
+        }
+    })
+}
+
+/// `aggr.min(b)`; `Nil` on empty input.
+pub fn min(b: &Bat) -> Val {
+    extremum(b, std::cmp::Ordering::Less)
+}
+
+/// `aggr.max(b)`; `Nil` on empty input.
+pub fn max(b: &Bat) -> Val {
+    extremum(b, std::cmp::Ordering::Greater)
+}
+
+fn extremum(b: &Bat, want: std::cmp::Ordering) -> Val {
+    let mut best: Option<Val> = None;
+    for i in 0..b.count() {
+        let v = b.tail().get(i);
+        match &best {
+            None => best = Some(v),
+            Some(cur) => {
+                if v.try_cmp(cur) == Some(want) {
+                    best = Some(v);
+                }
+            }
+        }
+    }
+    best.unwrap_or(Val::Nil)
+}
+
+/// `aggr.avg(b)`; `Nil` on empty input.
+pub fn avg(b: &Bat) -> Result<Val> {
+    if b.is_empty() {
+        return Ok(Val::Nil);
+    }
+    let s = sum(b)?;
+    let n = b.count() as f64;
+    Ok(Val::Dbl(s.as_f64().expect("sum is numeric") / n))
+}
+
+/// `group.new(b)`: group BUNs by tail value. Returns `(grp, ext)`:
+/// * `grp`: `b.head → group-id` (one BUN per input BUN),
+/// * `ext`: `group-id → representative tail value` (one BUN per group,
+///   in first-appearance order).
+pub fn group_by(b: &Bat) -> (Bat, Bat) {
+    let mut ids: HashMap<Key<'_>, u64> = HashMap::new();
+    let mut gids: Vec<u64> = Vec::with_capacity(b.count());
+    let mut reps: Vec<usize> = Vec::new();
+    for i in 0..b.count() {
+        let next = ids.len() as u64;
+        let gid = *ids.entry(b.tail().key(i)).or_insert_with(|| {
+            reps.push(i);
+            next
+        });
+        gids.push(gid);
+    }
+    let grp = Bat::with_props(
+        b.head().clone(),
+        Column::Oid(gids),
+        Props { tail_sorted: false, head_key: b.props().head_key, no_nil: true },
+    )
+    .expect("parallel");
+    let ext = Bat::with_props(
+        Column::Void { seq: 0, len: reps.len() },
+        b.tail().gather(&reps),
+        Props { tail_sorted: false, head_key: true, no_nil: true },
+    )
+    .expect("parallel");
+    (grp, ext)
+}
+
+/// `group.derive(b, grp)`: refine an existing grouping by a further
+/// column — the MonetDB idiom for multi-column GROUP BY. Rows fall into
+/// the same refined group iff they shared a group in `grp` *and* have
+/// equal tails in `b`. Returns `(grp', ext')` like [`group_by`], where
+/// `ext'` maps each refined group to a representative row position.
+pub fn group_derive(b: &Bat, grp: &Bat) -> Result<(Bat, Bat)> {
+    check_grouped(b, grp)?;
+    let ids = group_ids(grp)?;
+    let mut seen: HashMap<(u64, Key<'_>), u64> = HashMap::new();
+    let mut gids: Vec<u64> = Vec::with_capacity(b.count());
+    let mut reps: Vec<usize> = Vec::new();
+    for (i, &id) in ids.iter().enumerate() {
+        let key = (id, b.tail().key(i));
+        let next = seen.len() as u64;
+        let gid = *seen.entry(key).or_insert_with(|| {
+            reps.push(i);
+            next
+        });
+        gids.push(gid);
+    }
+    let grp2 = Bat::with_props(
+        b.head().clone(),
+        Column::Oid(gids),
+        Props { tail_sorted: false, head_key: b.props().head_key, no_nil: true },
+    )
+    .expect("parallel");
+    let ext2 = Bat::with_props(
+        Column::Void { seq: 0, len: reps.len() },
+        Column::Oid(reps.iter().map(|&i| i as u64).collect()),
+        Props { tail_sorted: true, head_key: true, no_nil: true },
+    )
+    .expect("parallel");
+    Ok((grp2, ext2))
+}
+
+/// Distinct tail values of `b`, in first-appearance order (SELECT
+/// DISTINCT kernel). Heads are renumbered densely.
+pub fn distinct(b: &Bat) -> Bat {
+    let (_, ext) = group_by(b);
+    ext
+}
+
+fn group_ids(grp: &Bat) -> Result<&[u64]> {
+    grp.tail().as_oid().ok_or(BatError::TypeMismatch {
+        expected: "oid group ids",
+        got: grp.tail_type().name().to_string(),
+    })
+}
+
+fn check_grouped(vals: &Bat, grp: &Bat) -> Result<()> {
+    if vals.count() != grp.count() {
+        return Err(BatError::LengthMismatch { left: vals.count(), right: grp.count() });
+    }
+    Ok(())
+}
+
+/// `aggr.count` per group: `group-id → count`.
+pub fn grouped_count(grp: &Bat, ngroups: usize) -> Result<Bat> {
+    let ids = group_ids(grp)?;
+    let mut counts = vec![0i64; ngroups];
+    for &g in ids {
+        counts[g as usize] += 1;
+    }
+    Ok(Bat::dense(Column::Lng(counts)))
+}
+
+/// `aggr.sum` per group over `vals` (positionally aligned with `grp`).
+pub fn grouped_sum(vals: &Bat, grp: &Bat, ngroups: usize) -> Result<Bat> {
+    check_grouped(vals, grp)?;
+    let ids = group_ids(grp)?;
+    match vals.tail() {
+        Column::Int(v) => {
+            let mut acc = vec![0i64; ngroups];
+            for (i, &g) in ids.iter().enumerate() {
+                acc[g as usize] += v[i] as i64;
+            }
+            Ok(Bat::dense(Column::Lng(acc)))
+        }
+        Column::Lng(v) => {
+            let mut acc = vec![0i64; ngroups];
+            for (i, &g) in ids.iter().enumerate() {
+                acc[g as usize] += v[i];
+            }
+            Ok(Bat::dense(Column::Lng(acc)))
+        }
+        Column::Dbl(v) => {
+            let mut acc = vec![0f64; ngroups];
+            for (i, &g) in ids.iter().enumerate() {
+                acc[g as usize] += v[i];
+            }
+            Ok(Bat::dense(Column::Dbl(acc)))
+        }
+        other => Err(BatError::TypeMismatch {
+            expected: "numeric",
+            got: other.col_type().name().to_string(),
+        }),
+    }
+}
+
+/// `aggr.avg` per group.
+pub fn grouped_avg(vals: &Bat, grp: &Bat, ngroups: usize) -> Result<Bat> {
+    let sums = grouped_sum(vals, grp, ngroups)?;
+    let counts = grouped_count(grp, ngroups)?;
+    let mut out = Vec::with_capacity(ngroups);
+    for g in 0..ngroups {
+        let s = sums.tail().get(g).as_f64().expect("numeric");
+        let c = counts.tail().get(g).as_f64().expect("numeric");
+        out.push(if c == 0.0 { 0.0 } else { s / c });
+    }
+    Ok(Bat::dense(Column::Dbl(out)))
+}
+
+/// `aggr.min` per group.
+pub fn grouped_min(vals: &Bat, grp: &Bat, ngroups: usize) -> Result<Bat> {
+    grouped_extremum(vals, grp, ngroups, std::cmp::Ordering::Less)
+}
+
+/// `aggr.max` per group.
+pub fn grouped_max(vals: &Bat, grp: &Bat, ngroups: usize) -> Result<Bat> {
+    grouped_extremum(vals, grp, ngroups, std::cmp::Ordering::Greater)
+}
+
+fn grouped_extremum(
+    vals: &Bat,
+    grp: &Bat,
+    ngroups: usize,
+    want: std::cmp::Ordering,
+) -> Result<Bat> {
+    check_grouped(vals, grp)?;
+    let ids = group_ids(grp)?;
+    let mut best: Vec<Option<usize>> = vec![None; ngroups];
+    for (i, &g) in ids.iter().enumerate() {
+        let slot = &mut best[g as usize];
+        match slot {
+            None => *slot = Some(i),
+            Some(j) => {
+                if vals.tail().cmp_elem(i, vals.tail(), *j) == Some(want) {
+                    *slot = Some(i);
+                }
+            }
+        }
+    }
+    let idx: Vec<usize> = best
+        .into_iter()
+        .map(|o| o.ok_or_else(|| BatError::Invalid("empty group".into())))
+        .collect::<Result<_>>()?;
+    Ok(Bat::dense(vals.tail().gather(&idx)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals() -> Bat {
+        Bat::dense(Column::from(vec![10, 20, 10, 30, 20, 10]))
+    }
+
+    #[test]
+    fn whole_column_aggregates() {
+        let b = vals();
+        assert_eq!(count(&b), 6);
+        assert_eq!(sum(&b).unwrap(), Val::Lng(100));
+        assert_eq!(min(&b), Val::Int(10));
+        assert_eq!(max(&b), Val::Int(30));
+        assert_eq!(avg(&b).unwrap(), Val::Dbl(100.0 / 6.0));
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        let e = Bat::empty(crate::value::ColType::Int);
+        assert_eq!(count(&e), 0);
+        assert_eq!(min(&e), Val::Nil);
+        assert_eq!(avg(&e).unwrap(), Val::Nil);
+        assert_eq!(sum(&e).unwrap(), Val::Lng(0));
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let s = Bat::dense(Column::from(vec!["a"]));
+        assert!(sum(&s).is_err());
+    }
+
+    #[test]
+    fn group_by_first_appearance_order() {
+        let (grp, ext) = group_by(&vals());
+        assert_eq!(ext.count(), 3);
+        assert_eq!(ext.bun(0).1, Val::Int(10));
+        assert_eq!(ext.bun(1).1, Val::Int(20));
+        assert_eq!(ext.bun(2).1, Val::Int(30));
+        let ids = grp.tail().as_oid().unwrap();
+        assert_eq!(ids, &[0, 1, 0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let b = vals();
+        let (grp, ext) = group_by(&b);
+        let n = ext.count();
+        let c = grouped_count(&grp, n).unwrap();
+        assert_eq!(c.tail().as_lng().unwrap(), &[3, 2, 1]);
+        let s = grouped_sum(&b, &grp, n).unwrap();
+        assert_eq!(s.tail().as_lng().unwrap(), &[30, 40, 30]);
+        let a = grouped_avg(&b, &grp, n).unwrap();
+        assert_eq!(a.tail().as_dbl().unwrap(), &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn grouped_min_max_follow_other_column() {
+        // Group by one column, aggregate another: amounts grouped by key.
+        let keys = Bat::dense(Column::from(vec!["a", "b", "a", "b"]));
+        let amounts = Bat::dense(Column::from(vec![5, 7, 3, 9]));
+        let (grp, ext) = group_by(&keys);
+        let mn = grouped_min(&amounts, &grp, ext.count()).unwrap();
+        let mx = grouped_max(&amounts, &grp, ext.count()).unwrap();
+        assert_eq!(mn.tail().as_int().unwrap(), &[3, 7]);
+        assert_eq!(mx.tail().as_int().unwrap(), &[5, 9]);
+    }
+
+    #[test]
+    fn grouped_length_mismatch() {
+        let (grp, _) = group_by(&vals());
+        let short = Bat::dense(Column::from(vec![1]));
+        assert!(grouped_sum(&short, &grp, 3).is_err());
+    }
+
+    #[test]
+    fn group_by_strings() {
+        let b = Bat::dense(Column::from(vec!["x", "y", "x"]));
+        let (_, ext) = group_by(&b);
+        assert_eq!(ext.count(), 2);
+    }
+
+    #[test]
+    fn group_derive_refines() {
+        // Group by region, refine by quarter: (eu,1) (eu,2) (us,1).
+        let region = Bat::dense(Column::from(vec!["eu", "eu", "us", "eu", "us"]));
+        let quarter = Bat::dense(Column::from(vec![1, 2, 1, 1, 1]));
+        let (g1, e1) = group_by(&region);
+        assert_eq!(e1.count(), 2);
+        let (g2, e2) = group_derive(&quarter, &g1).unwrap();
+        assert_eq!(e2.count(), 3, "refined groups: (eu,1) (eu,2) (us,1)");
+        let ids = g2.tail().as_oid().unwrap();
+        assert_eq!(ids[0], ids[3], "rows 0 and 3 are both (eu,1)");
+        assert_eq!(ids[2], ids[4], "rows 2 and 4 are both (us,1)");
+        assert_ne!(ids[0], ids[1]);
+        // Representative rows point at first appearances.
+        assert_eq!(e2.tail().as_oid().unwrap(), &[0, 1, 2]);
+        // Grouped aggregates work over the refined grouping.
+        let amounts = Bat::dense(Column::from(vec![10, 20, 30, 40, 50]));
+        let sums = grouped_sum(&amounts, &g2, e2.count()).unwrap();
+        assert_eq!(sums.tail().as_lng().unwrap(), &[50, 20, 80]);
+    }
+
+    #[test]
+    fn group_derive_checks_alignment() {
+        let a = Bat::dense(Column::from(vec![1, 2]));
+        let (g, _) = group_by(&Bat::dense(Column::from(vec![1, 2, 3])));
+        assert!(group_derive(&a, &g).is_err());
+    }
+
+    #[test]
+    fn distinct_first_appearance() {
+        let b = Bat::dense(Column::from(vec![3, 1, 3, 2, 1]));
+        let d = distinct(&b);
+        assert_eq!(d.tail().as_int().unwrap(), &[3, 1, 2]);
+    }
+}

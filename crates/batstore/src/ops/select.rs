@@ -1,0 +1,187 @@
+//! Selection operators: the filters of the binary algebra. They preserve
+//! the head values of qualifying BUNs (so downstream joins can realign on
+//! OIDs) and filter on the tail.
+
+use crate::bat::{Bat, Props};
+use crate::error::{BatError, Result};
+use crate::value::Val;
+use std::cmp::Ordering;
+
+/// Comparison operators for `theta_select`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+}
+
+impl CmpOp {
+    pub fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Ge => ord != Ordering::Less,
+            CmpOp::Gt => ord == Ordering::Greater,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        }
+    }
+
+    pub fn from_symbol(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            "=" | "==" => CmpOp::Eq,
+            "!=" | "<>" => CmpOp::Ne,
+            ">=" => CmpOp::Ge,
+            ">" => CmpOp::Gt,
+            _ => return None,
+        })
+    }
+}
+
+fn incomparable(b: &Bat, v: &Val) -> BatError {
+    BatError::TypeMismatch {
+        expected: b.tail_type().name(),
+        got: format!("{v:?}"),
+    }
+}
+
+/// `algebra.select(b, lo, hi)`: BUNs whose tail lies in `[lo, hi]`
+/// (inclusive bounds, MonetDB's default).
+pub fn select_range(b: &Bat, lo: &Val, hi: &Val) -> Result<Bat> {
+    // Validate comparability on a non-empty column using the first row.
+    if !b.is_empty() {
+        if b.tail().cmp_val(0, lo).is_none() {
+            return Err(incomparable(b, lo));
+        }
+        if b.tail().cmp_val(0, hi).is_none() {
+            return Err(incomparable(b, hi));
+        }
+    }
+    let tail = b.tail();
+    let idx: Vec<usize> = (0..b.count())
+        .filter(|&i| {
+            let against_lo = tail.cmp_val(i, lo).unwrap_or(Ordering::Less);
+            let against_hi = tail.cmp_val(i, hi).unwrap_or(Ordering::Greater);
+            against_lo != Ordering::Less && against_hi != Ordering::Greater
+        })
+        .collect();
+    Ok(gather_with_head(b, &idx))
+}
+
+/// `algebra.uselect(b, v)`: equality selection.
+pub fn uselect(b: &Bat, v: &Val) -> Result<Bat> {
+    theta_select(b, CmpOp::Eq, v)
+}
+
+/// `algebra.thetauselect(b, op, v)`: general comparison selection.
+pub fn theta_select(b: &Bat, op: CmpOp, v: &Val) -> Result<Bat> {
+    if !b.is_empty() && b.tail().cmp_val(0, v).is_none() {
+        return Err(incomparable(b, v));
+    }
+    let tail = b.tail();
+    let idx: Vec<usize> = (0..b.count())
+        .filter(|&i| tail.cmp_val(i, v).map(|o| op.matches(o)).unwrap_or(false))
+        .collect();
+    Ok(gather_with_head(b, &idx))
+}
+
+fn gather_with_head(b: &Bat, idx: &[usize]) -> Bat {
+    let head = b.head().gather(idx);
+    let tail = b.tail().gather(idx);
+    let props = Props {
+        tail_sorted: b.props().tail_sorted || tail.is_sorted(),
+        head_key: b.props().head_key,
+        no_nil: true,
+    };
+    Bat::with_props(head, tail, props).expect("gather preserves alignment")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn sample() -> Bat {
+        Bat::dense(Column::from(vec![5, 1, 4, 1, 3]))
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let r = select_range(&sample(), &Val::Int(1), &Val::Int(4)).unwrap();
+        let tails: Vec<Val> = (0..r.count()).map(|i| r.bun(i).1).collect();
+        assert_eq!(tails, vec![Val::Int(1), Val::Int(4), Val::Int(1), Val::Int(3)]);
+        // Heads preserved: positions 1,2,3,4 of the original.
+        assert_eq!(r.bun(0).0, Val::Oid(1));
+    }
+
+    #[test]
+    fn uselect_equality() {
+        let r = uselect(&sample(), &Val::Int(1)).unwrap();
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.bun(0).0, Val::Oid(1));
+        assert_eq!(r.bun(1).0, Val::Oid(3));
+    }
+
+    #[test]
+    fn theta_all_ops() {
+        let b = sample();
+        let count = |op| theta_select(&b, op, &Val::Int(3)).unwrap().count();
+        assert_eq!(count(CmpOp::Lt), 2);
+        assert_eq!(count(CmpOp::Le), 3);
+        assert_eq!(count(CmpOp::Eq), 1);
+        assert_eq!(count(CmpOp::Ne), 4);
+        assert_eq!(count(CmpOp::Ge), 3);
+        assert_eq!(count(CmpOp::Gt), 2);
+    }
+
+    #[test]
+    fn cross_numeric_constant() {
+        // Int column selected with a Lng constant must coerce.
+        let r = theta_select(&sample(), CmpOp::Ge, &Val::Lng(4)).unwrap();
+        assert_eq!(r.count(), 2);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        assert!(uselect(&sample(), &Val::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let e = Bat::empty(crate::value::ColType::Int);
+        assert_eq!(uselect(&e, &Val::Int(1)).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn string_selection() {
+        let b = Bat::dense(Column::from(vec!["de", "fr", "de", "nl"]));
+        let r = uselect(&b, &Val::from("de")).unwrap();
+        assert_eq!(r.count(), 2);
+        let r = theta_select(&b, CmpOp::Gt, &Val::from("de")).unwrap();
+        assert_eq!(r.count(), 2);
+    }
+
+    #[test]
+    fn op_symbols_round_trip() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Ge, CmpOp::Gt] {
+            assert_eq!(CmpOp::from_symbol(op.symbol()), Some(op));
+        }
+        assert_eq!(CmpOp::from_symbol("<>"), Some(CmpOp::Ne));
+    }
+}

@@ -1,0 +1,155 @@
+//! Set-style operators keyed on the head column: `semijoin` (keep BUNs of
+//! `l` whose head appears in `r`'s head), `kdifference` (keep those that
+//! do not), `kintersect` (alias with MonetDB's historical name).
+
+use crate::bat::{Bat, Props};
+use crate::column::Key;
+use crate::error::{BatError, Result};
+use std::collections::HashSet;
+
+fn head_set<'a>(b: &'a Bat) -> HashSet<Key<'a>> {
+    (0..b.count()).map(|i| b.head().key(i)).collect()
+}
+
+fn filter_by_head(l: &Bat, keep: impl Fn(&Key<'_>) -> bool) -> Bat {
+    let idx: Vec<usize> = (0..l.count()).filter(|&i| keep(&l.head().key(i))).collect();
+    let head = l.head().gather(&idx);
+    let tail = l.tail().gather(&idx);
+    let props = Props {
+        tail_sorted: l.props().tail_sorted,
+        head_key: l.props().head_key,
+        no_nil: true,
+    };
+    Bat::with_props(head, tail, props).expect("parallel gather")
+}
+
+fn check_heads(l: &Bat, r: &Bat) -> Result<()> {
+    if !l.head().join_compatible(r.head()) {
+        return Err(BatError::TypeMismatch {
+            expected: l.head_type().name(),
+            got: r.head_type().name().to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// `algebra.semijoin(l, r)`: BUNs of `l` whose head occurs among `r`'s
+/// heads.
+pub fn semijoin(l: &Bat, r: &Bat) -> Result<Bat> {
+    check_heads(l, r)?;
+    let set = head_set(r);
+    Ok(filter_by_head(l, |k| set.contains(k)))
+}
+
+/// `algebra.kdifference(l, r)`: BUNs of `l` whose head does *not* occur
+/// among `r`'s heads.
+pub fn kdifference(l: &Bat, r: &Bat) -> Result<Bat> {
+    check_heads(l, r)?;
+    let set = head_set(r);
+    Ok(filter_by_head(l, |k| !set.contains(k)))
+}
+
+/// MonetDB's `kintersect` — same as semijoin on heads.
+pub fn kintersect(l: &Bat, r: &Bat) -> Result<Bat> {
+    semijoin(l, r)
+}
+
+/// `algebra.kunion(l, r)`: all BUNs of `l`, plus those BUNs of `r` whose
+/// head does not occur in `l` (head-keyed set union, keeping `l`'s
+/// values on conflicts). The OR / IN-list kernel.
+pub fn kunion(l: &Bat, r: &Bat) -> Result<Bat> {
+    check_heads(l, r)?;
+    if !l.tail().join_compatible(r.tail()) {
+        return Err(BatError::TypeMismatch {
+            expected: l.tail_type().name(),
+            got: r.tail_type().name().to_string(),
+        });
+    }
+    let lset = head_set(l);
+    let mut head = l.head().clone().materialize();
+    let mut tail = l.tail().clone();
+    for i in 0..r.count() {
+        if !lset.contains(&r.head().key(i)) {
+            let (h, t) = r.bun(i);
+            head.push(&h)?;
+            tail.push(&t)?;
+        }
+    }
+    Bat::new(head, tail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::value::Val;
+
+    fn l() -> Bat {
+        Bat::new(Column::Oid(vec![0, 1, 2, 3]), Column::from(vec![10, 11, 12, 13])).unwrap()
+    }
+    fn r() -> Bat {
+        Bat::new(Column::Oid(vec![1, 3, 9]), Column::from(vec!["a", "b", "c"])).unwrap()
+    }
+
+    #[test]
+    fn semijoin_keeps_matching_heads() {
+        let s = semijoin(&l(), &r()).unwrap();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.bun(0), (Val::Oid(1), Val::Int(11)));
+        assert_eq!(s.bun(1), (Val::Oid(3), Val::Int(13)));
+    }
+
+    #[test]
+    fn kdifference_complements_semijoin() {
+        let s = semijoin(&l(), &r()).unwrap();
+        let d = kdifference(&l(), &r()).unwrap();
+        assert_eq!(s.count() + d.count(), l().count());
+        assert_eq!(d.bun(0), (Val::Oid(0), Val::Int(10)));
+    }
+
+    #[test]
+    fn kintersect_is_semijoin() {
+        assert_eq!(kintersect(&l(), &r()).unwrap().count(), semijoin(&l(), &r()).unwrap().count());
+    }
+
+    #[test]
+    fn void_heads_work() {
+        let dense = Bat::dense(Column::from(vec![1, 2, 3]));
+        let keys = Bat::new(Column::Oid(vec![0, 2]), Column::from(vec![0, 0])).unwrap();
+        let s = semijoin(&dense, &keys).unwrap();
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn incompatible_heads_rejected() {
+        let a = Bat::dense(Column::from(vec![1]));
+        let strhead = Bat::new(Column::from(vec!["x"]), Column::from(vec![1i32])).unwrap();
+        assert!(semijoin(&a, &strhead).is_err());
+    }
+
+    #[test]
+    fn kunion_merges_by_head() {
+        let a = Bat::new(Column::Oid(vec![0, 2]), Column::from(vec![10, 12])).unwrap();
+        let b = Bat::new(Column::Oid(vec![2, 3]), Column::from(vec![99, 13])).unwrap();
+        let u = kunion(&a, &b).unwrap();
+        assert_eq!(u.count(), 3);
+        assert_eq!(u.bun(0), (Val::Oid(0), Val::Int(10)));
+        assert_eq!(u.bun(1), (Val::Oid(2), Val::Int(12)), "left wins on conflict");
+        assert_eq!(u.bun(2), (Val::Oid(3), Val::Int(13)));
+    }
+
+    #[test]
+    fn kunion_with_empty_sides() {
+        let a = Bat::new(Column::Oid(vec![1]), Column::from(vec![5])).unwrap();
+        let e = Bat::new(Column::Oid(vec![]), Column::Int(vec![])).unwrap();
+        assert_eq!(kunion(&a, &e).unwrap().count(), 1);
+        assert_eq!(kunion(&e, &a).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn kunion_rejects_mismatched_tails() {
+        let a = Bat::new(Column::Oid(vec![1]), Column::from(vec![5])).unwrap();
+        let b = Bat::new(Column::Oid(vec![2]), Column::from(vec!["x"])).unwrap();
+        assert!(kunion(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Horizontal partitioning: splitting a logical column into fragment BATs
+//! that individually "easily fit in main memory of the individual nodes"
+//! (paper §4). Fragments keep head OIDs from the parent, so recombining
+//! or joining across fragments stays positionally correct.
+
+use crate::bat::Bat;
+use crate::error::{BatError, Result};
+
+/// A partitioning of one logical BAT into row-range fragments.
+#[derive(Clone, Debug)]
+pub struct Partitioning {
+    /// Row ranges `[start, end)` per fragment.
+    pub ranges: Vec<(usize, usize)>,
+}
+
+/// Split into fragments of at most `max_bytes` each (at least one row per
+/// fragment). Returns the fragments and the partitioning descriptor.
+pub fn partition_by_bytes(bat: &Bat, max_bytes: usize) -> Result<(Vec<Bat>, Partitioning)> {
+    if max_bytes == 0 {
+        return Err(BatError::Invalid("max_bytes must be positive".into()));
+    }
+    let n = bat.count();
+    if n == 0 {
+        return Ok((vec![bat.clone()], Partitioning { ranges: vec![(0, 0)] }));
+    }
+    let total = bat.byte_size().max(1);
+    let per_row = (total as f64 / n as f64).max(1.0);
+    let rows_per_frag = ((max_bytes as f64 / per_row).floor() as usize).max(1);
+    partition_by_rows(bat, rows_per_frag)
+}
+
+/// Split into fragments of at most `rows_per_frag` rows each.
+pub fn partition_by_rows(bat: &Bat, rows_per_frag: usize) -> Result<(Vec<Bat>, Partitioning)> {
+    if rows_per_frag == 0 {
+        return Err(BatError::Invalid("rows_per_frag must be positive".into()));
+    }
+    let n = bat.count();
+    let mut frags = Vec::new();
+    let mut ranges = Vec::new();
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + rows_per_frag).min(n);
+        frags.push(bat.slice(lo, hi));
+        ranges.push((lo, hi));
+        lo = hi;
+    }
+    if frags.is_empty() {
+        frags.push(bat.clone());
+        ranges.push((0, 0));
+    }
+    Ok((frags, Partitioning { ranges }))
+}
+
+/// Reassemble fragments (inverse of partitioning); fragments must be in
+/// order and contiguous.
+pub fn reassemble(frags: &[Bat]) -> Result<Bat> {
+    let first = frags.first().ok_or_else(|| BatError::Invalid("no fragments".into()))?;
+    let mut head = first.head().clone().materialize();
+    let mut tail = first.tail().clone();
+    for f in &frags[1..] {
+        for i in 0..f.count() {
+            let (h, t) = f.bun(i);
+            head.push(&h)?;
+            tail.push(&t)?;
+        }
+    }
+    Bat::new(head, tail)
+}
+
+/// Canonical fragment name `table.column#k`, the identity under which a
+/// fragment circulates in the ring.
+pub fn fragment_name(table: &str, column: &str, k: usize) -> String {
+    format!("{table}.{column}#{k}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::value::Val;
+
+    fn big() -> Bat {
+        Bat::dense(Column::Int((0..100).collect()))
+    }
+
+    #[test]
+    fn partition_by_rows_covers_all() {
+        let (frags, parts) = partition_by_rows(&big(), 30).unwrap();
+        assert_eq!(frags.len(), 4);
+        assert_eq!(parts.ranges, vec![(0, 30), (30, 60), (60, 90), (90, 100)]);
+        let total: usize = frags.iter().map(|f| f.count()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn fragments_preserve_oids() {
+        let (frags, _) = partition_by_rows(&big(), 40).unwrap();
+        // Second fragment starts at parent row 40 → head OID 40.
+        assert_eq!(frags[1].bun(0), (Val::Oid(40), Val::Int(40)));
+    }
+
+    #[test]
+    fn partition_by_bytes_respects_budget() {
+        let b = big(); // 400 bytes of int tail
+        let (frags, _) = partition_by_bytes(&b, 100).unwrap();
+        assert!(frags.len() >= 4);
+        for f in &frags {
+            assert!(f.byte_size() <= 100, "fragment too big: {}", f.byte_size());
+        }
+    }
+
+    #[test]
+    fn reassemble_inverts() {
+        let b = big();
+        let (frags, _) = partition_by_rows(&b, 7).unwrap();
+        let back = reassemble(&frags).unwrap();
+        assert_eq!(back.count(), b.count());
+        for i in (0..b.count()).step_by(13) {
+            assert_eq!(back.bun(i), b.bun(i));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = Bat::empty(crate::value::ColType::Int);
+        let (frags, _) = partition_by_bytes(&empty, 10).unwrap();
+        assert_eq!(frags.len(), 1);
+        assert!(partition_by_rows(&big(), 0).is_err());
+        assert!(partition_by_bytes(&big(), 0).is_err());
+    }
+
+    #[test]
+    fn fragment_names() {
+        assert_eq!(fragment_name("lineitem", "l_orderkey", 3), "lineitem.l_orderkey#3");
+    }
+}

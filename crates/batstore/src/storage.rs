@@ -1,0 +1,270 @@
+//! Binary persistence for BATs: the "cold data on attached disks" that
+//! the Data Cyclotron's per-node data loader pulls from when a BAT is
+//! (re-)loaded into the ring (paper §4.2.1, outcome 4 of Fig. 3).
+//!
+//! Format (little-endian, version 1):
+//! ```text
+//! magic   "DCB1"
+//! u8      head type tag | u8 tail type tag
+//! u64     row count
+//! head column payload, tail column payload
+//! ```
+//! Column payloads: `Void` stores only the seq; fixed-width types store
+//! the raw vector; `Str` stores offsets then bytes.
+
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::error::{BatError, Result};
+use crate::heap::StrCol;
+use crate::value::ColType;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"DCB1";
+
+fn type_tag(t: ColType) -> u8 {
+    match t {
+        ColType::Void => 0,
+        ColType::Oid => 1,
+        ColType::Int => 2,
+        ColType::Lng => 3,
+        ColType::Dbl => 4,
+        ColType::Str => 5,
+        ColType::Bool => 6,
+        ColType::Date => 7,
+    }
+}
+
+fn tag_type(b: u8) -> Result<ColType> {
+    Ok(match b {
+        0 => ColType::Void,
+        1 => ColType::Oid,
+        2 => ColType::Int,
+        3 => ColType::Lng,
+        4 => ColType::Dbl,
+        5 => ColType::Str,
+        6 => ColType::Bool,
+        7 => ColType::Date,
+        other => return Err(BatError::Corrupt(format!("unknown type tag {other}"))),
+    })
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_column(w: &mut impl Write, c: &Column) -> Result<()> {
+    match c {
+        Column::Void { seq, .. } => write_u64(w, *seq)?,
+        Column::Oid(v) => {
+            for x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Column::Int(v) => {
+            for x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Column::Lng(v) => {
+            for x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Column::Dbl(v) => {
+            for x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Column::Str(s) => {
+            let (offs, bytes) = s.raw_parts();
+            write_u64(w, offs.len() as u64)?;
+            for o in offs {
+                w.write_all(&o.to_le_bytes())?;
+            }
+            write_u64(w, bytes.len() as u64)?;
+            w.write_all(bytes)?;
+        }
+        Column::Bool(v) => {
+            for &x in v {
+                w.write_all(&[x as u8])?;
+            }
+        }
+        Column::Date(v) => {
+            for x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_column(r: &mut impl Read, ty: ColType, len: usize) -> Result<Column> {
+    fn read_vec<const W: usize, T>(
+        r: &mut impl Read,
+        len: usize,
+        decode: impl Fn([u8; W]) -> T,
+    ) -> Result<Vec<T>> {
+        let mut out = Vec::with_capacity(len);
+        let mut buf = [0u8; W];
+        for _ in 0..len {
+            r.read_exact(&mut buf)?;
+            out.push(decode(buf));
+        }
+        Ok(out)
+    }
+    Ok(match ty {
+        ColType::Void => Column::Void { seq: read_u64(r)?, len },
+        ColType::Oid => Column::Oid(read_vec(r, len, u64::from_le_bytes)?),
+        ColType::Int => Column::Int(read_vec(r, len, i32::from_le_bytes)?),
+        ColType::Lng => Column::Lng(read_vec(r, len, i64::from_le_bytes)?),
+        ColType::Dbl => Column::Dbl(read_vec(r, len, f64::from_le_bytes)?),
+        ColType::Str => {
+            let noffs = read_u64(r)? as usize;
+            if noffs != len + 1 {
+                return Err(BatError::Corrupt(format!(
+                    "str offsets {noffs} disagree with row count {len}"
+                )));
+            }
+            let offs = read_vec(r, noffs, u32::from_le_bytes)?;
+            let nbytes = read_u64(r)? as usize;
+            let mut bytes = vec![0u8; nbytes];
+            r.read_exact(&mut bytes)?;
+            Column::Str(StrCol::from_raw_parts(offs, bytes).map_err(BatError::Corrupt)?)
+        }
+        ColType::Bool => Column::Bool(read_vec(r, len, |b: [u8; 1]| b[0] != 0)?),
+        ColType::Date => Column::Date(read_vec(r, len, i32::from_le_bytes)?),
+    })
+}
+
+/// Serialize a BAT to any writer.
+pub fn write_bat(w: &mut impl Write, bat: &Bat) -> Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[type_tag(bat.head_type()), type_tag(bat.tail_type())])?;
+    write_u64(w, bat.count() as u64)?;
+    write_column(w, bat.head())?;
+    write_column(w, bat.tail())?;
+    Ok(())
+}
+
+/// Deserialize a BAT from any reader.
+pub fn read_bat(r: &mut impl Read) -> Result<Bat> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(BatError::Corrupt("bad magic".into()));
+    }
+    let mut tags = [0u8; 2];
+    r.read_exact(&mut tags)?;
+    let (ht, tt) = (tag_type(tags[0])?, tag_type(tags[1])?);
+    let len = read_u64(r)? as usize;
+    let head = read_column(r, ht, len)?;
+    let tail = read_column(r, tt, len)?;
+    Bat::new(head, tail)
+}
+
+/// Save to a file (buffered).
+pub fn save_bat(path: &Path, bat: &Bat) -> Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    write_bat(&mut w, bat)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load from a file (buffered).
+pub fn load_bat(path: &Path) -> Result<Bat> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_bat(&mut r)
+}
+
+/// In-memory round-trip used by the ring transports to ship BAT payloads.
+pub fn bat_to_bytes(bat: &Bat) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bat.byte_size() + 32);
+    write_bat(&mut out, bat).expect("Vec<u8> writes are infallible");
+    out
+}
+
+pub fn bat_from_bytes(bytes: &[u8]) -> Result<Bat> {
+    read_bat(&mut std::io::Cursor::new(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Val;
+
+    fn samples() -> Vec<Bat> {
+        vec![
+            Bat::dense(Column::from(vec![1, 2, 3])),
+            Bat::dense(Column::from(vec![1i64 << 40, -5])),
+            Bat::dense(Column::from(vec![1.5, -2.25])),
+            Bat::dense(Column::from(vec!["hello", "", "wörld"])),
+            Bat::new(Column::Oid(vec![5, 9]), Column::Bool(vec![true, false])).unwrap(),
+            Bat::new(Column::from(vec![7i32]), Column::Date(vec![19000])).unwrap(),
+            Bat::empty(ColType::Int),
+            Bat::dense_from(100, Column::from(vec![42])),
+        ]
+    }
+
+    #[test]
+    fn bytes_round_trip_all_types() {
+        for b in samples() {
+            let bytes = bat_to_bytes(&b);
+            let back = bat_from_bytes(&bytes).unwrap();
+            assert_eq!(back.count(), b.count());
+            for i in 0..b.count() {
+                assert_eq!(back.bun(i), b.bun(i));
+            }
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("batstore_test_file_rt");
+        let path = dir.join("x.bat");
+        let b = Bat::dense(Column::from(vec!["persist", "me"]));
+        save_bat(&path, &b).unwrap();
+        let back = load_bat(&path).unwrap();
+        assert_eq!(back.bun(1).1, Val::Str("me".into()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = bat_to_bytes(&Bat::dense(Column::from(vec![1])));
+        bytes[0] = b'X';
+        assert!(matches!(bat_from_bytes(&bytes), Err(BatError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = bat_to_bytes(&Bat::dense(Column::from(vec![1, 2, 3])));
+        assert!(bat_from_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut bytes = bat_to_bytes(&Bat::dense(Column::from(vec![1])));
+        bytes[5] = 99;
+        assert!(bat_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn void_head_stays_virtual() {
+        let b = Bat::dense_from(7, Column::from(vec![1, 2]));
+        let back = bat_from_bytes(&bat_to_bytes(&b)).unwrap();
+        assert_eq!(back.head_type(), ColType::Void);
+        assert_eq!(back.bun(0).0, Val::Oid(7));
+    }
+}

@@ -1,0 +1,255 @@
+//! Scalar values and column types.
+//!
+//! `Val` is the boxed scalar used at the edges of the kernel (constants in
+//! plans, result rendering); the hot paths operate on typed vectors and
+//! never materialize `Val`s.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The base types supported by the kernel. `Void` is the virtual dense
+/// OID sequence MonetDB uses for heads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ColType {
+    Void,
+    Oid,
+    Int,
+    Lng,
+    Dbl,
+    Str,
+    Bool,
+    Date,
+}
+
+impl ColType {
+    pub fn name(self) -> &'static str {
+        match self {
+            ColType::Void => "void",
+            ColType::Oid => "oid",
+            ColType::Int => "int",
+            ColType::Lng => "lng",
+            ColType::Dbl => "dbl",
+            ColType::Str => "str",
+            ColType::Bool => "bit",
+            ColType::Date => "date",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<ColType> {
+        Some(match s {
+            "void" => ColType::Void,
+            "oid" => ColType::Oid,
+            "int" => ColType::Int,
+            "lng" | "bigint" => ColType::Lng,
+            "dbl" | "double" | "decimal" => ColType::Dbl,
+            "str" | "varchar" | "char" | "clob" => ColType::Str,
+            "bit" | "bool" | "boolean" => ColType::Bool,
+            "date" => ColType::Date,
+            _ => return None,
+        })
+    }
+
+    /// Fixed width in bytes of one element as stored (strings report the
+    /// pointer-side cost; their bytes live in the heap).
+    pub fn elem_width(self) -> usize {
+        match self {
+            ColType::Void => 0,
+            ColType::Oid | ColType::Lng | ColType::Dbl => 8,
+            ColType::Int | ColType::Date => 4,
+            ColType::Str => 4, // offset entry
+            ColType::Bool => 1,
+        }
+    }
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A scalar value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Val {
+    Nil,
+    Oid(u64),
+    Int(i32),
+    Lng(i64),
+    Dbl(f64),
+    Str(String),
+    Bool(bool),
+    /// Days since 1970-01-01 (proleptic).
+    Date(i32),
+}
+
+impl Val {
+    pub fn col_type(&self) -> Option<ColType> {
+        Some(match self {
+            Val::Nil => return None,
+            Val::Oid(_) => ColType::Oid,
+            Val::Int(_) => ColType::Int,
+            Val::Lng(_) => ColType::Lng,
+            Val::Dbl(_) => ColType::Dbl,
+            Val::Str(_) => ColType::Str,
+            Val::Bool(_) => ColType::Bool,
+            Val::Date(_) => ColType::Date,
+        })
+    }
+
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Val::Nil)
+    }
+
+    /// Numeric view for cross-type comparisons (int/lng/dbl/oid/date).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self {
+            Val::Oid(v) => *v as f64,
+            Val::Int(v) => *v as f64,
+            Val::Lng(v) => *v as f64,
+            Val::Dbl(v) => *v,
+            Val::Date(v) => *v as f64,
+            Val::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            _ => return None,
+        })
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        Some(match self {
+            Val::Oid(v) => *v as i64,
+            Val::Int(v) => *v as i64,
+            Val::Lng(v) => *v,
+            Val::Date(v) => *v as i64,
+            _ => return None,
+        })
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total order with numeric coercion across numeric types; `Nil`
+    /// sorts first (MonetDB convention); mismatched non-numeric types are
+    /// incomparable (`None`).
+    pub fn try_cmp(&self, other: &Val) -> Option<Ordering> {
+        match (self, other) {
+            (Val::Nil, Val::Nil) => Some(Ordering::Equal),
+            (Val::Nil, _) => Some(Ordering::Less),
+            (_, Val::Nil) => Some(Ordering::Greater),
+            (Val::Str(a), Val::Str(b)) => Some(a.as_str().cmp(b.as_str())),
+            (Val::Bool(a), Val::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Nil => write!(f, "nil"),
+            Val::Oid(v) => write!(f, "{v}@0"),
+            Val::Int(v) => write!(f, "{v}"),
+            Val::Lng(v) => write!(f, "{v}"),
+            Val::Dbl(v) => write!(f, "{v}"),
+            Val::Str(s) => write!(f, "\"{s}\""),
+            Val::Bool(b) => write!(f, "{b}"),
+            Val::Date(d) => write!(f, "date({d})"),
+        }
+    }
+}
+
+impl From<i32> for Val {
+    fn from(v: i32) -> Self {
+        Val::Int(v)
+    }
+}
+impl From<i64> for Val {
+    fn from(v: i64) -> Self {
+        Val::Lng(v)
+    }
+}
+impl From<f64> for Val {
+    fn from(v: f64) -> Self {
+        Val::Dbl(v)
+    }
+}
+impl From<&str> for Val {
+    fn from(v: &str) -> Self {
+        Val::Str(v.to_string())
+    }
+}
+impl From<String> for Val {
+    fn from(v: String) -> Self {
+        Val::Str(v)
+    }
+}
+impl From<bool> for Val {
+    fn from(v: bool) -> Self {
+        Val::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_round_trip() {
+        for t in [
+            ColType::Void,
+            ColType::Oid,
+            ColType::Int,
+            ColType::Lng,
+            ColType::Dbl,
+            ColType::Str,
+            ColType::Bool,
+            ColType::Date,
+        ] {
+            assert_eq!(ColType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(ColType::from_name("varchar"), Some(ColType::Str));
+        assert_eq!(ColType::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(Val::Int(3).try_cmp(&Val::Lng(3)), Some(Ordering::Equal));
+        assert_eq!(Val::Int(3).try_cmp(&Val::Dbl(3.5)), Some(Ordering::Less));
+        assert_eq!(Val::Lng(10).try_cmp(&Val::Int(2)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn nil_sorts_first() {
+        assert_eq!(Val::Nil.try_cmp(&Val::Int(i32::MIN)), Some(Ordering::Less));
+        assert_eq!(Val::Int(0).try_cmp(&Val::Nil), Some(Ordering::Greater));
+        assert_eq!(Val::Nil.try_cmp(&Val::Nil), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert_eq!(Val::from("abc").try_cmp(&Val::from("abd")), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn incomparable_types() {
+        assert_eq!(Val::from("x").try_cmp(&Val::Int(1)), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Val::Oid(7).to_string(), "7@0");
+        assert_eq!(Val::from("hi").to_string(), "\"hi\"");
+        assert_eq!(Val::Nil.to_string(), "nil");
+    }
+}

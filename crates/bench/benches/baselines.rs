@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the §7 baseline machinery
+//! (`dc-broadcast`): schedule generation, the push-pump event loop, and
+//! the pull server's scheduling policies. These bound the simulation
+//! cost of `exp_baselines`, and the schedule generator is the only
+//! piece with super-linear potential (LCM chunk interleaving).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datacyclotron::BatId;
+use dc_broadcast::{
+    partition_by_popularity, BroadcastSim, ChannelConfig, OnDemandSim, PullPolicy, Schedule,
+};
+use dc_workloads::{Dataset, ExecModel, QuerySpec};
+use netsim::{SimDuration, SimTime};
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    // The paper-scale database: 1000 items over three disks.
+    let pop: Vec<(BatId, f64)> =
+        (0..1000u32).map(|i| (BatId(i), f64::from(1000 - i))).collect();
+    c.bench_function("bdisk_schedule_1000_items_3_disks", |b| {
+        b.iter(|| {
+            let disks = partition_by_popularity(black_box(&pop), &[(250, 8), (200, 2)]);
+            black_box(Schedule::broadcast_disks(&disks).unwrap())
+        });
+    });
+    c.bench_function("flat_schedule_1000_items", |b| {
+        let items: Vec<BatId> = (0..1000).map(BatId).collect();
+        b.iter(|| black_box(Schedule::flat(black_box(&items)).unwrap()));
+    });
+}
+
+fn dataset(n: usize) -> Dataset {
+    Dataset { sizes: vec![1 << 20; n], owners: vec![0; n] }
+}
+
+fn queries(n_queries: usize, n_items: u32) -> Vec<QuerySpec> {
+    (0..n_queries)
+        .map(|i| QuerySpec {
+            arrival: SimTime::from_millis(i as u64),
+            node: 0,
+            needs: vec![BatId(i as u32 * 17 % n_items)],
+            model: ExecModel::PerBat { proc: vec![SimDuration::from_millis(1)] },
+            tag: 0,
+        })
+        .collect()
+}
+
+fn bench_push_run(c: &mut Criterion) {
+    let items: Vec<BatId> = (0..200).map(BatId).collect();
+    c.bench_function("push_sim_1k_queries_200_items", |b| {
+        b.iter(|| {
+            let sim = BroadcastSim::new(
+                Schedule::flat(&items).unwrap(),
+                dataset(200),
+                queries(1000, 200),
+                ChannelConfig::default(),
+            );
+            black_box(sim.run())
+        });
+    });
+}
+
+fn bench_pull_run(c: &mut Criterion) {
+    for (name, policy) in
+        [("pull_fcfs_1k_queries", PullPolicy::Fcfs), ("pull_mrf_1k_queries", PullPolicy::Mrf)]
+    {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let sim = OnDemandSim::new(
+                    dataset(200),
+                    queries(1000, 200),
+                    ChannelConfig::default(),
+                    policy,
+                );
+                black_box(sim.run())
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_schedule_generation, bench_push_run, bench_pull_run);
+criterion_main!(benches);

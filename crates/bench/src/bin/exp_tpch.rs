@@ -1,0 +1,114 @@
+//! Table 4 — TPC-H SF-5: execution time, throughput, throughput per
+//! node, and CPU utilization for the MonetDB baseline and rings of 1–8
+//! nodes. 1200 queries per node at 8 q/s, query classes drawn from
+//! N(10, 2²), 4 cores per node, operator segments scheduled per the
+//! paper's calibration rule.
+
+use dc_workloads::tpch::{self, monetdb_baseline_secs, TpchParams};
+use netsim::SimDuration;
+use ringsim::report::{write_csv, AsciiTable};
+use ringsim::{Measurements, RingSim, SimParams};
+
+fn run_ring(nodes: usize, params: &TpchParams, seed: u64) -> (Measurements, f64) {
+    let w = tpch::generate(params, nodes, seed);
+    let total_work: f64 = w.queries.iter().map(|q| q.net_work().as_secs_f64()).sum();
+    let mut sp = SimParams { cores_per_node: Some(4), horizon: SimDuration::from_secs(3_000), ..SimParams::default() };
+    // §5.4: "we assume that all nodes have ample main memory" — a passed
+    // fragment stays cached for every later pin on the node.
+    sp.dc.cache_capacity = 16 << 30;
+    // The paper assumes ample memory for intermediates; pins are the only
+    // waits. Sample sparsely: this run is long.
+    sp.sample = SimDuration::from_secs(5);
+    let m = RingSim::new(nodes.max(2), w.dataset, w.queries, sp).run();
+    (m, total_work)
+}
+
+/// The 1-node row needs no ring: all fragments are local, so every pin
+/// resolves instantly and a query is one contiguous block of CPU work on
+/// the 4-core timeline (the paper's "optimal parallelization", 99.7%).
+fn single_node(params: &TpchParams, seed: u64) -> (f64, f64, f64) {
+    let w = tpch::generate(params, 1, seed);
+    let mut cores = ringsim::CoreSched::new(4);
+    let mut last_end = netsim::SimTime::ZERO;
+    for q in &w.queries {
+        let end = cores.schedule(q.arrival, q.net_work());
+        last_end = last_end.max(end);
+    }
+    let makespan = last_end.as_secs_f64();
+    let total_work: f64 = w.queries.iter().map(|q| q.net_work().as_secs_f64()).sum();
+    let util = total_work / (4.0 * makespan);
+    (makespan, w.queries.len() as f64 / makespan, util)
+}
+
+fn main() {
+    let scale = dc_bench::scale();
+    dc_bench::banner("TPC-H SF-5 calibration", "Table 4");
+
+    let params = TpchParams {
+        queries_per_node: (1200.0 * scale) as usize,
+        ..TpchParams::default()
+    };
+    println!("\n{} queries per node at 8 q/s\n", params.queries_per_node);
+
+    let mut table = AsciiTable::new(&["#nodes", "exec(sec)", "throughput", "throughP/node", "CPU%"]);
+    let mut csv = String::from("nodes,exec_sec,throughput,throughput_per_node,cpu_pct\n");
+
+    // MonetDB baseline row (real-DBMS inefficiency model; DESIGN.md §4).
+    {
+        let w = tpch::generate(&params, 1, 1);
+        let total_work: f64 = w.queries.iter().map(|q| q.net_work().as_secs_f64()).sum();
+        let exec = monetdb_baseline_secs(total_work, 4, 0.70);
+        let thr = w.queries.len() as f64 / exec;
+        table.row(&[
+            "MonetDB".into(),
+            format!("{exec:.0}"),
+            format!("{thr:.1}"),
+            format!("{thr:.1}"),
+            "70".into(),
+        ]);
+        csv.push_str(&format!("0,{exec:.1},{thr:.2},{thr:.2},70\n"));
+    }
+
+    // 1 node: perfect local scheduling (the paper's 317 s / 99.7%).
+    {
+        let (exec, thr, util) = single_node(&params, 1);
+        table.row(&[
+            "1".into(),
+            format!("{exec:.0}"),
+            format!("{thr:.1}"),
+            format!("{thr:.1}"),
+            format!("{:.1}", util * 100.0),
+        ]);
+        csv.push_str(&format!("1,{exec:.1},{thr:.2},{thr:.2},{:.1}\n", util * 100.0));
+    }
+
+    // 2–8 nodes: the ring adds data-access latency.
+    for nodes in 2..=8 {
+        eprint!("ring of {nodes} … ");
+        let (m, _work) = run_ring(nodes, &params, 1);
+        let exec = m.makespan;
+        let thr = m.completed as f64 / exec;
+        let per_node = thr / nodes as f64;
+        let cpu = m.cpu_utilization * 100.0;
+        eprintln!("exec {exec:.0}s, {} done, {} failed", m.completed, m.failed);
+        table.row(&[
+            format!("{nodes}"),
+            format!("{exec:.1}"),
+            format!("{thr:.1}"),
+            format!("{per_node:.1}"),
+            format!("{cpu:.1}"),
+        ]);
+        csv.push_str(&format!("{nodes},{exec:.1},{thr:.2},{per_node:.2},{cpu:.1}\n"));
+    }
+
+    println!("{}", table.render());
+    let p = write_csv("table4_tpch.csv", &csv).unwrap();
+    println!("Table 4 CSV: {}", p.display());
+
+    println!(
+        "\nShape checks (paper): throughput grows ~linearly with nodes; \
+         throughput/node plateaus around 3.4; execution time rises modestly \
+         from the 1-node optimum; CPU% decays slowly from ~99% as network \
+         latency adds idle time."
+    );
+}

@@ -1,0 +1,262 @@
+//! Client-side cache management for broadcast clients — the second half
+//! of the Broadcast Disks contribution (\[1\]: "client-side storage
+//! management algorithms for data caching and prefetching tailored to
+//! the multi-disk broadcast").
+//!
+//! Two replacement policies:
+//!
+//! * [`CachePolicy::Lru`] — classic recency, the strawman \[1\] argues
+//!   against;
+//! * [`CachePolicy::Pix`] — **P**robability **I**nverse fre**X**uency:
+//!   value a cached item by `p / x`, its local access rate over its
+//!   broadcast frequency. The insight: caching an item the channel
+//!   replays constantly is nearly worthless (a miss costs half its
+//!   short period), while a slow-disk item is expensive to miss — so
+//!   the cache should prefer *rarely broadcast* items even when they
+//!   are accessed a little less often.
+//!
+//! The access-probability estimate is a per-item exponential moving
+//! average of observed access gaps, which is what a client can actually
+//! measure (\[1\] assumes known probabilities; an EWMA is the standard
+//! online stand-in).
+
+use datacyclotron::BatId;
+use netsim::SimTime;
+use std::collections::HashMap;
+
+/// Replacement policy for [`ClientCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Evict the least-recently-used item.
+    #[default]
+    Lru,
+    /// Evict the item with the lowest access-rate / broadcast-frequency
+    /// ratio (keep what is hard to re-acquire).
+    Pix,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    size: u64,
+    last_access: SimTime,
+    /// Exponentially weighted access rate (events per second).
+    rate: f64,
+}
+
+/// A per-client broadcast cache.
+#[derive(Debug)]
+pub struct ClientCache {
+    policy: CachePolicy,
+    capacity: u64,
+    used: u64,
+    entries: HashMap<BatId, Entry>,
+    /// Monotone counter breaking exact score ties deterministically.
+    tick: u64,
+    order: HashMap<BatId, u64>,
+}
+
+impl ClientCache {
+    pub fn new(capacity: u64, policy: CachePolicy) -> Self {
+        ClientCache {
+            policy,
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            tick: 0,
+            order: HashMap::new(),
+        }
+    }
+
+    pub fn contains(&self, bat: BatId) -> bool {
+        self.entries.contains_key(&bat)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Record a hit (the caller served the access from cache).
+    pub fn touch(&mut self, bat: BatId, now: SimTime) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.get_mut(&bat) {
+            bump_rate(e, now);
+            self.order.insert(bat, tick);
+        }
+    }
+
+    /// Offer an item received from the channel. Returns true if cached
+    /// (possibly after evictions). `frequency_of(bat)` is the item's
+    /// appearances per major broadcast cycle — the `x` in PIX.
+    pub fn admit(
+        &mut self,
+        bat: BatId,
+        size: u64,
+        now: SimTime,
+        frequency_of: &dyn Fn(BatId) -> usize,
+    ) -> bool {
+        if size > self.capacity {
+            return false;
+        }
+        if self.entries.contains_key(&bat) {
+            self.touch(bat, now);
+            return true;
+        }
+        // Evict until the newcomer fits — but never evict a victim the
+        // policy scores *higher* than the newcomer.
+        let new_score = self.score_new(bat, now, frequency_of);
+        while self.used + size > self.capacity {
+            let Some((victim, victim_score)) = self.victim(now, frequency_of) else {
+                return false;
+            };
+            if victim_score > new_score {
+                return false;
+            }
+            let e = self.entries.remove(&victim).expect("victim exists");
+            self.order.remove(&victim);
+            self.used -= e.size;
+        }
+        self.tick += 1;
+        self.order.insert(bat, self.tick);
+        self.entries.insert(
+            bat,
+            Entry { size, last_access: now, rate: 1.0 },
+        );
+        self.used += size;
+        true
+    }
+
+    /// Score of a prospective entry under the active policy.
+    fn score_new(&self, bat: BatId, _now: SimTime, frequency_of: &dyn Fn(BatId) -> usize) -> f64 {
+        match self.policy {
+            // LRU: a fresh access is maximally recent — always admit.
+            CachePolicy::Lru => f64::INFINITY,
+            CachePolicy::Pix => 1.0 / frequency_of(bat).max(1) as f64,
+        }
+    }
+
+    /// The policy's eviction candidate and its score.
+    fn victim(&self, now: SimTime, frequency_of: &dyn Fn(BatId) -> usize) -> Option<(BatId, f64)> {
+        let mut best: Option<(BatId, f64, u64)> = None;
+        for (&bat, e) in &self.entries {
+            let score = match self.policy {
+                CachePolicy::Lru => e.last_access.as_secs_f64(),
+                CachePolicy::Pix => {
+                    let age = (now.since(e.last_access).as_secs_f64()).max(1e-9);
+                    // Rate decays with idle age so stale entries lose
+                    // value even without new observations.
+                    let p = e.rate / (1.0 + age);
+                    p / frequency_of(bat).max(1) as f64
+                }
+            };
+            let ord = self.order.get(&bat).copied().unwrap_or(0);
+            let better = match best {
+                None => true,
+                Some((_, s, o)) => score < s || (score == s && ord < o),
+            };
+            if better {
+                best = Some((bat, score, ord));
+            }
+        }
+        best.map(|(b, s, _)| (b, s))
+    }
+}
+
+fn bump_rate(e: &mut Entry, now: SimTime) {
+    let gap = now.since(e.last_access).as_secs_f64().max(1e-6);
+    let inst = 1.0 / gap;
+    e.rate = 0.5 * e.rate + 0.5 * inst;
+    e.last_access = now;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn admits_within_capacity() {
+        let mut c = ClientCache::new(100, CachePolicy::Lru);
+        assert!(c.admit(BatId(1), 60, t(0), &|_| 1));
+        assert!(c.admit(BatId(2), 40, t(1), &|_| 1));
+        assert_eq!(c.used_bytes(), 100);
+        assert!(c.contains(BatId(1)) && c.contains(BatId(2)));
+        // Oversized item always refused.
+        assert!(!c.admit(BatId(3), 101, t(2), &|_| 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = ClientCache::new(100, CachePolicy::Lru);
+        c.admit(BatId(1), 50, t(0), &|_| 1);
+        c.admit(BatId(2), 50, t(1), &|_| 1);
+        c.touch(BatId(1), t(2)); // 1 is now more recent than 2
+        assert!(c.admit(BatId(3), 50, t(3), &|_| 1));
+        assert!(c.contains(BatId(1)), "recently touched survives");
+        assert!(!c.contains(BatId(2)), "LRU victim");
+        assert!(c.contains(BatId(3)));
+    }
+
+    #[test]
+    fn pix_keeps_rarely_broadcast_items() {
+        // Item 1 spins 8× per cycle (cheap to miss), item 2 once.
+        let freq = |b: BatId| if b == BatId(1) { 8 } else { 1 };
+        let mut c = ClientCache::new(50, CachePolicy::Pix);
+        c.admit(BatId(2), 50, t(0), &freq);
+        c.touch(BatId(2), t(1));
+        // Equal access behavior, but item 1's p/x is 8× smaller: the
+        // incumbent slow-disk item is worth more — newcomer refused.
+        assert!(!c.admit(BatId(1), 50, t(2), &freq));
+        assert!(c.contains(BatId(2)));
+        // Under LRU the newcomer would win.
+        let mut l = ClientCache::new(50, CachePolicy::Lru);
+        l.admit(BatId(2), 50, t(0), &freq);
+        l.touch(BatId(2), t(1));
+        assert!(l.admit(BatId(1), 50, t(2), &freq));
+        assert!(!l.contains(BatId(2)));
+    }
+
+    #[test]
+    fn pix_evicts_fast_disk_item_for_slow_disk_item() {
+        let freq = |b: BatId| if b == BatId(1) { 8 } else { 1 };
+        let mut c = ClientCache::new(50, CachePolicy::Pix);
+        c.admit(BatId(1), 50, t(0), &freq);
+        c.touch(BatId(1), t(1));
+        // The slow-disk item displaces it despite the incumbent being
+        // recently used.
+        assert!(c.admit(BatId(2), 50, t(2), &freq));
+        assert!(c.contains(BatId(2)));
+        assert!(!c.contains(BatId(1)));
+    }
+
+    #[test]
+    fn stale_pix_entries_decay() {
+        let freq = |_| 1;
+        let mut c = ClientCache::new(50, CachePolicy::Pix);
+        c.admit(BatId(1), 50, t(0), &freq);
+        // 1000 s of silence: the entry's effective rate decays far
+        // below a fresh item's value, so the newcomer wins.
+        assert!(c.admit(BatId(2), 50, t(1000), &freq));
+        assert!(c.contains(BatId(2)));
+    }
+
+    #[test]
+    fn re_admission_is_a_touch() {
+        let mut c = ClientCache::new(100, CachePolicy::Lru);
+        c.admit(BatId(1), 60, t(0), &|_| 1);
+        assert!(c.admit(BatId(1), 60, t(5), &|_| 1), "already cached");
+        assert_eq!(c.used_bytes(), 60, "no double accounting");
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,361 @@
+//! IPP — Interleaved Push and Pull (\[2\], Acharya/Franklin/Zdonik,
+//! SIGMOD 1997): the hybrid the paper's §7 cites for the push/pull
+//! threshold analysis. *"The IPP algorithm, a merge between both
+//! extremes pull- and push-based algorithm, provided reasonably
+//! consistent performance over the entire spectrum of the system load."*
+//!
+//! Model: the server interleaves its fixed broadcast program with a
+//! consolidated on-demand queue — after every pushed slot it serves one
+//! queued request, if any (an empty queue cedes the slot back to the
+//! program). Clients both listen passively *and* send explicit requests
+//! up the back channel, so:
+//!
+//! * at light load the pull queue is short and a request is served
+//!   within ~one slot — pull-like latency;
+//! * at saturation consolidation caps the queue at the database size
+//!   and the interleave degenerates into a (half-rate) full broadcast —
+//!   push-like latency, instead of pull's collapse.
+//!
+//! An item broadcast by either path serves all waiters and cancels its
+//! pending pull entry (no double transmission).
+
+use crate::measure::BcastMeasurements;
+use crate::schedule::Schedule;
+use crate::sim::ChannelConfig;
+use datacyclotron::BatId;
+use dc_workloads::{Dataset, ExecModel, QuerySpec};
+use netsim::{EventQueue, SimTime};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+enum Ev {
+    Arrive(usize),
+    ReqAtServer { item: BatId },
+    /// The channel finished transmitting an item (either path).
+    TxDone { item: BatId, was_pull: bool },
+    ProcDone { q: usize },
+}
+
+struct QueryState {
+    outstanding: usize,
+    finished: bool,
+}
+
+/// The interleaved push/pull simulator.
+pub struct IppSim {
+    schedule: Schedule,
+    dataset: Dataset,
+    queries: Vec<QuerySpec>,
+    channel: ChannelConfig,
+    events: EventQueue<Ev>,
+    waiting: HashMap<BatId, Vec<(usize, usize)>>,
+    qstate: Vec<QueryState>,
+    /// Consolidated pull queue (FCFS over items).
+    pull_queue: VecDeque<BatId>,
+    queued: HashSet<BatId>,
+    /// Next slot of the push program.
+    next_seq: u64,
+    /// Alternation flag: true → the next idle slot goes to the pull
+    /// queue if non-empty.
+    pull_turn: bool,
+    busy: bool,
+    m: BcastMeasurements,
+}
+
+impl IppSim {
+    pub fn new(
+        schedule: Schedule,
+        dataset: Dataset,
+        queries: Vec<QuerySpec>,
+        channel: ChannelConfig,
+    ) -> Self {
+        let mut events = EventQueue::new();
+        for (q, spec) in queries.iter().enumerate() {
+            spec.validate().expect("invalid query spec");
+            assert!(
+                matches!(spec.model, ExecModel::PerBat { .. }),
+                "broadcast baselines model PerBat workloads"
+            );
+            for &need in &spec.needs {
+                assert!(
+                    schedule.frequency_of(need) > 0,
+                    "query needs item {} missing from the broadcast program",
+                    need.0
+                );
+            }
+            events.schedule(spec.arrival, Ev::Arrive(q));
+        }
+        let qstate = queries
+            .iter()
+            .map(|s| QueryState { outstanding: s.needs.len(), finished: false })
+            .collect();
+        IppSim {
+            schedule,
+            dataset,
+            queries,
+            channel,
+            events,
+            waiting: HashMap::new(),
+            qstate,
+            pull_queue: VecDeque::new(),
+            queued: HashSet::new(),
+            next_seq: 0,
+            pull_turn: false,
+            busy: false,
+            m: BcastMeasurements::default(),
+        }
+    }
+
+    /// Run until every query completes.
+    pub fn run(mut self) -> BcastMeasurements {
+        let total = self.queries.len();
+        let mut completed = 0usize;
+        while let Some((now, ev)) = self.events.pop() {
+            match ev {
+                Ev::Arrive(q) => self.on_arrive(now, q),
+                Ev::ReqAtServer { item } => {
+                    self.m.requests_received += 1;
+                    if self.queued.insert(item) {
+                        self.pull_queue.push_back(item);
+                    } else {
+                        self.m.coalesced_serves += 1;
+                    }
+                    if !self.busy {
+                        self.start_next(now);
+                    }
+                }
+                Ev::TxDone { item, was_pull } => self.on_tx_done(now, item, was_pull),
+                Ev::ProcDone { q } => {
+                    if self.on_proc_done(now, q) {
+                        completed += 1;
+                        if completed == total {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.m.completed = completed;
+        self.m.failed = total - completed;
+        self.m
+    }
+
+    fn on_arrive(&mut self, now: SimTime, q: usize) {
+        let needs = self.queries[q].needs.clone();
+        for (i, &need) in needs.iter().enumerate() {
+            self.waiting.entry(need).or_default().push((q, i));
+            // Listen *and* pull: the explicit request lets the item jump
+            // the program via the interleave.
+            self.events.schedule(now + self.channel.delay, Ev::ReqAtServer { item: need });
+        }
+        if !self.busy {
+            self.start_next(now);
+        }
+    }
+
+    /// Transmit the next slot: alternate between the pull queue and the
+    /// push program; an empty pull queue cedes its turn.
+    fn start_next(&mut self, now: SimTime) {
+        // Idle entirely only when nothing is wanted anywhere.
+        if self.waiting.values().all(|w| w.is_empty()) && self.pull_queue.is_empty() {
+            self.busy = false;
+            return;
+        }
+        self.busy = true;
+        let take_pull = self.pull_turn && !self.pull_queue.is_empty();
+        self.pull_turn = !self.pull_turn;
+        if take_pull {
+            let item = self.pull_queue.pop_front().expect("checked non-empty");
+            self.queued.remove(&item);
+            let tx = self.channel.tx_time(self.dataset.size_of(item));
+            self.events.schedule(now + tx, Ev::TxDone { item, was_pull: true });
+        } else {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let item = self.schedule.item_at(seq);
+            let tx = self.channel.tx_time(self.dataset.size_of(item));
+            self.events.schedule(now + tx, Ev::TxDone { item, was_pull: false });
+        }
+    }
+
+    fn on_tx_done(&mut self, now: SimTime, item: BatId, was_pull: bool) {
+        self.m.items_broadcast += 1;
+        self.m.bytes_broadcast += self.dataset.size_of(item);
+        if was_pull {
+            self.m.pull_slots += 1;
+        } else {
+            self.m.push_slots += 1;
+            // The program just satisfied any queued pull for this item.
+            if self.queued.remove(&item) {
+                self.pull_queue.retain(|&b| b != item);
+            }
+        }
+        if let Some(waiters) = self.waiting.remove(&item) {
+            for (q, need_idx) in waiters {
+                let ExecModel::PerBat { proc } = &self.queries[q].model else {
+                    unreachable!("constructor rejects non-PerBat specs")
+                };
+                let done = now + self.channel.delay + proc[need_idx];
+                self.events.schedule(done, Ev::ProcDone { q });
+            }
+        }
+        self.start_next(now);
+    }
+
+    fn on_proc_done(&mut self, now: SimTime, q: usize) -> bool {
+        let st = &mut self.qstate[q];
+        st.outstanding -= 1;
+        if st.outstanding > 0 || st.finished {
+            return false;
+        }
+        st.finished = true;
+        let spec = &self.queries[q];
+        let lifetime = now.since(spec.arrival).as_secs_f64();
+        self.m.lifetimes.push((spec.arrival.as_secs_f64(), lifetime, spec.tag));
+        self.m.makespan = self.m.makespan.max(now.as_secs_f64());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::BroadcastSim;
+    use netsim::SimDuration;
+
+    fn dataset(n: usize, size: u64) -> Dataset {
+        Dataset { sizes: vec![size; n], owners: vec![0; n] }
+    }
+
+    fn one_query(arrival: SimTime, needs: Vec<BatId>, proc_ms: u64) -> QuerySpec {
+        let n = needs.len();
+        QuerySpec {
+            arrival,
+            node: 0,
+            needs,
+            model: ExecModel::PerBat {
+                proc: vec![SimDuration::from_millis(proc_ms); n],
+            },
+            tag: 0,
+        }
+    }
+
+    /// 1 MB at 8 Mb/s → 1 s per item; zero delay for easy arithmetic.
+    fn slow_channel() -> ChannelConfig {
+        ChannelConfig { bandwidth_bps: 8_000_000, delay: SimDuration::ZERO }
+    }
+
+    fn flat(n: u32) -> Schedule {
+        Schedule::flat(&(0..n).map(BatId).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn light_load_served_via_pull_slot() {
+        // 100-item program; a request for item 73 at t=0. Push slot 0
+        // (item 0) runs first, then the pull turn serves item 73: done
+        // at 2 s — not the 74 s the pure program would take.
+        let ds = dataset(100, 1_000_000);
+        let q = one_query(SimTime::ZERO, vec![BatId(73)], 0);
+        let m = IppSim::new(flat(100), ds, vec![q], slow_channel()).run();
+        assert_eq!(m.completed, 1);
+        assert!((m.lifetimes[0].1 - 2.0).abs() < 1e-6, "{}", m.lifetimes[0].1);
+        assert_eq!(m.pull_slots, 1);
+    }
+
+    #[test]
+    fn push_path_cancels_queued_pull() {
+        // Request item 1 while the pump is about to push it anyway: the
+        // push serves the waiter and the pull queue entry is cancelled —
+        // item 1 is transmitted exactly once.
+        let ds = dataset(3, 1_000_000);
+        // Queries: one for item 0 (starts the channel), one for item 1.
+        let q0 = one_query(SimTime::ZERO, vec![BatId(0)], 0);
+        let q1 = one_query(SimTime::from_millis(100), vec![BatId(1)], 0);
+        let m = IppSim::new(flat(3), ds, vec![q0, q1], slow_channel()).run();
+        assert_eq!(m.completed, 2);
+        let ones = m.items_broadcast;
+        // Slot sequence: push item 0 (serves q0; q1's request arrives
+        // meanwhile), pull turn → item 1 queued? The push program's next
+        // slot IS item 1 — either path serves q1 exactly once; total
+        // transmissions stay ≤ 3.
+        assert!(ones <= 3, "no duplicate transmissions: {ones}");
+    }
+
+    #[test]
+    fn consistent_across_load_spectrum() {
+        // The [2] headline: IPP tracks pull at light load and push at
+        // saturation, never collapsing. Compare the three systems at a
+        // light and a saturated operating point.
+        let n_items = 40u32;
+        let ds = dataset(n_items as usize, 1_000_000);
+        let mk_queries = |count: usize, gap_ms: u64| -> Vec<QuerySpec> {
+            (0..count)
+                .map(|i| {
+                    one_query(
+                        SimTime::from_millis(i as u64 * gap_ms),
+                        vec![BatId(i as u32 * 7 % n_items)],
+                        0,
+                    )
+                })
+                .collect()
+        };
+        let run_ipp = |qs: Vec<QuerySpec>| {
+            IppSim::new(flat(n_items), ds.clone(), qs, slow_channel()).run()
+        };
+        let run_push = |qs: Vec<QuerySpec>| {
+            BroadcastSim::new(flat(n_items), ds.clone(), qs, slow_channel()).run()
+        };
+
+        // Light: one query every 8 s on a 40 s cycle.
+        let light_ipp = run_ipp(mk_queries(6, 8_000));
+        let light_push = run_push(mk_queries(6, 8_000));
+        // An isolated IPP query pays at most one in-flight push slot
+        // before its pull turn (~2 slots total) — far below the ~half
+        // cycle a pure-push client waits.
+        assert!(
+            light_ipp.mean_lifetime() < light_push.mean_lifetime() / 2.0,
+            "light load: IPP {:.2}s must be pull-like, push {:.2}s",
+            light_ipp.mean_lifetime(),
+            light_push.mean_lifetime()
+        );
+
+        // Saturated: 400 queries in one second.
+        let heavy_ipp = run_ipp(mk_queries(400, 2));
+        let heavy_push = run_push(mk_queries(400, 2));
+        let ratio = heavy_ipp.mean_lifetime() / heavy_push.mean_lifetime();
+        assert!(
+            ratio < 2.5,
+            "saturation: IPP ({:.2}s) must stay push-like, got {ratio:.2}× push ({:.2}s)",
+            heavy_ipp.mean_lifetime(),
+            heavy_push.mean_lifetime()
+        );
+    }
+
+    #[test]
+    fn slots_interleave_under_demand() {
+        let ds = dataset(20, 1_000_000);
+        let queries: Vec<QuerySpec> = (0..30)
+            .map(|i| one_query(SimTime::from_millis(i * 50), vec![BatId((i % 20) as u32)], 0))
+            .collect();
+        let m = IppSim::new(flat(20), ds, queries, slow_channel()).run();
+        assert_eq!(m.completed, 30);
+        assert!(m.push_slots > 0, "program must progress");
+        assert!(m.pull_slots > 0, "pull queue must get turns");
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = dataset(10, 2_000_000);
+        let mk = || {
+            let queries: Vec<QuerySpec> = (0..25)
+                .map(|i| {
+                    one_query(SimTime::from_millis(i * 97), vec![BatId((i % 10) as u32)], 5)
+                })
+                .collect();
+            IppSim::new(flat(10), ds.clone(), queries, ChannelConfig::default()).run()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.lifetimes, b.lifetimes);
+        assert_eq!(a.push_slots, b.push_slots);
+        assert_eq!(a.pull_slots, b.pull_slots);
+    }
+}

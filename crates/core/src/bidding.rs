@@ -1,0 +1,141 @@
+//! §6.1 — nomadic queries and bidding.
+//!
+//! "Once the BAT requests are sent off, a query can start with a nomadic
+//! phase, 'chasing' the data requests upstream to find a more
+//! satisfactory node to settle for its execution. At each node visited,
+//! we ask for a bid to execute the query locally. The price is the
+//! result of a heuristic cost model for solving the query, based on its
+//! data needs and the node's current workload."
+
+use crate::ids::{BatId, NodeId};
+
+/// Inputs to a node's bid.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BidInput {
+    /// Fragments of the query's footprint owned (or cached) locally.
+    pub local_fragments: usize,
+    /// Total fragments the query needs.
+    pub total_fragments: usize,
+    /// Queries currently executing on the node.
+    pub active_queries: usize,
+    /// Cores available.
+    pub cores: usize,
+    /// BAT-queue load fraction in `[0, 1]`.
+    pub queue_load: f64,
+}
+
+/// The heuristic price (lower is better): pay for missing data locality,
+/// for CPU oversubscription, and for a congested outgoing queue.
+pub fn price(input: &BidInput) -> f64 {
+    let locality = if input.total_fragments == 0 {
+        1.0
+    } else {
+        input.local_fragments as f64 / input.total_fragments as f64
+    };
+    let cpu_pressure = if input.cores == 0 {
+        f64::INFINITY
+    } else {
+        input.active_queries as f64 / input.cores as f64
+    };
+    const W_DATA: f64 = 1.0;
+    const W_CPU: f64 = 0.5;
+    const W_QUEUE: f64 = 0.25;
+    W_DATA * (1.0 - locality) + W_CPU * cpu_pressure + W_QUEUE * input.queue_load.clamp(0.0, 2.0)
+}
+
+/// One node's bid.
+#[derive(Clone, Copy, Debug)]
+pub struct Bid {
+    pub node: NodeId,
+    pub price: f64,
+}
+
+/// Auction: pick the lowest price; ties broken by node id for
+/// determinism.
+pub fn choose(bids: &[Bid]) -> Option<NodeId> {
+    bids.iter()
+        .min_by(|a, b| {
+            a.price
+                .partial_cmp(&b.price)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.node.cmp(&b.node))
+        })
+        .map(|b| b.node)
+}
+
+/// Ring-level placement: bid every node on data locality (ownership of
+/// the footprint) and pick the cheapest. The live engine cannot cheaply
+/// observe remote CPU pressure, so the bid uses the data term; the
+/// simulator's richer variant also scores load.
+pub fn cheapest_node(ring: &crate::engine::Ring, bats: &[BatId]) -> usize {
+    let catalog = ring.ring_catalog();
+    let owner_counts = catalog.owner_counts(bats);
+    let bids: Vec<Bid> = (0..ring.len())
+        .map(|i| {
+            let node = NodeId(i as u16);
+            let input = BidInput {
+                local_fragments: owner_counts.get(&node).copied().unwrap_or(0),
+                total_fragments: bats.len(),
+                active_queries: 0,
+                cores: 1,
+                queue_load: 0.0,
+            };
+            Bid { node, price: price(&input) }
+        })
+        .collect();
+    choose(&bids).map(|n| n.0 as usize).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_dominates() {
+        let all_local = BidInput {
+            local_fragments: 4,
+            total_fragments: 4,
+            active_queries: 1,
+            cores: 4,
+            queue_load: 0.2,
+        };
+        let none_local = BidInput { local_fragments: 0, ..all_local };
+        assert!(price(&all_local) < price(&none_local));
+    }
+
+    #[test]
+    fn busy_node_prices_higher() {
+        let idle = BidInput {
+            local_fragments: 2,
+            total_fragments: 4,
+            active_queries: 0,
+            cores: 4,
+            queue_load: 0.0,
+        };
+        let busy = BidInput { active_queries: 16, ..idle };
+        assert!(price(&busy) > price(&idle));
+    }
+
+    #[test]
+    fn zero_cores_is_infinite() {
+        let b = BidInput { cores: 0, total_fragments: 1, ..Default::default() };
+        assert!(price(&b).is_infinite());
+    }
+
+    #[test]
+    fn choose_lowest_with_deterministic_ties() {
+        let bids = vec![
+            Bid { node: NodeId(2), price: 0.5 },
+            Bid { node: NodeId(0), price: 0.5 },
+            Bid { node: NodeId(1), price: 0.9 },
+        ];
+        assert_eq!(choose(&bids), Some(NodeId(0)));
+        assert_eq!(choose(&[]), None);
+    }
+
+    #[test]
+    fn empty_footprint_counts_as_full_locality() {
+        let b = BidInput { total_fragments: 0, cores: 1, ..Default::default() };
+        assert!(price(&b) < 0.01);
+    }
+}

@@ -1,0 +1,186 @@
+//! `dcsh` — an interactive SQL shell over a live Data Cyclotron ring.
+//!
+//! ```sh
+//! cargo run -p datacyclotron --bin dcsh            # 3-node ring
+//! DCSH_NODES=5 cargo run -p datacyclotron --bin dcsh
+//! echo "select count(*) from sales" | cargo run -p datacyclotron --bin dcsh
+//! ```
+//!
+//! Commands: `.help`, `.demo`, `.tables`, `.plan <sql>`, `.node <i>`,
+//! `.timing on|off`, `.stats`, `.quit`. Anything else is executed as SQL
+//! on the current node — the DC optimizer rewrites the plan and pins
+//! block until the fragments flow past.
+
+use batstore::Column;
+use datacyclotron::Ring;
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+struct Shell {
+    ring: Ring,
+    node: usize,
+    timing: bool,
+    tables: Vec<String>,
+    queries_run: u64,
+}
+
+impl Shell {
+    fn load_demo(&mut self) {
+        if !self.tables.is_empty() {
+            println!("demo data already loaded");
+            return;
+        }
+        let n = 1000;
+        let regions: Vec<&str> =
+            (0..n).map(|i| ["eu", "us", "ap", "af", "sa"][i % 5]).collect();
+        let amounts: Vec<i32> = (0..n).map(|i| ((i * 37 + 11) % 500) as i32).collect();
+        let quarters: Vec<i32> = (0..n).map(|i| (i % 4 + 1) as i32).collect();
+        let keys: Vec<i32> = (0..n as i32).collect();
+        self.ring
+            .load_table(
+                "sys",
+                "sales",
+                vec![
+                    ("k", Column::from(keys.clone())),
+                    ("region", Column::from(regions)),
+                    ("amount", Column::from(amounts)),
+                    ("quarter", Column::from(quarters)),
+                ],
+            )
+            .expect("load sales");
+        let labels: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "even" } else { "odd" }).collect();
+        self.ring
+            .load_table(
+                "sys",
+                "dims",
+                vec![("k", Column::from(keys)), ("label", Column::from(labels))],
+            )
+            .expect("load dims");
+        self.tables = vec!["sys.sales(k, region, amount, quarter)".into(), "sys.dims(k, label)".into()];
+        println!("loaded demo tables:");
+        for t in &self.tables {
+            println!("  {t}");
+        }
+    }
+
+    fn command(&mut self, line: &str) -> bool {
+        let mut parts = line.splitn(2, ' ');
+        let cmd = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        match cmd {
+            ".help" => {
+                println!(".demo            load the demo tables");
+                println!(".tables          list loaded tables");
+                println!(".plan <sql>      show the MAL plan and its DC rewrite");
+                println!(".node <i>        settle queries on ring node i (now {})", self.node);
+                println!(".timing on|off   print query wall time (now {})", self.timing);
+                println!(".stats           session statistics");
+                println!(".quit            exit");
+            }
+            ".demo" => self.load_demo(),
+            ".tables" => {
+                if self.tables.is_empty() {
+                    println!("(none — try .demo)");
+                }
+                for t in &self.tables {
+                    println!("  {t}");
+                }
+            }
+            ".plan" => {
+                if rest.is_empty() {
+                    println!("usage: .plan <sql>");
+                } else {
+                    match self.ring.explain_sql(rest) {
+                        Ok((plan, dc)) => {
+                            println!("-- MAL plan\n{plan}\n-- after DcOptimizer\n{dc}")
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+            }
+            ".node" => match rest.parse::<usize>() {
+                Ok(i) if i < self.ring.len() => {
+                    self.node = i;
+                    println!("queries now settle on node {i}");
+                }
+                _ => println!("usage: .node <0..{}>", self.ring.len() - 1),
+            },
+            ".timing" => {
+                self.timing = rest == "on";
+                println!("timing {}", if self.timing { "on" } else { "off" });
+            }
+            ".stats" => {
+                println!("ring nodes:     {}", self.ring.len());
+                println!("queries run:    {}", self.queries_run);
+                println!("current node:   {}", self.node);
+            }
+            ".quit" | ".exit" => return false,
+            other => println!("unknown command {other}; try .help"),
+        }
+        true
+    }
+
+    fn sql(&mut self, line: &str) {
+        let started = Instant::now();
+        match self.ring.submit_sql(self.node, line) {
+            Ok(out) => {
+                print!("{out}");
+                self.queries_run += 1;
+                if self.timing {
+                    println!("-- {:.1} ms", started.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let nodes: usize = std::env::var("DCSH_NODES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| (1..=64).contains(&n))
+        .unwrap_or(3);
+    println!("dcsh — Data Cyclotron shell ({nodes}-node ring); .help for commands");
+    let mut shell = Shell {
+        ring: Ring::builder(nodes).build(),
+        node: 0,
+        timing: false,
+        tables: Vec::new(),
+        queries_run: 0,
+    };
+    shell.load_demo();
+
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    loop {
+        if interactive {
+            print!("dc[{}]> ", shell.node);
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('.') {
+            if !shell.command(line) {
+                break;
+            }
+        } else {
+            shell.sql(line);
+        }
+    }
+    println!("bye");
+}
+
+/// Minimal isatty check without extra dependencies: honor an env
+/// override and default to non-interactive when piped input is likely.
+fn atty_stdin() -> bool {
+    std::env::var("DCSH_PROMPT").map(|v| v == "1").unwrap_or(false)
+}

@@ -1,0 +1,214 @@
+//! Structure S1 (paper Fig. 2): the catalog of BATs *owned* by this
+//! node's data loader. "The BAT owner node is responsible for putting it
+//! into or pulling it out of the hot set occupying the storage ring.
+//! Infrequently used BATs are retained on a local disk."
+
+use crate::ids::BatId;
+use netsim::SimTime;
+use std::collections::HashMap;
+
+/// Lifecycle of an owned BAT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OwnedState {
+    /// Cold: on the owner's local disk only.
+    OnDisk,
+    /// Wanted but postponed because the local BAT queue was full
+    /// (outcome 3 of the Request Propagation algorithm). `loadAll`
+    /// retries these oldest-first.
+    Pending { since: SimTime },
+    /// A disk load is in flight (driver will call `bat_loaded`).
+    Loading,
+    /// Hot: circulating in the storage ring. `last_seen` is the last time
+    /// the BAT passed its owner, used for lost-BAT detection.
+    InRing { last_seen: SimTime },
+}
+
+#[derive(Clone, Debug)]
+pub struct OwnedBat {
+    pub size: u64,
+    pub state: OwnedState,
+    /// Times this BAT entered the ring (Fig. 9b's "number of loads").
+    pub loads: u32,
+    /// Accumulated copies observed at owner passes (Fig. 9a's "touches").
+    pub touches: u64,
+    /// Requests for this BAT that reached the owner.
+    pub requests_seen: u64,
+    /// Requests that arrived while the BAT was circulating, since its
+    /// last pass at the owner. Live downstream interest the LOI cannot
+    /// see yet: outcome 2 ignores such requests, so unloading the BAT
+    /// before it passes the requester would strand them until `resend`.
+    pub interest_since_pass: u32,
+    /// Highest cycle count observed (Fig. 11).
+    pub max_cycles: u32,
+    /// Current version (§6.4 updates).
+    pub version: u32,
+}
+
+/// S1: owned-BAT catalog.
+#[derive(Default)]
+pub struct S1Catalog {
+    map: HashMap<BatId, OwnedBat>,
+}
+
+impl S1Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register ownership of a BAT residing on local disk.
+    pub fn register(&mut self, bat: BatId, size: u64) {
+        self.map.insert(
+            bat,
+            OwnedBat {
+                size,
+                state: OwnedState::OnDisk,
+                loads: 0,
+                touches: 0,
+                requests_seen: 0,
+                interest_since_pass: 0,
+                max_cycles: 0,
+                version: 0,
+            },
+        );
+    }
+
+    pub fn is_owner(&self, bat: BatId) -> bool {
+        self.map.contains_key(&bat)
+    }
+
+    pub fn get(&self, bat: BatId) -> Option<&OwnedBat> {
+        self.map.get(&bat)
+    }
+
+    pub fn get_mut(&mut self, bat: BatId) -> Option<&mut OwnedBat> {
+        self.map.get_mut(&bat)
+    }
+
+    pub fn state(&self, bat: BatId) -> Option<OwnedState> {
+        self.map.get(&bat).map(|b| b.state)
+    }
+
+    pub fn set_state(&mut self, bat: BatId, state: OwnedState) {
+        if let Some(b) = self.map.get_mut(&bat) {
+            b.state = state;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total bytes owned (hot + cold).
+    pub fn total_bytes(&self) -> u64 {
+        self.map.values().map(|b| b.size).sum()
+    }
+
+    /// Bytes of our data currently occupying the storage ring (loaded or
+    /// loading). This is the node's share of ring storage — the "local
+    /// BAT queue load" that gates admissions (Fig. 3 outcome 3) and
+    /// drives the LOIT ladder (§4.4): every circulating byte lives in
+    /// some node's buffer, so bounding each owner's hot bytes by its
+    /// queue capacity bounds the ring's total load by the ring capacity
+    /// without global coordination.
+    pub fn hot_bytes(&self) -> u64 {
+        self.map
+            .values()
+            .filter(|b| matches!(b.state, OwnedState::InRing { .. } | OwnedState::Loading))
+            .map(|b| b.size)
+            .sum()
+    }
+
+    /// Pending BATs, oldest first — the `loadAll` visit order: "Every T
+    /// msec, it starts the load for the oldest ones" (§4.2.3).
+    pub fn pending_oldest_first(&self) -> Vec<(BatId, u64)> {
+        let mut v: Vec<(BatId, SimTime, u64)> = self
+            .map
+            .iter()
+            .filter_map(|(&id, b)| match b.state {
+                OwnedState::Pending { since } => Some((id, since, b.size)),
+                _ => None,
+            })
+            .collect();
+        v.sort_by_key(|&(id, since, _)| (since, id));
+        v.into_iter().map(|(id, _, size)| (id, size)).collect()
+    }
+
+    /// In-ring BATs whose owner has not seen them for longer than
+    /// `timeout`: presumed dropped (DropTail or peer failure).
+    pub fn lost_bats(&self, now: SimTime, timeout: netsim::SimDuration) -> Vec<BatId> {
+        self.map
+            .iter()
+            .filter_map(|(&id, b)| match b.state {
+                OwnedState::InRing { last_seen } if now.since(last_seen) > timeout => Some(id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Iterate all owned BATs (stats collection).
+    pub fn iter(&self) -> impl Iterator<Item = (BatId, &OwnedBat)> {
+        self.map.iter().map(|(&id, b)| (id, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut s1 = S1Catalog::new();
+        s1.register(BatId(1), 1000);
+        assert!(s1.is_owner(BatId(1)));
+        assert!(!s1.is_owner(BatId(2)));
+        assert_eq!(s1.state(BatId(1)), Some(OwnedState::OnDisk));
+        assert_eq!(s1.total_bytes(), 1000);
+        assert_eq!(s1.len(), 1);
+    }
+
+    #[test]
+    fn pending_sorted_by_age() {
+        let mut s1 = S1Catalog::new();
+        for (id, t) in [(1u32, 30u64), (2, 10), (3, 20)] {
+            s1.register(BatId(id), 100);
+            s1.set_state(BatId(id), OwnedState::Pending { since: SimTime::from_millis(t) });
+        }
+        let order: Vec<u32> = s1.pending_oldest_first().iter().map(|(b, _)| b.0).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn pending_tie_break_deterministic() {
+        let mut s1 = S1Catalog::new();
+        for id in [5u32, 1, 9] {
+            s1.register(BatId(id), 100);
+            s1.set_state(BatId(id), OwnedState::Pending { since: SimTime::ZERO });
+        }
+        let order: Vec<u32> = s1.pending_oldest_first().iter().map(|(b, _)| b.0).collect();
+        assert_eq!(order, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn lost_detection_honors_timeout() {
+        let mut s1 = S1Catalog::new();
+        s1.register(BatId(1), 100);
+        s1.register(BatId(2), 100);
+        s1.set_state(BatId(1), OwnedState::InRing { last_seen: SimTime::ZERO });
+        s1.set_state(BatId(2), OwnedState::InRing { last_seen: SimTime::from_secs(9) });
+        let lost = s1.lost_bats(SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert_eq!(lost, vec![BatId(1)]);
+    }
+
+    #[test]
+    fn non_inring_states_never_lost() {
+        let mut s1 = S1Catalog::new();
+        s1.register(BatId(1), 100);
+        s1.set_state(BatId(1), OwnedState::Pending { since: SimTime::ZERO });
+        assert!(s1.lost_bats(SimTime::from_secs(100), SimDuration::from_secs(1)).is_empty());
+    }
+}

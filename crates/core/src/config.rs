@@ -1,0 +1,138 @@
+//! Per-node Data Cyclotron configuration.
+
+use netsim::SimDuration;
+
+#[derive(Clone, Debug)]
+pub struct DcConfig {
+    /// BAT queue capacity in bytes (the paper's nodes have 200 MB of
+    /// network buffers). "Ring is full" at an owner means its local queue
+    /// cannot fit the BAT (Fig. 3, outcome 3).
+    pub queue_capacity: u64,
+    /// The LOIT ladder: candidate threshold levels. A single level gives
+    /// the fixed-LOIT behavior of §5.1; the paper's dynamic experiments
+    /// use {0.1, 0.6, 1.1} (§5.2).
+    pub loit_levels: Vec<f64>,
+    /// Starting ladder index.
+    pub loit_start: usize,
+    /// Raise LOIT one level when queue load exceeds this fraction (0.8).
+    pub high_watermark: f64,
+    /// Lower LOIT one level when queue load falls below this fraction (0.4).
+    pub low_watermark: f64,
+    /// `loadAll` period: every T, postponed loads are retried oldest
+    /// first (§4.2.3).
+    pub load_interval: SimDuration,
+    /// `resend` timeout on the rotational delay for requested BATs; a
+    /// trigger indicates a package loss (§4.2.3).
+    pub resend_timeout: SimDuration,
+    /// Owner-side lost-BAT detection: an in-ring BAT not seen for this
+    /// long is assumed dropped and reverts to disk so a re-request can
+    /// reload it. (Interpretation; see DESIGN.md — without it, a dropped
+    /// BAT would be permanently "loaded" and outcome 2 would ignore all
+    /// re-requests.)
+    pub lost_after: SimDuration,
+    /// Local fragment cache capacity (the "local cache" the pin call
+    /// checks, §4.2.1). Passing BATs with registered local interest are
+    /// kept here, memory permitting.
+    pub cache_capacity: u64,
+    /// Owner-side demand hold: keep a below-threshold BAT one more cycle
+    /// when requests arrived since its last pass and the queue is under
+    /// the high watermark (see DESIGN.md §2 — without it, requests that
+    /// race a BAT's final cycle starve until `resend`). Disable to get
+    /// the paper's literal Fig. 5.
+    pub demand_hold: bool,
+}
+
+impl Default for DcConfig {
+    fn default() -> Self {
+        DcConfig {
+            queue_capacity: 200 * 1024 * 1024,
+            loit_levels: vec![0.1, 0.6, 1.1],
+            loit_start: 0,
+            high_watermark: 0.8,
+            low_watermark: 0.4,
+            load_interval: SimDuration::from_millis(100),
+            resend_timeout: SimDuration::from_secs(5),
+            lost_after: SimDuration::from_secs(15),
+            cache_capacity: 512 * 1024 * 1024,
+            demand_hold: true,
+        }
+    }
+}
+
+impl DcConfig {
+    /// Fixed-threshold configuration for the §5.1 sweep.
+    pub fn with_fixed_loit(mut self, loit: f64) -> Self {
+        self.loit_levels = vec![loit];
+        self.loit_start = 0;
+        self
+    }
+
+    pub fn with_queue_capacity(mut self, bytes: u64) -> Self {
+        self.queue_capacity = bytes;
+        self
+    }
+
+    /// Validate invariants; called by drivers at startup.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.loit_levels.is_empty() {
+            return Err("loit_levels must not be empty".into());
+        }
+        if self.loit_start >= self.loit_levels.len() {
+            return Err("loit_start out of range".into());
+        }
+        if !self.loit_levels.windows(2).all(|w| w[0] < w[1]) {
+            return Err("loit_levels must be strictly increasing".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.low_watermark)
+            || !(0.0..=1.0).contains(&self.high_watermark)
+            || self.low_watermark >= self.high_watermark
+        {
+            return Err("watermarks must satisfy 0 <= low < high <= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_paperlike() {
+        let c = DcConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.queue_capacity, 200 * 1024 * 1024);
+        assert_eq!(c.loit_levels, vec![0.1, 0.6, 1.1]);
+        assert_eq!(c.high_watermark, 0.8);
+        assert_eq!(c.low_watermark, 0.4);
+    }
+
+    #[test]
+    fn fixed_loit_builder() {
+        let c = DcConfig::default().with_fixed_loit(0.7);
+        c.validate().unwrap();
+        assert_eq!(c.loit_levels, vec![0.7]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = DcConfig::default();
+        c.loit_levels.clear();
+        assert!(c.validate().is_err());
+
+        let c = DcConfig { loit_start: 9, ..DcConfig::default() };
+        assert!(c.validate().is_err());
+
+        let c = DcConfig { loit_levels: vec![0.5, 0.2], ..DcConfig::default() };
+        assert!(c.validate().is_err());
+
+        let c = DcConfig { queue_capacity: 0, ..DcConfig::default() };
+        assert!(c.validate().is_err());
+
+        let c = DcConfig { low_watermark: 0.9, ..DcConfig::default() };
+        assert!(c.validate().is_err());
+    }
+}

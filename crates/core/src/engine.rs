@@ -1,0 +1,593 @@
+//! The live multi-threaded Data Cyclotron ring.
+//!
+//! Every node runs its own event loop (thread) hosting the protocol state
+//! machine plus the fragment payload stores; data messages flow clockwise
+//! and requests anti-clockwise over crossbeam channels (swap in the TCP
+//! transport from `dc-transport` for a distributed deployment — the
+//! protocol code is identical). Queries execute on caller threads through
+//! the full DBMS stack: SQL → MAL → DC optimizer → dataflow interpreter,
+//! with `pin` calls blocking until fragments flow past.
+
+use crate::config::DcConfig;
+use crate::ids::{BatId, NodeId, QueryId};
+use crate::msg::BatHeader;
+use crate::proto::{DcNode, Effect, PinOutcome};
+use crate::runtime::{Cmd, FragInfo, RingCatalog, RingHooks, Waiter};
+use batstore::{Bat, BatStore, Catalog, Column};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use mal::{MalError, SessionCtx};
+use netsim::SimTime;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Events arriving at a node's event loop.
+pub enum NodeEvent {
+    /// A BAT from the predecessor (clockwise data flow).
+    Bat { header: BatHeader, payload: Arc<Bat> },
+    /// A request from the successor (anti-clockwise request flow).
+    Request(crate::msg::ReqMsg),
+    /// DBMS-layer command (request/pin/unpin/…).
+    Cmd(Cmd),
+}
+
+/// Byte counter shared by the two ends of an edge: the sender's "BAT
+/// queue" occupancy, decremented when the receiver drains a message.
+type EdgeBytes = Arc<AtomicU64>;
+
+struct NodeCtx {
+    node: DcNode,
+    rx: Receiver<NodeEvent>,
+    /// Clockwise data edge to the successor.
+    data_tx: Sender<NodeEvent>,
+    data_bytes: EdgeBytes,
+    /// Anti-clockwise request edge to the predecessor.
+    req_tx: Sender<NodeEvent>,
+    /// Our inbound edge counter (we drain it).
+    in_bytes: EdgeBytes,
+    /// Owned fragment payloads ("local disk").
+    disk: HashMap<BatId, Arc<Bat>>,
+    /// Cached passing fragments (the §4.2.1 local cache).
+    cache: HashMap<BatId, Arc<Bat>>,
+    /// Blocked pins per BAT.
+    waiting: HashMap<BatId, Vec<(QueryId, Arc<Waiter>)>>,
+    started: Instant,
+    tick_every: Duration,
+}
+
+impl NodeCtx {
+    fn now(&self) -> SimTime {
+        SimTime(self.started.elapsed().as_nanos() as u64)
+    }
+
+    fn sync(&mut self) {
+        let now = self.now();
+        self.node.set_time(now);
+        self.node.set_queue_bytes(self.data_bytes.load(Ordering::Relaxed));
+    }
+
+    fn run(mut self) {
+        loop {
+            let ev = self.rx.recv_timeout(self.tick_every);
+            self.sync();
+            match ev {
+                Ok(NodeEvent::Bat { header, payload }) => {
+                    self.in_bytes.fetch_sub(header.wire_size(), Ordering::Relaxed);
+                    let effects = self.node.on_bat(header);
+                    self.execute(effects, Some(payload));
+                }
+                Ok(NodeEvent::Request(req)) => {
+                    let effects = self.node.on_request(req);
+                    self.execute(effects, None);
+                }
+                Ok(NodeEvent::Cmd(cmd)) => {
+                    if self.handle_cmd(cmd) {
+                        return; // shutdown
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+            let effects = self.node.tick();
+            self.execute(effects, None);
+        }
+    }
+
+    /// Returns true on shutdown.
+    fn handle_cmd(&mut self, cmd: Cmd) -> bool {
+        match cmd {
+            Cmd::Request { query, bat } => {
+                let effects = self.node.local_request(query, bat);
+                self.execute(effects, None);
+            }
+            Cmd::Pin { query, bat, waiter } => {
+                let (outcome, effects) = self.node.pin(query, bat);
+                self.execute(effects, None);
+                match outcome {
+                PinOutcome::OwnedLocal => {
+                    let r = self
+                        .disk
+                        .get(&bat)
+                        .cloned()
+                        .ok_or_else(|| format!("owned fragment {bat} missing from disk"));
+                    waiter.fulfill(r);
+                }
+                PinOutcome::Cached => {
+                    let r = self
+                        .cache
+                        .get(&bat)
+                        .cloned()
+                        .ok_or_else(|| format!("cached fragment {bat} missing payload"));
+                    waiter.fulfill(r);
+                }
+                PinOutcome::MustWait => {
+                    self.waiting.entry(bat).or_default().push((query, waiter));
+                }
+                }
+            }
+            Cmd::Unpin { query, bat } => {
+                let effects = self.node.unpin(query, bat);
+                self.execute(effects, None);
+            }
+            Cmd::QueryDone { query } => {
+                let effects = self.node.query_done(query);
+                self.execute(effects, None);
+            }
+            Cmd::StoreOwned { bat, payload } => {
+                let size = payload.byte_size() as u64;
+                self.disk.insert(bat, payload);
+                self.node.register_owned(bat, size);
+            }
+            Cmd::Shutdown => return true,
+        }
+        false
+    }
+
+    fn execute(&mut self, effects: Vec<Effect>, payload: Option<Arc<Bat>>) {
+        for e in effects {
+            match e {
+                Effect::SendBat(h) => {
+                    let p = payload
+                        .clone()
+                        .or_else(|| self.disk.get(&h.bat).cloned())
+                        .or_else(|| self.cache.get(&h.bat).cloned());
+                    if let Some(p) = p {
+                        self.data_bytes.fetch_add(h.wire_size(), Ordering::Relaxed);
+                        // A full channel means the successor died; drop.
+                        let _ = self.data_tx.send(NodeEvent::Bat { header: h, payload: p });
+                    }
+                }
+                Effect::SendRequest(r) => {
+                    let _ = self.req_tx.send(NodeEvent::Request(r));
+                }
+                Effect::LoadFromDisk { bat, .. } => {
+                    // Local "disk" is main memory here; complete at once.
+                    let effects = self.node.bat_loaded(bat);
+                    self.execute(effects, None);
+                }
+                Effect::Unload(_) => {
+                    // The payload simply stops being forwarded.
+                }
+                Effect::Deliver { header, queries } => {
+                    let p = payload
+                        .clone()
+                        .or_else(|| self.cache.get(&header.bat).cloned());
+                    if let Some(list) = self.waiting.remove(&header.bat) {
+                        let (to_serve, keep): (Vec<_>, Vec<_>) =
+                            list.into_iter().partition(|(q, _)| queries.contains(q));
+                        if !keep.is_empty() {
+                            self.waiting.insert(header.bat, keep);
+                        }
+                        for (_, w) in to_serve {
+                            match &p {
+                                Some(p) => w.fulfill(Ok(Arc::clone(p))),
+                                None => w.fulfill(Err(format!(
+                                    "fragment {} payload unavailable",
+                                    header.bat
+                                ))),
+                            }
+                        }
+                    }
+                }
+                Effect::CacheInsert(bat) => {
+                    if let Some(p) = payload.clone() {
+                        self.cache.insert(bat, p);
+                    }
+                }
+                Effect::CacheEvict(bat) => {
+                    self.cache.remove(&bat);
+                }
+                Effect::QueryError { bat, queries } => {
+                    if let Some(list) = self.waiting.remove(&bat) {
+                        for (q, w) in list {
+                            if queries.contains(&q) {
+                                w.fulfill(Err(format!("{bat} does not exist in the database")));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Handle to a running node: submit queries, inspect stats.
+pub struct RingNodeHandle {
+    pub id: NodeId,
+    tx: Sender<NodeEvent>,
+    hooks: Arc<RingHooks>,
+    session: Arc<SessionCtx>,
+}
+
+/// A live in-process Data Cyclotron ring.
+pub struct Ring {
+    nodes: Vec<RingNodeHandle>,
+    catalog: Arc<RingCatalog>,
+    meta: Arc<RwLock<Catalog>>,
+    threads: Vec<JoinHandle<()>>,
+    next_query: AtomicU64,
+    next_bat: AtomicU64,
+    templates: mal::TemplateCache,
+}
+
+/// Builder for [`Ring`].
+pub struct RingBuilder {
+    n: usize,
+    cfg: DcConfig,
+    pin_timeout: Duration,
+    tick_every: Duration,
+}
+
+impl RingBuilder {
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a ring needs at least one node");
+        RingBuilder {
+            n,
+            cfg: DcConfig::default(),
+            pin_timeout: Duration::from_secs(30),
+            tick_every: Duration::from_millis(5),
+        }
+    }
+
+    pub fn config(mut self, cfg: DcConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    pub fn pin_timeout(mut self, d: Duration) -> Self {
+        self.pin_timeout = d;
+        self
+    }
+
+    pub fn build(self) -> Ring {
+        let n = self.n;
+        let catalog = Arc::new(RingCatalog::new());
+        let meta = Arc::new(RwLock::new(Catalog::new()));
+
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<NodeEvent>(4096);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        // Edge byte counters for the clockwise data edges: edge i goes
+        // from node i to node (i+1) % n.
+        let edges: Vec<EdgeBytes> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+
+        let mut threads = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let id = NodeId(i as u16);
+            let succ = (i + 1) % n;
+            let pred = (i + n - 1) % n;
+            let ctx = NodeCtx {
+                node: DcNode::new(id, self.cfg.clone()),
+                rx,
+                data_tx: txs[succ].clone(),
+                data_bytes: Arc::clone(&edges[i]),
+                req_tx: txs[pred].clone(),
+                in_bytes: Arc::clone(&edges[pred]),
+                disk: HashMap::new(),
+                cache: HashMap::new(),
+                waiting: HashMap::new(),
+                started: Instant::now(),
+                tick_every: self.tick_every,
+            };
+            threads.push(std::thread::spawn(move || ctx.run()));
+
+            let hooks = Arc::new(RingHooks::new(
+                id,
+                txs[i].clone(),
+                Arc::clone(&catalog),
+                self.pin_timeout,
+            ));
+            // Each node gets a session over the shared metadata catalog;
+            // the store holds nothing (data lives in the ring).
+            let store = Arc::new(RwLock::new(BatStore::new()));
+            let session = Arc::new(
+                SessionCtx::new(Arc::clone(&meta), store)
+                    .with_dc(hooks.clone() as Arc<dyn mal::DcHooks>),
+            );
+            handles.push(RingNodeHandle { id, tx: txs[i].clone(), hooks, session });
+        }
+
+        Ring {
+            nodes: handles,
+            catalog,
+            meta,
+            threads,
+            next_query: AtomicU64::new(1),
+            next_bat: AtomicU64::new(1),
+            templates: mal::TemplateCache::new(),
+        }
+    }
+}
+
+impl Ring {
+    pub fn builder(n: usize) -> RingBuilder {
+        RingBuilder::new(n)
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn node(&self, i: usize) -> &RingNodeHandle {
+        &self.nodes[i]
+    }
+
+    /// Create a table whose column fragments are spread over the ring
+    /// round-robin — the paper's startup placement ("the BATs are
+    /// randomly assigned to nodes in the ring").
+    pub fn load_table(
+        &self,
+        schema: &str,
+        table: &str,
+        cols: Vec<(&str, Column)>,
+    ) -> Result<(), MalError> {
+        // Publish metadata for the SQL front-end.
+        {
+            let mut meta = self.meta.write();
+            // The metadata catalog stores zero-row columns: only names
+            // and types are consulted by codegen on ring nodes.
+            let typed: Vec<(&str, Column)> = cols
+                .iter()
+                .map(|(name, col)| (*name, Column::empty(col.col_type())))
+                .collect();
+            meta.create_table_columnar(&mut BatStore::new(), schema, table, typed)?;
+        }
+        // Ship each column to its owner.
+        for (idx, (name, col)) in cols.into_iter().enumerate() {
+            let bat_id = BatId(self.next_bat.fetch_add(1, Ordering::Relaxed) as u32);
+            let owner_idx = idx % self.nodes.len();
+            let payload = Arc::new(Bat::dense(col));
+            let size = payload.byte_size() as u64;
+            self.catalog.publish(
+                schema,
+                table,
+                name,
+                FragInfo { bat: bat_id, size, owner: NodeId(owner_idx as u16) },
+            );
+            self.nodes[owner_idx]
+                .tx
+                .send(NodeEvent::Cmd(Cmd::StoreOwned { bat: bat_id, payload }))
+                .map_err(|_| MalError::Dc("node down during load".into()))?;
+        }
+        Ok(())
+    }
+
+    /// Compile and execute a SQL query on the given node; returns the
+    /// rendered result table.
+    pub fn submit_sql(&self, node_idx: usize, sql: &str) -> Result<String, MalError> {
+        let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
+        let plan = {
+            let meta = self.meta.read();
+            self.templates.get_or_compile(sql, || {
+                sqlfront::compile_sql(sql, &meta)
+                    .map(|p| mal::common_subexpression_eliminate(&p))
+                    .map(|p| mal::dc_optimize(&p))
+            })?
+        };
+        self.run_plan(node_idx, qid, &plan)
+    }
+
+    /// Execute an already-compiled MAL plan on a node.
+    pub fn run_plan(
+        &self,
+        node_idx: usize,
+        qid: u64,
+        plan: &mal::Program,
+    ) -> Result<String, MalError> {
+        let handle = &self.nodes[node_idx];
+        // A per-query session sharing the node's hooks.
+        let session = SessionCtx::new(
+            Arc::clone(&handle.session.catalog),
+            Arc::clone(&handle.session.store),
+        )
+        .with_dc(handle.hooks.clone() as Arc<dyn mal::DcHooks>)
+        .with_query_id(qid);
+        let result = mal::run_dataflow(plan, &session, 4);
+        // Always clean up interest, success or failure.
+        let _ = handle.tx.send(NodeEvent::Cmd(Cmd::QueryDone { query: QueryId(qid) }));
+        result?;
+        Ok(session.take_output())
+    }
+
+    /// Node placement by §6.1 bidding: returns the cheapest node for a
+    /// query needing `bats` fragments.
+    pub fn place_query(&self, bats: &[BatId]) -> usize {
+        crate::bidding::cheapest_node(self, bats)
+    }
+
+    /// Compile `sql` and render both the front-end plan and its Data
+    /// Cyclotron rewrite (EXPLAIN, Tables 1/2 style).
+    pub fn explain_sql(&self, sql: &str) -> Result<(String, String), MalError> {
+        let meta = self.meta.read();
+        let plan = sqlfront::compile_sql(sql, &meta)?;
+        let dc = mal::dc_optimize(&plan);
+        Ok((plan.to_string(), dc.to_string()))
+    }
+
+    pub(crate) fn ring_catalog(&self) -> &RingCatalog {
+        &self.catalog
+    }
+
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        for n in &self.nodes {
+            let _ = n.tx.send(NodeEvent::Cmd(Cmd::Shutdown));
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_ring(n: usize) -> Ring {
+        let ring = Ring::builder(n)
+            .config(DcConfig {
+                load_interval: netsim::SimDuration::from_millis(5),
+                resend_timeout: netsim::SimDuration::from_millis(500),
+                ..DcConfig::default()
+            })
+            .pin_timeout(Duration::from_secs(20))
+            .build();
+        ring.load_table("sys", "t", vec![("id", Column::from(vec![1, 2, 3]))]).unwrap();
+        ring.load_table(
+            "sys",
+            "c",
+            vec![
+                ("t_id", Column::from(vec![2, 2, 3, 9])),
+                ("amount", Column::from(vec![10, 20, 30, 40])),
+            ],
+        )
+        .unwrap();
+        ring
+    }
+
+    #[test]
+    fn paper_query_end_to_end_on_ring() {
+        let ring = demo_ring(3);
+        let out = ring.submit_sql(0, "select c.t_id from t, c where c.t_id = t.id").unwrap();
+        assert_eq!(out.matches("[ 2 ]").count(), 2, "{out}");
+        assert_eq!(out.matches("[ 3 ]").count(), 1, "{out}");
+    }
+
+    #[test]
+    fn every_node_can_execute() {
+        let ring = demo_ring(4);
+        for i in 0..4 {
+            let out = ring.submit_sql(i, "select amount from c where amount >= 30").unwrap();
+            assert!(out.contains("[ 30 ]") && out.contains("[ 40 ]"), "node {i}: {out}");
+        }
+    }
+
+    #[test]
+    fn repeated_queries_share_templates() {
+        let ring = demo_ring(2);
+        ring.submit_sql(0, "select amount from c where amount >= 10").unwrap();
+        ring.submit_sql(1, "select amount from c where amount >= 35").unwrap();
+        let (hits, misses) = ring.templates.stats();
+        assert_eq!((hits, misses), (1, 1), "same template reused");
+    }
+
+    #[test]
+    fn missing_table_fails_cleanly() {
+        let ring = demo_ring(2);
+        assert!(ring.submit_sql(0, "select x from ghost").is_err());
+    }
+
+    #[test]
+    fn single_node_ring_works() {
+        let ring = demo_ring(1);
+        let out = ring.submit_sql(0, "select amount from c where amount between 15 and 35").unwrap();
+        assert!(out.contains("[ 20 ]") && out.contains("[ 30 ]"), "{out}");
+    }
+
+    #[test]
+    fn explain_shows_dc_rewrite() {
+        let ring = demo_ring(2);
+        let (plan, dc) =
+            ring.explain_sql("select c.t_id from t, c where c.t_id = t.id").unwrap();
+        assert!(plan.contains("sql.bind"), "{plan}");
+        assert!(!plan.contains("datacyclotron"), "{plan}");
+        assert!(dc.contains("datacyclotron.request"), "{dc}");
+        assert!(dc.contains("datacyclotron.pin"), "{dc}");
+        assert!(dc.contains("datacyclotron.unpin"), "{dc}");
+    }
+
+    #[test]
+    fn distinct_and_in_list_over_ring() {
+        let ring = demo_ring(3);
+        let out = ring
+            .submit_sql(1, "select distinct t_id from c order by t_id")
+            .unwrap();
+        let rows: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
+        assert_eq!(rows, vec!["[ 2 ]", "[ 3 ]", "[ 9 ]"], "{out}");
+        let out = ring
+            .submit_sql(2, "select amount from c where t_id in (2, 9) order by amount")
+            .unwrap();
+        let rows: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
+        assert_eq!(rows, vec!["[ 10 ]", "[ 20 ]", "[ 40 ]"], "{out}");
+    }
+
+    #[test]
+    fn group_by_multiple_columns_over_ring() {
+        let ring = Ring::builder(2).build();
+        ring.load_table(
+            "sys",
+            "pairs",
+            vec![
+                ("a", Column::from(vec!["x", "x", "y", "x"])),
+                ("b", Column::from(vec![1, 1, 1, 2])),
+                ("v", Column::from(vec![10, 20, 30, 40])),
+            ],
+        )
+        .unwrap();
+        let out = ring
+            .submit_sql(0, "select a, b, sum(v) from pairs group by a, b")
+            .unwrap();
+        let rows = out.lines().filter(|l| l.starts_with('[')).count();
+        assert_eq!(rows, 3, "{out}");
+        assert!(out.contains("30"), "x,1 sums to 30: {out}");
+    }
+
+    #[test]
+    fn concurrent_queries_from_all_nodes() {
+        let ring = Arc::new(demo_ring(3));
+        let mut joins = Vec::new();
+        for i in 0..3 {
+            for _ in 0..4 {
+                let r = Arc::clone(&ring);
+                joins.push(std::thread::spawn(move || {
+                    r.submit_sql(i, "select c.t_id from t, c where c.t_id = t.id").unwrap()
+                }));
+            }
+        }
+        for j in joins {
+            let out = j.join().unwrap();
+            assert_eq!(out.matches("[ 2 ]").count(), 2);
+        }
+    }
+}

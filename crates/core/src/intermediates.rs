@@ -1,0 +1,140 @@
+//! §6.2 — result caching in the ring.
+//!
+//! "Multi-query processing can be boosted by reusing (intermediate)
+//! query results … they are simply treated as persistent data and pushed
+//! into the storage ring for queries being interested. Like base data,
+//! intermediate results are characterized by their age and their
+//! popularity on the ring."
+//!
+//! Intermediates get BAT identities from a reserved namespace (high bit
+//! set) so they never collide with base fragments, and are addressed by a
+//! *plan signature*: the canonical text of the producing plan fragment.
+//! Once published, an intermediate circulates under the ordinary LOI
+//! regime — no special treatment is needed in the protocol core, which is
+//! exactly the paper's point.
+
+use crate::ids::{BatId, NodeId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Base of the reserved intermediate-id namespace.
+pub const INTERMEDIATE_BASE: u32 = 1 << 31;
+
+/// Is this BAT an intermediate result rather than base data?
+pub fn is_intermediate(bat: BatId) -> bool {
+    bat.0 >= INTERMEDIATE_BASE
+}
+
+/// Registry mapping plan signatures to published intermediates.
+#[derive(Default)]
+pub struct IntermediateRegistry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    next: u32,
+    by_sig: HashMap<String, Published>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Published {
+    pub bat: BatId,
+    pub creator: NodeId,
+    pub size: u64,
+}
+
+impl IntermediateRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish an intermediate for a plan signature; idempotent — the
+    /// first creator wins and later publishers reuse its identity.
+    pub fn publish(&self, signature: &str, creator: NodeId, size: u64) -> (Published, bool) {
+        let mut inner = self.inner.lock();
+        if let Some(&p) = inner.by_sig.get(signature) {
+            return (p, false);
+        }
+        let bat = BatId(INTERMEDIATE_BASE + inner.next);
+        inner.next += 1;
+        let p = Published { bat, creator, size };
+        inner.by_sig.insert(signature.to_string(), p);
+        (p, true)
+    }
+
+    /// Find an existing intermediate for a plan signature.
+    pub fn lookup(&self, signature: &str) -> Option<Published> {
+        self.inner.lock().by_sig.get(signature).copied()
+    }
+
+    /// Remove an intermediate (e.g. invalidated by an update to its
+    /// inputs, §6.4). Returns whether it existed.
+    pub fn invalidate(&self, signature: &str) -> bool {
+        self.inner.lock().by_sig.remove(signature).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().by_sig.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Canonical signature of a plan prefix: the rendered instructions that
+/// produced the value, independent of variable numbering.
+pub fn plan_signature(instrs: &[String]) -> String {
+    instrs.join(";")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespace_disjoint_from_base() {
+        assert!(!is_intermediate(BatId(0)));
+        assert!(!is_intermediate(BatId(INTERMEDIATE_BASE - 1)));
+        assert!(is_intermediate(BatId(INTERMEDIATE_BASE)));
+    }
+
+    #[test]
+    fn publish_is_idempotent_first_creator_wins() {
+        let reg = IntermediateRegistry::new();
+        let (a, fresh_a) = reg.publish("join(t.id,c.t_id)", NodeId(1), 100);
+        let (b, fresh_b) = reg.publish("join(t.id,c.t_id)", NodeId(5), 120);
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        assert_eq!(a, b, "same signature, same identity");
+        assert_eq!(b.creator, NodeId(1));
+    }
+
+    #[test]
+    fn distinct_signatures_distinct_ids() {
+        let reg = IntermediateRegistry::new();
+        let (a, _) = reg.publish("sig-a", NodeId(0), 1);
+        let (b, _) = reg.publish("sig-b", NodeId(0), 1);
+        assert_ne!(a.bat, b.bat);
+        assert!(is_intermediate(a.bat) && is_intermediate(b.bat));
+    }
+
+    #[test]
+    fn lookup_and_invalidate() {
+        let reg = IntermediateRegistry::new();
+        assert!(reg.lookup("x").is_none());
+        reg.publish("x", NodeId(2), 50);
+        assert_eq!(reg.lookup("x").unwrap().creator, NodeId(2));
+        assert!(reg.invalidate("x"));
+        assert!(!reg.invalidate("x"));
+        assert!(reg.lookup("x").is_none());
+    }
+
+    #[test]
+    fn signature_stability() {
+        let s1 = plan_signature(&["algebra.join(a,b)".into(), "algebra.markT(j,0)".into()]);
+        let s2 = plan_signature(&["algebra.join(a,b)".into(), "algebra.markT(j,0)".into()]);
+        assert_eq!(s1, s2);
+    }
+}

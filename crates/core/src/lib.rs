@@ -1,0 +1,53 @@
+//! # datacyclotron — the Data Cyclotron query processing scheme
+//!
+//! The paper's contribution (EDBT 2010): distributed query processing
+//! over a virtual storage ring. Data fragments (BATs) circulate
+//! clockwise through the main memories of the participating nodes;
+//! requests travel anti-clockwise; queries settle anywhere and pick up
+//! the fragments as they flow past. Hot-set membership is governed by a
+//! per-fragment *level of interest* (LOI, Eq. 1) compared against a
+//! per-node adaptive threshold (LOIT).
+//!
+//! Layout mirrors the paper's §4 architecture:
+//!
+//! * [`proto`] — the per-node protocol state machine: the Request
+//!   Propagation algorithm (Fig. 3), the BAT Propagation algorithm
+//!   (Fig. 4), hot-set management (Fig. 5), `loadAll`, `resend`, and
+//!   owner-side lost-BAT detection. Pure (no I/O): handlers return
+//!   [`proto::Effect`]s that a driver executes, so the identical code
+//!   runs under the discrete-event simulator and the live engine.
+//! * [`catalog`] — structure S1: the BATs owned by this node.
+//! * [`requests`] — structures S2 (outstanding requests) and S3 (blocked
+//!   pins), plus the local fragment cache the pins check (§4.2.1).
+//! * [`loi`] — the LOI formula and the LOIT ladder.
+//! * [`msg`] — ring message types and their binary codec.
+//! * [`engine`] / [`runtime`] — a live multi-threaded ring: every node
+//!   runs the MonetDB-style DBMS layer (`batstore` + `mal` + `sqlfront`)
+//!   with the DC optimizer injecting `request`/`pin`/`unpin` calls that
+//!   resolve against the ring.
+//! * [`bidding`], [`intermediates`], [`versions`] — the paper's §6
+//!   future-work features: nomadic query placement by cost bids, result
+//!   caching in the ring, and multi-version updates.
+
+pub mod bidding;
+pub mod catalog;
+pub mod config;
+pub mod engine;
+pub mod ids;
+pub mod intermediates;
+pub mod loi;
+pub mod msg;
+pub mod proto;
+pub mod requests;
+pub mod runtime;
+pub mod stats;
+pub mod versions;
+
+pub use catalog::{OwnedState, S1Catalog};
+pub use config::DcConfig;
+pub use engine::{Ring, RingBuilder, RingNodeHandle};
+pub use ids::{BatId, NodeId, QueryId};
+pub use loi::{new_loi, LoitLadder};
+pub use msg::{decode, encode, BatHeader, DcMsg, ReqMsg};
+pub use proto::{DcNode, Effect, PinOutcome};
+pub use stats::NodeStats;

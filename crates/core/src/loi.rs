@@ -1,0 +1,152 @@
+//! The level-of-interest metric (paper Eq. 1) and the adaptive LOIT
+//! threshold ladder.
+
+/// Equation 1 of the paper, as the owner computes it each cycle:
+///
+/// ```text
+/// CAVG    = copies / hops
+/// newLOI  = LOI / cycles + CAVG
+/// ```
+///
+/// `cycles` is the value *after* the owner increments it for the
+/// completed cycle. The division by `cycles` applies an age weight: old
+/// BATs decay unless interest is renewed every pass. `hops == 0` (a BAT
+/// coming straight back with no intermediate nodes — degenerate rings)
+/// contributes zero interest.
+pub fn new_loi(loi: f64, copies: u32, hops: u32, cycles: u32) -> f64 {
+    let cavg = if hops == 0 { 0.0 } else { copies as f64 / hops as f64 };
+    loi / cycles.max(1) as f64 + cavg
+}
+
+/// The per-node threshold ladder: LOIT is "stepwise increased until the
+/// pending local BATs can start moving" (§4.4) and stepped back down when
+/// the queue drains. The experiments use levels {0.1, 0.6, 1.1} with
+/// watermarks 80% / 40% (§5.2).
+#[derive(Clone, Debug)]
+pub struct LoitLadder {
+    levels: Vec<f64>,
+    idx: usize,
+    /// Number of raise/lower transitions (for the ablation benches).
+    pub transitions: u64,
+}
+
+impl LoitLadder {
+    pub fn new(levels: Vec<f64>, start: usize) -> Self {
+        assert!(!levels.is_empty() && start < levels.len());
+        LoitLadder { levels, idx: start, transitions: 0 }
+    }
+
+    pub fn fixed(level: f64) -> Self {
+        LoitLadder::new(vec![level], 0)
+    }
+
+    /// The current threshold.
+    pub fn current(&self) -> f64 {
+        self.levels[self.idx]
+    }
+
+    pub fn level_index(&self) -> usize {
+        self.idx
+    }
+
+    pub fn is_dynamic(&self) -> bool {
+        self.levels.len() > 1
+    }
+
+    /// One adaptation step from the observed queue-load fraction.
+    /// Returns the direction taken, if any.
+    pub fn adapt(&mut self, load_fraction: f64, high: f64, low: f64) -> Option<Direction> {
+        if load_fraction > high && self.idx + 1 < self.levels.len() {
+            self.idx += 1;
+            self.transitions += 1;
+            Some(Direction::Raised)
+        } else if load_fraction < low && self.idx > 0 {
+            self.idx -= 1;
+            self.transitions += 1;
+            Some(Direction::Lowered)
+        } else {
+            None
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    Raised,
+    Lowered,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_matches_paper_arithmetic() {
+        // First cycle, all 9 downstream nodes used it: loi=0, copies=9,
+        // hops=9 (ring of 10: nine hops back to owner), cycles=1.
+        let l1 = new_loi(0.0, 9, 9, 1);
+        assert!((l1 - 1.0).abs() < 1e-12);
+        // Second cycle with no interest: decays to l1/2.
+        let l2 = new_loi(l1, 0, 9, 2);
+        assert!((l2 - 0.5).abs() < 1e-12);
+        // Renewed interest keeps it high.
+        let l2b = new_loi(l1, 9, 9, 2);
+        assert!((l2b - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn age_weight_decays_unrenewed_bats() {
+        let mut loi = 1.0;
+        for cycle in 2..=20 {
+            loi = new_loi(loi, 0, 9, cycle);
+        }
+        assert!(loi < 0.01, "old unrenewed BAT must decay, loi={loi}");
+    }
+
+    #[test]
+    fn steady_interest_converges_bounded() {
+        let mut loi = 0.0;
+        for cycle in 1..=100 {
+            loi = new_loi(loi, 9, 9, cycle);
+        }
+        assert!(loi > 1.0 && loi < 1.2, "steady-state loi={loi}");
+    }
+
+    #[test]
+    fn zero_hops_guard() {
+        assert_eq!(new_loi(0.5, 3, 0, 1), 0.5);
+    }
+
+    #[test]
+    fn partial_interest_cavg() {
+        // 3 of 9 nodes used it.
+        let l = new_loi(0.0, 3, 9, 1);
+        assert!((l - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_adapts_with_hysteresis() {
+        let mut lad = LoitLadder::new(vec![0.1, 0.6, 1.1], 0);
+        assert_eq!(lad.current(), 0.1);
+        assert_eq!(lad.adapt(0.85, 0.8, 0.4), Some(Direction::Raised));
+        assert_eq!(lad.current(), 0.6);
+        assert_eq!(lad.adapt(0.85, 0.8, 0.4), Some(Direction::Raised));
+        assert_eq!(lad.current(), 1.1);
+        // Already at top: no change.
+        assert_eq!(lad.adapt(0.95, 0.8, 0.4), None);
+        // Mid-band: no change.
+        assert_eq!(lad.adapt(0.6, 0.8, 0.4), None);
+        assert_eq!(lad.adapt(0.3, 0.8, 0.4), Some(Direction::Lowered));
+        assert_eq!(lad.current(), 0.6);
+        assert_eq!(lad.transitions, 3);
+    }
+
+    #[test]
+    fn fixed_ladder_never_moves() {
+        let mut lad = LoitLadder::fixed(0.5);
+        assert!(!lad.is_dynamic());
+        assert_eq!(lad.adapt(1.0, 0.8, 0.4), None);
+        assert_eq!(lad.adapt(0.0, 0.8, 0.4), None);
+        assert_eq!(lad.current(), 0.5);
+    }
+}

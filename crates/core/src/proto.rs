@@ -1,0 +1,869 @@
+//! The per-node Data Cyclotron protocol state machine.
+//!
+//! This module is the paper's §4.2–§4.4 rendered as a pure state machine:
+//! handlers consume ring events and return [`Effect`]s for the driver
+//! (discrete-event simulator or live engine) to execute. Keeping all I/O
+//! out makes every outcome of the algorithms unit-testable and lets the
+//! identical code run in both environments.
+//!
+//! * [`DcNode::on_request`] — the Request Propagation algorithm (Fig. 3),
+//!   six outcomes.
+//! * [`DcNode::on_bat`] — the BAT Propagation algorithm (Fig. 4) for
+//!   foreign BATs, and Hot Data Set Management (Fig. 5, Eq. 1) when the
+//!   BAT returns to its owner.
+//! * [`DcNode::tick`] — `loadAll` (postponed loads, oldest first),
+//!   `resend` (request-loss recovery), LOIT ladder adaptation from the
+//!   local queue load, and owner-side lost-BAT detection.
+
+use crate::catalog::{OwnedState, S1Catalog};
+use crate::config::DcConfig;
+use crate::ids::{BatId, NodeId, QueryId};
+use crate::loi::{new_loi, LoitLadder};
+use crate::msg::{BatHeader, ReqMsg};
+use crate::requests::{LocalCache, S2Requests};
+use crate::stats::NodeStats;
+use netsim::SimTime;
+
+/// Instructions to the driver. The protocol never performs I/O itself.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Effect {
+    /// Forward a BAT clockwise to the successor.
+    SendBat(BatHeader),
+    /// Send a request anti-clockwise to the predecessor.
+    SendRequest(ReqMsg),
+    /// Read an owned BAT from local disk; the driver calls
+    /// [`DcNode::bat_loaded`] when the data is in memory.
+    LoadFromDisk { bat: BatId, size: u64 },
+    /// Owner decision: pull the BAT out of the hot set (Fig. 5).
+    Unload(BatId),
+    /// Hand the BAT to the listed local queries blocked in pin calls.
+    Deliver { header: BatHeader, queries: Vec<QueryId> },
+    /// Keep the passing fragment in the local cache (engine stores the
+    /// payload; the simulator only accounts for it).
+    CacheInsert(BatId),
+    /// Drop the cached fragment.
+    CacheEvict(BatId),
+    /// Outcome 1 of Fig. 3: the request circled back — the BAT does not
+    /// exist; the listed queries must raise an exception.
+    QueryError { bat: BatId, queries: Vec<QueryId> },
+}
+
+/// Result of a pin attempt (§4.2.1: "The pin() request checks the local
+/// cache for availability. If it not available, query execution blocks").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinOutcome {
+    /// The BAT is owned locally: retrieve from disk or local memory.
+    OwnedLocal,
+    /// Served from the local fragment cache.
+    Cached,
+    /// Blocked until the BAT arrives from the predecessor.
+    MustWait,
+}
+
+pub struct DcNode {
+    pub id: NodeId,
+    pub cfg: DcConfig,
+    pub s1: S1Catalog,
+    pub s2: S2Requests,
+    pub cache: LocalCache,
+    pub ladder: LoitLadder,
+    pub stats: NodeStats,
+    now: SimTime,
+    /// Local BAT-queue occupancy in bytes, mirrored from the transport by
+    /// the driver before invoking handlers.
+    queue_bytes: u64,
+    last_load_all: SimTime,
+}
+
+impl DcNode {
+    pub fn new(id: NodeId, cfg: DcConfig) -> Self {
+        cfg.validate().expect("invalid DcConfig");
+        let ladder = LoitLadder::new(cfg.loit_levels.clone(), cfg.loit_start);
+        let cache = LocalCache::new(cfg.cache_capacity);
+        DcNode {
+            id,
+            cfg,
+            s1: S1Catalog::new(),
+            s2: S2Requests::new(),
+            cache,
+            ladder,
+            stats: NodeStats::default(),
+            now: SimTime::ZERO,
+            queue_bytes: 0,
+            last_load_all: SimTime::ZERO,
+        }
+    }
+
+    // ---- driver synchronization ----------------------------------------
+
+    pub fn set_time(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Mirror the transport's outgoing-queue occupancy (kept for
+    /// observability; protocol decisions use [`Self::queue_load_fraction`]
+    /// which reflects the node's hot-set share of ring storage).
+    pub fn set_queue_bytes(&mut self, bytes: u64) {
+        self.queue_bytes = bytes;
+    }
+
+    /// The "local BAT queue load" of §4.4: this owner's bytes currently
+    /// occupying the storage ring, as a fraction of its buffer capacity.
+    pub fn queue_load_fraction(&self) -> f64 {
+        self.s1.hot_bytes() as f64 / self.cfg.queue_capacity as f64
+    }
+
+    /// Register ownership of a disk-resident BAT (startup data placement:
+    /// "the BATs are randomly assigned to nodes in the ring where the
+    /// local DC data loader becomes their owner").
+    pub fn register_owned(&mut self, bat: BatId, size: u64) {
+        self.s1.register(bat, size);
+    }
+
+    pub fn loit(&self) -> f64 {
+        self.ladder.current()
+    }
+
+    // ---- DBMS-facing calls (the request/pin/unpin seam, §4.1) ----------
+
+    /// A local query announces interest in a BAT.
+    pub fn local_request(&mut self, query: QueryId, bat: BatId) -> Vec<Effect> {
+        if self.s1.is_owner(bat) {
+            // "If the BAT is owned by the local DC data loader, it is
+            // retrieved from disk or local memory" — no ring traffic.
+            return Vec::new();
+        }
+        let now = self.now;
+        let id = self.id;
+        let (entry, _fresh) = self.s2.register(bat, query, now);
+        if !entry.in_flight {
+            entry.in_flight = true;
+            entry.last_sent = now;
+            self.stats.requests_dispatched += 1;
+            return vec![Effect::SendRequest(ReqMsg { origin: id, bat })];
+        }
+        Vec::new()
+    }
+
+    /// A local query reaches its pin call for a requested BAT. Returns
+    /// the outcome plus any effects (a pin on a fragment whose request
+    /// was already served re-dispatches a fresh request — the fragment
+    /// must come around again).
+    pub fn pin(&mut self, query: QueryId, bat: BatId) -> (PinOutcome, Vec<Effect>) {
+        if self.s1.is_owner(bat) {
+            return (PinOutcome::OwnedLocal, Vec::new());
+        }
+        if self.cache.pin(bat) {
+            if let Some(e) = self.s2.get_mut(bat) {
+                e.pinned_once.insert(query);
+            }
+            return (PinOutcome::Cached, Vec::new());
+        }
+        // Block until the fragment passes; defensively register interest
+        // if the plan pinned without a preceding request.
+        let now = self.now;
+        let id = self.id;
+        let (entry, _) = self.s2.register(bat, query, now);
+        entry.pins_waiting.insert(query);
+        let mut effects = Vec::new();
+        if !entry.in_flight {
+            entry.in_flight = true;
+            entry.last_sent = now;
+            self.stats.requests_dispatched += 1;
+            effects.push(Effect::SendRequest(ReqMsg { origin: id, bat }));
+        }
+        (PinOutcome::MustWait, effects)
+    }
+
+    /// A local query releases a fragment.
+    pub fn unpin(&mut self, _query: QueryId, bat: BatId) -> Vec<Effect> {
+        if self.s1.is_owner(bat) {
+            return Vec::new();
+        }
+        let mut effects = Vec::new();
+        if self.cache.unpin(bat) && !self.s2.contains(bat) && self.cache.evict_if_unpinned(bat) > 0
+        {
+            effects.push(Effect::CacheEvict(bat));
+        }
+        effects
+    }
+
+    /// A query finished or aborted: drop its interest everywhere.
+    pub fn query_done(&mut self, query: QueryId) -> Vec<Effect> {
+        let emptied = self.s2.drop_query(query);
+        let mut effects = Vec::new();
+        for bat in emptied {
+            if self.cache.evict_if_unpinned(bat) > 0 {
+                effects.push(Effect::CacheEvict(bat));
+            }
+        }
+        effects
+    }
+
+    // ---- ring-facing handlers ------------------------------------------
+
+    /// The Request Propagation algorithm (Fig. 3).
+    pub fn on_request(&mut self, req: ReqMsg) -> Vec<Effect> {
+        let bat = req.bat;
+
+        // Outcome 1: the request returned to its origin — the BAT does
+        // not exist (anymore) in the database.
+        if req.origin == self.id {
+            self.stats.requests_returned += 1;
+            if let Some(entry) = self.s2.remove(bat) {
+                self.stats.query_errors += entry.queries.len() as u64;
+                let mut queries: Vec<QueryId> = entry.queries.into_iter().collect();
+                queries.sort_unstable();
+                return vec![Effect::QueryError { bat, queries }];
+            }
+            return Vec::new();
+        }
+
+        // Outcomes 2–4: we own the BAT.
+        if self.s1.is_owner(bat) {
+            self.stats.requests_owner_handled += 1;
+            let now = self.now;
+            let fits = self.queue_fits(self.s1.get(bat).map(|b| b.size).unwrap_or(0));
+            let owned = self.s1.get_mut(bat).expect("is_owner checked");
+            owned.requests_seen += 1;
+            return match owned.state {
+                // Outcome 2: already (re-)loaded into the hot set. The
+                // request is ignored — the circulating BAT will pass the
+                // requester — but it is *live interest*: remember it so
+                // hot-set management does not unload the BAT out from
+                // under a requester it has not reached yet.
+                OwnedState::InRing { .. } | OwnedState::Loading => {
+                    owned.interest_since_pass += 1;
+                    Vec::new()
+                }
+                // Outcome 3 (second visit): already pending.
+                OwnedState::Pending { .. } => Vec::new(),
+                OwnedState::OnDisk => {
+                    if fits {
+                        // Outcome 4: load it into the storage ring.
+                        let size = owned.size;
+                        owned.state = OwnedState::Loading;
+                        vec![Effect::LoadFromDisk { bat, size }]
+                    } else {
+                        // Outcome 3: storage ring full — postpone.
+                        owned.state = OwnedState::Pending { since: now };
+                        Vec::new()
+                    }
+                }
+            };
+        }
+
+        // Outcome 5: we have the same request outstanding — absorb.
+        // Absorption is only safe while our own request is *freshly* in
+        // flight toward the owner (the paper's `request_is_sent` check):
+        // if ours was already satisfied by a past pass — or went out so
+        // long ago that it (or the BAT it summoned) must be presumed
+        // lost — the foreign request signals live downstream interest
+        // and our own request takes over. Without the freshness bound, a
+        // node whose BAT died upstream would absorb its neighbors'
+        // retries forever and starve the whole segment.
+        if self.s2.contains(bat) {
+            let id = self.id;
+            let now = self.now;
+            let fresh_window = self.cfg.resend_timeout;
+            let entry = self.s2.get_mut(bat).expect("contains checked");
+            self.stats.requests_absorbed += 1;
+            let covered = entry.in_flight && now.since(entry.last_sent) <= fresh_window;
+            if !covered {
+                entry.in_flight = true;
+                entry.last_sent = now;
+                self.stats.requests_dispatched += 1;
+                return vec![Effect::SendRequest(ReqMsg { origin: id, bat })];
+            }
+            return Vec::new();
+        }
+
+        // Outcome 6: forward toward the owner.
+        self.stats.requests_forwarded += 1;
+        vec![Effect::SendRequest(req)]
+    }
+
+    /// BAT Propagation (Fig. 4) and, at the owner, Hot Data Set
+    /// Management (Fig. 5).
+    pub fn on_bat(&mut self, mut h: BatHeader) -> Vec<Effect> {
+        h.hops += 1;
+
+        if h.owner == self.id {
+            return self.hot_set_management(h);
+        }
+
+        let mut effects = Vec::new();
+        if self.s2.contains(bat_of(&h)) {
+            let now = self.now;
+            let entry = self.s2.get_mut(h.bat).expect("contains checked");
+            // The pass satisfies our outstanding request.
+            entry.in_flight = false;
+            // Record first-service latency.
+            if entry.served_at.is_none() {
+                entry.served_at = Some(now);
+                let lat = now.since(entry.first_requested);
+                self.stats.record_request_latency(h.bat, lat);
+            }
+            // Local cache admission ("the pin() request checks the local
+            // cache"): keep the fragment if memory permits.
+            let newly_cached =
+                !self.cache.contains(h.bat) && self.cache.admit(h.bat, h.size, h.version);
+            if newly_cached {
+                effects.push(Effect::CacheInsert(h.bat));
+            }
+            // Serve every blocked pin; "copies designates how many nodes
+            // actually used it" — one increment per node, not per query.
+            let entry = self.s2.get_mut(h.bat).expect("still present");
+            let mut waiting: Vec<QueryId> = entry.pins_waiting.drain().collect();
+            waiting.sort_unstable();
+            if !waiting.is_empty() {
+                h.copies += 1;
+                self.stats.deliveries += waiting.len() as u64;
+                for q in &waiting {
+                    entry.pinned_once.insert(*q);
+                    if self.cache.contains(h.bat) {
+                        self.cache.pin(h.bat);
+                    }
+                }
+                effects.push(Effect::Deliver { header: h, queries: waiting });
+            }
+            // Fig. 4 lines 9–10: unregister once pinned by all queries.
+            let entry = self.s2.get_mut(h.bat).expect("still present");
+            if entry.pinned_all() {
+                self.s2.remove(h.bat);
+                if self.cache.evict_if_unpinned(h.bat) > 0 {
+                    effects.push(Effect::CacheEvict(h.bat));
+                }
+            }
+        }
+        self.stats.bats_forwarded += 1;
+        self.stats.bytes_forwarded += h.size;
+        effects.push(Effect::SendBat(h));
+        effects
+    }
+
+    /// Fig. 5: the owner re-scores the BAT each cycle and drops it below
+    /// the threshold.
+    fn hot_set_management(&mut self, mut h: BatHeader) -> Vec<Effect> {
+        let now = self.now;
+        let loit = self.ladder.current();
+        let overloaded = self.queue_load_fraction() >= self.cfg.high_watermark;
+        let Some(owned) = self.s1.get_mut(h.bat) else {
+            // A BAT claiming us as owner that we do not know: ownership
+            // moved (pulsating rings) — forward untouched.
+            self.stats.bats_forwarded += 1;
+            self.stats.bytes_forwarded += h.size;
+            return vec![Effect::SendBat(h)];
+        };
+        owned.touches += h.copies as u64;
+        h.cycles += 1;
+        owned.max_cycles = owned.max_cycles.max(h.cycles);
+        let nl = new_loi(h.loi, h.copies, h.hops, h.cycles);
+        // Demand hold: requests that reached us mid-cycle (outcome 2)
+        // were ignored on the promise that the circulating BAT would
+        // serve them; unloading now would strand those requesters until
+        // their resend timers fire, then force the disk reload anyway.
+        // Grant one more cycle — unless the queue is under capacity
+        // pressure, where Fig. 5's eviction must win (the requester is
+        // rescued by resend, the paper's §4.2.3 recovery path).
+        let demand_hold =
+            self.cfg.demand_hold && owned.interest_since_pass > 0 && !overloaded;
+        owned.interest_since_pass = 0;
+        if nl < loit && !demand_hold {
+            owned.state = OwnedState::OnDisk;
+            self.stats.bats_unloaded += 1;
+            return vec![Effect::Unload(h.bat)];
+        }
+        if nl < loit {
+            self.stats.demand_holds += 1;
+        }
+        h.loi = nl;
+        h.copies = 0;
+        h.hops = 0;
+        owned.state = OwnedState::InRing { last_seen: now };
+        self.stats.bats_forwarded += 1;
+        self.stats.bytes_forwarded += h.size;
+        vec![Effect::SendBat(h)]
+    }
+
+    /// Driver callback: a `LoadFromDisk` completed; the BAT enters the
+    /// storage ring at its owner.
+    pub fn bat_loaded(&mut self, bat: BatId) -> Vec<Effect> {
+        let now = self.now;
+        let id = self.id;
+        let Some(owned) = self.s1.get_mut(bat) else {
+            return Vec::new();
+        };
+        owned.state = OwnedState::InRing { last_seen: now };
+        owned.loads += 1;
+        let mut header = BatHeader::fresh(id, bat, owned.size);
+        header.version = owned.version;
+        self.stats.bats_loaded += 1;
+        vec![Effect::SendBat(header)]
+    }
+
+    fn queue_fits(&self, size: u64) -> bool {
+        self.s1.hot_bytes() + size <= self.cfg.queue_capacity
+    }
+
+    /// Periodic maintenance: LOIT adaptation, `loadAll`, `resend`, and
+    /// lost-BAT detection. Call at the driver's tick cadence.
+    pub fn tick(&mut self) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let now = self.now;
+
+        // LOIT ladder from the local queue load (§5.2: above 80% raise a
+        // level, below 40% lower a level).
+        let load = self.queue_load_fraction();
+        self.ladder.adapt(load, self.cfg.high_watermark, self.cfg.low_watermark);
+
+        // loadAll: every T, start the oldest pending loads that fit; a
+        // BAT that does not fit is skipped in favor of the next.
+        if now.since(self.last_load_all) >= self.cfg.load_interval {
+            self.last_load_all = now;
+            let mut budget = self.cfg.queue_capacity.saturating_sub(self.s1.hot_bytes());
+            for (bat, size) in self.s1.pending_oldest_first() {
+                if size <= budget {
+                    budget -= size;
+                    self.s1.set_state(bat, OwnedState::Loading);
+                    effects.push(Effect::LoadFromDisk { bat, size });
+                }
+            }
+        }
+
+        // resend: requests with starving interest past the rotational-
+        // delay timeout indicate a loss (of the request or of the BAT);
+        // interest with no request in flight at all re-dispatches at once.
+        let id = self.id;
+        let timeout = self.cfg.resend_timeout;
+        let mut resent = 0;
+        for (bat, entry) in self.s2.iter_mut() {
+            let starving = entry.served_at.is_none() || !entry.pins_waiting.is_empty();
+            if !starving {
+                continue;
+            }
+            let timed_out = entry.in_flight && now.since(entry.last_sent) > timeout;
+            if timed_out || !entry.in_flight {
+                entry.in_flight = true;
+                entry.last_sent = now;
+                resent += 1;
+                effects.push(Effect::SendRequest(ReqMsg { origin: id, bat }));
+            }
+        }
+        self.stats.requests_resent += resent;
+
+        // Owner-side lost-BAT detection: an in-ring BAT that has not come
+        // around for too long reverts to disk so re-requests can reload.
+        for bat in self.s1.lost_bats(now, self.cfg.lost_after) {
+            self.s1.set_state(bat, OwnedState::OnDisk);
+            self.stats.bats_lost += 1;
+        }
+
+        effects
+    }
+}
+
+#[inline]
+fn bat_of(h: &BatHeader) -> BatId {
+    h.bat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+
+    fn node(id: u16) -> DcNode {
+        let cfg = DcConfig {
+            queue_capacity: 1000,
+            load_interval: SimDuration::from_millis(10),
+            resend_timeout: SimDuration::from_millis(500),
+            lost_after: SimDuration::from_secs(2),
+            ..DcConfig::default()
+        };
+        DcNode::new(NodeId(id), cfg)
+    }
+
+    fn at(node: &mut DcNode, ms: u64) {
+        node.set_time(SimTime::from_millis(ms));
+    }
+
+    // ---- Fig. 3 outcomes -----------------------------------------------
+
+    #[test]
+    fn outcome1_request_returns_to_origin() {
+        let mut n = node(0);
+        let eff = n.local_request(QueryId(7), BatId(42));
+        assert_eq!(eff.len(), 1, "fresh request dispatched");
+        let eff = n.on_request(ReqMsg { origin: NodeId(0), bat: BatId(42) });
+        assert_eq!(
+            eff,
+            vec![Effect::QueryError { bat: BatId(42), queries: vec![QueryId(7)] }]
+        );
+        assert!(!n.s2.contains(BatId(42)), "entry unregistered");
+        assert_eq!(n.stats.query_errors, 1);
+    }
+
+    #[test]
+    fn outcome2_owner_already_loaded_ignores() {
+        let mut n = node(1);
+        n.register_owned(BatId(5), 100);
+        n.s1.set_state(BatId(5), OwnedState::InRing { last_seen: SimTime::ZERO });
+        let eff = n.on_request(ReqMsg { origin: NodeId(3), bat: BatId(5) });
+        assert!(eff.is_empty());
+        assert_eq!(n.stats.requests_owner_handled, 1);
+    }
+
+    #[test]
+    fn outcome3_ring_full_postpones() {
+        let mut n = node(1);
+        n.register_owned(BatId(5), 600);
+        // Another owned BAT already occupies most of our ring share.
+        n.register_owned(BatId(6), 900);
+        n.s1.set_state(BatId(6), OwnedState::InRing { last_seen: SimTime::ZERO });
+        at(&mut n, 50);
+        let eff = n.on_request(ReqMsg { origin: NodeId(3), bat: BatId(5) });
+        assert!(eff.is_empty());
+        assert_eq!(
+            n.s1.state(BatId(5)),
+            Some(OwnedState::Pending { since: SimTime::from_millis(50) })
+        );
+        // A second request while pending is also absorbed.
+        let eff = n.on_request(ReqMsg { origin: NodeId(4), bat: BatId(5) });
+        assert!(eff.is_empty());
+    }
+
+    #[test]
+    fn outcome4_loads_when_ring_has_space() {
+        let mut n = node(1);
+        n.register_owned(BatId(5), 100);
+        let eff = n.on_request(ReqMsg { origin: NodeId(3), bat: BatId(5) });
+        assert_eq!(eff, vec![Effect::LoadFromDisk { bat: BatId(5), size: 100 }]);
+        assert_eq!(n.s1.state(BatId(5)), Some(OwnedState::Loading));
+        // While loading, further requests are ignored (no double load).
+        assert!(n.on_request(ReqMsg { origin: NodeId(4), bat: BatId(5) }).is_empty());
+        // Load completes: the BAT enters the ring.
+        let eff = n.bat_loaded(BatId(5));
+        match &eff[..] {
+            [Effect::SendBat(h)] => {
+                assert_eq!(h.owner, NodeId(1));
+                assert_eq!(h.loi, 0.0);
+                assert_eq!(h.cycles, 0);
+            }
+            other => panic!("unexpected effects {other:?}"),
+        }
+        assert_eq!(n.s1.get(BatId(5)).unwrap().loads, 1);
+    }
+
+    #[test]
+    fn outcome5_same_request_absorbed() {
+        let mut n = node(2);
+        n.local_request(QueryId(1), BatId(9));
+        let eff = n.on_request(ReqMsg { origin: NodeId(7), bat: BatId(9) });
+        assert!(eff.is_empty(), "absorbed, not forwarded");
+        assert_eq!(n.stats.requests_absorbed, 1);
+    }
+
+    #[test]
+    fn outcome6_forwarded_unchanged() {
+        let mut n = node(2);
+        let req = ReqMsg { origin: NodeId(7), bat: BatId(9) };
+        let eff = n.on_request(req);
+        assert_eq!(eff, vec![Effect::SendRequest(req)], "origin preserved");
+        assert_eq!(n.stats.requests_forwarded, 1);
+    }
+
+    // ---- Fig. 4: BAT propagation ----------------------------------------
+
+    #[test]
+    fn passing_bat_serves_waiting_pins_and_counts_one_copy() {
+        let mut n = node(2);
+        at(&mut n, 10);
+        n.local_request(QueryId(1), BatId(9));
+        n.local_request(QueryId(2), BatId(9));
+        assert_eq!(n.pin(QueryId(1), BatId(9)).0, PinOutcome::MustWait);
+        assert_eq!(n.pin(QueryId(2), BatId(9)).0, PinOutcome::MustWait);
+        at(&mut n, 250);
+        let h = BatHeader::fresh(NodeId(0), BatId(9), 100);
+        let eff = n.on_bat(h);
+        let deliver = eff
+            .iter()
+            .find_map(|e| match e {
+                Effect::Deliver { header, queries } => Some((header, queries.clone())),
+                _ => None,
+            })
+            .expect("must deliver");
+        assert_eq!(deliver.1, vec![QueryId(1), QueryId(2)]);
+        assert_eq!(deliver.0.copies, 1, "one copy per node, not per query");
+        assert_eq!(deliver.0.hops, 1);
+        // Forwarded with the same counters.
+        let fwd = eff
+            .iter()
+            .find_map(|e| match e {
+                Effect::SendBat(h) => Some(*h),
+                _ => None,
+            })
+            .expect("must forward");
+        assert_eq!(fwd.copies, 1);
+        // Latency recorded: 240 ms.
+        assert_eq!(
+            n.stats.max_request_latency[&BatId(9)],
+            SimDuration::from_millis(240)
+        );
+        // All queries pinned → entry unregistered.
+        assert!(!n.s2.contains(BatId(9)));
+    }
+
+    #[test]
+    fn passing_bat_without_interest_only_forwards() {
+        let mut n = node(2);
+        let h = BatHeader::fresh(NodeId(0), BatId(9), 100);
+        let eff = n.on_bat(h);
+        assert_eq!(eff.len(), 1);
+        assert!(matches!(eff[0], Effect::SendBat(h2) if h2.hops == 1 && h2.copies == 0));
+    }
+
+    #[test]
+    fn registered_but_unpinned_query_keeps_entry_and_caches() {
+        let mut n = node(2);
+        n.local_request(QueryId(1), BatId(9));
+        // No pin yet (plan still upstream); the BAT passes.
+        let eff = n.on_bat(BatHeader::fresh(NodeId(0), BatId(9), 100));
+        assert!(
+            eff.iter().any(|e| matches!(e, Effect::CacheInsert(b) if *b == BatId(9))),
+            "fragment cached for the future pin: {eff:?}"
+        );
+        assert!(n.s2.contains(BatId(9)), "entry stays until the query pins");
+        // The later pin is served from cache.
+        assert_eq!(n.pin(QueryId(1), BatId(9)).0, PinOutcome::Cached);
+        // Release: unpin + query completion evicts.
+        let eff = n.unpin(QueryId(1), BatId(9));
+        assert!(eff.is_empty(), "entry still registered");
+        let eff = n.query_done(QueryId(1));
+        assert!(eff.iter().any(|e| matches!(e, Effect::CacheEvict(_))));
+    }
+
+    // ---- Fig. 5: hot-set management --------------------------------------
+
+    #[test]
+    fn owner_drops_bat_below_threshold() {
+        let mut n = node(0);
+        n.cfg.loit_levels = vec![0.5];
+        n.ladder = LoitLadder::fixed(0.5);
+        n.register_owned(BatId(3), 100);
+        n.s1.set_state(BatId(3), OwnedState::InRing { last_seen: SimTime::ZERO });
+        // Came around with little interest: copies 1 of 9 hops → cavg 0.11.
+        let mut h = BatHeader::fresh(NodeId(0), BatId(3), 100);
+        h.copies = 1;
+        h.hops = 8; // +1 on arrival = 9
+        let eff = n.on_bat(h);
+        assert_eq!(eff, vec![Effect::Unload(BatId(3))]);
+        assert_eq!(n.s1.state(BatId(3)), Some(OwnedState::OnDisk));
+        assert_eq!(n.stats.bats_unloaded, 1);
+    }
+
+    #[test]
+    fn owner_keeps_interesting_bat_and_resets_counters() {
+        let mut n = node(0);
+        n.ladder = LoitLadder::fixed(0.5);
+        n.register_owned(BatId(3), 100);
+        n.s1.set_state(BatId(3), OwnedState::InRing { last_seen: SimTime::ZERO });
+        let mut h = BatHeader::fresh(NodeId(0), BatId(3), 100);
+        h.copies = 8;
+        h.hops = 8; // all nodes used it
+        let eff = n.on_bat(h);
+        match &eff[..] {
+            [Effect::SendBat(h2)] => {
+                assert_eq!(h2.cycles, 1);
+                assert_eq!(h2.copies, 0);
+                assert_eq!(h2.hops, 0);
+                assert!((h2.loi - 8.0 / 9.0).abs() < 1e-12);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(n.s1.get(BatId(3)).unwrap().touches, 8);
+        assert_eq!(n.s1.get(BatId(3)).unwrap().max_cycles, 1);
+    }
+
+    #[test]
+    fn demand_hold_grants_one_extra_cycle() {
+        let mut n = node(0);
+        n.ladder = LoitLadder::fixed(0.5);
+        n.register_owned(BatId(3), 100);
+        n.s1.set_state(BatId(3), OwnedState::InRing { last_seen: SimTime::ZERO });
+        // A request arrives mid-cycle: outcome 2 ignores it, but it is
+        // live interest the circulating BAT has yet to serve.
+        assert!(n.on_request(ReqMsg { origin: NodeId(4), bat: BatId(3) }).is_empty());
+        // The BAT comes around cold (copies 0): below threshold, but the
+        // pending requester holds it in the ring for one more cycle.
+        let h = BatHeader::fresh(NodeId(0), BatId(3), 100);
+        let eff = n.on_bat(h);
+        assert!(
+            matches!(&eff[..], [Effect::SendBat(_)]),
+            "kept despite LOI 0 < 0.5: {eff:?}"
+        );
+        assert_eq!(n.stats.demand_holds, 1);
+        assert_eq!(n.stats.bats_unloaded, 0);
+        // Next pass with no new interest: the normal Fig. 5 drop.
+        let h = BatHeader::fresh(NodeId(0), BatId(3), 100);
+        let mut h = h;
+        h.cycles = 1;
+        let eff = n.on_bat(h);
+        assert_eq!(eff, vec![Effect::Unload(BatId(3))]);
+        assert_eq!(n.stats.bats_unloaded, 1);
+    }
+
+    #[test]
+    fn demand_hold_can_be_disabled() {
+        // With the flag off, the owner follows Fig. 5 literally and
+        // unloads despite the pending mid-cycle request.
+        let cfg = DcConfig {
+            loit_levels: vec![0.5],
+            demand_hold: false,
+            ..DcConfig::default()
+        };
+        let mut n = DcNode::new(NodeId(0), cfg);
+        n.register_owned(BatId(3), 100);
+        n.s1.set_state(BatId(3), OwnedState::InRing { last_seen: SimTime::ZERO });
+        assert!(n.on_request(ReqMsg { origin: NodeId(4), bat: BatId(3) }).is_empty());
+        let h = BatHeader::fresh(NodeId(0), BatId(3), 100);
+        assert_eq!(n.on_bat(h), vec![Effect::Unload(BatId(3))]);
+        assert_eq!(n.stats.demand_holds, 0);
+    }
+
+    #[test]
+    fn capacity_pressure_overrides_demand_hold() {
+        // Queue nearly full: Fig. 5's eviction must win even with
+        // pending interest (the requester is rescued by resend).
+        let cfg = DcConfig {
+            queue_capacity: 110,
+            loit_levels: vec![0.5],
+            ..DcConfig::default()
+        };
+        let mut n = DcNode::new(NodeId(0), cfg);
+        n.register_owned(BatId(3), 100);
+        n.s1.set_state(BatId(3), OwnedState::InRing { last_seen: SimTime::ZERO });
+        assert!(n.queue_load_fraction() >= 0.8, "setup: must be overloaded");
+        assert!(n.on_request(ReqMsg { origin: NodeId(4), bat: BatId(3) }).is_empty());
+        let h = BatHeader::fresh(NodeId(0), BatId(3), 100);
+        let eff = n.on_bat(h);
+        assert_eq!(eff, vec![Effect::Unload(BatId(3))]);
+        assert_eq!(n.stats.demand_holds, 0);
+    }
+
+    // ---- tick: loadAll / resend / LOIT / lost ----------------------------
+
+    #[test]
+    fn load_all_oldest_first_with_skip() {
+        let mut n = node(0);
+        n.register_owned(BatId(1), 700);
+        n.register_owned(BatId(2), 200);
+        n.s1.set_state(BatId(1), OwnedState::Pending { since: SimTime::from_millis(1) });
+        n.s1.set_state(BatId(2), OwnedState::Pending { since: SimTime::from_millis(2) });
+        // 500 of our 1000-byte ring share already hot: BAT 1 (700) is
+        // skipped, BAT 2 (200) loads.
+        n.register_owned(BatId(3), 500);
+        n.s1.set_state(BatId(3), OwnedState::InRing { last_seen: SimTime::ZERO });
+        at(&mut n, 100);
+        let eff = n.tick();
+        assert_eq!(eff, vec![Effect::LoadFromDisk { bat: BatId(2), size: 200 }]);
+        assert_eq!(n.s1.state(BatId(1)), Some(OwnedState::Pending { since: SimTime::from_millis(1) }));
+    }
+
+    #[test]
+    fn load_all_respects_interval() {
+        let mut n = node(0);
+        n.register_owned(BatId(1), 100);
+        n.s1.set_state(BatId(1), OwnedState::Pending { since: SimTime::ZERO });
+        at(&mut n, 100);
+        assert_eq!(n.tick().len(), 1);
+        // Re-mark pending; immediately after, the interval gates loadAll.
+        n.s1.set_state(BatId(1), OwnedState::Pending { since: SimTime::from_millis(100) });
+        at(&mut n, 105);
+        assert!(n.tick().is_empty(), "within load_interval");
+        at(&mut n, 120);
+        assert_eq!(n.tick().len(), 1);
+    }
+
+    #[test]
+    fn resend_after_timeout() {
+        let mut n = node(4);
+        at(&mut n, 0);
+        n.local_request(QueryId(1), BatId(8));
+        let _ = n.pin(QueryId(1), BatId(8));
+        at(&mut n, 400);
+        assert!(n.tick().iter().all(|e| !matches!(e, Effect::SendRequest(_))), "not yet");
+        at(&mut n, 600);
+        let eff = n.tick();
+        assert!(
+            eff.contains(&Effect::SendRequest(ReqMsg { origin: NodeId(4), bat: BatId(8) })),
+            "{eff:?}"
+        );
+        assert_eq!(n.stats.requests_resent, 1);
+        // Timer reset: no immediate second resend.
+        at(&mut n, 700);
+        assert!(n.tick().iter().all(|e| !matches!(e, Effect::SendRequest(_))));
+    }
+
+    #[test]
+    fn owner_lost_bat_reverts_to_disk() {
+        let mut n = node(0);
+        n.register_owned(BatId(1), 100);
+        n.s1.set_state(BatId(1), OwnedState::InRing { last_seen: SimTime::ZERO });
+        at(&mut n, 2_500);
+        n.tick();
+        assert_eq!(n.s1.state(BatId(1)), Some(OwnedState::OnDisk));
+        assert_eq!(n.stats.bats_lost, 1);
+        // And a new request now reloads it (outcome 4 again).
+        let eff = n.on_request(ReqMsg { origin: NodeId(2), bat: BatId(1) });
+        assert_eq!(eff, vec![Effect::LoadFromDisk { bat: BatId(1), size: 100 }]);
+    }
+
+    #[test]
+    fn loit_ladder_adapts_on_tick() {
+        let mut n = node(0);
+        assert_eq!(n.loit(), 0.1);
+        n.register_owned(BatId(1), 900);
+        n.s1.set_state(BatId(1), OwnedState::InRing { last_seen: SimTime::ZERO });
+        n.tick(); // 90% hot > 80% watermark
+        assert_eq!(n.loit(), 0.6);
+        n.tick();
+        assert_eq!(n.loit(), 1.1);
+        n.s1.set_state(BatId(1), OwnedState::OnDisk); // 0% < 40%
+        n.tick();
+        assert_eq!(n.loit(), 0.6);
+    }
+
+    #[test]
+    fn owner_local_pin_never_touches_ring() {
+        let mut n = node(0);
+        n.register_owned(BatId(1), 100);
+        assert!(n.local_request(QueryId(1), BatId(1)).is_empty());
+        assert_eq!(n.pin(QueryId(1), BatId(1)).0, PinOutcome::OwnedLocal);
+        assert!(n.unpin(QueryId(1), BatId(1)).is_empty());
+        assert_eq!(n.stats.requests_dispatched, 0);
+    }
+
+    #[test]
+    fn duplicate_local_requests_dispatch_once() {
+        let mut n = node(0);
+        assert_eq!(n.local_request(QueryId(1), BatId(5)).len(), 1);
+        assert!(n.local_request(QueryId(2), BatId(5)).is_empty(), "piggybacks");
+        assert_eq!(n.stats.requests_dispatched, 1);
+    }
+
+    #[test]
+    fn foreign_owner_claim_forwarded() {
+        // A BAT claiming us as owner that S1 does not know (ownership
+        // moved): forward untouched rather than dropping data.
+        let mut n = node(3);
+        let h = BatHeader::fresh(NodeId(3), BatId(77), 10);
+        let eff = n.on_bat(h);
+        assert_eq!(eff.len(), 1);
+        assert!(matches!(eff[0], Effect::SendBat(_)));
+    }
+}

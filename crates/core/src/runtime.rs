@@ -1,0 +1,230 @@
+//! The live-engine seam between the DBMS layer and the ring: blocking
+//! pin/unpin semantics (§4.2.1) implemented over channels and condvars.
+//!
+//! Query threads call [`RingHooks`] (the [`mal::DcHooks`] implementation
+//! injected into plans by the DC optimizer); the node's event loop
+//! fulfills waiters when fragments arrive from the predecessor.
+
+use crate::ids::{BatId, NodeId, QueryId};
+use batstore::Bat;
+use crossbeam::channel::Sender;
+use mal::{DcHooks, MalError};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Ring-wide fragment naming: `schema.table.column` → fragment identity.
+#[derive(Clone, Copy, Debug)]
+pub struct FragInfo {
+    pub bat: BatId,
+    pub size: u64,
+    pub owner: NodeId,
+}
+
+#[derive(Default)]
+pub struct RingCatalog {
+    cols: RwLock<HashMap<String, FragInfo>>,
+}
+
+impl RingCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(schema: &str, table: &str, column: &str) -> String {
+        format!("{schema}.{table}.{column}")
+    }
+
+    pub fn publish(&self, schema: &str, table: &str, column: &str, info: FragInfo) {
+        self.cols.write().insert(Self::key(schema, table, column), info);
+    }
+
+    pub fn lookup(&self, schema: &str, table: &str, column: &str) -> Option<FragInfo> {
+        self.cols.read().get(&Self::key(schema, table, column)).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many of the given fragments each node owns (the data term of a
+    /// §6.1 bid).
+    pub fn owner_counts(&self, bats: &[BatId]) -> HashMap<NodeId, usize> {
+        let cols = self.cols.read();
+        let mut counts: HashMap<NodeId, usize> = HashMap::new();
+        for info in cols.values() {
+            if bats.contains(&info.bat) {
+                *counts.entry(info.owner).or_default() += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// A blocked pin: fulfilled by the node event loop.
+pub struct Waiter {
+    slot: Mutex<Option<Result<Arc<Bat>, String>>>,
+    cv: Condvar,
+}
+
+impl Default for Waiter {
+    fn default() -> Self {
+        Waiter { slot: Mutex::new(None), cv: Condvar::new() }
+    }
+}
+
+impl Waiter {
+    pub fn fulfill(&self, result: Result<Arc<Bat>, String>) {
+        let mut slot = self.slot.lock();
+        *slot = Some(result);
+        self.cv.notify_all();
+    }
+
+    /// Block until fulfilled or the deadline passes.
+    pub fn wait(&self, timeout: Duration) -> Result<Arc<Bat>, String> {
+        let mut slot = self.slot.lock();
+        while slot.is_none() {
+            if self.cv.wait_for(&mut slot, timeout).timed_out() && slot.is_none() {
+                return Err("pin timed out waiting for fragment".into());
+            }
+        }
+        slot.take().expect("checked above")
+    }
+}
+
+/// Commands query threads send into a node's event loop.
+pub enum Cmd {
+    /// Register interest (the `datacyclotron.request` call).
+    Request { query: QueryId, bat: BatId },
+    /// Blocking pin; the waiter is fulfilled with the fragment.
+    Pin { query: QueryId, bat: BatId, waiter: Arc<Waiter> },
+    /// Release a pin.
+    Unpin { query: QueryId, bat: BatId },
+    /// All work for the query is done (cleanup of S2/S3/cache).
+    QueryDone { query: QueryId },
+    /// Store an owned fragment payload at this node ("disk").
+    StoreOwned { bat: BatId, payload: Arc<Bat> },
+    /// Stop the event loop.
+    Shutdown,
+}
+
+/// The [`DcHooks`] implementation wired into MAL plans on ring nodes.
+pub struct RingHooks {
+    pub node: NodeId,
+    pub tx: Sender<super::engine::NodeEvent>,
+    pub catalog: Arc<RingCatalog>,
+    pub pin_timeout: Duration,
+    tickets: Mutex<Vec<BatId>>,
+}
+
+impl RingHooks {
+    pub fn new(
+        node: NodeId,
+        tx: Sender<super::engine::NodeEvent>,
+        catalog: Arc<RingCatalog>,
+        pin_timeout: Duration,
+    ) -> Self {
+        RingHooks { node, tx, catalog, pin_timeout, tickets: Mutex::new(Vec::new()) }
+    }
+
+    fn bat_of_ticket(&self, ticket: u64) -> Result<BatId, MalError> {
+        self.tickets
+            .lock()
+            .get(ticket as usize)
+            .copied()
+            .ok_or_else(|| MalError::Dc(format!("unknown ticket {ticket}")))
+    }
+
+    fn send(&self, cmd: Cmd) -> Result<(), MalError> {
+        self.tx
+            .send(super::engine::NodeEvent::Cmd(cmd))
+            .map_err(|_| MalError::Dc("ring node is down".into()))
+    }
+}
+
+impl DcHooks for RingHooks {
+    fn request(
+        &self,
+        query: u64,
+        schema: &str,
+        table: &str,
+        column: &str,
+    ) -> Result<u64, MalError> {
+        let info = self.catalog.lookup(schema, table, column).ok_or_else(|| {
+            MalError::Dc(format!("unknown fragment {schema}.{table}.{column}"))
+        })?;
+        let ticket = {
+            let mut t = self.tickets.lock();
+            t.push(info.bat);
+            (t.len() - 1) as u64
+        };
+        self.send(Cmd::Request { query: QueryId(query), bat: info.bat })?;
+        Ok(ticket)
+    }
+
+    fn pin(&self, query: u64, ticket: u64) -> Result<Arc<Bat>, MalError> {
+        let bat = self.bat_of_ticket(ticket)?;
+        let waiter = Arc::new(Waiter::default());
+        self.send(Cmd::Pin { query: QueryId(query), bat, waiter: Arc::clone(&waiter) })?;
+        waiter.wait(self.pin_timeout).map_err(MalError::Dc)
+    }
+
+    fn unpin(&self, query: u64, ticket: u64) -> Result<(), MalError> {
+        let bat = self.bat_of_ticket(ticket)?;
+        self.send(Cmd::Unpin { query: QueryId(query), bat })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_catalog_publish_lookup() {
+        let c = RingCatalog::new();
+        assert!(c.is_empty());
+        c.publish(
+            "sys",
+            "t",
+            "id",
+            FragInfo { bat: BatId(7), size: 100, owner: NodeId(2) },
+        );
+        let info = c.lookup("sys", "t", "id").unwrap();
+        assert_eq!(info.bat, BatId(7));
+        assert_eq!(info.owner, NodeId(2));
+        assert!(c.lookup("sys", "t", "nope").is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn waiter_fulfill_before_wait() {
+        let w = Waiter::default();
+        w.fulfill(Err("nope".into()));
+        assert_eq!(w.wait(Duration::from_millis(10)).unwrap_err(), "nope");
+    }
+
+    #[test]
+    fn waiter_fulfilled_across_threads() {
+        let w = Arc::new(Waiter::default());
+        let w2 = Arc::clone(&w);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w2.fulfill(Ok(Arc::new(Bat::dense(batstore::Column::from(vec![1])))));
+        });
+        let got = w.wait(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.count(), 1);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn waiter_times_out() {
+        let w = Waiter::default();
+        let e = w.wait(Duration::from_millis(20)).unwrap_err();
+        assert!(e.contains("timed out"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-node protocol statistics, feeding the paper's figures: request
+//! latencies (Fig. 10), touches/requests/loads per BAT (Fig. 9, kept in
+//! S1 at the owner), throughput and ring-load series (collected by the
+//! drivers).
+
+use crate::ids::BatId;
+use netsim::SimDuration;
+use std::collections::HashMap;
+
+#[derive(Default, Clone, Debug)]
+pub struct NodeStats {
+    /// Requests this node originated (first dispatch per S2 entry).
+    pub requests_dispatched: u64,
+    /// Requests re-sent after a rotational-delay timeout (§4.2.3).
+    pub requests_resent: u64,
+    /// Foreign requests forwarded upstream (outcome 6).
+    pub requests_forwarded: u64,
+    /// Foreign requests absorbed because we wait for the same BAT
+    /// (outcome 5).
+    pub requests_absorbed: u64,
+    /// Foreign requests answered as owner (outcomes 2–4).
+    pub requests_owner_handled: u64,
+    /// Requests that returned to us as origin: the BAT does not exist
+    /// (outcome 1).
+    pub requests_returned: u64,
+    /// BATs forwarded to the successor.
+    pub bats_forwarded: u64,
+    /// Payload bytes forwarded to the successor (ring traffic volume).
+    pub bytes_forwarded: u64,
+    /// Own BATs pulled out of the ring by LOI decision.
+    pub bats_unloaded: u64,
+    /// Below-threshold BATs kept one more cycle because requests arrived
+    /// mid-cycle (demand hold; see DESIGN.md §2).
+    pub demand_holds: u64,
+    /// Own BATs (re-)loaded into the ring.
+    pub bats_loaded: u64,
+    /// Own BATs presumed lost (owner-side rotation timeout).
+    pub bats_lost: u64,
+    /// Pin deliveries to local queries.
+    pub deliveries: u64,
+    /// Queries errored out (nonexistent BAT).
+    pub query_errors: u64,
+    /// Maximum observed request latency per BAT at this requester
+    /// (Fig. 10 aggregates the per-ring max).
+    pub max_request_latency: HashMap<BatId, SimDuration>,
+    /// Sum/count for mean latency reporting.
+    pub latency_sum: SimDuration,
+    pub latency_count: u64,
+}
+
+impl NodeStats {
+    pub fn record_request_latency(&mut self, bat: BatId, latency: SimDuration) {
+        let slot = self.max_request_latency.entry(bat).or_default();
+        if latency > *slot {
+            *slot = latency;
+        }
+        self.latency_sum = self.latency_sum + latency;
+        self.latency_count += 1;
+    }
+
+    pub fn mean_request_latency(&self) -> Option<SimDuration> {
+        self.latency_sum.0.checked_div(self.latency_count).map(SimDuration)
+    }
+
+    /// Merge another node's stats into ring-wide totals.
+    pub fn merge(&mut self, other: &NodeStats) {
+        self.requests_dispatched += other.requests_dispatched;
+        self.requests_resent += other.requests_resent;
+        self.requests_forwarded += other.requests_forwarded;
+        self.requests_absorbed += other.requests_absorbed;
+        self.requests_owner_handled += other.requests_owner_handled;
+        self.requests_returned += other.requests_returned;
+        self.bats_forwarded += other.bats_forwarded;
+        self.bytes_forwarded += other.bytes_forwarded;
+        self.bats_unloaded += other.bats_unloaded;
+        self.demand_holds += other.demand_holds;
+        self.bats_loaded += other.bats_loaded;
+        self.bats_lost += other.bats_lost;
+        self.deliveries += other.deliveries;
+        self.query_errors += other.query_errors;
+        for (&bat, &lat) in &other.max_request_latency {
+            let slot = self.max_request_latency.entry(bat).or_default();
+            if lat > *slot {
+                *slot = lat;
+            }
+        }
+        self.latency_sum = self.latency_sum + other.latency_sum;
+        self.latency_count += other.latency_count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_max_per_bat() {
+        let mut s = NodeStats::default();
+        s.record_request_latency(BatId(1), SimDuration::from_millis(100));
+        s.record_request_latency(BatId(1), SimDuration::from_millis(50));
+        s.record_request_latency(BatId(2), SimDuration::from_millis(200));
+        assert_eq!(s.max_request_latency[&BatId(1)], SimDuration::from_millis(100));
+        assert_eq!(s.max_request_latency[&BatId(2)], SimDuration::from_millis(200));
+        assert_eq!(s.mean_request_latency().unwrap().as_millis(), 116);
+    }
+
+    #[test]
+    fn empty_mean_is_none() {
+        assert!(NodeStats::default().mean_request_latency().is_none());
+    }
+
+    #[test]
+    fn merge_takes_maxima_and_sums() {
+        let mut a = NodeStats { requests_dispatched: 3, ..NodeStats::default() };
+        a.record_request_latency(BatId(1), SimDuration::from_millis(10));
+        let mut b = NodeStats { requests_dispatched: 4, ..NodeStats::default() };
+        b.record_request_latency(BatId(1), SimDuration::from_millis(30));
+        a.merge(&b);
+        assert_eq!(a.requests_dispatched, 7);
+        assert_eq!(a.max_request_latency[&BatId(1)], SimDuration::from_millis(30));
+        assert_eq!(a.latency_count, 2);
+    }
+}

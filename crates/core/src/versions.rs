@@ -1,0 +1,190 @@
+//! §6.4 — the space for updates.
+//!
+//! "We use a multi-version approach to support simple updates. … when a
+//! node N processes an update request, for a BAT f, it propagates f with
+//! a tag: 'updating'. This way, any concurrent updates, waiting in the
+//! rest of the ring, refrain from processing f, recognizing its stale
+//! state; they have to wait for the new version. … Read-only queries
+//! that do not necessarily require the latest updated version can
+//! continue using the flowing old version."
+
+use crate::ids::{BatId, NodeId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Outcome of attempting to start an update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateAdmission {
+    /// This node now controls the update; propagate the BAT tagged
+    /// `updating`.
+    Granted { version_being_replaced: u32 },
+    /// Another node is updating; wait for the new version (or forward the
+    /// update request to the controller).
+    Busy { controller: NodeId },
+}
+
+/// Read admission under multi-versioning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadAdmission {
+    /// Serve the circulating version.
+    Serve { version: u32, stale: bool },
+    /// Caller insisted on the latest and an update is in flight.
+    WaitForNewVersion,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct VersionState {
+    version: u32,
+    updating_by: Option<NodeId>,
+}
+
+/// Per-ring version table (kept by each owner for its BATs; shared here
+/// behind a mutex so engine threads can consult it).
+#[derive(Default)]
+pub struct VersionTable {
+    map: Mutex<HashMap<BatId, VersionState>>,
+}
+
+impl VersionTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn current_version(&self, bat: BatId) -> u32 {
+        self.map.lock().get(&bat).map(|s| s.version).unwrap_or(0)
+    }
+
+    pub fn is_updating(&self, bat: BatId) -> bool {
+        self.map.lock().get(&bat).map(|s| s.updating_by.is_some()).unwrap_or(false)
+    }
+
+    /// An update query settles at `controller` and claims the BAT.
+    pub fn begin_update(&self, bat: BatId, controller: NodeId) -> UpdateAdmission {
+        let mut map = self.map.lock();
+        let st = map.entry(bat).or_insert(VersionState { version: 0, updating_by: None });
+        match st.updating_by {
+            Some(existing) if existing != controller => UpdateAdmission::Busy { controller: existing },
+            _ => {
+                st.updating_by = Some(controller);
+                UpdateAdmission::Granted { version_being_replaced: st.version }
+            }
+        }
+    }
+
+    /// The controller publishes the new version; the `updating` tag is
+    /// cleared and readers waiting for freshness may proceed.
+    pub fn commit_update(&self, bat: BatId, controller: NodeId) -> Result<u32, String> {
+        let mut map = self.map.lock();
+        let st = map
+            .get_mut(&bat)
+            .ok_or_else(|| format!("{bat} has no version state"))?;
+        if st.updating_by != Some(controller) {
+            return Err(format!("{controller} does not control the update of {bat}"));
+        }
+        st.version += 1;
+        st.updating_by = None;
+        Ok(st.version)
+    }
+
+    /// The controller abandons the update.
+    pub fn abort_update(&self, bat: BatId, controller: NodeId) -> bool {
+        let mut map = self.map.lock();
+        match map.get_mut(&bat) {
+            Some(st) if st.updating_by == Some(controller) => {
+                st.updating_by = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Admission control for a read of `seen_version` circulating while
+    /// the table may hold a newer one.
+    pub fn admit_read(&self, bat: BatId, seen_version: u32, require_latest: bool) -> ReadAdmission {
+        let map = self.map.lock();
+        let st = map.get(&bat).copied().unwrap_or(VersionState { version: 0, updating_by: None });
+        let stale = seen_version < st.version || st.updating_by.is_some();
+        if require_latest && (seen_version < st.version || st.updating_by.is_some()) {
+            return ReadAdmission::WaitForNewVersion;
+        }
+        ReadAdmission::Serve { version: seen_version, stale }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_update_control() {
+        let vt = VersionTable::new();
+        assert_eq!(
+            vt.begin_update(BatId(1), NodeId(0)),
+            UpdateAdmission::Granted { version_being_replaced: 0 }
+        );
+        assert_eq!(
+            vt.begin_update(BatId(1), NodeId(3)),
+            UpdateAdmission::Busy { controller: NodeId(0) },
+            "concurrent updater must wait"
+        );
+        // Re-entry by the controller is fine.
+        assert!(matches!(vt.begin_update(BatId(1), NodeId(0)), UpdateAdmission::Granted { .. }));
+    }
+
+    #[test]
+    fn commit_bumps_version_and_releases() {
+        let vt = VersionTable::new();
+        vt.begin_update(BatId(1), NodeId(0));
+        assert!(vt.is_updating(BatId(1)));
+        assert_eq!(vt.commit_update(BatId(1), NodeId(0)).unwrap(), 1);
+        assert!(!vt.is_updating(BatId(1)));
+        assert_eq!(vt.current_version(BatId(1)), 1);
+        // Now another node can update.
+        assert!(matches!(vt.begin_update(BatId(1), NodeId(3)), UpdateAdmission::Granted { version_being_replaced: 1 }));
+    }
+
+    #[test]
+    fn commit_requires_control() {
+        let vt = VersionTable::new();
+        vt.begin_update(BatId(1), NodeId(0));
+        assert!(vt.commit_update(BatId(1), NodeId(9)).is_err());
+        assert!(vt.commit_update(BatId(2), NodeId(0)).is_err(), "unknown bat");
+    }
+
+    #[test]
+    fn abort_releases_without_bump() {
+        let vt = VersionTable::new();
+        vt.begin_update(BatId(1), NodeId(0));
+        assert!(vt.abort_update(BatId(1), NodeId(0)));
+        assert_eq!(vt.current_version(BatId(1)), 0);
+        assert!(!vt.abort_update(BatId(1), NodeId(0)), "double abort");
+    }
+
+    #[test]
+    fn stale_reads_allowed_unless_latest_required() {
+        let vt = VersionTable::new();
+        vt.begin_update(BatId(1), NodeId(0));
+        vt.commit_update(BatId(1), NodeId(0)).unwrap();
+        // A version-0 copy still circulates.
+        match vt.admit_read(BatId(1), 0, false) {
+            ReadAdmission::Serve { version: 0, stale: true } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(vt.admit_read(BatId(1), 0, true), ReadAdmission::WaitForNewVersion);
+        match vt.admit_read(BatId(1), 1, true) {
+            ReadAdmission::Serve { version: 1, stale: false } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reads_during_update_see_updating_tag() {
+        let vt = VersionTable::new();
+        vt.begin_update(BatId(1), NodeId(0));
+        match vt.admit_read(BatId(1), 0, false) {
+            ReadAdmission::Serve { stale: true, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(vt.admit_read(BatId(1), 0, true), ReadAdmission::WaitForNewVersion);
+    }
+}

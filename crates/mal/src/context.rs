@@ -1,0 +1,163 @@
+//! The session context: catalog + BAT store + the seam to the Data
+//! Cyclotron layer.
+//!
+//! The `datacyclotron` MAL module calls through [`DcHooks`]. The live ring
+//! engine implements it with real request/pin/unpin semantics (pin blocks
+//! until the fragment arrives from the predecessor node — paper §4.2.1);
+//! [`LocalHooks`] implements it against the local catalog so plans run
+//! unchanged on a single node ("the BAT is retrieved from disk or local
+//! memory and put into the DBMS space").
+
+use crate::error::{MalError, Result};
+use batstore::{Bat, BatStore, Catalog};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// The seam between the DBMS layer and the Data Cyclotron layer (§4.1):
+/// the three calls the DC optimizer injects into plans.
+pub trait DcHooks: Send + Sync {
+    /// `datacyclotron.request(schema, table, column, access)`: announce
+    /// interest; never blocks. Returns a ticket to pin against.
+    fn request(&self, query: u64, schema: &str, table: &str, column: &str) -> Result<u64>;
+
+    /// `datacyclotron.pin(ticket)`: block until the BAT is available in
+    /// the local DBMS space and return it.
+    fn pin(&self, query: u64, ticket: u64) -> Result<Arc<Bat>>;
+
+    /// `datacyclotron.unpin(ticket)`: release the fragment; the memory
+    /// region may be reclaimed once all pins are gone.
+    fn unpin(&self, query: u64, ticket: u64) -> Result<()>;
+}
+
+/// Single-node hooks: requests resolve directly against the local
+/// catalog. Used for tests, for the MonetDB-equivalent baseline, and for
+/// plans that were not rewritten by the DC optimizer.
+pub struct LocalHooks {
+    catalog: Arc<RwLock<Catalog>>,
+    store: Arc<RwLock<BatStore>>,
+    tickets: Mutex<Vec<Arc<Bat>>>,
+}
+
+impl LocalHooks {
+    pub fn new(catalog: Arc<RwLock<Catalog>>, store: Arc<RwLock<BatStore>>) -> Self {
+        LocalHooks { catalog, store, tickets: Mutex::new(Vec::new()) }
+    }
+}
+
+impl DcHooks for LocalHooks {
+    fn request(&self, _query: u64, schema: &str, table: &str, column: &str) -> Result<u64> {
+        let key = self.catalog.read().bind(schema, table, column)?;
+        let bat = self.store.read().get(key)?;
+        let mut tickets = self.tickets.lock();
+        tickets.push(bat);
+        Ok((tickets.len() - 1) as u64)
+    }
+
+    fn pin(&self, _query: u64, ticket: u64) -> Result<Arc<Bat>> {
+        self.tickets
+            .lock()
+            .get(ticket as usize)
+            .cloned()
+            .ok_or_else(|| MalError::Dc(format!("unknown ticket {ticket}")))
+    }
+
+    fn unpin(&self, _query: u64, _ticket: u64) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Everything an executing plan can reach.
+pub struct SessionCtx {
+    pub catalog: Arc<RwLock<Catalog>>,
+    pub store: Arc<RwLock<BatStore>>,
+    /// The Data Cyclotron layer: ring hooks when this node participates in
+    /// a ring, [`LocalHooks`] otherwise. One instance for the session so
+    /// tickets issued by `request` stay valid for `pin`/`unpin`.
+    hooks: Arc<dyn DcHooks>,
+    /// Captured `io.stdout()` output.
+    pub out: Mutex<String>,
+    /// The query id handed to `DcHooks` calls (assigned at submit time).
+    pub query_id: u64,
+}
+
+impl SessionCtx {
+    pub fn new(catalog: Arc<RwLock<Catalog>>, store: Arc<RwLock<BatStore>>) -> Self {
+        let hooks = Arc::new(LocalHooks::new(Arc::clone(&catalog), Arc::clone(&store)));
+        SessionCtx { catalog, store, hooks, out: Mutex::new(String::new()), query_id: 0 }
+    }
+
+    pub fn with_dc(mut self, dc: Arc<dyn DcHooks>) -> Self {
+        self.hooks = dc;
+        self
+    }
+
+    pub fn with_query_id(mut self, qid: u64) -> Self {
+        self.query_id = qid;
+        self
+    }
+
+    /// The Data Cyclotron seam for this session.
+    pub fn hooks(&self) -> Arc<dyn DcHooks> {
+        Arc::clone(&self.hooks)
+    }
+
+    pub fn take_output(&self) -> String {
+        std::mem::take(&mut self.out.lock())
+    }
+
+    pub fn write_output(&self, s: &str) {
+        self.out.lock().push_str(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batstore::{ColType, Val};
+
+    fn ctx() -> SessionCtx {
+        let mut catalog = Catalog::new();
+        let mut store = BatStore::new();
+        catalog
+            .create_table(
+                &mut store,
+                "sys",
+                "t",
+                &[("id", ColType::Int)],
+                &[vec![Val::Int(42)]],
+            )
+            .unwrap();
+        SessionCtx::new(Arc::new(RwLock::new(catalog)), Arc::new(RwLock::new(store)))
+    }
+
+    #[test]
+    fn local_hooks_resolve_catalog() {
+        let c = ctx();
+        let hooks = c.hooks();
+        let t = hooks.request(1, "sys", "t", "id").unwrap();
+        let bat = hooks.pin(1, t).unwrap();
+        assert_eq!(bat.count(), 1);
+        hooks.unpin(1, t).unwrap();
+    }
+
+    #[test]
+    fn local_hooks_missing_column() {
+        let c = ctx();
+        assert!(c.hooks().request(1, "sys", "t", "ghost").is_err());
+    }
+
+    #[test]
+    fn pin_unknown_ticket_fails() {
+        let c = ctx();
+        assert!(c.hooks().pin(1, 99).is_err());
+    }
+
+    #[test]
+    fn output_capture() {
+        let c = ctx();
+        c.write_output("hello ");
+        c.write_output("world");
+        assert_eq!(c.take_output(), "hello world");
+        assert_eq!(c.take_output(), "", "drained");
+    }
+}

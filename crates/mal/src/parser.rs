@@ -1,0 +1,528 @@
+//! Parser for the textual MAL subset the paper prints. Grammar:
+//!
+//! ```text
+//! program  := "function" qname "(" ")" [":" type] ";" instr* "end" name ";"
+//! instr    := [targets ":="] qname "(" args ")" ";"
+//! targets  := var | "(" var ("," var)* ")"
+//! args     := [arg ("," arg)*]
+//! arg      := var | const
+//! const    := int | float | string | oid | "nil"
+//! oid      := int "@" int
+//! ```
+//! Comments run from `#` to end of line.
+
+use crate::ast::{Arg, Const, Instr, Program};
+use crate::error::{MalError, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Dbl(f64),
+    Str(String),
+    Oid(u64),
+    Assign, // :=
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> MalError {
+        MalError::Parse { line: self.line, msg: msg.into() }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek_byte() {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'#' => {
+                    while let Some(b) = self.peek_byte() {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            self.line += 1;
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Option<(Tok, usize)>> {
+        self.skip_ws();
+        let line = self.line;
+        let Some(b) = self.peek_byte() else { return Ok(None) };
+        let tok = match b {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b';' => {
+                self.pos += 1;
+                Tok::Semi
+            }
+            b'.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            b':' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                    Tok::Assign
+                } else {
+                    Tok::Colon
+                }
+            }
+            b'"' => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.peek_byte() {
+                        None => return Err(self.err("unterminated string")),
+                        Some(b'"') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            self.pos += 1;
+                            match self.peek_byte() {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                other => {
+                                    return Err(self.err(format!("bad escape: {other:?}")))
+                                }
+                            }
+                            self.pos += 1;
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 scalar.
+                            let rest = &self.src[self.pos..];
+                            let s_rest = std::str::from_utf8(rest)
+                                .map_err(|_| self.err("invalid utf-8"))?;
+                            let ch = s_rest.chars().next().unwrap();
+                            s.push(ch);
+                            self.pos += ch.len_utf8();
+                        }
+                    }
+                }
+                Tok::Str(s)
+            }
+            b'-' | b'0'..=b'9' => self.lex_number()?,
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = self.pos;
+                while let Some(b) = self.peek_byte() {
+                    if b.is_ascii_alphanumeric() || b == b'_' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+                Tok::Ident(word)
+            }
+            other => return Err(self.err(format!("unexpected character {:?}", other as char))),
+        };
+        Ok(Some((tok, line)))
+    }
+
+    fn lex_number(&mut self) -> Result<Tok> {
+        let start = self.pos;
+        if self.peek_byte() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek_byte(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        // OID literal `N@0`.
+        if self.peek_byte() == Some(b'@') {
+            let digits = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let n: u64 = digits
+                .parse()
+                .map_err(|_| self.err(format!("bad oid literal: {digits}")))?;
+            self.pos += 1; // @
+            while matches!(self.peek_byte(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            return Ok(Tok::Oid(n));
+        }
+        let mut is_float = false;
+        if self.peek_byte() == Some(b'.') && matches!(self.src.get(self.pos + 1), Some(b'0'..=b'9'))
+        {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek_byte(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek_byte(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek_byte(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek_byte(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>().map(Tok::Dbl).map_err(|e| self.err(format!("bad float: {e}")))
+        } else {
+            text.parse::<i64>().map(Tok::Int).map_err(|e| self.err(format!("bad int: {e}")))
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|&(_, l)| l).unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> MalError {
+        MalError::Parse { line: self.line(), msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<()> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want:?}, got {got:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, got {other:?}"))),
+        }
+    }
+}
+
+/// Parse one MAL function.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let mut lx = Lexer::new(src);
+    let mut toks = Vec::new();
+    while let Some(t) = lx.next_tok()? {
+        toks.push(t);
+    }
+    let mut p = Parser { toks, pos: 0 };
+
+    // Header: function mod.name():type;
+    match p.next()? {
+        Tok::Ident(kw) if kw == "function" => {}
+        other => return Err(p.err(format!("expected 'function', got {other:?}"))),
+    }
+    let module = p.ident()?;
+    p.expect(&Tok::Dot)?;
+    let name = p.ident()?;
+    p.expect(&Tok::LParen)?;
+    p.expect(&Tok::RParen)?;
+    if p.peek() == Some(&Tok::Colon) {
+        p.next()?; // :
+        p.ident()?; // return type, ignored
+    }
+    p.expect(&Tok::Semi)?;
+
+    let mut prog = Program::new(&module, &name);
+
+    loop {
+        // end name;
+        if let Some(Tok::Ident(kw)) = p.peek() {
+            if kw == "end" {
+                p.next()?;
+                let end_name = p.ident()?;
+                if end_name != prog.name {
+                    return Err(p.err(format!(
+                        "end name '{end_name}' does not match function '{}'",
+                        prog.name
+                    )));
+                }
+                p.expect(&Tok::Semi)?;
+                break;
+            }
+        }
+        let raw = parse_instr(&mut p)?;
+        let instr = raw.intern(&mut prog)?;
+        prog.push(instr);
+    }
+    Ok(prog)
+}
+
+/// Pre-interned instruction: names not yet turned into VarIds.
+struct RawInstr {
+    targets: Vec<String>,
+    module: String,
+    func: String,
+    args: Vec<RawArg>,
+}
+
+enum RawArg {
+    Var(String),
+    Const(Const),
+}
+
+impl RawInstr {
+    fn intern(self, prog: &mut Program) -> Result<Instr> {
+        Ok(Instr {
+            targets: self.targets.iter().map(|t| prog.var(t)).collect(),
+            module: self.module,
+            func: self.func,
+            args: self
+                .args
+                .into_iter()
+                .map(|a| match a {
+                    RawArg::Var(name) => Arg::Var(prog.var(&name)),
+                    RawArg::Const(c) => Arg::Const(c),
+                })
+                .collect(),
+        })
+    }
+}
+
+fn parse_instr(p: &mut Parser) -> Result<RawInstr> {
+    // Either: targets := call ;   or:   call ;
+    // Look ahead to find ":=".
+    let mut targets: Vec<String> = Vec::new();
+    let checkpoint = p.pos;
+    let mut is_assign = false;
+
+    match p.peek() {
+        Some(Tok::LParen) => {
+            // (a,b) := …
+            p.next()?;
+            loop {
+                targets.push(p.ident()?);
+                match p.next()? {
+                    Tok::Comma => continue,
+                    Tok::RParen => break,
+                    other => return Err(p.err(format!("expected ',' or ')', got {other:?}"))),
+                }
+            }
+            p.expect(&Tok::Assign)?;
+            is_assign = true;
+        }
+        Some(Tok::Ident(_)) => {
+            let first = p.ident()?;
+            if p.peek() == Some(&Tok::Assign) {
+                p.next()?;
+                targets.push(first);
+                is_assign = true;
+            } else {
+                // Not an assignment: rewind, it is a bare call.
+                p.pos = checkpoint;
+            }
+        }
+        other => return Err(p.err(format!("expected instruction, got {other:?}"))),
+    }
+    let _ = is_assign;
+
+    let module = p.ident()?;
+    p.expect(&Tok::Dot)?;
+    let func = p.ident()?;
+    p.expect(&Tok::LParen)?;
+    let mut args = Vec::new();
+    if p.peek() != Some(&Tok::RParen) {
+        loop {
+            let arg = match p.next()? {
+                Tok::Ident(s) if s == "nil" => RawArg::Const(Const::Nil),
+                Tok::Ident(s) => RawArg::Var(s),
+                Tok::Int(v) => RawArg::Const(Const::Int(v)),
+                Tok::Dbl(v) => RawArg::Const(Const::Dbl(v)),
+                Tok::Str(s) => RawArg::Const(Const::Str(s)),
+                Tok::Oid(v) => RawArg::Const(Const::Oid(v)),
+                other => return Err(p.err(format!("bad argument: {other:?}"))),
+            };
+            args.push(arg);
+            match p.next()? {
+                Tok::Comma => continue,
+                Tok::RParen => break,
+                other => return Err(p.err(format!("expected ',' or ')', got {other:?}"))),
+            }
+        }
+    } else {
+        p.next()?; // consume ')'
+    }
+    p.expect(&Tok::Semi)?;
+    Ok(RawInstr { targets, module, func, args })
+}
+
+/// The paper's Table 1 plan, as shipped text; used in tests and the plan
+/// reproduction harness.
+pub const PAPER_TABLE1: &str = r#"
+function user.s1_2():void;
+    X1 := sql.bind("sys","t","id",0);
+    X6 := sql.bind("sys","c","t_id",0);
+    X9 := bat.reverse(X6);
+    X10 := algebra.join(X1, X9);
+    X13 := algebra.markT(X10,0@0);
+    X14 := bat.reverse(X13);
+    X15 := algebra.join(X14, X1);
+    X16 := sql.resultSet(1,1,X15);
+    sql.rsCol(X16,"sys.c","t_id","int",32,0,X15);
+    X22 := io.stdout();
+    sql.exportResult(X22,X16);
+end s1_2;
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Arg;
+
+    #[test]
+    fn parses_paper_table1() {
+        let p = parse_program(PAPER_TABLE1).unwrap();
+        assert_eq!(p.module, "user");
+        assert_eq!(p.name, "s1_2");
+        assert_eq!(p.len(), 11);
+        assert!(p.instrs[0].is("sql", "bind"));
+        assert_eq!(p.instrs[0].args.len(), 4);
+        assert!(p.instrs[8].is("sql", "rsCol"));
+        assert!(p.instrs[8].targets.is_empty(), "bare call has no target");
+    }
+
+    #[test]
+    fn round_trip_print_parse() {
+        let p1 = parse_program(PAPER_TABLE1).unwrap();
+        let text = p1.to_string();
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p1.name, p2.name);
+        assert_eq!(p1.len(), p2.len());
+        for (a, b) in p1.instrs.iter().zip(&p2.instrs) {
+            assert_eq!(a.qualified_name(), b.qualified_name());
+            assert_eq!(a.args.len(), b.args.len());
+        }
+    }
+
+    #[test]
+    fn oid_literals() {
+        let p = parse_program(
+            "function user.q():void;\nX1 := algebra.markT(X0, 42@0);\nend q;",
+        )
+        .unwrap();
+        assert_eq!(p.instrs[0].args[1], Arg::Const(Const::Oid(42)));
+    }
+
+    #[test]
+    fn multi_target() {
+        let p = parse_program(
+            "function user.q():void;\n(Xg,Xe) := group.new(X0);\nend q;",
+        )
+        .unwrap();
+        assert_eq!(p.instrs[0].targets.len(), 2);
+        assert_eq!(p.var_name(p.instrs[0].targets[1]), "Xe");
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let p = parse_program(
+            "# header comment\nfunction user.q():void;\n  # inner\n  X1 := io.stdout();\nend q;  # trailing",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let p = parse_program(
+            r#"function user.q():void;
+X1 := io.print("a\"b\\c");
+end q;"#,
+        )
+        .unwrap();
+        assert_eq!(p.instrs[0].args[0], Arg::Const(Const::Str("a\"b\\c".into())));
+    }
+
+    #[test]
+    fn numeric_literals() {
+        let p = parse_program(
+            "function user.q():void;\nX1 := calc.f(-5, 2.5, 1e3);\nend q;",
+        )
+        .unwrap();
+        assert_eq!(p.instrs[0].args[0], Arg::Const(Const::Int(-5)));
+        assert_eq!(p.instrs[0].args[1], Arg::Const(Const::Dbl(2.5)));
+        assert_eq!(p.instrs[0].args[2], Arg::Const(Const::Dbl(1000.0)));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_program("function user.q():void;\nX1 := bad syntax here\nend q;")
+            .unwrap_err();
+        match err {
+            MalError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_end_rejected() {
+        assert!(parse_program("function user.q():void;\nend other;").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(parse_program("function user.q():void;\nX1 := io.print(\"oops);\nend q;")
+            .is_err());
+    }
+
+    #[test]
+    fn empty_args() {
+        let p =
+            parse_program("function user.q():void;\nX1 := io.stdout();\nend q;").unwrap();
+        assert!(p.instrs[0].args.is_empty());
+    }
+}

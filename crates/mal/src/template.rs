@@ -1,0 +1,170 @@
+//! The query-template cache of paper §3.2: "An SQL query is translated
+//! into a parametrized representation, called a query template, by
+//! factoring out its literal constants … The query templates are kept in
+//! a query cache."
+
+use crate::ast::Program;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Normalize a SQL text into its template key: literal constants become
+/// `?`, whitespace collapses, keywords lower-case. Two queries differing
+/// only in constants share one plan template.
+pub fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut chars = sql.chars().peekable();
+    let mut last_space = true;
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                // String literal → ?
+                for c2 in chars.by_ref() {
+                    if c2 == '\'' {
+                        break;
+                    }
+                }
+                out.push('?');
+                last_space = false;
+            }
+            '0'..='9' => {
+                // Numeric literal (identifiers with digits are handled
+                // below since we only get here when not inside a word).
+                while matches!(chars.peek(), Some('0'..='9') | Some('.')) {
+                    chars.next();
+                }
+                out.push('?');
+                last_space = false;
+            }
+            c if c.is_whitespace() => {
+                if !last_space {
+                    out.push(' ');
+                    last_space = true;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                out.push(c.to_ascii_lowercase());
+                // Consume the rest of the word including digits, so
+                // `table2` stays an identifier and is not templated.
+                while matches!(chars.peek(), Some(c2) if c2.is_alphanumeric() || *c2 == '_') {
+                    out.push(chars.next().unwrap().to_ascii_lowercase());
+                }
+                last_space = false;
+            }
+            c => {
+                out.push(c);
+                last_space = false;
+            }
+        }
+    }
+    out.trim().to_string()
+}
+
+/// A concurrent template cache with hit statistics.
+#[derive(Default)]
+pub struct TemplateCache {
+    map: Mutex<HashMap<String, Arc<Program>>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl TemplateCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch the template for `sql`, compiling it with `compile` on miss.
+    pub fn get_or_compile<E>(
+        &self,
+        sql: &str,
+        compile: impl FnOnce() -> Result<Program, E>,
+    ) -> Result<Arc<Program>, E> {
+        let key = normalize_sql(sql);
+        if let Some(p) = self.map.lock().get(&key) {
+            *self.hits.lock() += 1;
+            return Ok(Arc::clone(p));
+        }
+        let prog = Arc::new(compile()?);
+        *self.misses.lock() += 1;
+        self.map.lock().insert(key, Arc::clone(&prog));
+        Ok(prog)
+    }
+
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_factored_out() {
+        let a = normalize_sql("select x from t where a = 5 and b = 'foo'");
+        let b = normalize_sql("SELECT x FROM t WHERE a = 99 AND b = 'bar'");
+        assert_eq!(a, b);
+        assert!(a.contains('?'));
+    }
+
+    #[test]
+    fn identifiers_with_digits_preserved() {
+        let a = normalize_sql("select c1 from table2");
+        assert_eq!(a, "select c1 from table2");
+    }
+
+    #[test]
+    fn whitespace_collapsed() {
+        assert_eq!(
+            normalize_sql("select   x\n\tfrom t"),
+            "select x from t"
+        );
+    }
+
+    #[test]
+    fn different_shapes_differ() {
+        assert_ne!(
+            normalize_sql("select x from t"),
+            normalize_sql("select y from t")
+        );
+    }
+
+    #[test]
+    fn cache_hits_on_same_template() {
+        let cache = TemplateCache::new();
+        let mk = || -> Result<Program, ()> { Ok(Program::new("user", "t")) };
+        cache.get_or_compile("select x from t where a = 1", mk).unwrap();
+        cache.get_or_compile("select x from t where a = 2", mk).unwrap();
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_compile_error_propagates() {
+        let cache = TemplateCache::new();
+        let r = cache.get_or_compile("select x from t", || Err("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let cache = TemplateCache::new();
+        cache.get_or_compile("select 1", || -> Result<Program, ()> { Ok(Program::new("u", "x")) }).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Runtime values of the MAL interpreter.
+
+use batstore::{Bat, Val};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// A result set under construction: `sql.resultSet` creates it,
+/// `sql.rsCol` appends columns, `sql.exportResult` renders it. Shared
+/// behind a mutex because plan threads may touch it concurrently.
+#[derive(Default)]
+pub struct ResultSetInner {
+    pub columns: Vec<ResultColumn>,
+}
+
+pub struct ResultColumn {
+    pub table: String,
+    pub name: String,
+    pub sql_type: String,
+    pub data: Arc<Bat>,
+}
+
+#[derive(Clone, Default)]
+pub struct ResultSet(pub Arc<Mutex<ResultSetInner>>);
+
+impl ResultSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_column(&self, table: &str, name: &str, sql_type: &str, data: Arc<Bat>) {
+        self.0.lock().columns.push(ResultColumn {
+            table: table.into(),
+            name: name.into(),
+            sql_type: sql_type.into(),
+            data,
+        });
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.0.lock().columns.first().map(|c| c.data.count()).unwrap_or(0)
+    }
+
+    pub fn column_count(&self) -> usize {
+        self.0.lock().columns.len()
+    }
+
+    /// Cell value (row-major access for rendering and tests).
+    pub fn cell(&self, row: usize, col: usize) -> Val {
+        self.0.lock().columns[col].data.tail().get(row)
+    }
+
+    /// Render in MonetDB's tabular client format.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let inner = self.0.lock();
+        let mut s = String::new();
+        let headers: Vec<String> =
+            inner.columns.iter().map(|c| format!("{}.{}", c.table, c.name)).collect();
+        let _ = writeln!(s, "% {}", headers.join(",\t"));
+        let types: Vec<&str> = inner.columns.iter().map(|c| c.sql_type.as_str()).collect();
+        let _ = writeln!(s, "% {}", types.join(",\t"));
+        let rows = inner.columns.first().map(|c| c.data.count()).unwrap_or(0);
+        for r in 0..rows {
+            let cells: Vec<String> =
+                inner.columns.iter().map(|c| c.data.tail().get(r).to_string()).collect();
+            let _ = writeln!(s, "[ {} ]", cells.join(",\t"));
+        }
+        s
+    }
+}
+
+/// A MAL runtime value.
+#[derive(Clone)]
+pub enum MVal {
+    Void,
+    Int(i64),
+    Dbl(f64),
+    Str(String),
+    Oid(u64),
+    Bool(bool),
+    /// BATs are shared, never copied, between instructions — the paper's
+    /// "pointer to a memory mapped region".
+    Bat(Arc<Bat>),
+    /// A Data Cyclotron request ticket (returned by
+    /// `datacyclotron.request`, consumed by `pin`).
+    Ticket(u64),
+    /// A pinned BAT: behaves as a BAT everywhere, but remembers the ticket
+    /// so `datacyclotron.unpin(X)` on the pinned variable — exactly as the
+    /// paper's Table 2 writes it — can release the right request.
+    Pinned { bat: Arc<Bat>, ticket: u64 },
+    ResultSet(ResultSet),
+    /// An output stream handle (`io.stdout()`); writes are captured by the
+    /// session.
+    Stream,
+}
+
+impl MVal {
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MVal::Void => "void",
+            MVal::Int(_) => "int",
+            MVal::Dbl(_) => "dbl",
+            MVal::Str(_) => "str",
+            MVal::Oid(_) => "oid",
+            MVal::Bool(_) => "bit",
+            MVal::Bat(_) => "bat",
+            MVal::Ticket(_) => "ticket",
+            MVal::Pinned { .. } => "bat",
+            MVal::ResultSet(_) => "resultset",
+            MVal::Stream => "stream",
+        }
+    }
+
+    pub fn as_bat(&self) -> Option<&Arc<Bat>> {
+        match self {
+            MVal::Bat(b) => Some(b),
+            MVal::Pinned { bat, .. } => Some(bat),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            MVal::Int(v) => Some(*v),
+            MVal::Oid(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            MVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convert a kernel scalar into a MAL value.
+    pub fn from_val(v: Val) -> MVal {
+        match v {
+            Val::Nil => MVal::Void,
+            Val::Oid(o) => MVal::Oid(o),
+            Val::Int(i) => MVal::Int(i as i64),
+            Val::Lng(l) => MVal::Int(l),
+            Val::Dbl(d) => MVal::Dbl(d),
+            Val::Str(s) => MVal::Str(s),
+            Val::Bool(b) => MVal::Bool(b),
+            Val::Date(d) => MVal::Int(d as i64),
+        }
+    }
+}
+
+impl fmt::Debug for MVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MVal::Void => write!(f, "void"),
+            MVal::Int(v) => write!(f, "{v}:int"),
+            MVal::Dbl(v) => write!(f, "{v}:dbl"),
+            MVal::Str(s) => write!(f, "{s:?}:str"),
+            MVal::Oid(v) => write!(f, "{v}@0"),
+            MVal::Bool(b) => write!(f, "{b}:bit"),
+            MVal::Bat(b) => write!(f, "<bat {}x{}>", b.count(), b.tail_type()),
+            MVal::Ticket(t) => write!(f, "<ticket {t}>"),
+            MVal::Pinned { bat, ticket } => {
+                write!(f, "<pinned bat {}x{} t{}>", bat.count(), bat.tail_type(), ticket)
+            }
+            MVal::ResultSet(rs) => write!(f, "<resultset {} cols>", rs.column_count()),
+            MVal::Stream => write!(f, "<stream>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batstore::Column;
+
+    #[test]
+    fn result_set_accumulates() {
+        let rs = ResultSet::new();
+        rs.add_column("sys.c", "t_id", "int", Arc::new(Bat::dense(Column::from(vec![1, 2]))));
+        assert_eq!(rs.column_count(), 1);
+        assert_eq!(rs.row_count(), 2);
+        assert_eq!(rs.cell(1, 0), Val::Int(2));
+    }
+
+    #[test]
+    fn render_monetdb_style() {
+        let rs = ResultSet::new();
+        rs.add_column("sys.c", "t_id", "int", Arc::new(Bat::dense(Column::from(vec![7]))));
+        let out = rs.render();
+        assert!(out.contains("% sys.c.t_id"), "{out}");
+        assert!(out.contains("% int"), "{out}");
+        assert!(out.contains("[ 7 ]"), "{out}");
+    }
+
+    #[test]
+    fn from_val_conversions() {
+        assert!(matches!(MVal::from_val(Val::Int(3)), MVal::Int(3)));
+        assert!(matches!(MVal::from_val(Val::Lng(5)), MVal::Int(5)));
+        assert!(matches!(MVal::from_val(Val::Nil), MVal::Void));
+        assert!(matches!(MVal::from_val(Val::from("x")), MVal::Str(_)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(MVal::Int(4).as_int(), Some(4));
+        assert_eq!(MVal::Oid(4).as_int(), Some(4));
+        assert_eq!(MVal::Str("a".into()).as_str(), Some("a"));
+        assert!(MVal::Void.as_bat().is_none());
+        assert_eq!(MVal::Ticket(9).type_name(), "ticket");
+    }
+}

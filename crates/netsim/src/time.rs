@@ -1,0 +1,165 @@
+//! Simulated time with nanosecond resolution.
+//!
+//! `u64` nanoseconds cover ~584 years of simulated time, far beyond any
+//! experiment in the paper (the longest run is a few hundred seconds).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute point in simulated time, in nanoseconds since simulation
+/// start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than any experiment horizon; used as an "infinity"
+    /// sentinel for, e.g., idle links.
+    pub const FAR_FUTURE: SimTime = SimTime(u64::MAX);
+
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "negative SimTime");
+        SimTime((s * 1e9).round() as u64)
+    }
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Elapsed time since `earlier`; saturates at zero rather than
+    /// panicking so that clock-skew at driver boundaries is harmless.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "negative SimDuration");
+        SimDuration((s * 1e9).round() as u64)
+    }
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Scale by a non-negative factor (used for timeout slack factors).
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0);
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(d.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(3).as_secs_f64(), 3.0);
+        assert_eq!(SimTime::from_millis(1500).as_millis(), 1500);
+        assert_eq!(SimTime::from_micros(350).as_nanos(), 350_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_millis(), 500);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + SimDuration::from_millis(250);
+        assert_eq!(t.as_millis(), 1250);
+        assert_eq!((t - SimTime::from_secs(1)).as_millis(), 250);
+        // saturating, not panicking
+        assert_eq!((SimTime::ZERO - SimTime::from_secs(1)).as_nanos(), 0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert_eq!(SimTime::from_millis(5).max(SimTime::from_millis(3)).as_millis(), 5);
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        assert_eq!(SimDuration::from_secs(2).mul_f64(1.5).as_millis(), 3000);
+        assert_eq!(SimDuration::from_secs(2).mul_f64(0.0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,90 @@
+//! The per-node core scheduler for the §5.4 calibration: "Each node is
+//! composed by four cores and the calls scheduling is distributed
+//! amongst them. The scheduling at each core is done using a time line.
+//! An operator execution is scheduled at certain moment and it has a
+//! duration … A core can only be used for a single operator."
+
+use netsim::{SimDuration, SimTime};
+
+pub struct CoreSched {
+    free_at: Vec<SimTime>,
+    /// Total busy core-time (CPU% numerator).
+    pub busy: SimDuration,
+}
+
+impl CoreSched {
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0);
+        CoreSched { free_at: vec![SimTime::ZERO; cores], busy: SimDuration::ZERO }
+    }
+
+    pub fn cores(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Schedule a segment that becomes ready at `ready`; returns its
+    /// completion time on the earliest-free core.
+    pub fn schedule(&mut self, ready: SimTime, dur: SimDuration) -> SimTime {
+        let (idx, _) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("at least one core");
+        let start = self.free_at[idx].max(ready);
+        let end = start + dur;
+        self.free_at[idx] = end;
+        self.busy = self.busy + dur;
+        end
+    }
+
+    /// Utilization over a makespan.
+    pub fn utilization(&self, makespan: SimDuration) -> f64 {
+        if makespan == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / (self.cores() as f64 * makespan.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_on_one_core() {
+        let mut s = CoreSched::new(1);
+        let e1 = s.schedule(SimTime::ZERO, SimDuration::from_millis(10));
+        let e2 = s.schedule(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(e1.as_millis(), 10);
+        assert_eq!(e2.as_millis(), 20, "second op waits for the core");
+    }
+
+    #[test]
+    fn parallel_on_multiple_cores() {
+        let mut s = CoreSched::new(4);
+        let ends: Vec<u64> = (0..4)
+            .map(|_| s.schedule(SimTime::ZERO, SimDuration::from_millis(10)).as_millis())
+            .collect();
+        assert_eq!(ends, vec![10, 10, 10, 10]);
+        let e5 = s.schedule(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(e5.as_millis(), 20);
+    }
+
+    #[test]
+    fn ready_time_respected() {
+        let mut s = CoreSched::new(2);
+        let e = s.schedule(SimTime::from_millis(100), SimDuration::from_millis(5));
+        assert_eq!(e.as_millis(), 105, "cannot start before data is ready");
+    }
+
+    #[test]
+    fn utilization_accounts_busy_time() {
+        let mut s = CoreSched::new(2);
+        s.schedule(SimTime::ZERO, SimDuration::from_millis(10));
+        s.schedule(SimTime::ZERO, SimDuration::from_millis(30));
+        let u = s.utilization(SimDuration::from_millis(40));
+        assert!((u - 0.5).abs() < 1e-9, "u={u}");
+        assert_eq!(s.utilization(SimDuration::ZERO), 0.0);
+    }
+}

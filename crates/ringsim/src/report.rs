@@ -1,0 +1,155 @@
+//! Report rendering shared by the harness binaries: ASCII tables and
+//! plots for stdout, CSV series for `target/experiments/`.
+
+use netsim::metrics::TimeSeries;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The directory experiment CSVs land in.
+pub fn experiments_dir() -> PathBuf {
+    let root = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    Path::new(&root).join("experiments")
+}
+
+/// Write a CSV under `target/experiments/` and return its path.
+pub fn write_csv(name: &str, content: &str) -> std::io::Result<PathBuf> {
+    let dir = experiments_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// A simple fixed-width ASCII table.
+pub struct AsciiTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    pub fn new(headers: &[&str]) -> Self {
+        AsciiTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in widths.iter().take(ncols) {
+                let _ = write!(out, "+-{}-", "-".repeat(*w));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "| {h:>w$} ", w = widths[i]);
+        }
+        out.push_str("|\n");
+        sep(&mut out);
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(out, "| {c:>w$} ", w = widths[i]);
+            }
+            out.push_str("|\n");
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+/// Render a time series as a coarse ASCII plot (terminal "figure"),
+/// `width` columns by `height` rows, plus axis annotations.
+pub fn ascii_plot(title: &str, series: &[(&str, &TimeSeries)], width: usize, height: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "── {title} ──");
+    let (mut tmax, mut vmax) = (0.0f64, 0.0f64);
+    for (_, s) in series {
+        for &(t, v) in &s.points {
+            tmax = tmax.max(t);
+            vmax = vmax.max(v);
+        }
+    }
+    if tmax <= 0.0 || vmax <= 0.0 {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let marks = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for &(t, v) in &s.points {
+            let x = ((t / tmax) * (width - 1) as f64).round() as usize;
+            let y = ((v / vmax) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - y][x.min(width - 1)] = mark;
+        }
+    }
+    let _ = writeln!(out, "{vmax:>12.0} ┐");
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "{:>12} │{line}", "");
+    }
+    let _ = writeln!(out, "{:>12} └{}", 0, "─".repeat(width));
+    let _ = writeln!(out, "{:>14}0{:>w$.0}s", "", tmax, w = width - 1);
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "    {} {}", marks[si % marks.len()], name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = AsciiTable::new(&["#nodes", "exec(sec)", "throughput"]);
+        t.row(&["1".into(), "317".into(), "3.8".into()]);
+        t.row(&["8".into(), "371.27".into(), "25.8".into()]);
+        let s = t.render();
+        assert!(s.contains("#nodes"));
+        assert!(s.contains("371.27"));
+        let lines: Vec<&str> = s.lines().collect();
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "all lines same width:\n{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_checks_arity() {
+        let mut t = AsciiTable::new(&["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn plot_handles_data_and_empty() {
+        let mut s = TimeSeries::new();
+        for i in 0..100 {
+            s.push_secs(i as f64, (i * i) as f64);
+        }
+        let p = ascii_plot("test", &[("quad", &s)], 40, 10);
+        assert!(p.contains("test"));
+        assert!(p.contains('*'));
+        let empty = TimeSeries::new();
+        let p = ascii_plot("none", &[("e", &empty)], 40, 10);
+        assert!(p.contains("no data"));
+    }
+
+    #[test]
+    fn csv_written_to_experiments_dir() {
+        let path = write_csv("unit_test_report.csv", "a,b\n1,2\n").unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains("a,b"));
+        std::fs::remove_file(path).ok();
+    }
+}

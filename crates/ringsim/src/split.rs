@@ -1,0 +1,265 @@
+//! §6.1 intra-query parallelism: "a query can be split into independent
+//! sub-queries to consume disjoint data subsets … All sub-queries are
+//! then processed concurrently, each settling on a different node
+//! following the basic procedures of a normal query. The individual
+//! intermediate results are combined to form the final query result."
+//!
+//! [`split_queries`] partitions a query's fragment footprint by owner
+//! node — the natural disjoint subsets of the nomadic phase, since a
+//! part that settles on an owner resolves those pins locally — capped
+//! at [`SplitParams::max_parts`] parts. Each part is an ordinary
+//! [`QuerySpec`] the driver runs unchanged; the returned [`SplitMap`]
+//! lets the driver account the *parent* query: it finishes when its
+//! last part finishes, plus a combination cost per extra part for
+//! merging the intermediate results.
+
+use dc_workloads::{Dataset, ExecModel, QuerySpec};
+use netsim::{SimDuration, SimTime};
+
+/// Splitting knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitParams {
+    /// Upper bound on parts per query ("the number of sub-queries
+    /// depend on the price attached dynamically" — we bound it
+    /// statically; 1 disables splitting).
+    pub max_parts: usize,
+    /// Cost of combining one extra part's intermediate result into the
+    /// final answer, charged at parent completion.
+    pub merge_cost: SimDuration,
+}
+
+impl Default for SplitParams {
+    fn default() -> Self {
+        SplitParams { max_parts: 4, merge_cost: SimDuration::from_millis(5) }
+    }
+}
+
+/// Part → parent bookkeeping produced by [`split_queries`].
+#[derive(Clone, Debug)]
+pub struct SplitMap {
+    /// Parent index (into the original query list) of each part.
+    pub parent_of: Vec<usize>,
+    /// True for exactly one part per parent (registration accounting).
+    pub is_primary: Vec<bool>,
+    /// Original arrival per parent.
+    pub parent_arrival: Vec<SimTime>,
+    /// Original tag per parent.
+    pub parent_tag: Vec<u32>,
+    /// Number of parts each parent was split into.
+    pub parts_of_parent: Vec<usize>,
+    pub merge_cost: SimDuration,
+}
+
+impl SplitMap {
+    /// Combination cost for a parent with `parts` parts: merging is
+    /// only needed once the query was actually distributed.
+    pub fn merge_cost_of(&self, parent: usize) -> SimDuration {
+        let extra = self.parts_of_parent[parent].saturating_sub(1) as f64;
+        self.merge_cost.mul_f64(extra)
+    }
+}
+
+/// Partition `queries` into owner-affine parts (see module docs).
+///
+/// `PinSchedule` queries pass through unsplit: their sequential pin
+/// chain encodes an operator dependency that cannot be consumed as
+/// disjoint subsets.
+pub fn split_queries(
+    queries: &[QuerySpec],
+    dataset: &Dataset,
+    params: &SplitParams,
+) -> (Vec<QuerySpec>, SplitMap) {
+    assert!(params.max_parts >= 1, "max_parts of 0 would drop queries");
+    let mut parts = Vec::with_capacity(queries.len());
+    let mut map = SplitMap {
+        parent_of: Vec::with_capacity(queries.len()),
+        is_primary: Vec::with_capacity(queries.len()),
+        parent_arrival: queries.iter().map(|q| q.arrival).collect(),
+        parent_tag: queries.iter().map(|q| q.tag).collect(),
+        parts_of_parent: Vec::with_capacity(queries.len()),
+        merge_cost: params.merge_cost,
+    };
+
+    for (parent, q) in queries.iter().enumerate() {
+        let groups = partition_needs(q, dataset, params.max_parts);
+        map.parts_of_parent.push(groups.len());
+        for (k, group) in groups.into_iter().enumerate() {
+            parts.push(make_part(q, &group, dataset));
+            map.parent_of.push(parent);
+            map.is_primary.push(k == 0);
+        }
+    }
+    (parts, map)
+}
+
+/// Group the need *indices* of `q` by owner, merging the smallest
+/// groups until at most `max_parts` remain. Returns at least one group.
+fn partition_needs(q: &QuerySpec, dataset: &Dataset, max_parts: usize) -> Vec<Vec<usize>> {
+    if max_parts == 1 || q.needs.len() < 2 || matches!(q.model, ExecModel::PinSchedule { .. }) {
+        return vec![(0..q.needs.len()).collect()];
+    }
+    // Owner → need indices, in first-appearance order for determinism.
+    let mut owners: Vec<usize> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, &need) in q.needs.iter().enumerate() {
+        let owner = dataset.owner_of(need);
+        match owners.iter().position(|&o| o == owner) {
+            Some(g) => groups[g].push(i),
+            None => {
+                owners.push(owner);
+                groups.push(vec![i]);
+            }
+        }
+    }
+    // Fold the smallest groups together until the cap holds. Merging
+    // smallest-into-smallest keeps the remaining parts owner-pure as
+    // long as possible.
+    while groups.len() > max_parts {
+        groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+        let a = groups.pop().expect("len > max_parts >= 1");
+        groups.last_mut().expect("len >= 1").extend(a);
+    }
+    groups
+}
+
+/// Build the sub-query for one group of need indices. The part settles
+/// on the owner of its first need — the node where those pins are
+/// local.
+fn make_part(q: &QuerySpec, group: &[usize], dataset: &Dataset) -> QuerySpec {
+    let needs = group.iter().map(|&i| q.needs[i]).collect::<Vec<_>>();
+    let model = match &q.model {
+        ExecModel::PerBat { proc } => {
+            ExecModel::PerBat { proc: group.iter().map(|&i| proc[i]).collect() }
+        }
+        ExecModel::PinSchedule { segments } => {
+            // Unsplit by construction (partition_needs), so the whole
+            // schedule carries over.
+            debug_assert_eq!(group.len(), q.needs.len());
+            ExecModel::PinSchedule { segments: segments.clone() }
+        }
+    };
+    QuerySpec { arrival: q.arrival, node: dataset.owner_of(needs[0]), needs, model, tag: q.tag }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacyclotron::BatId;
+
+    /// 6 BATs: 0,1 owned by node 0; 2,3 by node 1; 4,5 by node 2.
+    fn dataset() -> Dataset {
+        Dataset { sizes: vec![1 << 20; 6], owners: vec![0, 0, 1, 1, 2, 2] }
+    }
+
+    fn per_bat(needs: Vec<BatId>) -> QuerySpec {
+        let n = needs.len();
+        QuerySpec {
+            arrival: SimTime::from_millis(3),
+            node: 0,
+            needs,
+            model: ExecModel::PerBat {
+                proc: (0..n).map(|i| SimDuration::from_millis(10 * (i as u64 + 1))).collect(),
+            },
+            tag: 7,
+        }
+    }
+
+    #[test]
+    fn splits_by_owner_with_matching_proc() {
+        let q = per_bat(vec![BatId(0), BatId(2), BatId(1), BatId(4)]);
+        let (parts, map) = split_queries(&[q], &dataset(), &SplitParams::default());
+        assert_eq!(parts.len(), 3);
+        assert_eq!(map.parts_of_parent, vec![3]);
+        // Owner-0 part keeps needs 0,1 with their original procs (10, 30 ms).
+        let p0 = &parts[0];
+        assert_eq!(p0.needs, vec![BatId(0), BatId(1)]);
+        assert_eq!(p0.node, 0);
+        let ExecModel::PerBat { proc } = &p0.model else { panic!() };
+        assert_eq!(proc, &[SimDuration::from_millis(10), SimDuration::from_millis(30)]);
+        // Every part validates and inherits arrival/tag.
+        for p in &parts {
+            p.validate().unwrap();
+            assert_eq!(p.arrival, SimTime::from_millis(3));
+            assert_eq!(p.tag, 7);
+        }
+        // Exactly one primary.
+        assert_eq!(map.is_primary.iter().filter(|&&p| p).count(), 1);
+    }
+
+    #[test]
+    fn parts_settle_on_their_owners() {
+        let q = per_bat(vec![BatId(5), BatId(3)]);
+        let (parts, _) = split_queries(&[q], &dataset(), &SplitParams::default());
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].node, 2, "first group follows BAT 5's owner");
+        assert_eq!(parts[1].node, 1);
+    }
+
+    #[test]
+    fn max_parts_folds_smallest_groups() {
+        let q = per_bat(vec![BatId(0), BatId(2), BatId(4), BatId(1)]);
+        // 3 owner groups → capped at 2.
+        let (parts, map) =
+            split_queries(std::slice::from_ref(&q), &dataset(), &SplitParams { max_parts: 2, ..Default::default() });
+        assert_eq!(parts.len(), 2);
+        assert_eq!(map.parts_of_parent, vec![2]);
+        // Needs are preserved as a multiset.
+        let mut all: Vec<u32> = parts.iter().flat_map(|p| p.needs.iter().map(|b| b.0)).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 4]);
+        // max_parts = 1 disables splitting entirely.
+        let (parts, map) =
+            split_queries(&[q], &dataset(), &SplitParams { max_parts: 1, ..Default::default() });
+        assert_eq!(parts.len(), 1);
+        assert_eq!(map.parts_of_parent, vec![1]);
+    }
+
+    #[test]
+    fn single_need_and_pin_schedule_pass_through() {
+        let single = per_bat(vec![BatId(4)]);
+        let pin = QuerySpec {
+            arrival: SimTime::ZERO,
+            node: 1,
+            needs: vec![BatId(0), BatId(4)],
+            model: ExecModel::PinSchedule {
+                segments: vec![
+                    SimDuration::from_millis(1),
+                    SimDuration::from_millis(2),
+                    SimDuration::from_millis(3),
+                ],
+            },
+            tag: 0,
+        };
+        let (parts, map) =
+            split_queries(&[single.clone(), pin.clone()], &dataset(), &SplitParams::default());
+        assert_eq!(parts.len(), 2);
+        assert_eq!(map.parts_of_parent, vec![1, 1]);
+        // The pin-schedule query is byte-identical except placement
+        // follows its first need's owner.
+        assert_eq!(parts[1].needs, pin.needs);
+        assert_eq!(parts[1].model, pin.model);
+    }
+
+    #[test]
+    fn merge_cost_scales_with_extra_parts() {
+        let q = per_bat(vec![BatId(0), BatId(2), BatId(4)]);
+        let (_, map) = split_queries(
+            &[q],
+            &dataset(),
+            &SplitParams { max_parts: 4, merge_cost: SimDuration::from_millis(6) },
+        );
+        assert_eq!(map.parts_of_parent, vec![3]);
+        assert_eq!(map.merge_cost_of(0), SimDuration::from_millis(12));
+    }
+
+    #[test]
+    fn deterministic_grouping() {
+        let qs: Vec<QuerySpec> = (0..10)
+            .map(|i| per_bat(vec![BatId(i % 6), BatId((i + 2) % 6), BatId((i + 4) % 6)]))
+            .collect();
+        let a = split_queries(&qs, &dataset(), &SplitParams::default());
+        let b = split_queries(&qs, &dataset(), &SplitParams::default());
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.parent_of, b.1.parent_of);
+    }
+}

@@ -1,0 +1,112 @@
+//! The SQL subset's abstract syntax.
+
+use batstore::Val;
+
+/// `schema.table [alias]` — schema defaults to `sys`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    pub schema: String,
+    pub table: String,
+    pub alias: String,
+}
+
+/// A column reference `alias.column` or bare `column`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+/// Scalar expressions in predicates and select lists.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Col(ColRef),
+    Lit(Val),
+}
+
+/// One WHERE conjunct.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// `col op literal`
+    Cmp { col: ColRef, op: String, lit: Val },
+    /// `col BETWEEN lo AND hi`
+    Between { col: ColRef, lo: Val, hi: Val },
+    /// `col IN (v1, v2, …)`
+    InList { col: ColRef, vals: Vec<Val> },
+    /// `left = right` over two columns (join predicate).
+    ColEq { left: ColRef, right: ColRef },
+}
+
+/// Aggregate functions in the select list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFn {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFn {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFn::Count => "count",
+            AggFn::Sum => "sum",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Avg => "avg",
+        }
+    }
+}
+
+/// One item of the select list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    Col(ColRef),
+    /// `COUNT(*)` or `AGG(col)`.
+    Agg { f: AggFn, col: Option<ColRef> },
+}
+
+/// `ORDER BY key [DESC]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderKey {
+    pub col: ColRef,
+    pub descending: bool,
+}
+
+/// A parsed SELECT query.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Query {
+    pub distinct: bool,
+    pub select: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub predicates: Vec<Predicate>,
+    pub group_by: Vec<ColRef>,
+    pub order_by: Option<OrderKey>,
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    pub fn has_aggregates(&self) -> bool {
+        self.select.iter().any(|s| matches!(s, SelectItem::Agg { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_names() {
+        assert_eq!(AggFn::Count.name(), "count");
+        assert_eq!(AggFn::Avg.name(), "avg");
+    }
+
+    #[test]
+    fn query_aggregate_detection() {
+        let mut q = Query::default();
+        assert!(!q.has_aggregates());
+        q.select.push(SelectItem::Agg { f: AggFn::Sum, col: None });
+        assert!(q.has_aggregates());
+    }
+}

@@ -1,0 +1,994 @@
+//! SQL → MAL code generation, in the paper's Table-1 idiom.
+//!
+//! The plan shape for the paper's running example
+//! `select c.t_id from t, c where c.t_id = t.id` is:
+//!
+//! ```text
+//! X1 := sql.bind("sys","t","id",0);
+//! X2 := sql.bind("sys","c","t_id",0);
+//! X3 := bat.reverse(X2);
+//! X4 := algebra.join(X1, X3);        -- (t.oid → c.oid)
+//! X5 := algebra.markT(X4, 0@0);      -- renumber into result rows
+//! X6 := bat.reverse(X5);
+//! X7 := algebra.join(X6, X1);        -- (res → value)
+//! X8 := sql.resultSet(1, 1, X7);
+//! sql.rsCol(X8, …, X7);
+//! X9 := io.stdout();
+//! sql.exportResult(X9, X8);
+//! ```
+//!
+//! Internally the generator maintains, per table alias, a *row map*
+//! `(result-row → table-oid)` BAT and composes it as joins accumulate.
+//! Single-table predicates are pushed down onto the bound columns before
+//! any join (the "selection push-down" heuristic of §3.2).
+
+use crate::ast::*;
+use crate::err;
+use batstore::{Catalog, ColType, Val};
+use mal::ast::{Arg, Const, Instr, Program, VarId};
+use mal::Result;
+use std::collections::HashMap;
+
+struct Gen<'a> {
+    prog: Program,
+    next_var: usize,
+    catalog: &'a Catalog,
+}
+
+impl<'a> Gen<'a> {
+    fn fresh(&mut self) -> VarId {
+        self.next_var += 1;
+        let name = format!("X{}", self.next_var);
+        self.prog.var(&name)
+    }
+
+    /// Emit `target := module.func(args)` and return the target.
+    fn emit(&mut self, module: &str, func: &str, args: Vec<Arg>) -> VarId {
+        let t = self.fresh();
+        self.prog.push(Instr::assign(t, module, func, args));
+        t
+    }
+
+    fn emit_void(&mut self, module: &str, func: &str, args: Vec<Arg>) {
+        self.prog.push(Instr::call(module, func, args));
+    }
+
+    fn cstr(s: &str) -> Arg {
+        Arg::Const(Const::Str(s.to_string()))
+    }
+
+    fn cint(v: i64) -> Arg {
+        Arg::Const(Const::Int(v))
+    }
+
+    fn cval(v: &Val) -> Result<Arg> {
+        Ok(Arg::Const(match v {
+            Val::Int(x) => Const::Int(*x as i64),
+            Val::Lng(x) => Const::Int(*x),
+            Val::Dbl(x) => Const::Dbl(*x),
+            Val::Str(s) => Const::Str(s.clone()),
+            Val::Bool(b) => Const::Int(*b as i64),
+            Val::Oid(o) => Const::Oid(*o),
+            other => return Err(err(format!("unsupported literal {other:?}"))),
+        }))
+    }
+}
+
+/// Per-table compile state.
+struct TableState {
+    tref: TableRef,
+    /// Bound column BATs (cache): column name → var.
+    bound: HashMap<String, VarId>,
+    /// Conjunction of pushed-down selections: `(oid → val)` var, if any.
+    selection: Option<VarId>,
+    /// `(result-row → oid)` once the table is part of the join result.
+    rowmap: Option<VarId>,
+}
+
+struct Compiler<'a> {
+    g: Gen<'a>,
+    tables: Vec<TableState>,
+}
+
+impl<'a> Compiler<'a> {
+    fn table_idx(&self, alias_or_none: &Option<String>, column: &str) -> Result<usize> {
+        if let Some(alias) = alias_or_none {
+            self.tables
+                .iter()
+                .position(|t| t.tref.alias == *alias || t.tref.table == *alias)
+                .ok_or_else(|| err(format!("unknown table alias '{alias}'")))
+        } else {
+            // Resolve a bare column by searching the FROM tables.
+            let mut found = None;
+            for (i, t) in self.tables.iter().enumerate() {
+                let def = self.g.catalog.table(&t.tref.schema, &t.tref.table)?;
+                if def.column(column).is_some() {
+                    if found.is_some() {
+                        return Err(err(format!("ambiguous column '{column}'")));
+                    }
+                    found = Some(i);
+                }
+            }
+            found.ok_or_else(|| err(format!("unknown column '{column}'")))
+        }
+    }
+
+    fn column_type(&self, ti: usize, column: &str) -> Result<ColType> {
+        let t = &self.tables[ti].tref;
+        let def = self.g.catalog.table(&t.schema, &t.table)?;
+        def.column(column)
+            .map(|c| c.ty)
+            .ok_or_else(|| err(format!("unknown column '{}.{}'", t.table, column)))
+    }
+
+    /// `sql.bind` a column (cached per table).
+    fn bind(&mut self, ti: usize, column: &str) -> Result<VarId> {
+        // Validate existence first for a clean error.
+        self.column_type(ti, column)?;
+        if let Some(&v) = self.tables[ti].bound.get(column) {
+            return Ok(v);
+        }
+        let tref = self.tables[ti].tref.clone();
+        let v = self.g.emit(
+            "sql",
+            "bind",
+            vec![
+                Gen::cstr(&tref.schema),
+                Gen::cstr(&tref.table),
+                Gen::cstr(column),
+                Gen::cint(0),
+            ],
+        );
+        self.tables[ti].bound.insert(column.to_string(), v);
+        Ok(v)
+    }
+
+    /// Apply the table's accumulated selection to a bound column:
+    /// `semijoin(col, sel)`.
+    fn selected(&mut self, ti: usize, col: VarId) -> VarId {
+        match self.tables[ti].selection {
+            Some(sel) if sel != col => {
+                self.g.emit("algebra", "semijoin", vec![Arg::Var(col), Arg::Var(sel)])
+            }
+            _ => col,
+        }
+    }
+
+    /// Push one single-table predicate down onto its column.
+    fn push_selection(&mut self, pred: &Predicate) -> Result<()> {
+        let (colref, filtered) = match pred {
+            Predicate::Cmp { col, op, lit } => {
+                let ti = self.table_idx(&col.table, &col.column)?;
+                let b = self.bind(ti, &col.column)?;
+                let f = if op == "=" {
+                    self.g.emit("algebra", "uselect", vec![Arg::Var(b), Gen::cval(lit)?])
+                } else {
+                    self.g.emit(
+                        "algebra",
+                        "thetauselect",
+                        vec![Arg::Var(b), Gen::cval(lit)?, Gen::cstr(op)],
+                    )
+                };
+                (col, f)
+            }
+            Predicate::Between { col, lo, hi } => {
+                let ti = self.table_idx(&col.table, &col.column)?;
+                let b = self.bind(ti, &col.column)?;
+                let f = self.g.emit(
+                    "algebra",
+                    "select",
+                    vec![Arg::Var(b), Gen::cval(lo)?, Gen::cval(hi)?],
+                );
+                (col, f)
+            }
+            Predicate::InList { col, vals } => {
+                if vals.is_empty() {
+                    return Err(err("IN list must not be empty"));
+                }
+                let ti = self.table_idx(&col.table, &col.column)?;
+                let b = self.bind(ti, &col.column)?;
+                // Union of equality selections (head-keyed kunion).
+                let mut acc =
+                    self.g.emit("algebra", "uselect", vec![Arg::Var(b), Gen::cval(&vals[0])?]);
+                for v in &vals[1..] {
+                    let u = self.g.emit("algebra", "uselect", vec![Arg::Var(b), Gen::cval(v)?]);
+                    acc = self.g.emit("algebra", "kunion", vec![Arg::Var(acc), Arg::Var(u)]);
+                }
+                (col, acc)
+            }
+            Predicate::ColEq { .. } => return Ok(()), // handled as join
+        };
+        let ti = self.table_idx(&colref.table, &colref.column)?;
+        let slot = &mut self.tables[ti].selection;
+        *slot = Some(match *slot {
+            None => filtered,
+            Some(prev) => {
+                self.g.emit("algebra", "semijoin", vec![Arg::Var(prev), Arg::Var(filtered)])
+            }
+        });
+        Ok(())
+    }
+
+    /// Build the join result, producing row maps for every table.
+    fn build_joins(&mut self, joins: &[(ColRef, ColRef)]) -> Result<()> {
+        if self.tables.len() == 1 {
+            let ti = 0;
+            let rowmap = match self.tables[ti].selection {
+                Some(sel) => {
+                    // (oid→val) → markT → (oid→res) → reverse → (res→oid)
+                    let marked =
+                        self.g.emit("algebra", "markT", vec![Arg::Var(sel), Arg::Const(Const::Oid(0))]);
+                    self.g.emit("bat", "reverse", vec![Arg::Var(marked)])
+                }
+                None => {
+                    // All rows: mirror of any column gives (oid→oid).
+                    let tref = self.tables[ti].tref.clone();
+                    let def = self.g.catalog.table(&tref.schema, &tref.table)?;
+                    let first = def
+                        .columns
+                        .first()
+                        .ok_or_else(|| err(format!("table '{}' has no columns", tref.table)))?
+                        .name
+                        .clone();
+                    let b = self.bind(ti, &first)?;
+                    self.g.emit("bat", "mirror", vec![Arg::Var(b)])
+                }
+            };
+            self.tables[ti].rowmap = Some(rowmap);
+            return Ok(());
+        }
+
+        if joins.is_empty() {
+            return Err(err("cross products are not supported: add join predicates"));
+        }
+
+        for (lc, rc) in joins {
+            let li = self.table_idx(&lc.table, &lc.column)?;
+            let ri = self.table_idx(&rc.table, &rc.column)?;
+            if li == ri {
+                return Err(err("self-comparison within one table is not supported"));
+            }
+            let l_joined = self.tables[li].rowmap.is_some();
+            let r_joined = self.tables[ri].rowmap.is_some();
+            match (l_joined, r_joined) {
+                (false, false) => {
+                    if self.tables.iter().any(|t| t.rowmap.is_some()) {
+                        return Err(err(
+                            "join predicates must connect to already-joined tables in order",
+                        ));
+                    }
+                    self.first_join(li, &lc.column, ri, &rc.column)?;
+                }
+                (true, false) => self.extend_join(li, &lc.column, ri, &rc.column)?,
+                (false, true) => self.extend_join(ri, &rc.column, li, &lc.column)?,
+                (true, true) => {
+                    return Err(err("cyclic join predicates are not supported"));
+                }
+            }
+        }
+        if let Some(t) = self.tables.iter().find(|t| t.rowmap.is_none()) {
+            return Err(err(format!(
+                "table '{}' is not connected by any join predicate",
+                t.tref.alias
+            )));
+        }
+        Ok(())
+    }
+
+    /// First join: `(oidL → oidR)` pairs, then row maps via markT/markH.
+    fn first_join(&mut self, li: usize, lcol: &str, ri: usize, rcol: &str) -> Result<()> {
+        let lb = self.bind(li, lcol)?;
+        let lb = self.selected(li, lb);
+        let rb = self.bind(ri, rcol)?;
+        let rb = self.selected(ri, rb);
+        let rrev = self.g.emit("bat", "reverse", vec![Arg::Var(rb)]);
+        let pairs = self.g.emit("algebra", "join", vec![Arg::Var(lb), Arg::Var(rrev)]);
+        // (oidL→res) → reverse → (res→oidL)
+        let lmark =
+            self.g.emit("algebra", "markT", vec![Arg::Var(pairs), Arg::Const(Const::Oid(0))]);
+        let lmap = self.g.emit("bat", "reverse", vec![Arg::Var(lmark)]);
+        // (res→oidR)
+        let rmap =
+            self.g.emit("algebra", "markH", vec![Arg::Var(pairs), Arg::Const(Const::Oid(0))]);
+        self.tables[li].rowmap = Some(lmap);
+        self.tables[ri].rowmap = Some(rmap);
+        Ok(())
+    }
+
+    /// Join an additional table `ni` onto the current result through
+    /// `joined.jcol = new.ncol`; renumbers the result space and composes
+    /// all existing row maps.
+    fn extend_join(&mut self, ji: usize, jcol: &str, ni: usize, ncol: &str) -> Result<()> {
+        let jmap = self.tables[ji].rowmap.expect("caller checked");
+        let jb = self.bind(ji, jcol)?;
+        // (res→val) for the joined side.
+        let jvals = self.g.emit("algebra", "join", vec![Arg::Var(jmap), Arg::Var(jb)]);
+        let nb = self.bind(ni, ncol)?;
+        let nb = self.selected(ni, nb);
+        let nrev = self.g.emit("bat", "reverse", vec![Arg::Var(nb)]);
+        // (res_old → oidN); rows of this BAT are the new result space.
+        let pairs = self.g.emit("algebra", "join", vec![Arg::Var(jvals), Arg::Var(nrev)]);
+        // (res_new → res_old) to recompose the existing row maps.
+        let remark =
+            self.g.emit("algebra", "markT", vec![Arg::Var(pairs), Arg::Const(Const::Oid(0))]);
+        let old_of_new = self.g.emit("bat", "reverse", vec![Arg::Var(remark)]);
+        for t in &mut self.tables {
+            if let Some(m) = t.rowmap {
+                t.rowmap = None;
+                let composed =
+                    self.g.emit("algebra", "join", vec![Arg::Var(old_of_new), Arg::Var(m)]);
+                t.rowmap = Some(composed);
+            }
+        }
+        let nmap =
+            self.g.emit("algebra", "markH", vec![Arg::Var(pairs), Arg::Const(Const::Oid(0))]);
+        self.tables[ni].rowmap = Some(nmap);
+        Ok(())
+    }
+
+    /// `(res → value)` for an output column.
+    fn project(&mut self, col: &ColRef) -> Result<(VarId, ColType, String)> {
+        let ti = self.table_idx(&col.table, &col.column)?;
+        let ty = self.column_type(ti, &col.column)?;
+        let b = self.bind(ti, &col.column)?;
+        let rowmap = self.tables[ti].rowmap.expect("rowmaps built before projection");
+        let v = self.g.emit("algebra", "join", vec![Arg::Var(rowmap), Arg::Var(b)]);
+        let label = format!("{}.{}", self.tables[ti].tref.schema, self.tables[ti].tref.table);
+        Ok((v, ty, label))
+    }
+}
+
+/// One output column of the final result set.
+struct OutCol {
+    var: VarId,
+    table_label: String,
+    name: String,
+    sql_type: &'static str,
+}
+
+/// Compile a parsed query against the catalog.
+pub fn compile(q: &Query, catalog: &Catalog) -> Result<Program> {
+    if q.select.is_empty() {
+        return Err(err("empty select list"));
+    }
+    for t in &q.from {
+        catalog
+            .table(&t.schema, &t.table)
+            .map_err(|e| err(format!("unknown table {}.{}: {e}", t.schema, t.table)))?;
+    }
+
+    let gen = Gen { prog: Program::new("user", "s1_1"), next_var: 0, catalog };
+    let mut c = Compiler {
+        g: gen,
+        tables: q
+            .from
+            .iter()
+            .map(|t| TableState {
+                tref: t.clone(),
+                bound: HashMap::new(),
+                selection: None,
+                rowmap: None,
+            })
+            .collect(),
+    };
+
+    // Selection push-down.
+    for p in &q.predicates {
+        c.push_selection(p)?;
+    }
+    let joins: Vec<(ColRef, ColRef)> = q
+        .predicates
+        .iter()
+        .filter_map(|p| match p {
+            Predicate::ColEq { left, right } => Some((left.clone(), right.clone())),
+            _ => None,
+        })
+        .collect();
+    c.build_joins(&joins)?;
+
+    let mut outs: Vec<OutCol> = Vec::new();
+    if q.has_aggregates() {
+        compile_aggregate_outputs(&mut c, q, &mut outs)?;
+    } else {
+        if !q.group_by.is_empty() {
+            return Err(err("GROUP BY requires aggregates in the select list"));
+        }
+        for item in &q.select {
+            match item {
+                SelectItem::Col(col) => {
+                    let (v, ty, label) = c.project(col)?;
+                    outs.push(OutCol {
+                        var: v,
+                        table_label: label,
+                        name: col.column.clone(),
+                        sql_type: ty.name(),
+                    });
+                }
+                SelectItem::Agg { .. } => unreachable!(),
+            }
+        }
+    }
+
+    // SELECT DISTINCT (non-aggregate queries): group the output columns
+    // and keep one representative row per group.
+    if q.distinct && !q.has_aggregates() {
+        apply_distinct(&mut c, &mut outs);
+    }
+
+    // ORDER BY / LIMIT.
+    apply_order_limit(&mut c, q, &mut outs)?;
+
+    // Result set plumbing, exactly as the paper prints it.
+    let first = outs.first().expect("non-empty select");
+    let rs = c.g.emit(
+        "sql",
+        "resultSet",
+        vec![Gen::cint(outs.len() as i64), Gen::cint(1), Arg::Var(first.var)],
+    );
+    for o in &outs {
+        c.g.emit_void(
+            "sql",
+            "rsCol",
+            vec![
+                Arg::Var(rs),
+                Gen::cstr(&o.table_label),
+                Gen::cstr(&o.name),
+                Gen::cstr(o.sql_type),
+                Gen::cint(32),
+                Gen::cint(0),
+                Arg::Var(o.var),
+            ],
+        );
+    }
+    let stream = c.g.emit("io", "stdout", vec![]);
+    c.g.emit_void("sql", "exportResult", vec![Arg::Var(stream), Arg::Var(rs)]);
+
+    Ok(c.g.prog)
+}
+
+fn agg_result_type(f: AggFn, input: Option<ColType>) -> &'static str {
+    match f {
+        AggFn::Count => "lng",
+        AggFn::Avg => "dbl",
+        AggFn::Sum => match input {
+            Some(ColType::Dbl) => "dbl",
+            _ => "lng",
+        },
+        AggFn::Min | AggFn::Max => input.map(|t| t.name()).unwrap_or("lng"),
+    }
+}
+
+/// Deduplicate the output columns: chain `group.new`/`group.derive`
+/// over them, then re-project every column through the representative
+/// rows (`ext` maps group → representative row position).
+fn apply_distinct(c: &mut Compiler, outs: &mut [OutCol]) {
+    let grp0 = c.g.fresh();
+    let ext0 = c.g.fresh();
+    c.g.prog.push(Instr {
+        targets: vec![grp0, ext0],
+        module: "group".into(),
+        func: "new".into(),
+        args: vec![Arg::Var(outs[0].var)],
+    });
+    let mut grp = grp0;
+    for o in outs.iter().skip(1) {
+        let g2 = c.g.fresh();
+        let e2 = c.g.fresh();
+        c.g.prog.push(Instr {
+            targets: vec![g2, e2],
+            module: "group".into(),
+            func: "derive".into(),
+            args: vec![Arg::Var(o.var), Arg::Var(grp)],
+        });
+        grp = g2;
+    }
+    if outs.len() == 1 {
+        // group.new's ext is already (group → value).
+        outs[0].var = ext0;
+        return;
+    }
+    // Representative row positions come from the final derive's ext; we
+    // recompute it as mirror-of-groups to keep the single-column case
+    // simple: mark one row per group via ext of the last derive.
+    // The last pushed instruction's second target is that ext.
+    let last = c.g.prog.instrs.last().expect("derive pushed");
+    let ext = last.targets[1];
+    for o in outs.iter_mut() {
+        o.var = c.g.emit("algebra", "join", vec![Arg::Var(ext), Arg::Var(o.var)]);
+    }
+}
+
+fn compile_aggregate_outputs(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>) -> Result<()> {
+    if q.group_by.len() > 1 {
+        return compile_multi_group_by(c, q, outs);
+    }
+    if q.group_by.is_empty() {
+        // Whole-column aggregates; non-aggregate items are invalid.
+        for item in &q.select {
+            match item {
+                SelectItem::Col(colref) => {
+                    return Err(err(format!(
+                        "column '{}' must appear in GROUP BY",
+                        colref.column
+                    )))
+                }
+                SelectItem::Agg { f, col } => {
+                    let (scalar, name, ty) = match col {
+                        Some(colref) => {
+                            let (v, ty, _) = c.project(colref)?;
+                            let s = c.g.emit("aggr", f.name(), vec![Arg::Var(v)]);
+                            (s, format!("{}_{}", f.name(), colref.column), Some(ty))
+                        }
+                        None => {
+                            // COUNT(*): count over any row map.
+                            let rowmap =
+                                c.tables[0].rowmap.expect("rowmaps built");
+                            let s = c.g.emit("aggr", "count", vec![Arg::Var(rowmap)]);
+                            (s, "count".to_string(), None)
+                        }
+                    };
+                    let packed = c.g.emit("bat", "pack", vec![Arg::Var(scalar)]);
+                    outs.push(OutCol {
+                        var: packed,
+                        table_label: "sys".into(),
+                        name,
+                        sql_type: agg_result_type(*f, ty),
+                    });
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    // Grouped aggregation.
+    let key = &q.group_by[0];
+    let (keyvals, key_ty, key_label) = c.project(key)?;
+    let grp = c.g.fresh();
+    let ext = c.g.fresh();
+    c.g.prog.push(Instr {
+        targets: vec![grp, ext],
+        module: "group".into(),
+        func: "new".into(),
+        args: vec![Arg::Var(keyvals)],
+    });
+    let ngroups = c.g.emit("aggr", "count", vec![Arg::Var(ext)]);
+
+    for item in &q.select {
+        match item {
+            SelectItem::Col(colref) => {
+                if colref.column != key.column {
+                    return Err(err(format!(
+                        "column '{}' must appear in GROUP BY",
+                        colref.column
+                    )));
+                }
+                outs.push(OutCol {
+                    var: ext,
+                    table_label: key_label.clone(),
+                    name: key.column.clone(),
+                    sql_type: key_ty.name(),
+                });
+            }
+            SelectItem::Agg { f: AggFn::Count, col: None } => {
+                let v = c
+                    .g
+                    .emit("aggr", "countFor", vec![Arg::Var(grp), Arg::Var(ngroups)]);
+                outs.push(OutCol {
+                    var: v,
+                    table_label: "sys".into(),
+                    name: "count".into(),
+                    sql_type: "lng",
+                });
+            }
+            SelectItem::Agg { f, col: Some(colref) } => {
+                let (vals, ty, _) = c.project(colref)?;
+                let func = format!("{}For", f.name());
+                let v = c.g.emit(
+                    "aggr",
+                    &func,
+                    vec![Arg::Var(vals), Arg::Var(grp), Arg::Var(ngroups)],
+                );
+                outs.push(OutCol {
+                    var: v,
+                    table_label: "sys".into(),
+                    name: format!("{}_{}", f.name(), colref.column),
+                    sql_type: agg_result_type(*f, Some(ty)),
+                });
+            }
+            SelectItem::Agg { f, col: None } => {
+                return Err(err(format!("{}(*) is not supported", f.name())))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Multi-column GROUP BY: `group.new` on the first key, `group.derive`
+/// for each further key, key columns re-projected through the
+/// representative rows, aggregates over the refined group ids.
+fn compile_multi_group_by(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>) -> Result<()> {
+    // Project every key column into result space first.
+    let mut key_cols = Vec::new();
+    for key in &q.group_by {
+        let (v, ty, label) = c.project(key)?;
+        key_cols.push((key.column.clone(), v, ty, label));
+    }
+    let grp0 = c.g.fresh();
+    let ext0 = c.g.fresh();
+    c.g.prog.push(Instr {
+        targets: vec![grp0, ext0],
+        module: "group".into(),
+        func: "new".into(),
+        args: vec![Arg::Var(key_cols[0].1)],
+    });
+    let mut grp = grp0;
+    let mut ext = ext0;
+    for (_, v, _, _) in key_cols.iter().skip(1) {
+        let g2 = c.g.fresh();
+        let e2 = c.g.fresh();
+        c.g.prog.push(Instr {
+            targets: vec![g2, e2],
+            module: "group".into(),
+            func: "derive".into(),
+            args: vec![Arg::Var(*v), Arg::Var(grp)],
+        });
+        grp = g2;
+        ext = e2;
+    }
+    let ngroups = c.g.emit("aggr", "count", vec![Arg::Var(ext)]);
+
+    for item in &q.select {
+        match item {
+            SelectItem::Col(colref) => {
+                let Some((name, v, ty, label)) =
+                    key_cols.iter().find(|(n, ..)| *n == colref.column)
+                else {
+                    return Err(err(format!(
+                        "column '{}' must appear in GROUP BY",
+                        colref.column
+                    )));
+                };
+                // ext maps group → representative row; join re-projects
+                // the key value per group.
+                let kv = c.g.emit("algebra", "join", vec![Arg::Var(ext), Arg::Var(*v)]);
+                outs.push(OutCol {
+                    var: kv,
+                    table_label: label.clone(),
+                    name: name.clone(),
+                    sql_type: ty.name(),
+                });
+            }
+            SelectItem::Agg { f: AggFn::Count, col: None } => {
+                let v = c.g.emit("aggr", "countFor", vec![Arg::Var(grp), Arg::Var(ngroups)]);
+                outs.push(OutCol {
+                    var: v,
+                    table_label: "sys".into(),
+                    name: "count".into(),
+                    sql_type: "lng",
+                });
+            }
+            SelectItem::Agg { f, col: Some(colref) } => {
+                let (vals, ty, _) = c.project(colref)?;
+                let func = format!("{}For", f.name());
+                let v = c.g.emit(
+                    "aggr",
+                    &func,
+                    vec![Arg::Var(vals), Arg::Var(grp), Arg::Var(ngroups)],
+                );
+                outs.push(OutCol {
+                    var: v,
+                    table_label: "sys".into(),
+                    name: format!("{}_{}", f.name(), colref.column),
+                    sql_type: agg_result_type(*f, Some(ty)),
+                });
+            }
+            SelectItem::Agg { f, col: None } => {
+                return Err(err(format!("{}(*) is not supported", f.name())))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn apply_order_limit(c: &mut Compiler, q: &Query, outs: &mut [OutCol]) -> Result<()> {
+    if let Some(order) = &q.order_by {
+        // The sort key must be one of the produced output columns.
+        let key_pos = outs
+            .iter()
+            .position(|o| o.name == order.col.column)
+            .ok_or_else(|| err(format!("ORDER BY column '{}' not in select list", order.col.column)))?;
+        let sort_fn = if order.descending { "sortReverseTail" } else { "sortTail" };
+        let sorted = c.g.emit("algebra", sort_fn, vec![Arg::Var(outs[key_pos].var)]);
+        // (newpos → oldpos): reverse(markT(sorted)).
+        let marked =
+            c.g.emit("algebra", "markT", vec![Arg::Var(sorted), Arg::Const(Const::Oid(0))]);
+        let perm = c.g.emit("bat", "reverse", vec![Arg::Var(marked)]);
+        for o in outs.iter_mut() {
+            o.var = c.g.emit("algebra", "join", vec![Arg::Var(perm), Arg::Var(o.var)]);
+        }
+    }
+    if let Some(n) = q.limit {
+        let hi = n.saturating_sub(1) as i64;
+        for o in outs.iter_mut() {
+            o.var = c.g.emit(
+                "algebra",
+                "slice",
+                vec![Arg::Var(o.var), Gen::cint(0), Gen::cint(hi)],
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Parse and compile in one step.
+pub fn compile_sql(sql: &str, catalog: &Catalog) -> Result<Program> {
+    let q = crate::parser::parse_query(sql)?;
+    compile(&q, catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batstore::{BatStore, Column};
+    use mal::{run_sequential, SessionCtx};
+    use parking_lot::RwLock;
+    use std::sync::Arc;
+
+    fn setup() -> (Catalog, Arc<RwLock<BatStore>>) {
+        let mut catalog = Catalog::new();
+        let mut store = BatStore::new();
+        catalog
+            .create_table_columnar(&mut store, "sys", "t", vec![("id", Column::from(vec![1, 2, 3]))])
+            .unwrap();
+        catalog
+            .create_table_columnar(
+                &mut store,
+                "sys",
+                "c",
+                vec![
+                    ("t_id", Column::from(vec![2, 2, 3, 9])),
+                    ("amount", Column::from(vec![10, 20, 30, 40])),
+                ],
+            )
+            .unwrap();
+        catalog
+            .create_table_columnar(
+                &mut store,
+                "sys",
+                "sales",
+                vec![
+                    ("region", Column::from(vec!["eu", "us", "eu", "ap", "us"])),
+                    ("amount", Column::from(vec![5, 7, 11, 13, 17])),
+                ],
+            )
+            .unwrap();
+        (catalog, Arc::new(RwLock::new(store)))
+    }
+
+    fn run(sql: &str) -> String {
+        let (catalog, store) = setup();
+        let prog = compile_sql(sql, &catalog).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let ctx = SessionCtx::new(Arc::new(RwLock::new(catalog)), store);
+        run_sequential(&prog, &ctx).unwrap_or_else(|e| panic!("{sql}:\n{prog}\n{e}"));
+        ctx.take_output()
+    }
+
+    #[test]
+    fn paper_example_results() {
+        let out = run("select c.t_id from t, c where c.t_id = t.id");
+        assert_eq!(out.matches("[ 2 ]").count(), 2, "{out}");
+        assert_eq!(out.matches("[ 3 ]").count(), 1, "{out}");
+        assert!(!out.contains("[ 9 ]"), "{out}");
+    }
+
+    #[test]
+    fn plan_uses_paper_idiom() {
+        let (catalog, _) = setup();
+        let prog =
+            compile_sql("select c.t_id from t, c where c.t_id = t.id", &catalog).unwrap();
+        let names: Vec<String> =
+            prog.instrs.iter().map(|i| i.qualified_name()).collect();
+        for needed in
+            ["sql.bind", "bat.reverse", "algebra.join", "algebra.markT", "sql.resultSet", "sql.rsCol", "io.stdout", "sql.exportResult"]
+        {
+            assert!(names.iter().any(|n| n == needed), "plan lacks {needed}:\n{prog}");
+        }
+    }
+
+    #[test]
+    fn single_table_filter() {
+        let out = run("select amount from c where amount > 15");
+        assert!(out.contains("[ 20 ]") && out.contains("[ 30 ]") && out.contains("[ 40 ]"));
+        assert!(!out.contains("[ 10 ]"));
+    }
+
+    #[test]
+    fn between_filter() {
+        let out = run("select amount from c where amount between 15 and 35");
+        assert!(out.contains("[ 20 ]") && out.contains("[ 30 ]"));
+        assert!(!out.contains("[ 40 ]"));
+    }
+
+    #[test]
+    fn two_filters_conjoined() {
+        let out = run("select amount from c where amount > 15 and t_id = 3");
+        assert_eq!(out.matches("[ 30 ]").count(), 1, "{out}");
+        assert!(!out.contains("[ 20 ]"), "{out}");
+    }
+
+    #[test]
+    fn projection_multiple_columns() {
+        let out = run("select t_id, amount from c where amount >= 30");
+        assert!(out.contains("[ 3,\t30 ]"), "{out}");
+        assert!(out.contains("[ 9,\t40 ]"), "{out}");
+    }
+
+    #[test]
+    fn join_with_filter_on_other_table() {
+        let out =
+            run("select c.amount from t, c where c.t_id = t.id and t.id >= 3");
+        assert!(out.contains("[ 30 ]"), "{out}");
+        assert!(!out.contains("[ 10 ]") && !out.contains("[ 20 ]"), "{out}");
+    }
+
+    #[test]
+    fn count_star() {
+        let out = run("select count(*) from c where amount > 5");
+        assert!(out.contains("[ 4 ]"), "{out}");
+    }
+
+    #[test]
+    fn whole_column_aggregates() {
+        let out = run("select sum(amount), min(amount), max(amount), avg(amount) from c");
+        assert!(out.contains("100") && out.contains("10") && out.contains("40"), "{out}");
+        assert!(out.contains("25"), "avg: {out}");
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let out =
+            run("select region, sum(amount), count(*) from sales group by region order by region");
+        // ap=13, eu=16, us=24; ordered ap, eu, us.
+        let lines: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert!(lines[0].contains("ap") && lines[0].contains("13"), "{out}");
+        assert!(lines[1].contains("eu") && lines[1].contains("16"), "{out}");
+        assert!(lines[2].contains("us") && lines[2].contains("24"), "{out}");
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let out = run("select amount from c order by amount desc limit 2");
+        let lines: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
+        assert_eq!(lines, vec!["[ 40 ]", "[ 30 ]"], "{out}");
+    }
+
+    #[test]
+    fn three_way_join() {
+        // t ⋈ c ⋈ sales via amounts equality: c.amount vs sales.amount
+        // shares no values, so expect an empty result, but the plan must
+        // compile and run.
+        let out = run(
+            "select sales.region from t, c, sales where c.t_id = t.id and c.amount = sales.amount",
+        );
+        let rows = out.lines().filter(|l| l.starts_with('[')).count();
+        assert_eq!(rows, 0, "{out}");
+    }
+
+    #[test]
+    fn dc_optimizer_applies_to_generated_plans() {
+        let (catalog, store) = setup();
+        let prog = crate::compile_sql_dc("select c.t_id from t, c where c.t_id = t.id", &catalog)
+            .unwrap();
+        assert!(prog.instrs[0].is("datacyclotron", "request"), "{prog}");
+        assert!(prog.instrs.iter().any(|i| i.is("datacyclotron", "pin")));
+        assert!(prog.instrs.iter().any(|i| i.is("datacyclotron", "unpin")));
+        // And it still runs (LocalHooks path).
+        let ctx = SessionCtx::new(Arc::new(RwLock::new(catalog)), store);
+        run_sequential(&prog, &ctx).unwrap();
+        assert_eq!(ctx.take_output().matches("[ 2 ]").count(), 2);
+    }
+
+    #[test]
+    fn error_paths() {
+        let (catalog, _) = setup();
+        for bad in [
+            "select x from nope",
+            "select ghost from t",
+            "select id from t, c",                       // cross product
+            "select region from sales group by region",  // group-by without aggregates
+            "select amount, sum(amount) from sales group by region", // non-key column
+            "select id from t order by ghost",
+        ] {
+            assert!(compile_sql(bad, &catalog).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn in_list_predicate() {
+        let out = run("select amount from c where t_id in (2, 9)");
+        assert!(out.contains("[ 10 ]") && out.contains("[ 20 ]") && out.contains("[ 40 ]"), "{out}");
+        assert!(!out.contains("[ 30 ]"), "{out}");
+    }
+
+    #[test]
+    fn in_list_strings() {
+        let out = run("select amount from sales where region in ('eu', 'ap')");
+        // eu: 5, 11; ap: 13.
+        assert!(out.contains("[ 5 ]") && out.contains("[ 11 ]") && out.contains("[ 13 ]"), "{out}");
+        assert!(!out.contains("[ 7 ]"), "{out}");
+    }
+
+    #[test]
+    fn select_distinct_single_column() {
+        let out = run("select distinct region from sales order by region");
+        let lines: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
+        assert_eq!(lines, vec!["[ \"ap\" ]", "[ \"eu\" ]", "[ \"us\" ]"], "{out}");
+    }
+
+    #[test]
+    fn select_distinct_multi_column() {
+        let out = run("select distinct t_id, amount from c where amount > 5");
+        let lines: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
+        assert_eq!(lines.len(), 4, "all rows unique here: {out}");
+    }
+
+    #[test]
+    fn multi_column_group_by() {
+        // Rows: (eu,5) (us,7) (eu,11) (ap,13) (us,17); add a second key
+        // via parity of amount to force refinement.
+        let out = run(
+            "select region, sum(amount), count(*) from sales group by region, amount order by region",
+        );
+        let lines: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
+        assert_eq!(lines.len(), 5, "each (region, amount) pair is distinct: {out}");
+        assert!(lines.iter().any(|l| l.contains("ap") && l.contains("13")), "{out}");
+    }
+
+    #[test]
+    fn multi_group_by_aggregates_merge_duplicates() {
+        let (catalog, store) = setup();
+        // duplicate (region, amount) pairs via a dedicated table.
+        let mut store2 = BatStore::new();
+        let mut catalog2 = Catalog::new();
+        catalog2
+            .create_table_columnar(
+                &mut store2,
+                "sys",
+                "pairs",
+                vec![
+                    ("a", Column::from(vec!["x", "x", "y", "x"])),
+                    ("b", Column::from(vec![1, 1, 1, 2])),
+                    ("v", Column::from(vec![10, 20, 30, 40])),
+                ],
+            )
+            .unwrap();
+        let prog =
+            compile_sql("select a, b, sum(v), count(*) from pairs group by a, b", &catalog2)
+                .unwrap();
+        let ctx = SessionCtx::new(
+            Arc::new(RwLock::new(catalog2)),
+            Arc::new(RwLock::new(store2)),
+        );
+        run_sequential(&prog, &ctx).unwrap();
+        let out = ctx.take_output();
+        let lines: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
+        assert_eq!(lines.len(), 3, "(x,1) (y,1) (x,2): {out}");
+        assert!(
+            lines.iter().any(|l| l.contains("\"x\"") && l.contains("30") && l.contains("2")),
+            "x,1 → sum 30 count 2: {out}"
+        );
+        let _ = (catalog, store);
+    }
+
+    #[test]
+    fn ambiguous_bare_column_rejected() {
+        let (catalog, _) = setup();
+        // `amount` exists in both c and sales.
+        assert!(compile_sql(
+            "select amount from c, sales where c.amount = sales.amount",
+            &catalog
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # sqlfront — a small SQL front-end compiling to MAL
+//!
+//! MonetDB's top layer consists of front-end compilers translating
+//! high-level queries into MAL plans (paper §3.1). This crate implements
+//! the slice of SQL the paper's scenarios need:
+//!
+//! ```sql
+//! SELECT c.t_id FROM t, c WHERE c.t_id = t.id;          -- the paper's example
+//! SELECT region, SUM(amount) FROM sales
+//!   WHERE amount >= 10 GROUP BY region ORDER BY region LIMIT 5;
+//! SELECT COUNT(*) FROM lineitem WHERE l_qty < 24;
+//! ```
+//!
+//! The generated plans use exactly the operator idiom of the paper's
+//! Table 1 — `sql.bind`, selection pushdown, `reverse`/`join`/`markT`
+//! plumbing, `resultSet`/`rsCol`/`exportResult` — so the Data Cyclotron
+//! optimizer ([`mal::dc_optimize`]) applies to them unchanged.
+
+pub mod ast;
+pub mod codegen;
+pub mod parser;
+
+pub use ast::{Expr, OrderKey, Query, SelectItem, TableRef};
+pub use codegen::{compile, compile_sql};
+pub use parser::parse_query;
+
+use mal::{MalError, Result};
+
+/// Convenience: parse + compile + CSE + DC-optimize in one call.
+pub fn compile_sql_dc(
+    sql: &str,
+    catalog: &batstore::Catalog,
+) -> Result<mal::Program> {
+    let plan = compile_sql(sql, catalog)?;
+    let plan = mal::common_subexpression_eliminate(&plan);
+    Ok(mal::dc_optimize(&plan))
+}
+
+/// Shared error shortcut.
+pub(crate) fn err(msg: impl Into<String>) -> MalError {
+    MalError::Exec(msg.into())
+}

@@ -1,0 +1,430 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::ast::*;
+use crate::err;
+use batstore::Val;
+use mal::Result;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    Num(String),
+    Sym(String),
+    Star,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+}
+
+fn lex(sql: &str) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let mut cs = sql.chars().peekable();
+    while let Some(&c) = cs.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                cs.next();
+            }
+            ';' => {
+                cs.next();
+            }
+            '*' => {
+                cs.next();
+                toks.push(Tok::Star);
+            }
+            ',' => {
+                cs.next();
+                toks.push(Tok::Comma);
+            }
+            '.' => {
+                cs.next();
+                toks.push(Tok::Dot);
+            }
+            '(' => {
+                cs.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                cs.next();
+                toks.push(Tok::RParen);
+            }
+            '\'' => {
+                cs.next();
+                let mut s = String::new();
+                loop {
+                    match cs.next() {
+                        Some('\'') => break,
+                        Some(c2) => s.push(c2),
+                        None => return Err(err("unterminated string literal")),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '<' | '>' | '=' | '!' => {
+                cs.next();
+                let mut s = c.to_string();
+                if matches!(cs.peek(), Some('=') | Some('>')) && (c != '=') {
+                    s.push(cs.next().unwrap());
+                } else if c == '!' {
+                    match cs.next() {
+                        Some('=') => s.push('='),
+                        _ => return Err(err("expected '=' after '!'")),
+                    }
+                }
+                toks.push(Tok::Sym(s));
+            }
+            '0'..='9' | '-' => {
+                cs.next();
+                let mut s = c.to_string();
+                while matches!(cs.peek(), Some(c2) if c2.is_ascii_digit() || *c2 == '.') {
+                    s.push(cs.next().unwrap());
+                }
+                toks.push(Tok::Num(s));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while matches!(cs.peek(), Some(c2) if c2.is_alphanumeric() || *c2 == '_') {
+                    s.push(cs.next().unwrap());
+                }
+                toks.push(Tok::Word(s));
+            }
+            other => return Err(err(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self.toks.get(self.pos).cloned().ok_or_else(|| err("unexpected end of query"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(err(format!("expected '{kw}', got {:?}", self.peek())))
+        }
+    }
+
+    fn word(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Word(w) => Ok(w),
+            other => Err(err(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+fn parse_colref(p: &mut P) -> Result<ColRef> {
+    let first = p.word()?;
+    if p.peek() == Some(&Tok::Dot) {
+        p.next()?;
+        let col = p.word()?;
+        Ok(ColRef { table: Some(first), column: col })
+    } else {
+        Ok(ColRef { table: None, column: first })
+    }
+}
+
+fn parse_literal(p: &mut P) -> Result<Val> {
+    match p.next()? {
+        Tok::Num(s) => {
+            if s.contains('.') {
+                s.parse::<f64>().map(Val::Dbl).map_err(|e| err(format!("bad number: {e}")))
+            } else {
+                let v: i64 = s.parse().map_err(|e| err(format!("bad number: {e}")))?;
+                Ok(if let Ok(small) = i32::try_from(v) { Val::Int(small) } else { Val::Lng(v) })
+            }
+        }
+        Tok::Str(s) => Ok(Val::Str(s)),
+        Tok::Word(w) if w.eq_ignore_ascii_case("true") => Ok(Val::Bool(true)),
+        Tok::Word(w) if w.eq_ignore_ascii_case("false") => Ok(Val::Bool(false)),
+        other => Err(err(format!("expected literal, got {other:?}"))),
+    }
+}
+
+fn parse_select_item(p: &mut P) -> Result<SelectItem> {
+    // Aggregate?
+    if let Some(Tok::Word(w)) = p.peek() {
+        let f = match w.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFn::Count),
+            "sum" => Some(AggFn::Sum),
+            "min" => Some(AggFn::Min),
+            "max" => Some(AggFn::Max),
+            "avg" => Some(AggFn::Avg),
+            _ => None,
+        };
+        if let Some(f) = f {
+            if self_lookahead_lparen(p) {
+                p.next()?; // fn name
+                p.next()?; // (
+                let col = if p.peek() == Some(&Tok::Star) {
+                    p.next()?;
+                    None
+                } else {
+                    Some(parse_colref(p)?)
+                };
+                match p.next()? {
+                    Tok::RParen => {}
+                    other => return Err(err(format!("expected ')', got {other:?}"))),
+                }
+                return Ok(SelectItem::Agg { f, col });
+            }
+        }
+    }
+    Ok(SelectItem::Col(parse_colref(p)?))
+}
+
+fn self_lookahead_lparen(p: &P) -> bool {
+    p.toks.get(p.pos + 1) == Some(&Tok::LParen)
+}
+
+fn parse_predicate(p: &mut P) -> Result<Predicate> {
+    let col = parse_colref(p)?;
+    if p.eat_kw("between") {
+        let lo = parse_literal(p)?;
+        p.expect_kw("and")?;
+        let hi = parse_literal(p)?;
+        return Ok(Predicate::Between { col, lo, hi });
+    }
+    if p.eat_kw("in") {
+        match p.next()? {
+            Tok::LParen => {}
+            other => return Err(err(format!("expected '(' after IN, got {other:?}"))),
+        }
+        let mut vals = Vec::new();
+        loop {
+            vals.push(parse_literal(p)?);
+            match p.next()? {
+                Tok::Comma => continue,
+                Tok::RParen => break,
+                other => return Err(err(format!("expected ',' or ')', got {other:?}"))),
+            }
+        }
+        return Ok(Predicate::InList { col, vals });
+    }
+    let op = match p.next()? {
+        Tok::Sym(s) => s,
+        other => return Err(err(format!("expected comparison operator, got {other:?}"))),
+    };
+    // Column-vs-column (join) or column-vs-literal?
+    match p.peek() {
+        Some(Tok::Word(w))
+            if !w.eq_ignore_ascii_case("true") && !w.eq_ignore_ascii_case("false") =>
+        {
+            if op != "=" {
+                // Only equi-joins are supported across columns.
+                let right = parse_colref(p)?;
+                return Err(err(format!(
+                    "only '=' is supported between columns ({}.{} {} {:?})",
+                    col.table.as_deref().unwrap_or(""),
+                    col.column,
+                    op,
+                    right
+                )));
+            }
+            let right = parse_colref(p)?;
+            Ok(Predicate::ColEq { left: col, right })
+        }
+        _ => {
+            let lit = parse_literal(p)?;
+            Ok(Predicate::Cmp { col, op, lit })
+        }
+    }
+}
+
+/// Parse one SELECT statement.
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let mut p = P { toks: lex(sql)?, pos: 0 };
+    p.expect_kw("select")?;
+
+    let mut q = Query { distinct: p.eat_kw("distinct"), ..Query::default() };
+    loop {
+        q.select.push(parse_select_item(&mut p)?);
+        if p.peek() == Some(&Tok::Comma) {
+            p.next()?;
+        } else {
+            break;
+        }
+    }
+
+    p.expect_kw("from")?;
+    loop {
+        let first = p.word()?;
+        let (schema, table) = if p.peek() == Some(&Tok::Dot) {
+            p.next()?;
+            (first, p.word()?)
+        } else {
+            ("sys".to_string(), first)
+        };
+        // Optional alias (a bare word that is not a clause keyword).
+        let alias = match p.peek() {
+            Some(Tok::Word(w))
+                if !["where", "group", "order", "limit"]
+                    .contains(&w.to_ascii_lowercase().as_str()) =>
+            {
+                p.word()?
+            }
+            _ => table.clone(),
+        };
+        q.from.push(TableRef { schema, table, alias });
+        if p.peek() == Some(&Tok::Comma) {
+            p.next()?;
+        } else {
+            break;
+        }
+    }
+
+    if p.eat_kw("where") {
+        loop {
+            q.predicates.push(parse_predicate(&mut p)?);
+            if !p.eat_kw("and") {
+                break;
+            }
+        }
+    }
+
+    if p.peek_kw("group") {
+        p.next()?;
+        p.expect_kw("by")?;
+        loop {
+            q.group_by.push(parse_colref(&mut p)?);
+            if p.peek() == Some(&Tok::Comma) {
+                p.next()?;
+            } else {
+                break;
+            }
+        }
+    }
+
+    if p.peek_kw("order") {
+        p.next()?;
+        p.expect_kw("by")?;
+        let col = parse_colref(&mut p)?;
+        let descending = p.eat_kw("desc");
+        if !descending {
+            p.eat_kw("asc");
+        }
+        q.order_by = Some(OrderKey { col, descending });
+    }
+
+    if p.eat_kw("limit") {
+        match p.next()? {
+            Tok::Num(s) => {
+                q.limit =
+                    Some(s.parse().map_err(|e| err(format!("bad limit: {e}")))?)
+            }
+            other => return Err(err(format!("expected number after LIMIT, got {other:?}"))),
+        }
+    }
+
+    if let Some(t) = p.peek() {
+        return Err(err(format!("trailing tokens starting at {t:?}")));
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        let q = parse_query("select c.t_id from t, c where c.t_id = t.id;").unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0].schema, "sys");
+        assert_eq!(q.predicates.len(), 1);
+        assert!(matches!(q.predicates[0], Predicate::ColEq { .. }));
+    }
+
+    #[test]
+    fn filters_and_between() {
+        let q = parse_query(
+            "select a from t where a >= 10 and b = 'x' and c between 1 and 5",
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 3);
+        assert!(matches!(&q.predicates[0], Predicate::Cmp { op, .. } if op == ">="));
+        assert!(matches!(&q.predicates[1], Predicate::Cmp { lit: Val::Str(_), .. }));
+        assert!(matches!(&q.predicates[2], Predicate::Between { .. }));
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let q = parse_query(
+            "select region, sum(amount), count(*) from sales group by region",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert!(matches!(q.select[1], SelectItem::Agg { f: AggFn::Sum, col: Some(_) }));
+        assert!(matches!(q.select[2], SelectItem::Agg { f: AggFn::Count, col: None }));
+        assert_eq!(q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let q = parse_query("select a from t order by a desc limit 10").unwrap();
+        assert!(q.order_by.as_ref().unwrap().descending);
+        assert_eq!(q.limit, Some(10));
+        let q = parse_query("select a from t order by a asc").unwrap();
+        assert!(!q.order_by.unwrap().descending);
+    }
+
+    #[test]
+    fn schema_qualified_and_alias() {
+        let q = parse_query("select l.x from mydb.big l where l.x < 3").unwrap();
+        assert_eq!(q.from[0].schema, "mydb");
+        assert_eq!(q.from[0].alias, "l");
+    }
+
+    #[test]
+    fn negative_and_float_literals() {
+        let q = parse_query("select a from t where a > -5 and b < 2.5").unwrap();
+        assert!(matches!(&q.predicates[0], Predicate::Cmp { lit: Val::Int(-5), .. }));
+        assert!(matches!(&q.predicates[1], Predicate::Cmp { lit: Val::Dbl(x), .. } if *x == 2.5));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("frobnicate t").is_err());
+        assert!(parse_query("select from t").is_err());
+        assert!(parse_query("select a from t where a ~ 3").is_err());
+        assert!(parse_query("select a from t where 'oops").is_err());
+        assert!(parse_query("select a from t limit x").is_err());
+        assert!(parse_query("select a from t extra junk??").is_err());
+        assert!(parse_query("select a from t where a < b", ).is_err(), "non-equi column cmp");
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let q = parse_query("SELECT a FROM t WHERE a = 1 ORDER BY a LIMIT 2").unwrap();
+        assert_eq!(q.limit, Some(2));
+    }
+}

@@ -1,0 +1,116 @@
+//! In-process ring fabric over crossbeam channels.
+
+use crate::{RingTransport, TransportError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use datacyclotron::DcMsg;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One node's endpoints.
+pub struct MemNode {
+    data_tx: Sender<DcMsg>,
+    req_tx: Sender<DcMsg>,
+    rx: Receiver<DcMsg>,
+    /// Shared with the successor: bytes we have queued toward it.
+    out_bytes: Arc<AtomicU64>,
+    /// Shared with the predecessor: bytes it queued toward us (we
+    /// decrement on receive).
+    in_bytes: Arc<AtomicU64>,
+}
+
+/// Build a fully-wired in-process ring of `n` nodes.
+pub fn ring(n: usize) -> Vec<MemNode> {
+    assert!(n >= 2, "a ring needs at least two nodes");
+    let channels: Vec<(Sender<DcMsg>, Receiver<DcMsg>)> = (0..n).map(|_| unbounded()).collect();
+    let counters: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    (0..n)
+        .map(|i| {
+            let succ = (i + 1) % n;
+            let pred = (i + n - 1) % n;
+            MemNode {
+                data_tx: channels[succ].0.clone(),
+                req_tx: channels[pred].0.clone(),
+                rx: channels[i].1.clone(),
+                out_bytes: Arc::clone(&counters[i]),
+                in_bytes: Arc::clone(&counters[pred]),
+            }
+        })
+        .collect()
+}
+
+impl RingTransport for MemNode {
+    fn send_data(&self, msg: DcMsg) -> Result<(), TransportError> {
+        self.out_bytes.fetch_add(msg.wire_size(), Ordering::Relaxed);
+        self.data_tx.send(msg).map_err(|_| TransportError::Disconnected)
+    }
+
+    fn send_request(&self, msg: DcMsg) -> Result<(), TransportError> {
+        self.req_tx.send(msg).map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv(&self) -> Option<DcMsg> {
+        let msg = self.rx.recv().ok()?;
+        if matches!(msg, DcMsg::Bat { .. }) {
+            self.in_bytes.fetch_sub(msg.wire_size(), Ordering::Relaxed);
+        }
+        Some(msg)
+    }
+
+    fn outbound_bytes(&self) -> u64 {
+        self.out_bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacyclotron::msg::BatHeader;
+    use datacyclotron::{BatId, NodeId, ReqMsg};
+
+    fn bat_msg(id: u32, size: u64) -> DcMsg {
+        DcMsg::Bat { header: BatHeader::fresh(NodeId(0), BatId(id), size), payload: None }
+    }
+
+    #[test]
+    fn data_flows_clockwise() {
+        let nodes = ring(3);
+        nodes[0].send_data(bat_msg(1, 100)).unwrap();
+        match nodes[1].recv().unwrap() {
+            DcMsg::Bat { header, .. } => assert_eq!(header.bat, BatId(1)),
+            other => panic!("{other:?}"),
+        }
+        nodes[1].send_data(bat_msg(1, 100)).unwrap();
+        assert!(matches!(nodes[2].recv().unwrap(), DcMsg::Bat { .. }));
+        nodes[2].send_data(bat_msg(1, 100)).unwrap();
+        assert!(matches!(nodes[0].recv().unwrap(), DcMsg::Bat { .. }), "wraps around");
+    }
+
+    #[test]
+    fn requests_flow_anticlockwise() {
+        let nodes = ring(3);
+        nodes[0]
+            .send_request(DcMsg::Request(ReqMsg { origin: NodeId(0), bat: BatId(9) }))
+            .unwrap();
+        match nodes[2].recv().unwrap() {
+            DcMsg::Request(r) => assert_eq!(r.bat, BatId(9)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn outbound_bytes_tracks_queue() {
+        let nodes = ring(2);
+        assert_eq!(nodes[0].outbound_bytes(), 0);
+        nodes[0].send_data(bat_msg(1, 1000)).unwrap();
+        let queued = nodes[0].outbound_bytes();
+        assert!(queued >= 1000, "queued={queued}");
+        let _ = nodes[1].recv().unwrap();
+        assert_eq!(nodes[0].outbound_bytes(), 0, "drained on receive");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_degenerate_ring() {
+        let _ = ring(1);
+    }
+}

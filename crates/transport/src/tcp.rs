@@ -1,0 +1,290 @@
+//! TCP ring fabric: length-prefixed frames over two neighbor sockets.
+//!
+//! Wire format per frame: `u32` little-endian payload length, then the
+//! `datacyclotron::msg` binary encoding. TCP gives the "asynchronous
+//! channels with guaranteed order of arrival" the paper requires of its
+//! network layer (§4.3).
+
+use crate::{RingTransport, TransportError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use datacyclotron::{decode, encode, DcMsg};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Write one frame.
+pub fn write_frame(stream: &mut impl Write, msg: &DcMsg) -> std::io::Result<()> {
+    let bytes = encode(msg);
+    stream.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    stream.write_all(&bytes)?;
+    stream.flush()
+}
+
+/// Read one frame; `Ok(None)` on clean EOF.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<DcMsg>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    // Guard against absurd frames (corrupt peer): 1 GiB cap.
+    if len > 1 << 30 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    decode(&buf).map(Some).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// A node connected into a TCP ring.
+pub struct TcpNode {
+    data_out: Mutex<TcpStream>,
+    req_out: Mutex<TcpStream>,
+    inbox: Receiver<DcMsg>,
+    out_bytes: Arc<AtomicU64>,
+    readers: Vec<JoinHandle<()>>,
+    // Clones of the inbound streams so `shutdown` can force the reader
+    // threads off their blocking reads without waiting for peers.
+    inbound: Vec<TcpStream>,
+}
+
+/// Establish a full TCP ring on the given addresses; `me` is this
+/// process's position. Every participant must call this concurrently
+/// (each listens on `addrs[me]` and dials its two neighbors).
+///
+/// Connection protocol: each node accepts exactly two inbound
+/// connections — one from its predecessor (data) and one from its
+/// successor (requests) — distinguished by a 1-byte hello (`b'D'` /
+/// `b'R'`).
+pub fn join_ring(addrs: &[SocketAddr], me: usize) -> Result<TcpNode, TransportError> {
+    assert!(addrs.len() >= 2, "a ring needs at least two nodes");
+    assert!(me < addrs.len());
+    let n = addrs.len();
+    let succ = addrs[(me + 1) % n];
+    let pred = addrs[(me + n - 1) % n];
+
+    let listener = TcpListener::bind(addrs[me])?;
+
+    // Dial neighbors with retry: peers may not be listening yet.
+    let dial = |addr: SocketAddr, hello: u8| -> Result<TcpStream, TransportError> {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+                Ok(mut s) => {
+                    s.set_nodelay(true).ok();
+                    s.write_all(&[hello])?;
+                    return Ok(s);
+                }
+                Err(e) => {
+                    if std::time::Instant::now() > deadline {
+                        return Err(TransportError::Io(e));
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    };
+
+    // Dial in a helper thread so we can accept concurrently (avoids the
+    // deadlock where every node dials before anyone accepts).
+    let dial_handle = std::thread::spawn(move || -> Result<(TcpStream, TcpStream), TransportError> {
+        let data_out = dial(succ, b'D')?;
+        let req_out = dial(pred, b'R')?;
+        Ok((data_out, req_out))
+    });
+
+    // Accept our two inbound streams.
+    let (tx, inbox) = unbounded::<DcMsg>();
+    let out_bytes = Arc::new(AtomicU64::new(0));
+    let mut readers = Vec::new();
+    let mut inbound = Vec::new();
+    let mut seen_data = false;
+    let mut seen_req = false;
+    while !(seen_data && seen_req) {
+        let (mut stream, _) = listener.accept()?;
+        stream.set_nodelay(true).ok();
+        let mut hello = [0u8; 1];
+        stream.read_exact(&mut hello)?;
+        match hello[0] {
+            b'D' if !seen_data => seen_data = true,
+            b'R' if !seen_req => seen_req = true,
+            other => {
+                return Err(TransportError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected hello {other}"),
+                )))
+            }
+        }
+        inbound.push(stream.try_clone()?);
+        let tx = tx.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut stream = stream;
+            while let Ok(Some(msg)) = read_frame(&mut stream) {
+                if tx.send(msg).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+
+    let (data_out, req_out) =
+        dial_handle.join().map_err(|_| TransportError::Disconnected)??;
+    Ok(TcpNode {
+        data_out: Mutex::new(data_out),
+        req_out: Mutex::new(req_out),
+        inbox,
+        out_bytes,
+        readers,
+        inbound,
+    })
+}
+
+impl RingTransport for TcpNode {
+    fn send_data(&self, msg: DcMsg) -> Result<(), TransportError> {
+        let size = msg.wire_size();
+        self.out_bytes.fetch_add(size, Ordering::Relaxed);
+        let result = write_frame(&mut *self.data_out.lock(), &msg);
+        self.out_bytes.fetch_sub(size, Ordering::Relaxed);
+        result.map_err(TransportError::Io)
+    }
+
+    fn send_request(&self, msg: DcMsg) -> Result<(), TransportError> {
+        write_frame(&mut *self.req_out.lock(), &msg).map_err(TransportError::Io)
+    }
+
+    fn recv(&self) -> Option<DcMsg> {
+        self.inbox.recv().ok()
+    }
+
+    fn outbound_bytes(&self) -> u64 {
+        self.out_bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl TcpNode {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<DcMsg> {
+        self.inbox.try_recv().ok()
+    }
+
+    /// Tear down the node: close both outgoing streams, force the
+    /// inbound streams shut so the reader threads leave their blocking
+    /// reads immediately, then join them. Safe to call in any order
+    /// across ring members — no peer coordination is required.
+    pub fn shutdown(self) {
+        drop(self.data_out);
+        drop(self.req_out);
+        for s in &self.inbound {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        for r in self.readers {
+            let _ = r.join();
+        }
+    }
+}
+
+/// Sender side used by tests/tools to speak the frame protocol directly.
+pub fn sender_of(tx: &Sender<DcMsg>) -> Sender<DcMsg> {
+    tx.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use datacyclotron::msg::BatHeader;
+    use datacyclotron::{BatId, NodeId, ReqMsg};
+
+    fn local_addrs(n: usize) -> Vec<SocketAddr> {
+        // Bind ephemeral listeners to reserve distinct free ports.
+        let temp: Vec<TcpListener> =
+            (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+        temp.iter().map(|l| l.local_addr().unwrap()).collect()
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let msg = DcMsg::Bat {
+            header: BatHeader::fresh(NodeId(1), BatId(7), 3),
+            payload: Some(Bytes::from_static(b"abc")),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let back = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(back, msg);
+        // Clean EOF → None.
+        assert!(read_frame(&mut &b""[..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&5u32.to_le_bytes());
+        buf.extend_from_slice(&[99, 0, 0, 0, 0]);
+        assert!(read_frame(&mut &buf[..]).is_err());
+        // Oversized length header.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn three_node_tcp_ring_routes_both_directions() {
+        let addrs = local_addrs(3);
+        let mut joins = Vec::new();
+        for me in 0..3 {
+            let addrs = addrs.clone();
+            joins.push(std::thread::spawn(move || join_ring(&addrs, me).unwrap()));
+        }
+        let nodes: Vec<TcpNode> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+
+        // Data clockwise: 0 → 1.
+        nodes[0]
+            .send_data(DcMsg::Bat {
+                header: BatHeader::fresh(NodeId(0), BatId(42), 4),
+                payload: Some(Bytes::from_static(b"data")),
+            })
+            .unwrap();
+        match nodes[1].recv().unwrap() {
+            DcMsg::Bat { header, payload } => {
+                assert_eq!(header.bat, BatId(42));
+                assert_eq!(payload.unwrap(), Bytes::from_static(b"data"));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Requests anti-clockwise: 0 → 2.
+        nodes[0]
+            .send_request(DcMsg::Request(ReqMsg { origin: NodeId(0), bat: BatId(5) }))
+            .unwrap();
+        match nodes[2].recv().unwrap() {
+            DcMsg::Request(r) => assert_eq!(r.origin, NodeId(0)),
+            other => panic!("{other:?}"),
+        }
+
+        // Full circulation: a BAT completes the ring.
+        for hop in 0..3 {
+            let from = hop;
+            nodes[from]
+                .send_data(DcMsg::Bat {
+                    header: BatHeader::fresh(NodeId(9), BatId(9), 0),
+                    payload: None,
+                })
+                .unwrap();
+            let to = (hop + 1) % 3;
+            assert!(matches!(nodes[to].recv().unwrap(), DcMsg::Bat { .. }));
+        }
+        for n in nodes {
+            n.shutdown();
+        }
+    }
+}

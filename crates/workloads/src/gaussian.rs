@@ -1,0 +1,132 @@
+//! §5.3 — non-uniform (Gaussian) data access.
+//!
+//! "The Gaussian distribution is centered around BAT id 500 with a
+//! standard deviation of 50. All the nodes use the same distribution."
+//! The rest of the scenario matches §5.1.
+
+use crate::dataset::Dataset;
+use crate::micro::MicroParams;
+use crate::spec::{ExecModel, QuerySpec};
+use datacyclotron::BatId;
+use netsim::{DetRng, SimDuration, SimTime};
+
+#[derive(Clone, Debug)]
+pub struct GaussianParams {
+    pub base: MicroParams,
+    pub mean: f64,
+    pub stddev: f64,
+}
+
+impl Default for GaussianParams {
+    fn default() -> Self {
+        GaussianParams { base: MicroParams::default(), mean: 500.0, stddev: 50.0 }
+    }
+}
+
+/// Draw a BAT id from the clipped Gaussian.
+fn draw_bat(rng: &mut DetRng, p: &GaussianParams, n_bats: usize) -> BatId {
+    loop {
+        let v = rng.normal(p.mean, p.stddev).round();
+        if v >= 0.0 && (v as usize) < n_bats {
+            return BatId(v as u32);
+        }
+    }
+}
+
+pub fn generate(
+    params: &GaussianParams,
+    dataset: &Dataset,
+    nodes: usize,
+    seed: u64,
+) -> Vec<QuerySpec> {
+    let mut rng = DetRng::new(seed);
+    let mut out = Vec::new();
+    let interval = 1.0 / params.base.queries_per_second_per_node;
+    for node in 0..nodes {
+        for i in 0.. {
+            let t = i as f64 * interval;
+            if t >= params.base.duration.as_secs_f64() {
+                break;
+            }
+            let k = rng.uniform_u64(params.base.min_bats as u64, params.base.max_bats as u64)
+                as usize;
+            let mut needs = Vec::with_capacity(k);
+            let mut proc = Vec::with_capacity(k);
+            for _ in 0..k {
+                // Remote-only like the rest of §5: resample locals.
+                let mut bat = draw_bat(&mut rng, params, dataset.len());
+                let mut guard = 0;
+                while dataset.owner_of(bat) == node && guard < 64 {
+                    bat = draw_bat(&mut rng, params, dataset.len());
+                    guard += 1;
+                }
+                needs.push(bat);
+                proc.push(SimDuration::from_secs_f64(rng.uniform_f64(
+                    params.base.min_proc.as_secs_f64(),
+                    params.base.max_proc.as_secs_f64(),
+                )));
+            }
+            out.push(QuerySpec {
+                arrival: SimTime::from_secs_f64(t),
+                node,
+                needs,
+                model: ExecModel::PerBat { proc },
+                tag: 0,
+            });
+        }
+    }
+    out.sort_by_key(|q| q.arrival);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_distribution_centered_at_500() {
+        let d = Dataset::paper_8gb(10, 1);
+        let qs = generate(&GaussianParams::default(), &d, 10, 3);
+        let mut sum = 0.0;
+        let mut count = 0.0;
+        let mut in_vogue = 0u64;
+        let mut total = 0u64;
+        for q in &qs {
+            for b in &q.needs {
+                sum += b.0 as f64;
+                count += 1.0;
+                total += 1;
+                if (350..=600).contains(&b.0) {
+                    in_vogue += 1;
+                }
+            }
+        }
+        let mean = sum / count;
+        assert!((mean - 500.0).abs() < 5.0, "mean={mean}");
+        // Nearly all accesses hit the paper's "in vogue" range.
+        assert!(in_vogue as f64 / total as f64 > 0.95);
+    }
+
+    #[test]
+    fn unpopular_bats_rarely_touched() {
+        let d = Dataset::paper_8gb(10, 1);
+        let qs = generate(&GaussianParams::default(), &d, 10, 3);
+        let far = qs
+            .iter()
+            .flat_map(|q| &q.needs)
+            .filter(|b| b.0 < 200 || b.0 > 800)
+            .count();
+        let total: usize = qs.iter().map(|q| q.needs.len()).sum();
+        assert!((far as f64) / (total as f64) < 0.001, "far fraction too high");
+    }
+
+    #[test]
+    fn same_scale_as_micro() {
+        let d = Dataset::paper_8gb(10, 1);
+        let qs = generate(&GaussianParams::default(), &d, 10, 3);
+        assert_eq!(qs.len(), 48_000);
+        for q in qs.iter().take(200) {
+            q.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # dc-workloads — the paper's workload generators
+//!
+//! Every evaluation scenario of the paper (§5, §6.3) as a deterministic,
+//! seeded generator producing [`QuerySpec`]s over a [`Dataset`]:
+//!
+//! * [`micro`] — §5.1: 10 nodes × 80 q/s for 60 s (48 000 queries), each
+//!   touching 1–5 random remote BATs at 100–200 ms each,
+//! * [`skewed`] — §5.2 Table 3: four overlapping skewed workloads
+//!   SW1–SW4 over disjoint hot sets,
+//! * [`gaussian`] — §5.3: Gaussian data access N(500, 50²),
+//! * [`tpch`] — §5.4: the TPC-H SF-5 trace synthesizer (column
+//!   footprints per query class, operator segments, 4-core pin
+//!   scheduling),
+//! * [`scaling`] — §6.3: the Gaussian scenario at 5/10/15/20 nodes with
+//!   constant total workload (Figs 10–11).
+
+pub mod dataset;
+pub mod gaussian;
+pub mod micro;
+pub mod scaling;
+pub mod skewed;
+pub mod spec;
+pub mod tpch;
+
+pub use dataset::Dataset;
+pub use spec::{ExecModel, QuerySpec};

@@ -1,0 +1,133 @@
+//! §5.1 — the uniform micro-benchmark.
+//!
+//! "The experiment consists of firing 80 queries per second on each of
+//! the 10 nodes over a period of 60 seconds … a synthetic workload that
+//! consists of queries requesting between one and five randomly chosen
+//! BATs. The net query execution times … are arbitrarily determined by
+//! scoring each accessed BAT with a randomly chosen processing time
+//! between 100 msec and 200 msec."
+
+use crate::dataset::Dataset;
+use crate::spec::{ExecModel, QuerySpec};
+use netsim::{DetRng, SimDuration, SimTime};
+
+#[derive(Clone, Debug)]
+pub struct MicroParams {
+    pub queries_per_second_per_node: f64,
+    pub duration: SimDuration,
+    pub min_bats: usize,
+    pub max_bats: usize,
+    pub min_proc: SimDuration,
+    pub max_proc: SimDuration,
+}
+
+impl Default for MicroParams {
+    fn default() -> Self {
+        MicroParams {
+            queries_per_second_per_node: 80.0,
+            duration: SimDuration::from_secs(60),
+            min_bats: 1,
+            max_bats: 5,
+            min_proc: SimDuration::from_millis(100),
+            max_proc: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// Generate the workload for an `nodes`-node ring over `dataset`.
+/// Queries access remote BATs only (§5: "we are primarily interested in
+/// the adaptive behavior of the ring structure itself").
+pub fn generate(params: &MicroParams, dataset: &Dataset, nodes: usize, seed: u64) -> Vec<QuerySpec> {
+    let mut rng = DetRng::new(seed);
+    let remote: Vec<Vec<datacyclotron::BatId>> =
+        (0..nodes).map(|n| dataset.remote_bats(n)).collect();
+    let mut out = Vec::new();
+    let interval = 1.0 / params.queries_per_second_per_node;
+    for (node, pool) in remote.iter().enumerate() {
+        // Index-based arrivals avoid float-accumulation drift in counts.
+        for i in 0.. {
+            let t = i as f64 * interval;
+            if t >= params.duration.as_secs_f64() {
+                break;
+            }
+            let k = rng.uniform_u64(params.min_bats as u64, params.max_bats as u64) as usize;
+            let mut needs = Vec::with_capacity(k);
+            let mut proc = Vec::with_capacity(k);
+            for _ in 0..k {
+                needs.push(pool[rng.index(pool.len())]);
+                proc.push(SimDuration::from_secs_f64(rng.uniform_f64(
+                    params.min_proc.as_secs_f64(),
+                    params.max_proc.as_secs_f64(),
+                )));
+            }
+            out.push(QuerySpec {
+                arrival: SimTime::from_secs_f64(t),
+                node,
+                needs,
+                model: ExecModel::PerBat { proc },
+                tag: 0,
+            });
+        }
+    }
+    out.sort_by_key(|q| q.arrival);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Dataset, Vec<QuerySpec>) {
+        let d = Dataset::paper_8gb(10, 1);
+        let qs = generate(&MicroParams::default(), &d, 10, 2);
+        (d, qs)
+    }
+
+    #[test]
+    fn paper_scale_48000_queries() {
+        let (_, qs) = setup();
+        assert_eq!(qs.len(), 48_000, "80 q/s × 10 nodes × 60 s");
+    }
+
+    #[test]
+    fn all_specs_valid_and_remote_only() {
+        let (d, qs) = setup();
+        for q in &qs {
+            q.validate().unwrap();
+            assert!((1..=5).contains(&q.needs.len()));
+            for &b in &q.needs {
+                assert_ne!(d.owner_of(b), q.node, "workload must be remote-only");
+            }
+        }
+    }
+
+    #[test]
+    fn processing_times_in_range() {
+        let (_, qs) = setup();
+        for q in &qs {
+            let ExecModel::PerBat { proc } = &q.model else { panic!() };
+            for p in proc {
+                assert!(
+                    (100..=200).contains(&p.as_millis()),
+                    "proc time {} ms out of range",
+                    p.as_millis()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_sorted_within_duration() {
+        let (_, qs) = setup();
+        assert!(qs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(qs.last().unwrap().arrival < SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = Dataset::paper_8gb(10, 1);
+        let a = generate(&MicroParams::default(), &d, 10, 5);
+        let b = generate(&MicroParams::default(), &d, 10, 5);
+        assert_eq!(a, b);
+    }
+}

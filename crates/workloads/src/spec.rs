@@ -1,0 +1,127 @@
+//! Query specifications consumed by the simulator driver.
+
+use datacyclotron::BatId;
+use netsim::{SimDuration, SimTime};
+
+/// How a query's execution is modeled.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecModel {
+    /// §5.1–§5.3: each accessed BAT is "scored with a randomly chosen
+    /// processing time"; pins unblock on arrival and process
+    /// concurrently (dataflow parallelism, ample cores). `proc[i]`
+    /// pairs with `needs[i]`.
+    PerBat { proc: Vec<SimDuration> },
+    /// §5.4 calibration: pins issued sequentially; `segments[i]` is the
+    /// CPU time (on one core) between the (i-1)-th reception and the
+    /// i-th pin; the final segment runs after the last reception.
+    /// `segments.len() == needs.len() + 1`.
+    PinSchedule { segments: Vec<SimDuration> },
+}
+
+/// One query instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuerySpec {
+    /// When the query is registered at its node.
+    pub arrival: SimTime,
+    /// Ring position where the query settles.
+    pub node: usize,
+    /// The BATs it accesses (pin order for `PinSchedule`).
+    pub needs: Vec<BatId>,
+    pub model: ExecModel,
+    /// Workload tag (e.g. SW1–SW4 in §5.2; query class in §5.4) for
+    /// per-workload reporting.
+    pub tag: u32,
+}
+
+impl QuerySpec {
+    /// Validate internal consistency; generators are tested through this.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.needs.is_empty() {
+            return Err("query needs at least one BAT".into());
+        }
+        match &self.model {
+            ExecModel::PerBat { proc } => {
+                if proc.len() != self.needs.len() {
+                    return Err(format!(
+                        "PerBat proc len {} != needs len {}",
+                        proc.len(),
+                        self.needs.len()
+                    ));
+                }
+            }
+            ExecModel::PinSchedule { segments } => {
+                if segments.len() != self.needs.len() + 1 {
+                    return Err(format!(
+                        "PinSchedule segments len {} != needs len {} + 1",
+                        segments.len(),
+                        self.needs.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Net execution time assuming all data local (lower bound on the
+    /// lifetime).
+    pub fn net_work(&self) -> SimDuration {
+        match &self.model {
+            ExecModel::PerBat { proc } => {
+                proc.iter().copied().fold(SimDuration::ZERO, |a, b| a + b)
+            }
+            ExecModel::PinSchedule { segments } => {
+                segments.iter().copied().fold(SimDuration::ZERO, |a, b| a + b)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let q = QuerySpec {
+            arrival: SimTime::ZERO,
+            node: 0,
+            needs: vec![BatId(1), BatId(2)],
+            model: ExecModel::PerBat { proc: vec![SimDuration::from_millis(100)] },
+            tag: 0,
+        };
+        assert!(q.validate().is_err());
+        let q = QuerySpec {
+            needs: vec![BatId(1)],
+            model: ExecModel::PerBat { proc: vec![SimDuration::from_millis(100)] },
+            ..q
+        };
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn pin_schedule_needs_trailing_segment() {
+        let q = QuerySpec {
+            arrival: SimTime::ZERO,
+            node: 0,
+            needs: vec![BatId(1)],
+            model: ExecModel::PinSchedule {
+                segments: vec![SimDuration::from_millis(5), SimDuration::from_millis(7)],
+            },
+            tag: 3,
+        };
+        q.validate().unwrap();
+        assert_eq!(q.net_work().as_millis(), 12);
+    }
+
+    #[test]
+    fn empty_needs_rejected() {
+        let q = QuerySpec {
+            arrival: SimTime::ZERO,
+            node: 0,
+            needs: vec![],
+            model: ExecModel::PerBat { proc: vec![] },
+            tag: 0,
+        };
+        assert!(q.validate().is_err());
+    }
+}

@@ -1,0 +1,711 @@
+//! §5.4 — the TPC-H SF-5 calibration workload.
+//!
+//! The paper calibrates its simulator with MonetDB execution traces of
+//! the 22 TPC-H queries at scale factor 5: per-operator times and the
+//! column/index BATs each query touches. Those traces are not available,
+//! so this module synthesizes the closest equivalent (see DESIGN.md §4):
+//!
+//! * the real TPC-H schema at SF-5 row counts, with realistic per-column
+//!   byte widths plus the foreign-key join indices the paper mentions,
+//! * the real column footprint of each of the 22 query classes,
+//! * per-class work (CPU core-seconds) normalized so the single-node run
+//!   reproduces the paper's ≈315 s for 1200 queries on 4 cores,
+//! * columns partitioned into fragments small enough to circulate
+//!   ("we assume each partition to be an individual BAT easily fitting
+//!   in main memory"),
+//! * the paper's calibration rule: pins are scheduled `OpT` after the
+//!   previous reception; a query finishes `T` after its last pin
+//!   ([`crate::spec::ExecModel::PinSchedule`]).
+//!
+//! The query mix follows the paper: "The scheduling of the queries
+//! follows a Gaussian distribution with mean 10 and standard deviation
+//! 2. On this distribution the fastest queries are the ones with higher
+//! probability to be scheduled."
+
+use crate::dataset::Dataset;
+use crate::spec::{ExecModel, QuerySpec};
+use datacyclotron::BatId;
+use netsim::{DetRng, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Maximum fragment size: well under the 200 MB node buffers.
+pub const MAX_FRAGMENT_BYTES: u64 = 48 * 1024 * 1024;
+
+/// SF-5 row counts.
+const ROWS_L: u64 = 30_000_000;
+const ROWS_O: u64 = 7_500_000;
+const ROWS_C: u64 = 750_000;
+const ROWS_P: u64 = 1_000_000;
+const ROWS_PS: u64 = 4_000_000;
+const ROWS_S: u64 = 50_000;
+const ROWS_N: u64 = 25;
+const ROWS_R: u64 = 5;
+
+/// (table, column, bytes-per-row, rows). Join indices (`idx_*`) model
+/// "the indexes created for the TPC-H tables to speed up foreign key
+/// processing".
+fn schema() -> Vec<(&'static str, &'static str, u64, u64)> {
+    vec![
+        // lineitem
+        ("lineitem", "l_orderkey", 4, ROWS_L),
+        ("lineitem", "l_partkey", 4, ROWS_L),
+        ("lineitem", "l_suppkey", 4, ROWS_L),
+        ("lineitem", "l_quantity", 8, ROWS_L),
+        ("lineitem", "l_extendedprice", 8, ROWS_L),
+        ("lineitem", "l_discount", 8, ROWS_L),
+        ("lineitem", "l_tax", 8, ROWS_L),
+        ("lineitem", "l_returnflag", 1, ROWS_L),
+        ("lineitem", "l_linestatus", 1, ROWS_L),
+        ("lineitem", "l_shipdate", 4, ROWS_L),
+        ("lineitem", "l_commitdate", 4, ROWS_L),
+        ("lineitem", "l_receiptdate", 4, ROWS_L),
+        ("lineitem", "l_shipinstruct", 20, ROWS_L),
+        ("lineitem", "l_shipmode", 10, ROWS_L),
+        // orders
+        ("orders", "o_orderkey", 4, ROWS_O),
+        ("orders", "o_custkey", 4, ROWS_O),
+        ("orders", "o_orderstatus", 1, ROWS_O),
+        ("orders", "o_totalprice", 8, ROWS_O),
+        ("orders", "o_orderdate", 4, ROWS_O),
+        ("orders", "o_orderpriority", 15, ROWS_O),
+        ("orders", "o_shippriority", 4, ROWS_O),
+        ("orders", "o_comment", 50, ROWS_O),
+        // customer
+        ("customer", "c_custkey", 4, ROWS_C),
+        ("customer", "c_name", 20, ROWS_C),
+        ("customer", "c_address", 30, ROWS_C),
+        ("customer", "c_nationkey", 4, ROWS_C),
+        ("customer", "c_phone", 15, ROWS_C),
+        ("customer", "c_acctbal", 8, ROWS_C),
+        ("customer", "c_mktsegment", 10, ROWS_C),
+        ("customer", "c_comment", 80, ROWS_C),
+        // part
+        ("part", "p_partkey", 4, ROWS_P),
+        ("part", "p_name", 35, ROWS_P),
+        ("part", "p_mfgr", 25, ROWS_P),
+        ("part", "p_brand", 10, ROWS_P),
+        ("part", "p_type", 25, ROWS_P),
+        ("part", "p_size", 4, ROWS_P),
+        ("part", "p_container", 10, ROWS_P),
+        // partsupp
+        ("partsupp", "ps_partkey", 4, ROWS_PS),
+        ("partsupp", "ps_suppkey", 4, ROWS_PS),
+        ("partsupp", "ps_availqty", 4, ROWS_PS),
+        ("partsupp", "ps_supplycost", 8, ROWS_PS),
+        // supplier
+        ("supplier", "s_suppkey", 4, ROWS_S),
+        ("supplier", "s_name", 20, ROWS_S),
+        ("supplier", "s_address", 30, ROWS_S),
+        ("supplier", "s_nationkey", 4, ROWS_S),
+        ("supplier", "s_phone", 15, ROWS_S),
+        ("supplier", "s_acctbal", 8, ROWS_S),
+        // nation / region
+        ("nation", "n_nationkey", 4, ROWS_N),
+        ("nation", "n_name", 20, ROWS_N),
+        ("nation", "n_regionkey", 4, ROWS_N),
+        ("region", "r_regionkey", 4, ROWS_R),
+        ("region", "r_name", 20, ROWS_R),
+        // FK join indices.
+        ("idx", "l_to_o", 8, ROWS_L),
+        ("idx", "l_to_p", 8, ROWS_L),
+        ("idx", "l_to_s", 8, ROWS_L),
+        ("idx", "o_to_c", 8, ROWS_O),
+        ("idx", "ps_to_p", 8, ROWS_PS),
+        ("idx", "ps_to_s", 8, ROWS_PS),
+    ]
+}
+
+/// Column footprint per query class (1-based): the columns (and join
+/// indices) each TPC-H query touches, per the specification.
+fn footprints() -> Vec<Vec<(&'static str, &'static str)>> {
+    vec![
+        // Q1
+        vec![
+            ("lineitem", "l_quantity"),
+            ("lineitem", "l_extendedprice"),
+            ("lineitem", "l_discount"),
+            ("lineitem", "l_tax"),
+            ("lineitem", "l_returnflag"),
+            ("lineitem", "l_linestatus"),
+            ("lineitem", "l_shipdate"),
+        ],
+        // Q2
+        vec![
+            ("part", "p_partkey"),
+            ("part", "p_mfgr"),
+            ("part", "p_size"),
+            ("part", "p_type"),
+            ("partsupp", "ps_partkey"),
+            ("partsupp", "ps_suppkey"),
+            ("partsupp", "ps_supplycost"),
+            ("supplier", "s_suppkey"),
+            ("supplier", "s_name"),
+            ("supplier", "s_address"),
+            ("supplier", "s_nationkey"),
+            ("supplier", "s_phone"),
+            ("supplier", "s_acctbal"),
+            ("nation", "n_nationkey"),
+            ("nation", "n_name"),
+            ("nation", "n_regionkey"),
+            ("region", "r_regionkey"),
+            ("region", "r_name"),
+            ("idx", "ps_to_p"),
+            ("idx", "ps_to_s"),
+        ],
+        // Q3
+        vec![
+            ("customer", "c_custkey"),
+            ("customer", "c_mktsegment"),
+            ("orders", "o_orderkey"),
+            ("orders", "o_custkey"),
+            ("orders", "o_orderdate"),
+            ("orders", "o_shippriority"),
+            ("lineitem", "l_orderkey"),
+            ("lineitem", "l_extendedprice"),
+            ("lineitem", "l_discount"),
+            ("lineitem", "l_shipdate"),
+            ("idx", "l_to_o"),
+            ("idx", "o_to_c"),
+        ],
+        // Q4
+        vec![
+            ("orders", "o_orderkey"),
+            ("orders", "o_orderdate"),
+            ("orders", "o_orderpriority"),
+            ("lineitem", "l_orderkey"),
+            ("lineitem", "l_commitdate"),
+            ("lineitem", "l_receiptdate"),
+            ("idx", "l_to_o"),
+        ],
+        // Q5
+        vec![
+            ("customer", "c_custkey"),
+            ("customer", "c_nationkey"),
+            ("orders", "o_orderkey"),
+            ("orders", "o_custkey"),
+            ("orders", "o_orderdate"),
+            ("lineitem", "l_orderkey"),
+            ("lineitem", "l_suppkey"),
+            ("lineitem", "l_extendedprice"),
+            ("lineitem", "l_discount"),
+            ("supplier", "s_suppkey"),
+            ("supplier", "s_nationkey"),
+            ("nation", "n_nationkey"),
+            ("nation", "n_name"),
+            ("nation", "n_regionkey"),
+            ("region", "r_regionkey"),
+            ("region", "r_name"),
+            ("idx", "l_to_o"),
+            ("idx", "o_to_c"),
+        ],
+        // Q6
+        vec![
+            ("lineitem", "l_shipdate"),
+            ("lineitem", "l_discount"),
+            ("lineitem", "l_quantity"),
+            ("lineitem", "l_extendedprice"),
+        ],
+        // Q7
+        vec![
+            ("supplier", "s_suppkey"),
+            ("supplier", "s_nationkey"),
+            ("lineitem", "l_orderkey"),
+            ("lineitem", "l_suppkey"),
+            ("lineitem", "l_extendedprice"),
+            ("lineitem", "l_discount"),
+            ("lineitem", "l_shipdate"),
+            ("orders", "o_orderkey"),
+            ("orders", "o_custkey"),
+            ("customer", "c_custkey"),
+            ("customer", "c_nationkey"),
+            ("nation", "n_nationkey"),
+            ("nation", "n_name"),
+            ("idx", "l_to_s"),
+            ("idx", "o_to_c"),
+        ],
+        // Q8
+        vec![
+            ("part", "p_partkey"),
+            ("part", "p_type"),
+            ("lineitem", "l_partkey"),
+            ("lineitem", "l_suppkey"),
+            ("lineitem", "l_orderkey"),
+            ("lineitem", "l_extendedprice"),
+            ("lineitem", "l_discount"),
+            ("supplier", "s_suppkey"),
+            ("supplier", "s_nationkey"),
+            ("orders", "o_orderkey"),
+            ("orders", "o_custkey"),
+            ("orders", "o_orderdate"),
+            ("customer", "c_custkey"),
+            ("customer", "c_nationkey"),
+            ("nation", "n_nationkey"),
+            ("nation", "n_regionkey"),
+            ("nation", "n_name"),
+            ("region", "r_regionkey"),
+            ("region", "r_name"),
+            ("idx", "l_to_p"),
+        ],
+        // Q9
+        vec![
+            ("part", "p_partkey"),
+            ("part", "p_name"),
+            ("lineitem", "l_partkey"),
+            ("lineitem", "l_suppkey"),
+            ("lineitem", "l_orderkey"),
+            ("lineitem", "l_extendedprice"),
+            ("lineitem", "l_discount"),
+            ("lineitem", "l_quantity"),
+            ("partsupp", "ps_partkey"),
+            ("partsupp", "ps_suppkey"),
+            ("partsupp", "ps_supplycost"),
+            ("supplier", "s_suppkey"),
+            ("supplier", "s_nationkey"),
+            ("orders", "o_orderkey"),
+            ("orders", "o_orderdate"),
+            ("nation", "n_nationkey"),
+            ("nation", "n_name"),
+            ("idx", "l_to_p"),
+            ("idx", "l_to_s"),
+        ],
+        // Q10
+        vec![
+            ("customer", "c_custkey"),
+            ("customer", "c_name"),
+            ("customer", "c_acctbal"),
+            ("customer", "c_address"),
+            ("customer", "c_phone"),
+            ("customer", "c_comment"),
+            ("customer", "c_nationkey"),
+            ("orders", "o_orderkey"),
+            ("orders", "o_custkey"),
+            ("orders", "o_orderdate"),
+            ("lineitem", "l_orderkey"),
+            ("lineitem", "l_returnflag"),
+            ("lineitem", "l_extendedprice"),
+            ("lineitem", "l_discount"),
+            ("nation", "n_nationkey"),
+            ("nation", "n_name"),
+            ("idx", "l_to_o"),
+            ("idx", "o_to_c"),
+        ],
+        // Q11
+        vec![
+            ("partsupp", "ps_partkey"),
+            ("partsupp", "ps_suppkey"),
+            ("partsupp", "ps_availqty"),
+            ("partsupp", "ps_supplycost"),
+            ("supplier", "s_suppkey"),
+            ("supplier", "s_nationkey"),
+            ("nation", "n_nationkey"),
+            ("nation", "n_name"),
+            ("idx", "ps_to_s"),
+        ],
+        // Q12
+        vec![
+            ("orders", "o_orderkey"),
+            ("orders", "o_orderpriority"),
+            ("lineitem", "l_orderkey"),
+            ("lineitem", "l_shipmode"),
+            ("lineitem", "l_commitdate"),
+            ("lineitem", "l_receiptdate"),
+            ("lineitem", "l_shipdate"),
+            ("idx", "l_to_o"),
+        ],
+        // Q13
+        vec![
+            ("customer", "c_custkey"),
+            ("orders", "o_orderkey"),
+            ("orders", "o_custkey"),
+            ("orders", "o_comment"),
+            ("idx", "o_to_c"),
+        ],
+        // Q14
+        vec![
+            ("lineitem", "l_partkey"),
+            ("lineitem", "l_extendedprice"),
+            ("lineitem", "l_discount"),
+            ("lineitem", "l_shipdate"),
+            ("part", "p_partkey"),
+            ("part", "p_type"),
+            ("idx", "l_to_p"),
+        ],
+        // Q15
+        vec![
+            ("lineitem", "l_suppkey"),
+            ("lineitem", "l_extendedprice"),
+            ("lineitem", "l_discount"),
+            ("lineitem", "l_shipdate"),
+            ("supplier", "s_suppkey"),
+            ("supplier", "s_name"),
+            ("supplier", "s_address"),
+            ("supplier", "s_phone"),
+            ("idx", "l_to_s"),
+        ],
+        // Q16
+        vec![
+            ("part", "p_partkey"),
+            ("part", "p_brand"),
+            ("part", "p_type"),
+            ("part", "p_size"),
+            ("partsupp", "ps_partkey"),
+            ("partsupp", "ps_suppkey"),
+            ("idx", "ps_to_p"),
+        ],
+        // Q17
+        vec![
+            ("lineitem", "l_partkey"),
+            ("lineitem", "l_quantity"),
+            ("lineitem", "l_extendedprice"),
+            ("part", "p_partkey"),
+            ("part", "p_brand"),
+            ("part", "p_container"),
+            ("idx", "l_to_p"),
+        ],
+        // Q18
+        vec![
+            ("customer", "c_custkey"),
+            ("customer", "c_name"),
+            ("orders", "o_orderkey"),
+            ("orders", "o_custkey"),
+            ("orders", "o_orderdate"),
+            ("orders", "o_totalprice"),
+            ("lineitem", "l_orderkey"),
+            ("lineitem", "l_quantity"),
+            ("idx", "l_to_o"),
+            ("idx", "o_to_c"),
+        ],
+        // Q19
+        vec![
+            ("lineitem", "l_partkey"),
+            ("lineitem", "l_quantity"),
+            ("lineitem", "l_extendedprice"),
+            ("lineitem", "l_discount"),
+            ("lineitem", "l_shipmode"),
+            ("lineitem", "l_shipinstruct"),
+            ("part", "p_partkey"),
+            ("part", "p_brand"),
+            ("part", "p_container"),
+            ("part", "p_size"),
+            ("idx", "l_to_p"),
+        ],
+        // Q20
+        vec![
+            ("supplier", "s_suppkey"),
+            ("supplier", "s_name"),
+            ("supplier", "s_address"),
+            ("supplier", "s_nationkey"),
+            ("nation", "n_nationkey"),
+            ("nation", "n_name"),
+            ("partsupp", "ps_partkey"),
+            ("partsupp", "ps_suppkey"),
+            ("partsupp", "ps_availqty"),
+            ("lineitem", "l_partkey"),
+            ("lineitem", "l_suppkey"),
+            ("lineitem", "l_quantity"),
+            ("lineitem", "l_shipdate"),
+            ("part", "p_partkey"),
+            ("part", "p_name"),
+        ],
+        // Q21
+        vec![
+            ("supplier", "s_suppkey"),
+            ("supplier", "s_name"),
+            ("supplier", "s_nationkey"),
+            ("lineitem", "l_orderkey"),
+            ("lineitem", "l_suppkey"),
+            ("lineitem", "l_receiptdate"),
+            ("lineitem", "l_commitdate"),
+            ("orders", "o_orderkey"),
+            ("orders", "o_orderstatus"),
+            ("nation", "n_nationkey"),
+            ("nation", "n_name"),
+            ("idx", "l_to_s"),
+            ("idx", "l_to_o"),
+        ],
+        // Q22
+        vec![
+            ("customer", "c_custkey"),
+            ("customer", "c_phone"),
+            ("customer", "c_acctbal"),
+            ("orders", "o_custkey"),
+        ],
+    ]
+}
+
+/// Relative CPU work per class (scan-heavy and many-join queries cost
+/// more; normalized against the paper's single-node total).
+const REL_WORK: [f64; 22] = [
+    10.0, // Q1
+    1.5,  // Q2
+    2.5,  // Q3
+    1.8,  // Q4
+    3.0,  // Q5
+    1.2,  // Q6
+    2.8,  // Q7
+    3.2,  // Q8
+    6.0,  // Q9
+    2.6,  // Q10
+    0.8,  // Q11
+    1.6,  // Q12
+    2.2,  // Q13
+    1.0,  // Q14
+    1.2,  // Q15
+    1.0,  // Q16
+    1.4,  // Q17
+    4.5,  // Q18
+    1.3,  // Q19
+    1.8,  // Q20
+    5.0,  // Q21
+    0.7,  // Q22
+];
+
+/// The paper's single-node anchor: 1200 queries on 4 cores in ≈317 s at
+/// ≈99.7% utilization ⇒ mean work ≈ 1.05 core-seconds per query.
+pub const TARGET_MEAN_CORE_SECONDS: f64 = 1.05;
+
+/// A fully materialized TPC-H ring workload.
+pub struct TpchWorkload {
+    pub dataset: Dataset,
+    pub queries: Vec<QuerySpec>,
+    /// Fragment name per BatId index (`table.column#k`).
+    pub fragment_names: Vec<String>,
+    /// Fragments per query class (1-based indexing: `class_frags[0]` is Q1).
+    pub class_frags: Vec<Vec<BatId>>,
+    /// Normalized core-seconds per class.
+    pub class_work: Vec<f64>,
+}
+
+#[derive(Clone, Debug)]
+pub struct TpchParams {
+    pub queries_per_node: usize,
+    pub registration_rate: f64,
+    pub class_mean: f64,
+    pub class_stddev: f64,
+}
+
+impl Default for TpchParams {
+    fn default() -> Self {
+        TpchParams {
+            queries_per_node: 1200,
+            registration_rate: 8.0,
+            class_mean: 10.0,
+            class_stddev: 2.0,
+        }
+    }
+}
+
+/// Probability mass of each class under the clipped Gaussian mix.
+fn class_probabilities(mean: f64, sd: f64) -> [f64; 22] {
+    // Discrete approximation: mass of round(N(mean, sd²)) clipped to 1..22.
+    let mut p = [0.0f64; 22];
+    let norm = |x: f64| (-(x * x) / 2.0).exp();
+    for (i, slot) in p.iter_mut().enumerate() {
+        let c = (i + 1) as f64;
+        *slot = norm((c - mean) / sd);
+    }
+    let total: f64 = p.iter().sum();
+    for v in &mut p {
+        *v /= total;
+    }
+    p
+}
+
+/// Build the workload for a ring of `nodes`.
+pub fn generate(params: &TpchParams, nodes: usize, seed: u64) -> TpchWorkload {
+    let mut rng = DetRng::new(seed);
+
+    // 1. Fragment the schema.
+    let mut sizes: Vec<u64> = Vec::new();
+    let mut owners: Vec<usize> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut frags_of: HashMap<(&'static str, &'static str), Vec<BatId>> = HashMap::new();
+    for (table, column, width, rows) in schema() {
+        let bytes = width * rows;
+        let nfrags = bytes.div_ceil(MAX_FRAGMENT_BYTES).max(1);
+        let per_frag = bytes / nfrags;
+        let mut ids = Vec::with_capacity(nfrags as usize);
+        for k in 0..nfrags {
+            let id = BatId(sizes.len() as u32);
+            sizes.push(per_frag.max(1));
+            owners.push(rng.index(nodes));
+            names.push(format!("{table}.{column}#{k}"));
+            ids.push(id);
+        }
+        frags_of.insert((table, column), ids);
+    }
+    let dataset = Dataset { sizes, owners };
+
+    // 2. Class footprints in fragments.
+    let class_frags: Vec<Vec<BatId>> = footprints()
+        .iter()
+        .map(|cols| {
+            cols.iter()
+                .flat_map(|&(t, c)| {
+                    frags_of
+                        .get(&(t, c))
+                        .unwrap_or_else(|| panic!("footprint references unknown column {t}.{c}"))
+                        .clone()
+                })
+                .collect()
+        })
+        .collect();
+
+    // 3. Normalize work so the mix averages TARGET_MEAN_CORE_SECONDS.
+    let probs = class_probabilities(params.class_mean, params.class_stddev);
+    let expected_rel: f64 = probs.iter().zip(REL_WORK.iter()).map(|(p, w)| p * w).sum();
+    let scale = TARGET_MEAN_CORE_SECONDS / expected_rel;
+    let class_work: Vec<f64> = REL_WORK.iter().map(|w| w * scale).collect();
+
+    // 4. Emit the per-node query streams.
+    let interval = 1.0 / params.registration_rate;
+    let mut queries = Vec::with_capacity(nodes * params.queries_per_node);
+    for node in 0..nodes {
+        for i in 0..params.queries_per_node {
+            let class = loop {
+                let c = rng.normal(params.class_mean, params.class_stddev).round();
+                if (1.0..=22.0).contains(&c) {
+                    break c as usize;
+                }
+            };
+            let needs = class_frags[class - 1].clone();
+            let work = class_work[class - 1];
+            queries.push(QuerySpec {
+                arrival: SimTime::from_secs_f64(i as f64 * interval),
+                node,
+                needs: needs.clone(),
+                model: ExecModel::PinSchedule { segments: split_segments(work, needs.len()) },
+                tag: class as u32,
+            });
+        }
+    }
+    queries.sort_by_key(|q| (q.arrival, q.node));
+
+    TpchWorkload {
+        dataset,
+        queries,
+        fragment_names: names,
+        class_frags,
+        class_work,
+    }
+}
+
+/// Split total work into `k + 1` operator segments: a short prefix before
+/// the first pin, even mid-plan segments, and a heavier final segment
+/// (result construction happens after the last reception — see the
+/// paper's calibration description).
+fn split_segments(total_core_seconds: f64, k: usize) -> Vec<SimDuration> {
+    debug_assert!(k >= 1);
+    let first = 0.10;
+    let last = 0.20;
+    let middle = (1.0 - first - last) / k as f64;
+    let mut out = Vec::with_capacity(k + 1);
+    out.push(SimDuration::from_secs_f64(total_core_seconds * first));
+    for _ in 1..k {
+        out.push(SimDuration::from_secs_f64(total_core_seconds * middle));
+    }
+    out.push(SimDuration::from_secs_f64(total_core_seconds * (middle + last)));
+    out
+}
+
+/// Model for the paper's "MonetDB" row of Table 4: the real DBMS reaches
+/// only ~70% CPU utilization due to thread management and client context
+/// switches, so the same work takes proportionally longer than the
+/// perfectly parallelized single-node simulation.
+pub fn monetdb_baseline_secs(total_core_seconds: f64, cores: usize, efficiency: f64) -> f64 {
+    total_core_seconds / (cores as f64 * efficiency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_fragments_bounded() {
+        let w = generate(&TpchParams::default(), 4, 1);
+        for &s in &w.dataset.sizes {
+            assert!(s <= MAX_FRAGMENT_BYTES, "fragment too large: {s}");
+        }
+        // SF-5 raw volume: several GB.
+        let total = w.dataset.total_bytes();
+        assert!(total > 3_000_000_000 && total < 10_000_000_000, "total {total}");
+    }
+
+    #[test]
+    fn footprints_cover_all_22_queries() {
+        assert_eq!(footprints().len(), 22);
+        let w = generate(&TpchParams::default(), 4, 1);
+        assert_eq!(w.class_frags.len(), 22);
+        for (i, frags) in w.class_frags.iter().enumerate() {
+            assert!(!frags.is_empty(), "Q{} has no fragments", i + 1);
+        }
+        // Q1 is lineitem-only and scan-heavy: many fragments.
+        assert!(w.class_frags[0].len() >= 7);
+        // Q22 is small.
+        assert!(w.class_frags[21].len() < w.class_frags[0].len());
+    }
+
+    #[test]
+    fn work_mix_hits_the_paper_anchor() {
+        let w = generate(&TpchParams::default(), 1, 1);
+        let total: f64 = w
+            .queries
+            .iter()
+            .map(|q| q.net_work().as_secs_f64())
+            .sum();
+        // 1200 queries ≈ 1260 core-seconds → 315 s on 4 perfect cores.
+        let per_query = total / w.queries.len() as f64;
+        assert!(
+            (per_query - TARGET_MEAN_CORE_SECONDS).abs() < 0.15,
+            "mean work {per_query}"
+        );
+    }
+
+    #[test]
+    fn queries_valid_and_classes_near_10() {
+        let w = generate(&TpchParams::default(), 2, 3);
+        assert_eq!(w.queries.len(), 2400);
+        let mut class_sum = 0.0;
+        for q in &w.queries {
+            q.validate().unwrap();
+            assert!((1..=22).contains(&(q.tag as usize)));
+            class_sum += q.tag as f64;
+        }
+        let mean = class_sum / w.queries.len() as f64;
+        assert!((mean - 10.0).abs() < 0.5, "class mean {mean}");
+    }
+
+    #[test]
+    fn registration_takes_150_seconds() {
+        let p = TpchParams::default();
+        let w = generate(&p, 1, 1);
+        let last = w.queries.iter().map(|q| q.arrival).max().unwrap();
+        assert!((last.as_secs_f64() - 149.875).abs() < 0.2, "{last:?}");
+    }
+
+    #[test]
+    fn segments_sum_to_work() {
+        let segs = split_segments(2.0, 5);
+        assert_eq!(segs.len(), 6);
+        let total: f64 = segs.iter().map(|s| s.as_secs_f64()).sum();
+        assert!((total - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monetdb_row_slower_than_ideal() {
+        // 1260 core-s on 4 cores: ideal 315 s; at 70% efficiency ≈ 450 s,
+        // within the ballpark of the paper's 420 s.
+        let ideal = monetdb_baseline_secs(1260.0, 4, 1.0);
+        let monet = monetdb_baseline_secs(1260.0, 4, 0.75);
+        assert!((ideal - 315.0).abs() < 1.0);
+        assert!(monet > 400.0 && monet < 440.0, "{monet}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(&TpchParams::default(), 3, 9);
+        let b = generate(&TpchParams::default(), 3, 9);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.dataset.owners, b.dataset.owners);
+    }
+}

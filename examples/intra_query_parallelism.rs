@@ -1,0 +1,65 @@
+//! §6.1 intra-query parallelism: split multi-fragment queries into
+//! owner-affine sub-queries that settle next to their data, consume
+//! disjoint subsets concurrently, and merge their intermediate results.
+//!
+//! ```sh
+//! cargo run --release --example intra_query_parallelism
+//! ```
+
+use dc_workloads::micro::{self, MicroParams};
+use dc_workloads::Dataset;
+use netsim::SimDuration;
+use ringsim::{RingSim, SimParams, SplitParams};
+
+const NODES: usize = 5;
+
+fn main() {
+    let dataset = Dataset::uniform(120, 600 << 20, 2 << 20, 10 << 20, NODES, 3);
+    let queries = micro::generate(
+        &MicroParams {
+            queries_per_second_per_node: 8.0,
+            duration: SimDuration::from_secs(15),
+            ..MicroParams::default()
+        },
+        &dataset,
+        NODES,
+        5,
+    );
+    let total = queries.len();
+    println!("{total} queries, each touching 1–5 fragments on a {NODES}-node ring\n");
+
+    let params = || SimParams::default().with_queue_capacity(128 << 20);
+
+    let whole = RingSim::new(NODES, dataset.clone(), queries.clone(), params()).run();
+    let split2 = RingSim::new(NODES, dataset.clone(), queries.clone(), params())
+        .with_split(SplitParams { max_parts: 2, ..Default::default() })
+        .run();
+    let split4 = RingSim::new(NODES, dataset, queries, params())
+        .with_split(SplitParams { max_parts: 4, ..Default::default() })
+        .run();
+
+    println!(
+        "{:<24} {:>9} {:>10} {:>10} {:>14}",
+        "execution", "finished", "mean (s)", "p95 (s)", "ring requests"
+    );
+    for (name, m) in
+        [("whole query", &whole), ("split ≤ 2 parts", &split2), ("split ≤ 4 parts", &split4)]
+    {
+        assert_eq!(m.completed, total);
+        println!(
+            "{name:<24} {:>9} {:>10.2} {:>10.2} {:>14}",
+            m.completed,
+            m.mean_lifetime(),
+            m.lifetime_quantile(0.95),
+            m.stats.requests_dispatched
+        );
+    }
+
+    println!(
+        "\nEach sub-query settles on the node owning its fragments, so its\n\
+         pins resolve from local disk instead of waiting a ring rotation:\n\
+         requests collapse and the lifetime approaches pure processing\n\
+         time plus one merge step per extra part — the paper's \"highly\n\
+         efficient shared-nothing intra-query parallelism\" (§6.1)."
+    );
+}

@@ -1,0 +1,82 @@
+//! §6.2 result caching and §6.4 multi-version updates, working together:
+//! intermediates are published into the ring under plan signatures and
+//! reused across queries; updates claim a fragment with the `updating`
+//! tag, stale readers keep flowing, and a commit invalidates every
+//! intermediate derived from the fragment.
+//!
+//! ```sh
+//! cargo run --example result_caching_and_updates
+//! ```
+
+use datacyclotron::intermediates::{is_intermediate, plan_signature, IntermediateRegistry};
+use datacyclotron::versions::{ReadAdmission, UpdateAdmission, VersionTable};
+use datacyclotron::{BatId, NodeId};
+
+fn main() {
+    let registry = IntermediateRegistry::new();
+    let versions = VersionTable::new();
+    let join_sig = plan_signature(&[
+        "X10 := algebra.join(X1, X9)".into(),
+        "X13 := algebra.markT(X10, 0@0)".into(),
+    ]);
+
+    // ── §6.2: first query publishes its join intermediate ──────────────
+    println!("query A on node 2 computes the join and throws it into the ring:");
+    let (pub_a, fresh) = registry.publish(&join_sig, NodeId(2), 4 << 20);
+    assert!(fresh && is_intermediate(pub_a.bat));
+    println!("  published {:?} ({} MB, creator node 2)\n", pub_a.bat, pub_a.size >> 20);
+
+    println!("query B on node 5 hits the same plan fragment:");
+    let (pub_b, fresh) = registry.publish(&join_sig, NodeId(5), 4 << 20);
+    assert!(!fresh);
+    assert_eq!(pub_a, pub_b);
+    println!("  reuse! {:?} already flows — no recomputation (§6.2)\n", pub_b.bat);
+
+    // ── §6.4: an update claims the base fragment ────────────────────────
+    let base = BatId(7);
+    println!("update U settles on node 1 and claims fragment {base:?}:");
+    match versions.begin_update(base, NodeId(1)) {
+        UpdateAdmission::Granted { version_being_replaced } => {
+            println!("  granted; replacing version {version_being_replaced}, tag = updating");
+        }
+        UpdateAdmission::Busy { .. } => unreachable!(),
+    }
+
+    println!("a concurrent update V on node 4 must wait:");
+    match versions.begin_update(base, NodeId(4)) {
+        UpdateAdmission::Busy { controller } => {
+            println!("  busy — controlled by {controller:?}; wait or forward to it (§6.4)");
+        }
+        UpdateAdmission::Granted { .. } => unreachable!(),
+    }
+
+    println!("read-only queries keep using the flowing old version:");
+    match versions.admit_read(base, 0, false) {
+        ReadAdmission::Serve { version, stale } => {
+            println!("  served version {version} (stale = {stale}) — reads never block");
+        }
+        ReadAdmission::WaitForNewVersion => unreachable!(),
+    }
+    println!("a freshness-requiring read waits for the new version:");
+    assert_eq!(versions.admit_read(base, 0, true), ReadAdmission::WaitForNewVersion);
+    println!("  blocked until commit\n");
+
+    // ── commit: version bump + cache invalidation ───────────────────────
+    let v = versions.commit_update(base, NodeId(1)).expect("controller commits");
+    println!("U commits: {base:?} is now version {v}");
+    let invalidated = registry.invalidate(&join_sig);
+    println!(
+        "  derived intermediate invalidated: {invalidated} — the stale join\n\
+         result leaves the ring with its LOI, like any cold fragment\n"
+    );
+
+    match versions.admit_read(base, v, true) {
+        ReadAdmission::Serve { version, stale } => {
+            println!("the freshness-requiring read proceeds on version {version} (stale = {stale})");
+        }
+        ReadAdmission::WaitForNewVersion => unreachable!(),
+    }
+
+    println!("\nDone: reuse across queries, non-blocking stale reads, exclusive");
+    println!("update control, and update-driven cache invalidation (§6.2 + §6.4).");
+}

@@ -1,0 +1,412 @@
+//! Property-based tests (proptest) across the workspace: kernel
+//! operators against naive reference models, codec round-trips, LOI
+//! arithmetic invariants, and protocol liveness under arbitrary request
+//! interleavings.
+
+use batstore::{ops, Bat, Column, Val};
+use bytes::Bytes;
+use datacyclotron::msg::BatHeader;
+use datacyclotron::{decode, encode, new_loi, BatId, DcConfig, DcMsg, DcNode, NodeId, QueryId, ReqMsg};
+use proptest::prelude::*;
+
+// ---- batstore vs reference models --------------------------------------
+
+fn int_bat(vals: &[i32]) -> Bat {
+    Bat::dense(Column::Int(vals.to_vec()))
+}
+
+proptest! {
+    #[test]
+    fn select_range_matches_filter(vals in prop::collection::vec(-100i32..100, 0..200),
+                                   lo in -100i32..100, hi in -100i32..100) {
+        let b = int_bat(&vals);
+        let got = ops::select_range(&b, &Val::Int(lo), &Val::Int(hi)).unwrap();
+        let want: Vec<i32> = vals.iter().copied().filter(|&v| v >= lo && v <= hi).collect();
+        let got_tails: Vec<i32> = got.tail().as_int().unwrap().to_vec();
+        prop_assert_eq!(got_tails, want);
+        // Heads are the original positions of survivors.
+        for i in 0..got.count() {
+            let (Val::Oid(h), Val::Int(t)) = got.bun(i) else { panic!() };
+            prop_assert_eq!(vals[h as usize], t);
+        }
+    }
+
+    #[test]
+    fn join_matches_nested_loop(l in prop::collection::vec(0i32..20, 0..60),
+                                r in prop::collection::vec(0i32..20, 0..60)) {
+        let lb = int_bat(&l);
+        let rb = ops::reverse(&int_bat(&r));
+        let j = ops::join(&lb, &rb).unwrap();
+        let mut want = 0usize;
+        for &a in &l {
+            for &b in &r {
+                if a == b { want += 1; }
+            }
+        }
+        prop_assert_eq!(j.count(), want);
+    }
+
+    #[test]
+    fn sort_is_permutation_and_ordered(vals in prop::collection::vec(-1000i32..1000, 0..200)) {
+        let b = int_bat(&vals);
+        let s = ops::sort_tail(&b, false);
+        prop_assert_eq!(s.count(), vals.len());
+        let tails: Vec<i32> = s.tail().as_int().unwrap().to_vec();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(tails, sorted);
+        // Head/tail pairing preserved.
+        for i in 0..s.count() {
+            let (Val::Oid(h), Val::Int(t)) = s.bun(i) else { panic!() };
+            prop_assert_eq!(vals[h as usize], t);
+        }
+    }
+
+    #[test]
+    fn group_sum_matches_hashmap(vals in prop::collection::vec(0i32..10, 1..150)) {
+        let b = int_bat(&vals);
+        let (grp, ext) = ops::group_by(&b);
+        let sums = ops::grouped_sum(&b, &grp, ext.count()).unwrap();
+        let mut want: std::collections::HashMap<i32, i64> = std::collections::HashMap::new();
+        for &v in &vals {
+            *want.entry(v).or_default() += v as i64;
+        }
+        for g in 0..ext.count() {
+            let Val::Int(key) = ext.bun(g).1 else { panic!() };
+            let Val::Lng(sum) = sums.bun(g).1 else { panic!() };
+            prop_assert_eq!(sum, want[&key]);
+        }
+    }
+
+    #[test]
+    fn bat_serialization_round_trips(vals in prop::collection::vec(any::<i64>(), 0..100)) {
+        let b = Bat::dense(Column::Lng(vals));
+        let bytes = batstore::storage::bat_to_bytes(&b);
+        let back = batstore::storage::bat_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.count(), b.count());
+        for i in 0..b.count() {
+            prop_assert_eq!(back.bun(i), b.bun(i));
+        }
+    }
+}
+
+// ---- codec ---------------------------------------------------------------
+
+fn arb_header() -> impl Strategy<Value = BatHeader> {
+    (
+        any::<u16>(),
+        any::<u32>(),
+        any::<u64>(),
+        0.0f64..100.0,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(|(owner, bat, size, loi, copies, hops, cycles, version, updating)| BatHeader {
+            owner: NodeId(owner),
+            bat: BatId(bat),
+            size,
+            loi,
+            copies,
+            hops,
+            cycles,
+            version,
+            updating,
+        })
+}
+
+proptest! {
+    #[test]
+    fn msg_codec_round_trips(h in arb_header(), payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        let msg = DcMsg::Bat {
+            header: h,
+            payload: if payload.is_empty() { None } else { Some(Bytes::from(payload)) },
+        };
+        prop_assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn request_codec_round_trips(origin in any::<u16>(), bat in any::<u32>()) {
+        let msg = DcMsg::Request(ReqMsg { origin: NodeId(origin), bat: BatId(bat) });
+        prop_assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn codec_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&bytes); // must return Err, not panic
+    }
+}
+
+// ---- LOI arithmetic --------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn loi_nonnegative_and_bounded(loi in 0.0f64..4.0, copies in 0u32..64, hops in 0u32..64, cycles in 1u32..1000) {
+        let copies = copies.min(hops); // at most one copy per hop
+        let nl = new_loi(loi, copies, hops, cycles);
+        prop_assert!(nl >= 0.0);
+        // newLOI = loi/cycles + cavg with cavg ≤ 1.
+        prop_assert!(nl <= loi / cycles as f64 + 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn loi_decays_without_interest(loi in 0.0f64..4.0, hops in 1u32..64, cycles in 2u32..1000) {
+        let nl = new_loi(loi, 0, hops, cycles);
+        prop_assert!(nl <= loi / 2.0 + 1e-12, "no interest must decay: {} -> {}", loi, nl);
+    }
+
+    #[test]
+    fn loi_monotone_in_copies(loi in 0.0f64..4.0, hops in 1u32..64, cycles in 1u32..100,
+                              c1 in 0u32..64, c2 in 0u32..64) {
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(new_loi(loi, lo, hops, cycles) <= new_loi(loi, hi, hops, cycles));
+    }
+}
+
+// ---- whole-ring liveness over random workloads ------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn random_small_workloads_always_complete(
+        seed in 0u64..1000,
+        nodes in 2usize..6,
+        n_queries in 1usize..40,
+        cap_mb in 8u64..64,
+    ) {
+        use dc_workloads::spec::{ExecModel, QuerySpec};
+        use dc_workloads::Dataset;
+        use netsim::{DetRng, SimDuration, SimTime};
+        use ringsim::{RingSim, SimParams};
+
+        let ds = Dataset::uniform(30, 120 << 20, 1 << 20, 8 << 20, nodes, seed);
+        let mut rng = DetRng::new(seed ^ 0xABCD);
+        let mut qs = Vec::new();
+        for i in 0..n_queries {
+            let node = rng.index(nodes);
+            let pool = ds.remote_bats(node);
+            let k = 1 + rng.index(3);
+            let mut needs: Vec<datacyclotron::BatId> = Vec::new();
+            for _ in 0..k {
+                let b = pool[rng.index(pool.len())];
+                if !needs.contains(&b) {
+                    needs.push(b);
+                }
+            }
+            let proc = needs
+                .iter()
+                .map(|_| SimDuration::from_millis(20 + rng.index(80) as u64))
+                .collect();
+            qs.push(QuerySpec {
+                arrival: SimTime::from_millis((i * 37) as u64 % 3000),
+                node,
+                needs,
+                model: ExecModel::PerBat { proc },
+                tag: 0,
+            });
+        }
+        qs.sort_by_key(|q| q.arrival);
+        let total = qs.len();
+        let mut params = SimParams::default().with_queue_capacity(cap_mb << 20);
+        params.horizon = SimDuration::from_secs(600);
+        let m = RingSim::new(nodes, ds, qs, params).run();
+        prop_assert_eq!(m.completed, total, "failed={} drops={}", m.failed, m.bat_drops);
+    }
+}
+
+// ---- protocol liveness under arbitrary interleavings -----------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn request_propagation_always_terminates(
+        origins in prop::collection::vec(0u16..8, 1..40),
+        bats in prop::collection::vec(0u32..10, 1..40),
+    ) {
+        // A node that owns nothing and wants nothing forwards every
+        // foreign request exactly once and never loops.
+        let mut node = DcNode::new(NodeId(99), DcConfig::default());
+        for (&o, &b) in origins.iter().zip(&bats) {
+            let effects = node.on_request(ReqMsg { origin: NodeId(o), bat: BatId(b) });
+            prop_assert_eq!(effects.len(), 1);
+        }
+        prop_assert_eq!(node.stats.requests_forwarded, origins.len().min(bats.len()) as u64);
+    }
+
+    #[test]
+    fn owner_state_machine_never_double_loads(requests in prop::collection::vec(0u16..6, 1..50)) {
+        let mut node = DcNode::new(NodeId(0), DcConfig::default());
+        node.register_owned(BatId(1), 1000);
+        let mut loads = 0;
+        for &o in &requests {
+            for e in node.on_request(ReqMsg { origin: NodeId(o.max(1)), bat: BatId(1) }) {
+                if matches!(e, datacyclotron::Effect::LoadFromDisk { .. }) {
+                    loads += 1;
+                }
+            }
+        }
+        prop_assert!(loads <= 1, "only the first request may trigger the load");
+    }
+
+    #[test]
+    fn pin_unpin_balanced_cache(pins in 1usize..20) {
+        let mut node = DcNode::new(NodeId(1), DcConfig::default());
+        // Register interest + waiting pins from `pins` queries.
+        for q in 0..pins {
+            node.local_request(QueryId(q as u64), BatId(5));
+            let _ = node.pin(QueryId(q as u64), BatId(5));
+        }
+        // The BAT passes once: everyone is served, fragment cached.
+        let effects = node.on_bat(BatHeader::fresh(NodeId(0), BatId(5), 100));
+        let delivered: usize = effects
+            .iter()
+            .filter_map(|e| match e {
+                datacyclotron::Effect::Deliver { queries, .. } => Some(queries.len()),
+                _ => None,
+            })
+            .sum();
+        prop_assert_eq!(delivered, pins);
+        // Unpins drain the cache exactly once.
+        let mut evictions = 0;
+        for q in 0..pins {
+            for e in node.unpin(QueryId(q as u64), BatId(5)) {
+                if matches!(e, datacyclotron::Effect::CacheEvict(_)) {
+                    evictions += 1;
+                }
+            }
+        }
+        prop_assert_eq!(evictions, 1, "cache evicted exactly once after last unpin");
+    }
+}
+
+// ---- broadcast schedules & §6.1 splitting --------------------------------
+
+proptest! {
+    /// Broadcast Disks invariant: every item of a disk with frequency f
+    /// appears exactly f times per major cycle, whatever the disk
+    /// layout (Acharya et al.'s construction).
+    #[test]
+    fn broadcast_disk_frequencies_exact(
+        sizes in prop::collection::vec(1usize..8, 1..4),
+        freqs in prop::collection::vec(1u32..6, 4),
+    ) {
+        let mut disks = Vec::new();
+        let mut next = 0u32;
+        for (i, &n) in sizes.iter().enumerate() {
+            let items: Vec<BatId> = (next..next + n as u32).map(BatId).collect();
+            next += n as u32;
+            disks.push(dc_broadcast::DiskSpec { items, frequency: freqs[i % freqs.len()] });
+        }
+        let sched = dc_broadcast::Schedule::broadcast_disks(&disks).unwrap();
+        for d in &disks {
+            for &item in &d.items {
+                prop_assert_eq!(
+                    sched.frequency_of(item),
+                    d.frequency as usize,
+                    "item {} on a frequency-{} disk", item.0, d.frequency
+                );
+            }
+        }
+        // Cycle length is the sum of item-appearances.
+        let want: usize = disks.iter().map(|d| d.items.len() * d.frequency as usize).sum();
+        prop_assert_eq!(sched.cycle_len(), want);
+    }
+
+    /// §6.1 splitting preserves the workload exactly: the parts'
+    /// fragment footprints and processing times are a partition of the
+    /// parent's, every part settles on the owner of its first fragment,
+    /// and the part count respects the cap.
+    #[test]
+    fn split_partitions_needs_exactly(
+        needs in prop::collection::vec(0u32..30, 1..12),
+        owners in prop::collection::vec(0usize..4, 30),
+        max_parts in 1usize..6,
+    ) {
+        use dc_workloads::{ExecModel, QuerySpec};
+        use netsim::{SimDuration, SimTime};
+        let dataset = dc_workloads::Dataset {
+            sizes: vec![1 << 20; 30],
+            owners,
+        };
+        let q = QuerySpec {
+            arrival: SimTime::from_millis(5),
+            node: 0,
+            needs: needs.iter().copied().map(BatId).collect(),
+            model: ExecModel::PerBat {
+                proc: (0..needs.len() as u64)
+                    .map(|i| SimDuration::from_millis(10 + i))
+                    .collect(),
+            },
+            tag: 3,
+        };
+        let params = ringsim::SplitParams {
+            max_parts,
+            merge_cost: SimDuration::from_millis(1),
+        };
+        let (parts, map) = ringsim::split::split_queries(std::slice::from_ref(&q), &dataset, &params);
+
+        prop_assert!(!parts.is_empty() && parts.len() <= max_parts);
+        prop_assert_eq!(map.parts_of_parent, vec![parts.len()]);
+        prop_assert_eq!(map.is_primary.iter().filter(|&&p| p).count(), 1);
+
+        // The (need, proc) pairs of all parts are a permutation of the
+        // parent's.
+        let mut got: Vec<(u32, u64)> = Vec::new();
+        for p in &parts {
+            p.validate().unwrap();
+            prop_assert_eq!(p.arrival, q.arrival);
+            prop_assert_eq!(p.tag, q.tag);
+            prop_assert_eq!(p.node, dataset.owner_of(p.needs[0]), "owner-affine settlement");
+            let ExecModel::PerBat { proc } = &p.model else { panic!() };
+            for (b, d) in p.needs.iter().zip(proc) {
+                got.push((b.0, d.as_millis()));
+            }
+        }
+        let ExecModel::PerBat { proc } = &q.model else { panic!() };
+        let mut want: Vec<(u32, u64)> =
+            q.needs.iter().zip(proc).map(|(b, d)| (b.0, d.as_millis())).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Pull-server consolidation: however many queries want the same
+    /// item while it is queued, it is transmitted at most once per
+    /// queueing — total transmissions never exceed total requests and
+    /// every query completes.
+    #[test]
+    fn ondemand_serves_everything_with_consolidation(
+        wants in prop::collection::vec(0u32..6, 1..40),
+    ) {
+        use dc_workloads::{ExecModel, QuerySpec};
+        use netsim::{SimDuration, SimTime};
+        let dataset = dc_workloads::Dataset { sizes: vec![1 << 16; 6], owners: vec![0; 6] };
+        let queries: Vec<QuerySpec> = wants
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| QuerySpec {
+                arrival: SimTime::from_millis(i as u64),
+                node: 0,
+                needs: vec![BatId(w)],
+                model: ExecModel::PerBat { proc: vec![SimDuration::from_millis(1)] },
+                tag: 0,
+            })
+            .collect();
+        let total = queries.len();
+        let m = dc_broadcast::OnDemandSim::new(
+            dataset,
+            queries,
+            dc_broadcast::ChannelConfig::default(),
+            dc_broadcast::PullPolicy::Fcfs,
+        )
+        .run();
+        prop_assert_eq!(m.completed, total);
+        prop_assert_eq!(m.requests_received, total as u64);
+        prop_assert!(m.items_broadcast <= total as u64);
+        // At least one transmission per distinct wanted item.
+        let distinct = wants.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+        prop_assert!(m.items_broadcast >= distinct);
+    }
+}
