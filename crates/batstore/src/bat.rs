@@ -44,16 +44,14 @@ impl Bat {
     /// The common case: dense head `0@0, 1@0, …` over a tail column.
     pub fn dense(tail: Column) -> Bat {
         let len = tail.len();
-        let props =
-            Props { tail_sorted: tail.is_sorted(), head_key: true, no_nil: true };
+        let props = Props { tail_sorted: tail.is_sorted(), head_key: true, no_nil: true };
         Bat { head: Column::Void { seq: 0, len }, tail, props }
     }
 
     /// Dense head starting at `seq`.
     pub fn dense_from(seq: u64, tail: Column) -> Bat {
         let len = tail.len();
-        let props =
-            Props { tail_sorted: tail.is_sorted(), head_key: true, no_nil: true };
+        let props = Props { tail_sorted: tail.is_sorted(), head_key: true, no_nil: true };
         Bat { head: Column::Void { seq, len }, tail, props }
     }
 

@@ -78,20 +78,16 @@ impl BatStore {
 
     /// Replace the BAT behind a key (multi-version updates, §6.4).
     pub fn replace(&mut self, key: BatKey, bat: Bat) -> Result<()> {
-        let slot = self
-            .bats
-            .get_mut(key.0 as usize)
-            .ok_or_else(|| BatError::NotFound(key.to_string()))?;
+        let slot =
+            self.bats.get_mut(key.0 as usize).ok_or_else(|| BatError::NotFound(key.to_string()))?;
         *slot = Some(Arc::new(bat));
         Ok(())
     }
 
     /// Drop a BAT (frees memory; the key stays burned).
     pub fn remove(&mut self, key: BatKey) -> Result<Arc<Bat>> {
-        let slot = self
-            .bats
-            .get_mut(key.0 as usize)
-            .ok_or_else(|| BatError::NotFound(key.to_string()))?;
+        let slot =
+            self.bats.get_mut(key.0 as usize).ok_or_else(|| BatError::NotFound(key.to_string()))?;
         slot.take().ok_or_else(|| BatError::NotFound(key.to_string()))
     }
 
@@ -192,9 +188,7 @@ impl Catalog {
     }
 
     pub fn table(&self, schema: &str, table: &str) -> Result<&TableDef> {
-        self.tables
-            .get(&qual(schema, table))
-            .ok_or_else(|| BatError::NotFound(qual(schema, table)))
+        self.tables.get(&qual(schema, table)).ok_or_else(|| BatError::NotFound(qual(schema, table)))
     }
 
     /// Find a table by bare name across schemas (SQL front-end
@@ -239,10 +233,7 @@ mod tests {
             "sys",
             "t",
             &[("id", ColType::Int), ("name", ColType::Str)],
-            &[
-                vec![Val::Int(1), Val::from("one")],
-                vec![Val::Int(2), Val::from("two")],
-            ],
+            &[vec![Val::Int(1), Val::from("one")], vec![Val::Int(2), Val::from("two")]],
         )
         .unwrap();
         (cat, store)

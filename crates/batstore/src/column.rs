@@ -10,7 +10,10 @@ use std::cmp::Ordering;
 #[derive(Clone, Debug, PartialEq)]
 pub enum Column {
     /// Dense OID sequence starting at `seq`, of length `len`.
-    Void { seq: u64, len: usize },
+    Void {
+        seq: u64,
+        len: usize,
+    },
     Oid(Vec<u64>),
     Int(Vec<i32>),
     Lng(Vec<i64>),
@@ -256,7 +259,9 @@ impl Column {
             Column::Oid(v) => idx.sort_by_key(|&i| v[i]),
             Column::Int(v) => idx.sort_by_key(|&i| v[i]),
             Column::Lng(v) => idx.sort_by_key(|&i| v[i]),
-            Column::Dbl(v) => idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(Ordering::Equal)),
+            Column::Dbl(v) => {
+                idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(Ordering::Equal))
+            }
             Column::Str(v) => idx.sort_by(|&a, &b| v.get(a).cmp(v.get(b))),
             Column::Bool(v) => idx.sort_by_key(|&i| v[i]),
             Column::Date(v) => idx.sort_by_key(|&i| v[i]),
@@ -363,14 +368,8 @@ mod tests {
     fn gather_each_type() {
         let idx = [2usize, 0];
         assert_eq!(Column::from(vec![1, 2, 3]).gather(&idx), Column::Int(vec![3, 1]));
-        assert_eq!(
-            Column::from(vec!["a", "b", "c"]).gather(&idx),
-            Column::from(vec!["c", "a"])
-        );
-        assert_eq!(
-            Column::Void { seq: 5, len: 3 }.gather(&idx),
-            Column::Oid(vec![7, 5])
-        );
+        assert_eq!(Column::from(vec!["a", "b", "c"]).gather(&idx), Column::from(vec!["c", "a"]));
+        assert_eq!(Column::Void { seq: 5, len: 3 }.gather(&idx), Column::Oid(vec![7, 5]));
     }
 
     #[test]

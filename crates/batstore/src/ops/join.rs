@@ -143,8 +143,9 @@ mod tests {
         let mut a: Vec<(Val, Val)> = (0..merged.count())
             .map(|i| (merged.bun(i).1.clone(), merged.bun(i).1.clone()))
             .collect();
-        let mut b: Vec<(Val, Val)> =
-            (0..hashed.count()).map(|i| (hashed.bun(i).1.clone(), hashed.bun(i).1.clone())).collect();
+        let mut b: Vec<(Val, Val)> = (0..hashed.count())
+            .map(|i| (hashed.bun(i).1.clone(), hashed.bun(i).1.clone()))
+            .collect();
         let key = |v: &(Val, Val)| format!("{:?}", v);
         a.sort_by_key(key);
         b.sort_by_key(key);

@@ -29,11 +29,7 @@ use crate::error::Result;
 /// head must be materialized.
 pub fn reverse(b: &Bat) -> Bat {
     let (head, tail) = (b.head().clone().materialize(), b.tail().clone());
-    let props = Props {
-        tail_sorted: head.is_sorted(),
-        head_key: false,
-        no_nil: true,
-    };
+    let props = Props { tail_sorted: head.is_sorted(), head_key: false, no_nil: true };
     // reverse(head→tail) = (tail→head); lengths are equal by construction.
     Bat::with_props(tail, head, props).expect("reverse preserves length")
 }
@@ -74,9 +70,10 @@ pub fn slice(b: &Bat, lo: usize, hi: usize) -> Bat {
 /// `algebra.project(b, v)`: constant tail of `v` aligned with `b`'s head.
 pub fn project_const(b: &Bat, v: &crate::value::Val) -> Result<Bat> {
     let head = b.head().clone();
-    let mut tail = Column::empty(v.col_type().ok_or_else(|| {
-        crate::error::BatError::Invalid("cannot project nil constant".into())
-    })?);
+    let mut tail =
+        Column::empty(v.col_type().ok_or_else(|| {
+            crate::error::BatError::Invalid("cannot project nil constant".into())
+        })?);
     for _ in 0..head.len() {
         tail.push(v)?;
     }

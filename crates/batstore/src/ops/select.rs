@@ -55,10 +55,7 @@ impl CmpOp {
 }
 
 fn incomparable(b: &Bat, v: &Val) -> BatError {
-    BatError::TypeMismatch {
-        expected: b.tail_type().name(),
-        got: format!("{v:?}"),
-    }
+    BatError::TypeMismatch { expected: b.tail_type().name(), got: format!("{v:?}") }
 }
 
 /// `algebra.select(b, lo, hi)`: BUNs whose tail lies in `[lo, hi]`

@@ -15,11 +15,8 @@ fn filter_by_head(l: &Bat, keep: impl Fn(&Key<'_>) -> bool) -> Bat {
     let idx: Vec<usize> = (0..l.count()).filter(|&i| keep(&l.head().key(i))).collect();
     let head = l.head().gather(&idx);
     let tail = l.tail().gather(&idx);
-    let props = Props {
-        tail_sorted: l.props().tail_sorted,
-        head_key: l.props().head_key,
-        no_nil: true,
-    };
+    let props =
+        Props { tail_sorted: l.props().tail_sorted, head_key: l.props().head_key, no_nil: true };
     Bat::with_props(head, tail, props).expect("parallel gather")
 }
 

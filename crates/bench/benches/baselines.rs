@@ -14,8 +14,7 @@ use netsim::{SimDuration, SimTime};
 
 fn bench_schedule_generation(c: &mut Criterion) {
     // The paper-scale database: 1000 items over three disks.
-    let pop: Vec<(BatId, f64)> =
-        (0..1000u32).map(|i| (BatId(i), f64::from(1000 - i))).collect();
+    let pop: Vec<(BatId, f64)> = (0..1000u32).map(|i| (BatId(i), f64::from(1000 - i))).collect();
     c.bench_function("bdisk_schedule_1000_items_3_disks", |b| {
         b.iter(|| {
             let disks = partition_by_popularity(black_box(&pop), &[(250, 8), (200, 2)]);

@@ -13,11 +13,7 @@ fn data_int(n: usize) -> Bat {
 fn bench_select(c: &mut Criterion) {
     let b1m = data_int(1_000_000);
     c.bench_function("select_range_1m", |b| {
-        b.iter(|| {
-            black_box(
-                ops::select_range(&b1m, &Val::Int(1000), &Val::Int(50_000)).unwrap(),
-            )
-        })
+        b.iter(|| black_box(ops::select_range(&b1m, &Val::Int(1000), &Val::Int(50_000)).unwrap()))
     });
     c.bench_function("uselect_1m", |b| {
         b.iter(|| black_box(ops::uselect(&b1m, &Val::Int(77)).unwrap()))
@@ -27,9 +23,7 @@ fn bench_select(c: &mut Criterion) {
 fn bench_join(c: &mut Criterion) {
     let l = data_int(1_000_000);
     let r = ops::reverse(&data_int(100_000));
-    c.bench_function("hash_join_1m_x_100k", |b| {
-        b.iter(|| black_box(ops::join(&l, &r).unwrap()))
-    });
+    c.bench_function("hash_join_1m_x_100k", |b| b.iter(|| black_box(ops::join(&l, &r).unwrap())));
 
     let ls = Bat::dense(Column::Int((0..1_000_000).map(|i| i / 3).collect()));
     let rs = ops::reverse(&Bat::dense(Column::Int((0..100_000).collect())));
@@ -40,9 +34,7 @@ fn bench_join(c: &mut Criterion) {
 
 fn bench_group_aggregate(c: &mut Criterion) {
     let b1m = data_int(1_000_000);
-    c.bench_function("group_by_1m", |b| {
-        b.iter(|| black_box(ops::group_by(&b1m)))
-    });
+    c.bench_function("group_by_1m", |b| b.iter(|| black_box(ops::group_by(&b1m))));
     let (grp, ext) = ops::group_by(&b1m);
     c.bench_function("grouped_sum_1m", |b| {
         b.iter(|| black_box(ops::grouped_sum(&b1m, &grp, ext.count()).unwrap()))
@@ -52,9 +44,7 @@ fn bench_group_aggregate(c: &mut Criterion) {
 
 fn bench_sort(c: &mut Criterion) {
     let b1m = data_int(1_000_000);
-    c.bench_function("sort_tail_1m", |b| {
-        b.iter(|| black_box(ops::sort_tail(&b1m, false)))
-    });
+    c.bench_function("sort_tail_1m", |b| b.iter(|| black_box(ops::sort_tail(&b1m, false))));
     c.bench_function("reverse_1m", |b| b.iter(|| black_box(ops::reverse(&b1m))));
 }
 

@@ -10,7 +10,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use datacyclotron::msg::BatHeader;
-use datacyclotron::{decode, encode, new_loi, BatId, DcConfig, DcMsg, DcNode, NodeId, QueryId, ReqMsg};
+use datacyclotron::{
+    decode, encode, new_loi, BatId, DcConfig, DcMsg, DcNode, NodeId, QueryId, ReqMsg,
+};
 use netsim::{EventQueue, SimTime};
 
 fn bench_loi(c: &mut Criterion) {
@@ -35,10 +37,7 @@ fn bench_propagation(c: &mut Criterion) {
     c.bench_function("bat_propagation_owner_cycle", |b| {
         let mut node = DcNode::new(NodeId(0), DcConfig::default());
         node.register_owned(BatId(7), 5 << 20);
-        node.s1.set_state(
-            BatId(7),
-            datacyclotron::OwnedState::InRing { last_seen: SimTime::ZERO },
-        );
+        node.s1.set_state(BatId(7), datacyclotron::OwnedState::InRing { last_seen: SimTime::ZERO });
         let mut h = BatHeader::fresh(NodeId(0), BatId(7), 5 << 20);
         h.copies = 8;
         h.hops = 9;
@@ -123,8 +122,7 @@ fn bench_interpreter(c: &mut Criterion) {
     catalog
         .create_table_columnar(&mut store, "sys", "t", vec![("id", Column::from(vec![1]))])
         .unwrap();
-    let ctx =
-        mal::SessionCtx::new(Arc::new(RwLock::new(catalog)), Arc::new(RwLock::new(store)));
+    let ctx = mal::SessionCtx::new(Arc::new(RwLock::new(catalog)), Arc::new(RwLock::new(store)));
     c.bench_function("mal_interpreter_64_instructions", |b| {
         b.iter(|| black_box(mal::run_sequential(&prog, &ctx).unwrap()));
     });

@@ -49,7 +49,8 @@ fn main() {
 
     // ---- 1. fixed vs dynamic LOIT under workload churn -----------------
     println!("\n[1] LOIT: fixed levels vs the adaptive ladder (skewed workload)");
-    let mut t = AsciiTable::new(&["policy", "mean life (s)", "p95 life (s)", "unloads", "finished"]);
+    let mut t =
+        AsciiTable::new(&["policy", "mean life (s)", "p95 life (s)", "unloads", "finished"]);
     for (name, levels, start) in [
         ("fixed 0.1", vec![0.1], 0),
         ("fixed 1.1", vec![1.1], 0),
@@ -74,12 +75,11 @@ fn main() {
     // would dominate: we emulate it by disallowing skip via huge BATs at
     // the queue head — measured instead through queue capacity pressure.
     println!("[2] queue capacity pressure (exercises loadAll skip-to-fit)");
-    let mut t = AsciiTable::new(&["queue cap", "mean life (s)", "p95 life (s)", "drops", "finished"]);
-    for (name, cap) in [
-        ("200 MB (paper)", 200u64 << 20),
-        ("100 MB", 100 << 20),
-        ("50 MB", 50 << 20),
-    ] {
+    let mut t =
+        AsciiTable::new(&["queue cap", "mean life (s)", "p95 life (s)", "drops", "finished"]);
+    for (name, cap) in
+        [("200 MB (paper)", 200u64 << 20), ("100 MB", 100 << 20), ("50 MB", 50 << 20)]
+    {
         let m = micro_run(SimParams::default().with_queue_capacity(cap), scale);
         t.row(&[
             name.into(),
@@ -113,13 +113,8 @@ fn main() {
 
     // ---- 4. §6.1 nomadic placement vs settle-where-you-arrive -----------
     println!("[4] query placement: as-arrived vs §6.1 bidding");
-    let mut t = AsciiTable::new(&[
-        "placement",
-        "mean life (s)",
-        "p95 life (s)",
-        "requests",
-        "finished",
-    ]);
+    let mut t =
+        AsciiTable::new(&["placement", "mean life (s)", "p95 life (s)", "requests", "finished"]);
     for (name, policy) in [
         ("as arrived (paper)", ringsim::PlacementPolicy::AsSpecified),
         ("bid auction (§6.1)", ringsim::PlacementPolicy::Bid),
@@ -149,13 +144,8 @@ fn main() {
 
     // ---- 5. §6.1 intra-query parallelism ---------------------------------
     println!("[5] intra-query parallelism: whole queries vs owner-affine sub-queries");
-    let mut t = AsciiTable::new(&[
-        "execution",
-        "mean life (s)",
-        "p95 life (s)",
-        "requests",
-        "finished",
-    ]);
+    let mut t =
+        AsciiTable::new(&["execution", "mean life (s)", "p95 life (s)", "requests", "finished"]);
     for (name, split) in [
         ("whole query (paper §5)", None),
         ("split, ≤2 parts", Some(ringsim::SplitParams { max_parts: 2, ..Default::default() })),
@@ -221,8 +211,7 @@ fn main() {
         let mut p = SimParams::default().with_queue_capacity(256 << 20);
         p.dc.demand_hold = hold;
         let m = RingSim::new(nodes, dataset, queries, p).run();
-        let worst_req =
-            m.max_request_latency.values().fold(0.0f64, |a, &b| a.max(b));
+        let worst_req = m.max_request_latency.values().fold(0.0f64, |a, &b| a.max(b));
         t.row(&[
             name.into(),
             format!("{:.2}", m.mean_lifetime()),

@@ -17,6 +17,7 @@
 //! n point-to-point links active at once instead of one shared
 //! channel — is exactly the architectural claim under test.
 
+use datacyclotron::BatId;
 use dc_broadcast::{
     partition_by_popularity, BroadcastSim, CachePolicy, ChannelConfig, IppSim, OnDemandSim,
     PullPolicy, Schedule,
@@ -24,7 +25,6 @@ use dc_broadcast::{
 use dc_workloads::gaussian::{self, GaussianParams};
 use dc_workloads::micro::{self, MicroParams};
 use dc_workloads::{Dataset, QuerySpec};
-use datacyclotron::BatId;
 use netsim::SimDuration;
 use ringsim::report::{write_csv, AsciiTable};
 use ringsim::{RingSim, SimParams};
@@ -80,8 +80,8 @@ fn pull_row(
     dataset: &Dataset,
     queries: &[QuerySpec],
 ) -> Row {
-    let m = OnDemandSim::new(dataset.clone(), queries.to_vec(), ChannelConfig::default(), policy)
-        .run();
+    let m =
+        OnDemandSim::new(dataset.clone(), queries.to_vec(), ChannelConfig::default(), policy).run();
     assert_eq!(m.failed, 0);
     Row {
         system,
@@ -165,8 +165,7 @@ fn push_pull_sweep(dataset: &Dataset, scale: f64) {
         "push mean (s)",
         "IPP mean (s)",
     ]);
-    let mut csv =
-        String::from("rate_qps,raw_pull_mean_s,pull_mean_s,push_mean_s,ipp_mean_s\n");
+    let mut csv = String::from("rate_qps,raw_pull_mean_s,pull_mean_s,push_mean_s,ipp_mean_s\n");
     for rate in [5.0, 20.0, 80.0, 320.0, 1280.0] {
         let rate = (rate * scale).max(1.0);
         let queries = micro::generate(
@@ -244,12 +243,8 @@ fn push_pull_sweep(dataset: &Dataset, scale: f64) {
 fn cache_ablation(dataset: &Dataset, queries: &[QuerySpec]) {
     println!("\n── Client-cache policy on Broadcast Disks (ref [1]) ──");
     let sched = disks_from_workload(dataset, queries);
-    let mut t = AsciiTable::new(&[
-        "client cache (64 MB)",
-        "mean life (s)",
-        "p95 (s)",
-        "cache hits",
-    ]);
+    let mut t =
+        AsciiTable::new(&["client cache (64 MB)", "mean life (s)", "p95 (s)", "cache hits"]);
     let mut run = |name: &str, policy: Option<CachePolicy>| {
         let mut sim = BroadcastSim::new(
             sched.clone(),

@@ -75,9 +75,14 @@ fn main() {
     );
 
     // The paper's headline observation at t = 40 s.
-    let at40: Vec<(f64, f64)> =
-        results.iter().map(|(l, m)| (*l, m.finished_at(40.0))).collect();
-    let mut t = AsciiTable::new(&["LOIT", "finished@40s", "finished total", "mean life (s)", "p95 life (s)"]);
+    let at40: Vec<(f64, f64)> = results.iter().map(|(l, m)| (*l, m.finished_at(40.0))).collect();
+    let mut t = AsciiTable::new(&[
+        "LOIT",
+        "finished@40s",
+        "finished total",
+        "mean life (s)",
+        "p95 life (s)",
+    ]);
     for (loit, m) in &results {
         t.row(&[
             format!("{loit:.1}"),
@@ -159,8 +164,7 @@ fn main() {
                 12,
             )
         );
-        let peak =
-            m01.ring_bytes.points.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        let peak = m01.ring_bytes.points.iter().map(|&(_, v)| v).fold(0.0, f64::max);
         println!(
             "Ring peak load (LOIT 0.1): {:.2} GB of 2 GB capacity",
             peak / (1024.0 * 1024.0 * 1024.0)

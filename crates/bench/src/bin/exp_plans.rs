@@ -47,12 +47,9 @@ fn main() {
     let catalog = Arc::new(RwLock::new(catalog));
     let store = Arc::new(RwLock::new(store));
     let mut outputs = Vec::new();
-    for (name, plan) in [
-        ("table1", &table1),
-        ("table2", &table2),
-        ("frontend", &ours),
-        ("frontend+dc", &ours_dc),
-    ] {
+    for (name, plan) in
+        [("table1", &table1), ("table2", &table2), ("frontend", &ours), ("frontend+dc", &ours_dc)]
+    {
         let ctx = SessionCtx::new(Arc::clone(&catalog), Arc::clone(&store));
         run_sequential(plan, &ctx).unwrap_or_else(|e| panic!("{name}: {e}"));
         outputs.push((name, ctx.take_output()));

@@ -53,13 +53,9 @@ fn main() {
         let mut lats: Vec<f64> = m.max_request_latency.values().copied().collect();
         lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let max_lat = lats.last().copied().unwrap_or(0.0);
-        let p99 = if lats.is_empty() {
-            0.0
-        } else {
-            lats[((lats.len() - 1) as f64 * 0.99) as usize]
-        };
-        let vogue_cycles =
-            (350..600).map(|b| m.bat_max_cycles[b]).max().unwrap_or(0);
+        let p99 =
+            if lats.is_empty() { 0.0 } else { lats[((lats.len() - 1) as f64 * 0.99) as usize] };
+        let vogue_cycles = (350..600).map(|b| m.bat_max_cycles[b]).max().unwrap_or(0);
         let all_cycles = m.bat_max_cycles.iter().copied().max().unwrap_or(0);
         t.row(&[
             format!("{n}"),
@@ -75,16 +71,16 @@ fn main() {
     println!("Shape checks (paper §6.3):");
     let first = &per_ring.first().unwrap().1;
     let last = &per_ring.last().unwrap().1;
-    let max_of = |m: &ringsim::Measurements| {
-        m.max_request_latency.values().copied().fold(0.0, f64::max)
-    };
+    let max_of =
+        |m: &ringsim::Measurements| m.max_request_latency.values().copied().fold(0.0, f64::max);
     println!(
         "  • the largest ring has the LOWEST maximum request latency: \
          5 nodes → {:.2}s vs 20 nodes → {:.2}s",
         max_of(first),
         max_of(last)
     );
-    let vogue = |m: &ringsim::Measurements| (350..600).map(|b| m.bat_max_cycles[b]).max().unwrap_or(0);
+    let vogue =
+        |m: &ringsim::Measurements| (350..600).map(|b| m.bat_max_cycles[b]).max().unwrap_or(0);
     println!(
         "  • in-vogue BATs live far more cycles on the large ring: \
          5 nodes → {} cycles vs 20 nodes → {} cycles (paper: ~38 at 20 nodes)",
@@ -95,11 +91,12 @@ fn main() {
     // ---- Dynamic pulsation: grow the ring mid-run -----------------------
     println!("\nPulsating ring (dynamic §6.3): a 5-node ring under the same");
     println!("workload grows by one node every 10 s from t = 10 s:");
-    let base = dc_workloads::scaling::sweep(&[5], total_qps, SimDuration::from_secs(60), 17)
-        .remove(0);
+    let base =
+        dc_workloads::scaling::sweep(&[5], total_qps, SimDuration::from_secs(60), 17).remove(0);
     let growth: Vec<netsim::SimTime> =
         (1..=4).map(|k| netsim::SimTime::from_secs(10 * k)).collect();
-    let m_static = RingSim::new(5, base.dataset.clone(), base.queries.clone(), SimParams::default()).run();
+    let m_static =
+        RingSim::new(5, base.dataset.clone(), base.queries.clone(), SimParams::default()).run();
     let m_grown = RingSim::new(5, base.dataset, base.queries, SimParams::default())
         .with_growth(&growth)
         .run();

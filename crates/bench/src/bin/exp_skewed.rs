@@ -101,20 +101,12 @@ fn main() {
     println!("{}", t.render());
 
     // Reactive behavior: SW2 data appears in the ring shortly after 15 s.
-    let sw2_rise = per_tag[1]
-        .points
-        .iter()
-        .find(|&&(_, v)| v > 0.0)
-        .map(|&(t, _)| t)
-        .unwrap_or(f64::NAN);
+    let sw2_rise =
+        per_tag[1].points.iter().find(|&&(_, v)| v > 0.0).map(|&(t, _)| t).unwrap_or(f64::NAN);
     println!("SW2 hot set first appears in the ring at t = {sw2_rise:.1}s (wave starts at 15 s)");
 
     // Post-workload-change: SW1 queries finishing after SW2 started.
-    let sw1_after = m
-        .lifetimes
-        .iter()
-        .filter(|&&(a, l, tag)| tag == 0 && a + l > 15.0)
-        .count();
+    let sw1_after = m.lifetimes.iter().filter(|&&(a, l, tag)| tag == 0 && a + l > 15.0).count();
     println!(
         "SW1 queries completed after SW2's start: {sw1_after} \
          (paper: previous workload is not starved)"

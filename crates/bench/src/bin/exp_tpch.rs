@@ -12,7 +12,11 @@ use ringsim::{Measurements, RingSim, SimParams};
 fn run_ring(nodes: usize, params: &TpchParams, seed: u64) -> (Measurements, f64) {
     let w = tpch::generate(params, nodes, seed);
     let total_work: f64 = w.queries.iter().map(|q| q.net_work().as_secs_f64()).sum();
-    let mut sp = SimParams { cores_per_node: Some(4), horizon: SimDuration::from_secs(3_000), ..SimParams::default() };
+    let mut sp = SimParams {
+        cores_per_node: Some(4),
+        horizon: SimDuration::from_secs(3_000),
+        ..SimParams::default()
+    };
     // §5.4: "we assume that all nodes have ample main memory" — a passed
     // fragment stays cached for every later pin on the node.
     sp.dc.cache_capacity = 16 << 30;
@@ -44,13 +48,12 @@ fn main() {
     let scale = dc_bench::scale();
     dc_bench::banner("TPC-H SF-5 calibration", "Table 4");
 
-    let params = TpchParams {
-        queries_per_node: (1200.0 * scale) as usize,
-        ..TpchParams::default()
-    };
+    let params =
+        TpchParams { queries_per_node: (1200.0 * scale) as usize, ..TpchParams::default() };
     println!("\n{} queries per node at 8 q/s\n", params.queries_per_node);
 
-    let mut table = AsciiTable::new(&["#nodes", "exec(sec)", "throughput", "throughP/node", "CPU%"]);
+    let mut table =
+        AsciiTable::new(&["#nodes", "exec(sec)", "throughput", "throughP/node", "CPU%"]);
     let mut csv = String::from("nodes,exec_sec,throughput,throughput_per_node,cpu_pct\n");
 
     // MonetDB baseline row (real-DBMS inefficiency model; DESIGN.md §4).

@@ -126,10 +126,7 @@ impl ClientCache {
         }
         self.tick += 1;
         self.order.insert(bat, self.tick);
-        self.entries.insert(
-            bat,
-            Entry { size, last_access: now, rate: 1.0 },
-        );
+        self.entries.insert(bat, Entry { size, last_access: now, rate: 1.0 });
         self.used += size;
         true
     }

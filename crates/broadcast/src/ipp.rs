@@ -29,10 +29,17 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 enum Ev {
     Arrive(usize),
-    ReqAtServer { item: BatId },
+    ReqAtServer {
+        item: BatId,
+    },
     /// The channel finished transmitting an item (either path).
-    TxDone { item: BatId, was_pull: bool },
-    ProcDone { q: usize },
+    TxDone {
+        item: BatId,
+        was_pull: bool,
+    },
+    ProcDone {
+        q: usize,
+    },
 }
 
 struct QueryState {
@@ -232,9 +239,7 @@ mod tests {
             arrival,
             node: 0,
             needs,
-            model: ExecModel::PerBat {
-                proc: vec![SimDuration::from_millis(proc_ms); n],
-            },
+            model: ExecModel::PerBat { proc: vec![SimDuration::from_millis(proc_ms); n] },
             tag: 0,
         }
     }
@@ -298,9 +303,8 @@ mod tests {
                 })
                 .collect()
         };
-        let run_ipp = |qs: Vec<QuerySpec>| {
-            IppSim::new(flat(n_items), ds.clone(), qs, slow_channel()).run()
-        };
+        let run_ipp =
+            |qs: Vec<QuerySpec>| IppSim::new(flat(n_items), ds.clone(), qs, slow_channel()).run();
         let run_push = |qs: Vec<QuerySpec>| {
             BroadcastSim::new(flat(n_items), ds.clone(), qs, slow_channel()).run()
         };
@@ -347,9 +351,7 @@ mod tests {
         let ds = dataset(10, 2_000_000);
         let mk = || {
             let queries: Vec<QuerySpec> = (0..25)
-                .map(|i| {
-                    one_query(SimTime::from_millis(i * 97), vec![BatId((i % 10) as u32)], 5)
-                })
+                .map(|i| one_query(SimTime::from_millis(i * 97), vec![BatId((i % 10) as u32)], 5))
                 .collect();
             IppSim::new(flat(10), ds.clone(), queries, ChannelConfig::default()).run()
         };

@@ -39,10 +39,16 @@ pub enum PullPolicy {
 enum Ev {
     Arrive(usize),
     /// A request reaches the server (uplink delay after arrival).
-    ReqAtServer { item: BatId },
+    ReqAtServer {
+        item: BatId,
+    },
     /// The server finished transmitting `item`.
-    TxDone { item: BatId },
-    ProcDone { q: usize },
+    TxDone {
+        item: BatId,
+    },
+    ProcDone {
+        q: usize,
+    },
 }
 
 struct QueryState {
@@ -281,9 +287,7 @@ mod tests {
             arrival,
             node: 0,
             needs,
-            model: ExecModel::PerBat {
-                proc: vec![SimDuration::from_millis(proc_ms); n],
-            },
+            model: ExecModel::PerBat { proc: vec![SimDuration::from_millis(proc_ms); n] },
             tag: 0,
         }
     }
@@ -347,9 +351,8 @@ mod tests {
         for i in 0..5u64 {
             queries.push(one_query(SimTime::from_millis(200 + i), vec![BatId(2)], 0));
         }
-        let run = |policy| {
-            OnDemandSim::new(ds.clone(), queries.clone(), slow_channel(), policy).run()
-        };
+        let run =
+            |policy| OnDemandSim::new(ds.clone(), queries.clone(), slow_channel(), policy).run();
         let fcfs = run(PullPolicy::Fcfs);
         let mrf = run(PullPolicy::Mrf);
         // Identify item-1 and item-2 queries by arrival time.
@@ -392,9 +395,7 @@ mod tests {
     fn deterministic_across_runs_both_policies() {
         let ds = dataset(20, 3_000_000);
         let queries: Vec<QuerySpec> = (0..40u64)
-            .map(|i| {
-                one_query(SimTime::from_millis(i * 53), vec![BatId((i % 20) as u32)], 15)
-            })
+            .map(|i| one_query(SimTime::from_millis(i * 53), vec![BatId((i % 20) as u32)], 15))
             .collect();
         for policy in [PullPolicy::Fcfs, PullPolicy::Mrf] {
             let a = OnDemandSim::new(ds.clone(), queries.clone(), slow_channel(), policy).run();
@@ -418,12 +419,8 @@ mod tests {
         // A straggler wanting the other item, queued behind the flood.
         queries.push(one_query(SimTime::from_millis(100), vec![BatId(1)], 0));
         let run = |consolidate: bool| {
-            let sim = OnDemandSim::new(
-                ds.clone(),
-                queries.clone(),
-                slow_channel(),
-                PullPolicy::Fcfs,
-            );
+            let sim =
+                OnDemandSim::new(ds.clone(), queries.clone(), slow_channel(), PullPolicy::Fcfs);
             let sim = if consolidate { sim } else { sim.without_consolidation() };
             sim.run()
         };
@@ -436,9 +433,8 @@ mod tests {
         // item 0 goes out twice (in-flight + queued) plus item 1.
         assert_eq!(merged.items_broadcast, 3);
         assert_eq!(raw.items_broadcast, 61, "59 duplicate transmissions");
-        let straggler = |m: &BcastMeasurements| {
-            m.lifetimes.iter().find(|&&(a, _, _)| a > 0.09).unwrap().1
-        };
+        let straggler =
+            |m: &BcastMeasurements| m.lifetimes.iter().find(|&&(a, _, _)| a > 0.09).unwrap().1;
         assert!(straggler(&merged) < 3.0, "{}", straggler(&merged));
         assert!(
             straggler(&raw) > 50.0,

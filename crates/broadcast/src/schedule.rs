@@ -94,8 +94,7 @@ impl Schedule {
             }
         }
 
-        let minor_cycles =
-            disks.iter().fold(1u64, |l, d| lcm(l, u64::from(d.frequency))) as usize;
+        let minor_cycles = disks.iter().fold(1u64, |l, d| lcm(l, u64::from(d.frequency))) as usize;
 
         // Pre-chunk every disk: disk i gets minor_cycles / f_i chunks of
         // (near-)equal size, in item order.
@@ -244,8 +243,7 @@ mod tests {
             DiskSpec { items: ids(1..5), frequency: 1 },
         ];
         let s = Schedule::broadcast_disks(&disks).unwrap();
-        let pos: Vec<usize> =
-            (0..s.cycle_len()).filter(|&i| s.slots()[i] == BatId(0)).collect();
+        let pos: Vec<usize> = (0..s.cycle_len()).filter(|&i| s.slots()[i] == BatId(0)).collect();
         assert_eq!(pos.len(), 2);
         // Gaps between consecutive appearances (wrapping) differ by ≤ 1
         // slot: the algorithm's equal-spacing property.
@@ -281,10 +279,8 @@ mod tests {
         let total: usize = chunks.iter().map(|c| c.len()).sum();
         assert_eq!(total, 2);
         // A schedule built from it still has exact frequencies.
-        let disks = vec![
-            DiskSpec { items, frequency: 1 },
-            DiskSpec { items: ids(2..3), frequency: 4 },
-        ];
+        let disks =
+            vec![DiskSpec { items, frequency: 1 }, DiskSpec { items: ids(2..3), frequency: 4 }];
         let s = Schedule::broadcast_disks(&disks).unwrap();
         assert_eq!(s.frequency_of(BatId(0)), 1);
         assert_eq!(s.frequency_of(BatId(2)), 4);
@@ -292,8 +288,7 @@ mod tests {
 
     #[test]
     fn partition_orders_hottest_first() {
-        let pop: Vec<(BatId, f64)> =
-            (0..10).map(|i| (BatId(i), f64::from(i))).collect();
+        let pop: Vec<(BatId, f64)> = (0..10).map(|i| (BatId(i), f64::from(i))).collect();
         let disks = partition_by_popularity(&pop, &[(2, 4), (3, 2)]);
         assert_eq!(disks.len(), 3);
         assert_eq!(disks[0].items, vec![BatId(9), BatId(8)]);

@@ -49,8 +49,12 @@ enum Ev {
     Arrive(usize),
     /// The pump finished transmitting schedule slot `seq` (absolute,
     /// wrapping over major cycles).
-    SlotDone { seq: u64 },
-    ProcDone { q: usize },
+    SlotDone {
+        seq: u64,
+    },
+    ProcDone {
+        q: usize,
+    },
 }
 
 struct QueryState {
@@ -221,12 +225,9 @@ impl BroadcastSim {
                 if let Some(caches) = &mut self.caches {
                     let size = self.dataset.size_of(item);
                     let freq = &self.freq;
-                    caches[node].admit(
-                        item,
-                        size,
-                        now + self.channel.delay,
-                        &|b| freq.get(&b).copied().unwrap_or(0),
-                    );
+                    caches[node].admit(item, size, now + self.channel.delay, &|b| {
+                        freq.get(&b).copied().unwrap_or(0)
+                    });
                 }
             }
         }
@@ -271,9 +272,7 @@ mod tests {
             arrival,
             node: 0,
             needs,
-            model: ExecModel::PerBat {
-                proc: vec![SimDuration::from_millis(proc_ms); n],
-            },
+            model: ExecModel::PerBat { proc: vec![SimDuration::from_millis(proc_ms); n] },
             tag: 0,
         }
     }
@@ -339,12 +338,8 @@ mod tests {
         let m = BroadcastSim::new(sched, ds, queries, slow_channel()).run();
         assert_eq!(m.completed, 24);
         let mean_of = |tag: u32| -> f64 {
-            let ls: Vec<f64> = m
-                .lifetimes
-                .iter()
-                .filter(|&&(_, _, t)| t == tag)
-                .map(|&(_, l, _)| l)
-                .collect();
+            let ls: Vec<f64> =
+                m.lifetimes.iter().filter(|&&(_, _, t)| t == tag).map(|&(_, l, _)| l).collect();
             ls.iter().sum::<f64>() / ls.len() as f64
         };
         let hot_mean = mean_of(1);
@@ -395,9 +390,7 @@ mod tests {
             arrival: SimTime::ZERO,
             node: 0,
             needs: vec![BatId(1), BatId(3)],
-            model: ExecModel::PerBat {
-                proc: vec![SimDuration::from_millis(500); 2],
-            },
+            model: ExecModel::PerBat { proc: vec![SimDuration::from_millis(500); 2] },
             tag: 0,
         };
         let m = BroadcastSim::new(sched, ds, vec![q], slow_channel()).run();
@@ -483,9 +476,7 @@ mod tests {
         let mk = || {
             let sched = Schedule::flat(&items).unwrap();
             let queries: Vec<QuerySpec> = (0..20u64)
-                .map(|i| {
-                    one_query(SimTime::from_millis(i * 137), vec![BatId((i % 8) as u32)], 25)
-                })
+                .map(|i| one_query(SimTime::from_millis(i * 137), vec![BatId((i % 8) as u32)], 25))
                 .collect();
             BroadcastSim::new(sched, ds.clone(), queries, ChannelConfig::default()).run()
         };

@@ -31,8 +31,7 @@ impl Shell {
             return;
         }
         let n = 1000;
-        let regions: Vec<&str> =
-            (0..n).map(|i| ["eu", "us", "ap", "af", "sa"][i % 5]).collect();
+        let regions: Vec<&str> = (0..n).map(|i| ["eu", "us", "ap", "af", "sa"][i % 5]).collect();
         let amounts: Vec<i32> = (0..n).map(|i| ((i * 37 + 11) % 500) as i32).collect();
         let quarters: Vec<i32> = (0..n).map(|i| (i % 4 + 1) as i32).collect();
         let keys: Vec<i32> = (0..n as i32).collect();
@@ -56,7 +55,8 @@ impl Shell {
                 vec![("k", Column::from(keys)), ("label", Column::from(labels))],
             )
             .expect("load dims");
-        self.tables = vec!["sys.sales(k, region, amount, quarter)".into(), "sys.dims(k, label)".into()];
+        self.tables =
+            vec!["sys.sales(k, region, amount, quarter)".into(), "sys.dims(k, label)".into()];
         println!("loaded demo tables:");
         for t in &self.tables {
             println!("  {t}");

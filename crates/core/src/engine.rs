@@ -107,25 +107,25 @@ impl NodeCtx {
                 let (outcome, effects) = self.node.pin(query, bat);
                 self.execute(effects, None);
                 match outcome {
-                PinOutcome::OwnedLocal => {
-                    let r = self
-                        .disk
-                        .get(&bat)
-                        .cloned()
-                        .ok_or_else(|| format!("owned fragment {bat} missing from disk"));
-                    waiter.fulfill(r);
-                }
-                PinOutcome::Cached => {
-                    let r = self
-                        .cache
-                        .get(&bat)
-                        .cloned()
-                        .ok_or_else(|| format!("cached fragment {bat} missing payload"));
-                    waiter.fulfill(r);
-                }
-                PinOutcome::MustWait => {
-                    self.waiting.entry(bat).or_default().push((query, waiter));
-                }
+                    PinOutcome::OwnedLocal => {
+                        let r = self
+                            .disk
+                            .get(&bat)
+                            .cloned()
+                            .ok_or_else(|| format!("owned fragment {bat} missing from disk"));
+                        waiter.fulfill(r);
+                    }
+                    PinOutcome::Cached => {
+                        let r = self
+                            .cache
+                            .get(&bat)
+                            .cloned()
+                            .ok_or_else(|| format!("cached fragment {bat} missing payload"));
+                        waiter.fulfill(r);
+                    }
+                    PinOutcome::MustWait => {
+                        self.waiting.entry(bat).or_default().push((query, waiter));
+                    }
                 }
             }
             Cmd::Unpin { query, bat } => {
@@ -172,9 +172,7 @@ impl NodeCtx {
                     // The payload simply stops being forwarded.
                 }
                 Effect::Deliver { header, queries } => {
-                    let p = payload
-                        .clone()
-                        .or_else(|| self.cache.get(&header.bat).cloned());
+                    let p = payload.clone().or_else(|| self.cache.get(&header.bat).cloned());
                     if let Some(list) = self.waiting.remove(&header.bat) {
                         let (to_serve, keep): (Vec<_>, Vec<_>) =
                             list.into_iter().partition(|(q, _)| queries.contains(q));
@@ -358,10 +356,8 @@ impl Ring {
             let mut meta = self.meta.write();
             // The metadata catalog stores zero-row columns: only names
             // and types are consulted by codegen on ring nodes.
-            let typed: Vec<(&str, Column)> = cols
-                .iter()
-                .map(|(name, col)| (*name, Column::empty(col.col_type())))
-                .collect();
+            let typed: Vec<(&str, Column)> =
+                cols.iter().map(|(name, col)| (*name, Column::empty(col.col_type()))).collect();
             meta.create_table_columnar(&mut BatStore::new(), schema, table, typed)?;
         }
         // Ship each column to its owner.
@@ -408,12 +404,10 @@ impl Ring {
     ) -> Result<String, MalError> {
         let handle = &self.nodes[node_idx];
         // A per-query session sharing the node's hooks.
-        let session = SessionCtx::new(
-            Arc::clone(&handle.session.catalog),
-            Arc::clone(&handle.session.store),
-        )
-        .with_dc(handle.hooks.clone() as Arc<dyn mal::DcHooks>)
-        .with_query_id(qid);
+        let session =
+            SessionCtx::new(Arc::clone(&handle.session.catalog), Arc::clone(&handle.session.store))
+                .with_dc(handle.hooks.clone() as Arc<dyn mal::DcHooks>)
+                .with_query_id(qid);
         let result = mal::run_dataflow(plan, &session, 4);
         // Always clean up interest, success or failure.
         let _ = handle.tx.send(NodeEvent::Cmd(Cmd::QueryDone { query: QueryId(qid) }));
@@ -521,15 +515,15 @@ mod tests {
     #[test]
     fn single_node_ring_works() {
         let ring = demo_ring(1);
-        let out = ring.submit_sql(0, "select amount from c where amount between 15 and 35").unwrap();
+        let out =
+            ring.submit_sql(0, "select amount from c where amount between 15 and 35").unwrap();
         assert!(out.contains("[ 20 ]") && out.contains("[ 30 ]"), "{out}");
     }
 
     #[test]
     fn explain_shows_dc_rewrite() {
         let ring = demo_ring(2);
-        let (plan, dc) =
-            ring.explain_sql("select c.t_id from t, c where c.t_id = t.id").unwrap();
+        let (plan, dc) = ring.explain_sql("select c.t_id from t, c where c.t_id = t.id").unwrap();
         assert!(plan.contains("sql.bind"), "{plan}");
         assert!(!plan.contains("datacyclotron"), "{plan}");
         assert!(dc.contains("datacyclotron.request"), "{dc}");
@@ -540,9 +534,7 @@ mod tests {
     #[test]
     fn distinct_and_in_list_over_ring() {
         let ring = demo_ring(3);
-        let out = ring
-            .submit_sql(1, "select distinct t_id from c order by t_id")
-            .unwrap();
+        let out = ring.submit_sql(1, "select distinct t_id from c order by t_id").unwrap();
         let rows: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
         assert_eq!(rows, vec!["[ 2 ]", "[ 3 ]", "[ 9 ]"], "{out}");
         let out = ring
@@ -565,9 +557,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let out = ring
-            .submit_sql(0, "select a, b, sum(v) from pairs group by a, b")
-            .unwrap();
+        let out = ring.submit_sql(0, "select a, b, sum(v) from pairs group by a, b").unwrap();
         let rows = out.lines().filter(|l| l.starts_with('[')).count();
         assert_eq!(rows, 3, "{out}");
         assert!(out.contains("30"), "x,1 sums to 30: {out}");

@@ -154,15 +154,17 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
                     buf.remaining()
                 ));
             }
-            let payload =
-                if plen == 0 { None } else { Some(Bytes::copy_from_slice(&buf[..plen])) };
+            let payload = if plen == 0 { None } else { Some(Bytes::copy_from_slice(&buf[..plen])) };
             Ok(DcMsg::Bat { header, payload })
         }
         TAG_REQ => {
             if buf.remaining() < 6 {
                 return Err("truncated request".into());
             }
-            Ok(DcMsg::Request(ReqMsg { origin: NodeId(buf.get_u16_le()), bat: BatId(buf.get_u32_le()) }))
+            Ok(DcMsg::Request(ReqMsg {
+                origin: NodeId(buf.get_u16_le()),
+                bat: BatId(buf.get_u32_le()),
+            }))
         }
         other => Err(format!("unknown message tag {other}")),
     }

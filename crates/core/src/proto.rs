@@ -370,8 +370,7 @@ impl DcNode {
         // Grant one more cycle — unless the queue is under capacity
         // pressure, where Fig. 5's eviction must win (the requester is
         // rescued by resend, the paper's §4.2.3 recovery path).
-        let demand_hold =
-            self.cfg.demand_hold && owned.interest_since_pass > 0 && !overloaded;
+        let demand_hold = self.cfg.demand_hold && owned.interest_since_pass > 0 && !overloaded;
         owned.interest_since_pass = 0;
         if nl < loit && !demand_hold {
             owned.state = OwnedState::OnDisk;
@@ -500,10 +499,7 @@ mod tests {
         let eff = n.local_request(QueryId(7), BatId(42));
         assert_eq!(eff.len(), 1, "fresh request dispatched");
         let eff = n.on_request(ReqMsg { origin: NodeId(0), bat: BatId(42) });
-        assert_eq!(
-            eff,
-            vec![Effect::QueryError { bat: BatId(42), queries: vec![QueryId(7)] }]
-        );
+        assert_eq!(eff, vec![Effect::QueryError { bat: BatId(42), queries: vec![QueryId(7)] }]);
         assert!(!n.s2.contains(BatId(42)), "entry unregistered");
         assert_eq!(n.stats.query_errors, 1);
     }
@@ -610,10 +606,7 @@ mod tests {
             .expect("must forward");
         assert_eq!(fwd.copies, 1);
         // Latency recorded: 240 ms.
-        assert_eq!(
-            n.stats.max_request_latency[&BatId(9)],
-            SimDuration::from_millis(240)
-        );
+        assert_eq!(n.stats.max_request_latency[&BatId(9)], SimDuration::from_millis(240));
         // All queries pinned → entry unregistered.
         assert!(!n.s2.contains(BatId(9)));
     }
@@ -702,10 +695,7 @@ mod tests {
         // pending requester holds it in the ring for one more cycle.
         let h = BatHeader::fresh(NodeId(0), BatId(3), 100);
         let eff = n.on_bat(h);
-        assert!(
-            matches!(&eff[..], [Effect::SendBat(_)]),
-            "kept despite LOI 0 < 0.5: {eff:?}"
-        );
+        assert!(matches!(&eff[..], [Effect::SendBat(_)]), "kept despite LOI 0 < 0.5: {eff:?}");
         assert_eq!(n.stats.demand_holds, 1);
         assert_eq!(n.stats.bats_unloaded, 0);
         // Next pass with no new interest: the normal Fig. 5 drop.
@@ -721,11 +711,7 @@ mod tests {
     fn demand_hold_can_be_disabled() {
         // With the flag off, the owner follows Fig. 5 literally and
         // unloads despite the pending mid-cycle request.
-        let cfg = DcConfig {
-            loit_levels: vec![0.5],
-            demand_hold: false,
-            ..DcConfig::default()
-        };
+        let cfg = DcConfig { loit_levels: vec![0.5], demand_hold: false, ..DcConfig::default() };
         let mut n = DcNode::new(NodeId(0), cfg);
         n.register_owned(BatId(3), 100);
         n.s1.set_state(BatId(3), OwnedState::InRing { last_seen: SimTime::ZERO });
@@ -739,11 +725,7 @@ mod tests {
     fn capacity_pressure_overrides_demand_hold() {
         // Queue nearly full: Fig. 5's eviction must win even with
         // pending interest (the requester is rescued by resend).
-        let cfg = DcConfig {
-            queue_capacity: 110,
-            loit_levels: vec![0.5],
-            ..DcConfig::default()
-        };
+        let cfg = DcConfig { queue_capacity: 110, loit_levels: vec![0.5], ..DcConfig::default() };
         let mut n = DcNode::new(NodeId(0), cfg);
         n.register_owned(BatId(3), 100);
         n.s1.set_state(BatId(3), OwnedState::InRing { last_seen: SimTime::ZERO });
@@ -771,7 +753,10 @@ mod tests {
         at(&mut n, 100);
         let eff = n.tick();
         assert_eq!(eff, vec![Effect::LoadFromDisk { bat: BatId(2), size: 200 }]);
-        assert_eq!(n.s1.state(BatId(1)), Some(OwnedState::Pending { since: SimTime::from_millis(1) }));
+        assert_eq!(
+            n.s1.state(BatId(1)),
+            Some(OwnedState::Pending { since: SimTime::from_millis(1) })
+        );
     }
 
     #[test]

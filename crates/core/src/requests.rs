@@ -70,7 +70,12 @@ impl S2Requests {
 
     /// Register a local query's interest; returns a mutable entry and
     /// whether it is new (needs a request dispatched).
-    pub fn register(&mut self, bat: BatId, query: QueryId, now: SimTime) -> (&mut RequestEntry, bool) {
+    pub fn register(
+        &mut self,
+        bat: BatId,
+        query: QueryId,
+        now: SimTime,
+    ) -> (&mut RequestEntry, bool) {
         let is_new = !self.map.contains_key(&bat);
         let e = self.map.entry(bat).or_insert_with(|| RequestEntry::new(now));
         e.queries.insert(query);

@@ -155,9 +155,10 @@ impl DcHooks for RingHooks {
         table: &str,
         column: &str,
     ) -> Result<u64, MalError> {
-        let info = self.catalog.lookup(schema, table, column).ok_or_else(|| {
-            MalError::Dc(format!("unknown fragment {schema}.{table}.{column}"))
-        })?;
+        let info = self
+            .catalog
+            .lookup(schema, table, column)
+            .ok_or_else(|| MalError::Dc(format!("unknown fragment {schema}.{table}.{column}")))?;
         let ticket = {
             let mut t = self.tickets.lock();
             t.push(info.bat);
@@ -188,12 +189,7 @@ mod tests {
     fn ring_catalog_publish_lookup() {
         let c = RingCatalog::new();
         assert!(c.is_empty());
-        c.publish(
-            "sys",
-            "t",
-            "id",
-            FragInfo { bat: BatId(7), size: 100, owner: NodeId(2) },
-        );
+        c.publish("sys", "t", "id", FragInfo { bat: BatId(7), size: 100, owner: NodeId(2) });
         let info = c.lookup("sys", "t", "id").unwrap();
         assert_eq!(info.bat, BatId(7));
         assert_eq!(info.owner, NodeId(2));

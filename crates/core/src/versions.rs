@@ -63,7 +63,9 @@ impl VersionTable {
         let mut map = self.map.lock();
         let st = map.entry(bat).or_insert(VersionState { version: 0, updating_by: None });
         match st.updating_by {
-            Some(existing) if existing != controller => UpdateAdmission::Busy { controller: existing },
+            Some(existing) if existing != controller => {
+                UpdateAdmission::Busy { controller: existing }
+            }
             _ => {
                 st.updating_by = Some(controller);
                 UpdateAdmission::Granted { version_being_replaced: st.version }
@@ -75,9 +77,7 @@ impl VersionTable {
     /// cleared and readers waiting for freshness may proceed.
     pub fn commit_update(&self, bat: BatId, controller: NodeId) -> Result<u32, String> {
         let mut map = self.map.lock();
-        let st = map
-            .get_mut(&bat)
-            .ok_or_else(|| format!("{bat} has no version state"))?;
+        let st = map.get_mut(&bat).ok_or_else(|| format!("{bat} has no version state"))?;
         if st.updating_by != Some(controller) {
             return Err(format!("{controller} does not control the update of {bat}"));
         }
@@ -140,7 +140,10 @@ mod tests {
         assert!(!vt.is_updating(BatId(1)));
         assert_eq!(vt.current_version(BatId(1)), 1);
         // Now another node can update.
-        assert!(matches!(vt.begin_update(BatId(1), NodeId(3)), UpdateAdmission::Granted { version_being_replaced: 1 }));
+        assert!(matches!(
+            vt.begin_update(BatId(1), NodeId(3)),
+            UpdateAdmission::Granted { version_being_replaced: 1 }
+        ));
     }
 
     #[test]

@@ -240,12 +240,7 @@ mod tests {
         let mut p = Program::new("user", "q");
         let a = p.var("A");
         let b = p.var("B");
-        let i = Instr::assign(
-            a,
-            "algebra",
-            "join",
-            vec![Arg::Var(b), Arg::Const(Const::Int(3))],
-        );
+        let i = Instr::assign(a, "algebra", "join", vec![Arg::Var(b), Arg::Const(Const::Int(3))]);
         let uses: Vec<VarId> = i.uses().collect();
         assert_eq!(uses, vec![b]);
         assert!(i.is("algebra", "join"));

@@ -119,13 +119,7 @@ mod tests {
         let mut catalog = Catalog::new();
         let mut store = BatStore::new();
         catalog
-            .create_table(
-                &mut store,
-                "sys",
-                "t",
-                &[("id", ColType::Int)],
-                &[vec![Val::Int(42)]],
-            )
+            .create_table(&mut store, "sys", "t", &[("id", ColType::Int)], &[vec![Val::Int(42)]])
             .unwrap();
         SessionCtx::new(Arc::new(RwLock::new(catalog)), Arc::new(RwLock::new(store)))
     }

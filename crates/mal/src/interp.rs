@@ -194,8 +194,7 @@ pub fn run_dataflow_with(
             dependents[d].push(i);
         }
     }
-    let ready: VecDeque<usize> =
-        (0..n).filter(|&i| remaining[i] == 0).collect();
+    let ready: VecDeque<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
 
     let shared = Shared {
         env: Mutex::new(SchedState {
@@ -310,7 +309,12 @@ mod tests {
         let mut catalog = Catalog::new();
         let mut store = BatStore::new();
         catalog
-            .create_table_columnar(&mut store, "sys", "t", vec![("id", Column::from(vec![1, 2, 3]))])
+            .create_table_columnar(
+                &mut store,
+                "sys",
+                "t",
+                vec![("id", Column::from(vec![1, 2, 3]))],
+            )
             .unwrap();
         catalog
             .create_table_columnar(
@@ -357,8 +361,7 @@ mod tests {
 
     #[test]
     fn unknown_function_reported() {
-        let prog =
-            parse_program("function user.q():void;\nX1 := no.such(1);\nend q;").unwrap();
+        let prog = parse_program("function user.q():void;\nX1 := no.such(1);\nend q;").unwrap();
         let ctx = paper_ctx();
         let e = run_sequential(&prog, &ctx).unwrap_err();
         assert!(matches!(e, MalError::UnknownFunction(_)));
@@ -369,13 +372,9 @@ mod tests {
     #[test]
     fn undefined_variable_reported() {
         let prog =
-            parse_program("function user.q():void;\nX1 := bat.reverse(Xghost);\nend q;")
-                .unwrap();
+            parse_program("function user.q():void;\nX1 := bat.reverse(Xghost);\nend q;").unwrap();
         let ctx = paper_ctx();
-        assert!(matches!(
-            run_sequential(&prog, &ctx).unwrap_err(),
-            MalError::Undefined(_)
-        ));
+        assert!(matches!(run_sequential(&prog, &ctx).unwrap_err(), MalError::Undefined(_)));
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub use ast::{Arg, Const, Instr, Program, VarId};
 pub use context::{DcHooks, LocalHooks, SessionCtx};
 pub use error::{MalError, Result};
 pub use interp::{run_dataflow, run_sequential, Interpreter};
-pub use optimizer::{common_subexpression_eliminate, dc_optimize, dead_code_eliminate, expression_key};
+pub use optimizer::{
+    common_subexpression_eliminate, dc_optimize, dead_code_eliminate, expression_key,
+};
 pub use parser::parse_program;
 pub use template::TemplateCache;
 pub use value::{MVal, ResultSet};

@@ -70,9 +70,9 @@ fn want(args: &[MVal], n: usize, name: &str) -> Result<()> {
 }
 
 fn arg_bat<'a>(args: &'a [MVal], i: usize, name: &str) -> Result<&'a Arc<Bat>> {
-    args[i]
-        .as_bat()
-        .ok_or_else(|| MalError::BadCall(format!("{name}: arg {i} must be a BAT, got {:?}", args[i])))
+    args[i].as_bat().ok_or_else(|| {
+        MalError::BadCall(format!("{name}: arg {i} must be a BAT, got {:?}", args[i]))
+    })
 }
 
 fn arg_int(args: &[MVal], i: usize, name: &str) -> Result<i64> {
@@ -184,9 +184,8 @@ fn register_bat_algebra(r: &mut Registry) {
     r.register("bat", "pack", |_ctx, args| {
         want(args, 1, "bat.pack")?;
         let v = arg_val(args, 0, "bat.pack")?;
-        let ty = v
-            .col_type()
-            .ok_or_else(|| MalError::BadCall("bat.pack: nil has no type".into()))?;
+        let ty =
+            v.col_type().ok_or_else(|| MalError::BadCall("bat.pack: nil has no type".into()))?;
         let mut col = batstore::Column::empty(ty);
         col.push(&v)?;
         bat(Bat::dense(col))
@@ -249,10 +248,7 @@ fn register_bat_algebra(r: &mut Registry) {
 
     r.register("algebra", "kunion", |_ctx, args| {
         want(args, 2, "algebra.kunion")?;
-        bat(ops::kunion(
-            arg_bat(args, 0, "algebra.kunion")?,
-            arg_bat(args, 1, "algebra.kunion")?,
-        )?)
+        bat(ops::kunion(arg_bat(args, 0, "algebra.kunion")?, arg_bat(args, 1, "algebra.kunion")?)?)
     });
 
     // algebra.tunique(b) — distinct tail values (SELECT DISTINCT kernel).
@@ -518,12 +514,7 @@ mod tests {
             &r,
             ("sql", "bind"),
             &c,
-            &[
-                MVal::Str("sys".into()),
-                MVal::Str("t".into()),
-                MVal::Str("id".into()),
-                MVal::Int(0),
-            ],
+            &[MVal::Str("sys".into()), MVal::Str("t".into()), MVal::Str("id".into()), MVal::Int(0)],
         );
         assert_eq!(out[0].as_bat().unwrap().count(), 3);
         let err = (r.lookup("sql", "bind").unwrap())(&c, &[MVal::Int(1)]);
@@ -538,12 +529,7 @@ mod tests {
             &r,
             ("datacyclotron", "request"),
             &c,
-            &[
-                MVal::Str("sys".into()),
-                MVal::Str("t".into()),
-                MVal::Str("id".into()),
-                MVal::Int(0),
-            ],
+            &[MVal::Str("sys".into()), MVal::Str("t".into()), MVal::Str("id".into()), MVal::Int(0)],
         );
         // LocalHooks are created fresh per hooks() call; pin through a
         // stable hooks instance instead to validate the trait contract.
@@ -560,7 +546,8 @@ mod tests {
         let r = Registry::standard();
         let c = ctx();
         let b = MVal::Bat(Arc::new(Bat::dense(Column::from(vec![5, 1, 9, 3]))));
-        let sel = call(&r, ("algebra", "thetauselect"), &c, &[b, MVal::Int(3), MVal::Str(">=".into())]);
+        let sel =
+            call(&r, ("algebra", "thetauselect"), &c, &[b, MVal::Int(3), MVal::Str(">=".into())]);
         let s = call(&r, ("aggr", "sum"), &c, &[sel[0].clone()]);
         match &s[0] {
             MVal::Int(v) => assert_eq!(*v, 17),

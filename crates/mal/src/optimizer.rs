@@ -28,12 +28,7 @@ pub fn dc_optimize(prog: &Program) -> Program {
             if let Some(&target) = instr.targets.first() {
                 let ticket = out.fresh_var();
                 ticket_of.insert(target, ticket);
-                out.push(Instr::assign(
-                    ticket,
-                    "datacyclotron",
-                    "request",
-                    instr.args.clone(),
-                ));
+                out.push(Instr::assign(ticket, "datacyclotron", "request", instr.args.clone()));
             }
         }
     }
@@ -48,12 +43,7 @@ pub fn dc_optimize(prog: &Program) -> Program {
         for used in instr.uses().collect::<Vec<_>>() {
             if let Some(&ticket) = ticket_of.get(&used) {
                 if !pinned.contains(&used) {
-                    out.push(Instr::assign(
-                        used,
-                        "datacyclotron",
-                        "pin",
-                        vec![Arg::Var(ticket)],
-                    ));
+                    out.push(Instr::assign(used, "datacyclotron", "pin", vec![Arg::Var(ticket)]));
                     pinned.push(used);
                 }
             }
@@ -145,8 +135,8 @@ pub fn dead_code_eliminate(prog: &Program) -> Program {
     let mut keep = vec![false; prog.instrs.len()];
 
     for (i, instr) in prog.instrs.iter().enumerate().rev() {
-        let effectful = instr.targets.is_empty()
-            || EFFECTFUL_MODULES.contains(&instr.module.as_str());
+        let effectful =
+            instr.targets.is_empty() || EFFECTFUL_MODULES.contains(&instr.module.as_str());
         let needed = effectful || instr.targets.iter().any(|t| live[t.0 as usize]);
         if needed {
             keep[i] = true;
@@ -236,16 +226,9 @@ end s1_2;
         let pin_x6 = optimized
             .instrs
             .iter()
-            .position(|i| {
-                i.is("datacyclotron", "pin")
-                    && optimized.var_name(i.targets[0]) == "X6"
-            })
+            .position(|i| i.is("datacyclotron", "pin") && optimized.var_name(i.targets[0]) == "X6")
             .unwrap();
-        let use_x6 = optimized
-            .instrs
-            .iter()
-            .position(|i| i.is("bat", "reverse"))
-            .unwrap();
+        let use_x6 = optimized.instrs.iter().position(|i| i.is("bat", "reverse")).unwrap();
         assert_eq!(pin_x6 + 1, use_x6, "pin must immediately precede first use");
     }
 

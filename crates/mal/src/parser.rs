@@ -122,17 +122,15 @@ impl<'a> Lexer<'a> {
                                 Some(b'\\') => s.push('\\'),
                                 Some(b'n') => s.push('\n'),
                                 Some(b't') => s.push('\t'),
-                                other => {
-                                    return Err(self.err(format!("bad escape: {other:?}")))
-                                }
+                                other => return Err(self.err(format!("bad escape: {other:?}"))),
                             }
                             self.pos += 1;
                         }
                         Some(_) => {
                             // Consume one UTF-8 scalar.
                             let rest = &self.src[self.pos..];
-                            let s_rest = std::str::from_utf8(rest)
-                                .map_err(|_| self.err("invalid utf-8"))?;
+                            let s_rest =
+                                std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
                             let ch = s_rest.chars().next().unwrap();
                             s.push(ch);
                             self.pos += ch.len_utf8();
@@ -170,9 +168,8 @@ impl<'a> Lexer<'a> {
         // OID literal `N@0`.
         if self.peek_byte() == Some(b'@') {
             let digits = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-            let n: u64 = digits
-                .parse()
-                .map_err(|_| self.err(format!("bad oid literal: {digits}")))?;
+            let n: u64 =
+                digits.parse().map_err(|_| self.err(format!("bad oid literal: {digits}")))?;
             self.pos += 1; // @
             while matches!(self.peek_byte(), Some(b'0'..=b'9')) {
                 self.pos += 1;
@@ -450,19 +447,15 @@ mod tests {
 
     #[test]
     fn oid_literals() {
-        let p = parse_program(
-            "function user.q():void;\nX1 := algebra.markT(X0, 42@0);\nend q;",
-        )
-        .unwrap();
+        let p = parse_program("function user.q():void;\nX1 := algebra.markT(X0, 42@0);\nend q;")
+            .unwrap();
         assert_eq!(p.instrs[0].args[1], Arg::Const(Const::Oid(42)));
     }
 
     #[test]
     fn multi_target() {
-        let p = parse_program(
-            "function user.q():void;\n(Xg,Xe) := group.new(X0);\nend q;",
-        )
-        .unwrap();
+        let p =
+            parse_program("function user.q():void;\n(Xg,Xe) := group.new(X0);\nend q;").unwrap();
         assert_eq!(p.instrs[0].targets.len(), 2);
         assert_eq!(p.var_name(p.instrs[0].targets[1]), "Xe");
     }
@@ -489,10 +482,8 @@ end q;"#,
 
     #[test]
     fn numeric_literals() {
-        let p = parse_program(
-            "function user.q():void;\nX1 := calc.f(-5, 2.5, 1e3);\nend q;",
-        )
-        .unwrap();
+        let p =
+            parse_program("function user.q():void;\nX1 := calc.f(-5, 2.5, 1e3);\nend q;").unwrap();
         assert_eq!(p.instrs[0].args[0], Arg::Const(Const::Int(-5)));
         assert_eq!(p.instrs[0].args[1], Arg::Const(Const::Dbl(2.5)));
         assert_eq!(p.instrs[0].args[2], Arg::Const(Const::Dbl(1000.0)));
@@ -500,8 +491,8 @@ end q;"#,
 
     #[test]
     fn error_reports_line() {
-        let err = parse_program("function user.q():void;\nX1 := bad syntax here\nend q;")
-            .unwrap_err();
+        let err =
+            parse_program("function user.q():void;\nX1 := bad syntax here\nend q;").unwrap_err();
         match err {
             MalError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("wrong error: {other}"),
@@ -515,14 +506,12 @@ end q;"#,
 
     #[test]
     fn unterminated_string_rejected() {
-        assert!(parse_program("function user.q():void;\nX1 := io.print(\"oops);\nend q;")
-            .is_err());
+        assert!(parse_program("function user.q():void;\nX1 := io.print(\"oops);\nend q;").is_err());
     }
 
     #[test]
     fn empty_args() {
-        let p =
-            parse_program("function user.q():void;\nX1 := io.stdout();\nend q;").unwrap();
+        let p = parse_program("function user.q():void;\nX1 := io.stdout();\nend q;").unwrap();
         assert!(p.instrs[0].args.is_empty());
     }
 }

@@ -127,18 +127,12 @@ mod tests {
 
     #[test]
     fn whitespace_collapsed() {
-        assert_eq!(
-            normalize_sql("select   x\n\tfrom t"),
-            "select x from t"
-        );
+        assert_eq!(normalize_sql("select   x\n\tfrom t"), "select x from t");
     }
 
     #[test]
     fn different_shapes_differ() {
-        assert_ne!(
-            normalize_sql("select x from t"),
-            normalize_sql("select y from t")
-        );
+        assert_ne!(normalize_sql("select x from t"), normalize_sql("select y from t"));
     }
 
     #[test]
@@ -163,7 +157,9 @@ mod tests {
     #[test]
     fn clear_resets() {
         let cache = TemplateCache::new();
-        cache.get_or_compile("select 1", || -> Result<Program, ()> { Ok(Program::new("u", "x")) }).unwrap();
+        cache
+            .get_or_compile("select 1", || -> Result<Program, ()> { Ok(Program::new("u", "x")) })
+            .unwrap();
         cache.clear();
         assert!(cache.is_empty());
     }

@@ -88,7 +88,10 @@ pub enum MVal {
     /// A pinned BAT: behaves as a BAT everywhere, but remembers the ticket
     /// so `datacyclotron.unpin(X)` on the pinned variable — exactly as the
     /// paper's Table 2 writes it — can release the right request.
-    Pinned { bat: Arc<Bat>, ticket: u64 },
+    Pinned {
+        bat: Arc<Bat>,
+        ticket: u64,
+    },
     ResultSet(ResultSet),
     /// An output stream handle (`io.stdout()`); writes are captured by the
     /// session.

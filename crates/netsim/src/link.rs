@@ -170,7 +170,10 @@ mod tests {
         let mut l = mk(10, 0, 200);
         let a = l.enqueue(SimTime::ZERO, 1_250_000);
         let b = l.enqueue(SimTime::ZERO, 1_250_000);
-        let (EnqueueOutcome::Accepted { arrives: a1, .. }, EnqueueOutcome::Accepted { arrives: a2, .. }) = (a, b)
+        let (
+            EnqueueOutcome::Accepted { arrives: a1, .. },
+            EnqueueOutcome::Accepted { arrives: a2, .. },
+        ) = (a, b)
         else {
             panic!("drops")
         };

@@ -25,12 +25,8 @@ impl CoreSched {
     /// Schedule a segment that becomes ready at `ready`; returns its
     /// completion time on the earliest-free core.
     pub fn schedule(&mut self, ready: SimTime, dur: SimDuration) -> SimTime {
-        let (idx, _) = self
-            .free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &t)| t)
-            .expect("at least one core");
+        let (idx, _) =
+            self.free_at.iter().enumerate().min_by_key(|&(_, &t)| t).expect("at least one core");
         let start = self.free_at[idx].max(ready);
         let end = start + dur;
         self.free_at[idx] = end;

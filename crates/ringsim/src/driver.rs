@@ -3,9 +3,9 @@
 use crate::cores::CoreSched;
 use crate::measure::Measurements;
 use crate::split::{self, SplitMap, SplitParams};
-use datacyclotron::{BatId, DcConfig, DcNode, Effect, NodeId, PinOutcome, QueryId, ReqMsg};
 use datacyclotron::msg::BatHeader;
 use datacyclotron::OwnedState;
+use datacyclotron::{BatId, DcConfig, DcNode, Effect, NodeId, PinOutcome, QueryId, ReqMsg};
 use dc_workloads::{Dataset, ExecModel, QuerySpec};
 use netsim::{EnqueueOutcome, EventQueue, Link, LinkConfig, SimDuration, SimTime};
 use std::collections::HashMap;
@@ -76,14 +76,31 @@ pub enum PlacementPolicy {
 
 enum Ev {
     Arrive(usize),
-    BatMsg { node: usize, header: BatHeader },
-    ReqMsg { node: usize, req: ReqMsg },
-    DiskLoaded { node: usize, bat: BatId },
+    BatMsg {
+        node: usize,
+        header: BatHeader,
+    },
+    ReqMsg {
+        node: usize,
+        req: ReqMsg,
+    },
+    DiskLoaded {
+        node: usize,
+        bat: BatId,
+    },
     /// Per-BAT processing finished (PerBat model).
-    ProcDone { q: usize, need_idx: usize },
+    ProcDone {
+        q: usize,
+        need_idx: usize,
+    },
     /// Operator segment finished (PinSchedule model).
-    SegDone { q: usize, seg: usize },
-    Tick { node: usize },
+    SegDone {
+        q: usize,
+        seg: usize,
+    },
+    Tick {
+        node: usize,
+    },
     Sample,
     /// §6.3 pulsating rings: grow the ring by one node ("thrown back in
     /// when they are needed for their storage and processing resources").
@@ -160,8 +177,7 @@ impl RingSim {
         let mut sim_nodes = Vec::with_capacity(nodes);
         for i in 0..nodes {
             let mut dc = DcNode::new(NodeId(i as u16), params.dc.clone());
-            for (b, (&size, &owner)) in
-                dataset.sizes.iter().zip(dataset.owners.iter()).enumerate()
+            for (b, (&size, &owner)) in dataset.sizes.iter().zip(dataset.owners.iter()).enumerate()
             {
                 if owner == i {
                     dc.register_owned(BatId(b as u32), size);
@@ -273,8 +289,7 @@ impl RingSim {
         let needs = &self.queries[q].needs;
         let bids: Vec<datacyclotron::bidding::Bid> = (0..self.nodes.len())
             .map(|i| {
-                let local =
-                    needs.iter().filter(|b| self.dataset.owner_of(**b) == i).count();
+                let local = needs.iter().filter(|b| self.dataset.owner_of(**b) == i).count();
                 let input = datacyclotron::bidding::BidInput {
                     local_fragments: local,
                     total_fragments: needs.len(),
@@ -587,9 +602,8 @@ impl RingSim {
         let Some(waiters) = self.blocked.remove(&(node, header.bat.0)) else {
             return;
         };
-        let (served, kept): (Vec<_>, Vec<_>) = waiters
-            .into_iter()
-            .partition(|&(q, _)| queries.contains(&QueryId(q as u64)));
+        let (served, kept): (Vec<_>, Vec<_>) =
+            waiters.into_iter().partition(|&(q, _)| queries.contains(&QueryId(q as u64)));
         if !kept.is_empty() {
             self.blocked.insert((node, header.bat.0), kept);
         }
@@ -597,8 +611,7 @@ impl RingSim {
             let spec = self.queries[q].clone();
             match &spec.model {
                 ExecModel::PerBat { proc } => {
-                    self.events
-                        .schedule(now + proc[need_idx], Ev::ProcDone { q, need_idx });
+                    self.events.schedule(now + proc[need_idx], Ev::ProcDone { q, need_idx });
                 }
                 ExecModel::PinSchedule { segments } => {
                     // The pin at `need_idx` unblocked: run the next segment.
@@ -652,12 +665,7 @@ impl RingSim {
                 self.m.failed = self.failed;
             }
         }
-        self.m.makespan = self
-            .m
-            .lifetimes
-            .iter()
-            .map(|&(a, l, _)| a + l)
-            .fold(0.0, f64::max);
+        self.m.makespan = self.m.lifetimes.iter().map(|&(a, l, _)| a + l).fold(0.0, f64::max);
 
         // Per-BAT owner tallies.
         let n_bats = self.dataset.len();
@@ -850,9 +858,7 @@ mod tests {
         // few cycles (tens of milliseconds) after interest fades.
         let mut params = small_params();
         params.sample = SimDuration::from_millis(20);
-        let m = RingSim::new(nodes, ds, qs, params)
-            .with_bat_tagger(|b| Some(b.0 % 2))
-            .run();
+        let m = RingSim::new(nodes, ds, qs, params).with_bat_tagger(|b| Some(b.0 % 2)).run();
         assert!(m.ring_bytes_by_tag.contains_key(&0));
         assert!(m.ring_bytes_by_tag.contains_key(&1));
     }
@@ -903,8 +909,8 @@ mod tests {
             33,
         );
         let total = qs.len();
-        let sim = RingSim::new(nodes, ds, qs, small_params())
-            .with_growth(&[SimTime::from_millis(500)]);
+        let sim =
+            RingSim::new(nodes, ds, qs, small_params()).with_growth(&[SimTime::from_millis(500)]);
         let m = sim.run();
         assert_eq!(m.completed, total);
         // The joined node sits on the data path 2→0, so it must have
@@ -930,9 +936,8 @@ mod tests {
             21,
         );
         let total = qs.len();
-        let m = RingSim::new(nodes, ds, qs, small_params())
-            .with_split(SplitParams::default())
-            .run();
+        let m =
+            RingSim::new(nodes, ds, qs, small_params()).with_split(SplitParams::default()).run();
         // Exactly one lifetime per parent, never per part.
         assert_eq!(m.completed, total, "failed={}", m.failed);
         assert_eq!(m.lifetimes.len(), total);
@@ -957,9 +962,8 @@ mod tests {
             23,
         );
         let unsplit = RingSim::new(nodes, ds.clone(), qs.clone(), small_params()).run();
-        let split = RingSim::new(nodes, ds, qs, small_params())
-            .with_split(SplitParams::default())
-            .run();
+        let split =
+            RingSim::new(nodes, ds, qs, small_params()).with_split(SplitParams::default()).run();
         assert_eq!(unsplit.completed, split.completed);
         // Owner-affine parts pin locally: fewer fragments ever need the
         // ring. (The micro workload requests remote BATs only, so the
@@ -984,9 +988,7 @@ mod tests {
             arrival: SimTime::ZERO,
             node: 0,
             needs: vec![BatId(0), BatId(1)],
-            model: ExecModel::PerBat {
-                proc: vec![SimDuration::from_millis(100); 2],
-            },
+            model: ExecModel::PerBat { proc: vec![SimDuration::from_millis(100); 2] },
             tag: 0,
         };
         let merge = SimDuration::from_millis(40);
@@ -1035,9 +1037,7 @@ mod tests {
                 nodes,
                 11,
             );
-            RingSim::new(nodes, ds, qs, small_params())
-                .with_split(SplitParams::default())
-                .run()
+            RingSim::new(nodes, ds, qs, small_params()).with_split(SplitParams::default()).run()
         };
         let (a, b) = (mk(), mk());
         assert_eq!(a.lifetimes, b.lifetimes);

@@ -70,7 +70,12 @@ impl AsciiTable {
 
 /// Render a time series as a coarse ASCII plot (terminal "figure"),
 /// `width` columns by `height` rows, plus axis annotations.
-pub fn ascii_plot(title: &str, series: &[(&str, &TimeSeries)], width: usize, height: usize) -> String {
+pub fn ascii_plot(
+    title: &str,
+    series: &[(&str, &TimeSeries)],
+    width: usize,
+    height: usize,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "── {title} ──");
     let (mut tmax, mut vmax) = (0.0f64, 0.0f64);

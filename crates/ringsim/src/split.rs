@@ -199,8 +199,11 @@ mod tests {
     fn max_parts_folds_smallest_groups() {
         let q = per_bat(vec![BatId(0), BatId(2), BatId(4), BatId(1)]);
         // 3 owner groups → capped at 2.
-        let (parts, map) =
-            split_queries(std::slice::from_ref(&q), &dataset(), &SplitParams { max_parts: 2, ..Default::default() });
+        let (parts, map) = split_queries(
+            std::slice::from_ref(&q),
+            &dataset(),
+            &SplitParams { max_parts: 2, ..Default::default() },
+        );
         assert_eq!(parts.len(), 2);
         assert_eq!(map.parts_of_parent, vec![2]);
         // Needs are preserved as a multiset.

@@ -64,7 +64,10 @@ impl AggFn {
 pub enum SelectItem {
     Col(ColRef),
     /// `COUNT(*)` or `AGG(col)`.
-    Agg { f: AggFn, col: Option<ColRef> },
+    Agg {
+        f: AggFn,
+        col: Option<ColRef>,
+    },
 }
 
 /// `ORDER BY key [DESC]`.

@@ -132,12 +132,7 @@ impl<'a> Compiler<'a> {
         let v = self.g.emit(
             "sql",
             "bind",
-            vec![
-                Gen::cstr(&tref.schema),
-                Gen::cstr(&tref.table),
-                Gen::cstr(column),
-                Gen::cint(0),
-            ],
+            vec![Gen::cstr(&tref.schema), Gen::cstr(&tref.table), Gen::cstr(column), Gen::cint(0)],
         );
         self.tables[ti].bound.insert(column.to_string(), v);
         Ok(v)
@@ -216,8 +211,11 @@ impl<'a> Compiler<'a> {
             let rowmap = match self.tables[ti].selection {
                 Some(sel) => {
                     // (oid→val) → markT → (oid→res) → reverse → (res→oid)
-                    let marked =
-                        self.g.emit("algebra", "markT", vec![Arg::Var(sel), Arg::Const(Const::Oid(0))]);
+                    let marked = self.g.emit(
+                        "algebra",
+                        "markT",
+                        vec![Arg::Var(sel), Arg::Const(Const::Oid(0))],
+                    );
                     self.g.emit("bat", "reverse", vec![Arg::Var(marked)])
                 }
                 None => {
@@ -507,10 +505,7 @@ fn compile_aggregate_outputs(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>
         for item in &q.select {
             match item {
                 SelectItem::Col(colref) => {
-                    return Err(err(format!(
-                        "column '{}' must appear in GROUP BY",
-                        colref.column
-                    )))
+                    return Err(err(format!("column '{}' must appear in GROUP BY", colref.column)))
                 }
                 SelectItem::Agg { f, col } => {
                     let (scalar, name, ty) = match col {
@@ -521,8 +516,7 @@ fn compile_aggregate_outputs(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>
                         }
                         None => {
                             // COUNT(*): count over any row map.
-                            let rowmap =
-                                c.tables[0].rowmap.expect("rowmaps built");
+                            let rowmap = c.tables[0].rowmap.expect("rowmaps built");
                             let s = c.g.emit("aggr", "count", vec![Arg::Var(rowmap)]);
                             (s, "count".to_string(), None)
                         }
@@ -557,10 +551,7 @@ fn compile_aggregate_outputs(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>
         match item {
             SelectItem::Col(colref) => {
                 if colref.column != key.column {
-                    return Err(err(format!(
-                        "column '{}' must appear in GROUP BY",
-                        colref.column
-                    )));
+                    return Err(err(format!("column '{}' must appear in GROUP BY", colref.column)));
                 }
                 outs.push(OutCol {
                     var: ext,
@@ -570,9 +561,7 @@ fn compile_aggregate_outputs(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>
                 });
             }
             SelectItem::Agg { f: AggFn::Count, col: None } => {
-                let v = c
-                    .g
-                    .emit("aggr", "countFor", vec![Arg::Var(grp), Arg::Var(ngroups)]);
+                let v = c.g.emit("aggr", "countFor", vec![Arg::Var(grp), Arg::Var(ngroups)]);
                 outs.push(OutCol {
                     var: v,
                     table_label: "sys".into(),
@@ -583,11 +572,8 @@ fn compile_aggregate_outputs(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>
             SelectItem::Agg { f, col: Some(colref) } => {
                 let (vals, ty, _) = c.project(colref)?;
                 let func = format!("{}For", f.name());
-                let v = c.g.emit(
-                    "aggr",
-                    &func,
-                    vec![Arg::Var(vals), Arg::Var(grp), Arg::Var(ngroups)],
-                );
+                let v =
+                    c.g.emit("aggr", &func, vec![Arg::Var(vals), Arg::Var(grp), Arg::Var(ngroups)]);
                 outs.push(OutCol {
                     var: v,
                     table_label: "sys".into(),
@@ -643,10 +629,7 @@ fn compile_multi_group_by(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>) -
                 let Some((name, v, ty, label)) =
                     key_cols.iter().find(|(n, ..)| *n == colref.column)
                 else {
-                    return Err(err(format!(
-                        "column '{}' must appear in GROUP BY",
-                        colref.column
-                    )));
+                    return Err(err(format!("column '{}' must appear in GROUP BY", colref.column)));
                 };
                 // ext maps group → representative row; join re-projects
                 // the key value per group.
@@ -670,11 +653,8 @@ fn compile_multi_group_by(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>) -
             SelectItem::Agg { f, col: Some(colref) } => {
                 let (vals, ty, _) = c.project(colref)?;
                 let func = format!("{}For", f.name());
-                let v = c.g.emit(
-                    "aggr",
-                    &func,
-                    vec![Arg::Var(vals), Arg::Var(grp), Arg::Var(ngroups)],
-                );
+                let v =
+                    c.g.emit("aggr", &func, vec![Arg::Var(vals), Arg::Var(grp), Arg::Var(ngroups)]);
                 outs.push(OutCol {
                     var: v,
                     table_label: "sys".into(),
@@ -693,10 +673,9 @@ fn compile_multi_group_by(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>) -
 fn apply_order_limit(c: &mut Compiler, q: &Query, outs: &mut [OutCol]) -> Result<()> {
     if let Some(order) = &q.order_by {
         // The sort key must be one of the produced output columns.
-        let key_pos = outs
-            .iter()
-            .position(|o| o.name == order.col.column)
-            .ok_or_else(|| err(format!("ORDER BY column '{}' not in select list", order.col.column)))?;
+        let key_pos = outs.iter().position(|o| o.name == order.col.column).ok_or_else(|| {
+            err(format!("ORDER BY column '{}' not in select list", order.col.column))
+        })?;
         let sort_fn = if order.descending { "sortReverseTail" } else { "sortTail" };
         let sorted = c.g.emit("algebra", sort_fn, vec![Arg::Var(outs[key_pos].var)]);
         // (newpos → oldpos): reverse(markT(sorted)).
@@ -710,11 +689,8 @@ fn apply_order_limit(c: &mut Compiler, q: &Query, outs: &mut [OutCol]) -> Result
     if let Some(n) = q.limit {
         let hi = n.saturating_sub(1) as i64;
         for o in outs.iter_mut() {
-            o.var = c.g.emit(
-                "algebra",
-                "slice",
-                vec![Arg::Var(o.var), Gen::cint(0), Gen::cint(hi)],
-            );
+            o.var =
+                c.g.emit("algebra", "slice", vec![Arg::Var(o.var), Gen::cint(0), Gen::cint(hi)]);
         }
     }
     Ok(())
@@ -738,7 +714,12 @@ mod tests {
         let mut catalog = Catalog::new();
         let mut store = BatStore::new();
         catalog
-            .create_table_columnar(&mut store, "sys", "t", vec![("id", Column::from(vec![1, 2, 3]))])
+            .create_table_columnar(
+                &mut store,
+                "sys",
+                "t",
+                vec![("id", Column::from(vec![1, 2, 3]))],
+            )
             .unwrap();
         catalog
             .create_table_columnar(
@@ -784,13 +765,18 @@ mod tests {
     #[test]
     fn plan_uses_paper_idiom() {
         let (catalog, _) = setup();
-        let prog =
-            compile_sql("select c.t_id from t, c where c.t_id = t.id", &catalog).unwrap();
-        let names: Vec<String> =
-            prog.instrs.iter().map(|i| i.qualified_name()).collect();
-        for needed in
-            ["sql.bind", "bat.reverse", "algebra.join", "algebra.markT", "sql.resultSet", "sql.rsCol", "io.stdout", "sql.exportResult"]
-        {
+        let prog = compile_sql("select c.t_id from t, c where c.t_id = t.id", &catalog).unwrap();
+        let names: Vec<String> = prog.instrs.iter().map(|i| i.qualified_name()).collect();
+        for needed in [
+            "sql.bind",
+            "bat.reverse",
+            "algebra.join",
+            "algebra.markT",
+            "sql.resultSet",
+            "sql.rsCol",
+            "io.stdout",
+            "sql.exportResult",
+        ] {
             assert!(names.iter().any(|n| n == needed), "plan lacks {needed}:\n{prog}");
         }
     }
@@ -825,8 +811,7 @@ mod tests {
 
     #[test]
     fn join_with_filter_on_other_table() {
-        let out =
-            run("select c.amount from t, c where c.t_id = t.id and t.id >= 3");
+        let out = run("select c.amount from t, c where c.t_id = t.id and t.id >= 3");
         assert!(out.contains("[ 30 ]"), "{out}");
         assert!(!out.contains("[ 10 ]") && !out.contains("[ 20 ]"), "{out}");
     }
@@ -878,8 +863,8 @@ mod tests {
     #[test]
     fn dc_optimizer_applies_to_generated_plans() {
         let (catalog, store) = setup();
-        let prog = crate::compile_sql_dc("select c.t_id from t, c where c.t_id = t.id", &catalog)
-            .unwrap();
+        let prog =
+            crate::compile_sql_dc("select c.t_id from t, c where c.t_id = t.id", &catalog).unwrap();
         assert!(prog.instrs[0].is("datacyclotron", "request"), "{prog}");
         assert!(prog.instrs.iter().any(|i| i.is("datacyclotron", "pin")));
         assert!(prog.instrs.iter().any(|i| i.is("datacyclotron", "unpin")));
@@ -895,8 +880,8 @@ mod tests {
         for bad in [
             "select x from nope",
             "select ghost from t",
-            "select id from t, c",                       // cross product
-            "select region from sales group by region",  // group-by without aggregates
+            "select id from t, c",                      // cross product
+            "select region from sales group by region", // group-by without aggregates
             "select amount, sum(amount) from sales group by region", // non-key column
             "select id from t order by ghost",
         ] {
@@ -907,7 +892,10 @@ mod tests {
     #[test]
     fn in_list_predicate() {
         let out = run("select amount from c where t_id in (2, 9)");
-        assert!(out.contains("[ 10 ]") && out.contains("[ 20 ]") && out.contains("[ 40 ]"), "{out}");
+        assert!(
+            out.contains("[ 10 ]") && out.contains("[ 20 ]") && out.contains("[ 40 ]"),
+            "{out}"
+        );
         assert!(!out.contains("[ 30 ]"), "{out}");
     }
 
@@ -963,13 +951,9 @@ mod tests {
                 ],
             )
             .unwrap();
-        let prog =
-            compile_sql("select a, b, sum(v), count(*) from pairs group by a, b", &catalog2)
-                .unwrap();
-        let ctx = SessionCtx::new(
-            Arc::new(RwLock::new(catalog2)),
-            Arc::new(RwLock::new(store2)),
-        );
+        let prog = compile_sql("select a, b, sum(v), count(*) from pairs group by a, b", &catalog2)
+            .unwrap();
+        let ctx = SessionCtx::new(Arc::new(RwLock::new(catalog2)), Arc::new(RwLock::new(store2)));
         run_sequential(&prog, &ctx).unwrap();
         let out = ctx.take_output();
         let lines: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
@@ -985,10 +969,7 @@ mod tests {
     fn ambiguous_bare_column_rejected() {
         let (catalog, _) = setup();
         // `amount` exists in both c and sales.
-        assert!(compile_sql(
-            "select amount from c, sales where c.amount = sales.amount",
-            &catalog
-        )
-        .is_err());
+        assert!(compile_sql("select amount from c, sales where c.amount = sales.amount", &catalog)
+            .is_err());
     }
 }

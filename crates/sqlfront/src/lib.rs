@@ -27,10 +27,7 @@ pub use parser::parse_query;
 use mal::{MalError, Result};
 
 /// Convenience: parse + compile + CSE + DC-optimize in one call.
-pub fn compile_sql_dc(
-    sql: &str,
-    catalog: &batstore::Catalog,
-) -> Result<mal::Program> {
+pub fn compile_sql_dc(sql: &str, catalog: &batstore::Catalog) -> Result<mal::Program> {
     let plan = compile_sql(sql, catalog)?;
     let plan = mal::common_subexpression_eliminate(&plan);
     Ok(mal::dc_optimize(&plan))

@@ -336,10 +336,7 @@ pub fn parse_query(sql: &str) -> Result<Query> {
 
     if p.eat_kw("limit") {
         match p.next()? {
-            Tok::Num(s) => {
-                q.limit =
-                    Some(s.parse().map_err(|e| err(format!("bad limit: {e}")))?)
-            }
+            Tok::Num(s) => q.limit = Some(s.parse().map_err(|e| err(format!("bad limit: {e}")))?),
             other => return Err(err(format!("expected number after LIMIT, got {other:?}"))),
         }
     }
@@ -366,10 +363,8 @@ mod tests {
 
     #[test]
     fn filters_and_between() {
-        let q = parse_query(
-            "select a from t where a >= 10 and b = 'x' and c between 1 and 5",
-        )
-        .unwrap();
+        let q =
+            parse_query("select a from t where a >= 10 and b = 'x' and c between 1 and 5").unwrap();
         assert_eq!(q.predicates.len(), 3);
         assert!(matches!(&q.predicates[0], Predicate::Cmp { op, .. } if op == ">="));
         assert!(matches!(&q.predicates[1], Predicate::Cmp { lit: Val::Str(_), .. }));
@@ -378,10 +373,8 @@ mod tests {
 
     #[test]
     fn aggregates_and_group_by() {
-        let q = parse_query(
-            "select region, sum(amount), count(*) from sales group by region",
-        )
-        .unwrap();
+        let q =
+            parse_query("select region, sum(amount), count(*) from sales group by region").unwrap();
         assert_eq!(q.select.len(), 3);
         assert!(matches!(q.select[1], SelectItem::Agg { f: AggFn::Sum, col: Some(_) }));
         assert!(matches!(q.select[2], SelectItem::Agg { f: AggFn::Count, col: None }));
@@ -419,7 +412,7 @@ mod tests {
         assert!(parse_query("select a from t where 'oops").is_err());
         assert!(parse_query("select a from t limit x").is_err());
         assert!(parse_query("select a from t extra junk??").is_err());
-        assert!(parse_query("select a from t where a < b", ).is_err(), "non-equi column cmp");
+        assert!(parse_query("select a from t where a < b",).is_err(), "non-equi column cmp");
     }
 
     #[test]

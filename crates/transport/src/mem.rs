@@ -88,9 +88,7 @@ mod tests {
     #[test]
     fn requests_flow_anticlockwise() {
         let nodes = ring(3);
-        nodes[0]
-            .send_request(DcMsg::Request(ReqMsg { origin: NodeId(0), bat: BatId(9) }))
-            .unwrap();
+        nodes[0].send_request(DcMsg::Request(ReqMsg { origin: NodeId(0), bat: BatId(9) })).unwrap();
         match nodes[2].recv().unwrap() {
             DcMsg::Request(r) => assert_eq!(r.bat, BatId(9)),
             other => panic!("{other:?}"),

@@ -96,11 +96,12 @@ pub fn join_ring(addrs: &[SocketAddr], me: usize) -> Result<TcpNode, TransportEr
 
     // Dial in a helper thread so we can accept concurrently (avoids the
     // deadlock where every node dials before anyone accepts).
-    let dial_handle = std::thread::spawn(move || -> Result<(TcpStream, TcpStream), TransportError> {
-        let data_out = dial(succ, b'D')?;
-        let req_out = dial(pred, b'R')?;
-        Ok((data_out, req_out))
-    });
+    let dial_handle =
+        std::thread::spawn(move || -> Result<(TcpStream, TcpStream), TransportError> {
+            let data_out = dial(succ, b'D')?;
+            let req_out = dial(pred, b'R')?;
+            Ok((data_out, req_out))
+        });
 
     // Accept our two inbound streams.
     let (tx, inbox) = unbounded::<DcMsg>();
@@ -136,8 +137,7 @@ pub fn join_ring(addrs: &[SocketAddr], me: usize) -> Result<TcpNode, TransportEr
         }));
     }
 
-    let (data_out, req_out) =
-        dial_handle.join().map_err(|_| TransportError::Disconnected)??;
+    let (data_out, req_out) = dial_handle.join().map_err(|_| TransportError::Disconnected)??;
     Ok(TcpNode {
         data_out: Mutex::new(data_out),
         req_out: Mutex::new(req_out),
@@ -263,9 +263,7 @@ mod tests {
         }
 
         // Requests anti-clockwise: 0 → 2.
-        nodes[0]
-            .send_request(DcMsg::Request(ReqMsg { origin: NodeId(0), bat: BatId(5) }))
-            .unwrap();
+        nodes[0].send_request(DcMsg::Request(ReqMsg { origin: NodeId(0), bat: BatId(5) })).unwrap();
         match nodes[2].recv().unwrap() {
             DcMsg::Request(r) => assert_eq!(r.origin, NodeId(0)),
             other => panic!("{other:?}"),

@@ -59,7 +59,8 @@ impl Dataset {
     ) -> Dataset {
         assert!(n_bats > 0 && nodes > 0 && hi >= lo && lo > 0);
         let mut rng = DetRng::new(seed);
-        let raw: Vec<f64> = (0..n_bats).map(|_| rng.uniform_f64(lo as f64, hi as f64 + 1.0)).collect();
+        let raw: Vec<f64> =
+            (0..n_bats).map(|_| rng.uniform_f64(lo as f64, hi as f64 + 1.0)).collect();
         let raw_total: f64 = raw.iter().sum();
         let scale = total_bytes as f64 / raw_total;
         let sizes: Vec<u64> = raw.iter().map(|&s| (s * scale).round().max(1.0) as u64).collect();
@@ -80,10 +81,7 @@ impl Dataset {
     /// BATs not owned by `node` (the paper's workloads access remote
     /// BATs only).
     pub fn remote_bats(&self, node: usize) -> Vec<BatId> {
-        (0..self.len() as u32)
-            .filter(|&i| self.owners[i as usize] != node)
-            .map(BatId)
-            .collect()
+        (0..self.len() as u32).filter(|&i| self.owners[i as usize] != node).map(BatId).collect()
     }
 }
 
@@ -111,10 +109,7 @@ mod tests {
             per_node[d.owners[i]] += d.sizes[i];
         }
         for (n, &bytes) in per_node.iter().enumerate() {
-            assert!(
-                (500_000_000..1_200_000_000).contains(&bytes),
-                "node {n} owns {bytes}"
-            );
+            assert!((500_000_000..1_200_000_000).contains(&bytes), "node {n} owns {bytes}");
         }
     }
 

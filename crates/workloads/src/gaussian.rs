@@ -48,8 +48,8 @@ pub fn generate(
             if t >= params.base.duration.as_secs_f64() {
                 break;
             }
-            let k = rng.uniform_u64(params.base.min_bats as u64, params.base.max_bats as u64)
-                as usize;
+            let k =
+                rng.uniform_u64(params.base.min_bats as u64, params.base.max_bats as u64) as usize;
             let mut needs = Vec::with_capacity(k);
             let mut proc = Vec::with_capacity(k);
             for _ in 0..k {
@@ -111,11 +111,7 @@ mod tests {
     fn unpopular_bats_rarely_touched() {
         let d = Dataset::paper_8gb(10, 1);
         let qs = generate(&GaussianParams::default(), &d, 10, 3);
-        let far = qs
-            .iter()
-            .flat_map(|q| &q.needs)
-            .filter(|b| b.0 < 200 || b.0 > 800)
-            .count();
+        let far = qs.iter().flat_map(|q| &q.needs).filter(|b| b.0 < 200 || b.0 > 800).count();
         let total: usize = qs.iter().map(|q| q.needs.len()).sum();
         assert!((far as f64) / (total as f64) < 0.001, "far fraction too high");
     }

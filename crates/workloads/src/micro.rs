@@ -37,7 +37,12 @@ impl Default for MicroParams {
 /// Generate the workload for an `nodes`-node ring over `dataset`.
 /// Queries access remote BATs only (§5: "we are primarily interested in
 /// the adaptive behavior of the ring structure itself").
-pub fn generate(params: &MicroParams, dataset: &Dataset, nodes: usize, seed: u64) -> Vec<QuerySpec> {
+pub fn generate(
+    params: &MicroParams,
+    dataset: &Dataset,
+    nodes: usize,
+    seed: u64,
+) -> Vec<QuerySpec> {
     let mut rng = DetRng::new(seed);
     let remote: Vec<Vec<datacyclotron::BatId>> =
         (0..nodes).map(|n| dataset.remote_bats(n)).collect();
@@ -55,10 +60,9 @@ pub fn generate(params: &MicroParams, dataset: &Dataset, nodes: usize, seed: u64
             let mut proc = Vec::with_capacity(k);
             for _ in 0..k {
                 needs.push(pool[rng.index(pool.len())]);
-                proc.push(SimDuration::from_secs_f64(rng.uniform_f64(
-                    params.min_proc.as_secs_f64(),
-                    params.max_proc.as_secs_f64(),
-                )));
+                proc.push(SimDuration::from_secs_f64(
+                    rng.uniform_f64(params.min_proc.as_secs_f64(), params.max_proc.as_secs_f64()),
+                ));
             }
             out.push(QuerySpec {
                 arrival: SimTime::from_secs_f64(t),

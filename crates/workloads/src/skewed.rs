@@ -61,8 +61,7 @@ pub fn wave_data(dataset_len: usize, skew: u32) -> Vec<BatId> {
 pub fn disjoint_hot_set(dataset_len: usize, skew: u32, all_skews: &[u32]) -> Vec<BatId> {
     (0..dataset_len as u32)
         .filter(|id| {
-            id % skew == 0
-                && all_skews.iter().all(|&other| other == skew || id % other != 0)
+            id % skew == 0 && all_skews.iter().all(|&other| other == skew || id % other != 0)
         })
         .map(BatId)
         .collect()
@@ -200,9 +199,7 @@ mod tests {
         // At t=20s both SW1 and SW2 are active.
         let active: Vec<u32> = qs
             .iter()
-            .filter(|q| {
-                q.arrival >= SimTime::from_secs(19) && q.arrival <= SimTime::from_secs(21)
-            })
+            .filter(|q| q.arrival >= SimTime::from_secs(19) && q.arrival <= SimTime::from_secs(21))
             .map(|q| q.tag)
             .collect();
         assert!(active.contains(&0) && active.contains(&1));

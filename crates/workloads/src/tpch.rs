@@ -581,13 +581,7 @@ pub fn generate(params: &TpchParams, nodes: usize, seed: u64) -> TpchWorkload {
     }
     queries.sort_by_key(|q| (q.arrival, q.node));
 
-    TpchWorkload {
-        dataset,
-        queries,
-        fragment_names: names,
-        class_frags,
-        class_work,
-    }
+    TpchWorkload { dataset, queries, fragment_names: names, class_frags, class_work }
 }
 
 /// Split total work into `k + 1` operator segments: a short prefix before
@@ -648,17 +642,10 @@ mod tests {
     #[test]
     fn work_mix_hits_the_paper_anchor() {
         let w = generate(&TpchParams::default(), 1, 1);
-        let total: f64 = w
-            .queries
-            .iter()
-            .map(|q| q.net_work().as_secs_f64())
-            .sum();
+        let total: f64 = w.queries.iter().map(|q| q.net_work().as_secs_f64()).sum();
         // 1200 queries ≈ 1260 core-seconds → 315 s on 4 perfect cores.
         let per_query = total / w.queries.len() as f64;
-        assert!(
-            (per_query - TARGET_MEAN_CORE_SECONDS).abs() < 0.15,
-            "mean work {per_query}"
-        );
+        assert!((per_query - TARGET_MEAN_CORE_SECONDS).abs() < 0.15, "mean work {per_query}");
     }
 
     #[test]

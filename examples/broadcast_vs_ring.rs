@@ -42,8 +42,12 @@ fn main() {
         NODES,
         17,
     );
-    println!("{} queries over {} fragments ({} MB total)\n", queries.len(), dataset.len(),
-        dataset.total_bytes() >> 20);
+    println!(
+        "{} queries over {} fragments ({} MB total)\n",
+        queries.len(),
+        dataset.len(),
+        dataset.total_bytes() >> 20
+    );
 
     // 1. The Data Cyclotron ring.
     let ring = RingSim::new(
@@ -83,8 +87,7 @@ fn main() {
     .run();
 
     // 4. Pull-based on-demand broadcast with request consolidation.
-    let pull =
-        OnDemandSim::new(dataset, queries, ChannelConfig::default(), PullPolicy::Mrf).run();
+    let pull = OnDemandSim::new(dataset, queries, ChannelConfig::default(), PullPolicy::Mrf).run();
 
     println!("{:<28} {:>10} {:>10} {:>12}", "system", "mean (s)", "p95 (s)", "channel (GB)");
     for (name, mean, p95, gb) in [

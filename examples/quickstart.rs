@@ -17,8 +17,7 @@ fn main() {
 
     // 2. Load the paper's example schema; fragments are assigned to
     //    owners round-robin, exactly like the paper's startup placement.
-    ring.load_table("sys", "t", vec![("id", Column::from(vec![1, 2, 3]))])
-        .expect("load t");
+    ring.load_table("sys", "t", vec![("id", Column::from(vec![1, 2, 3]))]).expect("load t");
     ring.load_table(
         "sys",
         "c",
@@ -38,9 +37,7 @@ fn main() {
     // 4. Queries settle anywhere — run from every node and from the
     //    node the §6.1 bidding would pick.
     for node in 0..3 {
-        let out = ring
-            .submit_sql(node, "select amount from c where amount >= 30")
-            .expect("query");
+        let out = ring.submit_sql(node, "select amount from c where amount >= 30").expect("query");
         let rows: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
         println!("node {node}: {rows:?}");
     }

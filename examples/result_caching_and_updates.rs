@@ -72,7 +72,9 @@ fn main() {
 
     match versions.admit_read(base, v, true) {
         ReadAdmission::Serve { version, stale } => {
-            println!("the freshness-requiring read proceeds on version {version} (stale = {stale})");
+            println!(
+                "the freshness-requiring read proceeds on version {version} (stale = {stale})"
+            );
         }
         ReadAdmission::WaitForNewVersion => unreachable!(),
     }

@@ -27,7 +27,10 @@ fn main() {
     let queries = micro::generate(&params, &dataset, nodes, 7);
     println!("workload: {} queries, 1–5 remote BATs each\n", queries.len());
 
-    println!("{:>6} {:>10} {:>12} {:>12} {:>10}", "LOIT", "finished", "mean life", "p95 life", "unloads");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>10}",
+        "LOIT", "finished", "mean life", "p95 life", "unloads"
+    );
     for loit in [0.1, 0.5, 1.1] {
         let m = RingSim::new(
             nodes,

@@ -30,18 +30,9 @@ fn main() {
     println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "t(s)", "SW1", "SW2", "SW3", "SW4");
     for t in (0..=100).step_by(10) {
         let at = |tag: u32| {
-            m.finished_by_tag
-                .get(&tag)
-                .and_then(|s| s.value_at(t as f64))
-                .unwrap_or(0.0)
+            m.finished_by_tag.get(&tag).and_then(|s| s.value_at(t as f64)).unwrap_or(0.0)
         };
-        println!(
-            "{t:>6} {:>8.0} {:>8.0} {:>8.0} {:>8.0}",
-            at(0),
-            at(1),
-            at(2),
-            at(3)
-        );
+        println!("{t:>6} {:>8.0} {:>8.0} {:>8.0} {:>8.0}", at(0), at(1), at(2), at(3));
     }
     println!("\nEach wave ramps shortly after its Table-3 start time; earlier");
     println!("waves keep completing while the ring re-populates (§5.2).");

@@ -12,10 +12,10 @@
 //! ```
 
 use batstore::{storage, Bat, Column};
+use datacyclotron::DcMsg;
 use datacyclotron::{BatId, DcConfig, DcNode, Effect, NodeId, PinOutcome, QueryId};
 use dc_transport::tcp::join_ring;
 use dc_transport::RingTransport;
-use datacyclotron::DcMsg;
 use netsim::SimTime;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::mpsc;

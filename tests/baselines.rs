@@ -181,13 +181,9 @@ fn pull_wins_light_load_and_converges_at_saturation() {
     // Light load: a handful of queries on an idle server — pull answers
     // in item-transmission time, push pays the cycle.
     let light = uniform_queries(0.2, 5, 17);
-    let pull_light = OnDemandSim::new(
-        dataset(),
-        light.clone(),
-        ChannelConfig::default(),
-        PullPolicy::Fcfs,
-    )
-    .run();
+    let pull_light =
+        OnDemandSim::new(dataset(), light.clone(), ChannelConfig::default(), PullPolicy::Fcfs)
+            .run();
     let push_light = BroadcastSim::new(
         Schedule::flat(&all_items()).unwrap(),
         dataset(),
@@ -206,13 +202,9 @@ fn pull_wins_light_load_and_converges_at_saturation() {
     // the backlog at the database size and pull degenerates into a full
     // broadcast cycle, matching push within a small factor ([2]).
     let heavy = uniform_queries(120.0, 5, 19);
-    let pull_heavy = OnDemandSim::new(
-        dataset(),
-        heavy.clone(),
-        ChannelConfig::default(),
-        PullPolicy::Fcfs,
-    )
-    .run();
+    let pull_heavy =
+        OnDemandSim::new(dataset(), heavy.clone(), ChannelConfig::default(), PullPolicy::Fcfs)
+            .run();
     let push_heavy = BroadcastSim::new(
         Schedule::flat(&all_items()).unwrap(),
         dataset(),

@@ -12,8 +12,7 @@ fn result_rows(out: &str) -> Vec<String> {
 
 fn sales_columns() -> Vec<(&'static str, Column)> {
     let n = 200;
-    let regions: Vec<&str> =
-        (0..n).map(|i| ["eu", "us", "ap", "af"][i % 4]).collect();
+    let regions: Vec<&str> = (0..n).map(|i| ["eu", "us", "ap", "af"][i % 4]).collect();
     let amounts: Vec<i32> = (0..n).map(|i| ((i * 37) % 100) as i32).collect();
     let keys: Vec<i32> = (0..n as i32).collect();
     vec![
@@ -28,7 +27,9 @@ fn dims_columns() -> Vec<(&'static str, Column)> {
         ("k", Column::from((0..200).collect::<Vec<_>>())),
         (
             "label",
-            Column::from((0..200).map(|i| if i % 2 == 0 { "even" } else { "odd" }).collect::<Vec<_>>()),
+            Column::from(
+                (0..200).map(|i| if i % 2 == 0 { "even" } else { "odd" }).collect::<Vec<_>>(),
+            ),
         ),
     ]
 }

@@ -96,10 +96,7 @@ fn update_lifecycle_with_concurrent_readers() {
     assert!(matches!(vt.begin_update(bat, NodeId(3)), UpdateAdmission::Granted { .. }));
 
     // A concurrent updater on another node must wait for the controller.
-    assert_eq!(
-        vt.begin_update(bat, NodeId(5)),
-        UpdateAdmission::Busy { controller: NodeId(3) }
-    );
+    assert_eq!(vt.begin_update(bat, NodeId(5)), UpdateAdmission::Busy { controller: NodeId(3) });
 
     // Relaxed readers keep using the flowing old version (flagged stale);
     // strict readers wait.

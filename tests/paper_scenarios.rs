@@ -79,10 +79,7 @@ fn fig8_adaptation_to_skewed_waves() {
     // 15 s start.
     let sw2 = m.ring_bytes_by_tag.get(&1).expect("sw2 tracked");
     let first = sw2.points.iter().find(|&&(_, v)| v > 0.0).map(|&(t, _)| t).unwrap();
-    assert!(
-        (14.0..30.0).contains(&first),
-        "SW2 hot set appeared at {first}s (wave starts at 15s)"
-    );
+    assert!((14.0..30.0).contains(&first), "SW2 hot set appeared at {first}s (wave starts at 15s)");
 
     // Post-workload change: SW1 queries keep finishing after SW2 starts.
     let sw1_late = m.lifetimes.iter().filter(|&&(a, l, tag)| tag == 0 && a + l > 15.0).count();
@@ -130,8 +127,7 @@ fn fig9_gaussian_population_behavior() {
     // the ring); standard BATs cycle in and out more.
     let vogue_loads_per_touch = avg(350..600, &m.bat_loads) / vogue_touch.max(1.0);
     let std_touch = (avg(250..350, &m.bat_touches) + avg(600..700, &m.bat_touches)) / 2.0;
-    let std_loads =
-        (avg(250..350, &m.bat_loads) + avg(600..700, &m.bat_loads)) / 2.0;
+    let std_loads = (avg(250..350, &m.bat_loads) + avg(600..700, &m.bat_loads)) / 2.0;
     let std_loads_per_touch = std_loads / std_touch.max(1.0);
     assert!(
         vogue_loads_per_touch < std_loads_per_touch,
@@ -179,9 +175,8 @@ fn fig10_11_bigger_ring_longer_bat_lives() {
         assert_eq!(m.failed, 0, "{} nodes failed queries", p.nodes);
         results.push((p.nodes, m));
     }
-    let vogue_cycles = |m: &Measurements| -> u32 {
-        (350..600).map(|b| m.bat_max_cycles[b]).max().unwrap_or(0)
-    };
+    let vogue_cycles =
+        |m: &Measurements| -> u32 { (350..600).map(|b| m.bat_max_cycles[b]).max().unwrap_or(0) };
     let (small, big) = (&results[0].1, &results[1].1);
     // Fig 11: with more ring capacity, in-vogue BATs survive more cycles.
     assert!(

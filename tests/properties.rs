@@ -6,7 +6,9 @@
 use batstore::{ops, Bat, Column, Val};
 use bytes::Bytes;
 use datacyclotron::msg::BatHeader;
-use datacyclotron::{decode, encode, new_loi, BatId, DcConfig, DcMsg, DcNode, NodeId, QueryId, ReqMsg};
+use datacyclotron::{
+    decode, encode, new_loi, BatId, DcConfig, DcMsg, DcNode, NodeId, QueryId, ReqMsg,
+};
 use proptest::prelude::*;
 
 // ---- batstore vs reference models --------------------------------------
@@ -104,16 +106,18 @@ fn arb_header() -> impl Strategy<Value = BatHeader> {
         any::<u32>(),
         any::<bool>(),
     )
-        .prop_map(|(owner, bat, size, loi, copies, hops, cycles, version, updating)| BatHeader {
-            owner: NodeId(owner),
-            bat: BatId(bat),
-            size,
-            loi,
-            copies,
-            hops,
-            cycles,
-            version,
-            updating,
+        .prop_map(|(owner, bat, size, loi, copies, hops, cycles, version, updating)| {
+            BatHeader {
+                owner: NodeId(owner),
+                bat: BatId(bat),
+                size,
+                loi,
+                copies,
+                hops,
+                cycles,
+                version,
+                updating,
+            }
         })
 }
 

@@ -85,10 +85,7 @@ fn ring_capacity_respected_by_hot_set() {
     let m = RingSim::new(nodes, ds, qs, params).run();
     let ring_cap = (cap_per_node * nodes as u64) as f64;
     let peak = m.ring_bytes.points.iter().map(|&(_, v)| v).fold(0.0, f64::max);
-    assert!(
-        peak <= ring_cap * 1.01,
-        "hot set {peak} exceeded ring capacity {ring_cap}"
-    );
+    assert!(peak <= ring_cap * 1.01, "hot set {peak} exceeded ring capacity {ring_cap}");
     assert!(peak > 0.0, "hot set never formed");
 }
 
@@ -141,8 +138,8 @@ fn larger_ring_changes_latency_profile() {
         3,
         22,
     );
-    let m3 = RingSim::new(3, ds3.clone(), qs3, SimParams::default().with_queue_capacity(48 << 20))
-        .run();
+    let m3 =
+        RingSim::new(3, ds3.clone(), qs3, SimParams::default().with_queue_capacity(48 << 20)).run();
 
     let ds6 = ds3.redistribute(6, 21);
     let qs6 = micro::generate(
@@ -155,8 +152,7 @@ fn larger_ring_changes_latency_profile() {
         6,
         22,
     );
-    let m6 =
-        RingSim::new(6, ds6, qs6, SimParams::default().with_queue_capacity(48 << 20)).run();
+    let m6 = RingSim::new(6, ds6, qs6, SimParams::default().with_queue_capacity(48 << 20)).run();
 
     assert_eq!(m3.failed, 0);
     assert_eq!(m6.failed, 0);

@@ -1,0 +1,167 @@
+//! A minimal, API-compatible subset of the `criterion` benchmarking
+//! crate. The build environment has no access to crates.io, so the
+//! workspace vendors the surface its benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros with `harness = false` targets.
+//!
+//! Measurement is deliberately simple — a warm-up pass, then a fixed
+//! measurement window reporting mean time per iteration. No statistics,
+//! plots, or HTML reports; the point is that benches compile, run, and
+//! print comparable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work. Delegates to [`std::hint::black_box`].
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(100), measure: Duration::from_millis(400) }
+    }
+}
+
+impl Criterion {
+    /// Override the measurement window (per benchmark).
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measure = t;
+        self
+    }
+
+    /// Override the warm-up window (per benchmark).
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up = t;
+        self
+    }
+
+    /// Accepted for API compatibility; this subset has no sampling.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO };
+
+        // Warm-up: run until the window elapses.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            f(&mut bencher);
+        }
+
+        // Measurement.
+        bencher.iters = 0;
+        bencher.elapsed = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            f(&mut bencher);
+        }
+
+        if bencher.iters > 0 {
+            let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+            println!("{id:<40} {:>12} / iter  ({} iters)", fmt_ns(per_iter), bencher.iters);
+        } else {
+            println!("{id:<40} (no iterations measured)");
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timer handle: `iter` runs the closure repeatedly and accumulates
+/// elapsed wall-clock time. Like the real crate, dropping the closure's
+/// return value is excluded from the timed region. The two clock reads
+/// per call (~tens of ns) are not amortized over batches, so means for
+/// single-digit-nanosecond bodies run high relative to real criterion.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Declares a benchmark group function that runs each target in order.
+/// Both the positional form and the `name = ...; config = ...;
+/// targets = ...` form are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+    }
+
+    criterion_group!(
+        name = quick;
+        config = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        targets = sample_bench
+    );
+
+    #[test]
+    fn group_runs() {
+        quick();
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(41) + 1, 42);
+    }
+}

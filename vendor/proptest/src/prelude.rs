@@ -1,0 +1,11 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{any, Any, Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// Mirror of the real crate's `prelude::prop` module alias, exposing the
+/// strategy modules under the conventional `prop::` path.
+pub mod prop {
+    pub use crate::collection;
+}
