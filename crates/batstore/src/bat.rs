@@ -123,6 +123,21 @@ impl Bat {
         Ok(())
     }
 
+    /// A new BAT with `vals` appended to the tail, the void head grown to
+    /// match. Only dense (void-head) BATs — i.e. persistent column BATs —
+    /// support this; it is the storage primitive behind SQL INSERT.
+    pub fn extend_tail(&self, vals: &Column) -> Result<Bat> {
+        let Column::Void { seq, .. } = self.head else {
+            return Err(BatError::Invalid(format!(
+                "extend_tail needs a dense (void-head) BAT, got {} head",
+                self.head_type()
+            )));
+        };
+        let mut tail = self.tail.clone();
+        tail.try_extend(vals)?;
+        Ok(Bat::dense_from(seq, tail))
+    }
+
     /// Gather rows by position into a new BAT.
     pub fn gather(&self, idx: &[usize]) -> Bat {
         let head = self.head.gather(idx);
@@ -181,6 +196,19 @@ mod tests {
         assert!(b.props().head_key);
         assert!(b.props().tail_sorted);
         assert_eq!(b.byte_size(), 12);
+    }
+
+    #[test]
+    fn extend_tail_grows_dense_bats() {
+        let b = Bat::dense_from(10, Column::from(vec![1, 2]));
+        let grown = b.extend_tail(&Column::from(vec![3])).unwrap();
+        assert_eq!(grown.count(), 3);
+        assert_eq!(grown.bun(2), (Val::Oid(12), Val::Int(3)));
+        assert_eq!(b.count(), 2, "original untouched");
+        // Type mismatch and non-dense heads are rejected.
+        assert!(b.extend_tail(&Column::from(vec!["x"])).is_err());
+        let keyed = Bat::new(Column::from(vec![1u64, 2]), Column::from(vec![1, 2])).unwrap();
+        assert!(keyed.extend_tail(&Column::from(vec![3])).is_err());
     }
 
     #[test]

@@ -176,6 +176,52 @@ impl Catalog {
         Ok(())
     }
 
+    /// Append rows to an existing table, column-at-a-time. Every column
+    /// of the table must appear exactly once in `cols` and all appended
+    /// columns must have the same length (SQL INSERT semantics).
+    pub fn append_rows(
+        &mut self,
+        store: &mut BatStore,
+        schema: &str,
+        table: &str,
+        cols: &[(String, Column)],
+    ) -> Result<usize> {
+        let def = self
+            .tables
+            .get(&qual(schema, table))
+            .ok_or_else(|| BatError::NotFound(qual(schema, table)))?;
+        if cols.len() != def.columns.len() {
+            return Err(BatError::Invalid(format!(
+                "INSERT must cover all {} columns of {}, got {}",
+                def.columns.len(),
+                qual(schema, table),
+                cols.len()
+            )));
+        }
+        let added = cols.first().map(|(_, c)| c.len()).unwrap_or(0);
+        let mut keyed: Vec<(BatKey, &Column)> = Vec::with_capacity(cols.len());
+        for (name, col) in cols {
+            let cd = def
+                .column(name)
+                .ok_or_else(|| BatError::NotFound(format!("{schema}.{table}.{name}")))?;
+            if col.len() != added {
+                return Err(BatError::LengthMismatch { left: col.len(), right: added });
+            }
+            keyed.push((cd.bat, col));
+        }
+        // Validate all extensions before mutating any column so a type
+        // error cannot leave the table ragged.
+        let mut extended = Vec::with_capacity(keyed.len());
+        for (key, col) in keyed {
+            extended.push((key, store.get(key)?.extend_tail(col)?));
+        }
+        for (key, bat) in extended {
+            store.replace(key, bat)?;
+        }
+        self.tables.get_mut(&qual(schema, table)).expect("looked up above").row_count += added;
+        Ok(added)
+    }
+
     pub fn drop_table(&mut self, store: &mut BatStore, schema: &str, table: &str) -> Result<()> {
         let def = self
             .tables
@@ -291,6 +337,63 @@ mod tests {
         assert_eq!(cat.table_by_name("t").unwrap().row_count, 2);
         cat.create_table(&mut store, "other", "t", &[("x", ColType::Int)], &[]).unwrap();
         assert!(cat.table_by_name("t").is_err(), "ambiguous now");
+    }
+
+    #[test]
+    fn append_rows_grows_all_columns() {
+        let (mut cat, mut store) = setup();
+        let n = cat
+            .append_rows(
+                &mut store,
+                "sys",
+                "t",
+                &[
+                    ("id".to_string(), Column::from(vec![3, 4])),
+                    ("name".to_string(), Column::from(vec!["three", "four"])),
+                ],
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        let def = cat.table("sys", "t").unwrap();
+        assert_eq!(def.row_count, 4);
+        let ids = store.get(def.column("id").unwrap().bat).unwrap();
+        assert_eq!(ids.count(), 4);
+        assert_eq!(ids.bun(3).1, Val::Int(4));
+    }
+
+    #[test]
+    fn append_rows_rejects_partial_or_ragged() {
+        let (mut cat, mut store) = setup();
+        // Missing a column.
+        assert!(cat
+            .append_rows(&mut store, "sys", "t", &[("id".to_string(), Column::from(vec![3]))])
+            .is_err());
+        // Ragged lengths.
+        assert!(cat
+            .append_rows(
+                &mut store,
+                "sys",
+                "t",
+                &[
+                    ("id".to_string(), Column::from(vec![3, 4])),
+                    ("name".to_string(), Column::from(vec!["x"])),
+                ],
+            )
+            .is_err());
+        // Type mismatch leaves the table untouched.
+        assert!(cat
+            .append_rows(
+                &mut store,
+                "sys",
+                "t",
+                &[
+                    ("id".to_string(), Column::from(vec!["oops"])),
+                    ("name".to_string(), Column::from(vec!["x"])),
+                ],
+            )
+            .is_err());
+        assert_eq!(cat.table("sys", "t").unwrap().row_count, 2, "no partial append");
+        assert_eq!(store.get(cat.bind("sys", "t", "id").unwrap()).unwrap().count(), 2);
     }
 
     #[test]

@@ -217,6 +217,55 @@ impl Column {
         }
     }
 
+    /// Append every element of `other` (same or push-coercible type);
+    /// the bulk form of [`Column::push`] used by SQL INSERT appends.
+    pub fn try_extend(&mut self, other: &Column) -> Result<()> {
+        match (&mut *self, other) {
+            (Column::Void { len, .. }, Column::Void { len: n, .. }) => {
+                *len += n;
+                Ok(())
+            }
+            (Column::Oid(a), Column::Oid(b)) => {
+                a.extend_from_slice(b);
+                Ok(())
+            }
+            (Column::Int(a), Column::Int(b)) => {
+                a.extend_from_slice(b);
+                Ok(())
+            }
+            (Column::Lng(a), Column::Lng(b)) => {
+                a.extend_from_slice(b);
+                Ok(())
+            }
+            (Column::Dbl(a), Column::Dbl(b)) => {
+                a.extend_from_slice(b);
+                Ok(())
+            }
+            (Column::Str(a), Column::Str(b)) => {
+                for s in b.iter() {
+                    a.push(s);
+                }
+                Ok(())
+            }
+            (Column::Bool(a), Column::Bool(b)) => {
+                a.extend_from_slice(b);
+                Ok(())
+            }
+            (Column::Date(a), Column::Date(b)) => {
+                a.extend_from_slice(b);
+                Ok(())
+            }
+            // Fall back to element-wise pushes for the push-coercible
+            // pairs (Int→Lng, Int/Lng→Dbl).
+            (me, other) => {
+                for i in 0..other.len() {
+                    me.push(&other.get(i))?;
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Empty column of the given type.
     pub fn empty(ty: ColType) -> Column {
         match ty {
@@ -356,6 +405,30 @@ mod tests {
         assert_eq!(c.get(2), Val::Oid(12));
         assert_eq!(c.oid_at(4), Some(14));
         assert_eq!(c.oid_at(5), None);
+    }
+
+    #[test]
+    fn try_extend_same_and_coerced_types() {
+        let mut c = Column::from(vec![1, 2]);
+        c.try_extend(&Column::from(vec![3])).unwrap();
+        assert_eq!(c, Column::Int(vec![1, 2, 3]));
+
+        let mut s = Column::from(vec!["a"]);
+        s.try_extend(&Column::from(vec!["b", "c"])).unwrap();
+        assert_eq!(s.get(2), Val::Str("c".into()));
+
+        // Int extends Lng/Dbl via the push coercions.
+        let mut l = Column::Lng(vec![1]);
+        l.try_extend(&Column::from(vec![2, 3])).unwrap();
+        assert_eq!(l, Column::Lng(vec![1, 2, 3]));
+
+        let mut v = Column::Void { seq: 5, len: 2 };
+        v.try_extend(&Column::Void { seq: 0, len: 3 }).unwrap();
+        assert_eq!(v.len(), 5);
+
+        // Incompatible types are rejected.
+        let mut i = Column::from(vec![1]);
+        assert!(i.try_extend(&Column::from(vec!["x"])).is_err());
     }
 
     #[test]

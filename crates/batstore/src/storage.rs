@@ -24,30 +24,11 @@ use std::path::Path;
 const MAGIC: &[u8; 4] = b"DCB1";
 
 fn type_tag(t: ColType) -> u8 {
-    match t {
-        ColType::Void => 0,
-        ColType::Oid => 1,
-        ColType::Int => 2,
-        ColType::Lng => 3,
-        ColType::Dbl => 4,
-        ColType::Str => 5,
-        ColType::Bool => 6,
-        ColType::Date => 7,
-    }
+    t.tag()
 }
 
 fn tag_type(b: u8) -> Result<ColType> {
-    Ok(match b {
-        0 => ColType::Void,
-        1 => ColType::Oid,
-        2 => ColType::Int,
-        3 => ColType::Lng,
-        4 => ColType::Dbl,
-        5 => ColType::Str,
-        6 => ColType::Bool,
-        7 => ColType::Date,
-        other => return Err(BatError::Corrupt(format!("unknown type tag {other}"))),
-    })
+    ColType::from_tag(b).ok_or_else(|| BatError::Corrupt(format!("unknown type tag {b}")))
 }
 
 fn write_u64(w: &mut impl Write, v: u64) -> Result<()> {

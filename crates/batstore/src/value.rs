@@ -49,6 +49,37 @@ impl ColType {
         })
     }
 
+    /// Stable one-byte wire tag, shared by the disk format (`storage`)
+    /// and the ring's catalog-synchronization messages.
+    pub fn tag(self) -> u8 {
+        match self {
+            ColType::Void => 0,
+            ColType::Oid => 1,
+            ColType::Int => 2,
+            ColType::Lng => 3,
+            ColType::Dbl => 4,
+            ColType::Str => 5,
+            ColType::Bool => 6,
+            ColType::Date => 7,
+        }
+    }
+
+    /// Inverse of [`ColType::tag`]; `None` for unknown tags (corrupt or
+    /// newer peers).
+    pub fn from_tag(b: u8) -> Option<ColType> {
+        Some(match b {
+            0 => ColType::Void,
+            1 => ColType::Oid,
+            2 => ColType::Int,
+            3 => ColType::Lng,
+            4 => ColType::Dbl,
+            5 => ColType::Str,
+            6 => ColType::Bool,
+            7 => ColType::Date,
+            _ => return None,
+        })
+    }
+
     /// Fixed width in bytes of one element as stored (strings report the
     /// pointer-side cost; their bytes live in the heap).
     pub fn elem_width(self) -> usize {
@@ -203,6 +234,23 @@ impl From<bool> for Val {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn type_tags_round_trip() {
+        for t in [
+            ColType::Void,
+            ColType::Oid,
+            ColType::Int,
+            ColType::Lng,
+            ColType::Dbl,
+            ColType::Str,
+            ColType::Bool,
+            ColType::Date,
+        ] {
+            assert_eq!(ColType::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(ColType::from_tag(99), None);
+    }
 
     #[test]
     fn type_names_round_trip() {

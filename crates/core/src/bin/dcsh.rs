@@ -8,8 +8,10 @@
 //!
 //! Commands: `.help`, `.demo`, `.tables`, `.plan <sql>`, `.node <i>`,
 //! `.timing on|off`, `.stats`, `.quit`. Anything else is executed as SQL
-//! on the current node — the DC optimizer rewrites the plan and pins
-//! block until the fragments flow past.
+//! on the current node — SELECT, CREATE TABLE, and INSERT alike — the DC
+//! optimizer rewrites the plan and pins block until the fragments flow
+//! past. For a multi-process ring over TCP, see the `dc-node` binary in
+//! `dc-transport`.
 
 use batstore::Column;
 use datacyclotron::Ring;

@@ -1,59 +1,115 @@
 //! The live multi-threaded Data Cyclotron ring.
 //!
 //! Every node runs its own event loop (thread) hosting the protocol state
-//! machine plus the fragment payload stores; data messages flow clockwise
-//! and requests anti-clockwise over crossbeam channels (swap in the TCP
-//! transport from `dc-transport` for a distributed deployment — the
-//! protocol code is identical). Queries execute on caller threads through
-//! the full DBMS stack: SQL → MAL → DC optimizer → dataflow interpreter,
-//! with `pin` calls blocking until fragments flow past.
+//! machine plus the fragment payload stores. The loop is written purely
+//! against the [`RingTransport`] trait (§4.3's network layer): data
+//! messages flow clockwise and requests anti-clockwise over whatever
+//! fabric the transport provides. [`Ring`] wires an in-process ring over
+//! the built-in memory fabric; [`RingNode`] hosts a single node over any
+//! transport — hand it `dc_transport::tcp::join_ring` and the identical
+//! engine runs as one process of a real distributed deployment.
+//!
+//! Queries execute on caller threads through the full DBMS stack:
+//! SQL → MAL → DC optimizer → dataflow interpreter, with `pin` calls
+//! blocking until fragments flow past. Table metadata is *not* shared:
+//! each node owns its catalogs, kept in sync by [`DcMsg::Catalog`]
+//! gossip circulating once around the ring, and SQL `INSERT`s route row
+//! batches to the fragment owners as [`DcMsg::Append`] messages (§6.4).
 
 use crate::config::DcConfig;
 use crate::ids::{BatId, NodeId, QueryId};
-use crate::msg::BatHeader;
+use crate::msg::{AppendMsg, CatalogCol, CatalogMsg, DcMsg};
 use crate::proto::{DcNode, Effect, PinOutcome};
 use crate::runtime::{Cmd, FragInfo, RingCatalog, RingHooks, Waiter};
-use batstore::{Bat, BatStore, Catalog, Column};
+use crate::transport::{mem, RingTransport};
+use batstore::{storage, Bat, BatStore, Catalog, Column};
+use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use mal::{MalError, SessionCtx};
 use netsim::SimTime;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Fragment-id namespace for node-created tables: the top byte is
+/// `(node % 255) + 1`, staying clear of the low id space
+/// `Ring::load_table` hands out and never overflowing `u32`. Node 255
+/// shares node 0's namespace — rings that large are beyond this
+/// engine's scope (rings in the paper top out at 64).
+fn node_frag_id(node: NodeId, n: u32) -> BatId {
+    BatId(((node.0 as u32 % 255 + 1) << 24) | (n & 0x00ff_ffff))
+}
+
 /// Events arriving at a node's event loop.
 pub enum NodeEvent {
-    /// A BAT from the predecessor (clockwise data flow).
-    Bat { header: BatHeader, payload: Arc<Bat> },
-    /// A request from the successor (anti-clockwise request flow).
-    Request(crate::msg::ReqMsg),
+    /// A ring message drained from the transport by the pump thread.
+    Ring(DcMsg),
     /// DBMS-layer command (request/pin/unpin/…).
     Cmd(Cmd),
 }
 
-/// Byte counter shared by the two ends of an edge: the sender's "BAT
-/// queue" occupancy, decremented when the receiver drains a message.
-type EdgeBytes = Arc<AtomicU64>;
+/// A fragment payload held by a node: decoded for local delivery, with
+/// the serialized form memoized lazily — fragments that never enter the
+/// ring (owner-local tables, or repeated appends between passes) never
+/// pay the encoding.
+struct StoredFrag {
+    bat: Arc<Bat>,
+    wire: Option<Bytes>,
+}
+
+impl StoredFrag {
+    fn new(bat: Arc<Bat>) -> StoredFrag {
+        StoredFrag { bat, wire: None }
+    }
+
+    fn wire(&mut self) -> Bytes {
+        self.wire.get_or_insert_with(|| Bytes::from(storage::bat_to_bytes(&self.bat))).clone()
+    }
+}
+
+/// The inbound payload of the message being handled, decoded at most
+/// once no matter how many effects consume it.
+struct PayloadSlot {
+    wire: Option<Bytes>,
+    decoded: Option<Arc<Bat>>,
+}
+
+impl PayloadSlot {
+    fn new(wire: Option<Bytes>) -> PayloadSlot {
+        PayloadSlot { wire, decoded: None }
+    }
+
+    fn bat(&mut self) -> Option<Arc<Bat>> {
+        if self.decoded.is_none() {
+            self.decoded =
+                self.wire.as_ref().and_then(|w| storage::bat_from_bytes(w).ok()).map(Arc::new);
+        }
+        self.decoded.clone()
+    }
+}
 
 struct NodeCtx {
     node: DcNode,
     rx: Receiver<NodeEvent>,
-    /// Clockwise data edge to the successor.
-    data_tx: Sender<NodeEvent>,
-    data_bytes: EdgeBytes,
-    /// Anti-clockwise request edge to the predecessor.
-    req_tx: Sender<NodeEvent>,
-    /// Our inbound edge counter (we drain it).
-    in_bytes: EdgeBytes,
+    transport: Arc<dyn RingTransport>,
+    /// This node's replica of the ring-wide fragment catalog.
+    catalog: Arc<RingCatalog>,
+    /// This node's SQL metadata catalog (names and types only; the data
+    /// lives in the ring).
+    meta: Arc<RwLock<Catalog>>,
     /// Owned fragment payloads ("local disk").
-    disk: HashMap<BatId, Arc<Bat>>,
+    disk: HashMap<BatId, StoredFrag>,
     /// Cached passing fragments (the §4.2.1 local cache).
-    cache: HashMap<BatId, Arc<Bat>>,
+    cache: HashMap<BatId, StoredFrag>,
     /// Blocked pins per BAT.
     waiting: HashMap<BatId, Vec<(QueryId, Arc<Waiter>)>>,
+    /// Fragment-id allocator for SQL-created tables, shared with the
+    /// node handle and namespaced by node id so allocations on different
+    /// ring members never collide.
+    next_frag: Arc<AtomicU32>,
     started: Instant,
     tick_every: Duration,
 }
@@ -66,7 +122,7 @@ impl NodeCtx {
     fn sync(&mut self) {
         let now = self.now();
         self.node.set_time(now);
-        self.node.set_queue_bytes(self.data_bytes.load(Ordering::Relaxed));
+        self.node.set_queue_bytes(self.transport.outbound_bytes());
     }
 
     fn run(mut self) {
@@ -74,15 +130,7 @@ impl NodeCtx {
             let ev = self.rx.recv_timeout(self.tick_every);
             self.sync();
             match ev {
-                Ok(NodeEvent::Bat { header, payload }) => {
-                    self.in_bytes.fetch_sub(header.wire_size(), Ordering::Relaxed);
-                    let effects = self.node.on_bat(header);
-                    self.execute(effects, Some(payload));
-                }
-                Ok(NodeEvent::Request(req)) => {
-                    let effects = self.node.on_request(req);
-                    self.execute(effects, None);
-                }
+                Ok(NodeEvent::Ring(msg)) => self.on_ring(msg),
                 Ok(NodeEvent::Cmd(cmd)) => {
                     if self.handle_cmd(cmd) {
                         return; // shutdown
@@ -92,8 +140,98 @@ impl NodeCtx {
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
             }
             let effects = self.node.tick();
-            self.execute(effects, None);
+            self.execute(effects, &mut PayloadSlot::new(None));
         }
+    }
+
+    fn on_ring(&mut self, msg: DcMsg) {
+        match msg {
+            DcMsg::Bat { header, payload } => {
+                let effects = self.node.on_bat(header);
+                self.execute(effects, &mut PayloadSlot::new(payload));
+            }
+            DcMsg::Request(req) => {
+                let effects = self.node.on_request(req);
+                self.execute(effects, &mut PayloadSlot::new(None));
+            }
+            DcMsg::Catalog(c) => {
+                if c.origin == self.node.id {
+                    return; // completed its cycle
+                }
+                self.apply_catalog(&c);
+                let _ = self.transport.send_data(DcMsg::Catalog(c));
+            }
+            DcMsg::Append(a) => {
+                // All parts of a batch share one owner (enforced at the
+                // sender), so one membership test routes the whole
+                // message and the owner applies it atomically in this
+                // single event.
+                if a.parts.iter().any(|(bat, _)| self.node.s1.is_owner(*bat)) {
+                    self.apply_remote_append(&a);
+                } else if a.origin != self.node.id {
+                    let _ = self.transport.send_data(DcMsg::Append(a));
+                } else {
+                    // Back at the origin without finding an owner: the
+                    // fragment is gone; the append is dropped (the
+                    // §4.2.3 analog of a request circling back).
+                    self.node.stats.appends_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Merge gossiped table metadata into this node's catalogs.
+    fn apply_catalog(&mut self, c: &CatalogMsg) {
+        for col in &c.columns {
+            self.catalog.publish(
+                &c.schema,
+                &c.table,
+                &col.name,
+                FragInfo { bat: col.bat, size: col.size, owner: col.owner },
+            );
+        }
+        let mut meta = self.meta.write();
+        if meta.table(&c.schema, &c.table).is_err() {
+            // The metadata catalog stores zero-row columns: only names
+            // and types are consulted by codegen on ring nodes.
+            let typed: Vec<(&str, Column)> =
+                c.columns.iter().map(|col| (col.name.as_str(), Column::empty(col.ty))).collect();
+            let _ = meta.create_table_columnar(&mut BatStore::new(), &c.schema, &c.table, typed);
+        }
+    }
+
+    /// Apply an append batch that traveled the ring to us, the fragment
+    /// owner. Failed parts are counted (`appends_dropped`): the origin
+    /// already acknowledged the INSERT, so a nonzero counter is the
+    /// only trace of rows lost to decode/type races.
+    fn apply_remote_append(&mut self, a: &AppendMsg) {
+        for (bat, rows) in &a.parts {
+            let applied = storage::bat_from_bytes(rows)
+                .map_err(|e| e.to_string())
+                .and_then(|rows| self.append_owned(*bat, rows.tail()));
+            match applied {
+                Ok(()) => self.node.stats.appends_applied += 1,
+                Err(_) => self.node.stats.appends_dropped += 1,
+            }
+        }
+    }
+
+    /// Append `vals` to a locally-owned fragment: replace the disk
+    /// payload and bump the version (§6.4 multi-version updates). Stale
+    /// copies keep circulating for readers that accept them; the next
+    /// owner pass re-enters the ring with the fresh payload.
+    fn append_owned(&mut self, bat: BatId, vals: &Column) -> Result<(), String> {
+        let frag = self.disk.get(&bat).ok_or_else(|| format!("owned {bat} missing from disk"))?;
+        let grown = frag.bat.extend_tail(vals).map_err(|e| e.to_string())?;
+        let frag = StoredFrag::new(Arc::new(grown));
+        let size = frag.bat.byte_size() as u64;
+        self.disk.insert(bat, frag);
+        if let Some(owned) = self.node.s1.get_mut(bat) {
+            owned.size = size;
+            owned.version += 1;
+        }
+        self.catalog.update_size(bat, size);
+        Ok(())
     }
 
     /// Returns true on shutdown.
@@ -101,17 +239,17 @@ impl NodeCtx {
         match cmd {
             Cmd::Request { query, bat } => {
                 let effects = self.node.local_request(query, bat);
-                self.execute(effects, None);
+                self.execute(effects, &mut PayloadSlot::new(None));
             }
             Cmd::Pin { query, bat, waiter } => {
                 let (outcome, effects) = self.node.pin(query, bat);
-                self.execute(effects, None);
+                self.execute(effects, &mut PayloadSlot::new(None));
                 match outcome {
                     PinOutcome::OwnedLocal => {
                         let r = self
                             .disk
                             .get(&bat)
-                            .cloned()
+                            .map(|f| Arc::clone(&f.bat))
                             .ok_or_else(|| format!("owned fragment {bat} missing from disk"));
                         waiter.fulfill(r);
                     }
@@ -119,7 +257,7 @@ impl NodeCtx {
                         let r = self
                             .cache
                             .get(&bat)
-                            .cloned()
+                            .map(|f| Arc::clone(&f.bat))
                             .ok_or_else(|| format!("cached fragment {bat} missing payload"));
                         waiter.fulfill(r);
                     }
@@ -130,49 +268,165 @@ impl NodeCtx {
             }
             Cmd::Unpin { query, bat } => {
                 let effects = self.node.unpin(query, bat);
-                self.execute(effects, None);
+                self.execute(effects, &mut PayloadSlot::new(None));
             }
             Cmd::QueryDone { query } => {
                 let effects = self.node.query_done(query);
-                self.execute(effects, None);
+                self.execute(effects, &mut PayloadSlot::new(None));
             }
             Cmd::StoreOwned { bat, payload } => {
                 let size = payload.byte_size() as u64;
-                self.disk.insert(bat, payload);
+                self.disk.insert(bat, StoredFrag::new(payload));
                 self.node.register_owned(bat, size);
+            }
+            Cmd::CreateTable { schema, table, cols, ack } => {
+                ack.fulfill(self.create_table(&schema, &table, &cols));
+            }
+            Cmd::Append { schema, table, cols, ack } => {
+                ack.fulfill(self.append_table(&schema, &table, &cols));
+            }
+            Cmd::PublishTable { table, gossip } => {
+                self.apply_catalog(&table);
+                if gossip {
+                    let _ = self.transport.send_data(DcMsg::Catalog(table));
+                }
             }
             Cmd::Shutdown => return true,
         }
         false
     }
 
-    fn execute(&mut self, effects: Vec<Effect>, payload: Option<Arc<Bat>>) {
+    /// SQL `CREATE TABLE` at this node: it becomes the owner of the new
+    /// (empty) column fragments and gossips the metadata clockwise.
+    fn create_table(
+        &mut self,
+        schema: &str,
+        table: &str,
+        cols: &[(String, batstore::ColType)],
+    ) -> Result<u64, String> {
+        if self.meta.read().table(schema, table).is_ok() {
+            return Err(format!("table {schema}.{table} already exists"));
+        }
+        let id = self.node.id;
+        let mut columns = Vec::with_capacity(cols.len());
+        for (name, ty) in cols {
+            let bat = self.alloc_frag_id();
+            let payload = Arc::new(Bat::empty(*ty));
+            let size = payload.byte_size() as u64;
+            self.disk.insert(bat, StoredFrag::new(payload));
+            self.node.register_owned(bat, size);
+            columns.push(CatalogCol { name: name.clone(), ty: *ty, bat, size, owner: id });
+        }
+        let gossip = CatalogMsg {
+            origin: id,
+            schema: schema.to_string(),
+            table: table.to_string(),
+            columns,
+        };
+        self.apply_catalog(&gossip);
+        let _ = self.transport.send_data(DcMsg::Catalog(gossip));
+        Ok(0)
+    }
+
+    /// SQL `INSERT` at this node: locally-owned fragments are appended in
+    /// place; foreign ones are routed clockwise to their owners.
+    fn append_table(
+        &mut self,
+        schema: &str,
+        table: &str,
+        cols: &[(String, Column)],
+    ) -> Result<u64, String> {
+        let mut resolved = Vec::with_capacity(cols.len());
+        let mut rows = None;
+        for (name, vals) in cols {
+            let info = self
+                .catalog
+                .lookup(schema, table, name)
+                .ok_or_else(|| format!("unknown fragment {schema}.{table}.{name}"))?;
+            match rows {
+                None => rows = Some(vals.len()),
+                Some(n) if n != vals.len() => {
+                    return Err("ragged INSERT batch".into());
+                }
+                Some(_) => {}
+            }
+            resolved.push((info, vals));
+        }
+        // All fragments must share one owner: a mixed-owner INSERT would
+        // apply some columns synchronously and route others through the
+        // ring (or lose them if an owner is gone), leaving the table
+        // ragged. SQL-created tables are always single-owner; spread
+        // (round-robin loaded) tables reject SQL appends for now.
+        let mut owners = resolved.iter().map(|(i, _)| i.owner);
+        let first_owner = owners.next();
+        if owners.any(|o| Some(o) != first_owner) {
+            return Err(format!(
+                "INSERT into {schema}.{table} is not supported: its fragments are owned by \
+                 multiple nodes and a split append would not be atomic"
+            ));
+        }
+        if first_owner == Some(self.node.id) {
+            for (info, vals) in resolved {
+                self.append_owned(info.bat, vals)?;
+                self.node.stats.appends_applied += 1;
+            }
+        } else {
+            // One message carries the whole batch so the owner applies
+            // every column in a single event — concurrent INSERTs from
+            // different nodes cannot interleave mid-row.
+            let parts = resolved
+                .iter()
+                .map(|(info, vals)| {
+                    let rows = Bytes::from(storage::bat_to_bytes(&Bat::dense((*vals).clone())));
+                    (info.bat, rows)
+                })
+                .collect();
+            let msg = AppendMsg { origin: self.node.id, parts };
+            self.transport.send_data(DcMsg::Append(msg)).map_err(|e| e.to_string())?;
+        }
+        Ok(rows.unwrap_or(0) as u64)
+    }
+
+    fn alloc_frag_id(&self) -> BatId {
+        node_frag_id(self.node.id, self.next_frag.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn execute(&mut self, effects: Vec<Effect>, payload: &mut PayloadSlot) {
         for e in effects {
             match e {
                 Effect::SendBat(h) => {
-                    let p = payload
-                        .clone()
-                        .or_else(|| self.disk.get(&h.bat).cloned())
-                        .or_else(|| self.cache.get(&h.bat).cloned());
-                    if let Some(p) = p {
-                        self.data_bytes.fetch_add(h.wire_size(), Ordering::Relaxed);
-                        // A full channel means the successor died; drop.
-                        let _ = self.data_tx.send(NodeEvent::Bat { header: h, payload: p });
+                    // Owned fragments forward the authoritative disk copy
+                    // (fresh after appends); foreign ones relay the
+                    // inbound or cached payload untouched.
+                    let wire = if let Some(f) = self.disk.get_mut(&h.bat) {
+                        Some(f.wire())
+                    } else if let Some(w) = payload.wire.clone() {
+                        Some(w)
+                    } else {
+                        self.cache.get_mut(&h.bat).map(|f| f.wire())
+                    };
+                    if let Some(wire) = wire {
+                        // A send error means the successor died; the ring
+                        // must heal (pulsating rings, §6.3) — drop here.
+                        let _ =
+                            self.transport.send_data(DcMsg::Bat { header: h, payload: Some(wire) });
                     }
                 }
                 Effect::SendRequest(r) => {
-                    let _ = self.req_tx.send(NodeEvent::Request(r));
+                    let _ = self.transport.send_request(DcMsg::Request(r));
                 }
                 Effect::LoadFromDisk { bat, .. } => {
                     // Local "disk" is main memory here; complete at once.
                     let effects = self.node.bat_loaded(bat);
-                    self.execute(effects, None);
+                    self.execute(effects, payload);
                 }
                 Effect::Unload(_) => {
                     // The payload simply stops being forwarded.
                 }
                 Effect::Deliver { header, queries } => {
-                    let p = payload.clone().or_else(|| self.cache.get(&header.bat).cloned());
+                    let p = payload
+                        .bat()
+                        .or_else(|| self.cache.get(&header.bat).map(|f| Arc::clone(&f.bat)));
                     if let Some(list) = self.waiting.remove(&header.bat) {
                         let (to_serve, keep): (Vec<_>, Vec<_>) =
                             list.into_iter().partition(|(q, _)| queries.contains(q));
@@ -191,8 +445,8 @@ impl NodeCtx {
                     }
                 }
                 Effect::CacheInsert(bat) => {
-                    if let Some(p) = payload.clone() {
-                        self.cache.insert(bat, p);
+                    if let (Some(b), Some(w)) = (payload.bat(), payload.wire.clone()) {
+                        self.cache.insert(bat, StoredFrag { bat: b, wire: Some(w) });
                     }
                 }
                 Effect::CacheEvict(bat) => {
@@ -212,20 +466,231 @@ impl NodeCtx {
     }
 }
 
-/// Handle to a running node: submit queries, inspect stats.
-pub struct RingNodeHandle {
+/// Options shared by [`RingNode`] and [`RingBuilder`].
+#[derive(Clone, Debug)]
+pub struct NodeOptions {
+    pub cfg: DcConfig,
+    /// How long a blocked `pin` (or DDL/DML ack) waits before erroring.
+    pub pin_timeout: Duration,
+    /// Event-loop maintenance cadence (`loadAll`, `resend`, LOIT).
+    pub tick_every: Duration,
+}
+
+impl Default for NodeOptions {
+    fn default() -> Self {
+        NodeOptions {
+            cfg: DcConfig::default(),
+            pin_timeout: Duration::from_secs(30),
+            tick_every: Duration::from_millis(5),
+        }
+    }
+}
+
+/// One live engine node over an arbitrary ring transport. This is the
+/// unit a distributed deployment runs per process (see the `dc-node`
+/// binary in `dc-transport`); [`Ring`] composes `n` of them over the
+/// in-memory fabric.
+pub struct RingNode {
     pub id: NodeId,
     tx: Sender<NodeEvent>,
     hooks: Arc<RingHooks>,
     session: Arc<SessionCtx>,
-}
-
-/// A live in-process Data Cyclotron ring.
-pub struct Ring {
-    nodes: Vec<RingNodeHandle>,
     catalog: Arc<RingCatalog>,
     meta: Arc<RwLock<Catalog>>,
-    threads: Vec<JoinHandle<()>>,
+    transport: Arc<dyn RingTransport>,
+    event_loop: Option<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
+    next_query: AtomicU64,
+    next_frag: Arc<AtomicU32>,
+    templates: mal::TemplateCache,
+}
+
+impl RingNode {
+    /// Start a node: spawns its event loop plus a pump thread draining
+    /// the transport into it.
+    pub fn spawn(id: NodeId, transport: Arc<dyn RingTransport>, opts: NodeOptions) -> RingNode {
+        let (tx, rx) = bounded::<NodeEvent>(4096);
+        let catalog = Arc::new(RingCatalog::new());
+        let meta = Arc::new(RwLock::new(Catalog::new()));
+        let next_frag = Arc::new(AtomicU32::new(1));
+
+        let ctx = NodeCtx {
+            node: DcNode::new(id, opts.cfg.clone()),
+            rx,
+            transport: Arc::clone(&transport),
+            catalog: Arc::clone(&catalog),
+            meta: Arc::clone(&meta),
+            disk: HashMap::new(),
+            cache: HashMap::new(),
+            waiting: HashMap::new(),
+            next_frag: Arc::clone(&next_frag),
+            started: Instant::now(),
+            tick_every: opts.tick_every,
+        };
+        let event_loop = std::thread::spawn(move || ctx.run());
+
+        let pump_transport = Arc::clone(&transport);
+        let pump_tx = tx.clone();
+        let pump = std::thread::spawn(move || {
+            while let Some(msg) = pump_transport.recv() {
+                if pump_tx.send(NodeEvent::Ring(msg)).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let hooks =
+            Arc::new(RingHooks::new(id, tx.clone(), Arc::clone(&catalog), opts.pin_timeout));
+        // The session's store holds nothing: the data lives in the ring.
+        let store = Arc::new(RwLock::new(BatStore::new()));
+        let session = Arc::new(
+            SessionCtx::new(Arc::clone(&meta), store)
+                .with_dc(hooks.clone() as Arc<dyn mal::DcHooks>),
+        );
+
+        RingNode {
+            id,
+            tx,
+            hooks,
+            session,
+            catalog,
+            meta,
+            transport,
+            event_loop: Some(event_loop),
+            pump: Some(pump),
+            next_query: AtomicU64::new(1),
+            next_frag,
+            templates: mal::TemplateCache::new(),
+        }
+    }
+
+    /// Load a table owned entirely by this node (each node of a real
+    /// deployment loads its own share from local storage); the metadata
+    /// replicates around the ring.
+    pub fn load_table(
+        &self,
+        schema: &str,
+        table: &str,
+        cols: Vec<(&str, Column)>,
+    ) -> Result<(), MalError> {
+        let mut columns = Vec::with_capacity(cols.len());
+        for (name, col) in cols {
+            let bat = node_frag_id(self.id, self.next_frag.fetch_add(1, Ordering::Relaxed));
+            let ty = col.col_type();
+            let payload = Arc::new(Bat::dense(col));
+            let size = payload.byte_size() as u64;
+            self.send(Cmd::StoreOwned { bat, payload })?;
+            columns.push(CatalogCol { name: name.to_string(), ty, bat, size, owner: self.id });
+        }
+        let table = CatalogMsg {
+            origin: self.id,
+            schema: schema.to_string(),
+            table: table.to_string(),
+            columns,
+        };
+        self.send(Cmd::PublishTable { table, gossip: true })
+    }
+
+    /// Compile and execute one SQL statement (SELECT, CREATE TABLE, or
+    /// INSERT) on this node; returns the rendered output.
+    pub fn submit_sql(&self, sql: &str) -> Result<String, MalError> {
+        let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
+        let plan = self.compile(sql, &self.templates)?;
+        self.run_plan(qid, &plan)
+    }
+
+    /// Compile `sql` against this node's metadata replica.
+    pub(crate) fn compile(
+        &self,
+        sql: &str,
+        templates: &mal::TemplateCache,
+    ) -> Result<Arc<mal::Program>, MalError> {
+        let meta = self.meta.read();
+        templates.get_or_compile(sql, || {
+            sqlfront::compile_sql(sql, &meta)
+                .map(|p| mal::common_subexpression_eliminate(&p))
+                .map(|p| mal::dc_optimize(&p))
+        })
+    }
+
+    /// Execute an already-compiled MAL plan with the given query id.
+    pub fn run_plan(&self, qid: u64, plan: &mal::Program) -> Result<String, MalError> {
+        // A per-query session sharing the node's hooks.
+        let session =
+            SessionCtx::new(Arc::clone(&self.session.catalog), Arc::clone(&self.session.store))
+                .with_dc(self.hooks.clone() as Arc<dyn mal::DcHooks>)
+                .with_query_id(qid);
+        let result = mal::run_dataflow(plan, &session, 4);
+        // Always clean up interest, success or failure.
+        let _ = self.tx.send(NodeEvent::Cmd(Cmd::QueryDone { query: QueryId(qid) }));
+        result?;
+        Ok(session.take_output())
+    }
+
+    /// Render the front-end plan and its Data Cyclotron rewrite.
+    pub fn explain_sql(&self, sql: &str) -> Result<(String, String), MalError> {
+        let meta = self.meta.read();
+        let plan = sqlfront::compile_sql(sql, &meta)?;
+        let dc = mal::dc_optimize(&plan);
+        Ok((plan.to_string(), dc.to_string()))
+    }
+
+    /// Block until this node's metadata replica knows `schema.table`
+    /// (catalog gossip is asynchronous); `false` on timeout.
+    pub fn wait_for_table(&self, schema: &str, table: &str, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.meta.read().table(schema, table).is_ok() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// This node's replica of the ring-wide fragment catalog.
+    pub fn ring_catalog(&self) -> &RingCatalog {
+        &self.catalog
+    }
+
+    pub(crate) fn meta(&self) -> &Arc<RwLock<Catalog>> {
+        &self.meta
+    }
+
+    pub(crate) fn send(&self, cmd: Cmd) -> Result<(), MalError> {
+        self.tx.send(NodeEvent::Cmd(cmd)).map_err(|_| MalError::Dc("ring node is down".into()))
+    }
+
+    fn stop(&mut self) {
+        let _ = self.tx.send(NodeEvent::Cmd(Cmd::Shutdown));
+        if let Some(t) = self.event_loop.take() {
+            let _ = t.join();
+        }
+        self.transport.close();
+        if let Some(t) = self.pump.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stop the node: event loop, transport links, pump.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+}
+
+impl Drop for RingNode {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A live in-process Data Cyclotron ring: `n` [`RingNode`]s over the
+/// in-memory fabric. The drop-in fast path for tests, examples, and
+/// single-machine deployments.
+pub struct Ring {
+    nodes: Vec<RingNode>,
     next_query: AtomicU64,
     next_bat: AtomicU64,
     templates: mal::TemplateCache,
@@ -234,90 +699,39 @@ pub struct Ring {
 /// Builder for [`Ring`].
 pub struct RingBuilder {
     n: usize,
-    cfg: DcConfig,
-    pin_timeout: Duration,
-    tick_every: Duration,
+    opts: NodeOptions,
 }
 
 impl RingBuilder {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "a ring needs at least one node");
-        RingBuilder {
-            n,
-            cfg: DcConfig::default(),
-            pin_timeout: Duration::from_secs(30),
-            tick_every: Duration::from_millis(5),
-        }
+        RingBuilder { n, opts: NodeOptions::default() }
     }
 
     pub fn config(mut self, cfg: DcConfig) -> Self {
-        self.cfg = cfg;
+        self.opts.cfg = cfg;
         self
     }
 
     pub fn pin_timeout(mut self, d: Duration) -> Self {
-        self.pin_timeout = d;
+        self.opts.pin_timeout = d;
         self
     }
 
     pub fn build(self) -> Ring {
-        let n = self.n;
-        let catalog = Arc::new(RingCatalog::new());
-        let meta = Arc::new(RwLock::new(Catalog::new()));
-
-        let mut txs = Vec::with_capacity(n);
-        let mut rxs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = bounded::<NodeEvent>(4096);
-            txs.push(tx);
-            rxs.push(rx);
-        }
-        // Edge byte counters for the clockwise data edges: edge i goes
-        // from node i to node (i+1) % n.
-        let edges: Vec<EdgeBytes> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
-
-        let mut threads = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
-        for (i, rx) in rxs.into_iter().enumerate() {
-            let id = NodeId(i as u16);
-            let succ = (i + 1) % n;
-            let pred = (i + n - 1) % n;
-            let ctx = NodeCtx {
-                node: DcNode::new(id, self.cfg.clone()),
-                rx,
-                data_tx: txs[succ].clone(),
-                data_bytes: Arc::clone(&edges[i]),
-                req_tx: txs[pred].clone(),
-                in_bytes: Arc::clone(&edges[pred]),
-                disk: HashMap::new(),
-                cache: HashMap::new(),
-                waiting: HashMap::new(),
-                started: Instant::now(),
-                tick_every: self.tick_every,
-            };
-            threads.push(std::thread::spawn(move || ctx.run()));
-
-            let hooks = Arc::new(RingHooks::new(
-                id,
-                txs[i].clone(),
-                Arc::clone(&catalog),
-                self.pin_timeout,
-            ));
-            // Each node gets a session over the shared metadata catalog;
-            // the store holds nothing (data lives in the ring).
-            let store = Arc::new(RwLock::new(BatStore::new()));
-            let session = Arc::new(
-                SessionCtx::new(Arc::clone(&meta), store)
-                    .with_dc(hooks.clone() as Arc<dyn mal::DcHooks>),
-            );
-            handles.push(RingNodeHandle { id, tx: txs[i].clone(), hooks, session });
-        }
-
+        let nodes = mem::ring(self.n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                RingNode::spawn(
+                    NodeId(i as u16),
+                    Arc::new(t) as Arc<dyn RingTransport>,
+                    self.opts.clone(),
+                )
+            })
+            .collect();
         Ring {
-            nodes: handles,
-            catalog,
-            meta,
-            threads,
+            nodes,
             next_query: AtomicU64::new(1),
             next_bat: AtomicU64::new(1),
             templates: mal::TemplateCache::new(),
@@ -326,6 +740,17 @@ impl RingBuilder {
 }
 
 impl Ring {
+    /// Start building an in-process ring of `n` nodes.
+    ///
+    /// ```
+    /// use batstore::Column;
+    /// use datacyclotron::Ring;
+    ///
+    /// let ring = Ring::builder(2).build();
+    /// ring.load_table("sys", "t", vec![("id", Column::from(vec![1, 2, 3]))]).unwrap();
+    /// let out = ring.submit_sql(0, "select id from t where id >= 2").unwrap();
+    /// assert!(out.contains("[ 2 ]") && out.contains("[ 3 ]"));
+    /// ```
     pub fn builder(n: usize) -> RingBuilder {
         RingBuilder::new(n)
     }
@@ -338,61 +763,76 @@ impl Ring {
         self.nodes.is_empty()
     }
 
-    pub fn node(&self, i: usize) -> &RingNodeHandle {
+    pub fn node(&self, i: usize) -> &RingNode {
         &self.nodes[i]
     }
 
     /// Create a table whose column fragments are spread over the ring
     /// round-robin — the paper's startup placement ("the BATs are
-    /// randomly assigned to nodes in the ring").
+    /// randomly assigned to nodes in the ring"). The metadata gossip
+    /// starts at the first owner and the call returns once every node's
+    /// replica has it.
     pub fn load_table(
         &self,
         schema: &str,
         table: &str,
         cols: Vec<(&str, Column)>,
     ) -> Result<(), MalError> {
-        // Publish metadata for the SQL front-end.
-        {
-            let mut meta = self.meta.write();
-            // The metadata catalog stores zero-row columns: only names
-            // and types are consulted by codegen on ring nodes.
-            let typed: Vec<(&str, Column)> =
-                cols.iter().map(|(name, col)| (*name, Column::empty(col.col_type()))).collect();
-            meta.create_table_columnar(&mut BatStore::new(), schema, table, typed)?;
-        }
-        // Ship each column to its owner.
+        let n = self.nodes.len();
+        let mut columns = Vec::with_capacity(cols.len());
         for (idx, (name, col)) in cols.into_iter().enumerate() {
-            let bat_id = BatId(self.next_bat.fetch_add(1, Ordering::Relaxed) as u32);
-            let owner_idx = idx % self.nodes.len();
+            let bat = BatId(self.next_bat.fetch_add(1, Ordering::Relaxed) as u32);
+            let owner_idx = idx % n;
+            let ty = col.col_type();
             let payload = Arc::new(Bat::dense(col));
             let size = payload.byte_size() as u64;
-            self.catalog.publish(
-                schema,
-                table,
-                name,
-                FragInfo { bat: bat_id, size, owner: NodeId(owner_idx as u16) },
-            );
-            self.nodes[owner_idx]
-                .tx
-                .send(NodeEvent::Cmd(Cmd::StoreOwned { bat: bat_id, payload }))
-                .map_err(|_| MalError::Dc("node down during load".into()))?;
+            self.nodes[owner_idx].send(Cmd::StoreOwned { bat, payload })?;
+            columns.push(CatalogCol {
+                name: name.to_string(),
+                ty,
+                bat,
+                size,
+                owner: NodeId(owner_idx as u16),
+            });
+        }
+        let gossip = CatalogMsg {
+            origin: self.nodes[0].id,
+            schema: schema.to_string(),
+            table: table.to_string(),
+            columns: columns.clone(),
+        };
+        self.nodes[0].send(Cmd::PublishTable { table: gossip, gossip: true })?;
+
+        // The gossip circulates asynchronously; make the load synchronous
+        // so a submit on any node immediately after sees the table.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for node in &self.nodes {
+            loop {
+                let ready = node.meta().read().table(schema, table).is_ok()
+                    && columns
+                        .iter()
+                        .all(|c| node.ring_catalog().lookup(schema, table, &c.name).is_some());
+                if ready {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    return Err(MalError::Dc(format!(
+                        "catalog gossip for {schema}.{table} never reached {}",
+                        node.id
+                    )));
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
         }
         Ok(())
     }
 
-    /// Compile and execute a SQL query on the given node; returns the
-    /// rendered result table.
+    /// Compile and execute one SQL statement on the given node; returns
+    /// the rendered output.
     pub fn submit_sql(&self, node_idx: usize, sql: &str) -> Result<String, MalError> {
         let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
-        let plan = {
-            let meta = self.meta.read();
-            self.templates.get_or_compile(sql, || {
-                sqlfront::compile_sql(sql, &meta)
-                    .map(|p| mal::common_subexpression_eliminate(&p))
-                    .map(|p| mal::dc_optimize(&p))
-            })?
-        };
-        self.run_plan(node_idx, qid, &plan)
+        let plan = self.nodes[node_idx].compile(sql, &self.templates)?;
+        self.nodes[node_idx].run_plan(qid, &plan)
     }
 
     /// Execute an already-compiled MAL plan on a node.
@@ -402,17 +842,7 @@ impl Ring {
         qid: u64,
         plan: &mal::Program,
     ) -> Result<String, MalError> {
-        let handle = &self.nodes[node_idx];
-        // A per-query session sharing the node's hooks.
-        let session =
-            SessionCtx::new(Arc::clone(&handle.session.catalog), Arc::clone(&handle.session.store))
-                .with_dc(handle.hooks.clone() as Arc<dyn mal::DcHooks>)
-                .with_query_id(qid);
-        let result = mal::run_dataflow(plan, &session, 4);
-        // Always clean up interest, success or failure.
-        let _ = handle.tx.send(NodeEvent::Cmd(Cmd::QueryDone { query: QueryId(qid) }));
-        result?;
-        Ok(session.take_output())
+        self.nodes[node_idx].run_plan(qid, plan)
     }
 
     /// Node placement by §6.1 bidding: returns the cheapest node for a
@@ -424,33 +854,17 @@ impl Ring {
     /// Compile `sql` and render both the front-end plan and its Data
     /// Cyclotron rewrite (EXPLAIN, Tables 1/2 style).
     pub fn explain_sql(&self, sql: &str) -> Result<(String, String), MalError> {
-        let meta = self.meta.read();
-        let plan = sqlfront::compile_sql(sql, &meta)?;
-        let dc = mal::dc_optimize(&plan);
-        Ok((plan.to_string(), dc.to_string()))
+        self.nodes[0].explain_sql(sql)
     }
 
     pub(crate) fn ring_catalog(&self) -> &RingCatalog {
-        &self.catalog
+        self.nodes[0].ring_catalog()
     }
 
     pub fn shutdown(mut self) {
-        self.do_shutdown();
-    }
-
-    fn do_shutdown(&mut self) {
-        for n in &self.nodes {
-            let _ = n.tx.send(NodeEvent::Cmd(Cmd::Shutdown));
+        for mut n in self.nodes.drain(..) {
+            n.stop();
         }
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for Ring {
-    fn drop(&mut self) {
-        self.do_shutdown();
     }
 }
 
@@ -578,6 +992,53 @@ mod tests {
         for j in joins {
             let out = j.join().unwrap();
             assert_eq!(out.matches("[ 2 ]").count(), 2);
+        }
+    }
+
+    #[test]
+    fn create_insert_select_on_ring() {
+        let ring = demo_ring(3);
+        let out = ring.submit_sql(0, "create table logs (k int, msg varchar(16))").unwrap();
+        assert!(out.contains("created"), "{out}");
+        // The DDL gossip replicates; other nodes soon compile against it.
+        assert!(ring.node(2).wait_for_table("sys", "logs", Duration::from_secs(5)));
+        let out = ring.submit_sql(0, "insert into logs values (1, 'boot'), (2, 'ready')").unwrap();
+        assert!(out.contains("2 rows affected"), "{out}");
+        // Owner-local read-your-writes.
+        let out = ring.submit_sql(0, "select msg from logs where k = 2").unwrap();
+        assert!(out.contains("ready"), "{out}");
+        // A remote node pulls the fresh fragments through the ring.
+        let out = ring.submit_sql(2, "select k, msg from logs order by k").unwrap();
+        let rows: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
+        assert_eq!(rows, vec!["[ 1,\t\"boot\" ]", "[ 2,\t\"ready\" ]"], "{out}");
+    }
+
+    #[test]
+    fn mixed_owner_insert_rejected() {
+        // Demo table `c` was round-robin loaded: its two columns have
+        // different owners, so a split (non-atomic) append is refused.
+        let ring = demo_ring(2);
+        let err = ring.submit_sql(0, "insert into c values (5, 50)").unwrap_err();
+        assert!(err.to_string().contains("multiple nodes"), "{err}");
+    }
+
+    #[test]
+    fn remote_insert_routes_to_owner() {
+        let ring = demo_ring(2);
+        ring.submit_sql(0, "create table kv (k int, v int)").unwrap();
+        assert!(ring.node(1).wait_for_table("sys", "kv", Duration::from_secs(5)));
+        // Node 1 does not own the fragments: the row batch travels the
+        // ring to node 0 and is applied there (§6.4), asynchronously.
+        let out = ring.submit_sql(1, "insert into kv values (7, 70)").unwrap();
+        assert!(out.contains("1 rows affected"), "{out}");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let out = ring.submit_sql(0, "select v from kv where k = 7").unwrap();
+            if out.contains("[ 70 ]") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "append never reached the owner: {out}");
+            std::thread::sleep(Duration::from_millis(10));
         }
     }
 }

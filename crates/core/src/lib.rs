@@ -20,11 +20,18 @@
 //! * [`requests`] — structures S2 (outstanding requests) and S3 (blocked
 //!   pins), plus the local fragment cache the pins check (§4.2.1).
 //! * [`loi`] — the LOI formula and the LOIT ladder.
-//! * [`msg`] — ring message types and their binary codec.
+//! * [`msg`] — ring message types and their binary codec, including the
+//!   catalog-replication and row-append messages of a distributed
+//!   deployment.
+//! * [`transport`] — the §4.3 network-layer seam ([`RingTransport`])
+//!   plus the default in-process fabric; the TCP fabric lives in the
+//!   `dc-transport` crate.
 //! * [`engine`] / [`runtime`] — a live multi-threaded ring: every node
 //!   runs the MonetDB-style DBMS layer (`batstore` + `mal` + `sqlfront`)
 //!   with the DC optimizer injecting `request`/`pin`/`unpin` calls that
-//!   resolve against the ring.
+//!   resolve against the ring. [`engine::Ring`] wires n nodes in-process;
+//!   [`engine::RingNode`] hosts one node over any transport for
+//!   multi-process deployments (see the `dc-node` binary).
 //! * [`bidding`], [`intermediates`], [`versions`] — the paper's §6
 //!   future-work features: nomadic query placement by cost bids, result
 //!   caching in the ring, and multi-version updates.
@@ -41,13 +48,15 @@ pub mod proto;
 pub mod requests;
 pub mod runtime;
 pub mod stats;
+pub mod transport;
 pub mod versions;
 
 pub use catalog::{OwnedState, S1Catalog};
 pub use config::DcConfig;
-pub use engine::{Ring, RingBuilder, RingNodeHandle};
+pub use engine::{NodeOptions, Ring, RingBuilder, RingNode};
 pub use ids::{BatId, NodeId, QueryId};
 pub use loi::{new_loi, LoitLadder};
-pub use msg::{decode, encode, BatHeader, DcMsg, ReqMsg};
+pub use msg::{decode, encode, AppendMsg, BatHeader, CatalogCol, CatalogMsg, DcMsg, ReqMsg};
 pub use proto::{DcNode, Effect, PinOutcome};
 pub use stats::NodeStats;
+pub use transport::{RingTransport, TransportError};

@@ -3,10 +3,16 @@
 //! "BAT messages contain the fields owner, bat_id, bat_size, loi, copies,
 //! hops, and cycles. … BAT request messages contain the variables owner
 //! and bat_id." (§4.3). We add `version`/`updating` for the §6.4 update
-//! scheme. The codec is a hand-written little-endian layout over `bytes`
-//! — small, allocation-light, and fully round-trip tested.
+//! scheme, plus two distributed-deployment messages the paper's network
+//! layer implies but does not spell out: [`CatalogMsg`] replicates table
+//! metadata clockwise so every node can compile SQL without a shared
+//! catalog, and [`AppendMsg`] carries row appends clockwise toward the
+//! fragment owner (§6.4 updates). The codec is a hand-written
+//! little-endian layout over `bytes` — small, allocation-light, and fully
+//! round-trip tested.
 
 use crate::ids::{BatId, NodeId};
+use batstore::ColType;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// The administrative header a circulating BAT carries for hot-set
@@ -71,6 +77,49 @@ pub struct ReqMsg {
     pub bat: BatId,
 }
 
+/// One column's catalog entry as replicated around the ring.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CatalogCol {
+    pub name: String,
+    pub ty: ColType,
+    pub bat: BatId,
+    pub size: u64,
+    pub owner: NodeId,
+}
+
+/// Table metadata gossip. Travels clockwise (the data direction); every
+/// node applies it to its local catalogs and forwards, and the origin
+/// drops it when it completes the cycle — the same circulate-once shape
+/// as a BAT pass, so no shared `Arc` catalog is needed across processes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CatalogMsg {
+    pub origin: NodeId,
+    pub schema: String,
+    pub table: String,
+    pub columns: Vec<CatalogCol>,
+}
+
+impl CatalogMsg {
+    fn wire_size(&self) -> u64 {
+        let names: usize = self.columns.iter().map(|c| c.name.len() + 17).sum();
+        (16 + self.schema.len() + self.table.len() + names) as u64
+    }
+}
+
+/// A row append traveling clockwise toward the fragment owner (§6.4:
+/// "when a node N processes an update request, for a BAT f…"). Each
+/// part pairs a fragment id with a serialized BAT of its new tail
+/// values; all parts of one message share an owner, which applies the
+/// whole batch in a single event so multi-column INSERTs stay atomic
+/// even when appends from several nodes interleave on the ring. If the
+/// message returns to its origin the owner is gone and the append is
+/// dropped.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppendMsg {
+    pub origin: NodeId,
+    pub parts: Vec<(BatId, Bytes)>,
+}
+
 /// Everything that flows between neighbors.
 #[derive(Clone, Debug, PartialEq)]
 pub enum DcMsg {
@@ -79,6 +128,10 @@ pub enum DcMsg {
     Bat { header: BatHeader, payload: Option<Bytes> },
     /// Anti-clockwise request flow.
     Request(ReqMsg),
+    /// Clockwise catalog replication.
+    Catalog(CatalogMsg),
+    /// Clockwise row append routed to the fragment owner.
+    Append(AppendMsg),
 }
 
 impl DcMsg {
@@ -86,12 +139,44 @@ impl DcMsg {
         match self {
             DcMsg::Bat { header, .. } => header.wire_size(),
             DcMsg::Request(_) => REQUEST_WIRE_BYTES,
+            DcMsg::Catalog(c) => c.wire_size(),
+            DcMsg::Append(a) => {
+                16 + a.parts.iter().map(|(_, rows)| 12 + rows.len() as u64).sum::<u64>()
+            }
         }
     }
 }
 
 const TAG_BAT: u8 = 1;
 const TAG_REQ: u8 = 2;
+const TAG_CATALOG: u8 = 3;
+const TAG_APPEND: u8 = 4;
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    // Identifiers longer than a u16 length cannot be framed. Truncate at
+    // a char boundary rather than writing a corrupt frame that would
+    // kill the peer's reader loop (the SQL layer rejects absurd
+    // identifiers long before this point).
+    let mut len = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(len) {
+        len -= 1;
+    }
+    b.put_u16_le(len as u16);
+    b.put_slice(&s.as_bytes()[..len]);
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, String> {
+    if buf.remaining() < 2 {
+        return Err("truncated string length".into());
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return Err(format!("truncated string: want {len}, have {}", buf.remaining()));
+    }
+    let s = std::str::from_utf8(&buf[..len]).map_err(|e| format!("bad utf8: {e}"))?.to_string();
+    buf.advance(len);
+    Ok(s)
+}
 
 /// Serialize a message for the TCP transport.
 pub fn encode(msg: &DcMsg) -> Bytes {
@@ -120,6 +205,36 @@ pub fn encode(msg: &DcMsg) -> Bytes {
             b.put_u8(TAG_REQ);
             b.put_u16_le(r.origin.0);
             b.put_u32_le(r.bat.0);
+            b.freeze()
+        }
+        DcMsg::Catalog(c) => {
+            let mut b = BytesMut::with_capacity(c.wire_size() as usize + 16);
+            b.put_u8(TAG_CATALOG);
+            b.put_u16_le(c.origin.0);
+            put_str(&mut b, &c.schema);
+            put_str(&mut b, &c.table);
+            let ncols = c.columns.len().min(u16::MAX as usize);
+            b.put_u16_le(ncols as u16);
+            for col in c.columns.iter().take(ncols) {
+                put_str(&mut b, &col.name);
+                b.put_u8(col.ty.tag());
+                b.put_u32_le(col.bat.0);
+                b.put_u64_le(col.size);
+                b.put_u16_le(col.owner.0);
+            }
+            b.freeze()
+        }
+        DcMsg::Append(a) => {
+            let mut b = BytesMut::with_capacity(msg.wire_size() as usize + 8);
+            b.put_u8(TAG_APPEND);
+            b.put_u16_le(a.origin.0);
+            let nparts = a.parts.len().min(u16::MAX as usize);
+            b.put_u16_le(nparts as u16);
+            for (bat, rows) in a.parts.iter().take(nparts) {
+                b.put_u32_le(bat.0);
+                b.put_u64_le(rows.len() as u64);
+                b.put_slice(rows);
+            }
             b.freeze()
         }
     }
@@ -165,6 +280,59 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
                 origin: NodeId(buf.get_u16_le()),
                 bat: BatId(buf.get_u32_le()),
             }))
+        }
+        TAG_CATALOG => {
+            if buf.remaining() < 2 {
+                return Err("truncated catalog origin".into());
+            }
+            let origin = NodeId(buf.get_u16_le());
+            let schema = get_str(&mut buf)?;
+            let table = get_str(&mut buf)?;
+            if buf.remaining() < 2 {
+                return Err("truncated catalog column count".into());
+            }
+            let n = buf.get_u16_le() as usize;
+            let mut columns = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = get_str(&mut buf)?;
+                if buf.remaining() < 15 {
+                    return Err("truncated catalog column".into());
+                }
+                let ty = ColType::from_tag(buf.get_u8())
+                    .ok_or_else(|| "unknown column type tag".to_string())?;
+                columns.push(CatalogCol {
+                    name,
+                    ty,
+                    bat: BatId(buf.get_u32_le()),
+                    size: buf.get_u64_le(),
+                    owner: NodeId(buf.get_u16_le()),
+                });
+            }
+            Ok(DcMsg::Catalog(CatalogMsg { origin, schema, table, columns }))
+        }
+        TAG_APPEND => {
+            if buf.remaining() < 4 {
+                return Err("truncated append header".into());
+            }
+            let origin = NodeId(buf.get_u16_le());
+            let nparts = buf.get_u16_le() as usize;
+            let mut parts = Vec::with_capacity(nparts);
+            for _ in 0..nparts {
+                if buf.remaining() < 12 {
+                    return Err("truncated append part header".into());
+                }
+                let bat = BatId(buf.get_u32_le());
+                let len = buf.get_u64_le() as usize;
+                if buf.remaining() < len {
+                    return Err(format!(
+                        "truncated append rows: want {len}, have {}",
+                        buf.remaining()
+                    ));
+                }
+                parts.push((bat, Bytes::copy_from_slice(&buf[..len])));
+                buf.advance(len);
+            }
+            Ok(DcMsg::Append(AppendMsg { origin, parts }))
         }
         other => Err(format!("unknown message tag {other}")),
     }
@@ -226,6 +394,76 @@ mod tests {
         assert_eq!((h.copies, h.hops, h.cycles), (0, 0, 0));
         assert!(!h.updating);
         assert_eq!(h.wire_size(), HEADER_WIRE_BYTES + 1000);
+    }
+
+    fn catalog_msg() -> DcMsg {
+        DcMsg::Catalog(CatalogMsg {
+            origin: NodeId(2),
+            schema: "sys".into(),
+            table: "sales".into(),
+            columns: vec![
+                CatalogCol {
+                    name: "region".into(),
+                    ty: ColType::Str,
+                    bat: BatId(11),
+                    size: 4096,
+                    owner: NodeId(0),
+                },
+                CatalogCol {
+                    name: "amount".into(),
+                    ty: ColType::Int,
+                    bat: BatId(12),
+                    size: 2048,
+                    owner: NodeId(1),
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn catalog_round_trip() {
+        let m = catalog_msg();
+        assert_eq!(decode(&encode(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn catalog_truncation_rejected() {
+        let enc = encode(&catalog_msg());
+        for cut in [1, 3, 5, 9, 12, enc.len() - 1] {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn catalog_bad_type_tag_rejected() {
+        let mut enc = encode(&catalog_msg()).to_vec();
+        // The type tag follows origin(2) + "sys"(2+3) + "sales"(2+5) +
+        // count(2) + "region"(2+6) after the message tag byte.
+        let pos = 1 + 2 + 5 + 7 + 2 + 8;
+        assert_eq!(
+            ColType::from_tag(enc[pos]),
+            Some(ColType::Str),
+            "offset arithmetic must hit the tag"
+        );
+        enc[pos] = 200;
+        assert!(decode(&enc).unwrap_err().contains("type tag"));
+    }
+
+    #[test]
+    fn append_round_trip_and_truncation() {
+        let m = DcMsg::Append(AppendMsg {
+            origin: NodeId(3),
+            parts: vec![
+                (BatId(9), Bytes::from_static(b"col-k-batch")),
+                (BatId(10), Bytes::from_static(b"col-v")),
+            ],
+        });
+        let enc = encode(&m);
+        assert_eq!(decode(&enc).unwrap(), m);
+        for cut in [2, 5, 10, enc.len() - 1] {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        assert!(m.wire_size() >= 16 + 11 + 5);
     }
 
     #[test]

@@ -383,6 +383,12 @@ impl DcNode {
         h.loi = nl;
         h.copies = 0;
         h.hops = 0;
+        // Refresh the administrative view: appends at the owner may have
+        // grown the fragment and bumped its version (§6.4) while this
+        // copy circulated; the next cycle advertises the current state
+        // (the driver forwards the owner's authoritative payload).
+        h.size = owned.size;
+        h.version = owned.version;
         owned.state = OwnedState::InRing { last_seen: now };
         self.stats.bats_forwarded += 1;
         self.stats.bytes_forwarded += h.size;

@@ -6,7 +6,8 @@
 //! fulfills waiters when fragments arrive from the predecessor.
 
 use crate::ids::{BatId, NodeId, QueryId};
-use batstore::Bat;
+use crate::msg::CatalogMsg;
+use batstore::{Bat, ColType, Column};
 use crossbeam::channel::Sender;
 use mal::{DcHooks, MalError};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -52,6 +53,17 @@ impl RingCatalog {
         self.len() == 0
     }
 
+    /// Refresh a fragment's advertised size after rows were appended
+    /// (§6.4): bidding and queue accounting should see the grown size.
+    pub fn update_size(&self, bat: BatId, size: u64) {
+        let mut cols = self.cols.write();
+        for info in cols.values_mut() {
+            if info.bat == bat {
+                info.size = size;
+            }
+        }
+    }
+
     /// How many of the given fragments each node owns (the data term of a
     /// §6.1 bid).
     pub fn owner_counts(&self, bats: &[BatId]) -> HashMap<NodeId, usize> {
@@ -66,27 +78,28 @@ impl RingCatalog {
     }
 }
 
-/// A blocked pin: fulfilled by the node event loop.
-pub struct Waiter {
-    slot: Mutex<Option<Result<Arc<Bat>, String>>>,
+/// A blocked caller fulfilled by the node event loop: pins wait for an
+/// `Arc<Bat>`, DDL/DML commands wait for a row count.
+pub struct Waiter<T = Arc<Bat>> {
+    slot: Mutex<Option<Result<T, String>>>,
     cv: Condvar,
 }
 
-impl Default for Waiter {
+impl<T> Default for Waiter<T> {
     fn default() -> Self {
         Waiter { slot: Mutex::new(None), cv: Condvar::new() }
     }
 }
 
-impl Waiter {
-    pub fn fulfill(&self, result: Result<Arc<Bat>, String>) {
+impl<T> Waiter<T> {
+    pub fn fulfill(&self, result: Result<T, String>) {
         let mut slot = self.slot.lock();
         *slot = Some(result);
         self.cv.notify_all();
     }
 
     /// Block until fulfilled or the deadline passes.
-    pub fn wait(&self, timeout: Duration) -> Result<Arc<Bat>, String> {
+    pub fn wait(&self, timeout: Duration) -> Result<T, String> {
         let mut slot = self.slot.lock();
         while slot.is_none() {
             if self.cv.wait_for(&mut slot, timeout).timed_out() && slot.is_none() {
@@ -109,6 +122,21 @@ pub enum Cmd {
     QueryDone { query: QueryId },
     /// Store an owned fragment payload at this node ("disk").
     StoreOwned { bat: BatId, payload: Arc<Bat> },
+    /// SQL DDL: create a table whose (empty) column fragments this node
+    /// owns; the metadata is gossiped clockwise around the ring.
+    CreateTable {
+        schema: String,
+        table: String,
+        cols: Vec<(String, ColType)>,
+        ack: Arc<Waiter<u64>>,
+    },
+    /// SQL DML: append rows column-at-a-time. Fragments owned locally
+    /// are updated in place (version bump, §6.4); foreign fragments are
+    /// routed clockwise to their owner as [`crate::msg::AppendMsg`]s.
+    Append { schema: String, table: String, cols: Vec<(String, Column)>, ack: Arc<Waiter<u64>> },
+    /// Publish externally-assembled table metadata into this node's
+    /// catalogs (driver-side loads); optionally gossip it clockwise.
+    PublishTable { table: CatalogMsg, gossip: bool },
     /// Stop the event loop.
     Shutdown,
 }
@@ -179,6 +207,40 @@ impl DcHooks for RingHooks {
         let bat = self.bat_of_ticket(ticket)?;
         self.send(Cmd::Unpin { query: QueryId(query), bat })
     }
+
+    fn create_table(
+        &self,
+        _query: u64,
+        schema: &str,
+        table: &str,
+        cols: &[(String, ColType)],
+    ) -> Result<(), MalError> {
+        let ack = Arc::new(Waiter::<u64>::default());
+        self.send(Cmd::CreateTable {
+            schema: schema.to_string(),
+            table: table.to_string(),
+            cols: cols.to_vec(),
+            ack: Arc::clone(&ack),
+        })?;
+        ack.wait(self.pin_timeout).map(|_| ()).map_err(MalError::Dc)
+    }
+
+    fn append_rows(
+        &self,
+        _query: u64,
+        schema: &str,
+        table: &str,
+        cols: &[(String, Column)],
+    ) -> Result<u64, MalError> {
+        let ack = Arc::new(Waiter::<u64>::default());
+        self.send(Cmd::Append {
+            schema: schema.to_string(),
+            table: table.to_string(),
+            cols: cols.to_vec(),
+            ack: Arc::clone(&ack),
+        })?;
+        ack.wait(self.pin_timeout).map_err(MalError::Dc)
+    }
 }
 
 #[cfg(test)]
@@ -199,7 +261,7 @@ mod tests {
 
     #[test]
     fn waiter_fulfill_before_wait() {
-        let w = Waiter::default();
+        let w: Waiter = Waiter::default();
         w.fulfill(Err("nope".into()));
         assert_eq!(w.wait(Duration::from_millis(10)).unwrap_err(), "nope");
     }
@@ -219,7 +281,7 @@ mod tests {
 
     #[test]
     fn waiter_times_out() {
-        let w = Waiter::default();
+        let w: Waiter = Waiter::default();
         let e = w.wait(Duration::from_millis(20)).unwrap_err();
         assert!(e.contains("timed out"));
     }

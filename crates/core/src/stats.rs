@@ -38,6 +38,13 @@ pub struct NodeStats {
     pub bats_lost: u64,
     /// Pin deliveries to local queries.
     pub deliveries: u64,
+    /// Row-append batches applied at this node as fragment owner (§6.4).
+    pub appends_applied: u64,
+    /// Row-append batches this node had to discard: the batch returned
+    /// to its origin without finding an owner, failed to decode, or its
+    /// types no longer matched the fragment. Nonzero values mean some
+    /// INSERT acknowledged elsewhere never landed.
+    pub appends_dropped: u64,
     /// Queries errored out (nonexistent BAT).
     pub query_errors: u64,
     /// Maximum observed request latency per BAT at this requester

@@ -1,0 +1,256 @@
+//! The ring-fabric seam: what a node needs from the network layer.
+//!
+//! The paper's network layer "encapsulates the envisioned RDMA
+//! infrastructure and traditional UDP/TCP functionality as a fall-back
+//! solution", exposing "asynchronous channels with guaranteed order of
+//! arrival" (§4.3). [`RingTransport`] captures exactly that contract:
+//! ordered, asynchronous delivery of [`DcMsg`]s to the two ring
+//! neighbors — BATs clockwise to the successor, requests anti-clockwise
+//! to the predecessor — plus the outbound-queue occupancy the LOIT
+//! ladder observes (§4.4).
+//!
+//! The live engine ([`crate::engine`]) is written purely against this
+//! trait. Two fabrics implement it:
+//!
+//! * [`mem`] (here) — in-process channels, the default fast path used by
+//!   [`crate::engine::Ring`],
+//! * `dc_transport::tcp` — a real TCP ring with length-prefixed frames,
+//!   dropped into [`crate::engine::RingNode`] for multi-process
+//!   deployments.
+
+use crate::msg::DcMsg;
+
+/// A node's view of the ring fabric.
+pub trait RingTransport: Send + Sync {
+    /// Send a BAT message clockwise (to the successor).
+    fn send_data(&self, msg: DcMsg) -> Result<(), TransportError>;
+    /// Send a request anti-clockwise (to the predecessor).
+    fn send_request(&self, msg: DcMsg) -> Result<(), TransportError>;
+    /// Receive the next inbound message (blocking); `None` when the ring
+    /// shut down or [`RingTransport::close`] was called.
+    fn recv(&self) -> Option<DcMsg>;
+    /// Bytes currently buffered toward the successor (the BAT queue load
+    /// that LOIT adaptation observes).
+    fn outbound_bytes(&self) -> u64;
+    /// Tear down the node's links: any thread blocked in
+    /// [`RingTransport::recv`] unblocks and every subsequent `recv`
+    /// returns `None`. Idempotent.
+    fn close(&self);
+}
+
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer is gone; the ring must heal (pulsating rings, §6.3) or
+    /// shut down.
+    Disconnected,
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "ring peer disconnected"),
+            TransportError::Io(e) => write!(f, "transport io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+pub mod mem {
+    //! In-process ring fabric over crossbeam channels.
+    //!
+    //! Zero-copy in the sense that [`DcMsg`] payloads are refcounted
+    //! `Bytes`: forwarding a fragment around the in-memory ring never
+    //! copies its body.
+
+    use super::{RingTransport, TransportError};
+    use crate::msg::DcMsg;
+    use crossbeam::channel::{unbounded, Receiver, Sender};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    enum MemEvent {
+        Msg(DcMsg),
+        /// Close sentinel a node sends to its own inbox to unblock `recv`.
+        Close,
+    }
+
+    /// One node's endpoints.
+    pub struct MemNode {
+        data_tx: Sender<MemEvent>,
+        req_tx: Sender<MemEvent>,
+        rx: Receiver<MemEvent>,
+        /// Loops back to our own inbox so `close` can wake a blocked
+        /// `recv`.
+        self_tx: Sender<MemEvent>,
+        closed: AtomicBool,
+        /// Shared with the successor: bytes we have queued toward it.
+        out_bytes: Arc<AtomicU64>,
+        /// Shared with the predecessor: bytes it queued toward us (we
+        /// decrement on receive).
+        in_bytes: Arc<AtomicU64>,
+    }
+
+    /// Build a fully-wired in-process ring of `n` nodes. A single-node
+    /// ring is a self-loop: both edges point back at the node, which is
+    /// exactly what the live engine needs for one-node deployments.
+    pub fn ring(n: usize) -> Vec<MemNode> {
+        assert!(n >= 1, "a ring needs at least one node");
+        let channels: Vec<(Sender<MemEvent>, Receiver<MemEvent>)> =
+            (0..n).map(|_| unbounded()).collect();
+        let counters: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        (0..n)
+            .map(|i| {
+                let succ = (i + 1) % n;
+                let pred = (i + n - 1) % n;
+                MemNode {
+                    data_tx: channels[succ].0.clone(),
+                    req_tx: channels[pred].0.clone(),
+                    rx: channels[i].1.clone(),
+                    self_tx: channels[i].0.clone(),
+                    closed: AtomicBool::new(false),
+                    out_bytes: Arc::clone(&counters[i]),
+                    in_bytes: Arc::clone(&counters[pred]),
+                }
+            })
+            .collect()
+    }
+
+    impl RingTransport for MemNode {
+        fn send_data(&self, msg: DcMsg) -> Result<(), TransportError> {
+            self.out_bytes.fetch_add(msg.wire_size(), Ordering::Relaxed);
+            self.data_tx.send(MemEvent::Msg(msg)).map_err(|_| TransportError::Disconnected)
+        }
+
+        fn send_request(&self, msg: DcMsg) -> Result<(), TransportError> {
+            self.req_tx.send(MemEvent::Msg(msg)).map_err(|_| TransportError::Disconnected)
+        }
+
+        fn recv(&self) -> Option<DcMsg> {
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            match self.rx.recv().ok()? {
+                MemEvent::Close => None,
+                MemEvent::Msg(msg) => {
+                    // Everything except requests traveled the data edge
+                    // and was counted by the sender's `send_data`;
+                    // requests arrive on the other edge and were never
+                    // added, so draining them would underflow.
+                    if !matches!(msg, DcMsg::Request(_)) {
+                        self.in_bytes.fetch_sub(msg.wire_size(), Ordering::Relaxed);
+                    }
+                    Some(msg)
+                }
+            }
+        }
+
+        fn outbound_bytes(&self) -> u64 {
+            self.out_bytes.load(Ordering::Relaxed)
+        }
+
+        fn close(&self) {
+            self.closed.store(true, Ordering::Release);
+            let _ = self.self_tx.send(MemEvent::Close);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::ids::{BatId, NodeId};
+        use crate::msg::{BatHeader, ReqMsg};
+
+        fn bat_msg(id: u32, size: u64) -> DcMsg {
+            DcMsg::Bat { header: BatHeader::fresh(NodeId(0), BatId(id), size), payload: None }
+        }
+
+        #[test]
+        fn data_flows_clockwise() {
+            let nodes = ring(3);
+            nodes[0].send_data(bat_msg(1, 100)).unwrap();
+            match nodes[1].recv().unwrap() {
+                DcMsg::Bat { header, .. } => assert_eq!(header.bat, BatId(1)),
+                other => panic!("{other:?}"),
+            }
+            nodes[1].send_data(bat_msg(1, 100)).unwrap();
+            assert!(matches!(nodes[2].recv().unwrap(), DcMsg::Bat { .. }));
+            nodes[2].send_data(bat_msg(1, 100)).unwrap();
+            assert!(matches!(nodes[0].recv().unwrap(), DcMsg::Bat { .. }), "wraps around");
+        }
+
+        #[test]
+        fn requests_flow_anticlockwise() {
+            let nodes = ring(3);
+            nodes[0]
+                .send_request(DcMsg::Request(ReqMsg { origin: NodeId(0), bat: BatId(9) }))
+                .unwrap();
+            match nodes[2].recv().unwrap() {
+                DcMsg::Request(r) => assert_eq!(r.bat, BatId(9)),
+                other => panic!("{other:?}"),
+            }
+        }
+
+        #[test]
+        fn outbound_bytes_tracks_queue() {
+            let nodes = ring(2);
+            assert_eq!(nodes[0].outbound_bytes(), 0);
+            nodes[0].send_data(bat_msg(1, 1000)).unwrap();
+            let queued = nodes[0].outbound_bytes();
+            assert!(queued >= 1000, "queued={queued}");
+            let _ = nodes[1].recv().unwrap();
+            assert_eq!(nodes[0].outbound_bytes(), 0, "drained on receive");
+        }
+
+        #[test]
+        fn non_bat_data_messages_drain_the_queue_counter() {
+            // Catalog gossip (and appends) travel the data edge: their
+            // bytes must leave the outbound counter on receipt, or DDL
+            // traffic permanently inflates the LOIT ladder's queue view.
+            let nodes = ring(2);
+            let gossip = DcMsg::Catalog(crate::msg::CatalogMsg {
+                origin: NodeId(0),
+                schema: "sys".into(),
+                table: "t".into(),
+                columns: vec![],
+            });
+            nodes[0].send_data(gossip).unwrap();
+            assert!(nodes[0].outbound_bytes() > 0);
+            let _ = nodes[1].recv().unwrap();
+            assert_eq!(nodes[0].outbound_bytes(), 0, "gossip drained on receive");
+        }
+
+        #[test]
+        fn single_node_ring_is_self_loop() {
+            let nodes = ring(1);
+            nodes[0].send_data(bat_msg(7, 10)).unwrap();
+            assert!(matches!(nodes[0].recv().unwrap(), DcMsg::Bat { .. }));
+        }
+
+        #[test]
+        fn close_unblocks_recv() {
+            let nodes = ring(2);
+            let n0 = &nodes[0];
+            std::thread::scope(|s| {
+                let h = s.spawn(|| n0.recv());
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                n0.close();
+                assert!(h.join().unwrap().is_none());
+            });
+            assert!(n0.recv().is_none(), "closed stays closed");
+        }
+
+        #[test]
+        #[should_panic(expected = "at least one node")]
+        fn rejects_degenerate_ring() {
+            let _ = ring(0);
+        }
+    }
+}

@@ -9,12 +9,15 @@
 //! memory and put into the DBMS space").
 
 use crate::error::{MalError, Result};
-use batstore::{Bat, BatStore, Catalog};
+use batstore::{Bat, BatStore, Catalog, ColType, Column};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
 /// The seam between the DBMS layer and the Data Cyclotron layer (§4.1):
-/// the three calls the DC optimizer injects into plans.
+/// the three calls the DC optimizer injects into plans, plus the DDL/DML
+/// entry points (`sql.createTable` / `sql.append`) that SQL statements
+/// route through so table creation and row appends reach the ring's
+/// owner/versioning machinery (§6.4) instead of a local store.
 pub trait DcHooks: Send + Sync {
     /// `datacyclotron.request(schema, table, column, access)`: announce
     /// interest; never blocks. Returns a ticket to pin against.
@@ -27,6 +30,32 @@ pub trait DcHooks: Send + Sync {
     /// `datacyclotron.unpin(ticket)`: release the fragment; the memory
     /// region may be reclaimed once all pins are gone.
     fn unpin(&self, query: u64, ticket: u64) -> Result<()>;
+
+    /// `sql.createTable`: register a new table. On a ring node this
+    /// makes the node the owner of the (empty) column fragments and
+    /// replicates the metadata around the ring.
+    fn create_table(
+        &self,
+        _query: u64,
+        schema: &str,
+        table: &str,
+        _cols: &[(String, ColType)],
+    ) -> Result<()> {
+        Err(MalError::Dc(format!("this DC seam cannot create {schema}.{table}")))
+    }
+
+    /// `sql.append`: append rows column-at-a-time; returns the number of
+    /// rows appended. On a ring node, appends to foreign fragments are
+    /// routed clockwise to their owner (§6.4) and applied there.
+    fn append_rows(
+        &self,
+        _query: u64,
+        schema: &str,
+        table: &str,
+        _cols: &[(String, Column)],
+    ) -> Result<u64> {
+        Err(MalError::Dc(format!("this DC seam cannot append to {schema}.{table}")))
+    }
 }
 
 /// Single-node hooks: requests resolve directly against the local
@@ -63,6 +92,33 @@ impl DcHooks for LocalHooks {
 
     fn unpin(&self, _query: u64, _ticket: u64) -> Result<()> {
         Ok(())
+    }
+
+    fn create_table(
+        &self,
+        _query: u64,
+        schema: &str,
+        table: &str,
+        cols: &[(String, ColType)],
+    ) -> Result<()> {
+        let mut catalog = self.catalog.write();
+        let mut store = self.store.write();
+        let typed: Vec<(&str, Column)> =
+            cols.iter().map(|(name, ty)| (name.as_str(), Column::empty(*ty))).collect();
+        catalog.create_table_columnar(&mut store, schema, table, typed)?;
+        Ok(())
+    }
+
+    fn append_rows(
+        &self,
+        _query: u64,
+        schema: &str,
+        table: &str,
+        cols: &[(String, Column)],
+    ) -> Result<u64> {
+        let mut catalog = self.catalog.write();
+        let mut store = self.store.write();
+        Ok(catalog.append_rows(&mut store, schema, table, cols)? as u64)
     }
 }
 

@@ -133,6 +133,59 @@ fn register_sql(r: &mut Registry) {
         one(MVal::Bat(b))
     });
 
+    // sql.createTable(schema, table, "name:type,…") — DDL routed through
+    // the Data Cyclotron seam so ring nodes take ownership of the new
+    // (empty) column fragments and replicate the metadata.
+    r.register("sql", "createTable", |ctx, args| {
+        want(args, 3, "sql.createTable")?;
+        let (schema, table, spec) = (
+            arg_str(args, 0, "sql.createTable")?,
+            arg_str(args, 1, "sql.createTable")?,
+            arg_str(args, 2, "sql.createTable")?,
+        );
+        let mut cols = Vec::new();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (name, ty) = part
+                .split_once(':')
+                .ok_or_else(|| MalError::BadCall(format!("bad column spec '{part}'")))?;
+            let ty = batstore::ColType::from_name(ty)
+                .ok_or_else(|| MalError::BadCall(format!("unknown column type '{ty}'")))?;
+            cols.push((name.to_string(), ty));
+        }
+        ctx.hooks().create_table(ctx.query_id, schema, table, &cols)?;
+        ctx.write_output(&format!("table {schema}.{table} created\n"));
+        Ok(vec![])
+    });
+
+    // sql.append(schema, table, "c1,c2,…", bat1, bat2, …) — one call per
+    // INSERT so the row batch reaches the seam atomically.
+    r.register("sql", "append", |ctx, args| {
+        if args.len() < 4 {
+            return Err(MalError::BadCall("sql.append: expected at least 4 args".into()));
+        }
+        let (schema, table, names) = (
+            arg_str(args, 0, "sql.append")?,
+            arg_str(args, 1, "sql.append")?,
+            arg_str(args, 2, "sql.append")?,
+        );
+        let names: Vec<&str> = names.split(',').filter(|n| !n.is_empty()).collect();
+        if names.len() != args.len() - 3 {
+            return Err(MalError::BadCall(format!(
+                "sql.append: {} column names but {} BATs",
+                names.len(),
+                args.len() - 3
+            )));
+        }
+        let mut cols = Vec::with_capacity(names.len());
+        for (i, name) in names.iter().enumerate() {
+            let b = arg_bat(args, i + 3, "sql.append")?;
+            cols.push((name.to_string(), b.tail().clone()));
+        }
+        let n = ctx.hooks().append_rows(ctx.query_id, schema, table, &cols)?;
+        ctx.write_output(&format!("{n} rows affected\n"));
+        Ok(vec![])
+    });
+
     // sql.resultSet(ncols, special, b) — allocate a result set.
     r.register("sql", "resultSet", |_ctx, args| {
         if args.len() < 3 {
@@ -189,6 +242,45 @@ fn register_bat_algebra(r: &mut Registry) {
         let mut col = batstore::Column::empty(ty);
         col.push(&v)?;
         bat(Bat::dense(col))
+    });
+
+    // bat.new(typename) — empty dense BAT of the named tail type; the
+    // seed of INSERT codegen's per-column row batches, so every literal
+    // coerces into the declared column type.
+    r.register("bat", "new", |_ctx, args| {
+        want(args, 1, "bat.new")?;
+        let ty = arg_str(args, 0, "bat.new")?;
+        let ty = batstore::ColType::from_name(ty)
+            .ok_or_else(|| MalError::BadCall(format!("bat.new: unknown type '{ty}'")))?;
+        bat(Bat::empty(ty))
+    });
+
+    // bat.literal(typename, v1, …, vn) — a dense BAT of the listed
+    // values. INSERT codegen emits one per column so an n-row batch is
+    // a single O(n) instruction (a bat.append chain would be O(n²)).
+    r.register("bat", "literal", |_ctx, args| {
+        if args.is_empty() {
+            return Err(MalError::BadCall("bat.literal: expected a type name".into()));
+        }
+        let ty = arg_str(args, 0, "bat.literal")?;
+        let ty = batstore::ColType::from_name(ty)
+            .ok_or_else(|| MalError::BadCall(format!("bat.literal: unknown type '{ty}'")))?;
+        let mut col = batstore::Column::empty(ty);
+        for i in 1..args.len() {
+            col.push(&arg_val(args, i, "bat.literal")?)?;
+        }
+        bat(Bat::dense(col))
+    });
+
+    // bat.append(b, v) — functional append: a new dense BAT with `v` at
+    // the end.
+    r.register("bat", "append", |_ctx, args| {
+        want(args, 2, "bat.append")?;
+        let b = arg_bat(args, 0, "bat.append")?;
+        let v = arg_val(args, 1, "bat.append")?;
+        let mut add = batstore::Column::empty(b.tail_type());
+        add.push(&v)?;
+        bat(b.extend_tail(&add)?)
     });
 
     r.register("algebra", "select", |_ctx, args| {
@@ -589,6 +681,70 @@ mod tests {
         call(&r, ("sql", "exportResult"), &c, &[stream[0].clone(), rs[0].clone()]);
         let out = c.take_output();
         assert!(out.contains("[ 9 ]"), "{out}");
+    }
+
+    #[test]
+    fn create_append_select_through_local_hooks() {
+        let r = Registry::standard();
+        let c = ctx();
+        call(
+            &r,
+            ("sql", "createTable"),
+            &c,
+            &[MVal::Str("sys".into()), MVal::Str("logs".into()), MVal::Str("k:int,msg:str".into())],
+        );
+        assert!(c.take_output().contains("created"));
+        // Build row batches: k = [7, 8], msg = ["a", "b"].
+        let k0 = call(&r, ("bat", "new"), &c, &[MVal::Str("int".into())]);
+        let k1 = call(&r, ("bat", "append"), &c, &[k0[0].clone(), MVal::Int(7)]);
+        let k2 = call(&r, ("bat", "append"), &c, &[k1[0].clone(), MVal::Int(8)]);
+        let m0 = call(&r, ("bat", "new"), &c, &[MVal::Str("str".into())]);
+        let m1 = call(&r, ("bat", "append"), &c, &[m0[0].clone(), MVal::Str("a".into())]);
+        let m2 = call(&r, ("bat", "append"), &c, &[m1[0].clone(), MVal::Str("b".into())]);
+        call(
+            &r,
+            ("sql", "append"),
+            &c,
+            &[
+                MVal::Str("sys".into()),
+                MVal::Str("logs".into()),
+                MVal::Str("k,msg".into()),
+                k2[0].clone(),
+                m2[0].clone(),
+            ],
+        );
+        assert!(c.take_output().contains("2 rows affected"));
+        // Visible through sql.bind.
+        let out = call(
+            &r,
+            ("sql", "bind"),
+            &c,
+            &[
+                MVal::Str("sys".into()),
+                MVal::Str("logs".into()),
+                MVal::Str("msg".into()),
+                MVal::Int(0),
+            ],
+        );
+        assert_eq!(out[0].as_bat().unwrap().count(), 2);
+    }
+
+    #[test]
+    fn append_arity_and_type_errors() {
+        let r = Registry::standard();
+        let c = ctx();
+        let b = MVal::Bat(Arc::new(Bat::dense(Column::from(vec![1]))));
+        // Name count mismatch.
+        let e = (r.lookup("sql", "append").unwrap())(
+            &c,
+            &[MVal::Str("sys".into()), MVal::Str("t".into()), MVal::Str("a,b".into()), b.clone()],
+        );
+        assert!(e.is_err());
+        // bat.new with a bogus type.
+        assert!((r.lookup("bat", "new").unwrap())(&c, &[MVal::Str("nope".into())]).is_err());
+        // bat.append type mismatch.
+        let e = (r.lookup("bat", "append").unwrap())(&c, &[b, MVal::Str("x".into())]);
+        assert!(e.is_err());
     }
 
     #[test]

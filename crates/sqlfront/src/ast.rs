@@ -1,6 +1,6 @@
 //! The SQL subset's abstract syntax.
 
-use batstore::Val;
+use batstore::{ColType, Val};
 
 /// `schema.table [alias]` — schema defaults to `sys`.
 #[derive(Clone, Debug, PartialEq)]
@@ -93,6 +93,32 @@ impl Query {
     pub fn has_aggregates(&self) -> bool {
         self.select.iter().any(|s| matches!(s, SelectItem::Agg { .. }))
     }
+}
+
+/// `CREATE TABLE [schema.]t (col type, …)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CreateStmt {
+    pub schema: String,
+    pub table: String,
+    pub cols: Vec<(String, ColType)>,
+}
+
+/// `INSERT INTO [schema.]t [(c1, …)] VALUES (v1, …)[, (…)]*`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InsertStmt {
+    pub schema: String,
+    pub table: String,
+    /// Explicit column order; `None` means the table's declared order.
+    pub columns: Option<Vec<String>>,
+    pub rows: Vec<Vec<Val>>,
+}
+
+/// One SQL statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    Select(Query),
+    CreateTable(CreateStmt),
+    Insert(InsertStmt),
 }
 
 #[cfg(test)]

@@ -696,10 +696,97 @@ fn apply_order_limit(c: &mut Compiler, q: &Query, outs: &mut [OutCol]) -> Result
     Ok(())
 }
 
-/// Parse and compile in one step.
+/// Compile any parsed statement against the catalog.
+pub fn compile_stmt(stmt: &Stmt, catalog: &Catalog) -> Result<Program> {
+    match stmt {
+        Stmt::Select(q) => compile(q, catalog),
+        Stmt::CreateTable(c) => compile_create(c),
+        Stmt::Insert(i) => compile_insert(i, catalog),
+    }
+}
+
+/// `CREATE TABLE` lowers to one `sql.createTable` call; existence is
+/// checked where the statement executes (on a ring, at the owner node).
+fn compile_create(c: &CreateStmt) -> Result<Program> {
+    let mut prog = Program::new("user", "s1_1");
+    let spec: Vec<String> = c.cols.iter().map(|(n, t)| format!("{n}:{}", t.name())).collect();
+    prog.push(Instr::call(
+        "sql",
+        "createTable",
+        vec![Gen::cstr(&c.schema), Gen::cstr(&c.table), Gen::cstr(&spec.join(","))],
+    ));
+    Ok(prog)
+}
+
+/// `INSERT` builds one dense row-batch BAT per column — a single
+/// `bat.literal` call carrying the declared column type and all the
+/// column's values — and hands the whole batch to one `sql.append`
+/// call, which routes it through the Data Cyclotron seam to the
+/// fragment owners.
+fn compile_insert(i: &InsertStmt, catalog: &Catalog) -> Result<Program> {
+    let def = catalog
+        .table(&i.schema, &i.table)
+        .map_err(|e| err(format!("unknown table {}.{}: {e}", i.schema, i.table)))?;
+    if i.rows.is_empty() {
+        return Err(err("INSERT needs at least one row"));
+    }
+    // Position of each table column inside the VALUES tuples.
+    let positions: Vec<usize> = match &i.columns {
+        None => {
+            if i.rows[0].len() != def.columns.len() {
+                return Err(err(format!(
+                    "row has {} values but {}.{} has {} columns",
+                    i.rows[0].len(),
+                    i.schema,
+                    i.table,
+                    def.columns.len()
+                )));
+            }
+            (0..def.columns.len()).collect()
+        }
+        Some(listed) => {
+            if listed.len() != def.columns.len() {
+                return Err(err(format!(
+                    "INSERT must list all {} columns of {}.{}",
+                    def.columns.len(),
+                    i.schema,
+                    i.table
+                )));
+            }
+            def.columns
+                .iter()
+                .map(|c| {
+                    listed
+                        .iter()
+                        .position(|n| *n == c.name)
+                        .ok_or_else(|| err(format!("column '{}' missing from INSERT list", c.name)))
+                })
+                .collect::<Result<_>>()?
+        }
+    };
+
+    let mut g = Gen { prog: Program::new("user", "s1_1"), next_var: 0, catalog };
+    let mut batch_vars = Vec::with_capacity(def.columns.len());
+    for (col, &pos) in def.columns.iter().zip(&positions) {
+        let mut args = Vec::with_capacity(i.rows.len() + 1);
+        args.push(Gen::cstr(col.ty.name()));
+        for row in &i.rows {
+            args.push(Gen::cval(&row[pos])?);
+        }
+        batch_vars.push(g.emit("bat", "literal", args));
+    }
+    let names: Vec<&str> = def.columns.iter().map(|c| c.name.as_str()).collect();
+    let mut args = vec![Gen::cstr(&i.schema), Gen::cstr(&i.table), Gen::cstr(&names.join(","))];
+    args.extend(batch_vars.into_iter().map(Arg::Var));
+    g.emit_void("sql", "append", args);
+    Ok(g.prog)
+}
+
+/// Parse and compile one statement (SELECT, CREATE TABLE, or INSERT) in
+/// one step.
 pub fn compile_sql(sql: &str, catalog: &Catalog) -> Result<Program> {
-    let q = crate::parser::parse_query(sql)?;
-    compile(&q, catalog)
+    let stmt = crate::parser::parse_stmt(sql)?;
+    compile_stmt(&stmt, catalog)
 }
 
 #[cfg(test)]
@@ -887,6 +974,73 @@ mod tests {
         ] {
             assert!(compile_sql(bad, &catalog).is_err(), "should fail: {bad}");
         }
+    }
+
+    #[test]
+    fn create_insert_select_full_cycle() {
+        // Statements run against one shared session (LocalHooks).
+        let catalog = Arc::new(RwLock::new(Catalog::new()));
+        let store = Arc::new(RwLock::new(BatStore::new()));
+        let ctx = SessionCtx::new(Arc::clone(&catalog), Arc::clone(&store));
+
+        let run_stmt = |sql: &str, ctx: &SessionCtx| {
+            let prog = {
+                let cat = catalog.read();
+                compile_sql(sql, &cat).unwrap_or_else(|e| panic!("{sql}: {e}"))
+            };
+            run_sequential(&prog, ctx).unwrap_or_else(|e| panic!("{sql}:\n{prog}\n{e}"));
+            ctx.take_output()
+        };
+
+        let out = run_stmt("create table logs (k int, msg varchar(16))", &ctx);
+        assert!(out.contains("created"), "{out}");
+        let out = run_stmt("insert into logs values (1, 'boot'), (2, 'ready')", &ctx);
+        assert!(out.contains("2 rows affected"), "{out}");
+        // Explicit column list in a different order.
+        let out = run_stmt("insert into logs (msg, k) values ('late', 3)", &ctx);
+        assert!(out.contains("1 rows affected"), "{out}");
+        let out = run_stmt("select msg from logs where k >= 2 order by msg", &ctx);
+        let rows: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
+        assert_eq!(rows, vec!["[ \"late\" ]", "[ \"ready\" ]"], "{out}");
+    }
+
+    #[test]
+    fn insert_error_paths() {
+        let (catalog, _) = setup();
+        for bad in [
+            "insert into ghost values (1)",
+            "insert into c values (1)",                  // arity vs table
+            "insert into c (t_id) values (1)",           // partial column list
+            "insert into c (t_id, ghost) values (1, 2)", // unknown column
+        ] {
+            assert!(compile_sql(bad, &catalog).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn insert_survives_cse_and_dc_optimize() {
+        // Identical literals across columns/rows must not corrupt the
+        // plan when CSE merges the pure bat.* calls, and dc_optimize must
+        // pass DDL/DML through untouched.
+        let catalog = Arc::new(RwLock::new(Catalog::new()));
+        let store = Arc::new(RwLock::new(BatStore::new()));
+        let ctx = SessionCtx::new(Arc::clone(&catalog), Arc::clone(&store));
+        {
+            let prog = compile_sql("create table p (a int, b int)", &catalog.read()).unwrap();
+            run_sequential(&prog, &ctx).unwrap();
+        }
+        let prog = {
+            let cat = catalog.read();
+            let p = compile_sql("insert into p values (7, 7), (7, 7)", &cat).unwrap();
+            let p = mal::common_subexpression_eliminate(&p);
+            mal::dc_optimize(&p)
+        };
+        run_sequential(&prog, &ctx).unwrap();
+        assert!(ctx.take_output().contains("2 rows affected"));
+        let key = catalog.read().bind("sys", "p", "b").unwrap();
+        let b = ctx.store.read().get(key).unwrap();
+        assert_eq!(b.count(), 2);
+        assert_eq!(b.bun(1).1, Val::Int(7));
     }
 
     #[test]

@@ -20,9 +20,9 @@ pub mod ast;
 pub mod codegen;
 pub mod parser;
 
-pub use ast::{Expr, OrderKey, Query, SelectItem, TableRef};
-pub use codegen::{compile, compile_sql};
-pub use parser::parse_query;
+pub use ast::{CreateStmt, Expr, InsertStmt, OrderKey, Query, SelectItem, Stmt, TableRef};
+pub use codegen::{compile, compile_sql, compile_stmt};
+pub use parser::{parse_query, parse_stmt};
 
 use mal::{MalError, Result};
 

@@ -131,6 +131,11 @@ impl P {
 
     fn word(&mut self) -> Result<String> {
         match self.next()? {
+            // Identifiers travel in catalog gossip frames with u16
+            // lengths; cap them far below that so framing never bites.
+            Tok::Word(w) if w.len() > 1024 => {
+                Err(err(format!("identifier too long ({} chars, max 1024)", w.len())))
+            }
             Tok::Word(w) => Ok(w),
             other => Err(err(format!("expected identifier, got {other:?}"))),
         }
@@ -257,6 +262,136 @@ fn parse_predicate(p: &mut P) -> Result<Predicate> {
             Ok(Predicate::Cmp { col, op, lit })
         }
     }
+}
+
+/// `[schema.]table` with the `sys` default.
+fn parse_qualified_table(p: &mut P) -> Result<(String, String)> {
+    let first = p.word()?;
+    if p.peek() == Some(&Tok::Dot) {
+        p.next()?;
+        Ok((first, p.word()?))
+    } else {
+        Ok(("sys".to_string(), first))
+    }
+}
+
+/// Parse one statement: SELECT, CREATE TABLE, or INSERT.
+pub fn parse_stmt(sql: &str) -> Result<Stmt> {
+    let toks = lex(sql)?;
+    let mut p = P { toks, pos: 0 };
+    if p.peek_kw("create") {
+        return parse_create(&mut p);
+    }
+    if p.peek_kw("insert") {
+        return parse_insert(&mut p);
+    }
+    parse_query(sql).map(Stmt::Select)
+}
+
+/// `CREATE TABLE [schema.]t (col type, …)`.
+fn parse_create(p: &mut P) -> Result<Stmt> {
+    p.expect_kw("create")?;
+    p.expect_kw("table")?;
+    let (schema, table) = parse_qualified_table(p)?;
+    match p.next()? {
+        Tok::LParen => {}
+        other => return Err(err(format!("expected '(' after table name, got {other:?}"))),
+    }
+    let mut cols = Vec::new();
+    loop {
+        let name = p.word()?;
+        let tyname = p.word()?;
+        let ty = batstore::ColType::from_name(&tyname.to_ascii_lowercase())
+            .ok_or_else(|| err(format!("unknown column type '{tyname}'")))?;
+        // Tolerate a precision suffix like varchar(32) / decimal(10, 2).
+        if p.peek() == Some(&Tok::LParen) {
+            p.next()?;
+            loop {
+                match p.next()? {
+                    Tok::RParen => break,
+                    Tok::Num(_) | Tok::Comma => continue,
+                    other => return Err(err(format!("bad type precision, got {other:?}"))),
+                }
+            }
+        }
+        cols.push((name, ty));
+        match p.next()? {
+            Tok::Comma => continue,
+            Tok::RParen => break,
+            other => return Err(err(format!("expected ',' or ')', got {other:?}"))),
+        }
+    }
+    if cols.is_empty() {
+        return Err(err("a table needs at least one column"));
+    }
+    if let Some(t) = p.peek() {
+        return Err(err(format!("trailing tokens starting at {t:?}")));
+    }
+    Ok(Stmt::CreateTable(CreateStmt { schema, table, cols }))
+}
+
+/// `INSERT INTO [schema.]t [(c1, …)] VALUES (v1, …)[, (…)]*`.
+fn parse_insert(p: &mut P) -> Result<Stmt> {
+    p.expect_kw("insert")?;
+    p.expect_kw("into")?;
+    let (schema, table) = parse_qualified_table(p)?;
+    let columns = if p.peek() == Some(&Tok::LParen) {
+        p.next()?;
+        let mut cols = Vec::new();
+        loop {
+            cols.push(p.word()?);
+            match p.next()? {
+                Tok::Comma => continue,
+                Tok::RParen => break,
+                other => return Err(err(format!("expected ',' or ')', got {other:?}"))),
+            }
+        }
+        Some(cols)
+    } else {
+        None
+    };
+    p.expect_kw("values")?;
+    let mut rows = Vec::new();
+    loop {
+        match p.next()? {
+            Tok::LParen => {}
+            other => return Err(err(format!("expected '(' before a row, got {other:?}"))),
+        }
+        let mut row = Vec::new();
+        loop {
+            row.push(parse_literal(p)?);
+            match p.next()? {
+                Tok::Comma => continue,
+                Tok::RParen => break,
+                other => return Err(err(format!("expected ',' or ')', got {other:?}"))),
+            }
+        }
+        if let Some(cols) = &columns {
+            if row.len() != cols.len() {
+                return Err(err(format!(
+                    "row has {} values but {} columns are listed",
+                    row.len(),
+                    cols.len()
+                )));
+            }
+        }
+        if let Some(prev) = rows.last() {
+            let prev: &Vec<Val> = prev;
+            if row.len() != prev.len() {
+                return Err(err("all inserted rows must have the same arity"));
+            }
+        }
+        rows.push(row);
+        if p.peek() == Some(&Tok::Comma) {
+            p.next()?;
+        } else {
+            break;
+        }
+    }
+    if let Some(t) = p.peek() {
+        return Err(err(format!("trailing tokens starting at {t:?}")));
+    }
+    Ok(Stmt::Insert(InsertStmt { schema, table, columns, rows }))
 }
 
 /// Parse one SELECT statement.
@@ -413,6 +548,55 @@ mod tests {
         assert!(parse_query("select a from t limit x").is_err());
         assert!(parse_query("select a from t extra junk??").is_err());
         assert!(parse_query("select a from t where a < b",).is_err(), "non-equi column cmp");
+    }
+
+    #[test]
+    fn create_table_statement() {
+        let Stmt::CreateTable(c) =
+            parse_stmt("create table mydb.logs (k int, msg varchar(32), score dbl)").unwrap()
+        else {
+            panic!("expected CREATE")
+        };
+        assert_eq!((c.schema.as_str(), c.table.as_str()), ("mydb", "logs"));
+        use batstore::ColType::*;
+        assert_eq!(
+            c.cols,
+            vec![("k".to_string(), Int), ("msg".to_string(), Str), ("score".to_string(), Dbl)]
+        );
+        // Default schema.
+        let Stmt::CreateTable(c) = parse_stmt("CREATE TABLE t (a int)").unwrap() else { panic!() };
+        assert_eq!(c.schema, "sys");
+    }
+
+    #[test]
+    fn insert_statement_forms() {
+        let Stmt::Insert(i) = parse_stmt("insert into t values (1, 'x'), (2, 'y')").unwrap() else {
+            panic!("expected INSERT")
+        };
+        assert_eq!(i.rows.len(), 2);
+        assert_eq!(i.rows[1], vec![Val::Int(2), Val::Str("y".into())]);
+        assert!(i.columns.is_none());
+
+        let Stmt::Insert(i) = parse_stmt("insert into s.t (b, a) values (1, 2)").unwrap() else {
+            panic!()
+        };
+        assert_eq!(i.columns, Some(vec!["b".to_string(), "a".to_string()]));
+        assert_eq!(i.schema, "s");
+    }
+
+    #[test]
+    fn select_through_parse_stmt() {
+        assert!(matches!(parse_stmt("select a from t").unwrap(), Stmt::Select(_)));
+    }
+
+    #[test]
+    fn ddl_dml_errors() {
+        assert!(parse_stmt("create table t ()").is_err(), "no columns");
+        assert!(parse_stmt("create table t (a frobtype)").is_err(), "bad type");
+        assert!(parse_stmt("create table t (a int) extra").is_err(), "trailing");
+        assert!(parse_stmt("insert into t (a, b) values (1)").is_err(), "arity vs column list");
+        assert!(parse_stmt("insert into t values (1), (1, 2)").is_err(), "ragged rows");
+        assert!(parse_stmt("insert into t values 1").is_err(), "missing parens");
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! `dc-node` — a standalone Data Cyclotron ring member.
+//!
+//! Each process joins the TCP ring by its neighbors' addresses, runs the
+//! full engine (protocol state machine + SQL→MAL stack), and serves SQL
+//! over a plain TCP socket: one statement per connection, the rendered
+//! result streamed back.
+//!
+//! ```sh
+//! # A three-node ring on one machine (run each in its own terminal):
+//! dc-node serve --ring 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403 --me 0 --sql 127.0.0.1:7501
+//! dc-node serve --ring 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403 --me 1 --sql 127.0.0.1:7502
+//! dc-node serve --ring 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403 --me 2 --sql 127.0.0.1:7503
+//!
+//! # Then talk SQL to any member:
+//! dc-node query 127.0.0.1:7501 "create table kv (k int, v varchar(16))"
+//! dc-node query 127.0.0.1:7501 "insert into kv values (1, 'hello'), (2, 'ring')"
+//! dc-node query 127.0.0.1:7502 "select k, v from kv order by k"
+//! ```
+//!
+//! `--demo` preloads the `sys.sales` demo table owned by this node.
+//! A statement of the form `.wait <table>` blocks until the node's
+//! catalog replica knows `sys.<table>` (useful when scripting against a
+//! freshly created table from another node).
+
+use batstore::Column;
+use datacyclotron::{DcConfig, NodeId, NodeOptions, RingNode};
+use dc_transport::tcp::join_ring;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dc-node serve --ring <a1,a2,…> --me <i> --sql <addr> [--demo]\n  dc-node query <addr> <sql>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("query") => query(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn parse_addr(s: &str) -> SocketAddr {
+    s.parse().unwrap_or_else(|e| {
+        eprintln!("bad address '{s}': {e}");
+        std::process::exit(2);
+    })
+}
+
+fn serve(args: &[String]) -> ! {
+    let mut ring = Vec::new();
+    let mut me = None;
+    let mut sql = None;
+    let mut demo = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ring" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                ring = spec.split(',').map(parse_addr).collect();
+            }
+            "--me" => me = it.next().and_then(|s| s.parse::<usize>().ok()),
+            "--sql" => sql = it.next().map(|s| parse_addr(s)),
+            "--demo" => demo = true,
+            _ => usage(),
+        }
+    }
+    let (Some(me), Some(sql)) = (me, sql) else { usage() };
+    if ring.len() < 2 || me >= ring.len() {
+        usage();
+    }
+
+    eprintln!("[dc-node {me}] joining ring {ring:?}");
+    let transport = Arc::new(join_ring(&ring, me).unwrap_or_else(|e| {
+        eprintln!("[dc-node {me}] failed to join ring: {e}");
+        std::process::exit(1);
+    }));
+    let opts = NodeOptions {
+        cfg: DcConfig {
+            load_interval: netsim::SimDuration::from_millis(10),
+            resend_timeout: netsim::SimDuration::from_millis(500),
+            ..DcConfig::default()
+        },
+        pin_timeout: Duration::from_secs(20),
+        ..NodeOptions::default()
+    };
+    let node = RingNode::spawn(NodeId(me as u16), transport, opts);
+
+    if demo {
+        node.load_table(
+            "sys",
+            "sales",
+            vec![
+                ("k", Column::from((0..100).collect::<Vec<i32>>())),
+                (
+                    "amount",
+                    Column::from((0..100).map(|i| (i * 37 + 11) % 500).collect::<Vec<i32>>()),
+                ),
+            ],
+        )
+        .expect("load demo table");
+        eprintln!("[dc-node {me}] demo table sys.sales loaded (owned here)");
+    }
+
+    let listener = TcpListener::bind(sql).unwrap_or_else(|e| {
+        eprintln!("[dc-node {me}] cannot bind SQL address {sql}: {e}");
+        std::process::exit(1);
+    });
+    // The smoke scripts grep for this marker.
+    println!("dc-node {me} ready: sql on {sql}");
+
+    // One thread per connection, with a read deadline: a client that
+    // connects and never finishes its statement must not stall SQL
+    // service for everyone else.
+    let node = Arc::new(node);
+    for conn in listener.incoming() {
+        let Ok(conn) = conn else { continue };
+        let node = Arc::clone(&node);
+        std::thread::spawn(move || handle_sql_conn(conn, &node));
+    }
+    unreachable!("listener iterator never ends");
+}
+
+fn handle_sql_conn(mut conn: TcpStream, node: &RingNode) {
+    conn.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    let mut stmt = String::new();
+    if conn.read_to_string(&mut stmt).is_err() {
+        return; // timed out or died mid-statement
+    }
+    let stmt = stmt.trim();
+    let reply = if let Some(table) = stmt.strip_prefix(".wait ") {
+        if node.wait_for_table("sys", table.trim(), Duration::from_secs(10)) {
+            "ok\n".to_string()
+        } else {
+            format!("error: table sys.{table} never replicated\n")
+        }
+    } else {
+        match node.submit_sql(stmt) {
+            Ok(out) => out,
+            Err(e) => format!("error: {e}\n"),
+        }
+    };
+    let _ = conn.write_all(reply.as_bytes());
+}
+
+fn query(args: &[String]) -> ! {
+    let (Some(addr), Some(sql)) = (args.first(), args.get(1)) else { usage() };
+    let addr = parse_addr(addr);
+    let mut conn = TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    conn.write_all(sql.as_bytes()).expect("send statement");
+    conn.shutdown(std::net::Shutdown::Write).ok();
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).expect("read reply");
+    print!("{reply}");
+    std::process::exit(if reply.starts_with("error:") { 1 } else { 0 });
+}

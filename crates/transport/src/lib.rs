@@ -5,56 +5,29 @@
 //! solution" (§4). RDMA hardware is unavailable here, so this crate
 //! provides the fall-back as a first-class citizen:
 //!
-//! * [`mem`] — an in-process ring over crossbeam channels (zero-copy
-//!   `Arc` payloads), used by the live engine and tests,
+//! * [`mem`] — an in-process ring over crossbeam channels (refcounted
+//!   `Bytes` payloads), used by the live engine and tests,
 //! * [`tcp`] — a real TCP ring with length-prefixed frames carrying the
 //!   `datacyclotron::msg` codec, suitable for multi-process deployment
 //!   on a LAN.
 //!
-//! Both expose the same shape: each node sends BATs clockwise to its
-//! successor and requests anti-clockwise to its predecessor, and drains
-//! one inbound stream of [`datacyclotron::DcMsg`].
+//! Both implement [`RingTransport`] (defined in `datacyclotron` so the
+//! engine can consume it without a dependency cycle; re-exported here):
+//! each node sends BATs clockwise to its successor and requests
+//! anti-clockwise to its predecessor, and drains one inbound stream of
+//! [`datacyclotron::DcMsg`].
+//!
+//! The crate also ships the `dc-node` binary: a standalone ring-member
+//! process serving SQL over the TCP fabric (see `src/bin/dc_node.rs` and
+//! the README's "Distributed deployment" section).
 
-pub mod mem;
 pub mod tcp;
 
-use datacyclotron::DcMsg;
+pub use datacyclotron::transport::{RingTransport, TransportError};
 
-/// A node's view of the ring fabric.
-pub trait RingTransport: Send {
-    /// Send a BAT message clockwise (to the successor).
-    fn send_data(&self, msg: DcMsg) -> Result<(), TransportError>;
-    /// Send a request anti-clockwise (to the predecessor).
-    fn send_request(&self, msg: DcMsg) -> Result<(), TransportError>;
-    /// Receive the next inbound message (blocking); `None` when the ring
-    /// shut down.
-    fn recv(&self) -> Option<DcMsg>;
-    /// Bytes currently buffered toward the successor (the BAT queue load
-    /// that LOIT adaptation observes).
-    fn outbound_bytes(&self) -> u64;
-}
-
-#[derive(Debug)]
-pub enum TransportError {
-    /// The peer is gone; the ring must heal (pulsating rings, §6.3) or
-    /// shut down.
-    Disconnected,
-    Io(std::io::Error),
-}
-
-impl std::fmt::Display for TransportError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TransportError::Disconnected => write!(f, "ring peer disconnected"),
-            TransportError::Io(e) => write!(f, "transport io: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for TransportError {}
-
-impl From<std::io::Error> for TransportError {
-    fn from(e: std::io::Error) -> Self {
-        TransportError::Io(e)
-    }
+pub mod mem {
+    //! In-process ring fabric (re-exported from
+    //! [`datacyclotron::transport::mem`], where the live engine's default
+    //! fast path lives).
+    pub use datacyclotron::transport::mem::{ring, MemNode};
 }

@@ -16,6 +16,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Default cap on a single frame (64 MiB). A corrupt or malicious peer
+/// can claim any length in the prefix; the cap bounds what we are
+/// willing to read, and [`read_frame_capped`] never allocates the
+/// claimed length up front — the buffer grows only as bytes arrive.
+pub const DEFAULT_MAX_FRAME: usize = 64 << 20;
+
 /// Write one frame.
 pub fn write_frame(stream: &mut impl Write, msg: &DcMsg) -> std::io::Result<()> {
     let bytes = encode(msg);
@@ -24,24 +30,48 @@ pub fn write_frame(stream: &mut impl Write, msg: &DcMsg) -> std::io::Result<()> 
     stream.flush()
 }
 
-/// Read one frame; `Ok(None)` on clean EOF.
+/// Read one frame with the [`DEFAULT_MAX_FRAME`] cap; `Ok(None)` on
+/// clean EOF (connection closed between frames).
 pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<DcMsg>> {
+    read_frame_capped(stream, DEFAULT_MAX_FRAME)
+}
+
+/// Read one frame, rejecting lengths above `max_frame`.
+///
+/// EOF handling distinguishes the two cases a peer shutdown can produce:
+/// zero bytes before the length prefix is a clean close (`Ok(None)`);
+/// EOF *inside* the prefix or the payload is a truncated frame and
+/// surfaces as an error.
+pub fn read_frame_capped(
+    stream: &mut impl Read,
+    max_frame: usize,
+) -> std::io::Result<Option<DcMsg>> {
     let mut len_buf = [0u8; 4];
-    match stream.read_exact(&mut len_buf) {
+    // The first byte decides clean-close vs truncation.
+    match stream.read_exact(&mut len_buf[..1]) {
         Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
     }
+    stream.read_exact(&mut len_buf[1..])?;
     let len = u32::from_le_bytes(len_buf) as usize;
-    // Guard against absurd frames (corrupt peer): 1 GiB cap.
-    if len > 1 << 30 {
+    if len > max_frame {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds cap"),
+            format!("frame of {len} bytes exceeds the {max_frame}-byte cap"),
         ));
     }
-    let mut buf = vec![0u8; len];
-    stream.read_exact(&mut buf)?;
+    // `take` + `read_to_end` grows the buffer geometrically as data
+    // actually arrives: an untrusted length never turns into an upfront
+    // allocation.
+    let mut buf = Vec::new();
+    stream.take(len as u64).read_to_end(&mut buf)?;
+    if buf.len() < len {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            format!("truncated frame: want {len} bytes, got {}", buf.len()),
+        ));
+    }
     decode(&buf).map(Some).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
@@ -51,21 +81,53 @@ pub struct TcpNode {
     req_out: Mutex<TcpStream>,
     inbox: Receiver<DcMsg>,
     out_bytes: Arc<AtomicU64>,
-    readers: Vec<JoinHandle<()>>,
-    // Clones of the inbound streams so `shutdown` can force the reader
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    // Clones of the inbound streams so `close` can force the reader
     // threads off their blocking reads without waiting for peers.
     inbound: Vec<TcpStream>,
 }
 
-/// Establish a full TCP ring on the given addresses; `me` is this
-/// process's position. Every participant must call this concurrently
-/// (each listens on `addrs[me]` and dials its two neighbors).
+/// Establish a full TCP ring on the given addresses with the default
+/// frame cap; `me` is this process's position. Every participant must
+/// call this concurrently (each listens on `addrs[me]` and dials its two
+/// neighbors).
 ///
 /// Connection protocol: each node accepts exactly two inbound
 /// connections — one from its predecessor (data) and one from its
 /// successor (requests) — distinguished by a 1-byte hello (`b'D'` /
 /// `b'R'`).
+///
+/// ```
+/// use datacyclotron::{BatId, DcMsg, NodeId, ReqMsg};
+/// use dc_transport::tcp::join_ring;
+/// use dc_transport::RingTransport;
+/// use std::net::TcpListener;
+///
+/// // Reserve two free local ports, then join from two threads.
+/// let ports: Vec<_> = (0..2).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+/// let addrs: Vec<_> = ports.iter().map(|l| l.local_addr().unwrap()).collect();
+/// drop(ports);
+/// let addrs2 = addrs.clone();
+/// let peer = std::thread::spawn(move || join_ring(&addrs2, 1).unwrap());
+/// let n0 = join_ring(&addrs, 0).unwrap();
+/// let n1 = peer.join().unwrap();
+///
+/// n0.send_request(DcMsg::Request(ReqMsg { origin: NodeId(0), bat: BatId(7) })).unwrap();
+/// assert!(matches!(n1.recv(), Some(DcMsg::Request(r)) if r.bat == BatId(7)));
+/// n0.close();
+/// n1.close();
+/// ```
 pub fn join_ring(addrs: &[SocketAddr], me: usize) -> Result<TcpNode, TransportError> {
+    join_ring_capped(addrs, me, DEFAULT_MAX_FRAME)
+}
+
+/// [`join_ring`] with an explicit per-frame byte cap for the two inbound
+/// streams.
+pub fn join_ring_capped(
+    addrs: &[SocketAddr],
+    me: usize,
+    max_frame: usize,
+) -> Result<TcpNode, TransportError> {
     assert!(addrs.len() >= 2, "a ring needs at least two nodes");
     assert!(me < addrs.len());
     let n = addrs.len();
@@ -129,7 +191,7 @@ pub fn join_ring(addrs: &[SocketAddr], me: usize) -> Result<TcpNode, TransportEr
         let tx = tx.clone();
         readers.push(std::thread::spawn(move || {
             let mut stream = stream;
-            while let Ok(Some(msg)) = read_frame(&mut stream) {
+            while let Ok(Some(msg)) = read_frame_capped(&mut stream, max_frame) {
                 if tx.send(msg).is_err() {
                     break;
                 }
@@ -143,7 +205,7 @@ pub fn join_ring(addrs: &[SocketAddr], me: usize) -> Result<TcpNode, TransportEr
         req_out: Mutex::new(req_out),
         inbox,
         out_bytes,
-        readers,
+        readers: Mutex::new(readers),
         inbound,
     })
 }
@@ -168,6 +230,21 @@ impl RingTransport for TcpNode {
     fn outbound_bytes(&self) -> u64 {
         self.out_bytes.load(Ordering::Relaxed)
     }
+
+    /// Tear down the node: shut both outgoing streams, force the inbound
+    /// streams shut so the reader threads leave their blocking reads
+    /// immediately, then join them. Safe to call in any order across
+    /// ring members — no peer coordination is required — and idempotent.
+    fn close(&self) {
+        let _ = self.data_out.lock().shutdown(std::net::Shutdown::Both);
+        let _ = self.req_out.lock().shutdown(std::net::Shutdown::Both);
+        for s in &self.inbound {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        for r in self.readers.lock().drain(..) {
+            let _ = r.join();
+        }
+    }
 }
 
 impl TcpNode {
@@ -176,19 +253,9 @@ impl TcpNode {
         self.inbox.try_recv().ok()
     }
 
-    /// Tear down the node: close both outgoing streams, force the
-    /// inbound streams shut so the reader threads leave their blocking
-    /// reads immediately, then join them. Safe to call in any order
-    /// across ring members — no peer coordination is required.
+    /// Consuming alias of [`RingTransport::close`].
     pub fn shutdown(self) {
-        drop(self.data_out);
-        drop(self.req_out);
-        for s in &self.inbound {
-            let _ = s.shutdown(std::net::Shutdown::Both);
-        }
-        for r in self.readers {
-            let _ = r.join();
-        }
+        self.close();
     }
 }
 

@@ -1,0 +1,82 @@
+//! A distributed SQL cluster driver: three full engine nodes — separate
+//! event loops, catalogs, and fragment stores — connected only by TCP
+//! sockets, serving the complete SQL → MAL → ring stack.
+//!
+//! The demo creates a table on node 0 (which becomes the fragment
+//! owner), watches the catalog gossip replicate to the other members,
+//! inserts rows through the MAL plan, and runs the same SELECT on every
+//! node: the two data-less nodes pull the fragments through the ring.
+//!
+//! ```sh
+//! cargo run --example sql_tcp_cluster
+//! ```
+//!
+//! For genuinely separate processes, run the `dc-node` binary instead —
+//! this example drives the identical `RingNode` engine in threads so it
+//! can assert on the results.
+
+use datacyclotron::{DcConfig, NodeId, NodeOptions, RingNode, RingTransport};
+use dc_transport::tcp::join_ring;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    let ls: Vec<TcpListener> = (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    ls.iter().map(|l| l.local_addr().unwrap()).collect()
+}
+
+fn main() {
+    let addrs = free_addrs(3);
+    println!("ring addresses: {addrs:?}");
+
+    // Every member joins concurrently: each listens on its own address
+    // and dials its two neighbors.
+    let mut joins = Vec::new();
+    for me in 0..3 {
+        let addrs = addrs.clone();
+        joins.push(std::thread::spawn(move || {
+            let transport = Arc::new(join_ring(&addrs, me).expect("join ring"));
+            let opts = NodeOptions {
+                cfg: DcConfig {
+                    load_interval: netsim::SimDuration::from_millis(5),
+                    ..DcConfig::default()
+                },
+                pin_timeout: Duration::from_secs(20),
+                ..NodeOptions::default()
+            };
+            RingNode::spawn(NodeId(me as u16), transport as Arc<dyn RingTransport>, opts)
+        }));
+    }
+    let nodes: Vec<RingNode> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    println!("three engine nodes up, speaking only TCP to their neighbors\n");
+
+    // DDL on node 0: it owns the new fragments; the metadata gossips
+    // clockwise around the ring.
+    let out = nodes[0].submit_sql("create table kv (k int, v varchar(16))").unwrap();
+    print!("[node 0] create table kv → {out}");
+    for n in &nodes[1..] {
+        assert!(n.wait_for_table("sys", "kv", Duration::from_secs(10)), "gossip lost");
+        println!("[node {}] catalog replica has sys.kv", n.id.0);
+    }
+
+    // INSERT through the full sqlfront → MAL → ring stack.
+    let out =
+        nodes[0].submit_sql("insert into kv values (1, 'hello'), (2, 'ring'), (3, 'tcp')").unwrap();
+    print!("[node 0] insert → {out}");
+
+    // The same SELECT on every member: remote nodes request the
+    // fragments anti-clockwise and block in pin() until the data flows
+    // past clockwise.
+    for n in &nodes {
+        let out = n.submit_sql("select k, v from kv where k >= 2 order by k").unwrap();
+        println!("[node {}] select k, v from kv where k >= 2:", n.id.0);
+        print!("{out}");
+        assert!(out.contains("\"ring\"") && out.contains("\"tcp\""), "{out}");
+    }
+
+    println!("\n✓ identical results on all three nodes — SQL over the TCP ring works");
+    for n in nodes {
+        n.shutdown();
+    }
+}

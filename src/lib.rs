@@ -8,7 +8,9 @@
 //!   contribution),
 //! * [`batstore`] / [`mal`] / [`sqlfront`] — the MonetDB-style DBMS layer,
 //! * [`netsim`] / [`ringsim`] — the simulator and the experiment rig,
-//! * [`dc_transport`] — in-process and TCP ring transports,
+//! * [`dc_transport`] — the TCP ring transport and the `dc-node`
+//!   distributed server binary (the in-process fabric lives in
+//!   `datacyclotron::transport`),
 //! * [`dc_workloads`] — the paper's workload generators,
 //! * [`dc_broadcast`] — the §7 related-work baselines (DataCycle,
 //!   Broadcast Disks, on-demand pull, IPP).

@@ -4,8 +4,8 @@
 
 use batstore::{storage, Bat, Column};
 use bytes::Bytes;
-use datacyclotron::{BatId, DcConfig, DcMsg, DcNode, Effect, NodeId, PinOutcome, QueryId};
-use dc_transport::tcp::{join_ring, TcpNode};
+use datacyclotron::{BatId, DcConfig, DcMsg, DcNode, Effect, NodeId, PinOutcome, QueryId, ReqMsg};
+use dc_transport::tcp::{join_ring, read_frame, read_frame_capped, write_frame, TcpNode};
 use dc_transport::RingTransport;
 use netsim::SimTime;
 use std::net::{SocketAddr, TcpListener};
@@ -42,6 +42,7 @@ impl TestNode {
             let effects = match msg {
                 DcMsg::Request(r) => self.dc.on_request(r),
                 DcMsg::Bat { header, .. } => self.dc.on_bat(header),
+                DcMsg::Catalog(_) | DcMsg::Append(_) => Vec::new(),
             };
             self.execute(effects, &mut out);
         }
@@ -73,6 +74,86 @@ impl TestNode {
         }
     }
 }
+
+// ---- framing edge cases -------------------------------------------------
+
+#[test]
+fn oversize_frame_rejected_without_allocation() {
+    // A corrupt peer claims a frame just under u32::MAX; the reader must
+    // reject it from the length prefix alone (and, below the cap, must
+    // never allocate the claimed length before bytes arrive).
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(u32::MAX - 1).to_le_bytes());
+    let err = read_frame(&mut &buf[..]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("cap"), "{err}");
+}
+
+#[test]
+fn lowered_frame_cap_is_enforced() {
+    let msg = DcMsg::Bat {
+        header: datacyclotron::BatHeader::fresh(NodeId(0), BatId(1), 64),
+        payload: Some(Bytes::from(vec![7u8; 64])),
+    };
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &msg).unwrap();
+    // Under a 16-byte cap the same frame is refused…
+    let err = read_frame_capped(&mut &buf[..], 16).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    // …and with a generous cap it round-trips.
+    assert_eq!(read_frame_capped(&mut &buf[..], 1 << 20).unwrap().unwrap(), msg);
+}
+
+#[test]
+fn clean_eof_vs_truncated_prefix() {
+    // Zero bytes: a clean close between frames.
+    assert!(read_frame(&mut &b""[..]).unwrap().is_none());
+    // EOF inside the 4-byte length prefix is NOT clean: the peer died
+    // mid-frame and the reader must surface it.
+    for cut in 1..4 {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &DcMsg::Request(ReqMsg { origin: NodeId(0), bat: BatId(1) }))
+            .unwrap();
+        let err = read_frame(&mut &buf[..cut]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "cut at {cut}");
+    }
+}
+
+#[test]
+fn truncated_payload_reports_shortfall() {
+    let msg = DcMsg::Bat {
+        header: datacyclotron::BatHeader::fresh(NodeId(0), BatId(1), 32),
+        payload: Some(Bytes::from(vec![1u8; 32])),
+    };
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &msg).unwrap();
+    let err = read_frame(&mut &buf[..buf.len() - 5]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    assert!(err.to_string().contains("truncated frame"), "{err}");
+}
+
+#[test]
+fn back_to_back_frames_stream_cleanly() {
+    let msgs = vec![
+        DcMsg::Request(ReqMsg { origin: NodeId(1), bat: BatId(2) }),
+        DcMsg::Bat {
+            header: datacyclotron::BatHeader::fresh(NodeId(0), BatId(3), 3),
+            payload: Some(Bytes::from_static(b"abc")),
+        },
+        DcMsg::Request(ReqMsg { origin: NodeId(2), bat: BatId(9) }),
+    ];
+    let mut buf = Vec::new();
+    for m in &msgs {
+        write_frame(&mut buf, m).unwrap();
+    }
+    let mut r = &buf[..];
+    for m in &msgs {
+        assert_eq!(&read_frame(&mut r).unwrap().unwrap(), m);
+    }
+    assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after the last frame");
+}
+
+// ---- protocol over real sockets -----------------------------------------
 
 #[test]
 fn request_travels_anticlockwise_and_bat_returns_clockwise() {
