@@ -88,13 +88,21 @@ fn write_column(w: &mut impl Write, c: &Column) -> Result<()> {
     Ok(())
 }
 
+/// Cap on any single up-front allocation while decoding (in elements or
+/// bytes). Counts in the input are untrusted: a corrupt or hostile
+/// header may claim `u64::MAX` rows, so buffers only ever *grow toward*
+/// the claimed count as bytes actually arrive — a lie hits EOF after at
+/// most one bounded chunk, the same discipline as the TCP layer's
+/// `read_frame_capped`.
+const MAX_PREALLOC: usize = 64 * 1024;
+
 fn read_column(r: &mut impl Read, ty: ColType, len: usize) -> Result<Column> {
     fn read_vec<const W: usize, T>(
         r: &mut impl Read,
         len: usize,
         decode: impl Fn([u8; W]) -> T,
     ) -> Result<Vec<T>> {
-        let mut out = Vec::with_capacity(len);
+        let mut out = Vec::with_capacity(len.min(MAX_PREALLOC));
         let mut buf = [0u8; W];
         for _ in 0..len {
             r.read_exact(&mut buf)?;
@@ -110,15 +118,23 @@ fn read_column(r: &mut impl Read, ty: ColType, len: usize) -> Result<Column> {
         ColType::Dbl => Column::Dbl(read_vec(r, len, f64::from_le_bytes)?),
         ColType::Str => {
             let noffs = read_u64(r)? as usize;
-            if noffs != len + 1 {
+            if Some(noffs) != len.checked_add(1) {
                 return Err(BatError::Corrupt(format!(
                     "str offsets {noffs} disagree with row count {len}"
                 )));
             }
             let offs = read_vec(r, noffs, u32::from_le_bytes)?;
-            let nbytes = read_u64(r)? as usize;
-            let mut bytes = vec![0u8; nbytes];
-            r.read_exact(&mut bytes)?;
+            let nbytes = read_u64(r)?;
+            // Grow-as-bytes-arrive: a truncated file errors out without
+            // ever allocating the claimed size.
+            let mut bytes = Vec::with_capacity((nbytes as usize).min(MAX_PREALLOC));
+            r.take(nbytes).read_to_end(&mut bytes)?;
+            if (bytes.len() as u64) < nbytes {
+                return Err(BatError::Corrupt(format!(
+                    "truncated string heap: want {nbytes} bytes, got {}",
+                    bytes.len()
+                )));
+            }
             Column::Str(StrCol::from_raw_parts(offs, bytes).map_err(BatError::Corrupt)?)
         }
         ColType::Bool => Column::Bool(read_vec(r, len, |b: [u8; 1]| b[0] != 0)?),
@@ -152,14 +168,25 @@ pub fn read_bat(r: &mut impl Read) -> Result<Bat> {
     Bat::new(head, tail)
 }
 
-/// Save to a file (buffered).
+/// Save to a file crash-safely: write to a temp file in the same
+/// directory, fsync it, then atomically rename into place (plus a
+/// best-effort directory sync). A crash mid-checkpoint leaves either the
+/// previous complete snapshot or none — never a torn one.
 pub fn save_bat(path: &Path, bat: &Bat) -> Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    std::fs::create_dir_all(dir)?;
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("bat");
+    let tmp = dir.join(format!(".{name}.tmp"));
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        write_bat(&mut w, bat)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
     }
-    let mut w = BufWriter::new(File::create(path)?);
-    write_bat(&mut w, bat)?;
-    w.flush()?;
+    std::fs::rename(&tmp, path)?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
     Ok(())
 }
 
@@ -239,6 +266,52 @@ mod tests {
         let mut bytes = bat_to_bytes(&Bat::dense(Column::from(vec![1])));
         bytes[5] = 99;
         assert!(bat_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn save_is_atomic_no_temp_left_behind() {
+        let dir = std::env::temp_dir().join(format!("batstore_atomic_{}", std::process::id()));
+        let path = dir.join("x.bat");
+        save_bat(&path, &Bat::dense(Column::from(vec![1, 2]))).unwrap();
+        save_bat(&path, &Bat::dense(Column::from(vec![3, 4, 5]))).unwrap();
+        assert_eq!(load_bat(&path).unwrap().count(), 3, "second save replaced the first");
+        assert!(!dir.join(".x.bat.tmp").exists(), "temp renamed away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn absurd_row_count_errors_without_allocating() {
+        // Header claims u64::MAX rows of ints over a 4-byte body: the
+        // reader must fail on EOF, not attempt the allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(ColType::Void.tag());
+        bytes.push(ColType::Int.tag());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 4]);
+        assert!(bat_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn absurd_string_heap_errors_without_allocating() {
+        let mut bytes = bat_to_bytes(&Bat::dense(Column::from(vec!["a", "b"])));
+        // The string-heap byte count sits 8 bytes from the end ("ab").
+        let pos = bytes.len() - 10;
+        bytes[pos..pos + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let err = bat_from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("truncated string heap"), "{err}");
+    }
+
+    #[test]
+    fn str_offset_count_overflow_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(ColType::Void.tag());
+        bytes.push(ColType::Str.tag());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // row count: len + 1 overflows
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // void head seq
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // claimed noffs
+        assert!(matches!(bat_from_bytes(&bytes), Err(BatError::Corrupt(_))));
     }
 
     #[test]

@@ -1,6 +1,46 @@
 //! Per-node Data Cyclotron configuration.
 
 use netsim::SimDuration;
+use std::path::PathBuf;
+
+pub use dc_persist::FsyncPolicy;
+
+/// Durable node-local storage: where this node's "cold data resides on
+/// attached disks" (§3). When set on
+/// [`NodeOptions`](crate::engine::NodeOptions), the node write-ahead
+/// logs every durable mutation, checkpoints owned fragments in the
+/// background, and recovers catalog + fragments from the directory on
+/// startup — a SIGKILL'd process restarts with its data intact.
+#[derive(Clone, Debug)]
+pub struct DataDir {
+    /// Root of the per-node data directory (created if missing).
+    pub path: PathBuf,
+    /// When the WAL is fsynced: `Always` survives power loss per
+    /// acknowledged statement, `EveryN` bounds the loss window, `Off`
+    /// survives process crashes only.
+    pub fsync: FsyncPolicy,
+    /// Rotate the WAL and checkpoint owned fragments once this many WAL
+    /// bytes accumulate.
+    pub checkpoint_wal_bytes: u64,
+}
+
+impl DataDir {
+    /// A data dir at `path` with the durable default (`fsync = Always`,
+    /// checkpoint every 16 MiB of WAL).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        DataDir { path: path.into(), fsync: FsyncPolicy::Always, checkpoint_wal_bytes: 16 << 20 }
+    }
+
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    pub fn checkpoint_wal_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_wal_bytes = bytes.max(1);
+        self
+    }
+}
 
 #[derive(Clone, Debug)]
 pub struct DcConfig {
@@ -115,6 +155,15 @@ mod tests {
         let c = DcConfig::default().with_fixed_loit(0.7);
         c.validate().unwrap();
         assert_eq!(c.loit_levels, vec![0.7]);
+    }
+
+    #[test]
+    fn data_dir_builder() {
+        let d =
+            DataDir::new("/tmp/dc-node-0").fsync(FsyncPolicy::EveryN(8)).checkpoint_wal_bytes(1024);
+        assert_eq!(d.fsync, FsyncPolicy::EveryN(8));
+        assert_eq!(d.checkpoint_wal_bytes, 1024);
+        assert_eq!(DataDir::new("/x").checkpoint_wal_bytes(0).checkpoint_wal_bytes, 1);
     }
 
     #[test]

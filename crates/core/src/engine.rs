@@ -16,7 +16,7 @@
 //! gossip circulating once around the ring, and SQL `INSERT`s route row
 //! batches to the fragment owners as [`DcMsg::Append`] messages (§6.4).
 
-use crate::config::DcConfig;
+use crate::config::{DataDir, DcConfig};
 use crate::ids::{BatId, NodeId, QueryId};
 use crate::msg::{AppendMsg, CatalogCol, CatalogMsg, DcMsg};
 use crate::proto::{DcNode, Effect, PinOutcome};
@@ -25,6 +25,7 @@ use crate::transport::{mem, RingTransport};
 use batstore::{storage, Bat, BatStore, Catalog, Column};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use dc_persist::{Checkpointer, ColRec, FragSnap, Snapshot, TableRec, WalRecord, WalWriter};
 use mal::{MalError, SessionCtx};
 use netsim::SimTime;
 use parking_lot::RwLock;
@@ -41,6 +42,92 @@ use std::time::{Duration, Instant};
 /// engine's scope (rings in the paper top out at 64).
 fn node_frag_id(node: NodeId, n: u32) -> BatId {
     BatId(((node.0 as u32 % 255 + 1) << 24) | (n & 0x00ff_ffff))
+}
+
+/// Durable form of a catalog message (what the WAL and snapshots hold).
+fn table_rec(c: &CatalogMsg) -> TableRec {
+    TableRec {
+        origin: c.origin.0,
+        schema: c.schema.clone(),
+        table: c.table.clone(),
+        cols: c
+            .columns
+            .iter()
+            .map(|col| ColRec {
+                name: col.name.clone(),
+                ty: col.ty,
+                bat: col.bat.0,
+                size: col.size,
+                owner: col.owner.0,
+            })
+            .collect(),
+    }
+}
+
+fn catalog_msg(t: &TableRec) -> CatalogMsg {
+    CatalogMsg {
+        origin: NodeId(t.origin),
+        schema: t.schema.clone(),
+        table: t.table.clone(),
+        columns: t
+            .cols
+            .iter()
+            .map(|c| CatalogCol {
+                name: c.name.clone(),
+                ty: c.ty,
+                bat: BatId(c.bat),
+                size: c.size,
+                owner: NodeId(c.owner),
+            })
+            .collect(),
+    }
+}
+
+/// Merge table metadata into a node's catalogs (the in-memory half of
+/// [`NodeCtx::apply_catalog`], shared with startup recovery).
+fn publish_table(catalog: &RingCatalog, meta: &RwLock<Catalog>, c: &CatalogMsg) {
+    for col in &c.columns {
+        catalog.publish(
+            &c.schema,
+            &c.table,
+            &col.name,
+            FragInfo { bat: col.bat, size: col.size, owner: col.owner },
+        );
+    }
+    let mut meta = meta.write();
+    if meta.table(&c.schema, &c.table).is_err() {
+        // The metadata catalog stores zero-row columns: only names
+        // and types are consulted by codegen on ring nodes.
+        let typed: Vec<(&str, Column)> =
+            c.columns.iter().map(|col| (col.name.as_str(), Column::empty(col.ty))).collect();
+        let _ = meta.create_table_columnar(&mut BatStore::new(), &c.schema, &c.table, typed);
+    }
+}
+
+/// The durability subsystem of one node: its WAL generation, the
+/// background checkpointer, and the durable mirror of known tables the
+/// snapshots are cut from. Present only when the node was spawned with a
+/// [`DataDir`].
+struct PersistCtx {
+    dir: dc_persist::DataDir,
+    wal: WalWriter,
+    /// Active WAL generation (`wal-<gen>.log`).
+    gen: u64,
+    fsync: dc_persist::FsyncPolicy,
+    checkpoint_wal_bytes: u64,
+    bytes_since_checkpoint: u64,
+    checkpointer: Checkpointer,
+    /// Every table this node knows, keyed `schema.table` — the catalog
+    /// half of a snapshot.
+    tables: HashMap<String, CatalogMsg>,
+}
+
+impl PersistCtx {
+    fn log(&mut self, rec: &WalRecord) -> Result<u64, String> {
+        let n = self.wal.append(rec).map_err(|e| format!("wal append: {e}"))?;
+        self.bytes_since_checkpoint += n;
+        Ok(n)
+    }
 }
 
 /// Events arriving at a node's event loop.
@@ -110,6 +197,8 @@ struct NodeCtx {
     /// node handle and namespaced by node id so allocations on different
     /// ring members never collide.
     next_frag: Arc<AtomicU32>,
+    /// Durable storage, when the node has a data dir.
+    persist: Option<PersistCtx>,
     started: Instant,
     tick_every: Duration,
 }
@@ -141,6 +230,75 @@ impl NodeCtx {
             }
             let effects = self.node.tick();
             self.execute(effects, &mut PayloadSlot::new(None));
+            self.maybe_checkpoint();
+        }
+    }
+
+    /// Append a durable mutation to the WAL (ahead of applying it); a
+    /// no-op for diskless nodes.
+    fn log_durable(&mut self, rec: &WalRecord) -> Result<(), String> {
+        if let Some(p) = self.persist.as_mut() {
+            let n = p.log(rec)?;
+            self.node.stats.wal_records += 1;
+            self.node.stats.wal_bytes += n;
+        }
+        Ok(())
+    }
+
+    /// Mirror table metadata durably, WAL-logging it the first time this
+    /// node learns of the table. The mirror is updated only after the
+    /// log succeeds: a failed attempt leaves the table unknown, so a
+    /// retry (re-issued DDL, re-circulating gossip) logs it again rather
+    /// than acknowledging durability that never happened.
+    fn persist_table(&mut self, c: &CatalogMsg) -> Result<(), String> {
+        if self.persist.is_none() {
+            return Ok(());
+        }
+        let key = format!("{}.{}", c.schema, c.table);
+        let known = self.persist.as_ref().expect("checked above").tables.contains_key(&key);
+        if !known {
+            self.log_durable(&WalRecord::Table(table_rec(c)))?;
+        }
+        self.persist.as_mut().expect("checked above").tables.insert(key, c.clone());
+        Ok(())
+    }
+
+    /// Once enough WAL has accumulated, rotate to a fresh generation and
+    /// hand a snapshot of owned fragments + catalog to the background
+    /// checkpointer. Appends keep flowing into the new generation while
+    /// the checkpoint is written behind the node.
+    fn maybe_checkpoint(&mut self) {
+        let Some(p) = self.persist.as_mut() else { return };
+        if p.bytes_since_checkpoint < p.checkpoint_wal_bytes || !p.checkpointer.idle() {
+            return;
+        }
+        let next_gen = p.gen + 1;
+        let wal = match WalWriter::create(&p.dir.wal_path(next_gen), p.fsync) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("[dc-persist] cannot rotate WAL to gen {next_gen}: {e}");
+                return;
+            }
+        };
+        p.wal = wal;
+        p.gen = next_gen;
+        p.bytes_since_checkpoint = 0;
+        let snap = Snapshot {
+            node: self.node.id.0,
+            replay_from: next_gen,
+            tables: p.tables.values().map(table_rec).collect(),
+            frags: self
+                .disk
+                .iter()
+                .map(|(b, f)| FragSnap {
+                    bat: b.0,
+                    version: self.node.s1.get(*b).map(|o| o.version).unwrap_or(0),
+                    payload: Arc::clone(&f.bat),
+                })
+                .collect(),
+        };
+        if p.checkpointer.submit(snap) {
+            self.node.stats.checkpoints += 1;
         }
     }
 
@@ -180,57 +338,84 @@ impl NodeCtx {
         }
     }
 
-    /// Merge gossiped table metadata into this node's catalogs.
+    /// Merge gossiped table metadata into this node's catalogs, logging
+    /// it durably first. A WAL failure here cannot reject the gossip (the
+    /// origin already committed), so it degrades to a warning: the node
+    /// serves the table from memory but would forget it on restart.
     fn apply_catalog(&mut self, c: &CatalogMsg) {
-        for col in &c.columns {
-            self.catalog.publish(
-                &c.schema,
-                &c.table,
-                &col.name,
-                FragInfo { bat: col.bat, size: col.size, owner: col.owner },
+        if let Err(e) = self.persist_table(c) {
+            eprintln!(
+                "[dc-node {}] table {}.{} applied but not durable: {e}",
+                self.node.id, c.schema, c.table
             );
         }
-        let mut meta = self.meta.write();
-        if meta.table(&c.schema, &c.table).is_err() {
-            // The metadata catalog stores zero-row columns: only names
-            // and types are consulted by codegen on ring nodes.
-            let typed: Vec<(&str, Column)> =
-                c.columns.iter().map(|col| (col.name.as_str(), Column::empty(col.ty))).collect();
-            let _ = meta.create_table_columnar(&mut BatStore::new(), &c.schema, &c.table, typed);
-        }
+        publish_table(&self.catalog, &self.meta, c);
     }
 
     /// Apply an append batch that traveled the ring to us, the fragment
-    /// owner. Failed parts are counted (`appends_dropped`): the origin
-    /// already acknowledged the INSERT, so a nonzero counter is the
-    /// only trace of rows lost to decode/type races.
+    /// owner. The whole batch applies or none of it does (a half-applied
+    /// multi-column INSERT would leave the table ragged forever); dropped
+    /// batches are counted per part (`appends_dropped`) — the origin
+    /// already acknowledged the INSERT, so a nonzero counter is the only
+    /// trace of rows lost to decode/type races.
     fn apply_remote_append(&mut self, a: &AppendMsg) {
-        for (bat, rows) in &a.parts {
-            let applied = storage::bat_from_bytes(rows)
-                .map_err(|e| e.to_string())
-                .and_then(|rows| self.append_owned(*bat, rows.tail()));
-            match applied {
-                Ok(()) => self.node.stats.appends_applied += 1,
-                Err(_) => self.node.stats.appends_dropped += 1,
-            }
+        let decoded: Result<Vec<(BatId, Bat)>, String> = a
+            .parts
+            .iter()
+            .map(|(bat, rows)| {
+                storage::bat_from_bytes(rows).map(|b| (*bat, b)).map_err(|e| e.to_string())
+            })
+            .collect();
+        let applied = decoded.and_then(|cols| {
+            let parts: Vec<(BatId, &Column)> =
+                cols.iter().map(|(bat, b)| (*bat, b.tail())).collect();
+            self.append_batch(&parts)
+        });
+        match applied {
+            Ok(()) => self.node.stats.appends_applied += a.parts.len() as u64,
+            Err(_) => self.node.stats.appends_dropped += a.parts.len() as u64,
         }
     }
 
-    /// Append `vals` to a locally-owned fragment: replace the disk
-    /// payload and bump the version (§6.4 multi-version updates). Stale
-    /// copies keep circulating for readers that accept them; the next
-    /// owner pass re-enters the ring with the fresh payload.
-    fn append_owned(&mut self, bat: BatId, vals: &Column) -> Result<(), String> {
-        let frag = self.disk.get(&bat).ok_or_else(|| format!("owned {bat} missing from disk"))?;
-        let grown = frag.bat.extend_tail(vals).map_err(|e| e.to_string())?;
-        let frag = StoredFrag::new(Arc::new(grown));
-        let size = frag.bat.byte_size() as u64;
-        self.disk.insert(bat, frag);
-        if let Some(owned) = self.node.s1.get_mut(bat) {
-            owned.size = size;
-            owned.version += 1;
+    /// Append one batch of columns to locally-owned fragments: stage and
+    /// validate every column, WAL the whole batch as *one* record, then
+    /// replace the disk payloads and bump the versions (§6.4
+    /// multi-version updates). Stale copies keep circulating for readers
+    /// that accept them; the next owner pass re-enters the ring with the
+    /// fresh payload. Because validation and logging precede every
+    /// in-memory change and the batch shares one CRC-framed WAL record,
+    /// neither a WAL failure nor a crash can leave half a row behind —
+    /// an owner-acknowledged INSERT is on disk, whole.
+    fn append_batch(&mut self, parts: &[(BatId, &Column)]) -> Result<(), String> {
+        let mut staged = Vec::with_capacity(parts.len());
+        for (bat, vals) in parts {
+            let frag =
+                self.disk.get(bat).ok_or_else(|| format!("owned {bat} missing from disk"))?;
+            let grown = frag.bat.extend_tail(vals).map_err(|e| e.to_string())?;
+            let version = self.node.s1.get(*bat).map(|o| o.version + 1).unwrap_or(1);
+            staged.push((*bat, version, grown));
         }
-        self.catalog.update_size(bat, size);
+        self.log_durable(&WalRecord::AppendBatch(
+            staged
+                .iter()
+                .zip(parts)
+                .map(|((bat, version, _), (_, vals))| dc_persist::AppendPart {
+                    bat: bat.0,
+                    version: *version,
+                    rows: storage::bat_to_bytes(&Bat::dense((*vals).clone())),
+                })
+                .collect(),
+        ))?;
+        for (bat, version, grown) in staged {
+            let frag = StoredFrag::new(Arc::new(grown));
+            let size = frag.bat.byte_size() as u64;
+            self.disk.insert(bat, frag);
+            if let Some(owned) = self.node.s1.get_mut(bat) {
+                owned.size = size;
+                owned.version = version;
+            }
+            self.catalog.update_size(bat, size);
+        }
         Ok(())
     }
 
@@ -275,6 +460,20 @@ impl NodeCtx {
                 self.execute(effects, &mut PayloadSlot::new(None));
             }
             Cmd::StoreOwned { bat, payload } => {
+                // Driver-side bulk load: the whole payload is the durable
+                // unit. Logging cannot reject the load (no ack channel);
+                // a failure is loud and the fragment is memory-only.
+                let log = self.log_durable(&WalRecord::Store {
+                    bat: bat.0,
+                    version: 0,
+                    rows: storage::bat_to_bytes(&payload),
+                });
+                if let Err(e) = log {
+                    eprintln!(
+                        "[dc-node {}] fragment {bat} loaded but not durable: {e}",
+                        self.node.id
+                    );
+                }
                 let size = payload.byte_size() as u64;
                 self.disk.insert(bat, StoredFrag::new(payload));
                 self.node.register_owned(bat, size);
@@ -291,7 +490,14 @@ impl NodeCtx {
                     let _ = self.transport.send_data(DcMsg::Catalog(table));
                 }
             }
-            Cmd::Shutdown => return true,
+            Cmd::Shutdown => {
+                // Graceful exit: whatever the fsync policy deferred goes
+                // to disk now.
+                if let Some(p) = self.persist.as_mut() {
+                    let _ = p.wal.sync();
+                }
+                return true;
+            }
         }
         false
     }
@@ -309,12 +515,12 @@ impl NodeCtx {
         }
         let id = self.node.id;
         let mut columns = Vec::with_capacity(cols.len());
+        let mut payloads = Vec::with_capacity(cols.len());
         for (name, ty) in cols {
             let bat = self.alloc_frag_id();
             let payload = Arc::new(Bat::empty(*ty));
             let size = payload.byte_size() as u64;
-            self.disk.insert(bat, StoredFrag::new(payload));
-            self.node.register_owned(bat, size);
+            payloads.push((bat, payload));
             columns.push(CatalogCol { name: name.clone(), ty: *ty, bat, size, owner: id });
         }
         let gossip = CatalogMsg {
@@ -323,7 +529,16 @@ impl NodeCtx {
             table: table.to_string(),
             columns,
         };
-        self.apply_catalog(&gossip);
+        // WAL ahead of every in-memory effect: a failure rejects the DDL
+        // outright rather than acknowledging a table that would vanish
+        // on restart.
+        self.persist_table(&gossip)?;
+        for (bat, payload) in payloads {
+            let size = payload.byte_size() as u64;
+            self.disk.insert(bat, StoredFrag::new(payload));
+            self.node.register_owned(bat, size);
+        }
+        publish_table(&self.catalog, &self.meta, &gossip);
         let _ = self.transport.send_data(DcMsg::Catalog(gossip));
         Ok(0)
     }
@@ -366,10 +581,12 @@ impl NodeCtx {
             ));
         }
         if first_owner == Some(self.node.id) {
-            for (info, vals) in resolved {
-                self.append_owned(info.bat, vals)?;
-                self.node.stats.appends_applied += 1;
-            }
+            // One validated batch, one WAL record, then apply: the whole
+            // INSERT is durable and visible together, or not at all.
+            let parts: Vec<(BatId, &Column)> =
+                resolved.iter().map(|(info, vals)| (info.bat, *vals)).collect();
+            self.append_batch(&parts)?;
+            self.node.stats.appends_applied += parts.len() as u64;
         } else {
             // One message carries the whole batch so the owner applies
             // every column in a single event — concurrent INSERTs from
@@ -474,6 +691,10 @@ pub struct NodeOptions {
     pub pin_timeout: Duration,
     /// Event-loop maintenance cadence (`loadAll`, `resend`, LOIT).
     pub tick_every: Duration,
+    /// Durable node-local storage. `None` (the default) keeps the node
+    /// memory-only; `Some` turns on write-ahead logging, background
+    /// checkpointing, and recovery-on-spawn from the directory.
+    pub data_dir: Option<DataDir>,
 }
 
 impl Default for NodeOptions {
@@ -482,6 +703,7 @@ impl Default for NodeOptions {
             cfg: DcConfig::default(),
             pin_timeout: Duration::from_secs(30),
             tick_every: Duration::from_millis(5),
+            data_dir: None,
         }
     }
 }
@@ -507,23 +729,121 @@ pub struct RingNode {
 
 impl RingNode {
     /// Start a node: spawns its event loop plus a pump thread draining
-    /// the transport into it.
+    /// the transport into it. Panics if the node's data dir (when
+    /// configured) cannot be opened or recovered — see
+    /// [`RingNode::try_spawn`] for the fallible form.
     pub fn spawn(id: NodeId, transport: Arc<dyn RingTransport>, opts: NodeOptions) -> RingNode {
+        Self::try_spawn(id, transport, opts).unwrap_or_else(|e| panic!("spawning node: {e}"))
+    }
+
+    /// [`RingNode::spawn`], surfacing data-dir open/recovery failures.
+    pub fn try_spawn(
+        id: NodeId,
+        transport: Arc<dyn RingTransport>,
+        opts: NodeOptions,
+    ) -> Result<RingNode, String> {
         let (tx, rx) = bounded::<NodeEvent>(4096);
         let catalog = Arc::new(RingCatalog::new());
         let meta = Arc::new(RwLock::new(Catalog::new()));
         let next_frag = Arc::new(AtomicU32::new(1));
 
+        let mut node = DcNode::new(id, opts.cfg.clone());
+        let mut disk: HashMap<BatId, StoredFrag> = HashMap::new();
+        let mut persist = None;
+        let mut readvertise: Vec<CatalogMsg> = Vec::new();
+
+        if let Some(dd) = &opts.data_dir {
+            let pdir = dc_persist::DataDir::open(&dd.path)
+                .map_err(|e| format!("opening data dir {}: {e}", dd.path.display()))?;
+            let rec = dc_persist::recover(&pdir, id.0)?;
+            node.stats.recovered_frags = rec.frags.len() as u64;
+            node.stats.recovered_wal_records = rec.wal_records;
+
+            // Rebuild owned fragments ("local disk") and the S1 catalog.
+            for (raw, f) in rec.frags {
+                let bat = BatId(raw);
+                let payload = Arc::new(f.bat);
+                let size = payload.byte_size() as u64;
+                node.register_owned(bat, size);
+                if let Some(owned) = node.s1.get_mut(bat) {
+                    owned.version = f.version;
+                }
+                disk.insert(bat, StoredFrag::new(payload));
+            }
+
+            // Rebuild both catalogs; owned tables re-enter the gossip
+            // once the loop runs, with fresh sizes and this node as the
+            // re-advertisement origin.
+            let mut tables = HashMap::new();
+            for t in &rec.tables {
+                let mut c = catalog_msg(t);
+                for col in &mut c.columns {
+                    if let Some(f) = disk.get(&col.bat) {
+                        col.size = f.bat.byte_size() as u64;
+                    }
+                }
+                publish_table(&catalog, &meta, &c);
+                tables.insert(format!("{}.{}", c.schema, c.table), c.clone());
+                if c.columns.iter().any(|col| col.owner == id) {
+                    c.origin = id;
+                    readvertise.push(c);
+                }
+            }
+
+            // Resume the fragment-id allocator past every recovered id in
+            // this node's namespace — a fresh CREATE must never collide
+            // with a recovered fragment.
+            let ns = id.0 as u32 % 255 + 1;
+            let max_allocated =
+                disk.keys().filter(|b| b.0 >> 24 == ns).map(|b| b.0 & 0x00ff_ffff).max();
+            if let Some(m) = max_allocated {
+                next_frag.store(m + 1, Ordering::Relaxed);
+            }
+
+            // Startup compaction: fold whatever was replayed into one
+            // fresh checkpoint + empty WAL, so the next crash replays a
+            // short tail.
+            let snap = Snapshot {
+                node: id.0,
+                replay_from: rec.next_gen,
+                tables: tables.values().map(table_rec).collect(),
+                frags: disk
+                    .iter()
+                    .map(|(b, f)| FragSnap {
+                        bat: b.0,
+                        version: node.s1.get(*b).map(|o| o.version).unwrap_or(0),
+                        payload: Arc::clone(&f.bat),
+                    })
+                    .collect(),
+            };
+            dc_persist::write_checkpoint(&pdir, &snap)
+                .map_err(|e| format!("startup checkpoint: {e}"))?;
+            let wal = WalWriter::create(&pdir.wal_path(rec.next_gen), dd.fsync)
+                .map_err(|e| format!("creating WAL: {e}"))?;
+            let checkpointer = Checkpointer::spawn(pdir.clone());
+            persist = Some(PersistCtx {
+                dir: pdir,
+                wal,
+                gen: rec.next_gen,
+                fsync: dd.fsync,
+                checkpoint_wal_bytes: dd.checkpoint_wal_bytes,
+                bytes_since_checkpoint: 0,
+                checkpointer,
+                tables,
+            });
+        }
+
         let ctx = NodeCtx {
-            node: DcNode::new(id, opts.cfg.clone()),
+            node,
             rx,
             transport: Arc::clone(&transport),
             catalog: Arc::clone(&catalog),
             meta: Arc::clone(&meta),
-            disk: HashMap::new(),
+            disk,
             cache: HashMap::new(),
             waiting: HashMap::new(),
             next_frag: Arc::clone(&next_frag),
+            persist,
             started: Instant::now(),
             tick_every: opts.tick_every,
         };
@@ -548,7 +868,15 @@ impl RingNode {
                 .with_dc(hooks.clone() as Arc<dyn mal::DcHooks>),
         );
 
-        RingNode {
+        // Recovered tables with fragments owned here re-enter the ring's
+        // metadata: peers that restarted (or joined) while we were down
+        // learn them again; everyone else applies them idempotently. The
+        // fragments themselves stay on disk until requests summon them.
+        for table in readvertise {
+            let _ = tx.send(NodeEvent::Cmd(Cmd::PublishTable { table, gossip: true }));
+        }
+
+        Ok(RingNode {
             id,
             tx,
             hooks,
@@ -561,7 +889,7 @@ impl RingNode {
             next_query: AtomicU64::new(1),
             next_frag,
             templates: mal::TemplateCache::new(),
-        }
+        })
     }
 
     /// Load a table owned entirely by this node (each node of a real
@@ -914,10 +1242,16 @@ mod tests {
     #[test]
     fn repeated_queries_share_templates() {
         let ring = demo_ring(2);
+        // Identical statements share one cached plan; a different
+        // constant compiles fresh (plans bake literals in — see
+        // `TemplateCache::get_or_compile`) and must return its own rows,
+        // not the cached statement's.
         ring.submit_sql(0, "select amount from c where amount >= 10").unwrap();
-        ring.submit_sql(1, "select amount from c where amount >= 35").unwrap();
+        ring.submit_sql(1, "select amount from c where amount >= 10").unwrap();
         let (hits, misses) = ring.templates.stats();
-        assert_eq!((hits, misses), (1, 1), "same template reused");
+        assert_eq!((hits, misses), (1, 1), "identical statement reused");
+        let out = ring.submit_sql(1, "select amount from c where amount >= 35").unwrap();
+        assert!(out.contains("[ 40 ]") && !out.contains("[ 30 ]"), "fresh constants: {out}");
     }
 
     #[test]
@@ -1011,6 +1345,146 @@ mod tests {
         let out = ring.submit_sql(2, "select k, msg from logs order by k").unwrap();
         let rows: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
         assert_eq!(rows, vec!["[ 1,\t\"boot\" ]", "[ 2,\t\"ready\" ]"], "{out}");
+    }
+
+    // ---- durability: data-dir recovery -----------------------------------
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("dc_engine_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    /// A single durable node over the in-process fabric (a one-node ring
+    /// is a self-loop).
+    fn durable_node(dir: &std::path::Path, checkpoint_bytes: u64) -> RingNode {
+        let t = mem::ring(1).pop().expect("one node");
+        RingNode::spawn(
+            NodeId(0),
+            Arc::new(t) as Arc<dyn RingTransport>,
+            NodeOptions {
+                cfg: DcConfig {
+                    load_interval: netsim::SimDuration::from_millis(5),
+                    resend_timeout: netsim::SimDuration::from_millis(500),
+                    ..DcConfig::default()
+                },
+                pin_timeout: Duration::from_secs(10),
+                tick_every: Duration::from_millis(2),
+                data_dir: Some(
+                    crate::config::DataDir::new(dir)
+                        .fsync(crate::config::FsyncPolicy::Off)
+                        .checkpoint_wal_bytes(checkpoint_bytes),
+                ),
+            },
+        )
+    }
+
+    #[test]
+    fn node_recovers_tables_and_rows_from_data_dir() {
+        let dir = scratch_dir("recover");
+        let node = durable_node(&dir, 16 << 20);
+        node.submit_sql("create table logs (k int, msg varchar(16))").unwrap();
+        node.submit_sql("insert into logs values (1, 'boot'), (2, 'ready')").unwrap();
+        node.submit_sql("insert into logs values (3, 'steady')").unwrap();
+        node.shutdown();
+
+        // Everything came back from disk: catalog, rows, and versions.
+        let node = durable_node(&dir, 16 << 20);
+        let out = node.submit_sql("select k, msg from logs order by k").unwrap();
+        let rows: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
+        assert_eq!(
+            rows,
+            vec!["[ 1,\t\"boot\" ]", "[ 2,\t\"ready\" ]", "[ 3,\t\"steady\" ]"],
+            "{out}"
+        );
+        // The engine keeps working durably: appends and fresh DDL use
+        // fragment ids beyond the recovered ones.
+        node.submit_sql("insert into logs values (4, 'again')").unwrap();
+        node.submit_sql("create table other (x int)").unwrap();
+        node.submit_sql("insert into other values (42)").unwrap();
+        node.shutdown();
+
+        let node = durable_node(&dir, 16 << 20);
+        let out = node.submit_sql("select count(*) from logs").unwrap();
+        assert!(out.contains("[ 4 ]"), "{out}");
+        let out = node.submit_sql("select x from other").unwrap();
+        assert!(out.contains("[ 42 ]"), "{out}");
+        node.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_data_dir_starts_clean() {
+        let dir = scratch_dir("empty");
+        let node = durable_node(&dir, 16 << 20);
+        assert!(node.submit_sql("select x from ghost").is_err());
+        node.submit_sql("create table t (x int)").unwrap();
+        node.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_and_wal_tail_overlap_recovers_exactly_once() {
+        let dir = scratch_dir("overlap");
+        // A 1-byte threshold checkpoints after every mutation, so the
+        // run interleaves checkpoints with WAL appends constantly.
+        let node = durable_node(&dir, 1);
+        node.submit_sql("create table seq (v int)").unwrap();
+        for i in 0..20 {
+            node.submit_sql(&format!("insert into seq values ({i})")).unwrap();
+        }
+        node.shutdown();
+
+        let node = durable_node(&dir, 1);
+        let out = node.submit_sql("select count(*) from seq").unwrap();
+        assert!(out.contains("[ 20 ]"), "no lost or double-applied appends: {out}");
+        node.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_the_prefix() {
+        let dir = scratch_dir("torn");
+        let node = durable_node(&dir, 16 << 20);
+        node.submit_sql("create table t (x int)").unwrap();
+        node.submit_sql("insert into t values (1), (2)").unwrap();
+        node.shutdown();
+
+        // Simulate a crash mid-append: garbage at the end of the newest
+        // WAL generation.
+        let pdir = dc_persist::DataDir::open(&dir).unwrap();
+        let gen = *pdir.wal_generations().unwrap().last().unwrap();
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(pdir.wal_path(gen)).unwrap();
+        f.write_all(&[77, 0, 0, 0, 1, 2, 3]).unwrap();
+        drop(f);
+
+        let node = durable_node(&dir, 16 << 20);
+        let out = node.submit_sql("select count(*) from t").unwrap();
+        assert!(out.contains("[ 2 ]"), "prefix before the tear intact: {out}");
+        node.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn data_dir_of_another_node_refused() {
+        let dir = scratch_dir("foreign");
+        let node = durable_node(&dir, 16 << 20);
+        node.submit_sql("create table t (x int)").unwrap();
+        node.shutdown();
+
+        let t = mem::ring(1).pop().expect("one node");
+        let spawned = RingNode::try_spawn(
+            NodeId(3),
+            Arc::new(t) as Arc<dyn RingTransport>,
+            NodeOptions {
+                data_dir: Some(crate::config::DataDir::new(&dir)),
+                ..NodeOptions::default()
+            },
+        );
+        let err = spawned.err().expect("foreign data dir must be refused");
+        assert!(err.contains("belongs to node 0"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

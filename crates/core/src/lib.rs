@@ -35,6 +35,13 @@
 //! * [`bidding`], [`intermediates`], [`versions`] — the paper's §6
 //!   future-work features: nomadic query placement by cost bids, result
 //!   caching in the ring, and multi-version updates.
+//!
+//! Durability is provided by the `dc-persist` crate: give
+//! [`engine::NodeOptions`] a [`config::DataDir`] and the node
+//! write-ahead logs every durable mutation, checkpoints owned fragments
+//! in the background, and recovers catalog + fragments from disk on
+//! spawn — a killed process restarts with its data intact and merely
+//! re-advertises its fragments on the ring.
 
 pub mod bidding;
 pub mod catalog;
@@ -52,7 +59,7 @@ pub mod transport;
 pub mod versions;
 
 pub use catalog::{OwnedState, S1Catalog};
-pub use config::DcConfig;
+pub use config::{DataDir, DcConfig, FsyncPolicy};
 pub use engine::{NodeOptions, Ring, RingBuilder, RingNode};
 pub use ids::{BatId, NodeId, QueryId};
 pub use loi::{new_loi, LoitLadder};

@@ -47,6 +47,16 @@ pub struct NodeStats {
     pub appends_dropped: u64,
     /// Queries errored out (nonexistent BAT).
     pub query_errors: u64,
+    /// WAL records logged ahead of durable mutations (dc-persist).
+    pub wal_records: u64,
+    /// WAL bytes appended (frame bytes, including headers).
+    pub wal_bytes: u64,
+    /// Background checkpoints started (WAL rotations).
+    pub checkpoints: u64,
+    /// Owned fragments rebuilt from disk at startup.
+    pub recovered_frags: u64,
+    /// WAL records replayed during startup recovery.
+    pub recovered_wal_records: u64,
     /// Maximum observed request latency per BAT at this requester
     /// (Fig. 10 aggregates the per-ring max).
     pub max_request_latency: HashMap<BatId, SimDuration>,
@@ -85,6 +95,11 @@ impl NodeStats {
         self.bats_lost += other.bats_lost;
         self.deliveries += other.deliveries;
         self.query_errors += other.query_errors;
+        self.wal_records += other.wal_records;
+        self.wal_bytes += other.wal_bytes;
+        self.checkpoints += other.checkpoints;
+        self.recovered_frags += other.recovered_frags;
+        self.recovered_wal_records += other.recovered_wal_records;
         for (&bat, &lat) in &other.max_request_latency {
             let slot = self.max_request_latency.entry(bat).or_default();
             if lat > *slot {

@@ -73,13 +73,22 @@ impl TemplateCache {
         Self::default()
     }
 
-    /// Fetch the template for `sql`, compiling it with `compile` on miss.
+    /// Fetch the cached plan for `sql`, compiling it with `compile` on
+    /// miss.
+    ///
+    /// The cache key is the *exact* statement text, not its
+    /// [`normalize_sql`] template: compiled plans currently bake literal
+    /// constants in, so serving a same-shape statement with different
+    /// constants from the cache would silently replay the first
+    /// statement's values (wrong SELECT results, duplicated INSERT
+    /// rows). Normalized-key sharing can return once plans carry real
+    /// parameter slots.
     pub fn get_or_compile<E>(
         &self,
         sql: &str,
         compile: impl FnOnce() -> Result<Program, E>,
     ) -> Result<Arc<Program>, E> {
-        let key = normalize_sql(sql);
+        let key = sql.trim().to_string();
         if let Some(p) = self.map.lock().get(&key) {
             *self.hits.lock() += 1;
             return Ok(Arc::clone(p));
@@ -136,14 +145,21 @@ mod tests {
     }
 
     #[test]
-    fn cache_hits_on_same_template() {
+    fn cache_hits_on_identical_statement_only() {
         let cache = TemplateCache::new();
         let mk = || -> Result<Program, ()> { Ok(Program::new("user", "t")) };
         cache.get_or_compile("select x from t where a = 1", mk).unwrap();
-        cache.get_or_compile("select x from t where a = 2", mk).unwrap();
+        cache.get_or_compile("  select x from t where a = 1 ", mk).unwrap();
         let (hits, misses) = cache.stats();
         assert_eq!((hits, misses), (1, 1));
         assert_eq!(cache.len(), 1);
+        // Different constants compile fresh: cached plans bake literals
+        // in, so serving `a = 2` from `a = 1`'s plan would replay the
+        // wrong constant.
+        cache.get_or_compile("select x from t where a = 2", mk).unwrap();
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 2));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Checkpointing: fold the WAL into snapshot files so restarts replay a
+//! short tail instead of the node's whole history.
+//!
+//! A checkpoint is written *behind* a running node: the event loop
+//! captures a [`Snapshot`] (cheap — fragment payloads are `Arc`-shared),
+//! rotates to a fresh WAL generation, and hands the snapshot to the
+//! [`Checkpointer`] thread. The thread writes every fragment payload and
+//! the catalog snapshot via atomic renames, then commits by atomically
+//! bumping `MANIFEST.replay_from` — only after that are older WAL
+//! generations and orphaned fragment files deleted. A crash anywhere in
+//! the sequence leaves either the old checkpoint (WAL tail still
+//! replays) or the new one (overlapping WAL records are skipped by
+//! version), never a torn mix.
+
+use crate::datadir::{DataDir, Manifest};
+use crate::wal::{encode_record, TableRec, WalRecord};
+use batstore::{storage, Bat};
+use std::collections::HashSet;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One owned fragment at checkpoint time.
+#[derive(Clone)]
+pub struct FragSnap {
+    pub bat: u32,
+    pub version: u32,
+    pub payload: Arc<Bat>,
+}
+
+/// Everything a checkpoint persists: the node's catalog replica (all
+/// tables, foreign owners included, so SQL compiles right after a
+/// restart) and the payload+version of every owned fragment.
+#[derive(Clone)]
+pub struct Snapshot {
+    pub node: u16,
+    /// The WAL generation that starts *after* this snapshot's state.
+    pub replay_from: u64,
+    pub tables: Vec<TableRec>,
+    pub frags: Vec<FragSnap>,
+}
+
+/// Write a complete checkpoint and commit it via the manifest. Old WAL
+/// generations and fragment files outside the snapshot are removed after
+/// the commit.
+pub fn write_checkpoint(dir: &DataDir, snap: &Snapshot) -> io::Result<()> {
+    let mut live: HashSet<u32> = HashSet::new();
+    for f in &snap.frags {
+        storage::save_bat(&dir.bat_path(f.bat), &f.payload)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        live.insert(f.bat);
+    }
+    let mut bytes = Vec::new();
+    for t in &snap.tables {
+        bytes.extend_from_slice(&encode_record(&WalRecord::Table(t.clone())));
+    }
+    for f in &snap.frags {
+        bytes.extend_from_slice(&encode_record(&WalRecord::FragMeta {
+            bat: f.bat,
+            version: f.version,
+        }));
+    }
+    crate::datadir::write_atomic(&dir.snap_path(), &bytes)?;
+    dir.write_manifest(&Manifest { node: snap.node, replay_from: snap.replay_from })?;
+
+    // Commit done; everything below is cleanup.
+    for gen in dir.wal_generations()? {
+        if gen < snap.replay_from {
+            let _ = std::fs::remove_file(dir.wal_path(gen));
+        }
+    }
+    if let Ok(entries) = std::fs::read_dir(dir.root().join("bats")) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name.strip_suffix(".bat").and_then(|s| s.parse::<u32>().ok()) {
+                if !live.contains(&id) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A background thread draining checkpoint jobs one at a time.
+pub struct Checkpointer {
+    tx: Option<Sender<Snapshot>>,
+    handle: Option<JoinHandle<()>>,
+    busy: Arc<AtomicBool>,
+    completed: Arc<AtomicU64>,
+}
+
+impl Checkpointer {
+    pub fn spawn(dir: DataDir) -> Checkpointer {
+        let (tx, rx) = channel::<Snapshot>();
+        let busy = Arc::new(AtomicBool::new(false));
+        let completed = Arc::new(AtomicU64::new(0));
+        let (busy2, completed2) = (Arc::clone(&busy), Arc::clone(&completed));
+        let handle = std::thread::spawn(move || {
+            while let Ok(snap) = rx.recv() {
+                if let Err(e) = write_checkpoint(&dir, &snap) {
+                    // The node keeps running on the previous checkpoint +
+                    // a longer WAL; only durability compaction is lost.
+                    eprintln!("[dc-persist] checkpoint failed: {e}");
+                } else {
+                    completed2.fetch_add(1, Ordering::Relaxed);
+                }
+                busy2.store(false, Ordering::Release);
+            }
+        });
+        Checkpointer { tx: Some(tx), handle: Some(handle), busy, completed }
+    }
+
+    /// Queue a snapshot unless one is already being written; returns
+    /// whether it was accepted (callers simply retry on a later trigger).
+    pub fn submit(&self, snap: Snapshot) -> bool {
+        if self.busy.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        match self.tx.as_ref().expect("live until drop").send(snap) {
+            Ok(()) => true,
+            Err(_) => {
+                self.busy.store(false, Ordering::Release);
+                false
+            }
+        }
+    }
+
+    /// Whether no checkpoint is currently being written (a `submit` now
+    /// would be accepted).
+    pub fn idle(&self) -> bool {
+        !self.busy.load(Ordering::Acquire)
+    }
+
+    /// Checkpoints committed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Wait until no checkpoint is in flight (tests and shutdown).
+    pub fn quiesce(&self) {
+        while self.busy.load(Ordering::Acquire) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::ColRec;
+    use batstore::{ColType, Column};
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dc_ckpt_{tag}_{}", std::process::id()))
+    }
+
+    fn snap(node: u16, replay_from: u64) -> Snapshot {
+        Snapshot {
+            node,
+            replay_from,
+            tables: vec![TableRec {
+                origin: node,
+                schema: "sys".into(),
+                table: "t".into(),
+                cols: vec![ColRec {
+                    name: "id".into(),
+                    ty: ColType::Int,
+                    bat: 5,
+                    size: 12,
+                    owner: node,
+                }],
+            }],
+            frags: vec![FragSnap {
+                bat: 5,
+                version: 2,
+                payload: Arc::new(Bat::dense(Column::from(vec![1, 2, 3]))),
+            }],
+        }
+    }
+
+    #[test]
+    fn checkpoint_commits_and_cleans() {
+        let root = scratch("commit");
+        let dir = DataDir::open(&root).unwrap();
+        // Pre-existing junk the checkpoint should clear.
+        std::fs::write(dir.wal_path(1), b"old").unwrap();
+        storage::save_bat(&dir.bat_path(99), &Bat::dense(Column::from(vec![9]))).unwrap();
+
+        write_checkpoint(&dir, &snap(0, 2)).unwrap();
+
+        assert_eq!(dir.read_manifest().unwrap(), Some(Manifest { node: 0, replay_from: 2 }));
+        assert!(!dir.wal_path(1).exists(), "pre-checkpoint WAL removed");
+        assert!(!dir.bat_path(99).exists(), "orphaned fragment removed");
+        let back = storage::load_bat(&dir.bat_path(5)).unwrap();
+        assert_eq!(back.count(), 3);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn background_checkpointer_single_flight() {
+        let root = scratch("bg");
+        let dir = DataDir::open(&root).unwrap();
+        let ck = Checkpointer::spawn(dir.clone());
+        assert!(ck.submit(snap(1, 3)));
+        ck.quiesce();
+        assert_eq!(ck.completed(), 1);
+        assert!(ck.submit(snap(1, 4)));
+        ck.quiesce();
+        assert_eq!(dir.read_manifest().unwrap().unwrap().replay_from, 4);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

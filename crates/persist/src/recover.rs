@@ -1,0 +1,438 @@
+//! Crash recovery: manifest → catalog snapshot → fragment snapshots →
+//! WAL tail, rebuilding exactly the durable state a node owned when it
+//! died. Replay is idempotent: a WAL record whose effects are already in
+//! the checkpoint is skipped by version, so the checkpoint/WAL overlap a
+//! mid-checkpoint crash leaves behind applies once, not twice.
+
+use crate::datadir::DataDir;
+use crate::wal::{replay_wal, TableRec, WalRecord};
+use batstore::{storage, Bat};
+use std::collections::HashMap;
+
+/// An owned fragment rebuilt from disk.
+#[derive(Debug)]
+pub struct RecFrag {
+    pub version: u32,
+    pub bat: Bat,
+}
+
+/// Everything recovery rebuilds, plus counters for the node's stats.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Every table this node knew (foreign owners included), in the
+    /// order they became known.
+    pub tables: Vec<TableRec>,
+    /// Owned fragment payloads at their recovered versions.
+    pub frags: HashMap<u32, RecFrag>,
+    /// WAL records applied during replay.
+    pub wal_records: u64,
+    /// Records skipped as already-covered by the checkpoint (version
+    /// overlap) — expected after a mid-checkpoint crash.
+    pub wal_skipped: u64,
+    /// Replay ended at a torn record (expected after a crash mid-append).
+    pub torn: bool,
+    /// The WAL generation the caller should write next.
+    pub next_gen: u64,
+}
+
+/// Rebuild durable state from `dir`. `node` guards against pointing a
+/// node at another node's directory.
+pub fn recover(dir: &DataDir, node: u16) -> Result<Recovered, String> {
+    let manifest = dir.read_manifest().map_err(|e| format!("reading MANIFEST: {e}"))?;
+    let Some(manifest) = manifest else {
+        // Fresh directory: nothing to replay.
+        return Ok(Recovered {
+            tables: Vec::new(),
+            frags: HashMap::new(),
+            wal_records: 0,
+            wal_skipped: 0,
+            torn: false,
+            next_gen: 1,
+        });
+    };
+    if manifest.node != node {
+        return Err(format!(
+            "data dir {} belongs to node {}, not node {node}",
+            dir.root().display(),
+            manifest.node
+        ));
+    }
+
+    let mut tables: Vec<TableRec> = Vec::new();
+    let mut frags: HashMap<u32, RecFrag> = HashMap::new();
+    let mut wal_records = 0u64;
+    let mut wal_skipped = 0u64;
+
+    // 1. Catalog snapshot: table metadata + which fragment files to load.
+    let snap = match std::fs::read(dir.snap_path()) {
+        Ok(bytes) => {
+            let (records, torn) = crate::wal::decode_frames(&bytes);
+            if torn {
+                // The snapshot is written atomically; a tear means tampering
+                // or disk corruption, not a crash. Refuse to guess.
+                return Err(format!("corrupt catalog snapshot {}", dir.snap_path().display()));
+            }
+            records
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("reading catalog snapshot: {e}")),
+    };
+    for rec in snap {
+        match rec {
+            WalRecord::Table(t) => upsert_table(&mut tables, t),
+            WalRecord::FragMeta { bat, version } => {
+                let payload = storage::load_bat(&dir.bat_path(bat))
+                    .map_err(|e| format!("loading fragment {bat}: {e}"))?;
+                frags.insert(bat, RecFrag { version, bat: payload });
+            }
+            other => return Err(format!("unexpected snapshot record {other:?}")),
+        }
+    }
+
+    // 2. WAL tail, oldest generation first, stopping at the first tear.
+    let gens = dir.wal_generations().map_err(|e| format!("listing WALs: {e}"))?;
+    let mut torn = false;
+    let mut max_gen = manifest.replay_from.saturating_sub(1);
+    for gen in gens {
+        if gen < manifest.replay_from {
+            continue; // folded into the snapshot; awaiting cleanup
+        }
+        max_gen = max_gen.max(gen);
+        let replay =
+            replay_wal(&dir.wal_path(gen)).map_err(|e| format!("replaying wal-{gen}: {e}"))?;
+        for rec in replay.records {
+            match apply(&mut tables, &mut frags, node, rec)? {
+                Applied::Yes => wal_records += 1,
+                Applied::Skipped => wal_skipped += 1,
+            }
+        }
+        if replay.torn {
+            // Records beyond a tear (including later generations) may
+            // depend on the lost suffix; stop at the consistent prefix.
+            torn = true;
+            break;
+        }
+    }
+
+    // 3. Owned fragments that never saw a payload record (freshly
+    //    created empty tables) materialize as empty BATs of the catalog
+    //    type.
+    for t in &tables {
+        for c in &t.cols {
+            if c.owner == node {
+                frags.entry(c.bat).or_insert_with(|| RecFrag { version: 0, bat: Bat::empty(c.ty) });
+            }
+        }
+    }
+
+    Ok(Recovered { tables, frags, wal_records, wal_skipped, torn, next_gen: max_gen + 1 })
+}
+
+enum Applied {
+    Yes,
+    Skipped,
+}
+
+fn upsert_table(tables: &mut Vec<TableRec>, t: TableRec) {
+    match tables.iter_mut().find(|x| x.schema == t.schema && x.table == t.table) {
+        Some(slot) => *slot = t,
+        None => tables.push(t),
+    }
+}
+
+fn apply(
+    tables: &mut Vec<TableRec>,
+    frags: &mut HashMap<u32, RecFrag>,
+    node: u16,
+    rec: WalRecord,
+) -> Result<Applied, String> {
+    match rec {
+        WalRecord::Table(t) => {
+            // CREATE TABLE logs only metadata; the owned fragments it
+            // implies must exist (empty) before later appends replay
+            // onto them.
+            for c in &t.cols {
+                if c.owner == node {
+                    frags
+                        .entry(c.bat)
+                        .or_insert_with(|| RecFrag { version: 0, bat: Bat::empty(c.ty) });
+                }
+            }
+            upsert_table(tables, t);
+            Ok(Applied::Yes)
+        }
+        WalRecord::Store { bat, version, rows } => {
+            if let Some(cur) = frags.get(&bat) {
+                if cur.version > version {
+                    return Ok(Applied::Skipped); // checkpoint is newer
+                }
+            }
+            let payload =
+                storage::bat_from_bytes(&rows).map_err(|e| format!("store {bat}: {e}"))?;
+            frags.insert(bat, RecFrag { version, bat: payload });
+            Ok(Applied::Yes)
+        }
+        WalRecord::Append { bat, version, rows } => apply_append(frags, bat, version, &rows),
+        WalRecord::AppendBatch(parts) => {
+            // The record frame is the atomicity unit: all parts are on
+            // disk together. Each fragment still applies by its own
+            // version rules so checkpoint overlap skips correctly.
+            let mut any = false;
+            for p in parts {
+                if matches!(apply_append(frags, p.bat, p.version, &p.rows)?, Applied::Yes) {
+                    any = true;
+                }
+            }
+            Ok(if any { Applied::Yes } else { Applied::Skipped })
+        }
+        WalRecord::FragMeta { bat, .. } => {
+            Err(format!("FragMeta {bat} is a snapshot-only record, found in WAL"))
+        }
+    }
+}
+
+fn apply_append(
+    frags: &mut HashMap<u32, RecFrag>,
+    bat: u32,
+    version: u32,
+    rows: &[u8],
+) -> Result<Applied, String> {
+    let Some(cur) = frags.get_mut(&bat) else {
+        // The Store/Table record establishing the fragment was lost
+        // ahead of a tear; nothing safe to append onto.
+        return Ok(Applied::Skipped);
+    };
+    if version <= cur.version {
+        return Ok(Applied::Skipped); // already in the checkpoint
+    }
+    if version != cur.version + 1 {
+        // A gap means an intermediate record vanished; appending out of
+        // order would silently corrupt the fragment.
+        return Ok(Applied::Skipped);
+    }
+    let vals = storage::bat_from_bytes(rows).map_err(|e| format!("append {bat}: {e}"))?;
+    cur.bat = cur.bat.extend_tail(vals.tail()).map_err(|e| format!("append {bat}: {e}"))?;
+    cur.version = version;
+    Ok(Applied::Yes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{write_checkpoint, FragSnap, Snapshot};
+    use crate::wal::{ColRec, FsyncPolicy, WalWriter};
+    use batstore::{ColType, Column};
+    use std::sync::Arc;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dc_recover_{tag}_{}", std::process::id()))
+    }
+
+    fn table_rec(node: u16, bat: u32) -> TableRec {
+        TableRec {
+            origin: node,
+            schema: "sys".into(),
+            table: "t".into(),
+            cols: vec![ColRec { name: "id".into(), ty: ColType::Int, bat, size: 0, owner: node }],
+        }
+    }
+
+    fn rows(vals: Vec<i32>) -> Vec<u8> {
+        storage::bat_to_bytes(&Bat::dense(Column::from(vals)))
+    }
+
+    #[test]
+    fn fresh_dir_recovers_empty() {
+        let root = scratch("fresh");
+        let dir = DataDir::open(&root).unwrap();
+        let rec = recover(&dir, 0).unwrap();
+        assert!(rec.tables.is_empty() && rec.frags.is_empty());
+        assert_eq!(rec.next_gen, 1);
+        assert!(!rec.torn);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn node_id_mismatch_refused() {
+        let root = scratch("mismatch");
+        let dir = DataDir::open(&root).unwrap();
+        dir.write_manifest(&crate::datadir::Manifest { node: 4, replay_from: 1 }).unwrap();
+        let err = recover(&dir, 0).unwrap_err();
+        assert!(err.contains("belongs to node 4"), "{err}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn wal_only_recovery_rebuilds_state() {
+        let root = scratch("walonly");
+        let dir = DataDir::open(&root).unwrap();
+        dir.write_manifest(&crate::datadir::Manifest { node: 0, replay_from: 1 }).unwrap();
+        let mut w = WalWriter::create(&dir.wal_path(1), FsyncPolicy::Off).unwrap();
+        w.append(&WalRecord::Table(table_rec(0, 7))).unwrap();
+        w.append(&WalRecord::Store { bat: 7, version: 0, rows: rows(vec![1, 2]) }).unwrap();
+        w.append(&WalRecord::Append { bat: 7, version: 1, rows: rows(vec![3]) }).unwrap();
+        w.sync().unwrap();
+
+        let rec = recover(&dir, 0).unwrap();
+        assert_eq!(rec.tables.len(), 1);
+        let f = &rec.frags[&7];
+        assert_eq!((f.version, f.bat.count()), (1, 3));
+        assert_eq!(rec.wal_records, 3);
+        assert_eq!(rec.next_gen, 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_final_record_stops_cleanly() {
+        let root = scratch("torn");
+        let dir = DataDir::open(&root).unwrap();
+        dir.write_manifest(&crate::datadir::Manifest { node: 0, replay_from: 1 }).unwrap();
+        let mut w = WalWriter::create(&dir.wal_path(1), FsyncPolicy::Off).unwrap();
+        w.append(&WalRecord::Table(table_rec(0, 7))).unwrap();
+        w.append(&WalRecord::Store { bat: 7, version: 0, rows: rows(vec![1, 2]) }).unwrap();
+        w.sync().unwrap();
+        // A crash mid-append leaves half a frame behind.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(dir.wal_path(1)).unwrap();
+        f.write_all(&[200, 0, 0, 0, 1, 2]).unwrap();
+
+        let rec = recover(&dir, 0).unwrap();
+        assert!(rec.torn);
+        assert_eq!(rec.frags[&7].bat.count(), 2, "prefix intact");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn checkpoint_wal_overlap_applies_once() {
+        let root = scratch("overlap");
+        let dir = DataDir::open(&root).unwrap();
+        // Checkpoint has the fragment at version 2 with rows [1,2,3].
+        write_checkpoint(
+            &dir,
+            &Snapshot {
+                node: 0,
+                replay_from: 1, // deliberately stale: the WAL overlaps
+                tables: vec![table_rec(0, 7)],
+                frags: vec![FragSnap {
+                    bat: 7,
+                    version: 2,
+                    payload: Arc::new(Bat::dense(Column::from(vec![1, 2, 3]))),
+                }],
+            },
+        )
+        .unwrap();
+        // The WAL still holds the whole history plus one newer append.
+        let mut w = WalWriter::create(&dir.wal_path(1), FsyncPolicy::Off).unwrap();
+        w.append(&WalRecord::Store { bat: 7, version: 0, rows: rows(vec![1]) }).unwrap();
+        w.append(&WalRecord::Append { bat: 7, version: 1, rows: rows(vec![2]) }).unwrap();
+        w.append(&WalRecord::Append { bat: 7, version: 2, rows: rows(vec![3]) }).unwrap();
+        w.append(&WalRecord::Append { bat: 7, version: 3, rows: rows(vec![4]) }).unwrap();
+        w.sync().unwrap();
+
+        let rec = recover(&dir, 0).unwrap();
+        let f = &rec.frags[&7];
+        assert_eq!(f.version, 3);
+        let tails: Vec<_> = (0..f.bat.count()).map(|i| f.bat.bun(i).1).collect();
+        assert_eq!(f.bat.count(), 4, "no double-applied rows: {tails:?}");
+        assert_eq!(rec.wal_skipped, 3, "store + two covered appends skipped");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn version_gap_is_skipped_not_corrupted() {
+        let root = scratch("gap");
+        let dir = DataDir::open(&root).unwrap();
+        dir.write_manifest(&crate::datadir::Manifest { node: 0, replay_from: 1 }).unwrap();
+        let mut w = WalWriter::create(&dir.wal_path(1), FsyncPolicy::Off).unwrap();
+        w.append(&WalRecord::Store { bat: 7, version: 0, rows: rows(vec![1]) }).unwrap();
+        // Version 1 is missing; 2 must not apply.
+        w.append(&WalRecord::Append { bat: 7, version: 2, rows: rows(vec![9]) }).unwrap();
+        w.sync().unwrap();
+        let rec = recover(&dir, 0).unwrap();
+        assert_eq!(rec.frags[&7].bat.count(), 1);
+        assert_eq!(rec.wal_skipped, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn create_then_append_without_store_replays() {
+        // The SQL path: CREATE TABLE logs metadata only, INSERTs append
+        // onto the implied empty fragment.
+        let root = scratch("ddl_dml");
+        let dir = DataDir::open(&root).unwrap();
+        dir.write_manifest(&crate::datadir::Manifest { node: 0, replay_from: 1 }).unwrap();
+        let mut w = WalWriter::create(&dir.wal_path(1), FsyncPolicy::Off).unwrap();
+        w.append(&WalRecord::Table(table_rec(0, 7))).unwrap();
+        w.append(&WalRecord::Append { bat: 7, version: 1, rows: rows(vec![1, 2]) }).unwrap();
+        w.append(&WalRecord::Append { bat: 7, version: 2, rows: rows(vec![3]) }).unwrap();
+        w.sync().unwrap();
+        let rec = recover(&dir, 0).unwrap();
+        let f = &rec.frags[&7];
+        assert_eq!((f.version, f.bat.count()), (2, 3));
+        assert_eq!(rec.wal_skipped, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn append_batch_replays_all_columns_or_none() {
+        // A multi-column INSERT is one WAL frame: both fragments grow in
+        // lockstep, and a checkpoint-covered batch skips both parts.
+        let root = scratch("batch");
+        let dir = DataDir::open(&root).unwrap();
+        dir.write_manifest(&crate::datadir::Manifest { node: 0, replay_from: 1 }).unwrap();
+        let two_cols = TableRec {
+            origin: 0,
+            schema: "sys".into(),
+            table: "kv".into(),
+            cols: vec![
+                ColRec { name: "k".into(), ty: ColType::Int, bat: 7, size: 0, owner: 0 },
+                ColRec { name: "v".into(), ty: ColType::Int, bat: 8, size: 0, owner: 0 },
+            ],
+        };
+        let mut w = WalWriter::create(&dir.wal_path(1), FsyncPolicy::Off).unwrap();
+        w.append(&WalRecord::Table(two_cols)).unwrap();
+        let batch = |version: u32, k: i32, v: i32| {
+            WalRecord::AppendBatch(vec![
+                crate::AppendPart { bat: 7, version, rows: rows(vec![k]) },
+                crate::AppendPart { bat: 8, version, rows: rows(vec![v]) },
+            ])
+        };
+        w.append(&batch(1, 1, 10)).unwrap();
+        w.append(&batch(2, 2, 20)).unwrap();
+        w.sync().unwrap();
+
+        let rec = recover(&dir, 0).unwrap();
+        assert_eq!(rec.frags[&7].bat.count(), 2);
+        assert_eq!(rec.frags[&8].bat.count(), 2);
+        assert_eq!((rec.frags[&7].version, rec.frags[&8].version), (2, 2));
+
+        // A torn final batch discards *both* columns — never half a row.
+        use std::io::Write;
+        let enc = crate::wal::encode_record(&batch(3, 3, 30));
+        let mut f = std::fs::OpenOptions::new().append(true).open(dir.wal_path(1)).unwrap();
+        f.write_all(&enc[..enc.len() - 4]).unwrap();
+        drop(f);
+        let rec = recover(&dir, 0).unwrap();
+        assert!(rec.torn);
+        assert_eq!(rec.frags[&7].bat.count(), 2);
+        assert_eq!(rec.frags[&8].bat.count(), 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn owned_empty_table_materializes() {
+        // CREATE TABLE logs only metadata; recovery must still own an
+        // empty fragment of the right type.
+        let root = scratch("empty");
+        let dir = DataDir::open(&root).unwrap();
+        dir.write_manifest(&crate::datadir::Manifest { node: 2, replay_from: 1 }).unwrap();
+        let mut w = WalWriter::create(&dir.wal_path(1), FsyncPolicy::Off).unwrap();
+        w.append(&WalRecord::Table(table_rec(2, 11))).unwrap();
+        w.sync().unwrap();
+        let rec = recover(&dir, 2).unwrap();
+        let f = &rec.frags[&11];
+        assert_eq!((f.version, f.bat.count()), (0, 0));
+        assert_eq!(f.bat.tail_type(), ColType::Int);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

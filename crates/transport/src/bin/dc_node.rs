@@ -21,9 +21,15 @@
 //! A statement of the form `.wait <table>` blocks until the node's
 //! catalog replica knows `sys.<table>` (useful when scripting against a
 //! freshly created table from another node).
+//!
+//! `--data-dir <path>` makes the node durable: every CREATE/INSERT is
+//! write-ahead logged and checkpointed there, and a killed process
+//! restarted with the same flag recovers its catalog and fragments from
+//! disk, rejoining the ring with its data intact. `--fsync
+//! always|off|every=<n>` picks the WAL sync policy (default `always`).
 
 use batstore::Column;
-use datacyclotron::{DcConfig, NodeId, NodeOptions, RingNode};
+use datacyclotron::{DataDir, DcConfig, FsyncPolicy, NodeId, NodeOptions, RingNode};
 use dc_transport::tcp::join_ring;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -32,7 +38,8 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dc-node serve --ring <a1,a2,…> --me <i> --sql <addr> [--demo]\n  dc-node query <addr> <sql>"
+        "usage:\n  dc-node serve --ring <a1,a2,…> --me <i> --sql <addr> [--demo] \
+         [--data-dir <path>] [--fsync always|off|every=<n>]\n  dc-node query <addr> <sql>"
     );
     std::process::exit(2);
 }
@@ -53,11 +60,27 @@ fn parse_addr(s: &str) -> SocketAddr {
     })
 }
 
+fn parse_fsync(s: &str) -> FsyncPolicy {
+    match s {
+        "always" => FsyncPolicy::Always,
+        "off" => FsyncPolicy::Off,
+        other => match other.strip_prefix("every=").and_then(|n| n.parse::<u32>().ok()) {
+            Some(n) if n > 0 => FsyncPolicy::EveryN(n),
+            _ => {
+                eprintln!("bad --fsync '{s}': want always, off, or every=<n>");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 fn serve(args: &[String]) -> ! {
     let mut ring = Vec::new();
     let mut me = None;
     let mut sql = None;
     let mut demo = false;
+    let mut data_dir = None;
+    let mut fsync = FsyncPolicy::Always;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -68,6 +91,8 @@ fn serve(args: &[String]) -> ! {
             "--me" => me = it.next().and_then(|s| s.parse::<usize>().ok()),
             "--sql" => sql = it.next().map(|s| parse_addr(s)),
             "--demo" => demo = true,
+            "--data-dir" => data_dir = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--fsync" => fsync = parse_fsync(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -85,12 +110,20 @@ fn serve(args: &[String]) -> ! {
         cfg: DcConfig {
             load_interval: netsim::SimDuration::from_millis(10),
             resend_timeout: netsim::SimDuration::from_millis(500),
+            // Snappy owner-side loss detection: a BAT forwarded into a
+            // dead neighbor's socket must revert to disk quickly so
+            // requesters behind a healed ring are served again.
+            lost_after: netsim::SimDuration::from_secs(2),
             ..DcConfig::default()
         },
         pin_timeout: Duration::from_secs(20),
+        data_dir: data_dir.map(|p| DataDir::new(p).fsync(fsync)),
         ..NodeOptions::default()
     };
-    let node = RingNode::spawn(NodeId(me as u16), transport, opts);
+    let node = RingNode::try_spawn(NodeId(me as u16), transport, opts).unwrap_or_else(|e| {
+        eprintln!("[dc-node {me}] startup failed: {e}");
+        std::process::exit(1);
+    });
 
     if demo {
         node.load_table(

@@ -4,6 +4,15 @@
 //! `datacyclotron::msg` binary encoding. TCP gives the "asynchronous
 //! channels with guaranteed order of arrival" the paper requires of its
 //! network layer (§4.3).
+//!
+//! The ring *heals*: each node keeps its listener open for its whole
+//! lifetime, replacing an inbound neighbor stream whenever a new one
+//! arrives, and a failed outbound write triggers one redial of the
+//! neighbor's well-known address. A SIGKILL'd member that restarts (see
+//! `dc-persist` recovery) therefore rejoins the very same ring — its
+//! neighbors reconnect on their next send, and messages lost during the
+//! outage are recovered by the protocol's own `resend` and lost-BAT
+//! machinery (§4.2.3).
 
 use crate::{RingTransport, TransportError};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -11,7 +20,7 @@ use datacyclotron::{decode, encode, DcMsg};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -75,16 +84,29 @@ pub fn read_frame_capped(
     decode(&buf).map(Some).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
+/// How long a send-path redial waits for one TCP connect. A refused
+/// connection (dead or restarting peer) fails in microseconds on a LAN;
+/// the cap only bounds black-hole routes.
+const REDIAL_TIMEOUT: Duration = Duration::from_secs(1);
+
 /// A node connected into a TCP ring.
 pub struct TcpNode {
-    data_out: Mutex<TcpStream>,
-    req_out: Mutex<TcpStream>,
+    /// My position and the ring's well-known addresses, kept for
+    /// redialing neighbors after a failure.
+    addrs: Vec<SocketAddr>,
+    me: usize,
+    data_out: Mutex<Option<TcpStream>>,
+    req_out: Mutex<Option<TcpStream>>,
     inbox: Receiver<DcMsg>,
     out_bytes: Arc<AtomicU64>,
-    readers: Mutex<Vec<JoinHandle<()>>>,
-    // Clones of the inbound streams so `close` can force the reader
-    // threads off their blocking reads without waiting for peers.
-    inbound: Vec<TcpStream>,
+    closed: Arc<AtomicBool>,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    // The current inbound stream per edge (data, requests): `close` can
+    // force the reader threads off their blocking reads without waiting
+    // for peers, and a replaced stream is dropped — a flapping neighbor
+    // must not accumulate descriptors.
+    inbound: Arc<Mutex<[Option<TcpStream>; 2]>>,
 }
 
 /// Establish a full TCP ring on the given addresses with the default
@@ -121,8 +143,13 @@ pub fn join_ring(addrs: &[SocketAddr], me: usize) -> Result<TcpNode, TransportEr
     join_ring_capped(addrs, me, DEFAULT_MAX_FRAME)
 }
 
-/// [`join_ring`] with an explicit per-frame byte cap for the two inbound
+/// [`join_ring`] with an explicit per-frame byte cap for the inbound
 /// streams.
+///
+/// Returns once the listener is up and both outbound neighbor dials
+/// succeeded; the two inbound streams attach through the long-lived
+/// acceptor whenever the neighbors' own dials arrive (TCP's backlog
+/// queues them meanwhile, so nothing is lost).
 pub fn join_ring_capped(
     addrs: &[SocketAddr],
     me: usize,
@@ -136,7 +163,18 @@ pub fn join_ring_capped(
 
     let listener = TcpListener::bind(addrs[me])?;
 
-    // Dial neighbors with retry: peers may not be listening yet.
+    let (tx, inbox) = unbounded::<DcMsg>();
+    let out_bytes = Arc::new(AtomicU64::new(0));
+    let closed = Arc::new(AtomicBool::new(false));
+    let readers = Arc::new(Mutex::new(Vec::new()));
+    let inbound = Arc::new(Mutex::new([None, None]));
+    let acceptor = {
+        let (closed, readers, inbound) =
+            (Arc::clone(&closed), Arc::clone(&readers), Arc::clone(&inbound));
+        std::thread::spawn(move || accept_loop(listener, tx, closed, readers, inbound, max_frame))
+    };
+
+    // Dial both neighbors with retry: peers may not be listening yet.
     let dial = |addr: SocketAddr, hello: u8| -> Result<TcpStream, TransportError> {
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         loop {
@@ -155,42 +193,79 @@ pub fn join_ring_capped(
             }
         }
     };
+    let data_out = dial(succ, b'D')?;
+    let req_out = dial(pred, b'R')?;
 
-    // Dial in a helper thread so we can accept concurrently (avoids the
-    // deadlock where every node dials before anyone accepts).
-    let dial_handle =
-        std::thread::spawn(move || -> Result<(TcpStream, TcpStream), TransportError> {
-            let data_out = dial(succ, b'D')?;
-            let req_out = dial(pred, b'R')?;
-            Ok((data_out, req_out))
-        });
+    Ok(TcpNode {
+        addrs: addrs.to_vec(),
+        me,
+        data_out: Mutex::new(Some(data_out)),
+        req_out: Mutex::new(Some(req_out)),
+        inbox,
+        out_bytes,
+        closed,
+        acceptor: Mutex::new(Some(acceptor)),
+        readers,
+        inbound,
+    })
+}
 
-    // Accept our two inbound streams.
-    let (tx, inbox) = unbounded::<DcMsg>();
-    let out_bytes = Arc::new(AtomicU64::new(0));
-    let mut readers = Vec::new();
-    let mut inbound = Vec::new();
-    let mut seen_data = false;
-    let mut seen_req = false;
-    while !(seen_data && seen_req) {
-        let (mut stream, _) = listener.accept()?;
-        stream.set_nodelay(true).ok();
-        let mut hello = [0u8; 1];
-        stream.read_exact(&mut hello)?;
-        match hello[0] {
-            b'D' if !seen_data => seen_data = true,
-            b'R' if !seen_req => seen_req = true,
-            other => {
-                return Err(TransportError::Io(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("unexpected hello {other}"),
-                )))
+/// The node's long-lived acceptor: every inbound connection identifies
+/// its edge with a 1-byte hello (`b'D'` from the predecessor's data
+/// dial, `b'R'` from the successor's request dial) and *replaces* the
+/// current stream on that edge — which is how a restarted or reconnecting
+/// neighbor re-attaches mid-flight.
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<DcMsg>,
+    closed: Arc<AtomicBool>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    inbound: Arc<Mutex<[Option<TcpStream>; 2]>>,
+    max_frame: usize,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                if closed.load(Ordering::Acquire) {
+                    return;
+                }
+                // Persistent failures (EMFILE and friends) must not spin
+                // a core; back off and retry.
+                eprintln!("[dc-transport] accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+                continue;
             }
+        };
+        if closed.load(Ordering::Acquire) {
+            return;
         }
-        inbound.push(stream.try_clone()?);
+        let mut stream = stream;
+        stream.set_nodelay(true).ok();
+        // The hello must arrive promptly or the conn is junk (including
+        // the wake-up probe `close` sends to unblock this loop).
+        stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+        let mut hello = [0u8; 1];
+        if stream.read_exact(&mut hello).is_err() {
+            continue;
+        }
+        stream.set_read_timeout(None).ok();
+        let slot = match hello[0] {
+            b'D' => 0,
+            b'R' => 1,
+            _ => continue,
+        };
+        let Ok(clone) = stream.try_clone() else { continue };
+        // The new stream takes over the edge; the replaced one is shut
+        // (its reader exits) and dropped — reconnects must not leak
+        // descriptors, threads, or registry slots.
+        if let Some(old) = inbound.lock()[slot].replace(clone) {
+            let _ = old.shutdown(std::net::Shutdown::Both);
+        }
         let tx = tx.clone();
-        readers.push(std::thread::spawn(move || {
-            let mut stream = stream;
+        let mut r = readers.lock();
+        r.retain(|h| !h.is_finished());
+        r.push(std::thread::spawn(move || {
             while let Ok(Some(msg)) = read_frame_capped(&mut stream, max_frame) {
                 if tx.send(msg).is_err() {
                     break;
@@ -198,29 +273,58 @@ pub fn join_ring_capped(
             }
         }));
     }
+}
 
-    let (data_out, req_out) = dial_handle.join().map_err(|_| TransportError::Disconnected)??;
-    Ok(TcpNode {
-        data_out: Mutex::new(data_out),
-        req_out: Mutex::new(req_out),
-        inbox,
-        out_bytes,
-        readers: Mutex::new(readers),
-        inbound,
-    })
+impl TcpNode {
+    /// Write on an edge, redialing the neighbor's well-known address once
+    /// if the current stream is dead or missing. Persistent failure is
+    /// returned to the caller — the ring protocol's `resend` machinery
+    /// (§4.2.3) is the retry loop, not the transport.
+    fn send_edge(
+        &self,
+        out: &Mutex<Option<TcpStream>>,
+        peer: SocketAddr,
+        hello: u8,
+        msg: &DcMsg,
+    ) -> Result<(), TransportError> {
+        let mut guard = out.lock();
+        if let Some(s) = guard.as_mut() {
+            if write_frame(s, msg).is_ok() {
+                return Ok(());
+            }
+        }
+        *guard = None;
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Disconnected);
+        }
+        let mut fresh = TcpStream::connect_timeout(&peer, REDIAL_TIMEOUT)?;
+        fresh.set_nodelay(true).ok();
+        fresh.write_all(&[hello])?;
+        write_frame(&mut fresh, msg)?;
+        *guard = Some(fresh);
+        Ok(())
+    }
+
+    fn succ(&self) -> SocketAddr {
+        self.addrs[(self.me + 1) % self.addrs.len()]
+    }
+
+    fn pred(&self) -> SocketAddr {
+        self.addrs[(self.me + self.addrs.len() - 1) % self.addrs.len()]
+    }
 }
 
 impl RingTransport for TcpNode {
     fn send_data(&self, msg: DcMsg) -> Result<(), TransportError> {
         let size = msg.wire_size();
         self.out_bytes.fetch_add(size, Ordering::Relaxed);
-        let result = write_frame(&mut *self.data_out.lock(), &msg);
+        let result = self.send_edge(&self.data_out, self.succ(), b'D', &msg);
         self.out_bytes.fetch_sub(size, Ordering::Relaxed);
-        result.map_err(TransportError::Io)
+        result
     }
 
     fn send_request(&self, msg: DcMsg) -> Result<(), TransportError> {
-        write_frame(&mut *self.req_out.lock(), &msg).map_err(TransportError::Io)
+        self.send_edge(&self.req_out, self.pred(), b'R', &msg)
     }
 
     fn recv(&self) -> Option<DcMsg> {
@@ -231,15 +335,31 @@ impl RingTransport for TcpNode {
         self.out_bytes.load(Ordering::Relaxed)
     }
 
-    /// Tear down the node: shut both outgoing streams, force the inbound
-    /// streams shut so the reader threads leave their blocking reads
-    /// immediately, then join them. Safe to call in any order across
-    /// ring members — no peer coordination is required — and idempotent.
+    /// Tear down the node: shut both outgoing streams, force every
+    /// inbound stream shut so the reader threads leave their blocking
+    /// reads immediately, wake and join the acceptor, then join the
+    /// readers. Safe to call in any order across ring members — no peer
+    /// coordination is required — and idempotent.
     fn close(&self) {
-        let _ = self.data_out.lock().shutdown(std::net::Shutdown::Both);
-        let _ = self.req_out.lock().shutdown(std::net::Shutdown::Both);
-        for s in &self.inbound {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+        self.closed.store(true, Ordering::Release);
+        for out in [&self.data_out, &self.req_out] {
+            if let Some(mut guard) = out.try_lock() {
+                if let Some(s) = guard.take() {
+                    let _ = s.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+        // A throwaway connection unblocks the acceptor's `accept`; it
+        // sees the closed flag and exits. Joining it first means the
+        // inbound registry below is final.
+        let _ = TcpStream::connect_timeout(&self.addrs[self.me], Duration::from_millis(200));
+        if let Some(a) = self.acceptor.lock().take() {
+            let _ = a.join();
+        }
+        for s in self.inbound.lock().iter_mut() {
+            if let Some(s) = s.take() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
         }
         for r in self.readers.lock().drain(..) {
             let _ = r.join();
@@ -349,6 +469,64 @@ mod tests {
             assert!(matches!(nodes[to].recv().unwrap(), DcMsg::Bat { .. }));
         }
         for n in nodes {
+            n.shutdown();
+        }
+    }
+
+    #[test]
+    fn ring_heals_after_member_restart() {
+        let addrs = local_addrs(3);
+        let mut joins = Vec::new();
+        for me in 0..3 {
+            let addrs = addrs.clone();
+            joins.push(std::thread::spawn(move || join_ring(&addrs, me).unwrap()));
+        }
+        let mut nodes: Vec<Option<TcpNode>> =
+            joins.into_iter().map(|j| Some(j.join().unwrap())).collect();
+
+        // Node 1 dies (close is the orderly stand-in for a kill: its
+        // listener and sockets vanish either way).
+        nodes[1].take().unwrap().shutdown();
+        std::thread::sleep(Duration::from_millis(50));
+
+        // ... and restarts at the same address.
+        let revived = join_ring(&addrs, 1).unwrap();
+
+        // Node 0's outbound data stream points at the dead socket; the
+        // first write may land in a buffer that RSTs, after which the
+        // send path redials the well-known address. Keep sending until
+        // delivery proves the ring healed.
+        let mut healed = false;
+        for _ in 0..100 {
+            let _ = nodes[0].as_ref().unwrap().send_data(DcMsg::Bat {
+                header: BatHeader::fresh(NodeId(0), BatId(1), 0),
+                payload: None,
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            if revived.try_recv().is_some() {
+                healed = true;
+                break;
+            }
+        }
+        assert!(healed, "data edge 0→1 never healed");
+
+        // The anti-clockwise edge 2→1 heals the same way.
+        let mut healed = false;
+        for _ in 0..100 {
+            let _ = nodes[2]
+                .as_ref()
+                .unwrap()
+                .send_request(DcMsg::Request(ReqMsg { origin: NodeId(2), bat: BatId(5) }));
+            std::thread::sleep(Duration::from_millis(20));
+            if revived.try_recv().is_some() {
+                healed = true;
+                break;
+            }
+        }
+        assert!(healed, "request edge 2→1 never healed");
+
+        revived.shutdown();
+        for n in nodes.into_iter().flatten() {
             n.shutdown();
         }
     }

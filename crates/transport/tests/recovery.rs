@@ -1,0 +1,163 @@
+//! Crash-recovery acceptance: a three-process `dc-node` ring with data
+//! dirs, an INSERT workload, a SIGKILL of the owner mid-workload, and a
+//! restart from the same `--data-dir`. Every acknowledged INSERT must be
+//! visible to SELECTs from every surviving and revived member.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_dc-node");
+
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    let ls: Vec<TcpListener> = (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    ls.iter().map(|l| l.local_addr().unwrap()).collect()
+}
+
+fn spawn_node(ring_spec: &str, me: usize, sql: SocketAddr, data_dir: &Path) -> Child {
+    Command::new(BIN)
+        .args([
+            "serve",
+            "--ring",
+            ring_spec,
+            "--me",
+            &me.to_string(),
+            "--sql",
+            &sql.to_string(),
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+            "--fsync",
+            "off", // the test SIGKILLs the process, not the machine
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dc-node")
+}
+
+/// One statement per connection, like `dc-node query`.
+fn sql(addr: SocketAddr, stmt: &str) -> Result<String, String> {
+    let mut conn = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    conn.write_all(stmt.as_bytes()).map_err(|e| e.to_string())?;
+    conn.shutdown(std::net::Shutdown::Write).ok();
+    let mut reply = String::new();
+    conn.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    conn.read_to_string(&mut reply).map_err(|e| e.to_string())?;
+    if reply.starts_with("error:") {
+        return Err(reply);
+    }
+    Ok(reply)
+}
+
+fn wait_ready(addr: SocketAddr, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_ok() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{what} never began serving SQL on {addr}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Queries keep failing while the ring re-settles around a revived
+/// member; retry until the window closes.
+fn retry_sql(addr: SocketAddr, stmt: &str, window: Duration) -> String {
+    let deadline = Instant::now() + window;
+    loop {
+        match sql(addr, stmt) {
+            Ok(out) => return out,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "`{stmt}` on {addr} kept failing: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Owns the node processes and the scratch dir; kills and scrubs both
+/// even when an assertion panics.
+struct Cluster {
+    children: Vec<Option<Child>>,
+    scratch: PathBuf,
+}
+
+impl Cluster {
+    fn data_dir(&self, i: usize) -> PathBuf {
+        self.scratch.join(format!("node{i}"))
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for c in self.children.iter_mut().flatten() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        std::fs::remove_dir_all(&self.scratch).ok();
+    }
+}
+
+#[test]
+fn sigkilled_node_recovers_its_data_and_rejoins_the_ring() {
+    let ring = free_addrs(3);
+    let sqls = free_addrs(3);
+    let ring_spec = ring.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",");
+    let scratch = std::env::temp_dir().join(format!("dc_recovery_it_{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let mut cluster = Cluster { children: Vec::new(), scratch };
+    for (i, s) in sqls.iter().enumerate() {
+        let child = spawn_node(&ring_spec, i, *s, &cluster.data_dir(i));
+        cluster.children.push(Some(child));
+    }
+    for (i, s) in sqls.iter().enumerate() {
+        wait_ready(*s, &format!("node {i}"));
+    }
+
+    // Owner node 0 creates the table; the DDL gossip replicates.
+    sql(sqls[0], "create table logs (k int, msg varchar(16))").unwrap();
+    sql(sqls[1], ".wait logs").unwrap();
+    sql(sqls[2], ".wait logs").unwrap();
+
+    // INSERT workload on the owner: every returning statement is an
+    // acknowledged, WAL-logged row. The SIGKILL lands mid-workload,
+    // between acknowledged inserts.
+    let mut acked = Vec::new();
+    for k in 0..12 {
+        sql(sqls[0], &format!("insert into logs values ({k}, 'row{k}')")).unwrap();
+        acked.push(k);
+        if k == 7 {
+            let mut child = cluster.children[0].take().expect("node 0 running");
+            child.kill().unwrap();
+            child.wait().unwrap();
+            break;
+        }
+    }
+
+    // Restart the owner with the same data dir: recovery replays the
+    // WAL, re-advertises sys.logs, and the TCP ring heals around it.
+    std::thread::sleep(Duration::from_millis(200));
+    cluster.children[0] = Some(spawn_node(&ring_spec, 0, sqls[0], &cluster.data_dir(0)));
+    wait_ready(sqls[0], "revived node 0");
+
+    // Every acknowledged row is visible ring-wide: from the revived
+    // owner (local disk) and from both survivors (fragments pulled
+    // through the healed ring).
+    for (i, s) in sqls.iter().enumerate() {
+        let out = retry_sql(*s, "select k from logs order by k", Duration::from_secs(60));
+        let rows: Vec<i64> = out
+            .lines()
+            .filter_map(|l| l.strip_prefix("[ ")?.strip_suffix(" ]")?.trim().parse().ok())
+            .collect();
+        assert_eq!(rows, acked, "node {i} is missing acknowledged rows:\n{out}");
+    }
+
+    // And the revived ring still takes writes.
+    sql(sqls[0], "insert into logs values (100, 'post')").unwrap();
+    let out = retry_sql(sqls[1], "select count(*) from logs", Duration::from_secs(60));
+    assert!(out.contains(&format!("[ {} ]", acked.len() + 1)), "{out}");
+}
