@@ -17,6 +17,8 @@
 //!   (the `sql.bind` of the plans),
 //! * [`storage`] — binary persistence (the "cold data on attached disks"
 //!   of the paper's data loader),
+//! * [`resultset`] — typed query results (named, typed columns plus
+//!   DDL/DML outcomes) with a binary wire form reusing the BAT encoding,
 //! * [`partition`] — horizontal fragmentation into ring-sized BATs.
 
 pub mod bat;
@@ -26,6 +28,7 @@ pub mod error;
 pub mod heap;
 pub mod ops;
 pub mod partition;
+pub mod resultset;
 pub mod storage;
 pub mod value;
 
@@ -34,4 +37,5 @@ pub use catalog::{BatKey, BatStore, Catalog, ColDef, TableDef};
 pub use column::Column;
 pub use error::{BatError, Result};
 pub use heap::StrCol;
+pub use resultset::{ResultColumn, ResultSet};
 pub use value::{ColType, Val};

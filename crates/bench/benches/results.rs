@@ -1,0 +1,83 @@
+//! Criterion benchmarks for result delivery: the old path rendered every
+//! row to a string at each hop; the new path ships typed `RowBatch`
+//! column frames (binary BAT encoding) and renders only at the edge that
+//! wants text. Measured on a 100k-row SELECT-shaped result (int key,
+//! int measure, short string tag).
+
+use batstore::{Bat, Column, ResultSet};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dc_client::proto::{result_frames, write_frame, Frame, ResultAssembler, DEFAULT_BATCH_ROWS};
+use std::sync::Arc;
+
+const ROWS: usize = 100_000;
+
+/// The 100k-row result a `select k, amount, tag from …` would produce.
+fn select_result() -> ResultSet {
+    let mut rs = ResultSet::new();
+    rs.push_column(
+        "sys.sales",
+        "k",
+        "int",
+        Arc::new(Bat::dense(Column::Int((0..ROWS as i32).collect()))),
+    );
+    rs.push_column(
+        "sys.sales",
+        "amount",
+        "int",
+        Arc::new(Bat::dense(Column::Int((0..ROWS as i32).map(|i| (i * 37 + 11) % 500).collect()))),
+    );
+    let tags: Vec<&str> = (0..ROWS).map(|i| ["eu", "us", "ap", "af", "sa"][i % 5]).collect();
+    rs.push_column("sys.sales", "tag", "str", Arc::new(Bat::dense(Column::from(tags))));
+    rs
+}
+
+/// Serialize the full frame sequence into one buffer — exactly the
+/// bytes a server writes for the statement.
+fn encode_frames(rs: &ResultSet) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for f in result_frames(rs, DEFAULT_BATCH_ROWS) {
+        write_frame(&mut buf, &f).expect("encode");
+    }
+    buf
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let rs = select_result();
+
+    // The old delivery unit: a fully rendered tabular string, rebuilt at
+    // every hop that touched the result.
+    c.bench_function("deliver_100k_rendered_string", |b| b.iter(|| black_box(rs.render()).len()));
+
+    // The new delivery unit: typed RowBatch frames, one column encode.
+    c.bench_function("deliver_100k_rowbatch_encode", |b| {
+        b.iter(|| black_box(encode_frames(&rs)).len())
+    });
+
+    // And the client's side of it: decode + reassemble the typed result
+    // (no rendering anywhere).
+    let frames = result_frames(&rs, DEFAULT_BATCH_ROWS);
+    c.bench_function("deliver_100k_rowbatch_decode", |b| {
+        b.iter(|| {
+            let mut asm = match &frames[0] {
+                Frame::ResultHeader { columns, affected, info } => {
+                    ResultAssembler::new(columns.clone(), *affected, info.clone())
+                }
+                other => panic!("{other:?}"),
+            };
+            for f in &frames[1..frames.len() - 1] {
+                match f {
+                    Frame::RowBatch { cols } => asm.push(cols.clone()).expect("push"),
+                    other => panic!("{other:?}"),
+                }
+            }
+            black_box(asm.finish().row_count())
+        })
+    });
+
+    // Sanity anchor: both forms describe the same rows.
+    let bytes = encode_frames(&rs);
+    assert!(bytes.len() < rs.render().len(), "typed form should be the smaller wire unit");
+}
+
+criterion_group!(benches, bench_delivery);
+criterion_main!(benches);

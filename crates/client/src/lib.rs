@@ -1,0 +1,153 @@
+//! # dc-client — the typed SQL client for a Data Cyclotron deployment
+//!
+//! Connects to any `dc-node` SQL endpoint and speaks the versioned,
+//! length-prefixed frame protocol of [`proto`]: one TCP connection, a
+//! `Hello` handshake, then any number of statements, each answered by
+//! `ResultHeader` + `RowBatch`* + `Done` (or `Error`). Results arrive as
+//! [`batstore::ResultSet`] — named, typed columns, affected-row counts,
+//! and info text — so callers branch on structure instead of scraping
+//! strings, and a SQL error is unmistakably an error.
+//!
+//! ```no_run
+//! use dc_client::Client;
+//!
+//! let mut session = Client::connect("127.0.0.1:7501").unwrap();
+//! session.query("create table kv (k int, v varchar(16))").unwrap();
+//! session.query("insert into kv values (1, 'hello')").unwrap();
+//! let rs = session.query("select k, v from kv order by k").unwrap();
+//! assert_eq!(rs.columns[0].name, "k");
+//! assert_eq!(rs.cell(0, 0), batstore::Val::Int(1));
+//! println!("{}", rs.render()); // text only where text is wanted
+//! ```
+
+pub mod proto;
+
+use proto::{read_frame, write_frame, Frame, ResultAssembler, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+
+pub use proto::ErrorKind;
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+pub use batstore::{ColType, ResultColumn, ResultSet, Val};
+
+/// Client-side failures, separated by who is at fault.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed (refused, reset, timed out).
+    Io(std::io::Error),
+    /// The peer violated the frame protocol (not a dc-node, version
+    /// mismatch, malformed or out-of-order frames).
+    Protocol(String),
+    /// The server reported a classified failure for the statement
+    /// (parse/plan/exec/ring — see [`ErrorKind`]); branch on `kind`
+    /// instead of scraping the message. The session remains usable for
+    /// further statements.
+    Server { kind: ErrorKind, message: String },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { message, .. } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Connection factory. [`Client::connect`] performs the `Hello`
+/// handshake and hands back a live [`Session`].
+pub struct Client;
+
+impl Client {
+    /// Connect to a `dc-node` SQL endpoint with the default frame cap.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Session, ClientError> {
+        Session::connect(addr, DEFAULT_MAX_FRAME)
+    }
+}
+
+/// One live connection. Statements run strictly in order; the session
+/// survives server-side SQL errors (only I/O or protocol violations
+/// poison it).
+pub struct Session {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Session {
+    /// Connect and shake hands, with an explicit inbound frame cap.
+    pub fn connect(addr: impl ToSocketAddrs, max_frame: usize) -> Result<Session, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut session = Session { stream, max_frame };
+        write_frame(&mut session.stream, &Frame::Hello { version: PROTOCOL_VERSION })?;
+        match session.read()? {
+            Frame::Hello { version: PROTOCOL_VERSION } => Ok(session),
+            Frame::Hello { version } => Err(ClientError::Protocol(format!(
+                "server speaks protocol v{version}, this client speaks v{PROTOCOL_VERSION}"
+            ))),
+            Frame::Error { message, .. } => Err(ClientError::Protocol(message)),
+            other => Err(ClientError::Protocol(format!("expected Hello, got {other:?}"))),
+        }
+    }
+
+    /// Bound how long `query` waits for each reply frame (`None` waits
+    /// forever, the default).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout).map_err(ClientError::Io)
+    }
+
+    /// Execute one SQL statement and collect its typed result. A
+    /// server-reported failure returns [`ClientError::Server`]; the
+    /// connection stays open for the next statement either way.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet, ClientError> {
+        write_frame(&mut self.stream, &Frame::Query { sql: sql.to_string() })?;
+        let mut assembler: Option<ResultAssembler> = None;
+        loop {
+            match self.read()? {
+                Frame::ResultHeader { columns, affected, info } => {
+                    if assembler.is_some() {
+                        return Err(ClientError::Protocol("duplicate ResultHeader".into()));
+                    }
+                    assembler = Some(ResultAssembler::new(columns, affected, info));
+                }
+                Frame::RowBatch { cols } => match assembler.as_mut() {
+                    Some(a) => a.push(cols).map_err(ClientError::Protocol)?,
+                    None => {
+                        return Err(ClientError::Protocol("RowBatch before ResultHeader".into()))
+                    }
+                },
+                Frame::Done => {
+                    return Ok(assembler.map(ResultAssembler::finish).unwrap_or_default())
+                }
+                Frame::Error { kind, message } => {
+                    return Err(ClientError::Server { kind, message })
+                }
+                other => return Err(ClientError::Protocol(format!("unexpected frame {other:?}"))),
+            }
+        }
+    }
+
+    fn read(&mut self) -> Result<Frame, ClientError> {
+        match read_frame(&mut self.stream, self.max_frame)? {
+            Some(f) => Ok(f),
+            None => Err(ClientError::Protocol("server closed the connection mid-statement".into())),
+        }
+    }
+}

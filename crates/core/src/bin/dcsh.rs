@@ -92,7 +92,7 @@ impl Shell {
                 if rest.is_empty() {
                     println!("usage: .plan <sql>");
                 } else {
-                    match self.ring.explain_sql(rest) {
+                    match self.ring.explain_sql(self.node, rest) {
                         Ok((plan, dc)) => {
                             println!("-- MAL plan\n{plan}\n-- after DcOptimizer\n{dc}")
                         }
@@ -124,12 +124,19 @@ impl Shell {
 
     fn sql(&mut self, line: &str) {
         let started = Instant::now();
-        match self.ring.submit_sql(self.node, line) {
-            Ok(out) => {
-                print!("{out}");
+        // The typed API is the source of truth; the shell renders it and
+        // reports the row count the way a wire client would see it.
+        match self.ring.execute(self.node, line) {
+            Ok(rs) => {
+                print!("{}", rs.render());
                 self.queries_run += 1;
                 if self.timing {
-                    println!("-- {:.1} ms", started.elapsed().as_secs_f64() * 1e3);
+                    let shape = if rs.column_count() > 0 {
+                        format!("{} row(s), {} col(s), ", rs.row_count(), rs.column_count())
+                    } else {
+                        String::new()
+                    };
+                    println!("-- {shape}{:.1} ms", started.elapsed().as_secs_f64() * 1e3);
                 }
             }
             Err(e) => println!("error: {e}"),

@@ -17,12 +17,13 @@
 //! batches to the fragment owners as [`DcMsg::Append`] messages (§6.4).
 
 use crate::config::{DataDir, DcConfig};
+use crate::error::DcError;
 use crate::ids::{BatId, NodeId, QueryId};
 use crate::msg::{AppendMsg, CatalogCol, CatalogMsg, DcMsg};
 use crate::proto::{DcNode, Effect, PinOutcome};
 use crate::runtime::{Cmd, FragInfo, RingCatalog, RingHooks, Waiter};
 use crate::transport::{mem, RingTransport};
-use batstore::{storage, Bat, BatStore, Catalog, Column};
+use batstore::{storage, Bat, BatStore, Catalog, Column, ResultSet};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dc_persist::{Checkpointer, ColRec, FragSnap, Snapshot, TableRec, WalRecord, WalWriter};
@@ -920,11 +921,24 @@ impl RingNode {
     }
 
     /// Compile and execute one SQL statement (SELECT, CREATE TABLE, or
-    /// INSERT) on this node; returns the rendered output.
+    /// INSERT) on this node, returning the typed [`ResultSet`]: named,
+    /// typed columns for SELECTs; affected-row counts and info text for
+    /// DML/DDL. This is the engine's canonical query entry point — the
+    /// wire protocol ships these columns, and text is rendered only at
+    /// edges that want text.
+    pub fn execute(&self, sql: &str) -> Result<ResultSet, DcError> {
+        let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
+        let plan = self.compile(sql, &self.templates)?;
+        self.run_plan(qid, &plan).map_err(DcError::from)
+    }
+
+    /// Compile and execute one SQL statement; returns the rendered
+    /// output. A thin rendering shim over [`RingNode::execute`], kept
+    /// for callers that only want text.
     pub fn submit_sql(&self, sql: &str) -> Result<String, MalError> {
         let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
         let plan = self.compile(sql, &self.templates)?;
-        self.run_plan(qid, &plan)
+        self.run_plan(qid, &plan).map(|rs| rs.render())
     }
 
     /// Compile `sql` against this node's metadata replica.
@@ -941,8 +955,9 @@ impl RingNode {
         })
     }
 
-    /// Execute an already-compiled MAL plan with the given query id.
-    pub fn run_plan(&self, qid: u64, plan: &mal::Program) -> Result<String, MalError> {
+    /// Execute an already-compiled MAL plan with the given query id,
+    /// returning the typed result the plan's sink published.
+    pub fn run_plan(&self, qid: u64, plan: &mal::Program) -> Result<ResultSet, MalError> {
         // A per-query session sharing the node's hooks.
         let session =
             SessionCtx::new(Arc::clone(&self.session.catalog), Arc::clone(&self.session.store))
@@ -952,7 +967,7 @@ impl RingNode {
         // Always clean up interest, success or failure.
         let _ = self.tx.send(NodeEvent::Cmd(Cmd::QueryDone { query: QueryId(qid) }));
         result?;
-        Ok(session.take_output())
+        Ok(session.take_result())
     }
 
     /// Render the front-end plan and its Data Cyclotron rewrite.
@@ -1155,12 +1170,21 @@ impl Ring {
         Ok(())
     }
 
+    /// Compile and execute one SQL statement on the given node,
+    /// returning the typed [`ResultSet`] (the canonical query API; see
+    /// [`RingNode::execute`]).
+    pub fn execute(&self, node_idx: usize, sql: &str) -> Result<ResultSet, DcError> {
+        let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
+        let plan = self.nodes[node_idx].compile(sql, &self.templates).map_err(DcError::from)?;
+        self.nodes[node_idx].run_plan(qid, &plan).map_err(DcError::from)
+    }
+
     /// Compile and execute one SQL statement on the given node; returns
-    /// the rendered output.
+    /// the rendered output (a rendering shim over [`Ring::execute`]).
     pub fn submit_sql(&self, node_idx: usize, sql: &str) -> Result<String, MalError> {
         let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
         let plan = self.nodes[node_idx].compile(sql, &self.templates)?;
-        self.nodes[node_idx].run_plan(qid, &plan)
+        self.nodes[node_idx].run_plan(qid, &plan).map(|rs| rs.render())
     }
 
     /// Execute an already-compiled MAL plan on a node.
@@ -1169,7 +1193,7 @@ impl Ring {
         node_idx: usize,
         qid: u64,
         plan: &mal::Program,
-    ) -> Result<String, MalError> {
+    ) -> Result<ResultSet, MalError> {
         self.nodes[node_idx].run_plan(qid, plan)
     }
 
@@ -1179,10 +1203,12 @@ impl Ring {
         crate::bidding::cheapest_node(self, bats)
     }
 
-    /// Compile `sql` and render both the front-end plan and its Data
-    /// Cyclotron rewrite (EXPLAIN, Tables 1/2 style).
-    pub fn explain_sql(&self, sql: &str) -> Result<(String, String), MalError> {
-        self.nodes[0].explain_sql(sql)
+    /// Compile `sql` against the given node's metadata replica and
+    /// render both the front-end plan and its Data Cyclotron rewrite
+    /// (EXPLAIN, Tables 1/2 style). Takes the node index like
+    /// [`Ring::submit_sql`] — each node compiles against its own replica.
+    pub fn explain_sql(&self, node_idx: usize, sql: &str) -> Result<(String, String), MalError> {
+        self.nodes[node_idx].explain_sql(sql)
     }
 
     pub(crate) fn ring_catalog(&self) -> &RingCatalog {
@@ -1261,6 +1287,35 @@ mod tests {
     }
 
     #[test]
+    fn execute_returns_typed_results() {
+        let ring = demo_ring(2);
+        // SELECT: named, typed columns — no string parsing anywhere.
+        let rs =
+            ring.execute(1, "select amount from c where amount >= 30 order by amount").unwrap();
+        assert_eq!((rs.column_count(), rs.row_count()), (1, 2));
+        assert_eq!(rs.columns[0].name, "amount");
+        assert_eq!(rs.columns[0].col_type(), batstore::ColType::Int);
+        assert_eq!(rs.cell(0, 0), batstore::Val::Int(30));
+        assert_eq!(rs.cell(1, 0), batstore::Val::Int(40));
+        // DDL and DML report through the same type.
+        let rs = ring.execute(0, "create table ev (k int)").unwrap();
+        assert!(rs.info.as_deref().unwrap_or("").contains("created"), "{rs:?}");
+        let rs = ring.execute(0, "insert into ev values (1), (2), (3)").unwrap();
+        assert_eq!(rs.affected, Some(3));
+        // Aggregates carry their declared type even for small values.
+        let rs = ring.execute(0, "select count(*) from ev").unwrap();
+        assert_eq!(rs.columns[0].col_type(), batstore::ColType::Lng);
+        assert_eq!(rs.columns[0].sql_type, "lng");
+        // Errors surface with their message; the shim agrees with the
+        // typed path.
+        let err = ring.execute(0, "select x from ghost").unwrap_err();
+        assert!(err.message().contains("ghost"), "{err:?}");
+        let typed = ring.execute(1, "select amount from c where amount >= 30").unwrap();
+        let rendered = ring.submit_sql(1, "select amount from c where amount >= 30").unwrap();
+        assert_eq!(typed.render(), rendered);
+    }
+
+    #[test]
     fn single_node_ring_works() {
         let ring = demo_ring(1);
         let out =
@@ -1271,7 +1326,8 @@ mod tests {
     #[test]
     fn explain_shows_dc_rewrite() {
         let ring = demo_ring(2);
-        let (plan, dc) = ring.explain_sql("select c.t_id from t, c where c.t_id = t.id").unwrap();
+        let (plan, dc) =
+            ring.explain_sql(1, "select c.t_id from t, c where c.t_id = t.id").unwrap();
         assert!(plan.contains("sql.bind"), "{plan}");
         assert!(!plan.contains("datacyclotron"), "{plan}");
         assert!(dc.contains("datacyclotron.request"), "{dc}");

@@ -47,6 +47,7 @@ pub mod bidding;
 pub mod catalog;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod ids;
 pub mod intermediates;
 pub mod loi;
@@ -58,9 +59,11 @@ pub mod stats;
 pub mod transport;
 pub mod versions;
 
+pub use batstore::{ResultColumn, ResultSet};
 pub use catalog::{OwnedState, S1Catalog};
 pub use config::{DataDir, DcConfig, FsyncPolicy};
 pub use engine::{NodeOptions, Ring, RingBuilder, RingNode};
+pub use error::DcError;
 pub use ids::{BatId, NodeId, QueryId};
 pub use loi::{new_loi, LoitLadder};
 pub use msg::{decode, encode, AppendMsg, BatHeader, CatalogCol, CatalogMsg, DcMsg, ReqMsg};

@@ -130,8 +130,11 @@ pub struct SessionCtx {
     /// a ring, [`LocalHooks`] otherwise. One instance for the session so
     /// tickets issued by `request` stay valid for `pin`/`unpin`.
     hooks: Arc<dyn DcHooks>,
-    /// Captured `io.stdout()` output.
+    /// Captured `io.stdout()` output (`io.print` and friends).
     pub out: Mutex<String>,
+    /// The typed result published by the plan's SQL sink
+    /// (`sql.exportResult` / `sql.createTable` / `sql.append`).
+    result: Mutex<Option<batstore::ResultSet>>,
     /// The query id handed to `DcHooks` calls (assigned at submit time).
     pub query_id: u64,
 }
@@ -139,7 +142,14 @@ pub struct SessionCtx {
 impl SessionCtx {
     pub fn new(catalog: Arc<RwLock<Catalog>>, store: Arc<RwLock<BatStore>>) -> Self {
         let hooks = Arc::new(LocalHooks::new(Arc::clone(&catalog), Arc::clone(&store)));
-        SessionCtx { catalog, store, hooks, out: Mutex::new(String::new()), query_id: 0 }
+        SessionCtx {
+            catalog,
+            store,
+            hooks,
+            out: Mutex::new(String::new()),
+            result: Mutex::new(None),
+            query_id: 0,
+        }
     }
 
     pub fn with_dc(mut self, dc: Arc<dyn DcHooks>) -> Self {
@@ -157,8 +167,26 @@ impl SessionCtx {
         Arc::clone(&self.hooks)
     }
 
+    /// Publish the statement's typed result. The SQL sinks call this
+    /// once per statement; a later sink replaces an earlier one.
+    pub fn set_result(&self, rs: batstore::ResultSet) {
+        *self.result.lock() = Some(rs);
+    }
+
+    /// Drain the session's typed result. Captured `io.print` text (which
+    /// has no columnar shape) rides along as leading info text.
+    pub fn take_result(&self) -> batstore::ResultSet {
+        let text = std::mem::take(&mut *self.out.lock());
+        let mut rs = self.result.lock().take().unwrap_or_default();
+        rs.prepend_text(&text);
+        rs
+    }
+
+    /// Drain the session's output as rendered text. This is a view of
+    /// [`SessionCtx::take_result`] — the typed result is the source of
+    /// truth; the string is produced here, at the edge, on demand.
     pub fn take_output(&self) -> String {
-        std::mem::take(&mut self.out.lock())
+        self.take_result().render()
     }
 
     pub fn write_output(&self, s: &str) {
@@ -209,5 +237,35 @@ mod tests {
         c.write_output("world");
         assert_eq!(c.take_output(), "hello world");
         assert_eq!(c.take_output(), "", "drained");
+    }
+
+    #[test]
+    fn typed_result_is_the_source_of_truth() {
+        let c = ctx();
+        let mut rs = batstore::ResultSet::new();
+        rs.push_column(
+            "sys.t",
+            "id",
+            "int",
+            Arc::new(Bat::dense(batstore::Column::from(vec![42]))),
+        );
+        c.set_result(rs.clone());
+        let got = c.take_result();
+        assert_eq!(got, rs);
+        assert!(c.take_result().is_empty(), "drained");
+        // The string API is a rendering of the same result.
+        c.set_result(rs);
+        assert!(c.take_output().contains("[ 42 ]"));
+    }
+
+    #[test]
+    fn print_text_rides_along_as_info() {
+        let c = ctx();
+        c.write_output("debug line\n");
+        c.set_result(batstore::ResultSet::with_affected(3));
+        let rs = c.take_result();
+        assert_eq!(rs.info.as_deref(), Some("debug line\n"));
+        assert_eq!(rs.affected, Some(3));
+        assert_eq!(rs.render(), "debug line\n3 rows affected\n");
     }
 }

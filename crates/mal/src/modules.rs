@@ -153,7 +153,7 @@ fn register_sql(r: &mut Registry) {
             cols.push((name.to_string(), ty));
         }
         ctx.hooks().create_table(ctx.query_id, schema, table, &cols)?;
-        ctx.write_output(&format!("table {schema}.{table} created\n"));
+        ctx.set_result(batstore::ResultSet::with_info(format!("table {schema}.{table} created\n")));
         Ok(vec![])
     });
 
@@ -182,7 +182,7 @@ fn register_sql(r: &mut Registry) {
             cols.push((name.to_string(), b.tail().clone()));
         }
         let n = ctx.hooks().append_rows(ctx.query_id, schema, table, &cols)?;
-        ctx.write_output(&format!("{n} rows affected\n"));
+        ctx.set_result(batstore::ResultSet::with_affected(n));
         Ok(vec![])
     });
 
@@ -208,13 +208,15 @@ fn register_sql(r: &mut Registry) {
         Ok(vec![])
     });
 
-    // sql.exportResult(stream, rs) — render to the captured stream.
+    // sql.exportResult(stream, rs) — publish the typed result to the
+    // session. No text is produced here: the session's consumer renders
+    // (or wires) the columns as it sees fit.
     r.register("sql", "exportResult", |ctx, args| {
         want(args, 2, "sql.exportResult")?;
         let MVal::ResultSet(rs) = &args[1] else {
             return Err(MalError::BadCall("sql.exportResult: arg 1 must be a result set".into()));
         };
-        ctx.write_output(&rs.render());
+        ctx.set_result(rs.snapshot());
         Ok(vec![])
     });
 }
@@ -232,13 +234,26 @@ fn register_bat_algebra(r: &mut Registry) {
         bat(ops::mirror(arg_bat(args, 0, "bat.mirror")?))
     });
 
-    // bat.pack(v) — a single-BUN BAT from a scalar; used to ship whole-
-    // column aggregates into result sets.
+    // bat.pack(v[, typename]) — a single-BUN BAT from a scalar; used to
+    // ship whole-column aggregates into result sets. The optional type
+    // name pins the column to the *declared* aggregate type (COUNT is
+    // always `lng`), so a typed result's schema does not wobble with the
+    // magnitude of the value.
     r.register("bat", "pack", |_ctx, args| {
-        want(args, 1, "bat.pack")?;
+        if args.is_empty() || args.len() > 2 {
+            return Err(MalError::BadCall("bat.pack: expected 1 or 2 args".into()));
+        }
         let v = arg_val(args, 0, "bat.pack")?;
-        let ty =
-            v.col_type().ok_or_else(|| MalError::BadCall("bat.pack: nil has no type".into()))?;
+        let ty = match args.get(1) {
+            Some(_) => {
+                let name = arg_str(args, 1, "bat.pack")?;
+                batstore::ColType::from_name(name)
+                    .ok_or_else(|| MalError::BadCall(format!("bat.pack: unknown type '{name}'")))?
+            }
+            None => {
+                v.col_type().ok_or_else(|| MalError::BadCall("bat.pack: nil has no type".into()))?
+            }
+        };
         let mut col = batstore::Column::empty(ty);
         col.push(&v)?;
         bat(Bat::dense(col))
@@ -681,6 +696,50 @@ mod tests {
         call(&r, ("sql", "exportResult"), &c, &[stream[0].clone(), rs[0].clone()]);
         let out = c.take_output();
         assert!(out.contains("[ 9 ]"), "{out}");
+    }
+
+    #[test]
+    fn export_publishes_typed_result() {
+        let r = Registry::standard();
+        let c = ctx();
+        let data = MVal::Bat(Arc::new(Bat::dense(Column::from(vec![4, 5]))));
+        let rs = call(&r, ("sql", "resultSet"), &c, &[MVal::Int(1), MVal::Int(1), data.clone()]);
+        call(
+            &r,
+            ("sql", "rsCol"),
+            &c,
+            &[
+                rs[0].clone(),
+                MVal::Str("sys.t".into()),
+                MVal::Str("id".into()),
+                MVal::Str("int".into()),
+                MVal::Int(32),
+                MVal::Int(0),
+                data,
+            ],
+        );
+        let stream = call(&r, ("io", "stdout"), &c, &[]);
+        call(&r, ("sql", "exportResult"), &c, &[stream[0].clone(), rs[0].clone()]);
+        let typed = c.take_result();
+        assert_eq!((typed.column_count(), typed.row_count()), (1, 2));
+        assert_eq!(typed.columns[0].name, "id");
+        assert_eq!(typed.columns[0].col_type(), batstore::ColType::Int);
+        assert_eq!(typed.cell(1, 0), batstore::Val::Int(5));
+        assert!(typed.affected.is_none() && typed.info.is_none());
+    }
+
+    #[test]
+    fn typed_pack_pins_declared_type() {
+        let r = Registry::standard();
+        let c = ctx();
+        // Without a type, a small value narrows to int …
+        let out = call(&r, ("bat", "pack"), &c, &[MVal::Int(3)]);
+        assert_eq!(out[0].as_bat().unwrap().tail_type(), batstore::ColType::Int);
+        // … with the declared type, the column is pinned (COUNT → lng).
+        let out = call(&r, ("bat", "pack"), &c, &[MVal::Int(3), MVal::Str("lng".into())]);
+        assert_eq!(out[0].as_bat().unwrap().tail_type(), batstore::ColType::Lng);
+        let e = (r.lookup("bat", "pack").unwrap())(&c, &[MVal::Int(3), MVal::Str("nope".into())]);
+        assert!(e.is_err());
     }
 
     #[test]

@@ -6,22 +6,12 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A result set under construction: `sql.resultSet` creates it,
-/// `sql.rsCol` appends columns, `sql.exportResult` renders it. Shared
-/// behind a mutex because plan threads may touch it concurrently.
-#[derive(Default)]
-pub struct ResultSetInner {
-    pub columns: Vec<ResultColumn>,
-}
-
-pub struct ResultColumn {
-    pub table: String,
-    pub name: String,
-    pub sql_type: String,
-    pub data: Arc<Bat>,
-}
-
+/// `sql.rsCol` appends columns, `sql.exportResult` hands the snapshot to
+/// the session as a typed [`batstore::ResultSet`] — rendering to text is
+/// the caller's business, not the plan's. Shared behind a mutex because
+/// plan threads may touch it concurrently.
 #[derive(Clone, Default)]
-pub struct ResultSet(pub Arc<Mutex<ResultSetInner>>);
+pub struct ResultSet(Arc<Mutex<batstore::ResultSet>>);
 
 impl ResultSet {
     pub fn new() -> Self {
@@ -29,44 +19,31 @@ impl ResultSet {
     }
 
     pub fn add_column(&self, table: &str, name: &str, sql_type: &str, data: Arc<Bat>) {
-        self.0.lock().columns.push(ResultColumn {
-            table: table.into(),
-            name: name.into(),
-            sql_type: sql_type.into(),
-            data,
-        });
+        self.0.lock().push_column(table, name, sql_type, data);
     }
 
     pub fn row_count(&self) -> usize {
-        self.0.lock().columns.first().map(|c| c.data.count()).unwrap_or(0)
+        self.0.lock().row_count()
     }
 
     pub fn column_count(&self) -> usize {
-        self.0.lock().columns.len()
+        self.0.lock().column_count()
     }
 
     /// Cell value (row-major access for rendering and tests).
     pub fn cell(&self, row: usize, col: usize) -> Val {
-        self.0.lock().columns[col].data.tail().get(row)
+        self.0.lock().cell(row, col)
+    }
+
+    /// The typed result accumulated so far (what `sql.exportResult`
+    /// publishes to the session).
+    pub fn snapshot(&self) -> batstore::ResultSet {
+        self.0.lock().clone()
     }
 
     /// Render in MonetDB's tabular client format.
     pub fn render(&self) -> String {
-        use std::fmt::Write;
-        let inner = self.0.lock();
-        let mut s = String::new();
-        let headers: Vec<String> =
-            inner.columns.iter().map(|c| format!("{}.{}", c.table, c.name)).collect();
-        let _ = writeln!(s, "% {}", headers.join(",\t"));
-        let types: Vec<&str> = inner.columns.iter().map(|c| c.sql_type.as_str()).collect();
-        let _ = writeln!(s, "% {}", types.join(",\t"));
-        let rows = inner.columns.first().map(|c| c.data.count()).unwrap_or(0);
-        for r in 0..rows {
-            let cells: Vec<String> =
-                inner.columns.iter().map(|c| c.data.tail().get(r).to_string()).collect();
-            let _ = writeln!(s, "[ {} ]", cells.join(",\t"));
-        }
-        s
+        self.0.lock().render()
     }
 }
 

@@ -521,13 +521,13 @@ fn compile_aggregate_outputs(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>
                             (s, "count".to_string(), None)
                         }
                     };
-                    let packed = c.g.emit("bat", "pack", vec![Arg::Var(scalar)]);
-                    outs.push(OutCol {
-                        var: packed,
-                        table_label: "sys".into(),
-                        name,
-                        sql_type: agg_result_type(*f, ty),
-                    });
+                    // Pack under the *declared* aggregate type so the
+                    // typed result schema is stable (a small SUM must
+                    // still be a lng column, not an int one).
+                    let sql_type = agg_result_type(*f, ty);
+                    let packed =
+                        c.g.emit("bat", "pack", vec![Arg::Var(scalar), Gen::cstr(sql_type)]);
+                    outs.push(OutCol { var: packed, table_label: "sys".into(), name, sql_type });
                 }
             }
         }

@@ -2,8 +2,11 @@
 //!
 //! Each process joins the TCP ring by its neighbors' addresses, runs the
 //! full engine (protocol state machine + SQL→MAL stack), and serves SQL
-//! over a plain TCP socket: one statement per connection, the rendered
-//! result streamed back.
+//! over the `dc-client` framed protocol: a versioned `Hello` handshake,
+//! then any number of statements per connection, each answered with
+//! typed column frames (`ResultHeader`/`RowBatch`/`Done`) or an `Error`
+//! frame — so scripts and drivers can tell results from failures without
+//! scraping text.
 //!
 //! ```sh
 //! # A three-node ring on one machine (run each in its own terminal):
@@ -11,16 +14,18 @@
 //! dc-node serve --ring 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403 --me 1 --sql 127.0.0.1:7502
 //! dc-node serve --ring 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403 --me 2 --sql 127.0.0.1:7503
 //!
-//! # Then talk SQL to any member:
-//! dc-node query 127.0.0.1:7501 "create table kv (k int, v varchar(16))"
-//! dc-node query 127.0.0.1:7501 "insert into kv values (1, 'hello'), (2, 'ring')"
+//! # Then talk SQL to any member; several statements share one connection:
+//! dc-node query 127.0.0.1:7501 \
+//!   "create table kv (k int, v varchar(16))" \
+//!   "insert into kv values (1, 'hello'), (2, 'ring')"
 //! dc-node query 127.0.0.1:7502 "select k, v from kv order by k"
 //! ```
 //!
-//! `--demo` preloads the `sys.sales` demo table owned by this node.
-//! A statement of the form `.wait <table>` blocks until the node's
-//! catalog replica knows `sys.<table>` (useful when scripting against a
-//! freshly created table from another node).
+//! A SQL error prints to stderr and exits non-zero. `--demo` preloads
+//! the `sys.sales` demo table owned by this node. A statement of the
+//! form `.wait <table>` blocks until the node's catalog replica knows
+//! `sys.<table>` (useful when scripting against a freshly created table
+//! from another node).
 //!
 //! `--data-dir <path>` makes the node durable: every CREATE/INSERT is
 //! write-ahead logged and checkpointed there, and a killed process
@@ -30,16 +35,17 @@
 
 use batstore::Column;
 use datacyclotron::{DataDir, DcConfig, FsyncPolicy, NodeId, NodeOptions, RingNode};
+use dc_client::{Client, ClientError};
+use dc_transport::sqlserve;
 use dc_transport::tcp::join_ring;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  dc-node serve --ring <a1,a2,…> --me <i> --sql <addr> [--demo] \
-         [--data-dir <path>] [--fsync always|off|every=<n>]\n  dc-node query <addr> <sql>"
+         [--data-dir <path>] [--fsync always|off|every=<n>]\n  dc-node query <addr> <sql> [<sql>…]"
     );
     std::process::exit(2);
 }
@@ -148,51 +154,36 @@ fn serve(args: &[String]) -> ! {
     // The smoke scripts grep for this marker.
     println!("dc-node {me} ready: sql on {sql}");
 
-    // One thread per connection, with a read deadline: a client that
-    // connects and never finishes its statement must not stall SQL
-    // service for everyone else.
-    let node = Arc::new(node);
-    for conn in listener.incoming() {
-        let Ok(conn) = conn else { continue };
-        let node = Arc::clone(&node);
-        std::thread::spawn(move || handle_sql_conn(conn, &node));
-    }
-    unreachable!("listener iterator never ends");
-}
-
-fn handle_sql_conn(mut conn: TcpStream, node: &RingNode) {
-    conn.set_read_timeout(Some(Duration::from_secs(10))).ok();
-    let mut stmt = String::new();
-    if conn.read_to_string(&mut stmt).is_err() {
-        return; // timed out or died mid-statement
-    }
-    let stmt = stmt.trim();
-    let reply = if let Some(table) = stmt.strip_prefix(".wait ") {
-        if node.wait_for_table("sys", table.trim(), Duration::from_secs(10)) {
-            "ok\n".to_string()
-        } else {
-            format!("error: table sys.{table} never replicated\n")
-        }
-    } else {
-        match node.submit_sql(stmt) {
-            Ok(out) => out,
-            Err(e) => format!("error: {e}\n"),
-        }
-    };
-    let _ = conn.write_all(reply.as_bytes());
+    // One thread per connection; each connection serves any number of
+    // statements through the framed protocol.
+    sqlserve::serve_sql(listener, Arc::new(node));
 }
 
 fn query(args: &[String]) -> ! {
-    let (Some(addr), Some(sql)) = (args.first(), args.get(1)) else { usage() };
+    let Some(addr) = args.first() else { usage() };
+    let stmts = &args[1..];
+    if stmts.is_empty() {
+        usage();
+    }
     let addr = parse_addr(addr);
-    let mut conn = TcpStream::connect(addr).unwrap_or_else(|e| {
+    let mut session = Client::connect(addr).unwrap_or_else(|e| {
         eprintln!("cannot connect to {addr}: {e}");
         std::process::exit(1);
     });
-    conn.write_all(sql.as_bytes()).expect("send statement");
-    conn.shutdown(std::net::Shutdown::Write).ok();
-    let mut reply = String::new();
-    conn.read_to_string(&mut reply).expect("read reply");
-    print!("{reply}");
-    std::process::exit(if reply.starts_with("error:") { 1 } else { 0 });
+    // All statements share this one connection; the first failure stops
+    // the run with a non-zero exit so scripts can detect it.
+    for sql in stmts {
+        match session.query(sql) {
+            Ok(rs) => print!("{}", rs.render()),
+            Err(e @ ClientError::Server { .. }) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::process::exit(0);
 }

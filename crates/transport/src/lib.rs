@@ -17,10 +17,13 @@
 //! anti-clockwise to its predecessor, and drains one inbound stream of
 //! [`datacyclotron::DcMsg`].
 //!
-//! The crate also ships the `dc-node` binary: a standalone ring-member
-//! process serving SQL over the TCP fabric (see `src/bin/dc_node.rs` and
-//! the README's "Distributed deployment" section).
+//! The crate also ships [`sqlserve`] — the server side of the
+//! `dc-client` framed SQL protocol — and the `dc-node` binary: a
+//! standalone ring-member process serving that protocol over TCP (see
+//! `src/bin/dc_node.rs` and the README's "Distributed deployment"
+//! section).
 
+pub mod sqlserve;
 pub mod tcp;
 
 pub use datacyclotron::transport::{RingTransport, TransportError};

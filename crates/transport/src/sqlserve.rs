@@ -1,0 +1,130 @@
+//! The server side of the `dc-client` framed SQL protocol: accept
+//! connections on a listener, shake hands, and answer any number of
+//! `Query` frames per connection against a local [`RingNode`].
+//!
+//! This is the front door the paper's premise requires — "queries settle
+//! on any node" (§4.2) — exposed as a library so the `dc-node` binary,
+//! the examples, and the distributed tests all serve the identical
+//! protocol. Results leave as typed column frames
+//! ([`dc_client::proto::result_frames`]); text rendering happens only in
+//! clients that want text.
+
+use datacyclotron::{DcError, RingNode};
+use dc_client::proto::{
+    read_frame, write_frame, ErrorKind, Frame, DEFAULT_BATCH_ROWS, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a fresh connection may dawdle before its `Hello` arrives.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Idle cap between statements on an established session. Generous —
+/// sessions are long-lived by design — but bounded, so an abandoned
+/// connection cannot hold its thread forever.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Serve the framed SQL protocol on `listener` forever, one thread per
+/// connection. Never returns; run it on a dedicated thread (see
+/// [`spawn_sql_server`]).
+pub fn serve_sql(listener: TcpListener, node: Arc<RingNode>) -> ! {
+    loop {
+        let Ok((conn, _)) = listener.accept() else {
+            std::thread::sleep(Duration::from_millis(100));
+            continue;
+        };
+        let node = Arc::clone(&node);
+        std::thread::spawn(move || {
+            let _ = handle_conn(conn, &node);
+        });
+    }
+}
+
+/// Spawn [`serve_sql`] on a background thread and return its handle.
+/// The thread lives until the process exits (the listener has no
+/// shutdown protocol; tests simply drop off its end).
+pub fn spawn_sql_server(listener: TcpListener, node: Arc<RingNode>) -> JoinHandle<()> {
+    std::thread::spawn(move || serve_sql(listener, node))
+}
+
+/// Drive one client connection: validate the `Hello`, then answer
+/// `Query` frames until the peer disconnects or times out idle.
+pub fn handle_conn(mut conn: TcpStream, node: &RingNode) -> io::Result<()> {
+    conn.set_nodelay(true).ok();
+    conn.set_read_timeout(Some(HELLO_TIMEOUT)).ok();
+    match read_frame(&mut conn, DEFAULT_MAX_FRAME)? {
+        Some(Frame::Hello { version: PROTOCOL_VERSION }) => {
+            write_frame(&mut conn, &Frame::Hello { version: PROTOCOL_VERSION })?;
+        }
+        Some(Frame::Hello { version }) => {
+            // Answer with our version so a newer client can say *why*
+            // the handshake failed, then hang up.
+            let _ = write_frame(&mut conn, &Frame::Hello { version: PROTOCOL_VERSION });
+            let _ = write_frame(
+                &mut conn,
+                &Frame::Error {
+                    kind: ErrorKind::Protocol,
+                    message: format!(
+                        "unsupported protocol v{version} (server speaks v{PROTOCOL_VERSION})"
+                    ),
+                },
+            );
+            return Ok(());
+        }
+        _ => return Ok(()), // not a protocol client; drop silently
+    }
+
+    conn.set_read_timeout(Some(IDLE_TIMEOUT)).ok();
+    while let Some(frame) = read_frame(&mut conn, DEFAULT_MAX_FRAME)? {
+        let Frame::Query { sql } = frame else {
+            write_frame(
+                &mut conn,
+                &Frame::Error {
+                    kind: ErrorKind::Protocol,
+                    message: "expected a Query frame".into(),
+                },
+            )?;
+            continue;
+        };
+        let stmt = sql.trim();
+        // `.wait <table>` blocks until catalog gossip for a freshly
+        // created table reaches this node (scripting aid).
+        let reply = if let Some(table) = stmt.strip_prefix(".wait ") {
+            let table = table.trim();
+            if node.wait_for_table("sys", table, Duration::from_secs(10)) {
+                Ok(datacyclotron::ResultSet::with_info("ok\n"))
+            } else {
+                Err((ErrorKind::Ring, format!("table sys.{table} never replicated")))
+            }
+        } else {
+            node.execute(stmt).map_err(|e| (error_kind(&e), e.to_string()))
+        };
+        match reply {
+            Ok(rs) => {
+                for f in dc_client::proto::result_frames(&rs, DEFAULT_BATCH_ROWS) {
+                    write_frame(&mut conn, &f)?;
+                }
+            }
+            // An Error frame ends the statement, not the session. The
+            // engine's classification rides along so clients can branch
+            // (retry Ring failures, reject Parse ones) without scraping
+            // the message.
+            Err((kind, message)) => write_frame(&mut conn, &Frame::Error { kind, message })?,
+        }
+    }
+    Ok(())
+}
+
+/// The engine's error classification as the wire carries it.
+fn error_kind(e: &DcError) -> ErrorKind {
+    match e {
+        DcError::Parse(_) => ErrorKind::Parse,
+        DcError::Plan(_) => ErrorKind::Plan,
+        DcError::Exec(_) => ErrorKind::Exec,
+        DcError::Ring(_) => ErrorKind::Ring,
+    }
+}

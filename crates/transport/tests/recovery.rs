@@ -3,7 +3,7 @@
 //! restart from the same `--data-dir`. Every acknowledged INSERT must be
 //! visible to SELECTs from every surviving and revived member.
 
-use std::io::{Read, Write};
+use dc_client::{Client, ResultSet, Val};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -37,19 +37,12 @@ fn spawn_node(ring_spec: &str, me: usize, sql: SocketAddr, data_dir: &Path) -> C
         .expect("spawn dc-node")
 }
 
-/// One statement per connection, like `dc-node query`.
-fn sql(addr: SocketAddr, stmt: &str) -> Result<String, String> {
-    let mut conn = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
-        .map_err(|e| format!("connect {addr}: {e}"))?;
-    conn.write_all(stmt.as_bytes()).map_err(|e| e.to_string())?;
-    conn.shutdown(std::net::Shutdown::Write).ok();
-    let mut reply = String::new();
-    conn.set_read_timeout(Some(Duration::from_secs(30))).ok();
-    conn.read_to_string(&mut reply).map_err(|e| e.to_string())?;
-    if reply.starts_with("error:") {
-        return Err(reply);
-    }
-    Ok(reply)
+/// One statement over a fresh framed-protocol connection (each call
+/// proves the target node is accepting and answering sessions).
+fn sql(addr: SocketAddr, stmt: &str) -> Result<ResultSet, String> {
+    let mut session = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    session.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    session.query(stmt).map_err(|e| e.to_string())
 }
 
 fn wait_ready(addr: SocketAddr, what: &str) {
@@ -65,11 +58,11 @@ fn wait_ready(addr: SocketAddr, what: &str) {
 
 /// Queries keep failing while the ring re-settles around a revived
 /// member; retry until the window closes.
-fn retry_sql(addr: SocketAddr, stmt: &str, window: Duration) -> String {
+fn retry_sql(addr: SocketAddr, stmt: &str, window: Duration) -> ResultSet {
     let deadline = Instant::now() + window;
     loop {
         match sql(addr, stmt) {
-            Ok(out) => return out,
+            Ok(rs) => return rs,
             Err(e) => {
                 assert!(Instant::now() < deadline, "`{stmt}` on {addr} kept failing: {e}");
                 std::thread::sleep(Duration::from_millis(100));
@@ -148,16 +141,14 @@ fn sigkilled_node_recovers_its_data_and_rejoins_the_ring() {
     // owner (local disk) and from both survivors (fragments pulled
     // through the healed ring).
     for (i, s) in sqls.iter().enumerate() {
-        let out = retry_sql(*s, "select k from logs order by k", Duration::from_secs(60));
-        let rows: Vec<i64> = out
-            .lines()
-            .filter_map(|l| l.strip_prefix("[ ")?.strip_suffix(" ]")?.trim().parse().ok())
-            .collect();
-        assert_eq!(rows, acked, "node {i} is missing acknowledged rows:\n{out}");
+        let rs = retry_sql(*s, "select k from logs order by k", Duration::from_secs(60));
+        let rows: Vec<Val> = (0..rs.row_count()).map(|r| rs.cell(r, 0)).collect();
+        let want: Vec<Val> = acked.iter().map(|&k| Val::Int(k)).collect();
+        assert_eq!(rows, want, "node {i} is missing acknowledged rows:\n{}", rs.render());
     }
 
     // And the revived ring still takes writes.
     sql(sqls[0], "insert into logs values (100, 'post')").unwrap();
-    let out = retry_sql(sqls[1], "select count(*) from logs", Duration::from_secs(60));
-    assert!(out.contains(&format!("[ {} ]", acked.len() + 1)), "{out}");
+    let rs = retry_sql(sqls[1], "select count(*) from logs", Duration::from_secs(60));
+    assert_eq!(rs.cell(0, 0), Val::Lng(acked.len() as i64 + 1), "{}", rs.render());
 }

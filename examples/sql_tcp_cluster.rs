@@ -5,7 +5,10 @@
 //! The demo creates a table on node 0 (which becomes the fragment
 //! owner), watches the catalog gossip replicate to the other members,
 //! inserts rows through the MAL plan, and runs the same SELECT on every
-//! node: the two data-less nodes pull the fragments through the ring.
+//! node via the typed `execute` API: the two data-less nodes pull the
+//! fragments through the ring. It then serves the `dc-client` framed
+//! protocol in front of node 0 and drives several statements — one of
+//! them deliberately failing — over a single client connection.
 //!
 //! ```sh
 //! cargo run --example sql_tcp_cluster
@@ -15,7 +18,10 @@
 //! this example drives the identical `RingNode` engine in threads so it
 //! can assert on the results.
 
+use batstore::Val;
 use datacyclotron::{DcConfig, NodeId, NodeOptions, RingNode, RingTransport};
+use dc_client::{Client, ClientError};
+use dc_transport::sqlserve;
 use dc_transport::tcp::join_ring;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
@@ -48,35 +54,66 @@ fn main() {
             RingNode::spawn(NodeId(me as u16), transport as Arc<dyn RingTransport>, opts)
         }));
     }
-    let nodes: Vec<RingNode> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    let nodes: Vec<Arc<RingNode>> =
+        joins.into_iter().map(|j| Arc::new(j.join().unwrap())).collect();
     println!("three engine nodes up, speaking only TCP to their neighbors\n");
 
     // DDL on node 0: it owns the new fragments; the metadata gossips
     // clockwise around the ring.
-    let out = nodes[0].submit_sql("create table kv (k int, v varchar(16))").unwrap();
-    print!("[node 0] create table kv → {out}");
+    let rs = nodes[0].execute("create table kv (k int, v varchar(16))").unwrap();
+    print!("[node 0] create table kv → {}", rs.render());
     for n in &nodes[1..] {
         assert!(n.wait_for_table("sys", "kv", Duration::from_secs(10)), "gossip lost");
         println!("[node {}] catalog replica has sys.kv", n.id.0);
     }
 
-    // INSERT through the full sqlfront → MAL → ring stack.
-    let out =
-        nodes[0].submit_sql("insert into kv values (1, 'hello'), (2, 'ring'), (3, 'tcp')").unwrap();
-    print!("[node 0] insert → {out}");
+    // INSERT through the full sqlfront → MAL → ring stack. The typed
+    // result reports the affected rows as a number, not a sentence.
+    let rs =
+        nodes[0].execute("insert into kv values (1, 'hello'), (2, 'ring'), (3, 'tcp')").unwrap();
+    println!("[node 0] insert → {} rows affected (typed)", rs.affected.unwrap());
 
     // The same SELECT on every member: remote nodes request the
     // fragments anti-clockwise and block in pin() until the data flows
-    // past clockwise.
+    // past clockwise. Results are typed columns; asserts read cells.
     for n in &nodes {
-        let out = n.submit_sql("select k, v from kv where k >= 2 order by k").unwrap();
+        let rs = n.execute("select k, v from kv where k >= 2 order by k").unwrap();
         println!("[node {}] select k, v from kv where k >= 2:", n.id.0);
-        print!("{out}");
-        assert!(out.contains("\"ring\"") && out.contains("\"tcp\""), "{out}");
+        print!("{}", rs.render());
+        assert_eq!(rs.row_count(), 2, "{}", rs.render());
+        assert_eq!(rs.cell(0, 1), Val::Str("ring".into()));
+        assert_eq!(rs.cell(1, 1), Val::Str("tcp".into()));
+    }
+    println!("\n✓ identical typed results on all three nodes");
+
+    // Now the front door: serve the framed dc-client protocol for node 0
+    // and run several statements — one failing — over ONE connection.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let sql_addr = listener.local_addr().unwrap();
+    sqlserve::spawn_sql_server(listener, Arc::clone(&nodes[0]));
+    let mut session = Client::connect(sql_addr).unwrap();
+    println!("\nframed client connected to {sql_addr}");
+
+    let rs = session.query("select count(*) from kv").unwrap();
+    println!("[client] count(*) → {:?} ({})", rs.cell(0, 0), rs.columns[0].sql_type);
+    assert_eq!(rs.cell(0, 0), Val::Lng(3));
+
+    match session.query("select oops from nowhere") {
+        Err(ClientError::Server { kind, message }) => {
+            println!("[client] deliberate error → Error frame ({kind:?}): {message}")
+        }
+        other => panic!("expected a server error, got {other:?}"),
     }
 
-    println!("\n✓ identical results on all three nodes — SQL over the TCP ring works");
-    for n in nodes {
-        n.shutdown();
-    }
+    // The session survives the error; statements keep flowing.
+    let rs = session.query("select v from kv where k = 1").unwrap();
+    assert_eq!(rs.cell(0, 0), Val::Str("hello".into()));
+    println!("[client] session survives the error; next statement answered");
+
+    println!("\n✓ typed result sets end-to-end: in-process and over the framed protocol");
+    // Nodes 1 and 2 stop when their last Arc drops here. Node 0 cannot
+    // be unwrapped — the detached SQL server thread keeps a reference —
+    // so it serves until process exit, like a real `dc-node serve`.
+    drop(session);
+    drop(nodes);
 }

@@ -7,8 +7,9 @@
 //! fragment owners (§6.4), and SELECTs on any node pull the fragments
 //! through the ring.
 
-use batstore::Column;
+use batstore::{Column, Val};
 use datacyclotron::{DcConfig, NodeId, NodeOptions, RingNode, RingTransport};
+use dc_client::{Client, ClientError};
 use dc_transport::tcp::join_ring;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
@@ -131,5 +132,72 @@ fn driver_loaded_tables_join_across_tcp_nodes() {
 
     for n in nodes {
         n.shutdown();
+    }
+}
+
+/// The tentpole acceptance scenario: a `Session::query` over the framed
+/// TCP protocol returns a typed `ResultSet` whose columns and types
+/// match the in-process `RingNode::execute` result for the same
+/// statement — and one connection carries many statements, including a
+/// failing one, without poisoning the session.
+#[test]
+fn framed_client_matches_in_process_execute() {
+    let nodes: Vec<Arc<RingNode>> = spawn_tcp_ring(3).into_iter().map(Arc::new).collect();
+
+    // Serve the dc-client protocol in front of every node, exactly as
+    // `dc-node serve` does.
+    let mut sql_addrs = Vec::new();
+    for n in &nodes {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        sql_addrs.push(listener.local_addr().unwrap());
+        dc_transport::sqlserve::spawn_sql_server(listener, Arc::clone(n));
+    }
+
+    // One connection, many statements.
+    let mut session = Client::connect(sql_addrs[1]).unwrap();
+    let rs = session.query("create table kv (k int, v varchar(16))").unwrap();
+    assert!(rs.info.as_deref().unwrap_or("").contains("created"), "{rs:?}");
+    let rs = session.query("insert into kv values (1, 'hello'), (2, 'ring')").unwrap();
+    assert_eq!(rs.affected, Some(2));
+
+    // A deliberate SQL error is an Error frame, not result-shaped text —
+    // and the session keeps working afterwards.
+    let err = session.query("select nope from nowhere").unwrap_err();
+    assert!(matches!(err, ClientError::Server { kind: dc_client::ErrorKind::Exec, .. }), "{err:?}");
+    assert!(err.to_string().contains("nowhere"), "{err}");
+
+    let stmt = "select k, v from kv order by k";
+    let over_wire = session.query(stmt).unwrap();
+    let in_process = nodes[1].execute(stmt).unwrap();
+
+    // Typed equivalence: same shape, same names, same declared and
+    // physical types, same cells — no string scraping anywhere.
+    assert_eq!(over_wire.column_count(), in_process.column_count());
+    assert_eq!(over_wire.row_count(), in_process.row_count());
+    for (w, p) in over_wire.columns.iter().zip(&in_process.columns) {
+        assert_eq!((&w.table, &w.name, &w.sql_type), (&p.table, &p.name, &p.sql_type));
+        assert_eq!(w.col_type(), p.col_type());
+    }
+    for r in 0..in_process.row_count() {
+        for c in 0..in_process.column_count() {
+            assert_eq!(over_wire.cell(r, c), in_process.cell(r, c), "cell ({r},{c})");
+        }
+    }
+    assert_eq!(over_wire.render(), in_process.render());
+    assert_eq!(over_wire.cell(0, 0), Val::Int(1));
+    assert_eq!(over_wire.cell(1, 1), Val::Str("ring".into()));
+
+    // A different ring member serves the same typed rows over its own
+    // endpoint (queries settle on any node, §4.2).
+    let mut session2 = Client::connect(sql_addrs[2]).unwrap();
+    session2.query(".wait kv").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let remote = session2.query(stmt).unwrap();
+        if remote.row_count() == over_wire.row_count() && remote.render() == over_wire.render() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "node 2 never converged: {}", remote.render());
+        std::thread::sleep(Duration::from_millis(50));
     }
 }
