@@ -37,5 +37,6 @@ pub use catalog::{BatKey, BatStore, Catalog, ColDef, TableDef};
 pub use column::Column;
 pub use error::{BatError, Result};
 pub use heap::StrCol;
+pub use ops::RowPredicate;
 pub use resultset::{ResultColumn, ResultSet};
 pub use value::{ColType, Val};

@@ -8,6 +8,7 @@
 
 mod aggregate;
 mod join;
+mod mutate;
 mod select;
 mod setops;
 mod sort;
@@ -17,6 +18,7 @@ pub use aggregate::{
     grouped_min, grouped_sum, max, min, sum,
 };
 pub use join::{join, leftjoin};
+pub use mutate::{erase_rows, matching_rows, scatter_const, RowPredicate};
 pub use select::{select_range, theta_select, uselect, CmpOp};
 pub use setops::{kdifference, kintersect, kunion, semijoin};
 pub use sort::{sort_tail, topn};

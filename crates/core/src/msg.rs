@@ -12,7 +12,8 @@
 //! round-trip tested.
 
 use crate::ids::{BatId, NodeId};
-use batstore::ColType;
+use batstore::ops::CmpOp;
+use batstore::{ColType, RowPredicate, Val};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// The administrative header a circulating BAT carries for hot-set
@@ -77,7 +78,10 @@ pub struct ReqMsg {
     pub bat: BatId,
 }
 
-/// One column's catalog entry as replicated around the ring.
+/// One column's catalog entry as replicated around the ring. `version`
+/// is the fragment's §6.4 version counter at the time the owner
+/// advertised it: every owner-side mutation bumps it and re-gossips, so
+/// replicas converge on the same (size, version) view of the table.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CatalogCol {
     pub name: String,
@@ -85,6 +89,7 @@ pub struct CatalogCol {
     pub bat: BatId,
     pub size: u64,
     pub owner: NodeId,
+    pub version: u32,
 }
 
 /// Table metadata gossip. Travels clockwise (the data direction); every
@@ -101,9 +106,48 @@ pub struct CatalogMsg {
 
 impl CatalogMsg {
     fn wire_size(&self) -> u64 {
-        let names: usize = self.columns.iter().map(|c| c.name.len() + 17).sum();
+        let names: usize = self.columns.iter().map(|c| c.name.len() + 21).sum();
         (16 + self.schema.len() + self.table.len() + names) as u64
     }
+}
+
+/// What a [`MutateMsg`] does at the fragment owner.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MutOp {
+    /// `UPDATE`: write each `(column, value)` assignment into the
+    /// matching rows.
+    Update(Vec<(String, Val)>),
+    /// `DELETE`: remove the matching rows from every column in lockstep.
+    Delete,
+}
+
+/// A SQL UPDATE/DELETE traveling clockwise toward the fragment owner
+/// (§6.4: the owner rewrites its authoritative copy and bumps the
+/// version). The mutation is *logical* — assignments plus WHERE
+/// predicates — because row positions computed anywhere else could be
+/// stale by the time the message arrives. `id` is origin-local; the
+/// owner answers with a [`MutAckMsg`] carrying it, so the origin can
+/// report a correct affected-row count synchronously. If the message
+/// returns to its origin the owner is gone and the origin fails the
+/// statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MutateMsg {
+    pub origin: NodeId,
+    pub id: u64,
+    pub schema: String,
+    pub table: String,
+    pub op: MutOp,
+    pub preds: Vec<RowPredicate>,
+}
+
+/// The owner's answer to a [`MutateMsg`], traveling clockwise until it
+/// reaches `target` (the mutation's origin).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MutAckMsg {
+    pub target: NodeId,
+    pub id: u64,
+    /// Affected-row count, or the owner-side failure.
+    pub result: Result<u64, String>,
 }
 
 /// A row append traveling clockwise toward the fragment owner (§6.4:
@@ -132,6 +176,28 @@ pub enum DcMsg {
     Catalog(CatalogMsg),
     /// Clockwise row append routed to the fragment owner.
     Append(AppendMsg),
+    /// Clockwise logical UPDATE/DELETE routed to the fragment owner.
+    Mutate(MutateMsg),
+    /// Clockwise mutation acknowledgement routed back to the origin.
+    MutAck(MutAckMsg),
+}
+
+fn val_wire_size(v: &Val) -> u64 {
+    match v {
+        Val::Str(s) => 3 + s.len() as u64,
+        _ => 9,
+    }
+}
+
+fn pred_wire_size(p: &RowPredicate) -> u64 {
+    3 + p.column().len() as u64
+        + match p {
+            RowPredicate::Cmp { value, .. } => 3 + val_wire_size(value),
+            RowPredicate::Between { lo, hi, .. } => val_wire_size(lo) + val_wire_size(hi),
+            RowPredicate::InList { values, .. } => {
+                2 + values.iter().map(val_wire_size).sum::<u64>()
+            }
+        }
 }
 
 impl DcMsg {
@@ -143,6 +209,19 @@ impl DcMsg {
             DcMsg::Append(a) => {
                 16 + a.parts.iter().map(|(_, rows)| 12 + rows.len() as u64).sum::<u64>()
             }
+            DcMsg::Mutate(m) => {
+                let assigns = match &m.op {
+                    MutOp::Update(a) => {
+                        a.iter().map(|(n, v)| 2 + n.len() as u64 + val_wire_size(v)).sum()
+                    }
+                    MutOp::Delete => 0,
+                };
+                16 + m.schema.len() as u64
+                    + m.table.len() as u64
+                    + assigns
+                    + m.preds.iter().map(pred_wire_size).sum::<u64>()
+            }
+            DcMsg::MutAck(a) => 24 + a.result.as_ref().err().map(|e| e.len() as u64).unwrap_or(0),
         }
     }
 }
@@ -151,6 +230,21 @@ const TAG_BAT: u8 = 1;
 const TAG_REQ: u8 = 2;
 const TAG_CATALOG: u8 = 3;
 const TAG_APPEND: u8 = 4;
+const TAG_MUTATE: u8 = 5;
+const TAG_MUTACK: u8 = 6;
+
+const VAL_NIL: u8 = 0;
+const VAL_OID: u8 = 1;
+const VAL_INT: u8 = 2;
+const VAL_LNG: u8 = 3;
+const VAL_DBL: u8 = 4;
+const VAL_STR: u8 = 5;
+const VAL_BOOL: u8 = 6;
+const VAL_DATE: u8 = 7;
+
+const PRED_CMP: u8 = 1;
+const PRED_BETWEEN: u8 = 2;
+const PRED_IN: u8 = 3;
 
 fn put_str(b: &mut BytesMut, s: &str) {
     // Identifiers longer than a u16 length cannot be framed. Truncate at
@@ -176,6 +270,142 @@ fn get_str(buf: &mut &[u8]) -> Result<String, String> {
     let s = std::str::from_utf8(&buf[..len]).map_err(|e| format!("bad utf8: {e}"))?.to_string();
     buf.advance(len);
     Ok(s)
+}
+
+fn put_val(b: &mut BytesMut, v: &Val) {
+    match v {
+        Val::Nil => b.put_u8(VAL_NIL),
+        Val::Oid(x) => {
+            b.put_u8(VAL_OID);
+            b.put_u64_le(*x);
+        }
+        Val::Int(x) => {
+            b.put_u8(VAL_INT);
+            b.put_u32_le(*x as u32);
+        }
+        Val::Lng(x) => {
+            b.put_u8(VAL_LNG);
+            b.put_u64_le(*x as u64);
+        }
+        Val::Dbl(x) => {
+            b.put_u8(VAL_DBL);
+            b.put_f64_le(*x);
+        }
+        Val::Str(s) => {
+            b.put_u8(VAL_STR);
+            put_str(b, s);
+        }
+        Val::Bool(x) => {
+            b.put_u8(VAL_BOOL);
+            b.put_u8(*x as u8);
+        }
+        Val::Date(x) => {
+            b.put_u8(VAL_DATE);
+            b.put_u32_le(*x as u32);
+        }
+    }
+}
+
+fn get_val(buf: &mut &[u8]) -> Result<Val, String> {
+    if buf.is_empty() {
+        return Err("truncated value tag".into());
+    }
+    let tag = buf.get_u8();
+    let need = |buf: &&[u8], n: usize| {
+        if buf.remaining() < n {
+            Err(format!("truncated value: want {n}, have {}", buf.remaining()))
+        } else {
+            Ok(())
+        }
+    };
+    Ok(match tag {
+        VAL_NIL => Val::Nil,
+        VAL_OID => {
+            need(buf, 8)?;
+            Val::Oid(buf.get_u64_le())
+        }
+        VAL_INT => {
+            need(buf, 4)?;
+            Val::Int(buf.get_u32_le() as i32)
+        }
+        VAL_LNG => {
+            need(buf, 8)?;
+            Val::Lng(buf.get_u64_le() as i64)
+        }
+        VAL_DBL => {
+            need(buf, 8)?;
+            Val::Dbl(buf.get_f64_le())
+        }
+        VAL_STR => Val::Str(get_str(buf)?),
+        VAL_BOOL => {
+            need(buf, 1)?;
+            Val::Bool(buf.get_u8() != 0)
+        }
+        VAL_DATE => {
+            need(buf, 4)?;
+            Val::Date(buf.get_u32_le() as i32)
+        }
+        other => return Err(format!("unknown value tag {other}")),
+    })
+}
+
+fn put_pred(b: &mut BytesMut, p: &RowPredicate) {
+    match p {
+        RowPredicate::Cmp { column, op, value } => {
+            b.put_u8(PRED_CMP);
+            put_str(b, column);
+            put_str(b, op.symbol());
+            put_val(b, value);
+        }
+        RowPredicate::Between { column, lo, hi } => {
+            b.put_u8(PRED_BETWEEN);
+            put_str(b, column);
+            put_val(b, lo);
+            put_val(b, hi);
+        }
+        RowPredicate::InList { column, values } => {
+            b.put_u8(PRED_IN);
+            put_str(b, column);
+            let n = values.len().min(u16::MAX as usize);
+            b.put_u16_le(n as u16);
+            for v in values.iter().take(n) {
+                put_val(b, v);
+            }
+        }
+    }
+}
+
+fn get_pred(buf: &mut &[u8]) -> Result<RowPredicate, String> {
+    if buf.is_empty() {
+        return Err("truncated predicate tag".into());
+    }
+    match buf.get_u8() {
+        PRED_CMP => {
+            let column = get_str(buf)?;
+            let sym = get_str(buf)?;
+            let op = CmpOp::from_symbol(&sym).ok_or_else(|| format!("bad op '{sym}'"))?;
+            Ok(RowPredicate::Cmp { column, op, value: get_val(buf)? })
+        }
+        PRED_BETWEEN => {
+            let column = get_str(buf)?;
+            let lo = get_val(buf)?;
+            let hi = get_val(buf)?;
+            Ok(RowPredicate::Between { column, lo, hi })
+        }
+        PRED_IN => {
+            let column = get_str(buf)?;
+            if buf.remaining() < 2 {
+                return Err("truncated in-list count".into());
+            }
+            let n = buf.get_u16_le() as usize;
+            let mut values = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                values.push(get_val(buf)?);
+            }
+            Ok(RowPredicate::InList { column, values })
+        }
+        other => Err(format!("unknown predicate tag {other}")),
+    }
 }
 
 /// Serialize a message for the TCP transport.
@@ -221,6 +451,7 @@ pub fn encode(msg: &DcMsg) -> Bytes {
                 b.put_u32_le(col.bat.0);
                 b.put_u64_le(col.size);
                 b.put_u16_le(col.owner.0);
+                b.put_u32_le(col.version);
             }
             b.freeze()
         }
@@ -234,6 +465,49 @@ pub fn encode(msg: &DcMsg) -> Bytes {
                 b.put_u32_le(bat.0);
                 b.put_u64_le(rows.len() as u64);
                 b.put_slice(rows);
+            }
+            b.freeze()
+        }
+        DcMsg::Mutate(m) => {
+            let mut b = BytesMut::with_capacity(msg.wire_size() as usize + 16);
+            b.put_u8(TAG_MUTATE);
+            b.put_u16_le(m.origin.0);
+            b.put_u64_le(m.id);
+            put_str(&mut b, &m.schema);
+            put_str(&mut b, &m.table);
+            match &m.op {
+                MutOp::Update(assigns) => {
+                    b.put_u8(1);
+                    let n = assigns.len().min(u16::MAX as usize);
+                    b.put_u16_le(n as u16);
+                    for (name, v) in assigns.iter().take(n) {
+                        put_str(&mut b, name);
+                        put_val(&mut b, v);
+                    }
+                }
+                MutOp::Delete => b.put_u8(2),
+            }
+            let n = m.preds.len().min(u16::MAX as usize);
+            b.put_u16_le(n as u16);
+            for p in m.preds.iter().take(n) {
+                put_pred(&mut b, p);
+            }
+            b.freeze()
+        }
+        DcMsg::MutAck(a) => {
+            let mut b = BytesMut::with_capacity(msg.wire_size() as usize + 8);
+            b.put_u8(TAG_MUTACK);
+            b.put_u16_le(a.target.0);
+            b.put_u64_le(a.id);
+            match &a.result {
+                Ok(n) => {
+                    b.put_u8(1);
+                    b.put_u64_le(*n);
+                }
+                Err(e) => {
+                    b.put_u8(0);
+                    put_str(&mut b, e);
+                }
             }
             b.freeze()
         }
@@ -295,7 +569,7 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
             let mut columns = Vec::with_capacity(n);
             for _ in 0..n {
                 let name = get_str(&mut buf)?;
-                if buf.remaining() < 15 {
+                if buf.remaining() < 19 {
                     return Err("truncated catalog column".into());
                 }
                 let ty = ColType::from_tag(buf.get_u8())
@@ -306,6 +580,7 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
                     bat: BatId(buf.get_u32_le()),
                     size: buf.get_u64_le(),
                     owner: NodeId(buf.get_u16_le()),
+                    version: buf.get_u32_le(),
                 });
             }
             Ok(DcMsg::Catalog(CatalogMsg { origin, schema, table, columns }))
@@ -333,6 +608,60 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
                 buf.advance(len);
             }
             Ok(DcMsg::Append(AppendMsg { origin, parts }))
+        }
+        TAG_MUTATE => {
+            if buf.remaining() < 10 {
+                return Err("truncated mutate header".into());
+            }
+            let origin = NodeId(buf.get_u16_le());
+            let id = buf.get_u64_le();
+            let schema = get_str(&mut buf)?;
+            let table = get_str(&mut buf)?;
+            if buf.is_empty() {
+                return Err("truncated mutate op".into());
+            }
+            let op = match buf.get_u8() {
+                1 => {
+                    if buf.remaining() < 2 {
+                        return Err("truncated assignment count".into());
+                    }
+                    let n = buf.get_u16_le() as usize;
+                    let mut assigns = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        let name = get_str(&mut buf)?;
+                        assigns.push((name, get_val(&mut buf)?));
+                    }
+                    MutOp::Update(assigns)
+                }
+                2 => MutOp::Delete,
+                other => return Err(format!("unknown mutation op tag {other}")),
+            };
+            if buf.remaining() < 2 {
+                return Err("truncated predicate count".into());
+            }
+            let n = buf.get_u16_le() as usize;
+            let mut preds = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                preds.push(get_pred(&mut buf)?);
+            }
+            Ok(DcMsg::Mutate(MutateMsg { origin, id, schema, table, op, preds }))
+        }
+        TAG_MUTACK => {
+            if buf.remaining() < 11 {
+                return Err("truncated mutation ack".into());
+            }
+            let target = NodeId(buf.get_u16_le());
+            let id = buf.get_u64_le();
+            let result = match buf.get_u8() {
+                1 => {
+                    if buf.remaining() < 8 {
+                        return Err("truncated ack count".into());
+                    }
+                    Ok(buf.get_u64_le())
+                }
+                _ => Err(get_str(&mut buf)?),
+            };
+            Ok(DcMsg::MutAck(MutAckMsg { target, id, result }))
         }
         other => Err(format!("unknown message tag {other}")),
     }
@@ -408,6 +737,7 @@ mod tests {
                     bat: BatId(11),
                     size: 4096,
                     owner: NodeId(0),
+                    version: 3,
                 },
                 CatalogCol {
                     name: "amount".into(),
@@ -415,6 +745,7 @@ mod tests {
                     bat: BatId(12),
                     size: 2048,
                     owner: NodeId(1),
+                    version: 0,
                 },
             ],
         })
@@ -464,6 +795,76 @@ mod tests {
             assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
         }
         assert!(m.wire_size() >= 16 + 11 + 5);
+    }
+
+    fn mutate_msg() -> DcMsg {
+        DcMsg::Mutate(MutateMsg {
+            origin: NodeId(2),
+            id: 77,
+            schema: "sys".into(),
+            table: "acct".into(),
+            op: MutOp::Update(vec![
+                ("bal".into(), Val::Lng(99)),
+                ("tag".into(), Val::Str("hot".into())),
+            ]),
+            preds: vec![
+                RowPredicate::Cmp { column: "id".into(), op: CmpOp::Ge, value: Val::Int(2) },
+                RowPredicate::Between {
+                    column: "bal".into(),
+                    lo: Val::Dbl(0.5),
+                    hi: Val::Dbl(9.5),
+                },
+                RowPredicate::InList {
+                    column: "tag".into(),
+                    values: vec![Val::Str("a".into()), Val::Bool(true), Val::Date(123)],
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn mutate_round_trip_and_truncation() {
+        let m = mutate_msg();
+        let enc = encode(&m);
+        assert_eq!(decode(&enc).unwrap(), m);
+        for cut in [1, 5, 12, 20, 30, enc.len() - 1] {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        // DELETE with no predicates (the smallest mutation).
+        let d = DcMsg::Mutate(MutateMsg {
+            origin: NodeId(0),
+            id: 1,
+            schema: "sys".into(),
+            table: "t".into(),
+            op: MutOp::Delete,
+            preds: vec![],
+        });
+        assert_eq!(decode(&encode(&d)).unwrap(), d);
+        assert!(m.wire_size() > d.wire_size());
+    }
+
+    #[test]
+    fn mut_ack_round_trip_both_outcomes() {
+        let ok = DcMsg::MutAck(MutAckMsg { target: NodeId(1), id: 9, result: Ok(4) });
+        assert_eq!(decode(&encode(&ok)).unwrap(), ok);
+        let err = DcMsg::MutAck(MutAckMsg {
+            target: NodeId(3),
+            id: 10,
+            result: Err("no owner found".into()),
+        });
+        let enc = encode(&err);
+        assert_eq!(decode(&enc).unwrap(), err);
+        for cut in [1, 4, 11, enc.len() - 1] {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn catalog_carries_versions() {
+        let m = catalog_msg();
+        let DcMsg::Catalog(c) = decode(&encode(&m)).unwrap() else { panic!() };
+        assert_eq!(c.columns[0].version, 3);
+        assert_eq!(c.columns[1].version, 0);
     }
 
     #[test]

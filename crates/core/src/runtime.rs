@@ -6,21 +6,25 @@
 //! fulfills waiters when fragments arrive from the predecessor.
 
 use crate::ids::{BatId, NodeId, QueryId};
-use crate::msg::CatalogMsg;
-use batstore::{Bat, ColType, Column};
+use crate::msg::{CatalogMsg, MutOp};
+use batstore::{Bat, ColType, Column, RowPredicate, Val};
 use crossbeam::channel::Sender;
 use mal::{DcHooks, MalError};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Ring-wide fragment naming: `schema.table.column` → fragment identity.
+/// `version` is the §6.4 counter as last advertised by the owner; every
+/// owner-side mutation bumps it and re-gossips the table, so replicas
+/// converge on one (size, version) view.
 #[derive(Clone, Copy, Debug)]
 pub struct FragInfo {
     pub bat: BatId,
     pub size: u64,
     pub owner: NodeId,
+    pub version: u32,
 }
 
 #[derive(Default)]
@@ -53,15 +57,31 @@ impl RingCatalog {
         self.len() == 0
     }
 
-    /// Refresh a fragment's advertised size after rows were appended
-    /// (§6.4): bidding and queue accounting should see the grown size.
-    pub fn update_size(&self, bat: BatId, size: u64) {
+    /// Refresh a fragment's advertised size and version after an
+    /// owner-side mutation (§6.4): bidding and queue accounting should
+    /// see the new size, and replicas converge on the bumped version
+    /// once the owner re-gossips.
+    pub fn update_meta(&self, bat: BatId, size: u64, version: u32) {
         let mut cols = self.cols.write();
         for info in cols.values_mut() {
             if info.bat == bat {
                 info.size = size;
+                info.version = version;
             }
         }
+    }
+
+    /// Reverse lookup: which `(schema, table)` a fragment belongs to.
+    /// Used by the owner to re-advertise a table's catalog entry after
+    /// applying a mutation that arrived as bare fragment ids.
+    pub fn table_of(&self, bat: BatId) -> Option<(String, String)> {
+        let cols = self.cols.read();
+        cols.iter().find(|(_, info)| info.bat == bat).and_then(|(key, _)| {
+            // Keys are `schema.table.column`; identifiers contain no dots
+            // (the SQL layer only lexes word characters).
+            let mut parts = key.splitn(3, '.');
+            Some((parts.next()?.to_string(), parts.next()?.to_string()))
+        })
     }
 
     /// How many of the given fragments each node owns (the data term of a
@@ -100,13 +120,65 @@ impl<T> Waiter<T> {
 
     /// Block until fulfilled or the deadline passes.
     pub fn wait(&self, timeout: Duration) -> Result<T, String> {
+        self.wait_for_outcome(timeout, "pin timed out waiting for fragment")
+    }
+
+    /// [`Waiter::wait`] with a caller-supplied timeout message, so a
+    /// statement blocked on something other than a fragment pin (a
+    /// mutation ack, say) fails with an error that names it.
+    pub fn wait_for_outcome(&self, timeout: Duration, timeout_msg: &str) -> Result<T, String> {
         let mut slot = self.slot.lock();
         while slot.is_none() {
             if self.cv.wait_for(&mut slot, timeout).timed_out() && slot.is_none() {
-                return Err("pin timed out waiting for fragment".into());
+                return Err(timeout_msg.to_string());
             }
         }
         slot.take().expect("checked above")
+    }
+}
+
+/// Wakes table-metadata waiters when catalog state changes: the event
+/// loop bumps the epoch after every applied gossip or local DDL, and
+/// [`crate::RingNode::wait_for_table`] blocks on the condvar instead of
+/// busy-polling the catalog.
+#[derive(Default)]
+pub struct CatalogNotify {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl CatalogNotify {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the epoch *before* checking the condition it guards;
+    /// pass it to [`CatalogNotify::wait_past`] so a change landing
+    /// between check and wait is never missed.
+    pub fn current(&self) -> u64 {
+        *self.epoch.lock()
+    }
+
+    /// Announce a catalog change (called from the event loop).
+    pub fn bump(&self) {
+        *self.epoch.lock() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Block until the epoch moves past `seen` or `deadline` passes;
+    /// returns whether it moved.
+    pub fn wait_past(&self, seen: u64, deadline: Instant) -> bool {
+        let mut epoch = self.epoch.lock();
+        while *epoch == seen {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            if self.cv.wait_for(&mut epoch, deadline - now).timed_out() && *epoch == seen {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -134,6 +206,19 @@ pub enum Cmd {
     /// are updated in place (version bump, §6.4); foreign fragments are
     /// routed clockwise to their owner as [`crate::msg::AppendMsg`]s.
     Append { schema: String, table: String, cols: Vec<(String, Column)>, ack: Arc<Waiter<u64>> },
+    /// SQL UPDATE/DELETE: a logical mutation. Applied in place when this
+    /// node owns the table's fragments (version bump + re-advertise,
+    /// §6.4); otherwise routed clockwise to the owner as a
+    /// [`crate::msg::MutateMsg`], with the ack fulfilled when the
+    /// owner's [`crate::msg::MutAckMsg`] comes back — so the caller
+    /// reports a correct affected-row count even for remote mutations.
+    Mutate {
+        schema: String,
+        table: String,
+        op: MutOp,
+        preds: Vec<RowPredicate>,
+        ack: Arc<Waiter<u64>>,
+    },
     /// Publish externally-assembled table metadata into this node's
     /// catalogs (driver-side loads); optionally gossip it clockwise.
     PublishTable { table: CatalogMsg, gossip: bool },
@@ -241,7 +326,50 @@ impl DcHooks for RingHooks {
         })?;
         ack.wait(self.pin_timeout).map_err(MalError::Dc)
     }
+
+    fn update_rows(
+        &self,
+        _query: u64,
+        schema: &str,
+        table: &str,
+        assigns: &[(String, Val)],
+        preds: &[RowPredicate],
+    ) -> Result<u64, MalError> {
+        let ack = Arc::new(Waiter::<u64>::default());
+        self.send(Cmd::Mutate {
+            schema: schema.to_string(),
+            table: table.to_string(),
+            op: MutOp::Update(assigns.to_vec()),
+            preds: preds.to_vec(),
+            ack: Arc::clone(&ack),
+        })?;
+        ack.wait_for_outcome(self.pin_timeout, MUT_ACK_TIMEOUT).map_err(MalError::Dc)
+    }
+
+    fn delete_rows(
+        &self,
+        _query: u64,
+        schema: &str,
+        table: &str,
+        preds: &[RowPredicate],
+    ) -> Result<u64, MalError> {
+        let ack = Arc::new(Waiter::<u64>::default());
+        self.send(Cmd::Mutate {
+            schema: schema.to_string(),
+            table: table.to_string(),
+            op: MutOp::Delete,
+            preds: preds.to_vec(),
+            ack: Arc::clone(&ack),
+        })?;
+        ack.wait_for_outcome(self.pin_timeout, MUT_ACK_TIMEOUT).map_err(MalError::Dc)
+    }
 }
+
+/// Timeout message for a routed mutation whose ack never returned: the
+/// owner may or may not have applied it (that status is unknowable from
+/// here), which is exactly what the caller needs to hear.
+const MUT_ACK_TIMEOUT: &str = "timed out waiting for the mutation acknowledgement from the \
+                               fragment owner; whether the mutation applied is unknown";
 
 #[cfg(test)]
 mod tests {
@@ -251,12 +379,39 @@ mod tests {
     fn ring_catalog_publish_lookup() {
         let c = RingCatalog::new();
         assert!(c.is_empty());
-        c.publish("sys", "t", "id", FragInfo { bat: BatId(7), size: 100, owner: NodeId(2) });
+        c.publish(
+            "sys",
+            "t",
+            "id",
+            FragInfo { bat: BatId(7), size: 100, owner: NodeId(2), version: 0 },
+        );
         let info = c.lookup("sys", "t", "id").unwrap();
         assert_eq!(info.bat, BatId(7));
         assert_eq!(info.owner, NodeId(2));
         assert!(c.lookup("sys", "t", "nope").is_none());
         assert_eq!(c.len(), 1);
+        // A mutation at the owner refreshes both size and version.
+        c.update_meta(BatId(7), 250, 4);
+        let info = c.lookup("sys", "t", "id").unwrap();
+        assert_eq!((info.size, info.version), (250, 4));
+    }
+
+    #[test]
+    fn catalog_notify_wakes_waiters_and_times_out() {
+        let n = Arc::new(CatalogNotify::new());
+        let seen = n.current();
+        // Timeout path: nothing bumps.
+        assert!(!n.wait_past(seen, Instant::now() + Duration::from_millis(20)));
+        // Wakeup path: a bump from another thread releases the waiter.
+        let n2 = Arc::clone(&n);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            n2.bump();
+        });
+        assert!(n.wait_past(seen, Instant::now() + Duration::from_secs(5)));
+        h.join().unwrap();
+        // A bump that landed before the wait is seen immediately.
+        assert!(n.wait_past(seen, Instant::now() + Duration::from_secs(5)));
     }
 
     #[test]

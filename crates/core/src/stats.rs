@@ -45,6 +45,19 @@ pub struct NodeStats {
     /// types no longer matched the fragment. Nonzero values mean some
     /// INSERT acknowledged elsewhere never landed.
     pub appends_dropped: u64,
+    /// UPDATE/DELETE mutations applied at this node as fragment owner
+    /// (§6.4 version bumps).
+    pub mutations_applied: u64,
+    /// Mutations this node originated that were routed clockwise to a
+    /// remote owner.
+    pub mutations_routed: u64,
+    /// Routed mutations that failed: the message cycled back without
+    /// finding an owner, or the owner rejected it.
+    pub mutations_failed: u64,
+    /// Mutations this node applied (and made durable) whose
+    /// acknowledgement could not be sent back to the origin — the origin
+    /// times out and reports failure for a statement that succeeded.
+    pub mutation_acks_lost: u64,
     /// Queries errored out (nonexistent BAT).
     pub query_errors: u64,
     /// WAL records logged ahead of durable mutations (dc-persist).
@@ -94,6 +107,10 @@ impl NodeStats {
         self.bats_loaded += other.bats_loaded;
         self.bats_lost += other.bats_lost;
         self.deliveries += other.deliveries;
+        self.mutations_applied += other.mutations_applied;
+        self.mutations_routed += other.mutations_routed;
+        self.mutations_failed += other.mutations_failed;
+        self.mutation_acks_lost += other.mutation_acks_lost;
         self.query_errors += other.query_errors;
         self.wal_records += other.wal_records;
         self.wal_bytes += other.wal_bytes;

@@ -9,7 +9,7 @@
 //! memory and put into the DBMS space").
 
 use crate::error::{MalError, Result};
-use batstore::{Bat, BatStore, Catalog, ColType, Column};
+use batstore::{Bat, BatStore, Catalog, ColType, Column, RowPredicate, Val};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
@@ -55,6 +55,35 @@ pub trait DcHooks: Send + Sync {
         _cols: &[(String, Column)],
     ) -> Result<u64> {
         Err(MalError::Dc(format!("this DC seam cannot append to {schema}.{table}")))
+    }
+
+    /// `sql.update`: write each assignment into every row matching the
+    /// predicate conjunction; returns the number of rows touched. On a
+    /// ring node the *logical* mutation is routed to the fragment owner,
+    /// which evaluates the predicates against its authoritative payload
+    /// and bumps the fragment versions (§6.4).
+    fn update_rows(
+        &self,
+        _query: u64,
+        schema: &str,
+        table: &str,
+        _assigns: &[(String, Val)],
+        _preds: &[RowPredicate],
+    ) -> Result<u64> {
+        Err(MalError::Dc(format!("this DC seam cannot update {schema}.{table}")))
+    }
+
+    /// `sql.delete`: remove every row matching the predicate conjunction
+    /// from all columns in lockstep; returns the number of rows removed.
+    /// Owner-routed on ring nodes, exactly like [`DcHooks::update_rows`].
+    fn delete_rows(
+        &self,
+        _query: u64,
+        schema: &str,
+        table: &str,
+        _preds: &[RowPredicate],
+    ) -> Result<u64> {
+        Err(MalError::Dc(format!("this DC seam cannot delete from {schema}.{table}")))
     }
 }
 
@@ -119,6 +148,31 @@ impl DcHooks for LocalHooks {
         let mut catalog = self.catalog.write();
         let mut store = self.store.write();
         Ok(catalog.append_rows(&mut store, schema, table, cols)? as u64)
+    }
+
+    fn update_rows(
+        &self,
+        _query: u64,
+        schema: &str,
+        table: &str,
+        assigns: &[(String, Val)],
+        preds: &[RowPredicate],
+    ) -> Result<u64> {
+        let mut catalog = self.catalog.write();
+        let mut store = self.store.write();
+        Ok(catalog.update_rows(&mut store, schema, table, assigns, preds)? as u64)
+    }
+
+    fn delete_rows(
+        &self,
+        _query: u64,
+        schema: &str,
+        table: &str,
+        preds: &[RowPredicate],
+    ) -> Result<u64> {
+        let mut catalog = self.catalog.write();
+        let mut store = self.store.write();
+        Ok(catalog.delete_rows(&mut store, schema, table, preds)? as u64)
     }
 }
 

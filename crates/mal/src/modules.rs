@@ -109,12 +109,102 @@ fn arg_val(args: &[MVal], i: usize, name: &str) -> Result<Val> {
     })
 }
 
+/// Decode the flat predicate encoding the SQL front-end emits into
+/// `sql.update`/`sql.delete` calls, starting at arg `i`:
+///
+/// ```text
+/// "cmp", column, op-symbol, literal
+/// "between", column, lo, hi
+/// "in", column, n, v1, …, vn
+/// ```
+fn parse_predicates(
+    args: &[MVal],
+    mut i: usize,
+    name: &str,
+) -> Result<Vec<batstore::RowPredicate>> {
+    use batstore::RowPredicate;
+    let mut preds = Vec::new();
+    while i < args.len() {
+        let kind = arg_str(args, i, name)?;
+        match kind {
+            "cmp" => {
+                if args.len() < i + 4 {
+                    return Err(MalError::BadCall(format!("{name}: truncated cmp predicate")));
+                }
+                let column = arg_str(args, i + 1, name)?.to_string();
+                let sym = arg_str(args, i + 2, name)?;
+                let op = batstore::ops::CmpOp::from_symbol(sym)
+                    .ok_or_else(|| MalError::BadCall(format!("{name}: bad op '{sym}'")))?;
+                let value = arg_val(args, i + 3, name)?;
+                preds.push(RowPredicate::Cmp { column, op, value });
+                i += 4;
+            }
+            "between" => {
+                if args.len() < i + 4 {
+                    return Err(MalError::BadCall(format!("{name}: truncated between predicate")));
+                }
+                preds.push(RowPredicate::Between {
+                    column: arg_str(args, i + 1, name)?.to_string(),
+                    lo: arg_val(args, i + 2, name)?,
+                    hi: arg_val(args, i + 3, name)?,
+                });
+                i += 4;
+            }
+            "in" => {
+                if args.len() < i + 3 {
+                    return Err(MalError::BadCall(format!("{name}: truncated in predicate")));
+                }
+                let column = arg_str(args, i + 1, name)?.to_string();
+                let n = arg_int(args, i + 2, name)?.max(0) as usize;
+                if args.len() < i + 3 + n {
+                    return Err(MalError::BadCall(format!("{name}: in-list claims {n} values")));
+                }
+                let mut values = Vec::with_capacity(n);
+                for k in 0..n {
+                    values.push(arg_val(args, i + 3 + k, name)?);
+                }
+                preds.push(RowPredicate::InList { column, values });
+                i += 3 + n;
+            }
+            other => {
+                return Err(MalError::BadCall(format!("{name}: unknown predicate kind '{other}'")))
+            }
+        }
+    }
+    Ok(preds)
+}
+
 fn one(v: MVal) -> Result<Vec<MVal>> {
     Ok(vec![v])
 }
 
 fn bat(b: Bat) -> Result<Vec<MVal>> {
     one(MVal::Bat(Arc::new(b)))
+}
+
+/// Row positions in the dense BAT `base` named by the head oids of a
+/// selection result over it (sorted, deduplicated).
+fn selection_rows(base: &Bat, sel: &Bat, name: &str) -> Result<Vec<usize>> {
+    let seq = match base.head() {
+        batstore::Column::Void { seq, .. } => *seq,
+        _ => return Err(MalError::BadCall(format!("{name}: base BAT must be dense"))),
+    };
+    let mut rows = Vec::with_capacity(sel.count());
+    for i in 0..sel.count() {
+        let oid = sel
+            .head()
+            .oid_at(i)
+            .ok_or_else(|| MalError::BadCall(format!("{name}: selection head must carry oids")))?;
+        if oid < seq {
+            return Err(MalError::BadCall(format!(
+                "{name}: oid {oid} below the base sequence {seq}"
+            )));
+        }
+        rows.push((oid - seq) as usize);
+    }
+    rows.sort_unstable();
+    rows.dedup();
+    Ok(rows)
 }
 
 // ---- sql module -------------------------------------------------------
@@ -182,6 +272,54 @@ fn register_sql(r: &mut Registry) {
             cols.push((name.to_string(), b.tail().clone()));
         }
         let n = ctx.hooks().append_rows(ctx.query_id, schema, table, &cols)?;
+        ctx.set_result(batstore::ResultSet::with_affected(n));
+        Ok(vec![])
+    });
+
+    // sql.update(schema, table, "c1,c2,…", v1, v2, …, <predicates>) —
+    // one call per UPDATE statement. The assignment values follow the
+    // column-name list in order; the flat predicate encoding (see
+    // `parse_predicates`) carries the WHERE conjuncts to the seam, which
+    // routes the *logical* mutation to the fragment owner (§6.4).
+    r.register("sql", "update", |ctx, args| {
+        if args.len() < 4 {
+            return Err(MalError::BadCall("sql.update: expected at least 4 args".into()));
+        }
+        let (schema, table, names) = (
+            arg_str(args, 0, "sql.update")?,
+            arg_str(args, 1, "sql.update")?,
+            arg_str(args, 2, "sql.update")?,
+        );
+        let names: Vec<&str> = names.split(',').filter(|n| !n.is_empty()).collect();
+        if names.is_empty() {
+            return Err(MalError::BadCall("sql.update: empty assignment list".into()));
+        }
+        if args.len() < 3 + names.len() {
+            return Err(MalError::BadCall(format!(
+                "sql.update: {} assignments but only {} args",
+                names.len(),
+                args.len()
+            )));
+        }
+        let mut assigns = Vec::with_capacity(names.len());
+        for (i, name) in names.iter().enumerate() {
+            assigns.push((name.to_string(), arg_val(args, i + 3, "sql.update")?));
+        }
+        let preds = parse_predicates(args, 3 + names.len(), "sql.update")?;
+        let n = ctx.hooks().update_rows(ctx.query_id, schema, table, &assigns, &preds)?;
+        ctx.set_result(batstore::ResultSet::with_affected(n));
+        Ok(vec![])
+    });
+
+    // sql.delete(schema, table, <predicates>) — one call per DELETE
+    // statement; no predicates means every row.
+    r.register("sql", "delete", |ctx, args| {
+        if args.len() < 2 {
+            return Err(MalError::BadCall("sql.delete: expected at least 2 args".into()));
+        }
+        let (schema, table) = (arg_str(args, 0, "sql.delete")?, arg_str(args, 1, "sql.delete")?);
+        let preds = parse_predicates(args, 2, "sql.delete")?;
+        let n = ctx.hooks().delete_rows(ctx.query_id, schema, table, &preds)?;
         ctx.set_result(batstore::ResultSet::with_affected(n));
         Ok(vec![])
     });
@@ -296,6 +434,30 @@ fn register_bat_algebra(r: &mut Registry) {
         let mut add = batstore::Column::empty(b.tail_type());
         add.push(&v)?;
         bat(b.extend_tail(&add)?)
+    });
+
+    // bat.replace(b, sel, v) — selective mutation: a new dense BAT with
+    // `v` written at the rows `sel` picked out of `b` (a selection
+    // result whose head oids reference `b`'s rows). The kernel behind
+    // the UPDATE sink's owner-side rewrite.
+    r.register("bat", "replace", |_ctx, args| {
+        want(args, 3, "bat.replace")?;
+        let b = arg_bat(args, 0, "bat.replace")?;
+        let sel = arg_bat(args, 1, "bat.replace")?;
+        let v = arg_val(args, 2, "bat.replace")?;
+        let rows = selection_rows(b, sel, "bat.replace")?;
+        bat(ops::scatter_const(b, &rows, &v)?)
+    });
+
+    // bat.delete(b, sel) — selective deletion: a new dense BAT without
+    // the rows `sel` picked out of `b`. The kernel behind the DELETE
+    // sink's owner-side shrink.
+    r.register("bat", "delete", |_ctx, args| {
+        want(args, 2, "bat.delete")?;
+        let b = arg_bat(args, 0, "bat.delete")?;
+        let sel = arg_bat(args, 1, "bat.delete")?;
+        let rows = selection_rows(b, sel, "bat.delete")?;
+        bat(ops::erase_rows(b, &rows)?)
     });
 
     r.register("algebra", "select", |_ctx, args| {
@@ -786,6 +948,97 @@ mod tests {
             ],
         );
         assert_eq!(out[0].as_bat().unwrap().count(), 2);
+    }
+
+    #[test]
+    fn bat_replace_and_delete_primitives() {
+        let r = Registry::standard();
+        let c = ctx();
+        let base = MVal::Bat(Arc::new(Bat::dense(Column::from(vec![5, 1, 9, 3]))));
+        // Select rows >= 3 and rewrite them to 0.
+        let sel = call(
+            &r,
+            ("algebra", "thetauselect"),
+            &c,
+            &[base.clone(), MVal::Int(3), MVal::Str(">=".into())],
+        );
+        let out = call(&r, ("bat", "replace"), &c, &[base.clone(), sel[0].clone(), MVal::Int(0)]);
+        let b = out[0].as_bat().unwrap();
+        let tails: Vec<batstore::Val> = (0..4).map(|i| b.bun(i).1).collect();
+        assert_eq!(
+            tails,
+            vec![
+                batstore::Val::Int(0),
+                batstore::Val::Int(1),
+                batstore::Val::Int(0),
+                batstore::Val::Int(0)
+            ]
+        );
+        // Delete the same selection: only the 1 survives, head re-densed.
+        let out = call(&r, ("bat", "delete"), &c, &[base, sel[0].clone()]);
+        let b = out[0].as_bat().unwrap();
+        assert_eq!(b.count(), 1);
+        assert_eq!(b.bun(0), (batstore::Val::Oid(0), batstore::Val::Int(1)));
+    }
+
+    #[test]
+    fn sql_update_and_delete_through_local_hooks() {
+        let r = Registry::standard();
+        let c = ctx();
+        // `t` has id = [1, 2, 3].
+        let upd =
+            |args: &[MVal]| (r.lookup("sql", "update").unwrap())(&c, args).map(|_| c.take_result());
+        let rs = upd(&[
+            MVal::Str("sys".into()),
+            MVal::Str("t".into()),
+            MVal::Str("id".into()),
+            MVal::Int(7),
+            MVal::Str("cmp".into()),
+            MVal::Str("id".into()),
+            MVal::Str(">=".into()),
+            MVal::Int(2),
+        ])
+        .unwrap();
+        assert_eq!(rs.affected, Some(2));
+        let rs = upd(&[
+            MVal::Str("sys".into()),
+            MVal::Str("t".into()),
+            MVal::Str("id".into()),
+            MVal::Int(0),
+            MVal::Str("in".into()),
+            MVal::Str("id".into()),
+            MVal::Int(2),
+            MVal::Int(1),
+            MVal::Int(99),
+        ])
+        .unwrap();
+        assert_eq!(rs.affected, Some(1), "IN (1, 99) hits only the untouched row");
+        // DELETE with a between predicate removes both 7s.
+        let out = (r.lookup("sql", "delete").unwrap())(
+            &c,
+            &[
+                MVal::Str("sys".into()),
+                MVal::Str("t".into()),
+                MVal::Str("between".into()),
+                MVal::Str("id".into()),
+                MVal::Int(6),
+                MVal::Int(8),
+            ],
+        );
+        out.unwrap();
+        assert_eq!(c.take_result().affected, Some(2));
+        assert_eq!(c.catalog.read().table("sys", "t").unwrap().row_count, 1);
+        // Malformed predicate encodings are loud.
+        let bad = (r.lookup("sql", "delete").unwrap())(
+            &c,
+            &[MVal::Str("sys".into()), MVal::Str("t".into()), MVal::Str("frob".into())],
+        );
+        assert!(bad.is_err());
+        let bad = (r.lookup("sql", "update").unwrap())(
+            &c,
+            &[MVal::Str("sys".into()), MVal::Str("t".into()), MVal::Str("".into()), MVal::Int(1)],
+        );
+        assert!(bad.is_err(), "empty assignment list");
     }
 
     #[test]

@@ -33,4 +33,6 @@ pub mod wal;
 pub use checkpoint::{write_checkpoint, Checkpointer, FragSnap, Snapshot};
 pub use datadir::{DataDir, Manifest};
 pub use recover::{recover, RecFrag, Recovered};
-pub use wal::{replay_wal, AppendPart, ColRec, FsyncPolicy, TableRec, WalRecord, WalWriter};
+pub use wal::{
+    replay_wal, AppendPart, ColRec, FsyncPolicy, ReplacePart, TableRec, WalRecord, WalWriter,
+};

@@ -185,10 +185,42 @@ fn apply(
             }
             Ok(if any { Applied::Yes } else { Applied::Skipped })
         }
+        WalRecord::Update(parts) | WalRecord::Delete(parts) => {
+            // The record frame is the atomicity unit: a multi-column
+            // UPDATE (or a DELETE shrinking every column) is on disk
+            // whole or not at all. Each part carries the fragment's
+            // complete post-mutation payload, so replay is a wholesale
+            // replacement gated on `version > current` — idempotent
+            // across checkpoint overlap, and safe across version gaps
+            // (state, not deltas).
+            let mut any = false;
+            for p in parts {
+                if matches!(apply_replace(frags, p.bat, p.version, &p.rows)?, Applied::Yes) {
+                    any = true;
+                }
+            }
+            Ok(if any { Applied::Yes } else { Applied::Skipped })
+        }
         WalRecord::FragMeta { bat, .. } => {
             Err(format!("FragMeta {bat} is a snapshot-only record, found in WAL"))
         }
     }
+}
+
+fn apply_replace(
+    frags: &mut HashMap<u32, RecFrag>,
+    bat: u32,
+    version: u32,
+    rows: &[u8],
+) -> Result<Applied, String> {
+    if let Some(cur) = frags.get(&bat) {
+        if version <= cur.version {
+            return Ok(Applied::Skipped); // already in the checkpoint
+        }
+    }
+    let payload = storage::bat_from_bytes(rows).map_err(|e| format!("replace {bat}: {e}"))?;
+    frags.insert(bat, RecFrag { version, bat: payload });
+    Ok(Applied::Yes)
 }
 
 fn apply_append(
@@ -416,6 +448,86 @@ mod tests {
         assert!(rec.torn);
         assert_eq!(rec.frags[&7].bat.count(), 2);
         assert_eq!(rec.frags[&8].bat.count(), 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn update_and_delete_records_replay_version_gated() {
+        let root = scratch("mutate");
+        let dir = DataDir::open(&root).unwrap();
+        dir.write_manifest(&crate::datadir::Manifest { node: 0, replay_from: 1 }).unwrap();
+        let mut w = WalWriter::create(&dir.wal_path(1), FsyncPolicy::Off).unwrap();
+        w.append(&WalRecord::Table(table_rec(0, 7))).unwrap();
+        w.append(&WalRecord::Append { bat: 7, version: 1, rows: rows(vec![1, 2, 3]) }).unwrap();
+        // UPDATE rewrites the whole payload at version 2 …
+        w.append(&WalRecord::Update(vec![crate::ReplacePart {
+            bat: 7,
+            version: 2,
+            rows: rows(vec![1, 9, 3]),
+        }]))
+        .unwrap();
+        // … a stale re-log of the same version is skipped …
+        w.append(&WalRecord::Update(vec![crate::ReplacePart {
+            bat: 7,
+            version: 2,
+            rows: rows(vec![0, 0, 0]),
+        }]))
+        .unwrap();
+        // … and DELETE shrinks at version 3.
+        w.append(&WalRecord::Delete(vec![crate::ReplacePart {
+            bat: 7,
+            version: 3,
+            rows: rows(vec![9, 3]),
+        }]))
+        .unwrap();
+        w.sync().unwrap();
+
+        let rec = recover(&dir, 0).unwrap();
+        let f = &rec.frags[&7];
+        assert_eq!((f.version, f.bat.count()), (3, 2));
+        let tails: Vec<_> = (0..f.bat.count()).map(|i| f.bat.bun(i).1).collect();
+        assert_eq!(tails, vec![batstore::Val::Int(9), batstore::Val::Int(3)]);
+        assert_eq!(rec.wal_skipped, 1, "the stale duplicate update");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_multi_column_update_discards_all_columns() {
+        let root = scratch("torn_update");
+        let dir = DataDir::open(&root).unwrap();
+        dir.write_manifest(&crate::datadir::Manifest { node: 0, replay_from: 1 }).unwrap();
+        let two_cols = TableRec {
+            origin: 0,
+            schema: "sys".into(),
+            table: "kv".into(),
+            cols: vec![
+                ColRec { name: "k".into(), ty: ColType::Int, bat: 7, size: 0, owner: 0 },
+                ColRec { name: "v".into(), ty: ColType::Int, bat: 8, size: 0, owner: 0 },
+            ],
+        };
+        let mut w = WalWriter::create(&dir.wal_path(1), FsyncPolicy::Off).unwrap();
+        w.append(&WalRecord::Table(two_cols)).unwrap();
+        w.append(&WalRecord::AppendBatch(vec![
+            crate::AppendPart { bat: 7, version: 1, rows: rows(vec![1]) },
+            crate::AppendPart { bat: 8, version: 1, rows: rows(vec![10]) },
+        ]))
+        .unwrap();
+        w.sync().unwrap();
+        // A crash mid-write leaves half of a two-column UPDATE frame.
+        use std::io::Write;
+        let enc = crate::wal::encode_record(&WalRecord::Update(vec![
+            crate::ReplacePart { bat: 7, version: 2, rows: rows(vec![5]) },
+            crate::ReplacePart { bat: 8, version: 2, rows: rows(vec![50]) },
+        ]));
+        let mut f = std::fs::OpenOptions::new().append(true).open(dir.wal_path(1)).unwrap();
+        f.write_all(&enc[..enc.len() - 6]).unwrap();
+        drop(f);
+
+        let rec = recover(&dir, 0).unwrap();
+        assert!(rec.torn);
+        assert_eq!(rec.frags[&7].bat.bun(0).1, batstore::Val::Int(1), "neither column mutated");
+        assert_eq!(rec.frags[&8].bat.bun(0).1, batstore::Val::Int(10));
+        assert_eq!((rec.frags[&7].version, rec.frags[&8].version), (1, 1));
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -75,6 +75,19 @@ pub enum WalRecord {
     /// Snapshot-only: an owned fragment checkpointed at `version` (the
     /// payload lives in the data dir's `bats/` file, not the record).
     FragMeta { bat: u32, version: u32 },
+    /// A SQL `UPDATE` applied at the fragment owner: each part carries a
+    /// touched column's *complete* replacement payload at its bumped
+    /// version (§6.4). One CRC-framed record holds every assigned
+    /// column, so a crash can never half-apply a multi-column UPDATE:
+    /// either the whole record replays or the tear discards all of it.
+    /// Replay applies a part only when `version > current` — complete
+    /// payloads are state, not deltas, so overlap and gaps are both
+    /// idempotent.
+    Update(Vec<ReplacePart>),
+    /// A SQL `DELETE` applied at the fragment owner: every column of the
+    /// table, shrunk in lockstep, as complete replacement payloads.
+    /// Same atomicity and version-gating rules as [`WalRecord::Update`].
+    Delete(Vec<ReplacePart>),
 }
 
 /// One fragment's slice of an [`WalRecord::AppendBatch`].
@@ -85,11 +98,23 @@ pub struct AppendPart {
     pub rows: Vec<u8>,
 }
 
+/// One fragment's slice of an [`WalRecord::Update`] or
+/// [`WalRecord::Delete`]: the fragment's complete serialized payload
+/// *after* the mutation, at its bumped version.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplacePart {
+    pub bat: u32,
+    pub version: u32,
+    pub rows: Vec<u8>,
+}
+
 const TAG_TABLE: u8 = 1;
 const TAG_STORE: u8 = 2;
 const TAG_APPEND: u8 = 3;
 const TAG_FRAG_META: u8 = 4;
 const TAG_APPEND_BATCH: u8 = 5;
+const TAG_UPDATE: u8 = 6;
+const TAG_DELETE: u8 = 7;
 
 /// Frames larger than this are treated as corruption, not data. Row
 /// batches are INSERT-statement sized; even bulk loads stay far below.
@@ -203,6 +228,17 @@ fn encode_payload(rec: &WalRecord) -> Vec<u8> {
                 out.extend_from_slice(&p.rows);
             }
         }
+        WalRecord::Update(parts) | WalRecord::Delete(parts) => {
+            out.push(if matches!(rec, WalRecord::Update(_)) { TAG_UPDATE } else { TAG_DELETE });
+            let nparts = parts.len().min(u16::MAX as usize);
+            out.extend_from_slice(&(nparts as u16).to_le_bytes());
+            for p in parts.iter().take(nparts) {
+                out.extend_from_slice(&p.bat.to_le_bytes());
+                out.extend_from_slice(&p.version.to_le_bytes());
+                out.extend_from_slice(&(p.rows.len() as u64).to_le_bytes());
+                out.extend_from_slice(&p.rows);
+            }
+        }
         WalRecord::FragMeta { bat, version } => {
             out.push(TAG_FRAG_META);
             out.extend_from_slice(&bat.to_le_bytes());
@@ -261,6 +297,21 @@ pub fn decode_payload(payload: &[u8]) -> Result<WalRecord, String> {
             Ok(WalRecord::AppendBatch(parts))
         }
         TAG_FRAG_META => Ok(WalRecord::FragMeta { bat: c.u32()?, version: c.u32()? }),
+        tag @ (TAG_UPDATE | TAG_DELETE) => {
+            let nparts = c.u16()? as usize;
+            let mut parts = Vec::with_capacity(nparts.min(1024));
+            for _ in 0..nparts {
+                let bat = c.u32()?;
+                let version = c.u32()?;
+                let len = c.u64()? as usize;
+                parts.push(ReplacePart { bat, version, rows: c.take(len)?.to_vec() });
+            }
+            if tag == TAG_UPDATE {
+                Ok(WalRecord::Update(parts))
+            } else {
+                Ok(WalRecord::Delete(parts))
+            }
+        }
         other => Err(format!("unknown record tag {other}")),
     }
 }
@@ -379,6 +430,11 @@ mod tests {
                 AppendPart { bat: 10, version: 1, rows: vec![7, 8] },
             ]),
             WalRecord::FragMeta { bat: 10, version: 7 },
+            WalRecord::Update(vec![
+                ReplacePart { bat: 9, version: 3, rows: vec![1, 1, 1] },
+                ReplacePart { bat: 10, version: 2, rows: vec![2, 2] },
+            ]),
+            WalRecord::Delete(vec![ReplacePart { bat: 9, version: 4, rows: vec![] }]),
         ]
     }
 

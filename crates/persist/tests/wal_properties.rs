@@ -2,16 +2,18 @@
 //! through frames, and arbitrary frame prefixes never panic the decoder.
 
 use batstore::ColType;
-use dc_persist::wal::{decode_frames, decode_payload, encode_record};
-use dc_persist::{ColRec, TableRec, WalRecord};
+use dc_persist::wal::{crc32, decode_frames, decode_payload, encode_record};
+use dc_persist::{ColRec, ReplacePart, TableRec, WalRecord};
 use proptest::prelude::*;
 
 fn record_from(seed: (u8, u32, u32, Vec<u8>, String)) -> WalRecord {
     let (kind, bat, version, rows, name) = seed;
-    match kind % 4 {
+    match kind % 6 {
         0 => WalRecord::Store { bat, version, rows },
         1 => WalRecord::Append { bat, version, rows },
         2 => WalRecord::FragMeta { bat, version },
+        3 => WalRecord::Update(replace_parts(bat, version, &rows)),
+        4 => WalRecord::Delete(replace_parts(bat, version, &rows)),
         _ => WalRecord::Table(TableRec {
             origin: (bat % 64) as u16,
             schema: "sys".into(),
@@ -27,9 +29,21 @@ fn record_from(seed: (u8, u32, u32, Vec<u8>, String)) -> WalRecord {
     }
 }
 
+/// A multi-part mutation record: 0–3 fragments sharing one frame, with
+/// differing payload slices so part boundaries are exercised.
+fn replace_parts(bat: u32, version: u32, rows: &[u8]) -> Vec<ReplacePart> {
+    (0..(bat % 4))
+        .map(|i| ReplacePart {
+            bat: bat.wrapping_add(i),
+            version: version.wrapping_add(i),
+            rows: rows.iter().skip(i as usize).copied().collect(),
+        })
+        .collect()
+}
+
 proptest! {
     #[test]
-    fn wal_record_round_trip(kind in 0u8..4,
+    fn wal_record_round_trip(kind in 0u8..6,
                              bat in 0u32..u32::MAX,
                              version in 0u32..u32::MAX,
                              rows in prop::collection::vec(0u8..=255, 0..128),
@@ -46,7 +60,7 @@ proptest! {
     }
 
     #[test]
-    fn truncated_frames_tear_without_panicking(kind in 0u8..4,
+    fn truncated_frames_tear_without_panicking(kind in 0u8..6,
                                                bat in 0u32..1000,
                                                version in 0u32..1000,
                                                rows in prop::collection::vec(0u8..=255, 0..64),
@@ -58,5 +72,69 @@ proptest! {
         // A strict prefix either tears or (len < 8 leftover) yields nothing.
         prop_assert!(back.is_empty());
         prop_assert!(torn || cut < 8);
+    }
+
+    #[test]
+    fn mutation_tail_truncation_keeps_the_prefix(version in 0u32..1000,
+                                                 rows in prop::collection::vec(0u8..=255, 1..64),
+                                                 cut in 1usize..32) {
+        // A good Append frame followed by a torn Update frame: replay
+        // keeps the append, discards the whole mutation — never a
+        // partial multi-column apply.
+        let good = encode_record(&WalRecord::Append { bat: 1, version, rows: rows.clone() });
+        let update = encode_record(&WalRecord::Update(vec![
+            ReplacePart { bat: 1, version: version.wrapping_add(1), rows: rows.clone() },
+            ReplacePart { bat: 2, version: version.wrapping_add(1), rows },
+        ]));
+        let mut buf = good.clone();
+        let keep = update.len().saturating_sub(cut);
+        buf.extend_from_slice(&update[..keep]);
+        let (back, torn) = decode_frames(&buf);
+        prop_assert!(torn);
+        prop_assert_eq!(back.len(), 1);
+        prop_assert!(matches!(back[0], WalRecord::Append { .. }));
+    }
+
+    #[test]
+    fn hostile_part_counts_and_lengths_rejected_without_allocation(
+        nparts in 0u16..=u16::MAX,
+        claimed in 0u64..=u64::MAX,
+        which in 0u8..2,
+    ) {
+        let tag = 6u8 + which; // the Update / Delete record tags
+        // Hand-build a frame whose payload claims `nparts` parts and a
+        // first-part length of `claimed` bytes while carrying none of
+        // them. The decoder must fail by *bounds checking*, not by
+        // allocating what the header promises (`Vec::with_capacity` is
+        // capped, `take()` validates before copying).
+        let mut payload = vec![tag];
+        payload.extend_from_slice(&nparts.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());     // bat
+        payload.extend_from_slice(&1u32.to_le_bytes());     // version
+        payload.extend_from_slice(&claimed.to_le_bytes());  // rows length
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        if nparts == 0 {
+            // Zero parts is a valid empty mutation; the trailing junk is
+            // simply not part of the record.
+            prop_assert!(decode_payload(&frame[8..]).is_ok());
+        } else if claimed > 0 {
+            prop_assert!(decode_payload(&frame[8..]).is_err());
+            // Through the frame parser it reads as a tear, not a panic.
+            let (back, torn) = decode_frames(&frame);
+            prop_assert!(torn && back.is_empty());
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(buf in prop::collection::vec(0u8..=255, 0..256)) {
+        // Whatever the bytes, decode_frames returns; it never panics or
+        // over-allocates. (Accidentally valid frames are fine.)
+        let _ = decode_frames(&buf);
+        if buf.len() > 8 {
+            let _ = decode_payload(&buf[8..]);
+        }
     }
 }

@@ -113,12 +113,34 @@ pub struct InsertStmt {
     pub rows: Vec<Vec<Val>>,
 }
 
+/// `UPDATE [schema.]t SET c = v [, …] [WHERE <predicates>]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateStmt {
+    pub schema: String,
+    pub table: String,
+    /// `SET` assignments in statement order.
+    pub assignments: Vec<(String, Val)>,
+    /// Conjunction of WHERE predicates; empty means every row.
+    pub predicates: Vec<Predicate>,
+}
+
+/// `DELETE FROM [schema.]t [WHERE <predicates>]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeleteStmt {
+    pub schema: String,
+    pub table: String,
+    /// Conjunction of WHERE predicates; empty means every row.
+    pub predicates: Vec<Predicate>,
+}
+
 /// One SQL statement.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Stmt {
     Select(Query),
     CreateTable(CreateStmt),
     Insert(InsertStmt),
+    Update(UpdateStmt),
+    Delete(DeleteStmt),
 }
 
 #[cfg(test)]

@@ -702,6 +702,8 @@ pub fn compile_stmt(stmt: &Stmt, catalog: &Catalog) -> Result<Program> {
         Stmt::Select(q) => compile(q, catalog),
         Stmt::CreateTable(c) => compile_create(c),
         Stmt::Insert(i) => compile_insert(i, catalog),
+        Stmt::Update(u) => compile_update(u, catalog),
+        Stmt::Delete(d) => compile_delete(d, catalog),
     }
 }
 
@@ -782,8 +784,115 @@ fn compile_insert(i: &InsertStmt, catalog: &Catalog) -> Result<Program> {
     Ok(g.prog)
 }
 
-/// Parse and compile one statement (SELECT, CREATE TABLE, or INSERT) in
-/// one step.
+/// Validate a single-table predicate column reference and append the
+/// flat predicate encoding `sql.update`/`sql.delete` expect:
+/// `"cmp", col, op, lit` / `"between", col, lo, hi` / `"in", col, n, v…`.
+/// The mutation travels as *logical* predicates — the fragment owner
+/// evaluates them against its authoritative payload (§6.4), never
+/// against row ids computed from a possibly stale circulating copy.
+fn push_pred_args(
+    args: &mut Vec<Arg>,
+    preds: &[Predicate],
+    def: &batstore::TableDef,
+) -> Result<()> {
+    let check_col = |c: &ColRef| -> Result<()> {
+        if let Some(alias) = &c.table {
+            if *alias != def.name {
+                return Err(err(format!("unknown table alias '{alias}'")));
+            }
+        }
+        if def.column(&c.column).is_none() {
+            return Err(err(format!("unknown column '{}.{}'", def.name, c.column)));
+        }
+        Ok(())
+    };
+    for p in preds {
+        match p {
+            Predicate::Cmp { col, op, lit } => {
+                check_col(col)?;
+                args.push(Gen::cstr("cmp"));
+                args.push(Gen::cstr(&col.column));
+                args.push(Gen::cstr(op));
+                args.push(Gen::cval(lit)?);
+            }
+            Predicate::Between { col, lo, hi } => {
+                check_col(col)?;
+                args.push(Gen::cstr("between"));
+                args.push(Gen::cstr(&col.column));
+                args.push(Gen::cval(lo)?);
+                args.push(Gen::cval(hi)?);
+            }
+            Predicate::InList { col, vals } => {
+                if vals.is_empty() {
+                    return Err(err("IN list must not be empty"));
+                }
+                check_col(col)?;
+                args.push(Gen::cstr("in"));
+                args.push(Gen::cstr(&col.column));
+                args.push(Gen::cint(vals.len() as i64));
+                for v in vals {
+                    args.push(Gen::cval(v)?);
+                }
+            }
+            Predicate::ColEq { left, right } => {
+                return Err(err(format!(
+                    "column-to-column predicates are not supported in UPDATE/DELETE \
+                     ({}.{} = {}.{})",
+                    left.table.as_deref().unwrap_or(""),
+                    left.column,
+                    right.table.as_deref().unwrap_or(""),
+                    right.column
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `UPDATE` lowers to one `sql.update` sink carrying the assignments and
+/// the WHERE conjunction; the seam routes it to the fragment owner.
+fn compile_update(u: &UpdateStmt, catalog: &Catalog) -> Result<Program> {
+    let def = catalog
+        .table(&u.schema, &u.table)
+        .map_err(|e| err(format!("unknown table {}.{}: {e}", u.schema, u.table)))?;
+    if u.assignments.is_empty() {
+        return Err(err("UPDATE needs at least one assignment"));
+    }
+    let mut names = Vec::with_capacity(u.assignments.len());
+    for (name, _) in &u.assignments {
+        if def.column(name).is_none() {
+            return Err(err(format!("unknown column '{}.{}'", u.table, name)));
+        }
+        if names.contains(&name.as_str()) {
+            return Err(err(format!("column '{name}' assigned twice")));
+        }
+        names.push(name.as_str());
+    }
+    let mut args = vec![Gen::cstr(&u.schema), Gen::cstr(&u.table), Gen::cstr(&names.join(","))];
+    for (_, v) in &u.assignments {
+        args.push(Gen::cval(v)?);
+    }
+    push_pred_args(&mut args, &u.predicates, def)?;
+    let mut prog = Program::new("user", "s1_1");
+    prog.push(Instr::call("sql", "update", args));
+    Ok(prog)
+}
+
+/// `DELETE` lowers to one `sql.delete` sink carrying the WHERE
+/// conjunction (empty means every row).
+fn compile_delete(d: &DeleteStmt, catalog: &Catalog) -> Result<Program> {
+    let def = catalog
+        .table(&d.schema, &d.table)
+        .map_err(|e| err(format!("unknown table {}.{}: {e}", d.schema, d.table)))?;
+    let mut args = vec![Gen::cstr(&d.schema), Gen::cstr(&d.table)];
+    push_pred_args(&mut args, &d.predicates, def)?;
+    let mut prog = Program::new("user", "s1_1");
+    prog.push(Instr::call("sql", "delete", args));
+    Ok(prog)
+}
+
+/// Parse and compile one statement (SELECT, CREATE TABLE, INSERT,
+/// UPDATE, or DELETE) in one step.
 pub fn compile_sql(sql: &str, catalog: &Catalog) -> Result<Program> {
     let stmt = crate::parser::parse_stmt(sql)?;
     compile_stmt(&stmt, catalog)
@@ -1041,6 +1150,70 @@ mod tests {
         let b = ctx.store.read().get(key).unwrap();
         assert_eq!(b.count(), 2);
         assert_eq!(b.bun(1).1, Val::Int(7));
+    }
+
+    #[test]
+    fn update_delete_full_cycle() {
+        let catalog = Arc::new(RwLock::new(Catalog::new()));
+        let store = Arc::new(RwLock::new(BatStore::new()));
+        let ctx = SessionCtx::new(Arc::clone(&catalog), Arc::clone(&store));
+        let run_stmt = |sql: &str, ctx: &SessionCtx| {
+            let prog = {
+                let cat = catalog.read();
+                let p = compile_sql(sql, &cat).unwrap_or_else(|e| panic!("{sql}: {e}"));
+                let p = mal::common_subexpression_eliminate(&p);
+                mal::dc_optimize(&p)
+            };
+            run_sequential(&prog, ctx).unwrap_or_else(|e| panic!("{sql}:\n{prog}\n{e}"));
+            ctx.take_result()
+        };
+
+        run_stmt("create table acct (id int, bal lng, tag varchar(8))", &ctx);
+        run_stmt("insert into acct values (1, 10, 'a'), (2, 20, 'b'), (3, 30, 'a')", &ctx);
+        // Multi-column UPDATE with a predicate over a third column.
+        let rs = run_stmt("update acct set bal = 99, tag = 'hot' where tag = 'a'", &ctx);
+        assert_eq!(rs.affected, Some(2));
+        let rs = run_stmt("select id, bal, tag from acct where tag = 'hot' order by id", &ctx);
+        assert_eq!(rs.row_count(), 2);
+        assert_eq!(rs.cell(0, 1), Val::Lng(99));
+        assert_eq!(rs.cell(1, 0), Val::Int(3));
+        // UPDATE matching nothing affects nothing.
+        let rs = run_stmt("update acct set bal = 0 where id = 77", &ctx);
+        assert_eq!(rs.affected, Some(0));
+        // DELETE with predicate, then unconditional DELETE.
+        let rs = run_stmt("delete from acct where id in (1, 3)", &ctx);
+        assert_eq!(rs.affected, Some(2));
+        let rs = run_stmt("select count(*) from acct", &ctx);
+        assert_eq!(rs.cell(0, 0), Val::Lng(1));
+        let rs = run_stmt("delete from acct", &ctx);
+        assert_eq!(rs.affected, Some(1));
+        let rs = run_stmt("select count(*) from acct", &ctx);
+        assert_eq!(rs.cell(0, 0), Val::Lng(0));
+        // The emptied table still takes inserts.
+        let rs = run_stmt("insert into acct values (9, 90, 'z')", &ctx);
+        assert_eq!(rs.affected, Some(1));
+    }
+
+    #[test]
+    fn update_delete_error_paths() {
+        let (catalog, _) = setup();
+        for bad in [
+            "update ghost set a = 1",
+            "update c set ghost = 1",
+            "update c set amount = 'oops' where ghost = 1", // unknown pred column
+            "update c set amount = 1, amount = 2",          // duplicate assignment
+            "update c set amount = 1 where t_id = amount",  // column-to-column
+            "delete from ghost",
+            "delete from c where ghost = 1",
+            "delete from c where amount in ()",
+        ] {
+            assert!(compile_sql(bad, &catalog).is_err(), "should fail: {bad}");
+        }
+        // The generated plans carry the new sinks.
+        let prog = compile_sql("update c set amount = 1 where t_id = 2", &catalog).unwrap();
+        assert!(prog.instrs.iter().any(|i| i.is("sql", "update")), "{prog}");
+        let prog = compile_sql("delete from c where amount between 1 and 5", &catalog).unwrap();
+        assert!(prog.instrs.iter().any(|i| i.is("sql", "delete")), "{prog}");
     }
 
     #[test]

@@ -275,7 +275,7 @@ fn parse_qualified_table(p: &mut P) -> Result<(String, String)> {
     }
 }
 
-/// Parse one statement: SELECT, CREATE TABLE, or INSERT.
+/// Parse one statement: SELECT, CREATE TABLE, INSERT, UPDATE, or DELETE.
 pub fn parse_stmt(sql: &str) -> Result<Stmt> {
     let toks = lex(sql)?;
     let mut p = P { toks, pos: 0 };
@@ -285,7 +285,69 @@ pub fn parse_stmt(sql: &str) -> Result<Stmt> {
     if p.peek_kw("insert") {
         return parse_insert(&mut p);
     }
+    if p.peek_kw("update") {
+        return parse_update(&mut p);
+    }
+    if p.peek_kw("delete") {
+        return parse_delete(&mut p);
+    }
     parse_query(sql).map(Stmt::Select)
+}
+
+/// The `WHERE` conjunction shared by UPDATE and DELETE (absent means
+/// every row).
+fn parse_where(p: &mut P) -> Result<Vec<Predicate>> {
+    let mut predicates = Vec::new();
+    if p.eat_kw("where") {
+        loop {
+            predicates.push(parse_predicate(p)?);
+            if !p.eat_kw("and") {
+                break;
+            }
+        }
+    }
+    Ok(predicates)
+}
+
+fn expect_trailing_end(p: &P) -> Result<()> {
+    match p.peek() {
+        Some(t) => Err(err(format!("trailing tokens starting at {t:?}"))),
+        None => Ok(()),
+    }
+}
+
+/// `UPDATE [schema.]t SET c = v [, …] [WHERE …]`.
+fn parse_update(p: &mut P) -> Result<Stmt> {
+    p.expect_kw("update")?;
+    let (schema, table) = parse_qualified_table(p)?;
+    p.expect_kw("set")?;
+    let mut assignments = Vec::new();
+    loop {
+        let col = p.word()?;
+        match p.next()? {
+            Tok::Sym(s) if s == "=" => {}
+            other => return Err(err(format!("expected '=' after '{col}', got {other:?}"))),
+        }
+        assignments.push((col, parse_literal(p)?));
+        if p.peek() == Some(&Tok::Comma) {
+            p.next()?;
+        } else {
+            break;
+        }
+    }
+    let predicates = parse_where(p)?;
+    expect_trailing_end(p)?;
+    Ok(Stmt::Update(UpdateStmt { schema, table, assignments, predicates }))
+}
+
+/// `DELETE FROM [schema.]t [WHERE …]`.
+fn parse_delete(p: &mut P) -> Result<Stmt> {
+    p.expect_kw("delete")?;
+    p.expect_kw("from")?;
+    let (schema, table) = parse_qualified_table(p)?;
+    let predicates = parse_where(p)?;
+    expect_trailing_end(p)?;
+    Ok(Stmt::Delete(DeleteStmt { schema, table, predicates }))
 }
 
 /// `CREATE TABLE [schema.]t (col type, …)`.
@@ -587,6 +649,50 @@ mod tests {
     #[test]
     fn select_through_parse_stmt() {
         assert!(matches!(parse_stmt("select a from t").unwrap(), Stmt::Select(_)));
+    }
+
+    #[test]
+    fn update_statement_forms() {
+        let Stmt::Update(u) =
+            parse_stmt("update s.t set a = 1, b = 'x' where k >= 2 and tag in ('p', 'q')").unwrap()
+        else {
+            panic!("expected UPDATE")
+        };
+        assert_eq!((u.schema.as_str(), u.table.as_str()), ("s", "t"));
+        assert_eq!(
+            u.assignments,
+            vec![("a".to_string(), Val::Int(1)), ("b".to_string(), Val::Str("x".into()))]
+        );
+        assert_eq!(u.predicates.len(), 2);
+        assert!(matches!(&u.predicates[0], Predicate::Cmp { op, .. } if op == ">="));
+        assert!(matches!(&u.predicates[1], Predicate::InList { vals, .. } if vals.len() == 2));
+        // No WHERE: every row; default schema.
+        let Stmt::Update(u) = parse_stmt("UPDATE t SET a = 2").unwrap() else { panic!() };
+        assert_eq!(u.schema, "sys");
+        assert!(u.predicates.is_empty());
+    }
+
+    #[test]
+    fn delete_statement_forms() {
+        let Stmt::Delete(d) = parse_stmt("delete from t where k between 1 and 5").unwrap() else {
+            panic!("expected DELETE")
+        };
+        assert_eq!(d.table, "t");
+        assert!(matches!(&d.predicates[0], Predicate::Between { .. }));
+        let Stmt::Delete(d) = parse_stmt("delete from mydb.logs").unwrap() else { panic!() };
+        assert_eq!((d.schema.as_str(), d.table.as_str()), ("mydb", "logs"));
+        assert!(d.predicates.is_empty());
+    }
+
+    #[test]
+    fn update_delete_errors() {
+        assert!(parse_stmt("update t").is_err(), "missing SET");
+        assert!(parse_stmt("update t set").is_err(), "empty SET");
+        assert!(parse_stmt("update t set a 1").is_err(), "missing '='");
+        assert!(parse_stmt("update t set a = 1 extra").is_err(), "trailing");
+        assert!(parse_stmt("delete t where a = 1").is_err(), "missing FROM");
+        assert!(parse_stmt("delete from t where").is_err(), "empty WHERE");
+        assert!(parse_stmt("delete from t junk").is_err(), "trailing");
     }
 
     #[test]

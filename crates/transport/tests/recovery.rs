@@ -152,3 +152,88 @@ fn sigkilled_node_recovers_its_data_and_rejoins_the_ring() {
     let rs = retry_sql(sqls[1], "select count(*) from logs", Duration::from_secs(60));
     assert_eq!(rs.cell(0, 0), Val::Lng(acked.len() as i64 + 1), "{}", rs.render());
 }
+
+/// §6.4 mutation durability: UPDATEs and DELETEs — issued from
+/// *non-owner* nodes, so they travel the ring and come back as typed
+/// acks — survive a SIGKILL of the owner. Every acknowledged mutation
+/// (not just INSERTs) must be visible ring-wide after the owner
+/// restarts from its `--data-dir`.
+#[test]
+fn sigkilled_owner_recovers_acknowledged_mutations() {
+    let ring = free_addrs(3);
+    let sqls = free_addrs(3);
+    let ring_spec = ring.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",");
+    let scratch = std::env::temp_dir().join(format!("dc_recovery_mut_{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let mut cluster = Cluster { children: Vec::new(), scratch };
+    for (i, s) in sqls.iter().enumerate() {
+        let child = spawn_node(&ring_spec, i, *s, &cluster.data_dir(i));
+        cluster.children.push(Some(child));
+    }
+    for (i, s) in sqls.iter().enumerate() {
+        wait_ready(*s, &format!("node {i}"));
+    }
+
+    sql(sqls[0], "create table acct (id int, bal int)").unwrap();
+    sql(sqls[1], ".wait acct").unwrap();
+    sql(sqls[2], ".wait acct").unwrap();
+    for k in 0..10 {
+        sql(sqls[0], &format!("insert into acct values ({k}, 0)")).unwrap();
+    }
+
+    // Mixed mutation workload from the two NON-owner nodes: each
+    // statement's ring-routed ack is the durability acknowledgement the
+    // oracle holds the revived owner to.
+    let mut bal = [0i32; 10];
+    for k in 0..6 {
+        let rs = sql(sqls[1 + k % 2], &format!("update acct set bal = {} where id = {k}", k * 7))
+            .unwrap();
+        assert_eq!(rs.affected, Some(1), "update {k}: {}", rs.render());
+        bal[k] = (k as i32) * 7;
+    }
+    let rs = sql(sqls[2], "delete from acct where id = 9").unwrap();
+    assert_eq!(rs.affected, Some(1), "{}", rs.render());
+
+    // SIGKILL the owner mid-workload, right after those acks.
+    let mut child = cluster.children[0].take().expect("node 0 running");
+    child.kill().unwrap();
+    child.wait().unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    cluster.children[0] = Some(spawn_node(&ring_spec, 0, sqls[0], &cluster.data_dir(0)));
+    wait_ready(sqls[0], "revived node 0");
+
+    // Every acknowledged mutation is visible from every node: the six
+    // rewritten balances and the deleted row, nothing else.
+    let want: Vec<(Val, Val)> = (0..9).map(|k| (Val::Int(k), Val::Int(bal[k as usize]))).collect();
+    for (i, s) in sqls.iter().enumerate() {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let rs = retry_sql(*s, "select id, bal from acct order by id", Duration::from_secs(60));
+            let got: Vec<(Val, Val)> =
+                (0..rs.row_count()).map(|r| (rs.cell(r, 0), rs.cell(r, 1))).collect();
+            if got == want {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "node {i} lost acknowledged mutations:\n{}",
+                rs.render()
+            );
+            std::thread::sleep(Duration::from_millis(200));
+        }
+    }
+
+    // The revived owner still applies routed mutations.
+    let rs = retry_sql(sqls[1], "update acct set bal = 1000 where id = 8", Duration::from_secs(60));
+    assert_eq!(rs.affected, Some(1), "{}", rs.render());
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let rs = retry_sql(sqls[2], "select bal from acct where id = 8", Duration::from_secs(60));
+        if rs.row_count() == 1 && rs.cell(0, 0) == Val::Int(1000) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "post-recovery update never visible: {}", rs.render());
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}

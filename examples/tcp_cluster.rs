@@ -88,9 +88,11 @@ fn main() {
                         node.on_bat(header)
                     }
                     // This demo drives the raw protocol; the engine-level
-                    // catalog/append machinery is exercised by the
-                    // sql_tcp_cluster example instead.
-                    DcMsg::Catalog(_) | DcMsg::Append(_) => Vec::new(),
+                    // catalog/append/mutation machinery is exercised by
+                    // the sql_tcp_cluster example instead.
+                    DcMsg::Catalog(_) | DcMsg::Append(_) | DcMsg::Mutate(_) | DcMsg::MutAck(_) => {
+                        Vec::new()
+                    }
                 };
                 let mut loaded = Vec::new();
                 for e in effects {
