@@ -22,6 +22,7 @@ use crate::ids::{BatId, NodeId, QueryId};
 use crate::msg::{AppendMsg, CatalogCol, CatalogMsg, DcMsg, MutAckMsg, MutOp, MutateMsg};
 use crate::proto::{DcNode, Effect, PinOutcome};
 use crate::runtime::{CatalogNotify, Cmd, FragInfo, RingCatalog, RingHooks, Waiter};
+use crate::stats::NodeStats;
 use crate::transport::{mem, RingTransport};
 use batstore::{ops, storage, Bat, BatStore, Catalog, Column, ResultSet, RowPredicate};
 use bytes::Bytes;
@@ -216,6 +217,38 @@ impl PayloadSlot {
     }
 }
 
+/// One routed statement awaiting its owner acknowledgement at the
+/// origin, with everything needed to resend it and to fail it loudly.
+struct PendingOp {
+    ack: Arc<Waiter<u64>>,
+    /// The exact frame to resend (ids make re-delivery idempotent at
+    /// the owner, so resending a statement that *was* applied is safe).
+    msg: DcMsg,
+    /// When the current attempt gives up and the next begins.
+    deadline: Instant,
+    /// Wait before the attempt after next (doubles each resend).
+    backoff: Duration,
+    retries_left: u32,
+    attempts: u32,
+    /// "mutation" or "append" — for stats attribution and the error.
+    what: &'static str,
+    table: String,
+}
+
+/// Entries the owner-side dedup cache retains. Old entries only matter
+/// while their origin might still resend (a few seconds); 4096 covers
+/// every plausible in-flight window at a few hundred bytes each.
+const APPLIED_CACHE_CAP: usize = 4096;
+
+/// What became of a SQL `INSERT` batch at this node: applied in place, or
+/// packaged as a ring message the caller must register for ack-tracking.
+enum AppendOutcome {
+    /// Locally owned — the batch is durable; carries the row count.
+    Applied(u64),
+    /// Foreign owner — route `msg` clockwise under statement id `id`.
+    Routed { id: u64, msg: DcMsg, table: String },
+}
+
 struct NodeCtx {
     node: DcNode,
     rx: Receiver<NodeEvent>,
@@ -235,17 +268,26 @@ struct NodeCtx {
     /// node handle and namespaced by node id so allocations on different
     /// ring members never collide.
     next_frag: Arc<AtomicU32>,
-    /// Mutations this node originated that are traveling the ring toward
-    /// a remote owner, keyed by origin-local mutation id; the owner's
-    /// [`MutAckMsg`] (or the message cycling back unowned) resolves them.
-    /// Entries whose ack was lost (owner died post-apply, send failure)
-    /// are swept once their caller's wait has long expired, so the map
-    /// cannot grow unboundedly on a long-lived node.
-    pending_muts: HashMap<u64, (Instant, Arc<Waiter<u64>>)>,
+    /// Statements this node originated that are traveling the ring
+    /// toward a remote owner (`Mutate`/`Append`), keyed by origin-local
+    /// statement id. The owner's [`MutAckMsg`] (or the message cycling
+    /// back unowned) resolves them; entries whose ack never comes are
+    /// re-sent on a backoff schedule and failed loudly once the retry
+    /// budget is spent — see [`NodeCtx::service_pending`].
+    pending_ops: HashMap<u64, PendingOp>,
     next_mut: u64,
-    /// How long an unresolved routed mutation may linger before the
-    /// sweep drops it (comfortably past the callers' ack timeout).
-    mut_ack_ttl: Duration,
+    /// How long one attempt waits for the owner's ack before resending.
+    ack_timeout: Duration,
+    /// Resends after the first attempt before the statement fails.
+    ack_retries: u32,
+    /// Owner-side idempotence: results of routed statements already
+    /// applied here, keyed `(origin, statement id)`. A re-delivered
+    /// frame (duplicate, origin retry racing a slow ack) re-sends the
+    /// cached ack instead of re-applying — on top of the §6.4 version
+    /// gate, which protects replay but not live double-apply.
+    applied_ops: HashMap<(u16, u64), Result<u64, String>>,
+    /// FIFO of `applied_ops` keys, oldest first, bounding the cache.
+    applied_order: std::collections::VecDeque<(u16, u64)>,
     /// Wakes `wait_for_table` callers when catalog state changes.
     notify: Arc<CatalogNotify>,
     /// Durable storage, when the node has a data dir.
@@ -282,10 +324,102 @@ impl NodeCtx {
             let effects = self.node.tick();
             self.execute(effects, &mut PayloadSlot::new(None));
             self.maybe_checkpoint();
-            if !self.pending_muts.is_empty() {
-                let ttl = self.mut_ack_ttl;
-                self.pending_muts.retain(|_, (since, _)| since.elapsed() < ttl);
+            self.service_pending();
+        }
+    }
+
+    /// Resend routed statements whose ack deadline passed, and fail the
+    /// ones whose retry budget is spent. Runs every loop iteration (the
+    /// `recv_timeout` tick bounds the check latency), so an origin
+    /// blocked on a dead or severed owner edge errors out within the
+    /// configured budget instead of hanging until the caller's pin
+    /// timeout.
+    fn service_pending(&mut self) {
+        if self.pending_ops.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let due: Vec<u64> =
+            self.pending_ops.iter().filter(|(_, p)| p.deadline <= now).map(|(&id, _)| id).collect();
+        for id in due {
+            let p = self.pending_ops.get_mut(&id).expect("due id present");
+            if p.retries_left > 0 {
+                p.retries_left -= 1;
+                p.attempts += 1;
+                p.deadline = now + p.backoff;
+                p.backoff *= 2;
+                self.node.stats.retries += 1;
+                // A failing resend (edge still severed) is fine: the
+                // next deadline fires again, and the budget bounds it.
+                let _ = self.transport.send_data(p.msg.clone());
+            } else {
+                let p = self.pending_ops.remove(&id).expect("due id present");
+                self.node.stats.timeouts += 1;
+                if p.what == "mutation" {
+                    self.node.stats.mutations_failed += 1;
+                }
+                p.ack.fulfill(Err(format!(
+                    "{} on {} timed out after {} attempts: no acknowledgement from the \
+                     fragment owner within the retry budget; whether it applied is unknown",
+                    p.what, p.table, p.attempts
+                )));
             }
+        }
+    }
+
+    /// Send a routed statement's first attempt and register it for
+    /// ack-tracking. A failed first send (severed edge) is absorbed: the
+    /// retry schedule re-sends it, and the budget bounds the wait.
+    fn route_op(
+        &mut self,
+        id: u64,
+        msg: DcMsg,
+        ack: Arc<Waiter<u64>>,
+        what: &'static str,
+        table: String,
+    ) {
+        let _ = self.transport.send_data(msg.clone());
+        self.pending_ops.insert(
+            id,
+            PendingOp {
+                ack,
+                msg,
+                deadline: Instant::now() + self.ack_timeout,
+                backoff: self.ack_timeout * 2,
+                retries_left: self.ack_retries,
+                attempts: 1,
+                what,
+                table,
+            },
+        );
+    }
+
+    /// Record a routed statement's result in the owner-side dedup cache.
+    fn remember_applied(&mut self, key: (u16, u64), result: Result<u64, String>) {
+        if self.applied_order.len() >= APPLIED_CACHE_CAP {
+            if let Some(old) = self.applied_order.pop_front() {
+                self.applied_ops.remove(&old);
+            }
+        }
+        self.applied_order.push_back(key);
+        self.applied_ops.insert(key, result);
+    }
+
+    /// Deliver a routed statement's result to its origin: resolved
+    /// locally when ownership moved to us mid-flight, otherwise as a
+    /// [`MutAckMsg`] clockwise. A lost ack is counted loudly, but the
+    /// origin's retry will re-deliver the statement and the dedup cache
+    /// will re-send this result.
+    fn answer_routed(&mut self, origin: NodeId, id: u64, result: Result<u64, String>) {
+        let ack = MutAckMsg { target: origin, id, result };
+        if origin == self.node.id {
+            self.finish_mutation(ack);
+        } else if let Err(e) = self.transport.send_data(DcMsg::MutAck(ack)) {
+            self.node.stats.mutation_acks_lost += 1;
+            eprintln!(
+                "[dc-node {}] statement {} applied but its ack could not be sent: {e}",
+                self.node.id, id
+            );
         }
     }
 
@@ -380,35 +514,53 @@ impl NodeCtx {
                 // message and the owner applies it atomically in this
                 // single event.
                 if a.parts.iter().any(|(bat, _)| self.node.s1.is_owner(*bat)) {
-                    self.apply_remote_append(&a);
+                    // Retried appends re-deliver the same statement id;
+                    // the dedup cache replays the first outcome instead
+                    // of growing the fragment twice.
+                    let key = (a.origin.0, a.id);
+                    let result = match self.applied_ops.get(&key) {
+                        Some(cached) => {
+                            self.node.stats.mutations_deduped += 1;
+                            cached.clone()
+                        }
+                        None => {
+                            let r = self.apply_remote_append(&a);
+                            self.remember_applied(key, r.clone());
+                            r
+                        }
+                    };
+                    self.answer_routed(a.origin, a.id, result);
                 } else if a.origin != self.node.id {
                     let _ = self.transport.send_data(DcMsg::Append(a));
                 } else {
                     // Back at the origin without finding an owner: the
-                    // fragment is gone; the append is dropped (the
-                    // §4.2.3 analog of a request circling back).
+                    // fragment is gone (the §4.2.3 analog of a request
+                    // circling back); fail the blocked INSERT loudly.
                     self.node.stats.appends_dropped += 1;
+                    self.finish_mutation(MutAckMsg {
+                        target: a.origin,
+                        id: a.id,
+                        result: Err("no owner found for the append (fragments gone?)".into()),
+                    });
                 }
             }
             DcMsg::Mutate(m) => match self.mutation_owner(&m.schema, &m.table) {
                 Ok(owner) if owner == self.node.id => {
-                    let result = self.apply_mutation(&m.schema, &m.table, &m.op, &m.preds);
-                    let ack = MutAckMsg { target: m.origin, id: m.id, result };
-                    if m.origin == self.node.id {
-                        // Ownership moved to us while the message
-                        // traveled; no ring trip needed for the ack.
-                        self.finish_mutation(ack);
-                    } else if let Err(e) = self.transport.send_data(DcMsg::MutAck(ack)) {
-                        // The mutation is applied and durable but the
-                        // origin will time out; be loud — this is the
-                        // one window where a reported-as-failed
-                        // statement actually succeeded.
-                        self.node.stats.mutation_acks_lost += 1;
-                        eprintln!(
-                            "[dc-node {}] mutation {} applied but its ack could not be sent: {e}",
-                            self.node.id, m.id
-                        );
-                    }
+                    // Same dedup as appends: a re-delivered UPDATE must
+                    // not re-apply on top of its own first application.
+                    let key = (m.origin.0, m.id);
+                    let result = match self.applied_ops.get(&key) {
+                        Some(cached) => {
+                            self.node.stats.mutations_deduped += 1;
+                            cached.clone()
+                        }
+                        None => {
+                            let r = self.apply_mutation(&m.schema, &m.table, &m.op, &m.preds);
+                            self.remember_applied(key, r.clone());
+                            r
+                        }
+                    };
+                    self.answer_routed(m.origin, m.id, result);
                 }
                 _ if m.origin == self.node.id => {
                     // Cycled the whole ring without finding an owner.
@@ -435,15 +587,17 @@ impl NodeCtx {
         }
     }
 
-    /// Resolve a routed mutation's acknowledgement to the caller blocked
-    /// on it. Unmatched ids are ignored (the waiter already timed out
-    /// and was swept).
+    /// Resolve a routed statement's acknowledgement to the caller blocked
+    /// on it. Unmatched ids are ignored without side effects — the waiter
+    /// already timed out, or a duplicate ack arrived for a statement we
+    /// settled on an earlier delivery (counting failures there would
+    /// double-book them).
     fn finish_mutation(&mut self, ack: MutAckMsg) {
-        if ack.result.is_err() {
-            self.node.stats.mutations_failed += 1;
-        }
-        if let Some((_, w)) = self.pending_muts.remove(&ack.id) {
-            w.fulfill(ack.result);
+        if let Some(p) = self.pending_ops.remove(&ack.id) {
+            if ack.result.is_err() && p.what == "mutation" {
+                self.node.stats.mutations_failed += 1;
+            }
+            p.ack.fulfill(ack.result);
         }
     }
 
@@ -463,12 +617,11 @@ impl NodeCtx {
     }
 
     /// Apply an append batch that traveled the ring to us, the fragment
-    /// owner. The whole batch applies or none of it does (a half-applied
+    /// owner, returning the row count (or the failure) for the origin's
+    /// ack. The whole batch applies or none of it does (a half-applied
     /// multi-column INSERT would leave the table ragged forever); dropped
-    /// batches are counted per part (`appends_dropped`) — the origin
-    /// already acknowledged the INSERT, so a nonzero counter is the only
-    /// trace of rows lost to decode/type races.
-    fn apply_remote_append(&mut self, a: &AppendMsg) {
+    /// batches are still counted per part (`appends_dropped`).
+    fn apply_remote_append(&mut self, a: &AppendMsg) -> Result<u64, String> {
         let decoded: Result<Vec<(BatId, Bat)>, String> = a
             .parts
             .iter()
@@ -477,12 +630,13 @@ impl NodeCtx {
             })
             .collect();
         let applied = decoded.and_then(|cols| {
+            let rows = cols.first().map(|(_, b)| b.count() as u64).unwrap_or(0);
             let parts: Vec<(BatId, &Column)> =
                 cols.iter().map(|(bat, b)| (*bat, b.tail())).collect();
-            self.append_batch(&parts)
+            self.append_batch(&parts).map(|()| rows)
         });
-        match applied {
-            Ok(()) => {
+        match &applied {
+            Ok(_) => {
                 self.node.stats.appends_applied += a.parts.len() as u64;
                 if let Some((schema, table)) =
                     a.parts.first().and_then(|(bat, _)| self.catalog.table_of(*bat))
@@ -492,6 +646,7 @@ impl NodeCtx {
             }
             Err(_) => self.node.stats.appends_dropped += a.parts.len() as u64,
         }
+        applied
     }
 
     /// Append one batch of columns to locally-owned fragments: stage and
@@ -599,7 +754,13 @@ impl NodeCtx {
                 ack.fulfill(self.create_table(&schema, &table, &cols));
             }
             Cmd::Append { schema, table, cols, ack } => {
-                ack.fulfill(self.append_table(&schema, &table, &cols));
+                match self.append_table(&schema, &table, &cols) {
+                    Ok(AppendOutcome::Applied(rows)) => ack.fulfill(Ok(rows)),
+                    Ok(AppendOutcome::Routed { id, msg, table }) => {
+                        self.route_op(id, msg, ack, "append", table);
+                    }
+                    Err(e) => ack.fulfill(Err(e)),
+                }
             }
             Cmd::Mutate { schema, table, op, preds, ack } => {
                 match self.mutation_owner(&schema, &table) {
@@ -610,24 +771,24 @@ impl NodeCtx {
                     Ok(_) => {
                         // Route the logical mutation clockwise to the
                         // owner; the ack resolves when the MutAck comes
-                        // back (or the waiter times out).
+                        // back, and the per-attempt timeout resends it
+                        // (or fails it) if the ack never does.
                         if let Err(e) = mutation_fits_wire(&op, &preds) {
                             ack.fulfill(Err(e));
                         } else {
                             let id = self.next_mut;
                             self.next_mut += 1;
+                            let table_str = format!("{schema}.{table}");
                             let msg =
                                 MutateMsg { origin: self.node.id, id, schema, table, op, preds };
-                            match self.transport.send_data(DcMsg::Mutate(msg)) {
-                                Ok(()) => {
-                                    self.pending_muts.insert(id, (Instant::now(), ack));
-                                    self.node.stats.mutations_routed += 1;
-                                }
-                                Err(e) => ack.fulfill(Err(e.to_string())),
-                            }
+                            self.node.stats.mutations_routed += 1;
+                            self.route_op(id, DcMsg::Mutate(msg), ack, "mutation", table_str);
                         }
                     }
                 }
+            }
+            Cmd::Stats { ack } => {
+                ack.fulfill(Ok(self.node.stats.clone()));
             }
             Cmd::PublishTable { table, gossip } => {
                 self.apply_catalog(&table);
@@ -697,13 +858,16 @@ impl NodeCtx {
     }
 
     /// SQL `INSERT` at this node: locally-owned fragments are appended in
-    /// place; foreign ones are routed clockwise to their owners.
+    /// place ([`AppendOutcome::Applied`]); foreign ones produce a
+    /// [`AppendOutcome::Routed`] message for the caller to register with
+    /// [`NodeCtx::route_op`] — sending is deferred so the statement gets
+    /// the same timeout/retry protection as a routed UPDATE.
     fn append_table(
         &mut self,
         schema: &str,
         table: &str,
         cols: &[(String, Column)],
-    ) -> Result<u64, String> {
+    ) -> Result<AppendOutcome, String> {
         let mut resolved = Vec::with_capacity(cols.len());
         let mut rows = None;
         for (name, vals) in cols {
@@ -741,6 +905,7 @@ impl NodeCtx {
             self.append_batch(&parts)?;
             self.node.stats.appends_applied += parts.len() as u64;
             self.readvertise_table(schema, table);
+            Ok(AppendOutcome::Applied(rows.unwrap_or(0) as u64))
         } else {
             // One message carries the whole batch so the owner applies
             // every column in a single event — concurrent INSERTs from
@@ -752,10 +917,11 @@ impl NodeCtx {
                     (info.bat, rows)
                 })
                 .collect();
-            let msg = AppendMsg { origin: self.node.id, parts };
-            self.transport.send_data(DcMsg::Append(msg)).map_err(|e| e.to_string())?;
+            let id = self.next_mut;
+            self.next_mut += 1;
+            let msg = DcMsg::Append(AppendMsg { origin: self.node.id, id, parts });
+            Ok(AppendOutcome::Routed { id, msg, table: format!("{schema}.{table}") })
         }
-        Ok(rows.unwrap_or(0) as u64)
     }
 
     /// The table's column layout as this node's replica knows it:
@@ -1044,6 +1210,15 @@ pub struct NodeOptions {
     /// memory-only; `Some` turns on write-ahead logging, background
     /// checkpointing, and recovery-on-spawn from the directory.
     pub data_dir: Option<DataDir>,
+    /// Per-attempt wait for a routed statement's owner acknowledgement
+    /// before the statement is resent. Attempts back off exponentially
+    /// from here; the whole budget (`ack_timeout * (2^(ack_retries+1)-1)`)
+    /// should stay under `pin_timeout` so the engine's classified error
+    /// reaches the caller before the generic waiter timeout does.
+    pub ack_timeout: Duration,
+    /// Resends after the first attempt before a routed statement fails
+    /// with a timeout error.
+    pub ack_retries: u32,
 }
 
 impl Default for NodeOptions {
@@ -1053,6 +1228,12 @@ impl Default for NodeOptions {
             pin_timeout: Duration::from_secs(30),
             tick_every: Duration::from_millis(5),
             data_dir: None,
+            // 1.2s × (1+2+4+8) = 18s worst case: inside the 30s
+            // pin_timeout above AND the 20s pin_timeout `dc-node`
+            // configures, so the engine's attempt-counting timeout
+            // error beats the generic waiter message everywhere.
+            ack_timeout: Duration::from_millis(1200),
+            ack_retries: 3,
         }
     }
 }
@@ -1197,9 +1378,12 @@ impl RingNode {
             cache: HashMap::new(),
             waiting: HashMap::new(),
             next_frag: Arc::clone(&next_frag),
-            pending_muts: HashMap::new(),
+            pending_ops: HashMap::new(),
             next_mut: 1,
-            mut_ack_ttl: opts.pin_timeout + Duration::from_secs(60),
+            ack_timeout: opts.ack_timeout,
+            ack_retries: opts.ack_retries,
+            applied_ops: HashMap::new(),
+            applied_order: std::collections::VecDeque::new(),
             notify: Arc::clone(&notify),
             persist,
             started: Instant::now(),
@@ -1362,6 +1546,38 @@ impl RingNode {
                 return self.meta.read().table(schema, table).is_ok();
             }
         }
+    }
+
+    /// [`RingNode::wait_for_table`] as a deadline: `Err` carries which
+    /// table never arrived and where, so a test hitting lost catalog
+    /// gossip fails in seconds with the cause named instead of timing
+    /// out minutes later on an opaque assert.
+    pub fn wait_for_table_timeout(
+        &self,
+        schema: &str,
+        table: &str,
+        timeout: Duration,
+    ) -> Result<(), DcError> {
+        if self.wait_for_table(schema, table, timeout) {
+            Ok(())
+        } else {
+            Err(DcError::Ring(format!(
+                "table {schema}.{table} never replicated to node {} within {timeout:?} — \
+                 catalog gossip lost",
+                self.id
+            )))
+        }
+    }
+
+    /// Snapshot this node's protocol counters from the event loop. The
+    /// chaos suite asserts on `retries` / `timeouts` /
+    /// `mutations_deduped` through this.
+    pub fn stats(&self) -> Result<NodeStats, DcError> {
+        let ack = Arc::new(Waiter::default());
+        self.send(Cmd::Stats { ack: Arc::clone(&ack) })
+            .map_err(|e| DcError::Ring(e.to_string()))?;
+        ack.wait_for_outcome(Duration::from_secs(10), "stats request timed out")
+            .map_err(DcError::Ring)
     }
 
     /// This node's replica of the ring-wide fragment catalog.
@@ -1763,7 +1979,7 @@ mod tests {
         let out = ring.submit_sql(0, "create table logs (k int, msg varchar(16))").unwrap();
         assert!(out.contains("created"), "{out}");
         // The DDL gossip replicates; other nodes soon compile against it.
-        assert!(ring.node(2).wait_for_table("sys", "logs", Duration::from_secs(5)));
+        ring.node(2).wait_for_table_timeout("sys", "logs", Duration::from_secs(5)).unwrap();
         let out = ring.submit_sql(0, "insert into logs values (1, 'boot'), (2, 'ready')").unwrap();
         assert!(out.contains("2 rows affected"), "{out}");
         // Owner-local read-your-writes.
@@ -1800,7 +2016,7 @@ mod tests {
     fn remote_mutation_routes_to_owner_and_acks_count() {
         let ring = demo_ring(3);
         ring.submit_sql(0, "create table kv (k int, v int)").unwrap();
-        assert!(ring.node(2).wait_for_table("sys", "kv", Duration::from_secs(5)));
+        ring.node(2).wait_for_table_timeout("sys", "kv", Duration::from_secs(5)).unwrap();
         ring.submit_sql(0, "insert into kv values (1, 10), (2, 20), (3, 30)").unwrap();
         // Node 2 owns nothing: the logical mutation travels the ring to
         // node 0, is applied there, and the ack carries the real count.
@@ -1830,7 +2046,7 @@ mod tests {
         assert!(err.to_string().contains("multiple nodes"), "{err}");
         // Type errors detected at the owner surface in the ack.
         ring.submit_sql(0, "create table typed (n int)").unwrap();
-        assert!(ring.node(1).wait_for_table("sys", "typed", Duration::from_secs(5)));
+        ring.node(1).wait_for_table_timeout("sys", "typed", Duration::from_secs(5)).unwrap();
         ring.submit_sql(0, "insert into typed values (1)").unwrap();
         let err = ring.submit_sql(1, "update typed set n = 'oops'").unwrap_err();
         assert!(err.to_string().contains("type"), "{err}");
@@ -1845,7 +2061,7 @@ mod tests {
         let ring = demo_ring(3);
         ring.submit_sql(0, "create table seq (v int)").unwrap();
         for n in 1..3 {
-            assert!(ring.node(n).wait_for_table("sys", "seq", Duration::from_secs(5)));
+            ring.node(n).wait_for_table_timeout("sys", "seq", Duration::from_secs(5)).unwrap();
         }
         ring.submit_sql(0, "insert into seq values (1), (2), (3)").unwrap();
         ring.execute(1, "update seq set v = 9 where v = 2").unwrap();
@@ -1897,6 +2113,7 @@ mod tests {
                         .fsync(crate::config::FsyncPolicy::Off)
                         .checkpoint_wal_bytes(checkpoint_bytes),
                 ),
+                ..NodeOptions::default()
             },
         )
     }
@@ -2067,7 +2284,7 @@ mod tests {
     fn remote_insert_routes_to_owner() {
         let ring = demo_ring(2);
         ring.submit_sql(0, "create table kv (k int, v int)").unwrap();
-        assert!(ring.node(1).wait_for_table("sys", "kv", Duration::from_secs(5)));
+        ring.node(1).wait_for_table_timeout("sys", "kv", Duration::from_secs(5)).unwrap();
         // Node 1 does not own the fragments: the row batch travels the
         // ring to node 0 and is applied there (§6.4), asynchronously.
         let out = ring.submit_sql(1, "insert into kv values (7, 70)").unwrap();

@@ -68,5 +68,6 @@ pub use ids::{BatId, NodeId, QueryId};
 pub use loi::{new_loi, LoitLadder};
 pub use msg::{decode, encode, AppendMsg, BatHeader, CatalogCol, CatalogMsg, DcMsg, ReqMsg};
 pub use proto::{DcNode, Effect, PinOutcome};
-pub use stats::NodeStats;
+pub use stats::{FaultStats, NodeStats};
+pub use transport::fault::{Edge, FaultEvent, FaultPlan, FaultTransport};
 pub use transport::{RingTransport, TransportError};

@@ -155,12 +155,16 @@ pub struct MutAckMsg {
 /// part pairs a fragment id with a serialized BAT of its new tail
 /// values; all parts of one message share an owner, which applies the
 /// whole batch in a single event so multi-column INSERTs stay atomic
-/// even when appends from several nodes interleave on the ring. If the
-/// message returns to its origin the owner is gone and the append is
-/// dropped.
+/// even when appends from several nodes interleave on the ring. `id` is
+/// origin-local (the same statement-id space as [`MutateMsg`]): the
+/// owner answers with a [`MutAckMsg`] carrying it, so the origin can
+/// retry a lost append and the owner can suppress a re-delivered one.
+/// If the message returns to its origin the owner is gone and the
+/// origin fails the statement.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AppendMsg {
     pub origin: NodeId,
+    pub id: u64,
     pub parts: Vec<(BatId, Bytes)>,
 }
 
@@ -207,7 +211,7 @@ impl DcMsg {
             DcMsg::Request(_) => REQUEST_WIRE_BYTES,
             DcMsg::Catalog(c) => c.wire_size(),
             DcMsg::Append(a) => {
-                16 + a.parts.iter().map(|(_, rows)| 12 + rows.len() as u64).sum::<u64>()
+                24 + a.parts.iter().map(|(_, rows)| 12 + rows.len() as u64).sum::<u64>()
             }
             DcMsg::Mutate(m) => {
                 let assigns = match &m.op {
@@ -459,6 +463,7 @@ pub fn encode(msg: &DcMsg) -> Bytes {
             let mut b = BytesMut::with_capacity(msg.wire_size() as usize + 8);
             b.put_u8(TAG_APPEND);
             b.put_u16_le(a.origin.0);
+            b.put_u64_le(a.id);
             let nparts = a.parts.len().min(u16::MAX as usize);
             b.put_u16_le(nparts as u16);
             for (bat, rows) in a.parts.iter().take(nparts) {
@@ -566,7 +571,7 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
                 return Err("truncated catalog column count".into());
             }
             let n = buf.get_u16_le() as usize;
-            let mut columns = Vec::with_capacity(n);
+            let mut columns = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
                 let name = get_str(&mut buf)?;
                 if buf.remaining() < 19 {
@@ -586,12 +591,13 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
             Ok(DcMsg::Catalog(CatalogMsg { origin, schema, table, columns }))
         }
         TAG_APPEND => {
-            if buf.remaining() < 4 {
+            if buf.remaining() < 12 {
                 return Err("truncated append header".into());
             }
             let origin = NodeId(buf.get_u16_le());
+            let id = buf.get_u64_le();
             let nparts = buf.get_u16_le() as usize;
-            let mut parts = Vec::with_capacity(nparts);
+            let mut parts = Vec::with_capacity(nparts.min(1024));
             for _ in 0..nparts {
                 if buf.remaining() < 12 {
                     return Err("truncated append part header".into());
@@ -607,7 +613,7 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
                 parts.push((bat, Bytes::copy_from_slice(&buf[..len])));
                 buf.advance(len);
             }
-            Ok(DcMsg::Append(AppendMsg { origin, parts }))
+            Ok(DcMsg::Append(AppendMsg { origin, id, parts }))
         }
         TAG_MUTATE => {
             if buf.remaining() < 10 {
@@ -784,6 +790,7 @@ mod tests {
     fn append_round_trip_and_truncation() {
         let m = DcMsg::Append(AppendMsg {
             origin: NodeId(3),
+            id: 42,
             parts: vec![
                 (BatId(9), Bytes::from_static(b"col-k-batch")),
                 (BatId(10), Bytes::from_static(b"col-v")),
@@ -794,7 +801,7 @@ mod tests {
         for cut in [2, 5, 10, enc.len() - 1] {
             assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
         }
-        assert!(m.wire_size() >= 16 + 11 + 5);
+        assert!(m.wire_size() >= 24 + 11 + 5);
     }
 
     fn mutate_msg() -> DcMsg {

@@ -7,6 +7,7 @@
 
 use crate::ids::{BatId, NodeId, QueryId};
 use crate::msg::{CatalogMsg, MutOp};
+use crate::stats::NodeStats;
 use batstore::{Bat, ColType, Column, RowPredicate, Val};
 use crossbeam::channel::Sender;
 use mal::{DcHooks, MalError};
@@ -222,6 +223,10 @@ pub enum Cmd {
     /// Publish externally-assembled table metadata into this node's
     /// catalogs (driver-side loads); optionally gossip it clockwise.
     PublishTable { table: CatalogMsg, gossip: bool },
+    /// Snapshot this node's protocol counters (tests and monitoring
+    /// observe retries/timeouts/dedups through this, not by reaching
+    /// into the event loop).
+    Stats { ack: Arc<Waiter<NodeStats>> },
     /// Stop the event loop.
     Shutdown,
 }

@@ -6,6 +6,7 @@
 use crate::ids::BatId;
 use netsim::SimDuration;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 #[derive(Default, Clone, Debug)]
 pub struct NodeStats {
@@ -58,6 +59,17 @@ pub struct NodeStats {
     /// acknowledgement could not be sent back to the origin — the origin
     /// times out and reports failure for a statement that succeeded.
     pub mutation_acks_lost: u64,
+    /// Routed mutations/appends re-delivered to this owner (duplicate
+    /// frames, origin-side retries) and suppressed by the idempotent
+    /// dedup cache: the cached ack was re-sent instead of re-applying.
+    pub mutations_deduped: u64,
+    /// Routed Mutate/Append messages this origin re-sent because the
+    /// owner's acknowledgement did not arrive within the ack timeout
+    /// (or the send itself failed on a severed edge).
+    pub retries: u64,
+    /// Routed Mutate/Append statements failed loudly at this origin
+    /// after the whole retry budget elapsed without an acknowledgement.
+    pub timeouts: u64,
     /// Queries errored out (nonexistent BAT).
     pub query_errors: u64,
     /// WAL records logged ahead of durable mutations (dc-persist).
@@ -111,6 +123,9 @@ impl NodeStats {
         self.mutations_routed += other.mutations_routed;
         self.mutations_failed += other.mutations_failed;
         self.mutation_acks_lost += other.mutation_acks_lost;
+        self.mutations_deduped += other.mutations_deduped;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
         self.query_errors += other.query_errors;
         self.wal_records += other.wal_records;
         self.wal_bytes += other.wal_bytes;
@@ -125,6 +140,49 @@ impl NodeStats {
         }
         self.latency_sum = self.latency_sum + other.latency_sum;
         self.latency_count += other.latency_count;
+    }
+}
+
+/// Counters for every fault the [`crate::transport::fault`] fabric
+/// injects. Shared (`Arc`) between the wrapper, its delivery thread, and
+/// the test observing the run; atomics because injection happens on
+/// whatever thread calls `send_*`.
+#[derive(Default, Debug)]
+pub struct FaultStats {
+    /// Messages swallowed (drop-next-N or the seeded drop plan).
+    pub drops: AtomicU64,
+    /// Messages delivered twice.
+    pub duplicates: AtomicU64,
+    /// Messages held back by a stall window before delivery.
+    pub stalls: AtomicU64,
+    /// Sends refused with `TransportError::Disconnected` on a severed
+    /// edge.
+    pub severed_sends: AtomicU64,
+}
+
+impl FaultStats {
+    /// Total faults injected across all classes.
+    pub fn faults_injected(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+            + self.duplicates.load(Ordering::Relaxed)
+            + self.stalls.load(Ordering::Relaxed)
+            + self.severed_sends.load(Ordering::Relaxed)
+    }
+
+    pub fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates.load(Ordering::Relaxed)
+    }
+
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+
+    pub fn severed_sends(&self) -> u64 {
+        self.severed_sends.load(Ordering::Relaxed)
     }
 }
 
@@ -152,11 +210,23 @@ mod tests {
     fn merge_takes_maxima_and_sums() {
         let mut a = NodeStats { requests_dispatched: 3, ..NodeStats::default() };
         a.record_request_latency(BatId(1), SimDuration::from_millis(10));
-        let mut b = NodeStats { requests_dispatched: 4, ..NodeStats::default() };
+        let mut b =
+            NodeStats { requests_dispatched: 4, retries: 2, timeouts: 1, ..NodeStats::default() };
         b.record_request_latency(BatId(1), SimDuration::from_millis(30));
         a.merge(&b);
         assert_eq!(a.requests_dispatched, 7);
+        assert_eq!((a.retries, a.timeouts), (2, 1));
         assert_eq!(a.max_request_latency[&BatId(1)], SimDuration::from_millis(30));
         assert_eq!(a.latency_count, 2);
+    }
+
+    #[test]
+    fn fault_stats_totals() {
+        let f = FaultStats::default();
+        f.drops.fetch_add(2, Ordering::Relaxed);
+        f.duplicates.fetch_add(1, Ordering::Relaxed);
+        f.severed_sends.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(f.faults_injected(), 6);
+        assert_eq!((f.drops(), f.duplicates(), f.stalls(), f.severed_sends()), (2, 1, 0, 3));
     }
 }

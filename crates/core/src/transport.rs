@@ -17,8 +17,13 @@
 //! * `dc_transport::tcp` — a real TCP ring with length-prefixed frames,
 //!   dropped into [`crate::engine::RingNode`] for multi-process
 //!   deployments.
+//!
+//! A third implementation, [`fault::FaultTransport`], wraps either
+//! fabric and injects seeded, deterministic faults for the chaos suite.
 
 use crate::msg::DcMsg;
+
+pub mod fault;
 
 /// A node's view of the ring fabric.
 pub trait RingTransport: Send + Sync {

@@ -95,11 +95,9 @@ pub fn handle_conn(mut conn: TcpStream, node: &RingNode) -> io::Result<()> {
         // created table reaches this node (scripting aid).
         let reply = if let Some(table) = stmt.strip_prefix(".wait ") {
             let table = table.trim();
-            if node.wait_for_table("sys", table, Duration::from_secs(10)) {
-                Ok(datacyclotron::ResultSet::with_info("ok\n"))
-            } else {
-                Err((ErrorKind::Ring, format!("table sys.{table} never replicated")))
-            }
+            node.wait_for_table_timeout("sys", table, Duration::from_secs(10))
+                .map(|()| datacyclotron::ResultSet::with_info("ok\n"))
+                .map_err(|e| (ErrorKind::Ring, e.to_string()))
         } else {
             node.execute(stmt).map_err(|e| (error_kind(&e), e.to_string()))
         };

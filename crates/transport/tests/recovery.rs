@@ -3,18 +3,19 @@
 //! restart from the same `--data-dir`. Every acknowledged INSERT must be
 //! visible to SELECTs from every surviving and revived member.
 
-use dc_client::{Client, ResultSet, Val};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+// The workspace-level shared harness (also used by the concurrency and
+// chaos suites in the umbrella crate's `tests/`).
+#[path = "../../../tests/support/mod.rs"]
+mod support;
+
+use dc_client::Val;
+use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
+use support::{free_addrs, retry_sql, sql, wait_ready};
 
 const BIN: &str = env!("CARGO_BIN_EXE_dc-node");
-
-fn free_addrs(n: usize) -> Vec<SocketAddr> {
-    let ls: Vec<TcpListener> = (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
-    ls.iter().map(|l| l.local_addr().unwrap()).collect()
-}
 
 fn spawn_node(ring_spec: &str, me: usize, sql: SocketAddr, data_dir: &Path) -> Child {
     Command::new(BIN)
@@ -35,40 +36,6 @@ fn spawn_node(ring_spec: &str, me: usize, sql: SocketAddr, data_dir: &Path) -> C
         .stderr(Stdio::null())
         .spawn()
         .expect("spawn dc-node")
-}
-
-/// One statement over a fresh framed-protocol connection (each call
-/// proves the target node is accepting and answering sessions).
-fn sql(addr: SocketAddr, stmt: &str) -> Result<ResultSet, String> {
-    let mut session = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    session.set_read_timeout(Some(Duration::from_secs(30))).ok();
-    session.query(stmt).map_err(|e| e.to_string())
-}
-
-fn wait_ready(addr: SocketAddr, what: &str) {
-    let deadline = Instant::now() + Duration::from_secs(30);
-    loop {
-        if TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_ok() {
-            return;
-        }
-        assert!(Instant::now() < deadline, "{what} never began serving SQL on {addr}");
-        std::thread::sleep(Duration::from_millis(50));
-    }
-}
-
-/// Queries keep failing while the ring re-settles around a revived
-/// member; retry until the window closes.
-fn retry_sql(addr: SocketAddr, stmt: &str, window: Duration) -> ResultSet {
-    let deadline = Instant::now() + window;
-    loop {
-        match sql(addr, stmt) {
-            Ok(rs) => return rs,
-            Err(e) => {
-                assert!(Instant::now() < deadline, "`{stmt}` on {addr} kept failing: {e}");
-                std::thread::sleep(Duration::from_millis(100));
-            }
-        }
-    }
 }
 
 /// Owns the node processes and the scratch dir; kills and scrubs both

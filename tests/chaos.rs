@@ -1,0 +1,341 @@
+//! Seeded chaos acceptance: a 3-node ring where every node's transport
+//! is wrapped in a [`FaultTransport`] injecting deterministic faults —
+//! drops, duplicates, stalls, severed edges, scripted partitions — while
+//! the engine's hardening (bounded ack timeouts, backoff retries,
+//! owner-side idempotent dedup) keeps acknowledged statements exactly
+//! right.
+//!
+//! Every scenario is seeded and reproducible: the seed is printed at the
+//! start of each run, so a failure names the world it happened in. The
+//! scenarios close with the same ring-wide consistency oracle the
+//! concurrency suite uses (`tests/support/`): catalog replicas converge
+//! and the acknowledged final state is visible from every node.
+//!
+//! The `#[ignore]`d soak runs the random mix under a fresh (or
+//! `CHAOS_SEED`-pinned) seed: `cargo test --test chaos -- --ignored`.
+
+mod support;
+
+use batstore::Val;
+use datacyclotron::transport::mem;
+use datacyclotron::{
+    DcConfig, DcError, Edge, FaultEvent, FaultPlan, FaultTransport, NodeId, NodeOptions, RingNode,
+    RingTransport,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-attempt ack wait under chaos; with 4 retries the whole budget is
+/// 250ms × (1+2+4+8+16) = 7.75s, well inside the 30s pin timeout.
+const ACK_TIMEOUT: Duration = Duration::from_millis(250);
+const ACK_RETRIES: u32 = 4;
+
+struct ChaosRing {
+    nodes: Vec<Arc<RingNode>>,
+    faults: Vec<Arc<FaultTransport>>,
+}
+
+/// A 3-node in-process ring with a fault wrapper on every node's
+/// transport. `plan_of(node_seed)` builds each node's plan from a seed
+/// derived deterministically from the run seed.
+fn chaos_ring(seed: u64, plan_of: impl Fn(u64) -> FaultPlan) -> ChaosRing {
+    eprintln!("chaos seed: {seed:#x}");
+    let mut nodes = Vec::new();
+    let mut faults = Vec::new();
+    for (i, inner) in mem::ring(3).into_iter().enumerate() {
+        let node_seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+        let ft = Arc::new(FaultTransport::new(Arc::new(inner), plan_of(node_seed)));
+        faults.push(Arc::clone(&ft));
+        let opts = NodeOptions {
+            cfg: DcConfig {
+                load_interval: netsim::SimDuration::from_millis(5),
+                resend_timeout: netsim::SimDuration::from_millis(200),
+                ..DcConfig::default()
+            },
+            pin_timeout: Duration::from_secs(30),
+            tick_every: Duration::from_millis(2),
+            ack_timeout: ACK_TIMEOUT,
+            ack_retries: ACK_RETRIES,
+            ..NodeOptions::default()
+        };
+        nodes.push(Arc::new(RingNode::spawn(NodeId(i as u16), ft as Arc<dyn RingTransport>, opts)));
+    }
+    ChaosRing { nodes, faults }
+}
+
+impl ChaosRing {
+    fn set_chaos(&self, on: bool) {
+        for f in &self.faults {
+            f.set_chaos(on);
+        }
+    }
+
+    /// Create `acct` on node 0 (the owner) with the wrappers calmed, so
+    /// lost DDL gossip can't masquerade as a workload failure, and let
+    /// the initial traffic settle.
+    fn setup_acct(&self) {
+        self.set_chaos(false);
+        self.nodes[0].execute("create table acct (id int, bal int)").unwrap();
+        for n in &self.nodes {
+            n.wait_for_table_timeout("sys", "acct", Duration::from_secs(10)).unwrap();
+        }
+        self.set_chaos(true);
+    }
+
+    /// Poll until every node answers `sql` with exactly `want` rows of
+    /// `(id, bal)` — acknowledged state must become visible ring-wide.
+    fn await_rows(&self, sql: &str, want: &[(i32, i32)], window: Duration) {
+        for (i, n) in self.nodes.iter().enumerate() {
+            let deadline = Instant::now() + window;
+            loop {
+                let got: Option<Vec<(i32, i32)>> = n.execute(sql).ok().map(|rs| {
+                    (0..rs.row_count())
+                        .map(|r| match (rs.cell(r, 0), rs.cell(r, 1)) {
+                            (Val::Int(id), Val::Int(bal)) => (id, bal),
+                            other => panic!("node {i}: unexpected cell types {other:?}"),
+                        })
+                        .collect()
+                });
+                if got.as_deref() == Some(want) {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "node {i} never converged on `{sql}`: got {got:?}, want {want:?}"
+                );
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Let in-flight gossip from setup finish its ring cycle, so explicit
+/// drop/duplicate counters hit the message the scenario aims at.
+fn settle() {
+    std::thread::sleep(Duration::from_millis(300));
+}
+
+/// Fault class 1 — drop: a routed mutation whose frames are swallowed is
+/// retried by the origin until the owner's ack comes back, and it
+/// applies exactly once.
+#[test]
+fn dropped_mutation_is_retried_and_applies_once() {
+    let ring = chaos_ring(0xD201, FaultPlan::quiet);
+    ring.setup_acct();
+    let rs = ring.nodes[0].execute("insert into acct values (1, 0)").unwrap();
+    assert_eq!(rs.affected, Some(1));
+    settle();
+
+    // Swallow the next two sends on the origin's data edge: the first
+    // attempt and (at least) one retry.
+    ring.faults[1].drop_next(Edge::Data, 2);
+    let rs = ring.nodes[1].execute("update acct set bal = 7 where id = 1").unwrap();
+    assert_eq!(rs.affected, Some(1), "retried mutation must ack exactly one row");
+
+    let stats = ring.nodes[1].stats().unwrap();
+    assert!(stats.retries >= 1, "origin never retried: {stats:?}");
+    assert!(ring.faults[1].stats().drops() >= 1, "no drop was injected");
+    ring.await_rows("select id, bal from acct order by id", &[(1, 7)], Duration::from_secs(20));
+}
+
+/// Fault class 2 — stall: a held edge delays delivery (the statement
+/// blocks, then succeeds) and the retries that pile up behind the stall
+/// are deduplicated at the owner; order survives.
+#[test]
+fn stalled_edge_delays_but_dedup_keeps_state_exact() {
+    let ring = chaos_ring(0xD202, FaultPlan::quiet);
+    ring.setup_acct();
+    let rs = ring.nodes[0].execute("insert into acct values (1, 0)").unwrap();
+    assert_eq!(rs.affected, Some(1));
+    settle();
+
+    ring.faults[1].stall(Edge::Data, Duration::from_millis(600));
+    let t0 = Instant::now();
+    let rs = ring.nodes[1].execute("update acct set bal = 5 where id = 1").unwrap();
+    assert_eq!(rs.affected, Some(1));
+    assert!(
+        t0.elapsed() >= Duration::from_millis(400),
+        "stall did not delay the ack: {:?}",
+        t0.elapsed()
+    );
+    assert!(ring.faults[1].stats().stalls() >= 1, "no stall was injected");
+    // The 250ms retry fired into the 600ms stall, so the owner saw the
+    // statement at least twice and must have deduplicated the replay.
+    let owner = ring.nodes[0].stats().unwrap();
+    assert!(owner.mutations_deduped >= 1, "owner never deduplicated: {owner:?}");
+
+    // A follow-up mutation lands after the stalled batch: final state is
+    // the *second* write, i.e. order was preserved.
+    let rs = ring.nodes[1].execute("update acct set bal = 9 where id = 1").unwrap();
+    assert_eq!(rs.affected, Some(1));
+    ring.await_rows("select id, bal from acct order by id", &[(1, 9)], Duration::from_secs(20));
+}
+
+/// Fault class 3 — duplicate: a routed INSERT delivered twice must not
+/// append twice; the owner's statement-id dedup replays the first
+/// outcome instead.
+#[test]
+fn duplicated_append_applies_once() {
+    let ring = chaos_ring(0xD203, FaultPlan::quiet);
+    ring.setup_acct();
+    settle();
+
+    ring.faults[1].duplicate_next(Edge::Data, 1);
+    let rs = ring.nodes[1].execute("insert into acct values (10, 3)").unwrap();
+    assert_eq!(rs.affected, Some(1));
+
+    assert_eq!(ring.faults[1].stats().duplicates(), 1, "no duplicate was injected");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let owner = ring.nodes[0].stats().unwrap();
+        if owner.mutations_deduped >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "owner never saw (and deduplicated) the duplicate: {owner:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Exactly one row — a double-applied append would show two.
+    ring.await_rows("select id, bal from acct order by id", &[(10, 3)], Duration::from_secs(20));
+}
+
+/// Fault class 4 — sever: a routed mutation whose owner edge is severed
+/// returns a *classified* error within the retry budget (no hang), and
+/// once the edge heals the ring converges again. This is the acceptance
+/// criterion for the engine hardening.
+#[test]
+fn severed_owner_edge_fails_fast_and_heals() {
+    let ring = chaos_ring(0xD204, FaultPlan::quiet);
+    ring.setup_acct();
+    let rs = ring.nodes[0].execute("insert into acct values (1, 0)").unwrap();
+    assert_eq!(rs.affected, Some(1));
+    settle();
+
+    ring.faults[1].sever(Edge::Data);
+    let t0 = Instant::now();
+    let err = ring.nodes[1]
+        .execute("update acct set bal = 3 where id = 1")
+        .expect_err("mutation across a severed edge cannot succeed");
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(15),
+        "severed-edge mutation hung for {elapsed:?} instead of failing inside the retry budget"
+    );
+    assert!(matches!(err, DcError::Ring(_)), "expected a ring-classified error, got {err:?}");
+    assert!(err.message().contains("timed out"), "unhelpful error: {err}");
+    let stats = ring.nodes[1].stats().unwrap();
+    assert!(stats.timeouts >= 1, "timeout not counted: {stats:?}");
+    assert!(stats.retries >= 1, "retries not counted: {stats:?}");
+    assert!(ring.faults[1].stats().severed_sends() >= 1, "sever never bit a send");
+
+    // Heal and re-issue: the statement succeeds and the ring converges.
+    ring.faults[1].heal(Edge::Data);
+    let rs = ring.nodes[1].execute("update acct set bal = 3 where id = 1").unwrap();
+    assert_eq!(rs.affected, Some(1));
+    ring.await_rows("select id, bal from acct order by id", &[(1, 3)], Duration::from_secs(20));
+    support::await_catalog_convergence(&ring.nodes, Duration::from_secs(20));
+}
+
+/// Fault class 5 — scripted partition: the data edge severs at +0ms and
+/// heals at +1200ms on a schedule inside the wrapper. A mutation issued
+/// during the partition rides the retry backoff across the heal and
+/// succeeds without the caller doing anything.
+#[test]
+fn scripted_partition_heals_inside_the_retry_budget() {
+    let ring = chaos_ring(0xD205, FaultPlan::quiet);
+    ring.setup_acct();
+    let rs = ring.nodes[0].execute("insert into acct values (1, 0)").unwrap();
+    assert_eq!(rs.affected, Some(1));
+    settle();
+
+    ring.faults[1].script_at(Duration::ZERO, FaultEvent::Sever(Edge::Data));
+    ring.faults[1].script_at(Duration::from_millis(1200), FaultEvent::Heal(Edge::Data));
+    let t0 = Instant::now();
+    let rs = ring.nodes[1].execute("update acct set bal = 4 where id = 1").unwrap();
+    assert_eq!(rs.affected, Some(1), "mutation must survive the scripted partition");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(1000),
+        "partition did not delay the statement: {:?}",
+        t0.elapsed()
+    );
+    let stats = ring.nodes[1].stats().unwrap();
+    assert!(stats.retries >= 1, "no retry crossed the partition: {stats:?}");
+    assert!(ring.faults[1].stats().severed_sends() >= 1, "partition never bit a send");
+    ring.await_rows("select id, bal from acct order by id", &[(1, 4)], Duration::from_secs(20));
+}
+
+/// The seeded mix: every node's wrapper rolls drops, duplicates, and
+/// stalls from its own deterministic RNG while framed clients run the
+/// concurrency suite's mixed workload. Each pinned seed must converge to
+/// the exact acknowledged state on every node.
+fn run_seeded_mix(seed: u64, clients: usize, keys: usize) {
+    let plan = |node_seed: u64| FaultPlan {
+        seed: node_seed,
+        drop_p: 0.01,
+        dup_p: 0.03,
+        stall_p: 0.02,
+        stall_for: Duration::from_millis(25),
+    };
+    let ring = chaos_ring(seed, plan);
+    let sql_addrs = support::spawn_sql_front(&ring.nodes);
+
+    // Schema setup under calm (its gossip is not the subject under test).
+    ring.set_chaos(false);
+    support::sql(sql_addrs[0], "create table acct (id int, bal int)").unwrap();
+    for addr in &sql_addrs {
+        support::sql(*addr, ".wait acct").unwrap();
+    }
+    ring.set_chaos(true);
+
+    let mut joins = Vec::new();
+    for cid in 0..clients {
+        let addr = sql_addrs[cid % sql_addrs.len()];
+        joins.push(std::thread::spawn(move || support::client_script(addr, cid, keys)));
+    }
+    for j in joins {
+        j.join().expect("client thread panicked under chaos");
+    }
+
+    let injected: u64 = ring.faults.iter().map(|f| f.stats().faults_injected()).sum();
+    eprintln!("seed {seed:#x}: {injected} faults injected across the ring");
+
+    // Calm the wrappers and nudge one re-advertisement so a fault that
+    // swallowed the workload's *last* catalog gossip cannot wedge the
+    // convergence oracle. Key 0 survives the script with bal = 0, so
+    // this settling write does not perturb the expected final state.
+    ring.set_chaos(false);
+    let rs = support::sql(sql_addrs[0], "update acct set bal = 0 where id = 0").unwrap();
+    assert_eq!(rs.affected, Some(1), "settling write");
+
+    support::await_catalog_convergence(&ring.nodes, Duration::from_secs(30));
+    let want = support::expected_rows(clients, keys);
+    support::assert_final_state(&sql_addrs, &want, Duration::from_secs(60));
+}
+
+/// Pinned seeds, run in CI: three different deterministic fault
+/// sequences over the full mixed workload.
+#[test]
+fn seeded_random_mix_converges_under_pinned_seeds() {
+    for seed in [0xDC07, 7, 42] {
+        run_seeded_mix(seed, 3, 6);
+    }
+}
+
+/// Randomized soak: a fresh seed per run (pin one with `CHAOS_SEED=n`),
+/// printed so any failure is replayable. Minutes, not seconds:
+/// `cargo test --test chaos -- --ignored`.
+#[test]
+#[ignore = "randomized soak: run with --ignored"]
+fn chaos_soak_randomized() {
+    let seed = match std::env::var("CHAOS_SEED") {
+        Ok(s) => s.parse().expect("CHAOS_SEED must be a u64"),
+        Err(_) => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock before epoch")
+            .as_nanos() as u64,
+    };
+    eprintln!("soak seed: {seed:#x} (replay with CHAOS_SEED={seed})");
+    run_seeded_mix(seed, 6, 20);
+}

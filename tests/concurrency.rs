@@ -16,160 +16,19 @@
 //! concurrent distributed evaluation breeds (Beame et al.; Ameloot et
 //! al.).
 //!
+//! The cluster spawners, workload scripts, and oracles live in
+//! `tests/support/` and are shared with the chaos and recovery suites.
+//!
 //! The `#[ignore]`d soak variant runs the same oracle over a larger
 //! fleet for longer: `cargo test --test concurrency -- --ignored`.
 
-use batstore::Val;
-use datacyclotron::{DcConfig, NodeId, NodeOptions, RingNode, RingTransport};
+mod support;
+
 use dc_client::Client;
-use dc_transport::tcp::join_ring;
-use std::net::{SocketAddr, TcpListener};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-fn free_addrs(n: usize) -> Vec<SocketAddr> {
-    let ls: Vec<TcpListener> = (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
-    ls.iter().map(|l| l.local_addr().unwrap()).collect()
-}
-
-/// A 3-node TCP ring with a framed SQL endpoint in front of every node —
-/// the same shape `dc-node serve` deploys, in one process.
-struct Cluster {
-    nodes: Vec<Arc<RingNode>>,
-    sql_addrs: Vec<SocketAddr>,
-}
-
-fn spawn_cluster(n: usize) -> Cluster {
-    let addrs = free_addrs(n);
-    let mut joins = Vec::new();
-    for me in 0..n {
-        let addrs = addrs.clone();
-        joins.push(std::thread::spawn(move || {
-            let transport = Arc::new(join_ring(&addrs, me).unwrap()) as Arc<dyn RingTransport>;
-            let opts = NodeOptions {
-                cfg: DcConfig {
-                    load_interval: netsim::SimDuration::from_millis(5),
-                    resend_timeout: netsim::SimDuration::from_millis(500),
-                    ..DcConfig::default()
-                },
-                pin_timeout: Duration::from_secs(30),
-                ..NodeOptions::default()
-            };
-            RingNode::spawn(NodeId(me as u16), transport, opts)
-        }));
-    }
-    let nodes: Vec<Arc<RingNode>> =
-        joins.into_iter().map(|j| Arc::new(j.join().unwrap())).collect();
-    let mut sql_addrs = Vec::new();
-    for node in &nodes {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        sql_addrs.push(listener.local_addr().unwrap());
-        dc_transport::sqlserve::spawn_sql_server(listener, Arc::clone(node));
-    }
-    Cluster { nodes, sql_addrs }
-}
-
-/// One client's deterministic script over its private key range
-/// `[cid*1000, cid*1000 + keys)`. Every statement's affected-row count
-/// is asserted at acknowledgement time; SELECTs ride along to keep read
-/// traffic (ring pins) interleaved with the mutations.
-fn client_script(addr: SocketAddr, cid: usize, keys: usize) {
-    let mut session = Client::connect(addr).unwrap_or_else(|e| panic!("client {cid}: {e}"));
-    session.set_read_timeout(Some(Duration::from_secs(60))).ok();
-    let q = |s: &mut dc_client::Session, sql: &str| {
-        s.query(sql).unwrap_or_else(|e| panic!("client {cid}: `{sql}`: {e}"))
-    };
-    for k in 0..keys {
-        let id = cid * 1000 + k;
-        let rs = q(&mut session, &format!("insert into acct values ({id}, 0)"));
-        assert_eq!(rs.affected, Some(1), "client {cid}: insert {id}");
-        // The UPDATE follows its INSERT clockwise along the same path,
-        // so the owner applies them in order and the ack must say 1 —
-        // for every client, including the ones on non-owner nodes.
-        let rs = q(&mut session, &format!("update acct set bal = {} where id = {id}", id * 2));
-        assert_eq!(rs.affected, Some(1), "client {cid}: update {id}");
-        if k % 2 == 1 {
-            let rs = q(&mut session, &format!("delete from acct where id = {id}"));
-            assert_eq!(rs.affected, Some(1), "client {cid}: delete {id}");
-        }
-        if k % 4 == 0 {
-            // Read traffic between mutations; the count is a moving
-            // target under concurrency, so only success is asserted.
-            q(&mut session, "select count(*) from acct");
-        }
-    }
-    // A whole-range no-op mutation: predicates that miss must ack zero.
-    let lo = cid * 1000 + keys;
-    let rs = q(&mut session, &format!("delete from acct where id between {lo} and {}", lo + 99));
-    assert_eq!(rs.affected, Some(0), "client {cid}: phantom delete");
-}
-
-/// Survivors of one client's script: even keys, bal = 2·id.
-fn expected_rows(clients: usize, keys: usize) -> Vec<(i32, i32)> {
-    let mut rows = Vec::new();
-    for cid in 0..clients {
-        for k in (0..keys).step_by(2) {
-            let id = (cid * 1000 + k) as i32;
-            rows.push((id, id * 2));
-        }
-    }
-    rows.sort_unstable();
-    rows
-}
-
-/// Oracle 2: every node's catalog replica holds the identical
-/// (size, version) view of each `acct` column, with versions advanced
-/// past zero by the workload's §6.4 bumps.
-fn catalogs_converged(nodes: &[Arc<RingNode>]) -> Result<(), String> {
-    for col in ["id", "bal"] {
-        let views: Vec<Option<(u64, u32)>> = nodes
-            .iter()
-            .map(|n| n.ring_catalog().lookup("sys", "acct", col).map(|f| (f.size, f.version)))
-            .collect();
-        let first = views[0];
-        match first {
-            Some((_, version)) if version > 0 => {}
-            other => return Err(format!("column {col}: owner view not mutated: {other:?}")),
-        }
-        if views.iter().any(|v| *v != first) {
-            return Err(format!("column {col}: replicas diverge: {views:?}"));
-        }
-    }
-    Ok(())
-}
-
-/// Oracle 3: the deterministic final state, read through a fresh framed
-/// connection per node (stale circulating copies settle within a few
-/// ring cycles, so poll until the deadline).
-fn assert_final_state(cluster: &Cluster, want: &[(i32, i32)], window: Duration) {
-    for (i, addr) in cluster.sql_addrs.iter().enumerate() {
-        let deadline = Instant::now() + window;
-        loop {
-            let mut session = Client::connect(*addr).unwrap();
-            session.set_read_timeout(Some(Duration::from_secs(60))).ok();
-            let rs = session.query("select id, bal from acct order by id").unwrap();
-            let got: Vec<(i32, i32)> = (0..rs.row_count())
-                .map(|r| match (rs.cell(r, 0), rs.cell(r, 1)) {
-                    (Val::Int(id), Val::Int(bal)) => (id, bal),
-                    other => panic!("node {i}: unexpected cell types {other:?}"),
-                })
-                .collect();
-            if got == want {
-                break;
-            }
-            assert!(
-                Instant::now() < deadline,
-                "node {i} never converged: got {} rows, want {}",
-                got.len(),
-                want.len()
-            );
-            std::thread::sleep(Duration::from_millis(100));
-        }
-    }
-}
+use std::time::Duration;
 
 fn run_mixed_workload(clients_per_node: usize, keys: usize) {
-    let cluster = spawn_cluster(3);
+    let cluster = support::spawn_tcp_cluster(3);
 
     // DDL once, on node 0 (the owner of every fragment); replicate.
     let mut session = Client::connect(cluster.sql_addrs[0]).unwrap();
@@ -183,27 +42,18 @@ fn run_mixed_workload(clients_per_node: usize, keys: usize) {
     let mut joins = Vec::new();
     for cid in 0..n_clients {
         let addr = cluster.sql_addrs[cid % 3];
-        joins.push(std::thread::spawn(move || client_script(addr, cid, keys)));
+        joins.push(std::thread::spawn(move || support::client_script(addr, cid, keys)));
     }
     for j in joins {
         j.join().expect("client thread panicked");
     }
 
     // Oracle 2: catalog replicas converge on (size, version).
-    let deadline = Instant::now() + Duration::from_secs(30);
-    loop {
-        match catalogs_converged(&cluster.nodes) {
-            Ok(()) => break,
-            Err(e) => {
-                assert!(Instant::now() < deadline, "catalog oracle: {e}");
-                std::thread::sleep(Duration::from_millis(50));
-            }
-        }
-    }
+    support::await_catalog_convergence(&cluster.nodes, Duration::from_secs(30));
 
     // Oracle 3: acknowledged mutations visible from every node.
-    let want = expected_rows(n_clients, keys);
-    assert_final_state(&cluster, &want, Duration::from_secs(60));
+    let want = support::expected_rows(n_clients, keys);
+    support::assert_final_state(&cluster.sql_addrs, &want, Duration::from_secs(60));
 }
 
 #[test]

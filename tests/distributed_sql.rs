@@ -54,11 +54,7 @@ fn insert_and_select_across_tcp_nodes() {
     let out = nodes[0].submit_sql("create table kv (k int, v varchar(16))").unwrap();
     assert!(out.contains("created"), "{out}");
     for n in &nodes[1..] {
-        assert!(
-            n.wait_for_table("sys", "kv", Duration::from_secs(10)),
-            "catalog gossip never reached {}",
-            n.id
-        );
+        n.wait_for_table_timeout("sys", "kv", Duration::from_secs(10)).unwrap();
     }
 
     // INSERT through sqlfront → MAL → ring on the owner node.
@@ -113,8 +109,8 @@ fn driver_loaded_tables_join_across_tcp_nodes() {
         )
         .unwrap();
     for n in &nodes {
-        assert!(n.wait_for_table("sys", "t", Duration::from_secs(10)));
-        assert!(n.wait_for_table("sys", "c", Duration::from_secs(10)));
+        n.wait_for_table_timeout("sys", "t", Duration::from_secs(10)).unwrap();
+        n.wait_for_table_timeout("sys", "c", Duration::from_secs(10)).unwrap();
     }
 
     // The paper's example query joins fragments owned by different
