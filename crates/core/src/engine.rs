@@ -240,6 +240,22 @@ struct PendingOp {
 /// every plausible in-flight window at a few hundred bytes each.
 const APPLIED_CACHE_CAP: usize = 4096;
 
+/// A fresh statement-id epoch for one node incarnation. Statement ids
+/// restart at 1 on every spawn, so the dedup cache and ack matching key
+/// on `(origin, epoch, id)`: without the epoch, a restarted origin's
+/// reused ids could hit a surviving owner's cached results and fresh
+/// statements would be acknowledged without ever applying. Wall-clock
+/// nanos distinguish incarnations across process restarts; the counter
+/// distinguishes nodes spawned within one clock tick.
+fn fresh_boot_epoch() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let wall = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    wall.wrapping_add(SEQ.fetch_add(1, Ordering::Relaxed))
+}
+
 /// What became of a SQL `INSERT` batch at this node: applied in place, or
 /// packaged as a ring message the caller must register for ack-tracking.
 enum AppendOutcome {
@@ -276,18 +292,25 @@ struct NodeCtx {
     /// budget is spent — see [`NodeCtx::service_pending`].
     pending_ops: HashMap<u64, PendingOp>,
     next_mut: u64,
+    /// This incarnation's statement-id epoch (see [`fresh_boot_epoch`]):
+    /// stamped on every routed `Mutate`/`Append`, echoed in acks, and
+    /// part of the owner-side dedup key.
+    boot_epoch: u64,
     /// How long one attempt waits for the owner's ack before resending.
     ack_timeout: Duration,
     /// Resends after the first attempt before the statement fails.
     ack_retries: u32,
     /// Owner-side idempotence: results of routed statements already
-    /// applied here, keyed `(origin, statement id)`. A re-delivered
-    /// frame (duplicate, origin retry racing a slow ack) re-sends the
-    /// cached ack instead of re-applying — on top of the §6.4 version
-    /// gate, which protects replay but not live double-apply.
-    applied_ops: HashMap<(u16, u64), Result<u64, String>>,
+    /// applied here, keyed `(origin, origin boot epoch, statement id)`.
+    /// A re-delivered frame (duplicate, origin retry racing a slow ack)
+    /// re-sends the cached ack instead of re-applying — on top of the
+    /// §6.4 version gate, which protects replay but not live
+    /// double-apply. The epoch keeps a restarted origin's reused
+    /// statement ids from aliasing entries its prior incarnation left
+    /// behind.
+    applied_ops: HashMap<(u16, u64, u64), Result<u64, String>>,
     /// FIFO of `applied_ops` keys, oldest first, bounding the cache.
-    applied_order: std::collections::VecDeque<(u16, u64)>,
+    applied_order: std::collections::VecDeque<(u16, u64, u64)>,
     /// Wakes `wait_for_table` callers when catalog state changes.
     notify: Arc<CatalogNotify>,
     /// Durable storage, when the node has a data dir.
@@ -355,8 +378,9 @@ impl NodeCtx {
             } else {
                 let p = self.pending_ops.remove(&id).expect("due id present");
                 self.node.stats.timeouts += 1;
-                if p.what == "mutation" {
-                    self.node.stats.mutations_failed += 1;
+                match p.what {
+                    "mutation" => self.node.stats.mutations_failed += 1,
+                    _ => self.node.stats.appends_failed += 1,
                 }
                 p.ack.fulfill(Err(format!(
                     "{} on {} timed out after {} attempts: no acknowledgement from the \
@@ -395,7 +419,7 @@ impl NodeCtx {
     }
 
     /// Record a routed statement's result in the owner-side dedup cache.
-    fn remember_applied(&mut self, key: (u16, u64), result: Result<u64, String>) {
+    fn remember_applied(&mut self, key: (u16, u64, u64), result: Result<u64, String>) {
         if self.applied_order.len() >= APPLIED_CACHE_CAP {
             if let Some(old) = self.applied_order.pop_front() {
                 self.applied_ops.remove(&old);
@@ -410,8 +434,8 @@ impl NodeCtx {
     /// [`MutAckMsg`] clockwise. A lost ack is counted loudly, but the
     /// origin's retry will re-deliver the statement and the dedup cache
     /// will re-send this result.
-    fn answer_routed(&mut self, origin: NodeId, id: u64, result: Result<u64, String>) {
-        let ack = MutAckMsg { target: origin, id, result };
+    fn answer_routed(&mut self, origin: NodeId, epoch: u64, id: u64, result: Result<u64, String>) {
+        let ack = MutAckMsg { target: origin, epoch, id, result };
         if origin == self.node.id {
             self.finish_mutation(ack);
         } else if let Err(e) = self.transport.send_data(DcMsg::MutAck(ack)) {
@@ -517,7 +541,7 @@ impl NodeCtx {
                     // Retried appends re-deliver the same statement id;
                     // the dedup cache replays the first outcome instead
                     // of growing the fragment twice.
-                    let key = (a.origin.0, a.id);
+                    let key = (a.origin.0, a.epoch, a.id);
                     let result = match self.applied_ops.get(&key) {
                         Some(cached) => {
                             self.node.stats.mutations_deduped += 1;
@@ -529,7 +553,7 @@ impl NodeCtx {
                             r
                         }
                     };
-                    self.answer_routed(a.origin, a.id, result);
+                    self.answer_routed(a.origin, a.epoch, a.id, result);
                 } else if a.origin != self.node.id {
                     let _ = self.transport.send_data(DcMsg::Append(a));
                 } else {
@@ -539,6 +563,7 @@ impl NodeCtx {
                     self.node.stats.appends_dropped += 1;
                     self.finish_mutation(MutAckMsg {
                         target: a.origin,
+                        epoch: a.epoch,
                         id: a.id,
                         result: Err("no owner found for the append (fragments gone?)".into()),
                     });
@@ -548,7 +573,7 @@ impl NodeCtx {
                 Ok(owner) if owner == self.node.id => {
                     // Same dedup as appends: a re-delivered UPDATE must
                     // not re-apply on top of its own first application.
-                    let key = (m.origin.0, m.id);
+                    let key = (m.origin.0, m.epoch, m.id);
                     let result = match self.applied_ops.get(&key) {
                         Some(cached) => {
                             self.node.stats.mutations_deduped += 1;
@@ -560,12 +585,13 @@ impl NodeCtx {
                             r
                         }
                     };
-                    self.answer_routed(m.origin, m.id, result);
+                    self.answer_routed(m.origin, m.epoch, m.id, result);
                 }
                 _ if m.origin == self.node.id => {
                     // Cycled the whole ring without finding an owner.
                     self.finish_mutation(MutAckMsg {
                         target: m.origin,
+                        epoch: m.epoch,
                         id: m.id,
                         result: Err(format!(
                             "no owner found for {}.{} (fragments gone?)",
@@ -588,14 +614,21 @@ impl NodeCtx {
     }
 
     /// Resolve a routed statement's acknowledgement to the caller blocked
-    /// on it. Unmatched ids are ignored without side effects — the waiter
-    /// already timed out, or a duplicate ack arrived for a statement we
-    /// settled on an earlier delivery (counting failures there would
-    /// double-book them).
+    /// on it. Acks from a previous incarnation of this node (epoch
+    /// mismatch — still circulating from before a restart) and unmatched
+    /// ids are ignored without side effects — the waiter already timed
+    /// out, or a duplicate ack arrived for a statement we settled on an
+    /// earlier delivery (counting failures there would double-book them).
     fn finish_mutation(&mut self, ack: MutAckMsg) {
+        if ack.epoch != self.boot_epoch {
+            return;
+        }
         if let Some(p) = self.pending_ops.remove(&ack.id) {
-            if ack.result.is_err() && p.what == "mutation" {
-                self.node.stats.mutations_failed += 1;
+            if ack.result.is_err() {
+                match p.what {
+                    "mutation" => self.node.stats.mutations_failed += 1,
+                    _ => self.node.stats.appends_failed += 1,
+                }
             }
             p.ack.fulfill(ack.result);
         }
@@ -779,8 +812,15 @@ impl NodeCtx {
                             let id = self.next_mut;
                             self.next_mut += 1;
                             let table_str = format!("{schema}.{table}");
-                            let msg =
-                                MutateMsg { origin: self.node.id, id, schema, table, op, preds };
+                            let msg = MutateMsg {
+                                origin: self.node.id,
+                                epoch: self.boot_epoch,
+                                id,
+                                schema,
+                                table,
+                                op,
+                                preds,
+                            };
                             self.node.stats.mutations_routed += 1;
                             self.route_op(id, DcMsg::Mutate(msg), ack, "mutation", table_str);
                         }
@@ -919,7 +959,12 @@ impl NodeCtx {
                 .collect();
             let id = self.next_mut;
             self.next_mut += 1;
-            let msg = DcMsg::Append(AppendMsg { origin: self.node.id, id, parts });
+            let msg = DcMsg::Append(AppendMsg {
+                origin: self.node.id,
+                epoch: self.boot_epoch,
+                id,
+                parts,
+            });
             Ok(AppendOutcome::Routed { id, msg, table: format!("{schema}.{table}") })
         }
     }
@@ -1380,6 +1425,7 @@ impl RingNode {
             next_frag: Arc::clone(&next_frag),
             pending_ops: HashMap::new(),
             next_mut: 1,
+            boot_epoch: fresh_boot_epoch(),
             ack_timeout: opts.ack_timeout,
             ack_retries: opts.ack_retries,
             applied_ops: HashMap::new(),

@@ -125,14 +125,19 @@ pub enum MutOp {
 /// (§6.4: the owner rewrites its authoritative copy and bumps the
 /// version). The mutation is *logical* — assignments plus WHERE
 /// predicates — because row positions computed anywhere else could be
-/// stale by the time the message arrives. `id` is origin-local; the
-/// owner answers with a [`MutAckMsg`] carrying it, so the origin can
-/// report a correct affected-row count synchronously. If the message
-/// returns to its origin the owner is gone and the origin fails the
-/// statement.
+/// stale by the time the message arrives. `(epoch, id)` identifies the
+/// statement: `id` counts statements within one origin incarnation and
+/// `epoch` is the origin's per-boot nonce, so ids reused after an
+/// origin restart can never alias a prior incarnation's statements in
+/// the owner's dedup cache. The owner answers with a [`MutAckMsg`]
+/// carrying both, so the origin can report a correct affected-row count
+/// synchronously. If the message returns to its origin the owner is
+/// gone and the origin fails the statement.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MutateMsg {
     pub origin: NodeId,
+    /// The origin's per-boot epoch nonce (statement-id namespace).
+    pub epoch: u64,
     pub id: u64,
     pub schema: String,
     pub table: String,
@@ -141,10 +146,14 @@ pub struct MutateMsg {
 }
 
 /// The owner's answer to a [`MutateMsg`], traveling clockwise until it
-/// reaches `target` (the mutation's origin).
+/// reaches `target` (the mutation's origin). Echoes the statement's
+/// `(epoch, id)`: an ack from before the origin's restart must not
+/// resolve a statement of its new incarnation that reuses the id.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MutAckMsg {
     pub target: NodeId,
+    /// The acknowledged statement's origin-boot epoch, echoed back.
+    pub epoch: u64,
     pub id: u64,
     /// Affected-row count, or the owner-side failure.
     pub result: Result<u64, String>,
@@ -155,15 +164,17 @@ pub struct MutAckMsg {
 /// part pairs a fragment id with a serialized BAT of its new tail
 /// values; all parts of one message share an owner, which applies the
 /// whole batch in a single event so multi-column INSERTs stay atomic
-/// even when appends from several nodes interleave on the ring. `id` is
-/// origin-local (the same statement-id space as [`MutateMsg`]): the
-/// owner answers with a [`MutAckMsg`] carrying it, so the origin can
-/// retry a lost append and the owner can suppress a re-delivered one.
-/// If the message returns to its origin the owner is gone and the
-/// origin fails the statement.
+/// even when appends from several nodes interleave on the ring.
+/// `(epoch, id)` is origin-local (the same statement-id space as
+/// [`MutateMsg`]): the owner answers with a [`MutAckMsg`] carrying
+/// both, so the origin can retry a lost append and the owner can
+/// suppress a re-delivered one. If the message returns to its origin
+/// the owner is gone and the origin fails the statement.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AppendMsg {
     pub origin: NodeId,
+    /// The origin's per-boot epoch nonce (statement-id namespace).
+    pub epoch: u64,
     pub id: u64,
     pub parts: Vec<(BatId, Bytes)>,
 }
@@ -211,7 +222,7 @@ impl DcMsg {
             DcMsg::Request(_) => REQUEST_WIRE_BYTES,
             DcMsg::Catalog(c) => c.wire_size(),
             DcMsg::Append(a) => {
-                24 + a.parts.iter().map(|(_, rows)| 12 + rows.len() as u64).sum::<u64>()
+                32 + a.parts.iter().map(|(_, rows)| 12 + rows.len() as u64).sum::<u64>()
             }
             DcMsg::Mutate(m) => {
                 let assigns = match &m.op {
@@ -220,12 +231,12 @@ impl DcMsg {
                     }
                     MutOp::Delete => 0,
                 };
-                16 + m.schema.len() as u64
+                24 + m.schema.len() as u64
                     + m.table.len() as u64
                     + assigns
                     + m.preds.iter().map(pred_wire_size).sum::<u64>()
             }
-            DcMsg::MutAck(a) => 24 + a.result.as_ref().err().map(|e| e.len() as u64).unwrap_or(0),
+            DcMsg::MutAck(a) => 32 + a.result.as_ref().err().map(|e| e.len() as u64).unwrap_or(0),
         }
     }
 }
@@ -463,6 +474,7 @@ pub fn encode(msg: &DcMsg) -> Bytes {
             let mut b = BytesMut::with_capacity(msg.wire_size() as usize + 8);
             b.put_u8(TAG_APPEND);
             b.put_u16_le(a.origin.0);
+            b.put_u64_le(a.epoch);
             b.put_u64_le(a.id);
             let nparts = a.parts.len().min(u16::MAX as usize);
             b.put_u16_le(nparts as u16);
@@ -477,6 +489,7 @@ pub fn encode(msg: &DcMsg) -> Bytes {
             let mut b = BytesMut::with_capacity(msg.wire_size() as usize + 16);
             b.put_u8(TAG_MUTATE);
             b.put_u16_le(m.origin.0);
+            b.put_u64_le(m.epoch);
             b.put_u64_le(m.id);
             put_str(&mut b, &m.schema);
             put_str(&mut b, &m.table);
@@ -503,6 +516,7 @@ pub fn encode(msg: &DcMsg) -> Bytes {
             let mut b = BytesMut::with_capacity(msg.wire_size() as usize + 8);
             b.put_u8(TAG_MUTACK);
             b.put_u16_le(a.target.0);
+            b.put_u64_le(a.epoch);
             b.put_u64_le(a.id);
             match &a.result {
                 Ok(n) => {
@@ -591,10 +605,11 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
             Ok(DcMsg::Catalog(CatalogMsg { origin, schema, table, columns }))
         }
         TAG_APPEND => {
-            if buf.remaining() < 12 {
+            if buf.remaining() < 20 {
                 return Err("truncated append header".into());
             }
             let origin = NodeId(buf.get_u16_le());
+            let epoch = buf.get_u64_le();
             let id = buf.get_u64_le();
             let nparts = buf.get_u16_le() as usize;
             let mut parts = Vec::with_capacity(nparts.min(1024));
@@ -613,13 +628,14 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
                 parts.push((bat, Bytes::copy_from_slice(&buf[..len])));
                 buf.advance(len);
             }
-            Ok(DcMsg::Append(AppendMsg { origin, id, parts }))
+            Ok(DcMsg::Append(AppendMsg { origin, epoch, id, parts }))
         }
         TAG_MUTATE => {
-            if buf.remaining() < 10 {
+            if buf.remaining() < 18 {
                 return Err("truncated mutate header".into());
             }
             let origin = NodeId(buf.get_u16_le());
+            let epoch = buf.get_u64_le();
             let id = buf.get_u64_le();
             let schema = get_str(&mut buf)?;
             let table = get_str(&mut buf)?;
@@ -650,13 +666,14 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
             for _ in 0..n {
                 preds.push(get_pred(&mut buf)?);
             }
-            Ok(DcMsg::Mutate(MutateMsg { origin, id, schema, table, op, preds }))
+            Ok(DcMsg::Mutate(MutateMsg { origin, epoch, id, schema, table, op, preds }))
         }
         TAG_MUTACK => {
-            if buf.remaining() < 11 {
+            if buf.remaining() < 19 {
                 return Err("truncated mutation ack".into());
             }
             let target = NodeId(buf.get_u16_le());
+            let epoch = buf.get_u64_le();
             let id = buf.get_u64_le();
             let result = match buf.get_u8() {
                 1 => {
@@ -667,7 +684,7 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
                 }
                 _ => Err(get_str(&mut buf)?),
             };
-            Ok(DcMsg::MutAck(MutAckMsg { target, id, result }))
+            Ok(DcMsg::MutAck(MutAckMsg { target, epoch, id, result }))
         }
         other => Err(format!("unknown message tag {other}")),
     }
@@ -790,6 +807,7 @@ mod tests {
     fn append_round_trip_and_truncation() {
         let m = DcMsg::Append(AppendMsg {
             origin: NodeId(3),
+            epoch: 0xfeed_beef,
             id: 42,
             parts: vec![
                 (BatId(9), Bytes::from_static(b"col-k-batch")),
@@ -798,15 +816,16 @@ mod tests {
         });
         let enc = encode(&m);
         assert_eq!(decode(&enc).unwrap(), m);
-        for cut in [2, 5, 10, enc.len() - 1] {
+        for cut in [2, 5, 10, 15, enc.len() - 1] {
             assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
         }
-        assert!(m.wire_size() >= 24 + 11 + 5);
+        assert!(m.wire_size() >= 32 + 11 + 5);
     }
 
     fn mutate_msg() -> DcMsg {
         DcMsg::Mutate(MutateMsg {
             origin: NodeId(2),
+            epoch: 31_337,
             id: 77,
             schema: "sys".into(),
             table: "acct".into(),
@@ -840,6 +859,7 @@ mod tests {
         // DELETE with no predicates (the smallest mutation).
         let d = DcMsg::Mutate(MutateMsg {
             origin: NodeId(0),
+            epoch: 1,
             id: 1,
             schema: "sys".into(),
             table: "t".into(),
@@ -852,16 +872,17 @@ mod tests {
 
     #[test]
     fn mut_ack_round_trip_both_outcomes() {
-        let ok = DcMsg::MutAck(MutAckMsg { target: NodeId(1), id: 9, result: Ok(4) });
+        let ok = DcMsg::MutAck(MutAckMsg { target: NodeId(1), epoch: 5, id: 9, result: Ok(4) });
         assert_eq!(decode(&encode(&ok)).unwrap(), ok);
         let err = DcMsg::MutAck(MutAckMsg {
             target: NodeId(3),
+            epoch: 6,
             id: 10,
             result: Err("no owner found".into()),
         });
         let enc = encode(&err);
         assert_eq!(decode(&enc).unwrap(), err);
-        for cut in [1, 4, 11, enc.len() - 1] {
+        for cut in [1, 4, 11, 18, enc.len() - 1] {
             assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
         }
     }

@@ -46,6 +46,11 @@ pub struct NodeStats {
     /// types no longer matched the fragment. Nonzero values mean some
     /// INSERT acknowledged elsewhere never landed.
     pub appends_dropped: u64,
+    /// Routed append batches this node originated that failed: the
+    /// owner answered with an error, the batch cycled back unowned, or
+    /// the whole ack-retry budget elapsed. The append-side twin of
+    /// `mutations_failed`, so failed routed INSERTs are observable too.
+    pub appends_failed: u64,
     /// UPDATE/DELETE mutations applied at this node as fragment owner
     /// (§6.4 version bumps).
     pub mutations_applied: u64,
@@ -119,6 +124,9 @@ impl NodeStats {
         self.bats_loaded += other.bats_loaded;
         self.bats_lost += other.bats_lost;
         self.deliveries += other.deliveries;
+        self.appends_applied += other.appends_applied;
+        self.appends_dropped += other.appends_dropped;
+        self.appends_failed += other.appends_failed;
         self.mutations_applied += other.mutations_applied;
         self.mutations_routed += other.mutations_routed;
         self.mutations_failed += other.mutations_failed;

@@ -100,8 +100,9 @@ struct EdgeState {
 struct State {
     edges: [EdgeState; 2],
     rng: DetRng,
-    /// Timed events still to apply, sorted by due time.
-    script: Vec<(Instant, FaultEvent)>,
+    /// Timed events still to apply, sorted by due time. A deque so the
+    /// per-send due sweep pops from the front in O(1).
+    script: VecDeque<(Instant, FaultEvent)>,
 }
 
 struct Shared {
@@ -134,11 +135,11 @@ impl Shared {
     }
 
     fn apply_due_events(&self, st: &mut State, now: Instant) {
-        while let Some(&(at, ev)) = st.script.first() {
+        while let Some(&(at, ev)) = st.script.front() {
             if at > now {
                 break;
             }
-            st.script.remove(0);
+            st.script.pop_front();
             self.apply_event(st, ev);
         }
     }
@@ -161,8 +162,17 @@ impl Shared {
             self.stats.severed_sends.fetch_add(1, Ordering::Relaxed);
             return Err(TransportError::Disconnected);
         }
-        if e.drop_next > 0 || drop_roll {
-            e.drop_next = e.drop_next.saturating_sub(1);
+        // A probabilistic roll and an explicit drop-next budget can fire
+        // on the same message; charge the roll first so the budget is
+        // only spent on messages it alone kills — a test asking for N
+        // deterministic drops gets N drops of its own even under an
+        // active random plan.
+        if drop_roll {
+            self.stats.drops.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        if e.drop_next > 0 {
+            e.drop_next -= 1;
             self.stats.drops.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
@@ -239,7 +249,7 @@ impl Shared {
                 .edges
                 .iter()
                 .filter_map(|e| e.queue.front().map(|&(at, _)| at))
-                .chain(st.script.first().map(|&(at, _)| at))
+                .chain(st.script.front().map(|&(at, _)| at))
                 .min();
             match next {
                 Some(at) => {
@@ -271,7 +281,7 @@ impl FaultTransport {
             state: Mutex::new(State {
                 edges: [EdgeState::default(), EdgeState::default()],
                 rng: DetRng::new(plan.seed),
-                script: Vec::new(),
+                script: VecDeque::new(),
             }),
             cv: Condvar::new(),
             stats: Arc::new(FaultStats::default()),
@@ -465,6 +475,32 @@ mod tests {
         assert!(matches!(peer.recv(), DcMsg::Catalog(_)));
         assert!(matches!(peer.recv(), DcMsg::Catalog(_)), "duplicate arrives");
         assert_eq!(ft.stats().duplicates(), 1);
+    }
+
+    #[test]
+    fn random_drops_do_not_spend_the_explicit_budget() {
+        let (ft, peer) = wrapped_pair(FaultPlan {
+            seed: 8,
+            drop_p: 1.0,
+            dup_p: 0.0,
+            stall_p: 0.0,
+            stall_for: Duration::ZERO,
+        });
+        ft.drop_next(Edge::Data, 2);
+        // Every send here dies to the certain random roll...
+        for _ in 0..3 {
+            ft.send_data(gossip("rolled")).unwrap();
+        }
+        // ...so the explicit budget must still hold its full 2 drops.
+        ft.set_chaos(false);
+        ft.send_data(gossip("a")).unwrap();
+        ft.send_data(gossip("b")).unwrap();
+        ft.send_data(gossip("c")).unwrap();
+        match peer.recv() {
+            DcMsg::Catalog(c) => assert_eq!(c.table, "c", "budget must drop a and b"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(ft.stats().drops(), 5);
     }
 
     #[test]

@@ -62,6 +62,7 @@ fn mutate_from(kind: u8, seed: i64, text: &str, nassign: usize, npred: usize) ->
     };
     DcMsg::Mutate(MutateMsg {
         origin: NodeId(seed.unsigned_abs() as u16),
+        epoch: seed.unsigned_abs().wrapping_mul(31),
         id: seed.unsigned_abs().wrapping_mul(7),
         schema: "sys".into(),
         table: format!("t{}", kind % 7),
@@ -75,6 +76,7 @@ fn mutate_from(kind: u8, seed: i64, text: &str, nassign: usize, npred: usize) ->
 fn mutack_from(seed: i64, text: &str) -> DcMsg {
     DcMsg::MutAck(MutAckMsg {
         target: NodeId(seed.unsigned_abs() as u16),
+        epoch: seed.unsigned_abs().wrapping_mul(13),
         id: seed.unsigned_abs(),
         result: if seed % 2 == 0 { Ok(seed.unsigned_abs()) } else { Err(text.to_string()) },
     })
@@ -171,6 +173,7 @@ proptest! {
         // Append: valid empty-parts frame, then a lying part count.
         let mut append = encode(&DcMsg::Append(datacyclotron::AppendMsg {
             origin: NodeId(1),
+            epoch: 4,
             id: 9,
             parts: vec![],
         }))
@@ -187,13 +190,14 @@ proptest! {
         // MutAck Err-result: the message text is the final field.
         let wire = encode(&DcMsg::MutAck(MutAckMsg {
             target: NodeId(2),
+            epoch: 1,
             id: 3,
             result: Err("boom".into()),
         }));
-        // tag(1) + target(2) + id(8) + ok-flag(1) = 12 bytes of header,
-        // then the u16 string length.
+        // tag(1) + target(2) + epoch(8) + id(8) + ok-flag(1) = 20 bytes
+        // of header, then the u16 string length.
         let mut bytes = wire.to_vec();
-        bytes[12..14].copy_from_slice(&claim.to_le_bytes());
+        bytes[20..22].copy_from_slice(&claim.to_le_bytes());
         prop_assert!(decode(&bytes).is_err());
     }
 }

@@ -16,11 +16,13 @@
 
 mod support;
 
-use batstore::Val;
+use batstore::ops::CmpOp;
+use batstore::{RowPredicate, Val};
+use datacyclotron::msg::{MutOp, MutateMsg};
 use datacyclotron::transport::mem;
 use datacyclotron::{
-    DcConfig, DcError, Edge, FaultEvent, FaultPlan, FaultTransport, NodeId, NodeOptions, RingNode,
-    RingTransport,
+    DcConfig, DcError, DcMsg, Edge, FaultEvent, FaultPlan, FaultTransport, NodeId, NodeOptions,
+    RingNode, RingTransport,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -264,6 +266,87 @@ fn scripted_partition_heals_inside_the_retry_budget() {
     assert!(stats.retries >= 1, "no retry crossed the partition: {stats:?}");
     assert!(ring.faults[1].stats().severed_sends() >= 1, "partition never bit a send");
     ring.await_rows("select id, bal from acct order by id", &[(1, 4)], Duration::from_secs(20));
+}
+
+/// Regression: the owner-side dedup cache keys on the origin's boot
+/// epoch, not just `(origin, statement id)`. Statement ids restart at 1
+/// on every spawn, so a restarted origin reuses ids a surviving owner
+/// may still hold cached — without the epoch in the key, the fresh
+/// statements would be answered from the stale cache and silently never
+/// applied (an acknowledged-but-lost write). Forged frames sent through
+/// node 1's transport handle simulate the two incarnations
+/// deterministically.
+#[test]
+fn restarted_origin_reusing_statement_ids_is_not_deduped() {
+    let ring = chaos_ring(0xD206, FaultPlan::quiet);
+    ring.setup_acct();
+    let rs = ring.nodes[0].execute("insert into acct values (1, 0)").unwrap();
+    assert_eq!(rs.affected, Some(1));
+    settle();
+
+    let forged = |epoch: u64, bal: i32| {
+        DcMsg::Mutate(MutateMsg {
+            origin: NodeId(1),
+            epoch,
+            id: 999,
+            schema: "sys".into(),
+            table: "acct".into(),
+            op: MutOp::Update(vec![("bal".into(), Val::Int(bal))]),
+            preds: vec![RowPredicate::Cmp {
+                column: "id".into(),
+                op: CmpOp::Eq,
+                value: Val::Int(1),
+            }],
+        })
+    };
+    // "First incarnation" of node 1 spends statement id 999 at the
+    // owner (the ack circulates back to node 1, whose live incarnation
+    // ignores the foreign epoch)...
+    ring.faults[1].send_data(forged(0xA, 111)).unwrap();
+    ring.await_rows("select id, bal from acct order by id", &[(1, 111)], Duration::from_secs(20));
+    // ...and its "restarted" self reuses the id under a fresh epoch.
+    // The owner must apply it, not replay the cached 111 result.
+    ring.faults[1].send_data(forged(0xB, 222)).unwrap();
+    ring.await_rows("select id, bal from acct order by id", &[(1, 222)], Duration::from_secs(20));
+    let owner = ring.nodes[0].stats().unwrap();
+    assert_eq!(owner.mutations_deduped, 0, "fresh-epoch statement was deduped: {owner:?}");
+
+    // A true duplicate — same epoch, same id — still dedups.
+    ring.faults[1].send_data(forged(0xB, 222)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let owner = ring.nodes[0].stats().unwrap();
+        if owner.mutations_deduped >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "duplicate frame never deduped: {owner:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// A routed INSERT whose owner edge is severed fails loudly and shows
+/// up in `appends_failed` — the INSERT twin of `mutations_failed`, so
+/// failed routed appends are observable in [`datacyclotron::NodeStats`].
+#[test]
+fn severed_owner_edge_counts_failed_appends() {
+    let ring = chaos_ring(0xD207, FaultPlan::quiet);
+    ring.setup_acct();
+    settle();
+
+    ring.faults[1].sever(Edge::Data);
+    let err = ring.nodes[1]
+        .execute("insert into acct values (5, 50)")
+        .expect_err("append across a severed edge cannot succeed");
+    assert!(matches!(err, DcError::Ring(_)), "expected a ring-classified error, got {err:?}");
+    let stats = ring.nodes[1].stats().unwrap();
+    assert!(stats.appends_failed >= 1, "failed append not counted: {stats:?}");
+    assert!(stats.timeouts >= 1, "timeout not counted: {stats:?}");
+
+    // Heal and re-issue: exactly one row lands.
+    ring.faults[1].heal(Edge::Data);
+    let rs = ring.nodes[1].execute("insert into acct values (5, 50)").unwrap();
+    assert_eq!(rs.affected, Some(1));
+    ring.await_rows("select id, bal from acct order by id", &[(5, 50)], Duration::from_secs(20));
 }
 
 /// The seeded mix: every node's wrapper rolls drops, duplicates, and
