@@ -1,0 +1,101 @@
+//! Observability baseline: a fixed mixed workload over a 3-node
+//! in-process ring, reported as per-statement-kind latency percentiles
+//! and ring bytes moved — the telemetry the paper's evaluation reads
+//! (per-BAT activity in Fig. 9, request latency in Fig. 10) captured
+//! from the live engine instead of the simulator.
+//!
+//! Writes `BENCH_obs.json` into the working directory so CI accumulates
+//! a perf trajectory; `DC_SCALE` shrinks the workload for quick runs.
+
+use datacyclotron::Ring;
+use dc_obs::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn main() {
+    let scale = dc_bench::scale();
+    dc_bench::banner(
+        "observability baseline: statement latency + ring load",
+        "Figures 9, 10 (telemetry)",
+    );
+
+    let keys = ((600.0 * scale) as usize).max(25);
+    let ring = Ring::builder(3).build();
+    ring.execute(0, "create table obs_bench (id int, v int)").unwrap();
+    for i in 1..3 {
+        ring.node(i).wait_for_table_timeout("sys", "obs_bench", Duration::from_secs(10)).unwrap();
+    }
+
+    // Fixed mix: INSERTs at the owner, UPDATEs routed from the two
+    // non-owner nodes (the §6.4 path), SELECTs settling round-robin so
+    // fragments are pinned off the ring on every node.
+    for k in 0..keys {
+        ring.execute(0, &format!("insert into obs_bench values ({k}, 0)")).unwrap();
+    }
+    for k in 0..keys {
+        let origin = 1 + k % 2;
+        let rs = ring
+            .execute(origin, &format!("update obs_bench set v = {} where id = {k}", k * 2))
+            .unwrap();
+        assert_eq!(rs.affected, Some(1));
+    }
+    for k in 0..keys {
+        ring.execute(k % 3, "select count(*) from obs_bench").unwrap();
+    }
+
+    // Ring-wide aggregation: per-kind latency histograms merge across
+    // nodes (commutative bucket sums), counters add up.
+    let mut hists: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+    let mut bytes_forwarded = 0u64;
+    let mut bats_forwarded = 0u64;
+    let mut deliveries = 0u64;
+    let mut ring_data_bytes_out = 0u64;
+    for i in 0..ring.len() {
+        let node = ring.node(i);
+        for (name, snap) in node.obs().histograms() {
+            hists.entry(name).or_default().merge(&snap);
+        }
+        for (name, value) in node.obs().counters() {
+            if name == "ring_data_bytes_out" {
+                ring_data_bytes_out += value;
+            }
+        }
+        let stats = node.stats().unwrap();
+        bytes_forwarded += stats.bytes_forwarded;
+        bats_forwarded += stats.bats_forwarded;
+        deliveries += stats.deliveries;
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"obs\",\n");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"workload\": {{ \"nodes\": 3, \"keys\": {keys} }},");
+    json.push_str("  \"statement_latency_us\": {\n");
+    let kinds = ["stmt_insert_us", "stmt_update_us", "stmt_select_us"];
+    for (i, kind) in kinds.iter().enumerate() {
+        let snap = hists.get(*kind).cloned().unwrap_or_default();
+        assert!(snap.count > 0, "{kind} never recorded — instrumentation regressed");
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {} }}{}",
+            kind.trim_start_matches("stmt_").trim_end_matches("_us"),
+            snap.count,
+            snap.p50(),
+            snap.p99(),
+            snap.max,
+            if i + 1 < kinds.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  },\n  \"ring\": {\n");
+    let _ = writeln!(json, "    \"bytes_forwarded\": {bytes_forwarded},");
+    let _ = writeln!(json, "    \"bats_forwarded\": {bats_forwarded},");
+    let _ = writeln!(json, "    \"deliveries\": {deliveries},");
+    let _ = writeln!(json, "    \"data_bytes_out\": {ring_data_bytes_out}");
+    json.push_str("  }\n}\n");
+
+    assert!(bytes_forwarded > 0, "workload moved no ring bytes — metering regressed");
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("{json}");
+    println!("wrote BENCH_obs.json");
+    ring.shutdown();
+}

@@ -115,6 +115,36 @@ impl Shell {
                 println!("ring nodes:     {}", self.ring.len());
                 println!("queries run:    {}", self.queries_run);
                 println!("current node:   {}", self.node);
+                let node = self.ring.node(self.node);
+                match node.stats() {
+                    Ok(stats) => {
+                        println!("-- node {} counters", self.node);
+                        for (name, value) in stats.counters() {
+                            if value != 0 {
+                                println!("  {name:<24} {value}");
+                            }
+                        }
+                    }
+                    Err(e) => println!("error reading node stats: {e}"),
+                }
+                let hists = node.obs().histograms();
+                let nonempty: Vec<_> = hists.iter().filter(|(_, snap)| snap.count > 0).collect();
+                if !nonempty.is_empty() {
+                    println!("-- node {} latency (µs)", self.node);
+                    println!(
+                        "  {:<24} {:>8} {:>8} {:>8} {:>8}",
+                        "histogram", "count", "p50", "p95", "p99"
+                    );
+                    for (name, snap) in nonempty {
+                        println!(
+                            "  {name:<24} {:>8} {:>8} {:>8} {:>8}",
+                            snap.count,
+                            snap.p50(),
+                            snap.p95(),
+                            snap.p99()
+                        );
+                    }
+                }
             }
             ".quit" | ".exit" => return false,
             other => println!("unknown command {other}; try .help"),

@@ -23,7 +23,7 @@ use crate::msg::{AppendMsg, CatalogCol, CatalogMsg, DcMsg, MutAckMsg, MutOp, Mut
 use crate::proto::{DcNode, Effect, PinOutcome};
 use crate::runtime::{CatalogNotify, Cmd, FragInfo, RingCatalog, RingHooks, Waiter};
 use crate::stats::NodeStats;
-use crate::transport::{mem, RingTransport};
+use crate::transport::{mem, MeteredTransport, RingTransport};
 use batstore::{ops, storage, Bat, BatStore, Catalog, Column, ResultSet, RowPredicate};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -159,6 +159,10 @@ struct PersistCtx {
     /// Every table this node knows, keyed `schema.table` — the catalog
     /// half of a snapshot.
     tables: HashMap<String, CatalogMsg>,
+    /// WAL timing handles, kept so rotation can re-attach them to the
+    /// fresh generation's writer (see [`NodeCtx::maybe_checkpoint`]).
+    wal_append_hist: Arc<dc_obs::Histogram>,
+    wal_sync_hist: Arc<dc_obs::Histogram>,
 }
 
 impl PersistCtx {
@@ -315,8 +319,57 @@ struct NodeCtx {
     notify: Arc<CatalogNotify>,
     /// Durable storage, when the node has a data dir.
     persist: Option<PersistCtx>,
+    /// The node's telemetry registry (shared with [`RingHooks`] and the
+    /// node handle): counters, latency histograms, and the trace ring.
+    obs: Arc<dc_obs::Registry>,
+    /// Per-[`DcMsg`]-kind handling-latency histograms, indexed by
+    /// [`msg_kind`] so the hot loop never does a name lookup.
+    msg_hists: [Arc<dc_obs::Histogram>; 6],
     started: Instant,
     tick_every: Duration,
+}
+
+/// Histogram index for a ring message (see [`NodeCtx::msg_hists`]).
+fn msg_kind(msg: &DcMsg) -> usize {
+    match msg {
+        DcMsg::Bat { .. } => 0,
+        DcMsg::Request(_) => 1,
+        DcMsg::Catalog(_) => 2,
+        DcMsg::Append(_) => 3,
+        DcMsg::Mutate(_) => 4,
+        DcMsg::MutAck(_) => 5,
+    }
+}
+
+/// The histogram names backing [`NodeCtx::msg_hists`], in [`msg_kind`]
+/// order.
+const MSG_HIST_NAMES: [&str; 6] = [
+    "dc_msg_bat_handle_us",
+    "dc_msg_request_handle_us",
+    "dc_msg_catalog_handle_us",
+    "dc_msg_append_handle_us",
+    "dc_msg_mutate_handle_us",
+    "dc_msg_mutack_handle_us",
+];
+
+/// Which end-to-end latency histogram a SQL statement lands in, by its
+/// leading keyword. Unknown statement shapes pool into `stmt_other_us`
+/// rather than minting unbounded histogram names from user input.
+fn stmt_hist_name(sql: &str) -> &'static str {
+    let first = sql.split_whitespace().next().unwrap_or("");
+    if first.eq_ignore_ascii_case("select") {
+        "stmt_select_us"
+    } else if first.eq_ignore_ascii_case("insert") {
+        "stmt_insert_us"
+    } else if first.eq_ignore_ascii_case("update") {
+        "stmt_update_us"
+    } else if first.eq_ignore_ascii_case("delete") {
+        "stmt_delete_us"
+    } else if first.eq_ignore_ascii_case("create") {
+        "stmt_create_us"
+    } else {
+        "stmt_other_us"
+    }
 }
 
 impl NodeCtx {
@@ -335,7 +388,12 @@ impl NodeCtx {
             let ev = self.rx.recv_timeout(self.tick_every);
             self.sync();
             match ev {
-                Ok(NodeEvent::Ring(msg)) => self.on_ring(msg),
+                Ok(NodeEvent::Ring(msg)) => {
+                    let kind = msg_kind(&msg);
+                    let start = Instant::now();
+                    self.on_ring(msg);
+                    self.msg_hists[kind].record_elapsed_micros(start);
+                }
                 Ok(NodeEvent::Cmd(cmd)) => {
                     if self.handle_cmd(cmd) {
                         return; // shutdown
@@ -372,12 +430,24 @@ impl NodeCtx {
                 p.deadline = now + p.backoff;
                 p.backoff *= 2;
                 self.node.stats.retries += 1;
+                self.obs.trace(
+                    self.boot_epoch,
+                    id,
+                    "retry",
+                    format!("{} on {}, attempt {}", p.what, p.table, p.attempts),
+                );
                 // A failing resend (edge still severed) is fine: the
                 // next deadline fires again, and the budget bounds it.
                 let _ = self.transport.send_data(p.msg.clone());
             } else {
                 let p = self.pending_ops.remove(&id).expect("due id present");
                 self.node.stats.timeouts += 1;
+                self.obs.trace(
+                    self.boot_epoch,
+                    id,
+                    "timeout",
+                    format!("{} on {} after {} attempts", p.what, p.table, p.attempts),
+                );
                 match p.what {
                     "mutation" => self.node.stats.mutations_failed += 1,
                     _ => self.node.stats.appends_failed += 1,
@@ -402,6 +472,7 @@ impl NodeCtx {
         what: &'static str,
         table: String,
     ) {
+        self.obs.trace(self.boot_epoch, id, "route", format!("{what} on {table}"));
         let _ = self.transport.send_data(msg.clone());
         self.pending_ops.insert(
             id,
@@ -435,6 +506,7 @@ impl NodeCtx {
     /// origin's retry will re-deliver the statement and the dedup cache
     /// will re-send this result.
     fn answer_routed(&mut self, origin: NodeId, epoch: u64, id: u64, result: Result<u64, String>) {
+        self.obs.trace(epoch, id, "ack_sent", format!("to {origin}"));
         let ack = MutAckMsg { target: origin, epoch, id, result };
         if origin == self.node.id {
             self.finish_mutation(ack);
@@ -486,13 +558,14 @@ impl NodeCtx {
             return;
         }
         let next_gen = p.gen + 1;
-        let wal = match WalWriter::create(&p.dir.wal_path(next_gen), p.fsync) {
+        let mut wal = match WalWriter::create(&p.dir.wal_path(next_gen), p.fsync) {
             Ok(w) => w,
             Err(e) => {
                 eprintln!("[dc-persist] cannot rotate WAL to gen {next_gen}: {e}");
                 return;
             }
         };
+        wal.set_metrics(Arc::clone(&p.wal_append_hist), Arc::clone(&p.wal_sync_hist));
         p.wal = wal;
         p.gen = next_gen;
         p.bytes_since_checkpoint = 0;
@@ -545,10 +618,25 @@ impl NodeCtx {
                     let result = match self.applied_ops.get(&key) {
                         Some(cached) => {
                             self.node.stats.mutations_deduped += 1;
+                            self.obs.trace(
+                                a.epoch,
+                                a.id,
+                                "dedup",
+                                format!("append from {} re-delivered", a.origin),
+                            );
                             cached.clone()
                         }
                         None => {
                             let r = self.apply_remote_append(&a);
+                            self.obs.trace(
+                                a.epoch,
+                                a.id,
+                                "apply",
+                                match &r {
+                                    Ok(rows) => format!("append from {}, {rows} rows", a.origin),
+                                    Err(e) => format!("append from {} failed: {e}", a.origin),
+                                },
+                            );
                             self.remember_applied(key, r.clone());
                             r
                         }
@@ -577,10 +665,29 @@ impl NodeCtx {
                     let result = match self.applied_ops.get(&key) {
                         Some(cached) => {
                             self.node.stats.mutations_deduped += 1;
+                            self.obs.trace(
+                                m.epoch,
+                                m.id,
+                                "dedup",
+                                format!("mutation on {}.{} re-delivered", m.schema, m.table),
+                            );
                             cached.clone()
                         }
                         None => {
                             let r = self.apply_mutation(&m.schema, &m.table, &m.op, &m.preds);
+                            self.obs.trace(
+                                m.epoch,
+                                m.id,
+                                "apply",
+                                match &r {
+                                    Ok(rows) => {
+                                        format!("mutation on {}.{}, {rows} rows", m.schema, m.table)
+                                    }
+                                    Err(e) => {
+                                        format!("mutation on {}.{} failed: {e}", m.schema, m.table)
+                                    }
+                                },
+                            );
                             self.remember_applied(key, r.clone());
                             r
                         }
@@ -624,6 +731,11 @@ impl NodeCtx {
             return;
         }
         if let Some(p) = self.pending_ops.remove(&ack.id) {
+            let outcome = match &ack.result {
+                Ok(rows) => format!("{} on {} ok, {rows} rows", p.what, p.table),
+                Err(e) => format!("{} on {} failed: {e}", p.what, p.table),
+            };
+            self.obs.trace(ack.epoch, ack.id, "ack", outcome);
             if ack.result.is_err() {
                 match p.what {
                     "mutation" => self.node.stats.mutations_failed += 1,
@@ -646,6 +758,8 @@ impl NodeCtx {
             );
         }
         publish_table(&self.catalog, &self.meta, c);
+        self.obs.counter("gossip_applied").inc();
+        self.obs.trace(0, 0, "gossip", format!("{}.{} from {}", c.schema, c.table, c.origin));
         self.notify.bump();
     }
 
@@ -1296,6 +1410,7 @@ pub struct RingNode {
     meta: Arc<RwLock<Catalog>>,
     notify: Arc<CatalogNotify>,
     transport: Arc<dyn RingTransport>,
+    obs: Arc<dc_obs::Registry>,
     event_loop: Option<JoinHandle<()>>,
     pump: Option<JoinHandle<()>>,
     next_query: AtomicU64,
@@ -1323,6 +1438,11 @@ impl RingNode {
         let meta = Arc::new(RwLock::new(Catalog::new()));
         let notify = Arc::new(CatalogNotify::new());
         let next_frag = Arc::new(AtomicU32::new(1));
+        let obs = Arc::new(dc_obs::Registry::new(id.0));
+        // Every fabric is metered the same way: wrapping here (rather
+        // than inside each transport) gives the in-process and TCP rings
+        // identical per-edge frame/byte counters.
+        let transport: Arc<dyn RingTransport> = Arc::new(MeteredTransport::new(transport, &obs));
 
         let mut node = DcNode::new(id, opts.cfg.clone());
         let mut disk: HashMap<BatId, StoredFrag> = HashMap::new();
@@ -1398,9 +1518,15 @@ impl RingNode {
             };
             dc_persist::write_checkpoint(&pdir, &snap)
                 .map_err(|e| format!("startup checkpoint: {e}"))?;
-            let wal = WalWriter::create(&pdir.wal_path(rec.next_gen), dd.fsync)
+            let mut wal = WalWriter::create(&pdir.wal_path(rec.next_gen), dd.fsync)
                 .map_err(|e| format!("creating WAL: {e}"))?;
-            let checkpointer = Checkpointer::spawn(pdir.clone());
+            let wal_append_hist = obs.histogram("wal_append_us");
+            let wal_sync_hist = obs.histogram("wal_fsync_us");
+            wal.set_metrics(Arc::clone(&wal_append_hist), Arc::clone(&wal_sync_hist));
+            let checkpointer = Checkpointer::spawn_with_metrics(
+                pdir.clone(),
+                Some(obs.histogram("checkpoint_us")),
+            );
             persist = Some(PersistCtx {
                 dir: pdir,
                 wal,
@@ -1410,6 +1536,8 @@ impl RingNode {
                 bytes_since_checkpoint: 0,
                 checkpointer,
                 tables,
+                wal_append_hist,
+                wal_sync_hist,
             });
         }
 
@@ -1432,6 +1560,8 @@ impl RingNode {
             applied_order: std::collections::VecDeque::new(),
             notify: Arc::clone(&notify),
             persist,
+            obs: Arc::clone(&obs),
+            msg_hists: std::array::from_fn(|i| obs.histogram(MSG_HIST_NAMES[i])),
             started: Instant::now(),
             tick_every: opts.tick_every,
         };
@@ -1447,8 +1577,13 @@ impl RingNode {
             }
         });
 
-        let hooks =
-            Arc::new(RingHooks::new(id, tx.clone(), Arc::clone(&catalog), opts.pin_timeout));
+        let hooks = Arc::new(RingHooks::new(
+            id,
+            tx.clone(),
+            Arc::clone(&catalog),
+            opts.pin_timeout,
+            Arc::clone(&obs),
+        ));
         // The session's store holds nothing: the data lives in the ring.
         let store = Arc::new(RwLock::new(BatStore::new()));
         let session = Arc::new(
@@ -1473,6 +1608,7 @@ impl RingNode {
             meta,
             notify,
             transport,
+            obs,
             event_loop: Some(event_loop),
             pump: Some(pump),
             next_query: AtomicU64::new(1),
@@ -1522,18 +1658,36 @@ impl RingNode {
     /// wire protocol ships these columns, and text is rendered only at
     /// edges that want text.
     pub fn execute(&self, sql: &str) -> Result<ResultSet, DcError> {
-        let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
-        let plan = self.compile(sql, &self.templates)?;
-        self.run_plan(qid, &plan).map_err(DcError::from)
+        self.run_sql(sql, &self.templates).map_err(DcError::from)
     }
 
     /// Compile and execute one SQL statement; returns the rendered
     /// output. A thin rendering shim over [`RingNode::execute`], kept
     /// for callers that only want text.
     pub fn submit_sql(&self, sql: &str) -> Result<String, MalError> {
+        self.run_sql(sql, &self.templates).map(|rs| rs.render())
+    }
+
+    /// The choke point every SQL entry path funnels through
+    /// ([`RingNode::execute`], [`RingNode::submit_sql`], and the [`Ring`]
+    /// equivalents): compile + run, with end-to-end latency recorded per
+    /// statement kind and statement/error counters bumped — so the
+    /// in-process ring, `dcsh`, and the wire server all feed the same
+    /// `stmt_*_us` histograms.
+    pub(crate) fn run_sql(
+        &self,
+        sql: &str,
+        templates: &mal::TemplateCache,
+    ) -> Result<ResultSet, MalError> {
         let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
-        let plan = self.compile(sql, &self.templates)?;
-        self.run_plan(qid, &plan).map(|rs| rs.render())
+        let start = Instant::now();
+        let result = self.compile(sql, templates).and_then(|plan| self.run_plan(qid, &plan));
+        self.obs.counter("sql_statements").inc();
+        if result.is_err() {
+            self.obs.counter("sql_errors").inc();
+        }
+        self.obs.histogram(stmt_hist_name(sql)).record_elapsed_micros(start);
+        result
     }
 
     /// Compile `sql` against this node's metadata replica.
@@ -1626,6 +1780,30 @@ impl RingNode {
             .map_err(DcError::Ring)
     }
 
+    /// This node's telemetry registry: counters, latency histograms, and
+    /// the statement trace ring. The same registry the event loop,
+    /// transport metering, and `dc.*` system views feed.
+    pub fn obs(&self) -> &Arc<dc_obs::Registry> {
+        &self.obs
+    }
+
+    /// A one-shot Prometheus-style `name value` text dump: protocol
+    /// counters (exactly [`NodeStats::counters`]) followed by the
+    /// registry's counters, gauges, and expanded histograms. This is
+    /// what `dc-node metrics` scrapes.
+    pub fn metrics_text(&self) -> Result<String, DcError> {
+        let stats = self.stats()?;
+        let mut out = String::new();
+        for (name, v) in stats.counters() {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out.push_str(&self.obs.render_text());
+        Ok(out)
+    }
+
     /// This node's replica of the ring-wide fragment catalog.
     pub fn ring_catalog(&self) -> &RingCatalog {
         &self.catalog
@@ -1667,7 +1845,6 @@ impl Drop for RingNode {
 /// single-machine deployments.
 pub struct Ring {
     nodes: Vec<RingNode>,
-    next_query: AtomicU64,
     next_bat: AtomicU64,
     templates: mal::TemplateCache,
 }
@@ -1706,12 +1883,7 @@ impl RingBuilder {
                 )
             })
             .collect();
-        Ring {
-            nodes,
-            next_query: AtomicU64::new(1),
-            next_bat: AtomicU64::new(1),
-            templates: mal::TemplateCache::new(),
-        }
+        Ring { nodes, next_bat: AtomicU64::new(1), templates: mal::TemplateCache::new() }
     }
 }
 
@@ -1808,17 +1980,13 @@ impl Ring {
     /// returning the typed [`ResultSet`] (the canonical query API; see
     /// [`RingNode::execute`]).
     pub fn execute(&self, node_idx: usize, sql: &str) -> Result<ResultSet, DcError> {
-        let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
-        let plan = self.nodes[node_idx].compile(sql, &self.templates).map_err(DcError::from)?;
-        self.nodes[node_idx].run_plan(qid, &plan).map_err(DcError::from)
+        self.nodes[node_idx].run_sql(sql, &self.templates).map_err(DcError::from)
     }
 
     /// Compile and execute one SQL statement on the given node; returns
     /// the rendered output (a rendering shim over [`Ring::execute`]).
     pub fn submit_sql(&self, node_idx: usize, sql: &str) -> Result<String, MalError> {
-        let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
-        let plan = self.nodes[node_idx].compile(sql, &self.templates)?;
-        self.nodes[node_idx].run_plan(qid, &plan).map(|rs| rs.render())
+        self.nodes[node_idx].run_sql(sql, &self.templates).map(|rs| rs.render())
     }
 
     /// Execute an already-compiled MAL plan on a node.

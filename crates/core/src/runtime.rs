@@ -237,6 +237,8 @@ pub struct RingHooks {
     pub tx: Sender<super::engine::NodeEvent>,
     pub catalog: Arc<RingCatalog>,
     pub pin_timeout: Duration,
+    /// The node's telemetry registry; `dc.*` system views read from it.
+    pub obs: Arc<dc_obs::Registry>,
     tickets: Mutex<Vec<BatId>>,
 }
 
@@ -246,8 +248,18 @@ impl RingHooks {
         tx: Sender<super::engine::NodeEvent>,
         catalog: Arc<RingCatalog>,
         pin_timeout: Duration,
+        obs: Arc<dc_obs::Registry>,
     ) -> Self {
-        RingHooks { node, tx, catalog, pin_timeout, tickets: Mutex::new(Vec::new()) }
+        RingHooks { node, tx, catalog, pin_timeout, obs, tickets: Mutex::new(Vec::new()) }
+    }
+
+    /// Snapshot the event loop's protocol counters (the same round trip
+    /// [`crate::RingNode::stats`] makes). Safe to call from a MAL sink:
+    /// plans run on caller threads, so the event loop is free to answer.
+    fn stats_snapshot(&self) -> Result<NodeStats, MalError> {
+        let ack = Arc::new(Waiter::<NodeStats>::default());
+        self.send(Cmd::Stats { ack: Arc::clone(&ack) })?;
+        ack.wait_for_outcome(self.pin_timeout, "stats request timed out").map_err(MalError::Dc)
     }
 
     fn bat_of_ticket(&self, ticket: u64) -> Result<BatId, MalError> {
@@ -368,6 +380,101 @@ impl DcHooks for RingHooks {
         })?;
         ack.wait_for_outcome(self.pin_timeout, MUT_ACK_TIMEOUT).map_err(MalError::Dc)
     }
+
+    fn sys_view(&self, _query: u64, view: &str) -> Result<batstore::ResultSet, MalError> {
+        match view {
+            "stats" => {
+                // Protocol counters first (exactly `NodeStats::counters`,
+                // name-for-name — tests diff this against
+                // `RingNode::stats()`), then registry counters and gauges
+                // under an `obs_` prefix so the two namespaces cannot
+                // collide.
+                let stats = self.stats_snapshot()?;
+                let mut names: Vec<String> = Vec::new();
+                let mut values: Vec<i64> = Vec::new();
+                for (name, v) in stats.counters() {
+                    names.push(name.to_string());
+                    values.push(v as i64);
+                }
+                for (name, v) in self.obs.counters() {
+                    names.push(format!("obs_{name}"));
+                    values.push(v as i64);
+                }
+                for (name, v) in self.obs.gauges() {
+                    names.push(format!("obs_{name}"));
+                    values.push(v);
+                }
+                let mut rs = batstore::ResultSet::new();
+                push_str_col(&mut rs, "dc.stats", "name", names);
+                push_lng_col(&mut rs, "dc.stats", "value", values);
+                Ok(rs)
+            }
+            "latency" => {
+                let hists = self.obs.histograms();
+                let mut names = Vec::with_capacity(hists.len());
+                let (mut counts, mut p50s, mut p95s, mut p99s, mut maxes) =
+                    (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+                for (name, snap) in hists {
+                    names.push(name);
+                    counts.push(snap.count as i64);
+                    p50s.push(snap.p50() as i64);
+                    p95s.push(snap.p95() as i64);
+                    p99s.push(snap.p99() as i64);
+                    maxes.push(snap.max as i64);
+                }
+                let mut rs = batstore::ResultSet::new();
+                push_str_col(&mut rs, "dc.latency", "name", names);
+                push_lng_col(&mut rs, "dc.latency", "count", counts);
+                push_lng_col(&mut rs, "dc.latency", "p50_us", p50s);
+                push_lng_col(&mut rs, "dc.latency", "p95_us", p95s);
+                push_lng_col(&mut rs, "dc.latency", "p99_us", p99s);
+                push_lng_col(&mut rs, "dc.latency", "max_us", maxes);
+                Ok(rs)
+            }
+            "trace" => {
+                let events = self.obs.trace_events();
+                let (mut ts, mut nodes, mut epochs, mut stmts) =
+                    (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+                let (mut kinds, mut details) = (Vec::new(), Vec::new());
+                for e in events {
+                    ts.push(e.ts_micros as i64);
+                    nodes.push(e.node as i32);
+                    // Boot epochs are u64 nonces; the wrapping cast
+                    // preserves equality, which is all the span join
+                    // needs.
+                    epochs.push(e.epoch as i64);
+                    stmts.push(e.stmt as i64);
+                    kinds.push(e.event.to_string());
+                    details.push(e.detail);
+                }
+                let mut rs = batstore::ResultSet::new();
+                push_lng_col(&mut rs, "dc.trace", "ts_us", ts);
+                rs.push_column(
+                    "dc.trace",
+                    "node",
+                    "int",
+                    Arc::new(Bat::dense(Column::from(nodes))),
+                );
+                push_lng_col(&mut rs, "dc.trace", "epoch", epochs);
+                push_lng_col(&mut rs, "dc.trace", "stmt", stmts);
+                push_str_col(&mut rs, "dc.trace", "event", kinds);
+                push_str_col(&mut rs, "dc.trace", "detail", details);
+                Ok(rs)
+            }
+            other => Err(MalError::Dc(format!(
+                "unknown system view dc.{other} (have: stats, latency, trace)"
+            ))),
+        }
+    }
+}
+
+fn push_str_col(rs: &mut batstore::ResultSet, table: &str, name: &str, vals: Vec<String>) {
+    let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+    rs.push_column(table, name, "str", Arc::new(Bat::dense(Column::from(refs))));
+}
+
+fn push_lng_col(rs: &mut batstore::ResultSet, table: &str, name: &str, vals: Vec<i64>) {
+    rs.push_column(table, name, "lng", Arc::new(Bat::dense(Column::from(vals))));
 }
 
 /// Timeout message for a routed mutation whose ack never returned: the

@@ -109,45 +109,161 @@ impl NodeStats {
         self.latency_sum.0.checked_div(self.latency_count).map(SimDuration)
     }
 
-    /// Merge another node's stats into ring-wide totals.
+    /// Every `u64` protocol counter as `(name, value)`, in declaration
+    /// order. This is the single source of truth every stats surface
+    /// reads — the `dc.stats` system view, `dcsh`'s `.stats`, the
+    /// `dc-node metrics` dump, and the tests comparing them — so a
+    /// counter can never appear in one surface and not another. The
+    /// exhaustive destructuring (no `..`) makes adding a field without
+    /// listing it here a compile error.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let NodeStats {
+            requests_dispatched,
+            requests_resent,
+            requests_forwarded,
+            requests_absorbed,
+            requests_owner_handled,
+            requests_returned,
+            bats_forwarded,
+            bytes_forwarded,
+            bats_unloaded,
+            demand_holds,
+            bats_loaded,
+            bats_lost,
+            deliveries,
+            appends_applied,
+            appends_dropped,
+            appends_failed,
+            mutations_applied,
+            mutations_routed,
+            mutations_failed,
+            mutation_acks_lost,
+            mutations_deduped,
+            retries,
+            timeouts,
+            query_errors,
+            wal_records,
+            wal_bytes,
+            checkpoints,
+            recovered_frags,
+            recovered_wal_records,
+            // Latency distributions are reported through `dc.latency`,
+            // not as bare counters (except the sample count).
+            max_request_latency: _,
+            latency_sum: _,
+            latency_count,
+        } = self;
+        vec![
+            ("requests_dispatched", *requests_dispatched),
+            ("requests_resent", *requests_resent),
+            ("requests_forwarded", *requests_forwarded),
+            ("requests_absorbed", *requests_absorbed),
+            ("requests_owner_handled", *requests_owner_handled),
+            ("requests_returned", *requests_returned),
+            ("bats_forwarded", *bats_forwarded),
+            ("bytes_forwarded", *bytes_forwarded),
+            ("bats_unloaded", *bats_unloaded),
+            ("demand_holds", *demand_holds),
+            ("bats_loaded", *bats_loaded),
+            ("bats_lost", *bats_lost),
+            ("deliveries", *deliveries),
+            ("appends_applied", *appends_applied),
+            ("appends_dropped", *appends_dropped),
+            ("appends_failed", *appends_failed),
+            ("mutations_applied", *mutations_applied),
+            ("mutations_routed", *mutations_routed),
+            ("mutations_failed", *mutations_failed),
+            ("mutation_acks_lost", *mutation_acks_lost),
+            ("mutations_deduped", *mutations_deduped),
+            ("retries", *retries),
+            ("timeouts", *timeouts),
+            ("query_errors", *query_errors),
+            ("wal_records", *wal_records),
+            ("wal_bytes", *wal_bytes),
+            ("checkpoints", *checkpoints),
+            ("recovered_frags", *recovered_frags),
+            ("recovered_wal_records", *recovered_wal_records),
+            ("latency_count", *latency_count),
+        ]
+    }
+
+    /// Merge another node's stats into ring-wide totals. The exhaustive
+    /// destructuring (no `..`) makes this self-maintaining: a newly
+    /// added field fails to compile until it is merged here — the
+    /// field-by-field version silently dropped `appends_applied` and
+    /// `appends_dropped` when they were introduced.
     pub fn merge(&mut self, other: &NodeStats) {
-        self.requests_dispatched += other.requests_dispatched;
-        self.requests_resent += other.requests_resent;
-        self.requests_forwarded += other.requests_forwarded;
-        self.requests_absorbed += other.requests_absorbed;
-        self.requests_owner_handled += other.requests_owner_handled;
-        self.requests_returned += other.requests_returned;
-        self.bats_forwarded += other.bats_forwarded;
-        self.bytes_forwarded += other.bytes_forwarded;
-        self.bats_unloaded += other.bats_unloaded;
-        self.demand_holds += other.demand_holds;
-        self.bats_loaded += other.bats_loaded;
-        self.bats_lost += other.bats_lost;
-        self.deliveries += other.deliveries;
-        self.appends_applied += other.appends_applied;
-        self.appends_dropped += other.appends_dropped;
-        self.appends_failed += other.appends_failed;
-        self.mutations_applied += other.mutations_applied;
-        self.mutations_routed += other.mutations_routed;
-        self.mutations_failed += other.mutations_failed;
-        self.mutation_acks_lost += other.mutation_acks_lost;
-        self.mutations_deduped += other.mutations_deduped;
-        self.retries += other.retries;
-        self.timeouts += other.timeouts;
-        self.query_errors += other.query_errors;
-        self.wal_records += other.wal_records;
-        self.wal_bytes += other.wal_bytes;
-        self.checkpoints += other.checkpoints;
-        self.recovered_frags += other.recovered_frags;
-        self.recovered_wal_records += other.recovered_wal_records;
-        for (&bat, &lat) in &other.max_request_latency {
+        let NodeStats {
+            requests_dispatched,
+            requests_resent,
+            requests_forwarded,
+            requests_absorbed,
+            requests_owner_handled,
+            requests_returned,
+            bats_forwarded,
+            bytes_forwarded,
+            bats_unloaded,
+            demand_holds,
+            bats_loaded,
+            bats_lost,
+            deliveries,
+            appends_applied,
+            appends_dropped,
+            appends_failed,
+            mutations_applied,
+            mutations_routed,
+            mutations_failed,
+            mutation_acks_lost,
+            mutations_deduped,
+            retries,
+            timeouts,
+            query_errors,
+            wal_records,
+            wal_bytes,
+            checkpoints,
+            recovered_frags,
+            recovered_wal_records,
+            max_request_latency,
+            latency_sum,
+            latency_count,
+        } = other;
+        self.requests_dispatched += requests_dispatched;
+        self.requests_resent += requests_resent;
+        self.requests_forwarded += requests_forwarded;
+        self.requests_absorbed += requests_absorbed;
+        self.requests_owner_handled += requests_owner_handled;
+        self.requests_returned += requests_returned;
+        self.bats_forwarded += bats_forwarded;
+        self.bytes_forwarded += bytes_forwarded;
+        self.bats_unloaded += bats_unloaded;
+        self.demand_holds += demand_holds;
+        self.bats_loaded += bats_loaded;
+        self.bats_lost += bats_lost;
+        self.deliveries += deliveries;
+        self.appends_applied += appends_applied;
+        self.appends_dropped += appends_dropped;
+        self.appends_failed += appends_failed;
+        self.mutations_applied += mutations_applied;
+        self.mutations_routed += mutations_routed;
+        self.mutations_failed += mutations_failed;
+        self.mutation_acks_lost += mutation_acks_lost;
+        self.mutations_deduped += mutations_deduped;
+        self.retries += retries;
+        self.timeouts += timeouts;
+        self.query_errors += query_errors;
+        self.wal_records += wal_records;
+        self.wal_bytes += wal_bytes;
+        self.checkpoints += checkpoints;
+        self.recovered_frags += recovered_frags;
+        self.recovered_wal_records += recovered_wal_records;
+        for (&bat, &lat) in max_request_latency {
             let slot = self.max_request_latency.entry(bat).or_default();
             if lat > *slot {
                 *slot = lat;
             }
         }
-        self.latency_sum = self.latency_sum + other.latency_sum;
-        self.latency_count += other.latency_count;
+        self.latency_sum = self.latency_sum + *latency_sum;
+        self.latency_count += latency_count;
     }
 }
 
@@ -226,6 +342,29 @@ mod tests {
         assert_eq!((a.retries, a.timeouts), (2, 1));
         assert_eq!(a.max_request_latency[&BatId(1)], SimDuration::from_millis(30));
         assert_eq!(a.latency_count, 2);
+    }
+
+    #[test]
+    fn counters_expose_every_protocol_counter_and_match_merge() {
+        let s = NodeStats {
+            appends_applied: 3,
+            mutations_deduped: 5,
+            latency_count: 2,
+            ..NodeStats::default()
+        };
+        let c = s.counters();
+        assert!(c.contains(&("appends_applied", 3)));
+        assert!(c.contains(&("mutations_deduped", 5)));
+        assert_eq!(c.iter().filter(|(_, v)| *v != 0).count(), 3);
+        // Merging twice doubles every counter, name for name: merge and
+        // counters() destructure the same field set, so a counter one of
+        // them forgot shows up here as a mismatch.
+        let mut total = NodeStats::default();
+        total.merge(&s);
+        total.merge(&s);
+        for ((name, v), (_, tv)) in s.counters().iter().zip(total.counters()) {
+            assert_eq!(*v * 2, tv, "{name} not doubled by two merges");
+        }
     }
 
     #[test]

@@ -85,6 +85,13 @@ pub trait DcHooks: Send + Sync {
     ) -> Result<u64> {
         Err(MalError::Dc(format!("this DC seam cannot delete from {schema}.{table}")))
     }
+
+    /// `sql.sysview`: materialize a read-only `dc.*` system view
+    /// (`stats`, `latency`, `trace`) as a typed result set from the
+    /// node's live telemetry. Only ring nodes have telemetry to serve.
+    fn sys_view(&self, _query: u64, view: &str) -> Result<batstore::ResultSet> {
+        Err(MalError::Dc(format!("system view dc.{view} is only available on a ring node")))
+    }
 }
 
 /// Single-node hooks: requests resolve directly against the local

@@ -324,6 +324,30 @@ fn register_sql(r: &mut Registry) {
         Ok(vec![])
     });
 
+    // sql.sysview(view, "c1,c2,…"|"*") — materialize a read-only `dc.*`
+    // system view (stats/latency/trace) from the node's live telemetry
+    // through the seam, optionally projecting a subset of its columns in
+    // the requested order.
+    r.register("sql", "sysview", |ctx, args| {
+        want(args, 2, "sql.sysview")?;
+        let (view, proj) = (arg_str(args, 0, "sql.sysview")?, arg_str(args, 1, "sql.sysview")?);
+        let rs = ctx.hooks().sys_view(ctx.query_id, view)?;
+        let rs = if proj == "*" {
+            rs
+        } else {
+            let mut out = batstore::ResultSet::new();
+            for name in proj.split(',').filter(|c| !c.is_empty()) {
+                let col = rs.columns.iter().find(|c| c.name == name).ok_or_else(|| {
+                    MalError::BadCall(format!("dc.{view} has no column '{name}'"))
+                })?;
+                out.columns.push(col.clone());
+            }
+            out
+        };
+        ctx.set_result(rs);
+        Ok(vec![])
+    });
+
     // sql.resultSet(ncols, special, b) — allocate a result set.
     r.register("sql", "resultSet", |_ctx, args| {
         if args.len() < 3 {

@@ -95,18 +95,31 @@ pub struct Checkpointer {
 
 impl Checkpointer {
     pub fn spawn(dir: DataDir) -> Checkpointer {
+        Self::spawn_with_metrics(dir, None)
+    }
+
+    /// [`Checkpointer::spawn`] with a duration histogram (microseconds):
+    /// every committed checkpoint records how long its write took.
+    pub fn spawn_with_metrics(
+        dir: DataDir,
+        duration: Option<Arc<dc_obs::Histogram>>,
+    ) -> Checkpointer {
         let (tx, rx) = channel::<Snapshot>();
         let busy = Arc::new(AtomicBool::new(false));
         let completed = Arc::new(AtomicU64::new(0));
         let (busy2, completed2) = (Arc::clone(&busy), Arc::clone(&completed));
         let handle = std::thread::spawn(move || {
             while let Ok(snap) = rx.recv() {
+                let start = std::time::Instant::now();
                 if let Err(e) = write_checkpoint(&dir, &snap) {
                     // The node keeps running on the previous checkpoint +
                     // a longer WAL; only durability compaction is lost.
                     eprintln!("[dc-persist] checkpoint failed: {e}");
                 } else {
                     completed2.fetch_add(1, Ordering::Relaxed);
+                    if let Some(h) = &duration {
+                        h.record_elapsed_micros(start);
+                    }
                 }
                 busy2.store(false, Ordering::Release);
             }

@@ -18,6 +18,8 @@ use batstore::ColType;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// When to `fsync` the WAL.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -351,18 +353,40 @@ pub struct WalWriter {
     pub bytes: u64,
     /// Records appended through this writer.
     pub records: u64,
+    /// Latency histograms (microseconds) the engine attaches: whole
+    /// appends (including any policy-triggered fsync) and bare fsyncs.
+    append_hist: Option<Arc<dc_obs::Histogram>>,
+    sync_hist: Option<Arc<dc_obs::Histogram>>,
 }
 
 impl WalWriter {
     /// Create (truncating) the WAL file at `path`.
     pub fn create(path: &Path, policy: FsyncPolicy) -> std::io::Result<WalWriter> {
         let file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
-        Ok(WalWriter { file, policy, unsynced: 0, bytes: 0, records: 0 })
+        Ok(WalWriter {
+            file,
+            policy,
+            unsynced: 0,
+            bytes: 0,
+            records: 0,
+            append_hist: None,
+            sync_hist: None,
+        })
+    }
+
+    /// Attach latency histograms: `append` records every
+    /// [`WalWriter::append`] (inclusive of its policy fsync), `sync`
+    /// records every physical [`WalWriter::sync`]. Survives nothing —
+    /// re-attach after rotating to a fresh writer.
+    pub fn set_metrics(&mut self, append: Arc<dc_obs::Histogram>, sync: Arc<dc_obs::Histogram>) {
+        self.append_hist = Some(append);
+        self.sync_hist = Some(sync);
     }
 
     /// Append one record; returns the frame size in bytes. The record is
     /// durable per the fsync policy when this returns.
     pub fn append(&mut self, rec: &WalRecord) -> std::io::Result<u64> {
+        let start = Instant::now();
         let frame = encode_record(rec);
         self.file.write_all(&frame)?;
         self.bytes += frame.len() as u64;
@@ -377,13 +401,20 @@ impl WalWriter {
             }
             FsyncPolicy::Off => {}
         }
+        if let Some(h) = &self.append_hist {
+            h.record_elapsed_micros(start);
+        }
         Ok(frame.len() as u64)
     }
 
     /// Force everything appended so far to disk.
     pub fn sync(&mut self) -> std::io::Result<()> {
+        let start = Instant::now();
         self.file.sync_data()?;
         self.unsynced = 0;
+        if let Some(h) = &self.sync_hist {
+            h.record_elapsed_micros(start);
+        }
         Ok(())
     }
 }

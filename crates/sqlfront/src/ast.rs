@@ -68,6 +68,9 @@ pub enum SelectItem {
         f: AggFn,
         col: Option<ColRef>,
     },
+    /// Bare `*`: every column of every FROM table, in declared order
+    /// (expanded against the catalog at compile time).
+    Star,
 }
 
 /// `ORDER BY key [DESC]`.

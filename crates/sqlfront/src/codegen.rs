@@ -349,11 +349,23 @@ pub fn compile(q: &Query, catalog: &Catalog) -> Result<Program> {
     if q.select.is_empty() {
         return Err(err("empty select list"));
     }
+    // `dc.*` system views never touch the catalog: they lower to one
+    // `sql.sysview` sink that materializes live node telemetry.
+    if q.from.iter().any(|t| t.schema == "dc") {
+        return compile_sysview(q);
+    }
     for t in &q.from {
         catalog
             .table(&t.schema, &t.table)
             .map_err(|e| err(format!("unknown table {}.{}: {e}", t.schema, t.table)))?;
     }
+    let expanded;
+    let q = if q.select.iter().any(|s| matches!(s, SelectItem::Star)) {
+        expanded = expand_stars(q, catalog)?;
+        &expanded
+    } else {
+        q
+    };
 
     let gen = Gen { prog: Program::new("user", "s1_1"), next_var: 0, catalog };
     let mut c = Compiler {
@@ -403,6 +415,7 @@ pub fn compile(q: &Query, catalog: &Catalog) -> Result<Program> {
                     });
                 }
                 SelectItem::Agg { .. } => unreachable!(),
+                SelectItem::Star => unreachable!("stars expanded before codegen"),
             }
         }
     }
@@ -507,6 +520,9 @@ fn compile_aggregate_outputs(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>
                 SelectItem::Col(colref) => {
                     return Err(err(format!("column '{}' must appear in GROUP BY", colref.column)))
                 }
+                SelectItem::Star => {
+                    return Err(err("SELECT * cannot be mixed with aggregates"));
+                }
                 SelectItem::Agg { f, col } => {
                     let (scalar, name, ty) = match col {
                         Some(colref) => {
@@ -583,6 +599,9 @@ fn compile_aggregate_outputs(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>
             }
             SelectItem::Agg { f, col: None } => {
                 return Err(err(format!("{}(*) is not supported", f.name())))
+            }
+            SelectItem::Star => {
+                return Err(err("SELECT * cannot be mixed with aggregates"));
             }
         }
     }
@@ -665,6 +684,9 @@ fn compile_multi_group_by(c: &mut Compiler, q: &Query, outs: &mut Vec<OutCol>) -
             SelectItem::Agg { f, col: None } => {
                 return Err(err(format!("{}(*) is not supported", f.name())))
             }
+            SelectItem::Star => {
+                return Err(err("SELECT * cannot be mixed with aggregates"));
+            }
         }
     }
     Ok(())
@@ -694,6 +716,96 @@ fn apply_order_limit(c: &mut Compiler, q: &Query, outs: &mut [OutCol]) -> Result
         }
     }
     Ok(())
+}
+
+/// Replace every bare `*` with the columns of every FROM table in
+/// declared order (resolved against the catalog).
+fn expand_stars(q: &Query, catalog: &Catalog) -> Result<Query> {
+    if q.has_aggregates() {
+        return Err(err("SELECT * cannot be mixed with aggregates"));
+    }
+    let mut out = q.clone();
+    out.select = Vec::with_capacity(q.select.len());
+    for item in &q.select {
+        match item {
+            SelectItem::Star => {
+                for t in &q.from {
+                    let def = catalog
+                        .table(&t.schema, &t.table)
+                        .map_err(|e| err(format!("unknown table {}.{}: {e}", t.schema, t.table)))?;
+                    for col in &def.columns {
+                        out.select.push(SelectItem::Col(ColRef {
+                            table: Some(t.alias.clone()),
+                            column: col.name.clone(),
+                        }));
+                    }
+                }
+            }
+            other => out.select.push(other.clone()),
+        }
+    }
+    Ok(out)
+}
+
+/// The `dc.*` system views and their column lists, in declared order.
+/// Must match `RingHooks::sys_view` exactly.
+const DC_VIEWS: [(&str, &[&str]); 3] = [
+    ("stats", &["name", "value"]),
+    ("latency", &["name", "count", "p50_us", "p95_us", "p99_us", "max_us"]),
+    ("trace", &["ts_us", "node", "epoch", "stmt", "event", "detail"]),
+];
+
+/// Lower `SELECT … FROM dc.<view>` to one `sql.sysview(view, proj)` sink.
+fn compile_sysview(q: &Query) -> Result<Program> {
+    if q.from.len() != 1 || q.from.iter().any(|t| t.schema != "dc") {
+        return Err(err("dc.* system views cannot be joined with other tables"));
+    }
+    let t = &q.from[0];
+    let Some((_, cols)) = DC_VIEWS.iter().find(|(name, _)| *name == t.table) else {
+        return Err(err(format!(
+            "unknown system view dc.{} (have: stats, latency, trace)",
+            t.table
+        )));
+    };
+    if !q.predicates.is_empty()
+        || !q.group_by.is_empty()
+        || q.order_by.is_some()
+        || q.limit.is_some()
+        || q.distinct
+        || q.has_aggregates()
+    {
+        return Err(err(format!(
+            "dc.{} supports only plain projection \
+             (no WHERE/GROUP BY/ORDER BY/LIMIT/DISTINCT/aggregates)",
+            t.table
+        )));
+    }
+    let proj = if q.select.iter().any(|s| matches!(s, SelectItem::Star)) {
+        if q.select.len() != 1 {
+            return Err(err("'*' must be the only select item on a dc.* view"));
+        }
+        "*".to_string()
+    } else {
+        let mut names = Vec::with_capacity(q.select.len());
+        for item in &q.select {
+            let SelectItem::Col(c) = item else {
+                unreachable!("aggregates rejected above");
+            };
+            if let Some(alias) = &c.table {
+                if *alias != t.alias {
+                    return Err(err(format!("unknown table alias '{alias}'")));
+                }
+            }
+            if !cols.contains(&c.column.as_str()) {
+                return Err(err(format!("dc.{} has no column '{}'", t.table, c.column)));
+            }
+            names.push(c.column.clone());
+        }
+        names.join(",")
+    };
+    let mut prog = Program::new("user", "s1_1");
+    prog.push(Instr::call("sql", "sysview", vec![Gen::cstr(&t.table), Gen::cstr(&proj)]));
+    Ok(prog)
 }
 
 /// Compile any parsed statement against the catalog.
@@ -1298,5 +1410,51 @@ mod tests {
         // `amount` exists in both c and sales.
         assert!(compile_sql("select amount from c, sales where c.amount = sales.amount", &catalog)
             .is_err());
+    }
+
+    #[test]
+    fn select_star_expands_to_declared_columns() {
+        let out = run("select * from c where amount > 25");
+        // Both columns of `c`, in declared order (t_id, amount).
+        assert!(out.contains("3") && out.contains("30"), "{out}");
+        assert!(out.contains("9") && out.contains("40"), "{out}");
+        assert!(!out.contains("20"), "{out}");
+    }
+
+    #[test]
+    fn select_star_with_filter_and_order() {
+        let out = run("select * from sales order by amount desc limit 2");
+        assert!(out.contains("17") && out.contains("13"), "{out}");
+        assert!(!out.contains("11"), "{out}");
+    }
+
+    #[test]
+    fn select_star_rejected_with_aggregates() {
+        let (catalog, _) = setup();
+        let e = compile_sql("select *, count(*) from c", &catalog).unwrap_err();
+        assert!(e.to_string().contains("cannot be mixed"), "{e}");
+    }
+
+    #[test]
+    fn dc_sysview_lowers_to_single_sink() {
+        let (catalog, _) = setup();
+        let prog = compile_sql("select * from dc.stats", &catalog).unwrap();
+        assert_eq!(prog.instrs.len(), 1, "{prog}");
+        assert_eq!(prog.instrs[0].qualified_name(), "sql.sysview");
+    }
+
+    #[test]
+    fn dc_sysview_projection_validated_at_compile_time() {
+        let (catalog, _) = setup();
+        // Valid column subset compiles.
+        assert!(compile_sql("select name, value from dc.stats", &catalog).is_ok());
+        assert!(compile_sql("select name, p99_us from dc.latency", &catalog).is_ok());
+        assert!(compile_sql("select epoch, stmt, event from dc.trace", &catalog).is_ok());
+        // Unknown column and unknown view are compile errors.
+        assert!(compile_sql("select bogus from dc.stats", &catalog).is_err());
+        assert!(compile_sql("select * from dc.nope", &catalog).is_err());
+        // Anything beyond plain projection is rejected.
+        assert!(compile_sql("select * from dc.stats where name = 'x'", &catalog).is_err());
+        assert!(compile_sql("select count(*) from dc.stats", &catalog).is_err());
     }
 }

@@ -175,6 +175,10 @@ fn parse_literal(p: &mut P) -> Result<Val> {
 }
 
 fn parse_select_item(p: &mut P) -> Result<SelectItem> {
+    if p.peek() == Some(&Tok::Star) {
+        p.next()?;
+        return Ok(SelectItem::Star);
+    }
     // Aggregate?
     if let Some(Tok::Word(w)) = p.peek() {
         let f = match w.to_ascii_lowercase().as_str() {

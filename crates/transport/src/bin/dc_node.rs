@@ -45,7 +45,9 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  dc-node serve --ring <a1,a2,…> --me <i> --sql <addr> [--demo] \
-         [--data-dir <path>] [--fsync always|off|every=<n>]\n  dc-node query <addr> <sql> [<sql>…]"
+         [--data-dir <path>] [--fsync always|off|every=<n>]\n  \
+         dc-node query <addr> [--stats] <sql> [<sql>…]\n  \
+         dc-node metrics <addr>"
     );
     std::process::exit(2);
 }
@@ -55,6 +57,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("query") => query(&args[1..]),
+        Some("metrics") => metrics(&args[1..]),
         _ => usage(),
     }
 }
@@ -161,7 +164,18 @@ fn serve(args: &[String]) -> ! {
 
 fn query(args: &[String]) -> ! {
     let Some(addr) = args.first() else { usage() };
-    let stmts = &args[1..];
+    let mut stats = false;
+    let stmts: Vec<&String> = args[1..]
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--stats" {
+                stats = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     if stmts.is_empty() {
         usage();
     }
@@ -185,5 +199,37 @@ fn query(args: &[String]) -> ! {
             }
         }
     }
+    // `--stats`: after the last statement, dump the serving node's
+    // counters and latency percentiles over the same connection.
+    if stats {
+        match session.query(".metrics") {
+            Ok(rs) => print!("{}", rs.render()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     std::process::exit(0);
+}
+
+/// One-shot scrape: connect, ask the node for its metrics dump, print
+/// the Prometheus-style `name value` text, exit.
+fn metrics(args: &[String]) -> ! {
+    let (Some(addr), true) = (args.first(), args.len() == 1) else { usage() };
+    let addr = parse_addr(addr);
+    let mut session = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    match session.query(".metrics") {
+        Ok(rs) => {
+            print!("{}", rs.render());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -14,11 +14,50 @@ use dc_client::proto::{
     read_frame, write_frame, ErrorKind, Frame, DEFAULT_BATCH_ROWS, DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
 };
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// A [`TcpStream`] that feeds every byte moved in either direction into
+/// the node's observability counters, so `dc.stats` shows the SQL front
+/// door's traffic next to the ring fabric's.
+struct MeteredConn {
+    inner: TcpStream,
+    bytes_in: Arc<dc_obs::Counter>,
+    bytes_out: Arc<dc_obs::Counter>,
+}
+
+impl Read for MeteredConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes_in.add(n as u64);
+        Ok(n)
+    }
+}
+
+impl Write for MeteredConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes_out.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Decrements the active-session gauge when a connection thread exits,
+/// however it exits.
+struct SessionGuard(Arc<dc_obs::Gauge>);
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
 
 /// How long a fresh connection may dawdle before its `Hello` arrives.
 const HELLO_TIMEOUT: Duration = Duration::from_secs(10);
@@ -53,9 +92,18 @@ pub fn spawn_sql_server(listener: TcpListener, node: Arc<RingNode>) -> JoinHandl
 
 /// Drive one client connection: validate the `Hello`, then answer
 /// `Query` frames until the peer disconnects or times out idle.
-pub fn handle_conn(mut conn: TcpStream, node: &RingNode) -> io::Result<()> {
+pub fn handle_conn(conn: TcpStream, node: &RingNode) -> io::Result<()> {
     conn.set_nodelay(true).ok();
     conn.set_read_timeout(Some(HELLO_TIMEOUT)).ok();
+    let obs = node.obs();
+    let sessions = obs.gauge("sql_sessions_active");
+    sessions.inc();
+    let _guard = SessionGuard(Arc::clone(&sessions));
+    let mut conn = MeteredConn {
+        inner: conn,
+        bytes_in: obs.counter("sql_frame_bytes_in"),
+        bytes_out: obs.counter("sql_frame_bytes_out"),
+    };
     match read_frame(&mut conn, DEFAULT_MAX_FRAME)? {
         Some(Frame::Hello { version: PROTOCOL_VERSION }) => {
             write_frame(&mut conn, &Frame::Hello { version: PROTOCOL_VERSION })?;
@@ -78,7 +126,7 @@ pub fn handle_conn(mut conn: TcpStream, node: &RingNode) -> io::Result<()> {
         _ => return Ok(()), // not a protocol client; drop silently
     }
 
-    conn.set_read_timeout(Some(IDLE_TIMEOUT)).ok();
+    conn.inner.set_read_timeout(Some(IDLE_TIMEOUT)).ok();
     while let Some(frame) = read_frame(&mut conn, DEFAULT_MAX_FRAME)? {
         let Frame::Query { sql } = frame else {
             write_frame(
@@ -97,6 +145,12 @@ pub fn handle_conn(mut conn: TcpStream, node: &RingNode) -> io::Result<()> {
             let table = table.trim();
             node.wait_for_table_timeout("sys", table, Duration::from_secs(10))
                 .map(|()| datacyclotron::ResultSet::with_info("ok\n"))
+                .map_err(|e| (ErrorKind::Ring, e.to_string()))
+        } else if stmt == ".metrics" {
+            // One-shot Prometheus-style `name value` dump of every node
+            // counter, gauge, and histogram (scraped by `dc-node metrics`).
+            node.metrics_text()
+                .map(datacyclotron::ResultSet::with_info)
                 .map_err(|e| (ErrorKind::Ring, e.to_string()))
         } else {
             node.execute(stmt).map_err(|e| (error_kind(&e), e.to_string()))

@@ -349,6 +349,58 @@ fn severed_owner_edge_counts_failed_appends() {
     ring.await_rows("select id, bal from acct order by id", &[(5, 50)], Duration::from_secs(20));
 }
 
+/// Counter consistency across layers: every fault the wrapper injects
+/// must cast a visible shadow in the engine's own counters. A dropped
+/// mutation frame shows up as an origin retry; a duplicated one shows up
+/// as an owner-side dedup — so `FaultStats` reconciles with
+/// `NodeStats` and no injected fault vanishes unobserved.
+#[test]
+fn injected_faults_reconcile_with_downstream_counters() {
+    let ring = chaos_ring(0xD208, FaultPlan::quiet);
+    ring.setup_acct();
+    let rs = ring.nodes[0].execute("insert into acct values (1, 0)").unwrap();
+    assert_eq!(rs.affected, Some(1));
+    settle();
+
+    // One dropped frame: the origin's retry is its downstream shadow.
+    ring.faults[1].drop_next(Edge::Data, 1);
+    let rs = ring.nodes[1].execute("update acct set bal = 1 where id = 1").unwrap();
+    assert_eq!(rs.affected, Some(1));
+
+    // One duplicated frame: the owner's dedup is its downstream shadow.
+    ring.faults[1].duplicate_next(Edge::Data, 1);
+    let rs = ring.nodes[1].execute("update acct set bal = 2 where id = 1").unwrap();
+    assert_eq!(rs.affected, Some(1));
+
+    let injected = ring.faults[1].stats();
+    assert!(injected.drops() >= 1, "no drop was injected");
+    assert_eq!(injected.duplicates(), 1, "no duplicate was injected");
+
+    // The duplicate's dedup can trail the ack by a ring hop; poll until
+    // the books balance: injected faults ≤ observed retries + dedups.
+    let want = injected.drops() + injected.duplicates();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let origin = ring.nodes[1].stats().unwrap();
+        let owner = ring.nodes[0].stats().unwrap();
+        if origin.retries >= 1
+            && owner.mutations_deduped >= 1
+            && origin.retries + owner.mutations_deduped >= want
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "injected faults never reconciled: {want} injected, \
+             origin retries {} + owner dedups {}",
+            origin.retries,
+            owner.mutations_deduped
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    ring.await_rows("select id, bal from acct order by id", &[(1, 2)], Duration::from_secs(20));
+}
+
 /// The seeded mix: every node's wrapper rolls drops, duplicates, and
 /// stalls from its own deterministic RNG while framed clients run the
 /// concurrency suite's mixed workload. Each pinned seed must converge to

@@ -24,8 +24,8 @@
 
 mod support;
 
-use dc_client::Client;
-use std::time::Duration;
+use dc_client::{Client, Val};
+use std::time::{Duration, Instant};
 
 fn run_mixed_workload(clients_per_node: usize, keys: usize) {
     let cluster = support::spawn_tcp_cluster(3);
@@ -61,6 +61,64 @@ fn mixed_workload_from_many_clients_converges_ring_wide() {
     // 6 clients (2 per node), 8 keys each: ~150 mutations, a third of
     // them routed through the ring to the owner.
     run_mixed_workload(2, 8);
+}
+
+/// The `dc.stats` SQL surface is the same ledger as the in-process API:
+/// a framed `SELECT name, value FROM dc.stats` must return every
+/// [`datacyclotron::NodeStats`] counter name-for-name with the value
+/// `RingNode::stats()` reports. Ring traffic keeps some counters ticking
+/// between the two reads (forwarded BATs circulate on their own), so the
+/// comparison retries until a consistent pair lands.
+#[test]
+fn dc_stats_over_framed_connection_matches_node_stats() {
+    let cluster = support::spawn_tcp_cluster(3);
+
+    // Drive a little real traffic so the compared counters are nonzero.
+    let mut session = Client::connect(cluster.sql_addrs[0]).unwrap();
+    session.query("create table acct (id int, bal int)").unwrap();
+    for addr in &cluster.sql_addrs {
+        let mut s = Client::connect(*addr).unwrap();
+        s.query(".wait acct").unwrap();
+    }
+    let mut remote = Client::connect(cluster.sql_addrs[1]).unwrap();
+    remote.query("insert into acct values (1, 10)").unwrap();
+    remote.query("update acct set bal = 20 where id = 1").unwrap();
+    remote.query("select count(*) from acct").unwrap();
+
+    let node = &cluster.nodes[1];
+    let mut probe = Client::connect(cluster.sql_addrs[1]).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let rs = probe.query("select name, value from dc.stats").unwrap();
+        let over_wire: Vec<(String, i64)> = (0..rs.row_count())
+            .map(|r| match (rs.cell(r, 0), rs.cell(r, 1)) {
+                (Val::Str(name), Val::Lng(value)) => (name, value),
+                other => panic!("unexpected dc.stats cell types {other:?}"),
+            })
+            .collect();
+        let stats = node.stats().unwrap();
+        let want: Vec<(String, i64)> =
+            stats.counters().iter().map(|(n, v)| (n.to_string(), *v as i64)).collect();
+        // The NodeStats block leads the view, in declared order; the
+        // registry's obs_* counters follow.
+        let got = &over_wire[..want.len().min(over_wire.len())];
+        if got == want.as_slice() {
+            assert!(
+                over_wire.iter().any(|(n, _)| n.starts_with("obs_")),
+                "registry counters missing from dc.stats: {over_wire:?}"
+            );
+            assert!(
+                want.iter().any(|(n, v)| n == "deliveries" && *v > 0),
+                "workload left no deliveries: {want:?}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "dc.stats never matched RingNode::stats():\n wire {got:?}\n node {want:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
 }
 
 /// The long variant: triple the fleet, 5× the keys per client — minutes,
