@@ -54,7 +54,7 @@ fn main() {
     for (name, levels, start) in [
         ("fixed 0.1", vec![0.1], 0),
         ("fixed 1.1", vec![1.1], 0),
-        ("dynamic {0.1,0.6,1.1}", vec![0.1, 0.6, 1.1], 0),
+        ("dynamic {0.1,0.6,1.1}", datacyclotron::loi::DEFAULT_LEVELS.to_vec(), 0),
     ] {
         let m = skewed_run(levels, start, scale);
         t.row(&[

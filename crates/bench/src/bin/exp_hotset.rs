@@ -1,0 +1,148 @@
+//! Hot-set management under a per-node memory budget (§4.4/§5): a
+//! 3-node durable ring holds a dataset ~4.5× each node's budget. A
+//! Gaussian-skewed phase keeps a handful of tables "in vogue" (they fit
+//! the budget and stay resident), then a uniform sweep forces cold
+//! misses that re-admit spilled fragments from disk — the hot-set vs
+//! cold-miss throughput gap, plus the eviction/re-admission counters
+//! behind it.
+//!
+//! Writes `BENCH_hotset.json` into the working directory so CI
+//! accumulates a perf trajectory; `DC_SCALE` shrinks the query volume
+//! (the dataset:budget ratio is fixed — it is the subject under test).
+
+use batstore::{Column, Val};
+use datacyclotron::{FsyncPolicy, Ring};
+use netsim::DetRng;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Per-node resident budget; each node owns one ~2.4 KiB fragment of
+/// every table, so 30 tables oversubscribe the budget ~4.5×.
+const BUDGET: u64 = 16 << 10;
+const TABLES: usize = 30;
+const ROWS: i32 = 600;
+
+/// Gaussian center/spread for the skewed phase: nearly all draws land
+/// on tables 0..=6 (~7 fragments ≈ 16.8 KiB per node — the hot set
+/// hugs the budget).
+const HOT_MEAN: f64 = 3.0;
+const HOT_STDDEV: f64 = 1.2;
+
+fn summed(ring: &Ring, pick: impl Fn(&datacyclotron::NodeStats) -> u64) -> u64 {
+    (0..3).map(|i| pick(&ring.node(i).stats().unwrap())).sum()
+}
+
+fn run_phase(ring: &Ring, draws: &[usize], label: &str) -> (f64, u64) {
+    let before = summed(ring, |s| s.loi_readmits);
+    let t0 = Instant::now();
+    for (i, &t) in draws.iter().enumerate() {
+        let rs = ring.execute(i % 3, &format!("select count(*) from t{t}")).unwrap();
+        assert_eq!(rs.cell(0, 0), Val::Lng(ROWS as i64), "{label}: t{t} lost rows");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let readmits = summed(ring, |s| s.loi_readmits) - before;
+    (draws.len() as f64 / secs, readmits)
+}
+
+fn main() {
+    let scale = dc_bench::scale();
+    dc_bench::banner(
+        "hot-set management: spill/re-admission under a memory budget",
+        "§4.4/§5 (LOI residency)",
+    );
+
+    let queries = ((400.0 * scale) as usize).max(40);
+    let dir = std::env::temp_dir().join(format!("dc_bench_hotset_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let ring =
+        Ring::builder(3).data_dir_root(&dir).fsync(FsyncPolicy::Off).mem_budget(BUDGET).build();
+
+    for t in 0..TABLES {
+        let ks: Vec<i32> = (0..ROWS).collect();
+        let avals: Vec<i32> = (0..ROWS).map(|k| k * 3 + 1).collect();
+        let bvals: Vec<i32> = (0..ROWS).map(|k| k % 7).collect();
+        ring.load_table(
+            "sys",
+            &format!("t{t}"),
+            vec![("k", Column::from(ks)), ("a", Column::from(avals)), ("b", Column::from(bvals))],
+        )
+        .unwrap();
+    }
+    let frag_bytes = (ROWS as u64) * 4;
+    let node_dataset = TABLES as u64 * frag_bytes;
+    println!(
+        "dataset: {TABLES} tables × 3 columns × {ROWS} rows — {node_dataset} bytes/node \
+         against a {BUDGET}-byte budget ({:.1}×)",
+        node_dataset as f64 / BUDGET as f64
+    );
+
+    // Let the initial spill wave finish: every node must fit its budget
+    // before the phases are timed.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let fits = (0..3).all(|i| ring.node(i).hotset().unwrap().resident_bytes <= BUDGET);
+        if fits {
+            break;
+        }
+        assert!(Instant::now() < deadline, "budget enforcement never converged");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let evictions = summed(&ring, |s| s.loi_evictions);
+    assert!(evictions > 0, "oversubscribed dataset never spilled — hot-set management regressed");
+
+    // Phase 1 — in vogue: Gaussian-skewed draws; after the first touch
+    // per table the hot set is resident and stays resident.
+    let mut rng = DetRng::new(0xD0C5);
+    let hot_draws: Vec<usize> = (0..queries)
+        .map(|_| loop {
+            let v = rng.normal(HOT_MEAN, HOT_STDDEV).round();
+            if v >= 0.0 && (v as usize) < TABLES {
+                break v as usize;
+            }
+        })
+        .collect();
+    let (hot_qps, hot_readmits) = run_phase(&ring, &hot_draws, "hot");
+    println!("hot phase:  {hot_qps:8.0} q/s  ({hot_readmits} re-admissions)");
+
+    // Phase 2 — cold sweep: uniform draws over the whole dataset; most
+    // queries must pull spilled fragments back from the owners' disks.
+    let cold_draws: Vec<usize> = (0..queries).map(|_| rng.index(TABLES)).collect();
+    let (cold_qps, cold_readmits) = run_phase(&ring, &cold_draws, "cold");
+    println!("cold sweep: {cold_qps:8.0} q/s  ({cold_readmits} re-admissions)");
+    assert!(
+        cold_readmits > hot_readmits,
+        "the uniform sweep must re-admit more than the skewed phase \
+         ({cold_readmits} vs {hot_readmits})"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"hotset\",\n");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{ \"nodes\": 3, \"tables\": {TABLES}, \"rows\": {ROWS}, \
+         \"queries_per_phase\": {queries} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"budget\": {{ \"bytes_per_node\": {BUDGET}, \"dataset_bytes_per_node\": \
+         {node_dataset} }},"
+    );
+    let _ = writeln!(json, "  \"hot\": {{ \"qps\": {hot_qps:.1}, \"readmits\": {hot_readmits} }},");
+    let _ =
+        writeln!(json, "  \"cold\": {{ \"qps\": {cold_qps:.1}, \"readmits\": {cold_readmits} }},");
+    let _ = writeln!(
+        json,
+        "  \"counters\": {{ \"loi_evictions\": {}, \"loi_readmits\": {}, \
+         \"readmits_routed\": {} }}",
+        summed(&ring, |s| s.loi_evictions),
+        summed(&ring, |s| s.loi_readmits),
+        summed(&ring, |s| s.readmits_routed),
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_hotset.json", &json).expect("write BENCH_hotset.json");
+    println!("{json}");
+    println!("wrote BENCH_hotset.json");
+    ring.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

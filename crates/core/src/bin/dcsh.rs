@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Commands: `.help`, `.demo`, `.tables`, `.plan <sql>`, `.node <i>`,
-//! `.timing on|off`, `.stats`, `.quit`. Anything else is executed as SQL
+//! `.timing on|off`, `.stats`, `.hotset`, `.quit`. Anything else is executed as SQL
 //! on the current node — SELECT, CREATE TABLE, and INSERT alike — the DC
 //! optimizer rewrites the plan and pins block until the fragments flow
 //! past. For a multi-process ring over TCP, see the `dc-node` binary in
@@ -77,6 +77,7 @@ impl Shell {
                 println!(".node <i>        settle queries on ring node i (now {})", self.node);
                 println!(".timing on|off   print query wall time (now {})", self.timing);
                 println!(".stats           session statistics");
+                println!(".hotset          per-fragment residency and LOI on the current node");
                 println!(".quit            exit");
             }
             ".demo" => self.load_demo(),
@@ -146,6 +147,43 @@ impl Shell {
                     }
                 }
             }
+            ".hotset" => match self.ring.node(self.node).hotset() {
+                Ok(snap) => {
+                    let budget = snap
+                        .mem_budget
+                        .map(|b| format!("{b} bytes"))
+                        .unwrap_or_else(|| "unlimited".into());
+                    println!(
+                        "node {}: LOIT {:.2} (level {}), resident {} bytes, spilled {} bytes, \
+                         budget {budget}",
+                        self.node,
+                        snap.loit,
+                        snap.loit_level,
+                        snap.resident_bytes,
+                        snap.spilled_bytes
+                    );
+                    if snap.rows.is_empty() {
+                        println!("(no owned fragments on this node)");
+                    } else {
+                        println!(
+                            "  {:<10} {:<24} {:<8} {:>8} {:>4} {:>10}",
+                            "bat", "table", "state", "loi", "ver", "bytes"
+                        );
+                        for r in snap.rows {
+                            println!(
+                                "  {:<10} {:<24} {:<8} {:>8.3} {:>4} {:>10}",
+                                format!("{}", r.bat),
+                                r.table,
+                                r.state,
+                                r.loi,
+                                r.version,
+                                r.size
+                            );
+                        }
+                    }
+                }
+                Err(e) => println!("error reading hotset: {e}"),
+            },
             ".quit" | ".exit" => return false,
             other => println!("unknown command {other}; try .help"),
         }

@@ -42,6 +42,10 @@ pub struct OwnedBat {
     pub max_cycles: u32,
     /// Current version (§6.4 updates).
     pub version: u32,
+    /// Most recent Eq. 1 value the owner computed for this BAT (updated
+    /// on every owner pass). Drives coldest-first spill victim selection
+    /// and the `dc.hotset` view; 0.0 until the first pass.
+    pub last_loi: f64,
 }
 
 /// S1: owned-BAT catalog.
@@ -68,6 +72,7 @@ impl S1Catalog {
                 interest_since_pass: 0,
                 max_cycles: 0,
                 version: 0,
+                last_loi: 0.0,
             },
         );
     }

@@ -86,10 +86,10 @@ impl Default for DcConfig {
     fn default() -> Self {
         DcConfig {
             queue_capacity: 200 * 1024 * 1024,
-            loit_levels: vec![0.1, 0.6, 1.1],
+            loit_levels: crate::loi::DEFAULT_LEVELS.to_vec(),
             loit_start: 0,
-            high_watermark: 0.8,
-            low_watermark: 0.4,
+            high_watermark: crate::loi::DEFAULT_HIGH_WATERMARK,
+            low_watermark: crate::loi::DEFAULT_LOW_WATERMARK,
             load_interval: SimDuration::from_millis(100),
             resend_timeout: SimDuration::from_secs(5),
             lost_after: SimDuration::from_secs(15),
@@ -145,7 +145,8 @@ mod tests {
         let c = DcConfig::default();
         c.validate().unwrap();
         assert_eq!(c.queue_capacity, 200 * 1024 * 1024);
-        assert_eq!(c.loit_levels, vec![0.1, 0.6, 1.1]);
+        assert_eq!(c.loit_levels, crate::loi::DEFAULT_LEVELS.to_vec());
+        assert_eq!(c.loit_levels, vec![0.1, 0.6, 1.1], "§5.2 experiment ladder");
         assert_eq!(c.high_watermark, 0.8);
         assert_eq!(c.low_watermark, 0.4);
     }

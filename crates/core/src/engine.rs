@@ -16,10 +16,17 @@
 //! gossip circulating once around the ring, and SQL `INSERT`s route row
 //! batches to the fragment owners as [`DcMsg::Append`] messages (§6.4).
 
+use crate::catalog::OwnedState;
 use crate::config::{DataDir, DcConfig};
 use crate::error::DcError;
+use crate::hotset::{
+    spill_victims, HotsetAccounting, HotsetRow, HotsetSnapshot, ReadmitTracker, SpillQueue,
+};
 use crate::ids::{BatId, NodeId, QueryId};
-use crate::msg::{AppendMsg, CatalogCol, CatalogMsg, DcMsg, MutAckMsg, MutOp, MutateMsg};
+use crate::msg::{
+    AppendMsg, CatalogCol, CatalogMsg, DcMsg, EvictMsg, MutAckMsg, MutOp, MutateMsg, ReadmitAckMsg,
+    ReadmitMsg,
+};
 use crate::proto::{DcNode, Effect, PinOutcome};
 use crate::runtime::{CatalogNotify, Cmd, FragInfo, RingCatalog, RingHooks, Waiter};
 use crate::stats::NodeStats;
@@ -33,7 +40,8 @@ use dc_persist::{
 use mal::{MalError, SessionCtx};
 use netsim::SimTime;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -324,7 +332,26 @@ struct NodeCtx {
     obs: Arc<dc_obs::Registry>,
     /// Per-[`DcMsg`]-kind handling-latency histograms, indexed by
     /// [`msg_kind`] so the hot loop never does a name lookup.
-    msg_hists: [Arc<dc_obs::Histogram>; 6],
+    msg_hists: [Arc<dc_obs::Histogram>; 9],
+    /// Residency accounting against the node's memory budget: which
+    /// owned fragments hold RAM, which are spilled to disk.
+    hotset: HotsetAccounting,
+    /// Cold fragments queued for the two-phase "checkpoint, then drop"
+    /// spill.
+    spill_queue: SpillQueue,
+    /// In-flight `Readmit` requests this node originated.
+    readmits: ReadmitTracker,
+    /// Fragments other ring members announced as spilled ([`EvictMsg`]):
+    /// a pin that must-waits on one of these routes a `Readmit` instead
+    /// of waiting for a circulation that will never come.
+    remote_spilled: HashSet<BatId>,
+    /// Queue-to-drop latency of finalized spills.
+    spill_hist: Arc<dc_obs::Histogram>,
+    /// Disk-to-ring latency of fragment re-admissions.
+    readmit_hist: Arc<dc_obs::Histogram>,
+    /// Live hot-set gauges, in order: resident bytes, spilled bytes,
+    /// spilled fragment count, current LOIT ladder level.
+    hotset_gauges: [Arc<dc_obs::Gauge>; 4],
     started: Instant,
     tick_every: Duration,
 }
@@ -338,18 +365,24 @@ fn msg_kind(msg: &DcMsg) -> usize {
         DcMsg::Append(_) => 3,
         DcMsg::Mutate(_) => 4,
         DcMsg::MutAck(_) => 5,
+        DcMsg::Evict(_) => 6,
+        DcMsg::Readmit(_) => 7,
+        DcMsg::ReadmitAck(_) => 8,
     }
 }
 
 /// The histogram names backing [`NodeCtx::msg_hists`], in [`msg_kind`]
 /// order.
-const MSG_HIST_NAMES: [&str; 6] = [
+const MSG_HIST_NAMES: [&str; 9] = [
     "dc_msg_bat_handle_us",
     "dc_msg_request_handle_us",
     "dc_msg_catalog_handle_us",
     "dc_msg_append_handle_us",
     "dc_msg_mutate_handle_us",
     "dc_msg_mutack_handle_us",
+    "dc_msg_evict_handle_us",
+    "dc_msg_readmit_handle_us",
+    "dc_msg_readmitack_handle_us",
 ];
 
 /// Which end-to-end latency histogram a SQL statement lands in, by its
@@ -404,8 +437,11 @@ impl NodeCtx {
             }
             let effects = self.node.tick();
             self.execute(effects, &mut PayloadSlot::new(None));
+            self.enforce_budget();
             self.maybe_checkpoint();
+            self.service_spills();
             self.service_pending();
+            self.sync_hotset_telemetry();
         }
     }
 
@@ -450,6 +486,13 @@ impl NodeCtx {
                 );
                 match p.what {
                     "mutation" => self.node.stats.mutations_failed += 1,
+                    // A dead readmit is not a failed write: clear the
+                    // in-flight marker so a later pin can route a fresh
+                    // one, and leave the blocked pin to the Fig. 3
+                    // timeout-resend fallback.
+                    "readmit" => {
+                        self.readmits.complete(id);
+                    }
                     _ => self.node.stats.appends_failed += 1,
                 }
                 p.ack.fulfill(Err(format!(
@@ -553,8 +596,14 @@ impl NodeCtx {
     /// checkpointer. Appends keep flowing into the new generation while
     /// the checkpoint is written behind the node.
     fn maybe_checkpoint(&mut self) {
+        // A queued spill that no snapshot carries yet forces a checkpoint
+        // ahead of the WAL-bytes trigger: its payload cannot be dropped
+        // until a checkpoint holding it commits.
+        let spill_wants = self.spill_queue.has_unsubmitted();
         let Some(p) = self.persist.as_mut() else { return };
-        if p.bytes_since_checkpoint < p.checkpoint_wal_bytes || !p.checkpointer.idle() {
+        if (p.bytes_since_checkpoint < p.checkpoint_wal_bytes && !spill_wants)
+            || !p.checkpointer.idle()
+        {
             return;
         }
         let next_gen = p.gen + 1;
@@ -569,28 +618,42 @@ impl NodeCtx {
         p.wal = wal;
         p.gen = next_gen;
         p.bytes_since_checkpoint = 0;
+        let mut frags: Vec<FragSnap> = self
+            .disk
+            .iter()
+            .map(|(b, f)| FragSnap {
+                bat: b.0,
+                version: self.node.s1.get(*b).map(|o| o.version).unwrap_or(0),
+                payload: Some(Arc::clone(&f.bat)),
+            })
+            .collect();
+        // Spilled fragments ride along payload-less: their at-rest copy
+        // already exists from the checkpoint that finalized the spill,
+        // and the entry keeps the file out of garbage collection and the
+        // version in the catalog snapshot.
+        for (bat, info) in self.hotset.spilled_iter() {
+            frags.push(FragSnap { bat: bat.0, version: info.version, payload: None });
+        }
         let snap = Snapshot {
             node: self.node.id.0,
             replay_from: next_gen,
             tables: p.tables.values().map(table_rec).collect(),
-            frags: self
-                .disk
-                .iter()
-                .map(|(b, f)| FragSnap {
-                    bat: b.0,
-                    version: self.node.s1.get(*b).map(|o| o.version).unwrap_or(0),
-                    payload: Arc::clone(&f.bat),
-                })
-                .collect(),
+            frags,
         };
         if p.checkpointer.submit(snap) {
             self.node.stats.checkpoints += 1;
+            // This snapshot carries every currently queued spill payload
+            // and will be checkpoint `completed() + 1`.
+            self.spill_queue.mark_submitted(p.checkpointer.completed() + 1);
         }
     }
 
     fn on_ring(&mut self, msg: DcMsg) {
         match msg {
             DcMsg::Bat { header, payload } => {
+                // A circulating copy proves the fragment is back in the
+                // ring, whatever Evict announcements said earlier.
+                self.remote_spilled.remove(&header.bat);
                 let effects = self.node.on_bat(header);
                 self.execute(effects, &mut PayloadSlot::new(payload));
             }
@@ -717,6 +780,77 @@ impl NodeCtx {
                     let _ = self.transport.send_data(DcMsg::MutAck(a));
                 }
             }
+            DcMsg::Evict(e) => {
+                // Circulate once, like Catalog: every node learns the
+                // fragment left the ring so its pins route `Readmit`s
+                // instead of waiting for a circulation that won't come.
+                if e.owner == self.node.id {
+                    return; // completed its cycle
+                }
+                self.remote_spilled.insert(e.bat);
+                self.obs.trace(
+                    self.boot_epoch,
+                    0,
+                    "evict_seen",
+                    format!("{} spilled by {} ({} bytes)", e.bat, e.owner, e.size),
+                );
+                let _ = self.transport.send_data(DcMsg::Evict(e));
+            }
+            DcMsg::Readmit(r) => {
+                if self.node.s1.is_owner(r.bat) {
+                    // Retried readmits re-deliver the same statement id;
+                    // the dedup cache guarantees at most one reload and
+                    // re-injection per routed request.
+                    let key = (r.origin.0, r.epoch, r.id);
+                    let result = match self.applied_ops.get(&key) {
+                        Some(cached) => {
+                            self.node.stats.mutations_deduped += 1;
+                            self.obs.trace(
+                                r.epoch,
+                                r.id,
+                                "dedup",
+                                format!("readmit of {} from {} re-delivered", r.bat, r.origin),
+                            );
+                            cached.clone()
+                        }
+                        None => {
+                            let res = self.admit_fragment(r.bat);
+                            self.obs.trace(
+                                r.epoch,
+                                r.id,
+                                "apply",
+                                match &res {
+                                    Ok(_) => format!("readmit of {} from {}", r.bat, r.origin),
+                                    Err(e) => format!(
+                                        "readmit of {} from {} failed: {e}",
+                                        r.bat, r.origin
+                                    ),
+                                },
+                            );
+                            self.remember_applied(key, res.clone());
+                            res
+                        }
+                    };
+                    self.finish_readmit_answer(r.origin, r.epoch, r.id, r.bat, result);
+                } else if r.origin != self.node.id {
+                    let _ = self.transport.send_data(DcMsg::Readmit(r));
+                } else {
+                    // Cycled the whole ring without finding an owner.
+                    self.finish_readmit(ReadmitAckMsg {
+                        target: r.origin,
+                        epoch: r.epoch,
+                        id: r.id,
+                        result: Err(format!("no owner found for {} re-admission", r.bat)),
+                    });
+                }
+            }
+            DcMsg::ReadmitAck(a) => {
+                if a.target == self.node.id {
+                    self.finish_readmit(a);
+                } else {
+                    let _ = self.transport.send_data(DcMsg::ReadmitAck(a));
+                }
+            }
         }
     }
 
@@ -739,10 +873,267 @@ impl NodeCtx {
             if ack.result.is_err() {
                 match p.what {
                     "mutation" => self.node.stats.mutations_failed += 1,
+                    "readmit" => {} // not a write; nothing durable failed
                     _ => self.node.stats.appends_failed += 1,
                 }
             }
             p.ack.fulfill(ack.result);
+        }
+    }
+
+    /// Deliver a readmit's result to its origin: resolved locally when we
+    /// are the origin, otherwise as a [`ReadmitAckMsg`] clockwise. A lost
+    /// ack is counted; the origin's retry re-delivers the `Readmit` and
+    /// the dedup cache re-sends this result.
+    fn finish_readmit_answer(
+        &mut self,
+        origin: NodeId,
+        epoch: u64,
+        id: u64,
+        bat: BatId,
+        result: Result<u64, String>,
+    ) {
+        self.obs.trace(epoch, id, "ack_sent", format!("readmit of {bat} to {origin}"));
+        let ack = ReadmitAckMsg { target: origin, epoch, id, result };
+        if origin == self.node.id {
+            self.finish_readmit(ack);
+        } else if let Err(e) = self.transport.send_data(DcMsg::ReadmitAck(ack)) {
+            self.node.stats.mutation_acks_lost += 1;
+            eprintln!(
+                "[dc-node {}] readmit {} applied but its ack could not be sent: {e}",
+                self.node.id, id
+            );
+        }
+    }
+
+    /// Resolve a readmit acknowledgement at its origin: clear the
+    /// in-flight tracker (so the fragment's circulating copy, not the
+    /// Evict announcement, now governs pin behavior) and settle the
+    /// routed statement like any other ack.
+    fn finish_readmit(&mut self, ack: ReadmitAckMsg) {
+        if ack.epoch != self.boot_epoch {
+            return;
+        }
+        if let Some(bat) = self.readmits.complete(ack.id) {
+            if ack.result.is_ok() {
+                self.remote_spilled.remove(&bat);
+            }
+        }
+        let ReadmitAckMsg { target, epoch, id, result } = ack;
+        self.finish_mutation(MutAckMsg { target, epoch, id, result });
+    }
+
+    /// Owner-side handling of a routed `Readmit`: make the fragment
+    /// resident (reloading its checkpoint file if it was spilled) and
+    /// re-inject it into ring circulation. Idempotent at every layer —
+    /// already-circulating states are left alone.
+    fn admit_fragment(&mut self, bat: BatId) -> Result<u64, String> {
+        let Some(owned) = self.node.s1.get(bat) else {
+            return Err(format!("{bat} is not owned by this node"));
+        };
+        let state = owned.state;
+        match state {
+            // Already circulating (or a load is already in flight): the
+            // requester's pin will catch the copy as it passes.
+            OwnedState::InRing { .. } | OwnedState::Loading | OwnedState::Pending { .. } => Ok(0),
+            OwnedState::OnDisk => {
+                let reloaded = self.ensure_resident(bat)?;
+                self.spill_queue.cancel(bat);
+                if !reloaded {
+                    // No disk reload happened (the payload never left
+                    // RAM), but this is still a re-admission event.
+                    self.node.stats.loi_readmits += 1;
+                }
+                let effects = self.node.bat_loaded(bat);
+                self.execute(effects, &mut PayloadSlot::new(None));
+                Ok(1)
+            }
+        }
+    }
+
+    /// Guarantee the owned fragment's payload is in RAM, reloading the
+    /// spilled checkpoint file if necessary. Returns whether a disk
+    /// reload happened. The spilled version is preserved: the file was
+    /// written at the version the catalog still records (spilled
+    /// fragments are immutable — mutations reload first).
+    fn ensure_resident(&mut self, bat: BatId) -> Result<bool, String> {
+        if self.disk.contains_key(&bat) {
+            return Ok(false);
+        }
+        let Some(info) = self.hotset.spilled_get(bat) else {
+            return Err(format!("owned {bat} missing from disk"));
+        };
+        let Some(p) = self.persist.as_ref() else {
+            return Err(format!("owned {bat} spilled but the node has no data dir"));
+        };
+        let start = Instant::now();
+        let payload = storage::load_bat(&p.dir.bat_path(bat.0))
+            .map_err(|e| format!("reloading spilled {bat}: {e}"))?;
+        let size = payload.byte_size() as u64;
+        self.disk.insert(bat, StoredFrag::new(Arc::new(payload)));
+        self.hotset.note_reloaded(bat);
+        self.hotset.note_resident(bat, size);
+        self.node.stats.loi_readmits += 1;
+        self.readmit_hist.record_elapsed_micros(start);
+        self.obs.trace(
+            self.boot_epoch,
+            0,
+            "readmit",
+            format!("{bat} reloaded from disk ({size} bytes, spilled at v{})", info.version),
+        );
+        Ok(true)
+    }
+
+    /// Queue a cold fragment for the two-phase spill. No-op without a
+    /// data dir (diskless nodes have nowhere to put the at-rest copy, so
+    /// `Effect::Unload` stays the historical no-op) or if the payload is
+    /// not actually resident.
+    fn begin_spill(&mut self, bat: BatId) {
+        if self.persist.is_none() {
+            return;
+        }
+        let Some(owned) = self.node.s1.get(bat) else { return };
+        let (version, size) = (owned.version, owned.size);
+        if !self.disk.contains_key(&bat) {
+            return;
+        }
+        self.spill_queue.push(bat, version, size);
+    }
+
+    /// Finalize spills whose carrying checkpoint has committed: verify
+    /// the fragment is still cold and unchanged, then drop the RAM
+    /// payload — the checkpoint's `bats/<id>.bat` is now the only copy —
+    /// and announce the eviction around the ring.
+    fn service_spills(&mut self) {
+        if self.spill_queue.is_empty() {
+            return;
+        }
+        let Some(p) = self.persist.as_ref() else { return };
+        let completed = p.checkpointer.completed();
+        for spill in self.spill_queue.take_ready(completed) {
+            let still_cold = self
+                .node
+                .s1
+                .get(spill.bat)
+                .is_some_and(|o| o.state == OwnedState::OnDisk && o.version == spill.version);
+            if !still_cold {
+                // A mutation or re-demand raced the checkpoint; the RAM
+                // copy is the truth, keep it.
+                continue;
+            }
+            if self.disk.remove(&spill.bat).is_none() {
+                continue;
+            }
+            self.hotset.note_spilled(spill.bat, spill.version, spill.size);
+            self.node.stats.loi_evictions += 1;
+            self.spill_hist.record_elapsed_micros(spill.queued);
+            self.obs.trace(
+                self.boot_epoch,
+                0,
+                "evict",
+                format!("{} spilled ({} bytes, v{})", spill.bat, spill.size, spill.version),
+            );
+            let _ = self.transport.send_data(DcMsg::Evict(EvictMsg {
+                owner: self.node.id,
+                bat: spill.bat,
+                version: spill.version,
+                size: spill.size,
+            }));
+        }
+    }
+
+    /// Queue the coldest off-ring fragments for spill until projected
+    /// residency fits the memory budget. Runs every tick; bytes already
+    /// queued count as "on their way out" so an in-flight checkpoint
+    /// does not cause over-spill.
+    fn enforce_budget(&mut self) {
+        if self.persist.is_none() {
+            return;
+        }
+        let excess = self.hotset.excess().saturating_sub(self.spill_queue.queued_bytes());
+        if excess == 0 {
+            return;
+        }
+        let candidates: Vec<(BatId, f64, u64)> = self
+            .node
+            .s1
+            .iter()
+            .filter(|(bat, o)| {
+                o.state == OwnedState::OnDisk
+                    && self.disk.contains_key(bat)
+                    && !self.spill_queue.is_pending(*bat)
+            })
+            .map(|(bat, o)| (bat, o.last_loi, o.size))
+            .collect();
+        for bat in spill_victims(candidates, excess) {
+            self.begin_spill(bat);
+        }
+    }
+
+    /// If the fragment a pin just blocked on is known to be spilled
+    /// somewhere on the ring, route a `Readmit` to its owner instead of
+    /// waiting for a circulation that will never come on its own.
+    fn maybe_route_readmit(&mut self, bat: BatId) {
+        if !self.remote_spilled.contains(&bat) || self.readmits.is_pending(bat) {
+            return;
+        }
+        let id = self.next_mut;
+        self.next_mut += 1;
+        self.readmits.begin(bat, id);
+        self.node.stats.readmits_routed += 1;
+        // Nothing blocks on this waiter — the pin already waits on S3 —
+        // but route_op needs one for its timeout bookkeeping.
+        let ack = Arc::new(Waiter::default());
+        let msg =
+            DcMsg::Readmit(ReadmitMsg { origin: self.node.id, epoch: self.boot_epoch, id, bat });
+        self.route_op(id, msg, ack, "readmit", format!("{bat}"));
+    }
+
+    /// Push the hot-set residency totals and LOIT level into the node's
+    /// gauge registry, and mirror the ladder's transition count into
+    /// [`NodeStats`].
+    fn sync_hotset_telemetry(&mut self) {
+        self.node.stats.loit_transitions = self.node.ladder.transitions;
+        self.hotset_gauges[0].set(self.hotset.resident_bytes() as i64);
+        self.hotset_gauges[1].set(self.hotset.spilled_bytes() as i64);
+        self.hotset_gauges[2].set(self.hotset.spilled_count() as i64);
+        self.hotset_gauges[3].set(self.node.ladder.level_index() as i64);
+    }
+
+    /// One row per owned fragment plus the node-wide residency totals,
+    /// for the `dc.hotset` view and the dcsh `.hotset` meta-statement.
+    fn hotset_snapshot(&self) -> HotsetSnapshot {
+        let mut rows: Vec<HotsetRow> = self
+            .node
+            .s1
+            .iter()
+            .map(|(bat, o)| {
+                let state = if self.hotset.is_spilled(bat) {
+                    "spilled"
+                } else {
+                    match o.state {
+                        OwnedState::InRing { .. } => "in-ring",
+                        OwnedState::Loading => "loading",
+                        OwnedState::Pending { .. } => "pending",
+                        OwnedState::OnDisk => "on-disk",
+                    }
+                };
+                let table = self
+                    .catalog
+                    .table_of(bat)
+                    .map(|(s, t)| format!("{s}.{t}"))
+                    .unwrap_or_else(|| "?".into());
+                HotsetRow { bat, table, state, loi: o.last_loi, version: o.version, size: o.size }
+            })
+            .collect();
+        rows.sort_by_key(|r| r.bat.0);
+        HotsetSnapshot {
+            rows,
+            loit: self.node.ladder.current(),
+            loit_level: self.node.ladder.level_index(),
+            resident_bytes: self.hotset.resident_bytes(),
+            spilled_bytes: self.hotset.spilled_bytes(),
+            mem_budget: self.hotset.mem_budget(),
         }
     }
 
@@ -806,6 +1197,12 @@ impl NodeCtx {
     /// neither a WAL failure nor a crash can leave half a row behind —
     /// an owner-acknowledged INSERT is on disk, whole.
     fn append_batch(&mut self, parts: &[(BatId, &Column)]) -> Result<(), String> {
+        // Mutating a spilled fragment would invalidate its at-rest copy;
+        // reload every target first so the append applies in RAM and the
+        // version gate keeps the stale file from ever being finalized.
+        for (bat, _) in parts {
+            self.ensure_resident(*bat)?;
+        }
         let mut staged = Vec::with_capacity(parts.len());
         for (bat, vals) in parts {
             let frag =
@@ -829,6 +1226,7 @@ impl NodeCtx {
             let frag = StoredFrag::new(Arc::new(grown));
             let size = frag.bat.byte_size() as u64;
             self.disk.insert(bat, frag);
+            self.hotset.note_resident(bat, size);
             if let Some(owned) = self.node.s1.get_mut(bat) {
                 owned.size = size;
                 owned.version = version;
@@ -850,11 +1248,14 @@ impl NodeCtx {
                 self.execute(effects, &mut PayloadSlot::new(None));
                 match outcome {
                     PinOutcome::OwnedLocal => {
-                        let r = self
-                            .disk
-                            .get(&bat)
-                            .map(|f| Arc::clone(&f.bat))
-                            .ok_or_else(|| format!("owned fragment {bat} missing from disk"));
+                        // The owned payload may have been spilled; a
+                        // local pin re-admits it synchronously.
+                        let r = self.ensure_resident(bat).and_then(|_| {
+                            self.disk
+                                .get(&bat)
+                                .map(|f| Arc::clone(&f.bat))
+                                .ok_or_else(|| format!("owned fragment {bat} missing from disk"))
+                        });
                         waiter.fulfill(r);
                     }
                     PinOutcome::Cached => {
@@ -867,6 +1268,10 @@ impl NodeCtx {
                     }
                     PinOutcome::MustWait => {
                         self.waiting.entry(bat).or_default().push((query, waiter));
+                        // If the fragment is known spilled at its owner,
+                        // a circulation will not come on its own — ask
+                        // the owner to re-admit it.
+                        self.maybe_route_readmit(bat);
                     }
                 }
             }
@@ -895,6 +1300,7 @@ impl NodeCtx {
                 }
                 let size = payload.byte_size() as u64;
                 self.disk.insert(bat, StoredFrag::new(payload));
+                self.hotset.note_resident(bat, size);
                 self.node.register_owned(bat, size);
             }
             Cmd::CreateTable { schema, table, cols, ack } => {
@@ -943,6 +1349,9 @@ impl NodeCtx {
             }
             Cmd::Stats { ack } => {
                 ack.fulfill(Ok(self.node.stats.clone()));
+            }
+            Cmd::Hotset { ack } => {
+                ack.fulfill(Ok(self.hotset_snapshot()));
             }
             Cmd::PublishTable { table, gossip } => {
                 self.apply_catalog(&table);
@@ -1003,6 +1412,7 @@ impl NodeCtx {
         for (bat, payload) in payloads {
             let size = payload.byte_size() as u64;
             self.disk.insert(bat, StoredFrag::new(payload));
+            self.hotset.note_resident(bat, size);
             self.node.register_owned(bat, size);
         }
         publish_table(&self.catalog, &self.meta, &gossip);
@@ -1136,6 +1546,13 @@ impl NodeCtx {
         preds: &[RowPredicate],
     ) -> Result<u64, String> {
         let frags = self.table_frags(schema, table)?;
+        // Spilled columns reload first: a mutation must apply against the
+        // RAM copy, bumping the version past the stale at-rest file.
+        for (_, info) in &frags {
+            if self.node.s1.is_owner(info.bat) {
+                self.ensure_resident(info.bat)?;
+            }
+        }
         let mut payloads: Vec<(String, BatId, Arc<Bat>)> = Vec::with_capacity(frags.len());
         for (name, info) in &frags {
             if !self.node.s1.is_owner(info.bat) {
@@ -1232,6 +1649,7 @@ impl NodeCtx {
             let frag = StoredFrag::new(Arc::new(b));
             let size = frag.bat.byte_size() as u64;
             self.disk.insert(bat, frag);
+            self.hotset.note_resident(bat, size);
             if let Some(owned) = self.node.s1.get_mut(bat) {
                 owned.size = size;
                 owned.version = version;
@@ -1307,12 +1725,32 @@ impl NodeCtx {
                     let _ = self.transport.send_request(DcMsg::Request(r));
                 }
                 Effect::LoadFromDisk { bat, .. } => {
-                    // Local "disk" is main memory here; complete at once.
-                    let effects = self.node.bat_loaded(bat);
-                    self.execute(effects, payload);
+                    // Local "disk" is main memory — unless the fragment
+                    // was spilled, in which case the checkpoint file is
+                    // reloaded first. Either way the load completes
+                    // within this event.
+                    match self.ensure_resident(bat) {
+                        Ok(_) => {
+                            self.spill_queue.cancel(bat);
+                            let effects = self.node.bat_loaded(bat);
+                            self.execute(effects, payload);
+                        }
+                        Err(err) => {
+                            eprintln!(
+                                "[dc-node {}] cannot load {bat} for ring injection: {err}",
+                                self.node.id
+                            );
+                            self.node.s1.set_state(bat, OwnedState::OnDisk);
+                        }
+                    }
                 }
-                Effect::Unload(_) => {
-                    // The payload simply stops being forwarded.
+                Effect::Unload(bat) => {
+                    // Fig. 5: the fragment leaves the hot set. With a
+                    // data dir this starts the two-phase spill of the RAM
+                    // payload ("checkpoint, then drop"); diskless nodes
+                    // keep the historical behavior — the payload simply
+                    // stops being forwarded but stays in memory.
+                    self.begin_spill(bat);
                 }
                 Effect::Deliver { header, queries } => {
                     let p = payload
@@ -1378,6 +1816,12 @@ pub struct NodeOptions {
     /// Resends after the first attempt before a routed statement fails
     /// with a timeout error.
     pub ack_retries: u32,
+    /// Soft cap on resident owned-fragment bytes. When projected
+    /// residency exceeds it, the coldest off-ring fragments (lowest
+    /// Eq. 1 LOI) are spilled to the data dir and dropped from RAM.
+    /// Requires `data_dir`; ignored on diskless nodes (they have nowhere
+    /// to put the at-rest copy). `None` disables spilling.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for NodeOptions {
@@ -1393,6 +1837,7 @@ impl Default for NodeOptions {
             // error beats the generic waiter message everywhere.
             ack_timeout: Duration::from_millis(1200),
             ack_retries: 3,
+            mem_budget: None,
         }
     }
 }
@@ -1446,6 +1891,7 @@ impl RingNode {
 
         let mut node = DcNode::new(id, opts.cfg.clone());
         let mut disk: HashMap<BatId, StoredFrag> = HashMap::new();
+        let mut hotset = HotsetAccounting::new(opts.mem_budget);
         let mut persist = None;
         let mut readvertise: Vec<CatalogMsg> = Vec::new();
 
@@ -1465,6 +1911,7 @@ impl RingNode {
                 if let Some(owned) = node.s1.get_mut(bat) {
                     owned.version = f.version;
                 }
+                hotset.note_resident(bat, size);
                 disk.insert(bat, StoredFrag::new(payload));
             }
 
@@ -1512,7 +1959,7 @@ impl RingNode {
                     .map(|(b, f)| FragSnap {
                         bat: b.0,
                         version: node.s1.get(*b).map(|o| o.version).unwrap_or(0),
-                        payload: Arc::clone(&f.bat),
+                        payload: Some(Arc::clone(&f.bat)),
                     })
                     .collect(),
             };
@@ -1562,6 +2009,18 @@ impl RingNode {
             persist,
             obs: Arc::clone(&obs),
             msg_hists: std::array::from_fn(|i| obs.histogram(MSG_HIST_NAMES[i])),
+            hotset,
+            spill_queue: SpillQueue::default(),
+            readmits: ReadmitTracker::default(),
+            remote_spilled: HashSet::new(),
+            spill_hist: obs.histogram("spill_us"),
+            readmit_hist: obs.histogram("readmit_us"),
+            hotset_gauges: [
+                obs.gauge("hotset_resident_bytes"),
+                obs.gauge("hotset_spilled_bytes"),
+                obs.gauge("hotset_spilled_frags"),
+                obs.gauge("loit_level"),
+            ],
             started: Instant::now(),
             tick_every: opts.tick_every,
         };
@@ -1780,6 +2239,18 @@ impl RingNode {
             .map_err(DcError::Ring)
     }
 
+    /// Snapshot this node's hot-set view: one row per owned fragment
+    /// (in-ring / on-disk / spilled, last LOI, version, size) plus the
+    /// residency totals and the LOIT ladder position. Feeds the
+    /// `dc.hotset` system view and the dcsh `.hotset` meta-statement.
+    pub fn hotset(&self) -> Result<HotsetSnapshot, DcError> {
+        let ack = Arc::new(Waiter::default());
+        self.send(Cmd::Hotset { ack: Arc::clone(&ack) })
+            .map_err(|e| DcError::Ring(e.to_string()))?;
+        ack.wait_for_outcome(Duration::from_secs(10), "hotset request timed out")
+            .map_err(DcError::Ring)
+    }
+
     /// This node's telemetry registry: counters, latency histograms, and
     /// the statement trace ring. The same registry the event loop,
     /// transport metering, and `dc.*` system views feed.
@@ -1853,12 +2324,19 @@ pub struct Ring {
 pub struct RingBuilder {
     n: usize,
     opts: NodeOptions,
+    data_dir_root: Option<PathBuf>,
+    fsync: crate::config::FsyncPolicy,
 }
 
 impl RingBuilder {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "a ring needs at least one node");
-        RingBuilder { n, opts: NodeOptions::default() }
+        RingBuilder {
+            n,
+            opts: NodeOptions::default(),
+            data_dir_root: None,
+            fsync: crate::config::FsyncPolicy::Always,
+        }
     }
 
     pub fn config(mut self, cfg: DcConfig) -> Self {
@@ -1871,16 +2349,36 @@ impl RingBuilder {
         self
     }
 
+    /// Give every node a data dir under `root` (`root/node<i>`), turning
+    /// on WAL + checkpointing — and making `mem_budget` effective.
+    pub fn data_dir_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.data_dir_root = Some(root.into());
+        self
+    }
+
+    /// Fsync policy for the per-node data dirs (default: every record).
+    pub fn fsync(mut self, policy: crate::config::FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Per-node resident-bytes budget (see [`NodeOptions::mem_budget`]).
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.opts.mem_budget = Some(bytes);
+        self
+    }
+
     pub fn build(self) -> Ring {
         let nodes = mem::ring(self.n)
             .into_iter()
             .enumerate()
             .map(|(i, t)| {
-                RingNode::spawn(
-                    NodeId(i as u16),
-                    Arc::new(t) as Arc<dyn RingTransport>,
-                    self.opts.clone(),
-                )
+                let mut opts = self.opts.clone();
+                if let Some(root) = &self.data_dir_root {
+                    opts.data_dir =
+                        Some(DataDir::new(root.join(format!("node{i}"))).fsync(self.fsync));
+                }
+                RingNode::spawn(NodeId(i as u16), Arc::new(t) as Arc<dyn RingTransport>, opts)
             })
             .collect();
         Ring { nodes, next_bat: AtomicU64::new(1), templates: mal::TemplateCache::new() }
@@ -2482,6 +2980,83 @@ mod tests {
         );
         let err = spawned.err().expect("foreign data dir must be refused");
         assert!(err.contains("belongs to node 0"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // ---- hot-set management: spill and re-admission -----------------------
+
+    /// A durable one-node ring whose resident owned fragments are capped
+    /// by a memory budget: the coldest spill to the data dir.
+    fn budget_node(dir: &std::path::Path, mem_budget: u64) -> RingNode {
+        let t = mem::ring(1).pop().expect("one node");
+        RingNode::spawn(
+            NodeId(0),
+            Arc::new(t) as Arc<dyn RingTransport>,
+            NodeOptions {
+                cfg: DcConfig {
+                    load_interval: netsim::SimDuration::from_millis(5),
+                    resend_timeout: netsim::SimDuration::from_millis(500),
+                    ..DcConfig::default()
+                },
+                pin_timeout: Duration::from_secs(10),
+                tick_every: Duration::from_millis(2),
+                data_dir: Some(
+                    crate::config::DataDir::new(dir).fsync(crate::config::FsyncPolicy::Off),
+                ),
+                mem_budget: Some(mem_budget),
+                ..NodeOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_readmits_on_demand() {
+        let dir = scratch_dir("budget");
+        let node = budget_node(&dir, 1);
+        node.submit_sql("create table cold (k int, v int)").unwrap();
+        node.submit_sql("insert into cold values (1, 10), (2, 20), (3, 30)").unwrap();
+
+        // A 1-byte budget makes every owned fragment excess: both columns
+        // are checkpointed (the bat file IS the at-rest format) and their
+        // in-memory payloads dropped.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = node.stats().unwrap();
+            if stats.loi_evictions >= 2 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "fragments never spilled: {stats:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let snap = node.hotset().unwrap();
+        assert!(
+            snap.rows.iter().any(|r| r.state == "spilled"),
+            "hotset view shows no spilled fragment: {:?}",
+            snap.rows
+        );
+        assert!(snap.spilled_bytes > 0, "spilled bytes gauge never moved: {snap:?}");
+
+        // Querying the evicted table re-admits its fragments from disk
+        // and answers with the correct typed rows.
+        let out = node.submit_sql("select k, v from cold order by k").unwrap();
+        let rows: Vec<&str> = out.lines().filter(|l| l.starts_with('[')).collect();
+        assert_eq!(rows, vec!["[ 1,\t10 ]", "[ 2,\t20 ]", "[ 3,\t30 ]"], "{out}");
+        let stats = node.stats().unwrap();
+        assert!(stats.loi_readmits >= 1, "re-admission not counted: {stats:?}");
+
+        // Appends against spilled fragments re-admit first, then apply.
+        node.submit_sql("insert into cold values (4, 40)").unwrap();
+        node.shutdown();
+
+        // Restart with the same budget: spilled fragments recover from
+        // the checkpoint (payload-less snapshots keep their bat files),
+        // the WAL tail replays, and queries still answer correctly.
+        let node = budget_node(&dir, 1);
+        let out = node.submit_sql("select count(*) from cold").unwrap();
+        assert!(out.contains("[ 4 ]"), "{out}");
+        let out = node.submit_sql("select v from cold where k = 4").unwrap();
+        assert!(out.contains("[ 40 ]"), "{out}");
+        node.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 

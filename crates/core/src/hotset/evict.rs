@@ -1,0 +1,145 @@
+//! The two-phase spill queue. Eviction is "checkpoint, then drop": a
+//! fragment queued for spill stays resident until a checkpoint carrying
+//! its payload commits — that checkpoint's `bats/<id>.bat` *is* the
+//! at-rest copy — and only then may the engine drop the RAM payload.
+//! Entries learn which checkpoint they wait for when the snapshot is
+//! submitted ([`SpillQueue::mark_submitted`]) and become actionable
+//! once the checkpointer's completed counter reaches it
+//! ([`SpillQueue::take_ready`]).
+
+use crate::ids::BatId;
+use std::time::Instant;
+
+pub struct PendingSpill {
+    pub bat: BatId,
+    /// Fragment version at queue time; the engine cancels the finalize
+    /// if the version moved (a mutation raced the spill).
+    pub version: u32,
+    /// Payload bytes still resident while the spill is pending; budget
+    /// enforcement subtracts these so it does not queue extra victims
+    /// for bytes already on their way out.
+    pub size: u64,
+    /// Checkpoint sequence number whose commit makes this spill durable;
+    /// `None` until the carrying snapshot is submitted.
+    pub ready_at: Option<u64>,
+    /// When the spill was requested (latency accounting).
+    pub queued: Instant,
+}
+
+#[derive(Default)]
+pub struct SpillQueue {
+    entries: Vec<PendingSpill>,
+}
+
+impl SpillQueue {
+    /// Queue a spill; returns false (and does nothing) if one is already
+    /// pending for the fragment.
+    pub fn push(&mut self, bat: BatId, version: u32, size: u64) -> bool {
+        if self.is_pending(bat) {
+            return false;
+        }
+        self.entries.push(PendingSpill {
+            bat,
+            version,
+            size,
+            ready_at: None,
+            queued: Instant::now(),
+        });
+        true
+    }
+
+    pub fn is_pending(&self, bat: BatId) -> bool {
+        self.entries.iter().any(|e| e.bat == bat)
+    }
+
+    /// Total payload bytes across pending spills.
+    pub fn queued_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.size).sum()
+    }
+
+    /// Any entry still waiting for a snapshot to be submitted? (Forces a
+    /// checkpoint even before the WAL-bytes trigger fires.)
+    pub fn has_unsubmitted(&self) -> bool {
+        self.entries.iter().any(|e| e.ready_at.is_none())
+    }
+
+    /// A snapshot carrying every queued payload was submitted and will
+    /// be checkpoint number `seq`.
+    pub fn mark_submitted(&mut self, seq: u64) {
+        for e in &mut self.entries {
+            if e.ready_at.is_none() {
+                e.ready_at = Some(seq);
+            }
+        }
+    }
+
+    /// Drain entries whose checkpoint has committed.
+    pub fn take_ready(&mut self, completed: u64) -> Vec<PendingSpill> {
+        let (ready, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.entries)
+            .into_iter()
+            .partition(|e| e.ready_at.is_some_and(|s| s <= completed));
+        self.entries = rest;
+        ready
+    }
+
+    /// Drop a pending spill (the fragment was re-demanded).
+    pub fn cancel(&mut self, bat: BatId) {
+        self.entries.retain(|e| e.bat != bat);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_phase_lifecycle() {
+        let mut q = SpillQueue::default();
+        assert!(q.push(BatId(1), 4, 100));
+        assert!(!q.push(BatId(1), 4, 100), "dedup while pending");
+        assert!(q.has_unsubmitted());
+        assert_eq!(q.queued_bytes(), 100);
+        assert!(q.take_ready(99).is_empty(), "nothing ready before submit");
+
+        q.mark_submitted(3);
+        assert!(!q.has_unsubmitted());
+        assert!(q.take_ready(2).is_empty(), "checkpoint 3 not committed yet");
+        let ready = q.take_ready(3);
+        assert_eq!(ready.len(), 1);
+        assert_eq!((ready[0].bat, ready[0].version, ready[0].size), (BatId(1), 4, 100));
+        assert!(q.is_empty());
+        assert_eq!(q.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn later_pushes_wait_for_their_own_checkpoint() {
+        let mut q = SpillQueue::default();
+        q.push(BatId(1), 0, 10);
+        q.mark_submitted(1);
+        q.push(BatId(2), 0, 20); // queued after the first snapshot went out
+        assert!(q.has_unsubmitted());
+        let ready = q.take_ready(1);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].bat, BatId(1));
+        assert_eq!(q.len(), 1, "bat 2 still waits for its snapshot");
+        assert_eq!(q.queued_bytes(), 20);
+    }
+
+    #[test]
+    fn cancel_removes_pending_entry() {
+        let mut q = SpillQueue::default();
+        q.push(BatId(5), 1, 64);
+        q.cancel(BatId(5));
+        assert!(q.is_empty());
+        q.mark_submitted(1);
+        assert!(q.take_ready(1).is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Origin-side re-admission bookkeeping: which spilled fragments this
+//! node has asked an owner to re-admit, keyed both ways — by fragment
+//! (so a second query against the same evicted table does not route a
+//! duplicate `Readmit`) and by routed statement id (so acks, possibly
+//! retried and deduplicated at the owner, resolve the right fragment
+//! exactly once).
+
+use crate::ids::BatId;
+use std::collections::HashMap;
+
+#[derive(Default)]
+pub struct ReadmitTracker {
+    by_bat: HashMap<BatId, u64>,
+    by_id: HashMap<u64, BatId>,
+}
+
+impl ReadmitTracker {
+    /// Register an in-flight readmit; false if one is already pending
+    /// for the fragment (the existing request's retries cover it).
+    pub fn begin(&mut self, bat: BatId, id: u64) -> bool {
+        if self.by_bat.contains_key(&bat) {
+            return false;
+        }
+        self.by_bat.insert(bat, id);
+        self.by_id.insert(id, bat);
+        true
+    }
+
+    pub fn is_pending(&self, bat: BatId) -> bool {
+        self.by_bat.contains_key(&bat)
+    }
+
+    pub fn pending(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Resolve by statement id (ack arrival or retry exhaustion);
+    /// returns the fragment it was for, `None` if already resolved.
+    pub fn complete(&mut self, id: u64) -> Option<BatId> {
+        let bat = self.by_id.remove(&id)?;
+        self.by_bat.remove(&bat);
+        Some(bat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_inflight_readmit_per_fragment() {
+        let mut t = ReadmitTracker::default();
+        assert!(t.begin(BatId(9), 1));
+        assert!(!t.begin(BatId(9), 2), "second query reuses the in-flight readmit");
+        assert!(t.is_pending(BatId(9)));
+        assert_eq!(t.pending(), 1);
+
+        assert_eq!(t.complete(1), Some(BatId(9)));
+        assert_eq!(t.complete(1), None, "acks resolve exactly once");
+        assert!(!t.is_pending(BatId(9)));
+        assert!(t.begin(BatId(9), 3), "a later eviction can start a fresh one");
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`requests`] — structures S2 (outstanding requests) and S3 (blocked
 //!   pins), plus the local fragment cache the pins check (§4.2.1).
 //! * [`loi`] — the LOI formula and the LOIT ladder.
+//! * [`hotset`] — engine-side hot-set management: budgeted residency
+//!   accounting, cold-fragment spill ("checkpoint, then drop"), and
+//!   on-demand re-admission of evicted fragments.
 //! * [`msg`] — ring message types and their binary codec, including the
 //!   catalog-replication and row-append messages of a distributed
 //!   deployment.
@@ -48,6 +51,7 @@ pub mod catalog;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod hotset;
 pub mod ids;
 pub mod intermediates;
 pub mod loi;
@@ -64,6 +68,7 @@ pub use catalog::{OwnedState, S1Catalog};
 pub use config::{DataDir, DcConfig, FsyncPolicy};
 pub use engine::{NodeOptions, Ring, RingBuilder, RingNode};
 pub use error::DcError;
+pub use hotset::{HotsetRow, HotsetSnapshot};
 pub use ids::{BatId, NodeId, QueryId};
 pub use loi::{new_loi, LoitLadder};
 pub use msg::{decode, encode, AppendMsg, BatHeader, CatalogCol, CatalogMsg, DcMsg, ReqMsg};

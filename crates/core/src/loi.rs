@@ -1,5 +1,18 @@
 //! The level-of-interest metric (paper Eq. 1) and the adaptive LOIT
-//! threshold ladder.
+//! threshold ladder. This module is the single source of truth for the
+//! LOI arithmetic *and* the paper's ladder parameters: every consumer
+//! (the live engine config, the offline sims, the ablation benches)
+//! takes the levels and watermarks from here instead of repeating the
+//! §5.2 literals.
+
+/// The experiment ladder of §5.2: LOIT levels {0.1, 0.6, 1.1}.
+pub const DEFAULT_LEVELS: [f64; 3] = [0.1, 0.6, 1.1];
+
+/// Queue-load fraction above which the ladder raises LOIT (§5.2: 80%).
+pub const DEFAULT_HIGH_WATERMARK: f64 = 0.8;
+
+/// Queue-load fraction below which the ladder lowers LOIT (§5.2: 40%).
+pub const DEFAULT_LOW_WATERMARK: f64 = 0.4;
 
 /// Equation 1 of the paper, as the owner computes it each cycle:
 ///
@@ -126,7 +139,7 @@ mod tests {
 
     #[test]
     fn ladder_adapts_with_hysteresis() {
-        let mut lad = LoitLadder::new(vec![0.1, 0.6, 1.1], 0);
+        let mut lad = LoitLadder::new(DEFAULT_LEVELS.to_vec(), 0);
         assert_eq!(lad.current(), 0.1);
         assert_eq!(lad.adapt(0.85, 0.8, 0.4), Some(Direction::Raised));
         assert_eq!(lad.current(), 0.6);

@@ -179,6 +179,53 @@ pub struct AppendMsg {
     pub parts: Vec<(BatId, Bytes)>,
 }
 
+/// Hot-set management notice (§4.4): the owner took `bat` off the ring
+/// (its LOI fell below LOIT) and spilled the payload to its local disk.
+/// Travels clockwise, circulate-once like [`CatalogMsg`]: every node
+/// notes "this fragment is at rest at its owner" so a later query knows
+/// a plain request will not be answered by a passing copy and routes a
+/// [`ReadmitMsg`] instead. `version` is the fragment's version at spill
+/// time — versions are preserved across spill, so a reader holding the
+/// Evict notice can still trust cached stale copies by the usual §6.4
+/// rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictMsg {
+    pub owner: NodeId,
+    pub bat: BatId,
+    pub version: u32,
+    pub size: u64,
+}
+
+/// A re-admission demand traveling clockwise toward the owner of a
+/// spilled fragment: "reload `bat` from your disk and re-inject it into
+/// circulation". `(epoch, id)` is origin-local (the same statement-id
+/// space as [`MutateMsg`]), so a retried Readmit deduplicates at the
+/// owner instead of double-injecting, and the owner answers with a
+/// [`ReadmitAckMsg`] carrying both. If the message returns to its origin
+/// the owner is gone and the origin fails the pending operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadmitMsg {
+    pub origin: NodeId,
+    /// The origin's per-boot epoch nonce (statement-id namespace).
+    pub epoch: u64,
+    pub id: u64,
+    pub bat: BatId,
+}
+
+/// The owner's answer to a [`ReadmitMsg`], traveling clockwise until it
+/// reaches `target`. `Ok(1)` means the fragment was re-admitted by this
+/// delivery, `Ok(0)` that it was already in (or entering) the ring —
+/// either way the origin's pin resolves when the fragment flows past.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadmitAckMsg {
+    pub target: NodeId,
+    /// The acknowledged demand's origin-boot epoch, echoed back.
+    pub epoch: u64,
+    pub id: u64,
+    /// Fragments re-admitted by this delivery, or the owner-side failure.
+    pub result: Result<u64, String>,
+}
+
 /// Everything that flows between neighbors.
 #[derive(Clone, Debug, PartialEq)]
 pub enum DcMsg {
@@ -195,6 +242,12 @@ pub enum DcMsg {
     Mutate(MutateMsg),
     /// Clockwise mutation acknowledgement routed back to the origin.
     MutAck(MutAckMsg),
+    /// Clockwise circulate-once notice that the owner spilled a fragment.
+    Evict(EvictMsg),
+    /// Clockwise re-admission demand routed to a spilled fragment's owner.
+    Readmit(ReadmitMsg),
+    /// Clockwise re-admission acknowledgement routed back to the origin.
+    ReadmitAck(ReadmitAckMsg),
 }
 
 fn val_wire_size(v: &Val) -> u64 {
@@ -237,6 +290,11 @@ impl DcMsg {
                     + m.preds.iter().map(pred_wire_size).sum::<u64>()
             }
             DcMsg::MutAck(a) => 32 + a.result.as_ref().err().map(|e| e.len() as u64).unwrap_or(0),
+            DcMsg::Evict(_) => 19,
+            DcMsg::Readmit(_) => 23,
+            DcMsg::ReadmitAck(a) => {
+                32 + a.result.as_ref().err().map(|e| e.len() as u64).unwrap_or(0)
+            }
         }
     }
 }
@@ -247,6 +305,9 @@ const TAG_CATALOG: u8 = 3;
 const TAG_APPEND: u8 = 4;
 const TAG_MUTATE: u8 = 5;
 const TAG_MUTACK: u8 = 6;
+const TAG_EVICT: u8 = 7;
+const TAG_READMIT: u8 = 8;
+const TAG_READMITACK: u8 = 9;
 
 const VAL_NIL: u8 = 0;
 const VAL_OID: u8 = 1;
@@ -530,6 +591,42 @@ pub fn encode(msg: &DcMsg) -> Bytes {
             }
             b.freeze()
         }
+        DcMsg::Evict(e) => {
+            let mut b = BytesMut::with_capacity(24);
+            b.put_u8(TAG_EVICT);
+            b.put_u16_le(e.owner.0);
+            b.put_u32_le(e.bat.0);
+            b.put_u32_le(e.version);
+            b.put_u64_le(e.size);
+            b.freeze()
+        }
+        DcMsg::Readmit(r) => {
+            let mut b = BytesMut::with_capacity(24);
+            b.put_u8(TAG_READMIT);
+            b.put_u16_le(r.origin.0);
+            b.put_u64_le(r.epoch);
+            b.put_u64_le(r.id);
+            b.put_u32_le(r.bat.0);
+            b.freeze()
+        }
+        DcMsg::ReadmitAck(a) => {
+            let mut b = BytesMut::with_capacity(msg.wire_size() as usize + 8);
+            b.put_u8(TAG_READMITACK);
+            b.put_u16_le(a.target.0);
+            b.put_u64_le(a.epoch);
+            b.put_u64_le(a.id);
+            match &a.result {
+                Ok(n) => {
+                    b.put_u8(1);
+                    b.put_u64_le(*n);
+                }
+                Err(e) => {
+                    b.put_u8(0);
+                    put_str(&mut b, e);
+                }
+            }
+            b.freeze()
+        }
     }
 }
 
@@ -685,6 +782,46 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
                 _ => Err(get_str(&mut buf)?),
             };
             Ok(DcMsg::MutAck(MutAckMsg { target, epoch, id, result }))
+        }
+        TAG_EVICT => {
+            if buf.remaining() < 18 {
+                return Err("truncated evict notice".into());
+            }
+            Ok(DcMsg::Evict(EvictMsg {
+                owner: NodeId(buf.get_u16_le()),
+                bat: BatId(buf.get_u32_le()),
+                version: buf.get_u32_le(),
+                size: buf.get_u64_le(),
+            }))
+        }
+        TAG_READMIT => {
+            if buf.remaining() < 22 {
+                return Err("truncated readmit demand".into());
+            }
+            Ok(DcMsg::Readmit(ReadmitMsg {
+                origin: NodeId(buf.get_u16_le()),
+                epoch: buf.get_u64_le(),
+                id: buf.get_u64_le(),
+                bat: BatId(buf.get_u32_le()),
+            }))
+        }
+        TAG_READMITACK => {
+            if buf.remaining() < 19 {
+                return Err("truncated readmit ack".into());
+            }
+            let target = NodeId(buf.get_u16_le());
+            let epoch = buf.get_u64_le();
+            let id = buf.get_u64_le();
+            let result = match buf.get_u8() {
+                1 => {
+                    if buf.remaining() < 8 {
+                        return Err("truncated readmit ack count".into());
+                    }
+                    Ok(buf.get_u64_le())
+                }
+                _ => Err(get_str(&mut buf)?),
+            };
+            Ok(DcMsg::ReadmitAck(ReadmitAckMsg { target, epoch, id, result }))
         }
         other => Err(format!("unknown message tag {other}")),
     }
@@ -893,6 +1030,56 @@ mod tests {
         let DcMsg::Catalog(c) = decode(&encode(&m)).unwrap() else { panic!() };
         assert_eq!(c.columns[0].version, 3);
         assert_eq!(c.columns[1].version, 0);
+    }
+
+    #[test]
+    fn evict_round_trip_and_truncation() {
+        let m = DcMsg::Evict(EvictMsg {
+            owner: NodeId(2),
+            bat: BatId(77),
+            version: 5,
+            size: 3 * 1024 * 1024,
+        });
+        let enc = encode(&m);
+        assert_eq!(decode(&enc).unwrap(), m);
+        assert_eq!(enc.len() as u64, m.wire_size());
+        for cut in 0..enc.len() {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn readmit_round_trip_and_truncation() {
+        let m = DcMsg::Readmit(ReadmitMsg {
+            origin: NodeId(1),
+            epoch: 0xdead_beef_cafe,
+            id: 31,
+            bat: BatId(9000),
+        });
+        let enc = encode(&m);
+        assert_eq!(decode(&enc).unwrap(), m);
+        assert_eq!(enc.len() as u64, m.wire_size());
+        for cut in 0..enc.len() {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn readmit_ack_round_trip_both_outcomes() {
+        let ok =
+            DcMsg::ReadmitAck(ReadmitAckMsg { target: NodeId(1), epoch: 5, id: 9, result: Ok(1) });
+        assert_eq!(decode(&encode(&ok)).unwrap(), ok);
+        let err = DcMsg::ReadmitAck(ReadmitAckMsg {
+            target: NodeId(3),
+            epoch: 6,
+            id: 10,
+            result: Err("fragment not owned here".into()),
+        });
+        let enc = encode(&err);
+        assert_eq!(decode(&enc).unwrap(), err);
+        for cut in [1, 4, 11, 18, enc.len() - 1] {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
+        }
     }
 
     #[test]

@@ -363,6 +363,7 @@ impl DcNode {
         h.cycles += 1;
         owned.max_cycles = owned.max_cycles.max(h.cycles);
         let nl = new_loi(h.loi, h.copies, h.hops, h.cycles);
+        owned.last_loi = nl;
         // Demand hold: requests that reached us mid-cycle (outcome 2)
         // were ignored on the promise that the circulating BAT would
         // serve them; unloading now would strand those requesters until

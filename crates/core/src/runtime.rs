@@ -227,6 +227,10 @@ pub enum Cmd {
     /// observe retries/timeouts/dedups through this, not by reaching
     /// into the event loop).
     Stats { ack: Arc<Waiter<NodeStats>> },
+    /// Snapshot this node's hot-set view: per-fragment residency state
+    /// and LOI, plus the node totals (the `dc.hotset` system view and
+    /// the dcsh `.hotset` meta-statement read this).
+    Hotset { ack: Arc<Waiter<crate::hotset::HotsetSnapshot>> },
     /// Stop the event loop.
     Shutdown,
 }
@@ -260,6 +264,14 @@ impl RingHooks {
         let ack = Arc::new(Waiter::<NodeStats>::default());
         self.send(Cmd::Stats { ack: Arc::clone(&ack) })?;
         ack.wait_for_outcome(self.pin_timeout, "stats request timed out").map_err(MalError::Dc)
+    }
+
+    /// Snapshot the event loop's hot-set view (per-fragment residency
+    /// and LOI; node-wide residency totals and LOIT position).
+    fn hotset_snapshot(&self) -> Result<crate::hotset::HotsetSnapshot, MalError> {
+        let ack = Arc::new(Waiter::<crate::hotset::HotsetSnapshot>::default());
+        self.send(Cmd::Hotset { ack: Arc::clone(&ack) })?;
+        ack.wait_for_outcome(self.pin_timeout, "hotset request timed out").map_err(MalError::Dc)
     }
 
     fn bat_of_ticket(&self, ticket: u64) -> Result<BatId, MalError> {
@@ -461,8 +473,32 @@ impl DcHooks for RingHooks {
                 push_str_col(&mut rs, "dc.trace", "detail", details);
                 Ok(rs)
             }
+            "hotset" => {
+                let snap = self.hotset_snapshot()?;
+                let n = snap.rows.len();
+                let (mut bats, mut tables, mut states) =
+                    (Vec::with_capacity(n), Vec::with_capacity(n), Vec::with_capacity(n));
+                let (mut lois, mut versions, mut sizes) =
+                    (Vec::with_capacity(n), Vec::with_capacity(n), Vec::with_capacity(n));
+                for r in snap.rows {
+                    bats.push(r.bat.0 as i64);
+                    tables.push(r.table);
+                    states.push(r.state.to_string());
+                    lois.push(r.loi);
+                    versions.push(r.version as i64);
+                    sizes.push(r.size as i64);
+                }
+                let mut rs = batstore::ResultSet::new();
+                push_lng_col(&mut rs, "dc.hotset", "bat", bats);
+                push_str_col(&mut rs, "dc.hotset", "table", tables);
+                push_str_col(&mut rs, "dc.hotset", "state", states);
+                rs.push_column("dc.hotset", "loi", "dbl", Arc::new(Bat::dense(Column::from(lois))));
+                push_lng_col(&mut rs, "dc.hotset", "version", versions);
+                push_lng_col(&mut rs, "dc.hotset", "size_bytes", sizes);
+                Ok(rs)
+            }
             other => Err(MalError::Dc(format!(
-                "unknown system view dc.{other} (have: stats, latency, trace)"
+                "unknown system view dc.{other} (have: stats, latency, trace, hotset)"
             ))),
         }
     }

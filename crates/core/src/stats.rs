@@ -87,6 +87,20 @@ pub struct NodeStats {
     pub recovered_frags: u64,
     /// WAL records replayed during startup recovery.
     pub recovered_wal_records: u64,
+    /// Owned fragments spilled to the data dir by hot-set management:
+    /// the in-RAM payload was dropped after a checkpoint made
+    /// `bats/<id>.bat` the at-rest copy.
+    pub loi_evictions: u64,
+    /// Spilled/off-hot-set fragments re-admitted into service: reloaded
+    /// from disk on local demand, or injected back into the ring for a
+    /// remote `Readmit`.
+    pub loi_readmits: u64,
+    /// `Readmit` requests this node routed to remote fragment owners
+    /// (queries touching evicted tables).
+    pub readmits_routed: u64,
+    /// LOIT ladder raise/lower transitions at this node (§5.2
+    /// adaptation activity; mirrored from the ladder each tick).
+    pub loit_transitions: u64,
     /// Maximum observed request latency per BAT at this requester
     /// (Fig. 10 aggregates the per-ring max).
     pub max_request_latency: HashMap<BatId, SimDuration>,
@@ -147,6 +161,10 @@ impl NodeStats {
             checkpoints,
             recovered_frags,
             recovered_wal_records,
+            loi_evictions,
+            loi_readmits,
+            readmits_routed,
+            loit_transitions,
             // Latency distributions are reported through `dc.latency`,
             // not as bare counters (except the sample count).
             max_request_latency: _,
@@ -183,6 +201,10 @@ impl NodeStats {
             ("checkpoints", *checkpoints),
             ("recovered_frags", *recovered_frags),
             ("recovered_wal_records", *recovered_wal_records),
+            ("loi_evictions", *loi_evictions),
+            ("loi_readmits", *loi_readmits),
+            ("readmits_routed", *readmits_routed),
+            ("loit_transitions", *loit_transitions),
             ("latency_count", *latency_count),
         ]
     }
@@ -223,6 +245,10 @@ impl NodeStats {
             checkpoints,
             recovered_frags,
             recovered_wal_records,
+            loi_evictions,
+            loi_readmits,
+            readmits_routed,
+            loit_transitions,
             max_request_latency,
             latency_sum,
             latency_count,
@@ -256,6 +282,10 @@ impl NodeStats {
         self.checkpoints += checkpoints;
         self.recovered_frags += recovered_frags;
         self.recovered_wal_records += recovered_wal_records;
+        self.loi_evictions += loi_evictions;
+        self.loi_readmits += loi_readmits;
+        self.readmits_routed += readmits_routed;
+        self.loit_transitions += loit_transitions;
         for (&bat, &lat) in max_request_latency {
             let slot = self.max_request_latency.entry(bat).or_default();
             if lat > *slot {

@@ -6,7 +6,9 @@
 
 use batstore::ops::CmpOp;
 use batstore::{ColType, RowPredicate, Val};
-use datacyclotron::msg::{decode, encode, MutAckMsg, MutOp, MutateMsg};
+use datacyclotron::msg::{
+    decode, encode, EvictMsg, MutAckMsg, MutOp, MutateMsg, ReadmitAckMsg, ReadmitMsg,
+};
 use datacyclotron::{BatId, CatalogCol, CatalogMsg, DcMsg, NodeId};
 use proptest::prelude::*;
 
@@ -100,12 +102,43 @@ fn catalog_from(kind: u8, seed: i64, text: &str, ncols: usize) -> DcMsg {
     })
 }
 
-/// One message of each framed-mutation-path shape from the same inputs.
+fn evict_from(seed: i64) -> DcMsg {
+    DcMsg::Evict(EvictMsg {
+        owner: NodeId(seed.unsigned_abs() as u16),
+        bat: BatId(seed.unsigned_abs() as u32),
+        version: (seed.unsigned_abs() % 10_000) as u32,
+        size: seed.unsigned_abs().wrapping_mul(977),
+    })
+}
+
+fn readmit_from(seed: i64) -> DcMsg {
+    DcMsg::Readmit(ReadmitMsg {
+        origin: NodeId(seed.unsigned_abs() as u16),
+        epoch: seed.unsigned_abs().wrapping_mul(17),
+        id: seed.unsigned_abs().wrapping_mul(3),
+        bat: BatId(seed.unsigned_abs() as u32),
+    })
+}
+
+fn readmitack_from(seed: i64, text: &str) -> DcMsg {
+    DcMsg::ReadmitAck(ReadmitAckMsg {
+        target: NodeId(seed.unsigned_abs() as u16),
+        epoch: seed.unsigned_abs().wrapping_mul(19),
+        id: seed.unsigned_abs(),
+        result: if seed % 2 == 0 { Ok(seed.unsigned_abs() % 2) } else { Err(text.to_string()) },
+    })
+}
+
+/// One message of each framed-mutation-path and hot-set shape from the
+/// same inputs.
 fn messages(kind: u8, seed: i64, text: &str, n1: usize, n2: usize) -> Vec<DcMsg> {
     vec![
         mutate_from(kind, seed, text, n1, n2),
         mutack_from(seed, text),
         catalog_from(kind, seed, text, n1),
+        evict_from(seed),
+        readmit_from(seed),
+        readmitack_from(seed, text),
     ]
 }
 
@@ -196,6 +229,17 @@ proptest! {
         }));
         // tag(1) + target(2) + epoch(8) + id(8) + ok-flag(1) = 20 bytes
         // of header, then the u16 string length.
+        let mut bytes = wire.to_vec();
+        bytes[20..22].copy_from_slice(&claim.to_le_bytes());
+        prop_assert!(decode(&bytes).is_err());
+
+        // ReadmitAck Err-result: identical layout, independent decode arm.
+        let wire = encode(&DcMsg::ReadmitAck(ReadmitAckMsg {
+            target: NodeId(2),
+            epoch: 1,
+            id: 3,
+            result: Err("boom".into()),
+        }));
         let mut bytes = wire.to_vec();
         bytes[20..22].copy_from_slice(&claim.to_le_bytes());
         prop_assert!(decode(&bytes).is_err());

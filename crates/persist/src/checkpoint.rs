@@ -27,7 +27,12 @@ use std::thread::JoinHandle;
 pub struct FragSnap {
     pub bat: u32,
     pub version: u32,
-    pub payload: Arc<Bat>,
+    /// `Some` for resident fragments (the checkpoint writes the payload
+    /// file); `None` for fragments already spilled to `bats/<id>.bat` —
+    /// the checkpoint format *is* the at-rest format, so a spilled
+    /// fragment's file is reused verbatim: the entry only keeps the file
+    /// out of garbage collection and its version in the catalog snapshot.
+    pub payload: Option<Arc<Bat>>,
 }
 
 /// Everything a checkpoint persists: the node's catalog replica (all
@@ -48,8 +53,10 @@ pub struct Snapshot {
 pub fn write_checkpoint(dir: &DataDir, snap: &Snapshot) -> io::Result<()> {
     let mut live: HashSet<u32> = HashSet::new();
     for f in &snap.frags {
-        storage::save_bat(&dir.bat_path(f.bat), &f.payload)
-            .map_err(|e| io::Error::other(e.to_string()))?;
+        if let Some(payload) = &f.payload {
+            storage::save_bat(&dir.bat_path(f.bat), payload)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+        }
         live.insert(f.bat);
     }
     let mut bytes = Vec::new();
@@ -199,7 +206,7 @@ mod tests {
             frags: vec![FragSnap {
                 bat: 5,
                 version: 2,
-                payload: Arc::new(Bat::dense(Column::from(vec![1, 2, 3]))),
+                payload: Some(Arc::new(Bat::dense(Column::from(vec![1, 2, 3])))),
             }],
         }
     }
@@ -219,6 +226,25 @@ mod tests {
         assert!(!dir.bat_path(99).exists(), "orphaned fragment removed");
         let back = storage::load_bat(&dir.bat_path(5)).unwrap();
         assert_eq!(back.count(), 3);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn payloadless_entry_keeps_spilled_file_alive() {
+        let root = scratch("spill");
+        let dir = DataDir::open(&root).unwrap();
+        // First checkpoint writes the payload — this is the spill.
+        write_checkpoint(&dir, &snap(0, 2)).unwrap();
+        assert!(dir.bat_path(5).exists());
+
+        // Later checkpoints carry the fragment payload-less: the file
+        // must survive GC and the catalog snapshot must keep its version.
+        let mut later = snap(0, 3);
+        later.frags[0].payload = None;
+        write_checkpoint(&dir, &later).unwrap();
+        assert!(dir.bat_path(5).exists(), "spilled file must not be GC'd");
+        let back = storage::load_bat(&dir.bat_path(5)).unwrap();
+        assert_eq!(back.count(), 3, "spilled payload untouched");
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -348,7 +348,7 @@ mod tests {
                 frags: vec![FragSnap {
                     bat: 7,
                     version: 2,
-                    payload: Arc::new(Bat::dense(Column::from(vec![1, 2, 3]))),
+                    payload: Some(Arc::new(Bat::dense(Column::from(vec![1, 2, 3])))),
                 }],
             },
         )

@@ -749,10 +749,11 @@ fn expand_stars(q: &Query, catalog: &Catalog) -> Result<Query> {
 
 /// The `dc.*` system views and their column lists, in declared order.
 /// Must match `RingHooks::sys_view` exactly.
-const DC_VIEWS: [(&str, &[&str]); 3] = [
+const DC_VIEWS: [(&str, &[&str]); 4] = [
     ("stats", &["name", "value"]),
     ("latency", &["name", "count", "p50_us", "p95_us", "p99_us", "max_us"]),
     ("trace", &["ts_us", "node", "epoch", "stmt", "event", "detail"]),
+    ("hotset", &["bat", "table", "state", "loi", "version", "size_bytes"]),
 ];
 
 /// Lower `SELECT … FROM dc.<view>` to one `sql.sysview(view, proj)` sink.
@@ -763,7 +764,7 @@ fn compile_sysview(q: &Query) -> Result<Program> {
     let t = &q.from[0];
     let Some((_, cols)) = DC_VIEWS.iter().find(|(name, _)| *name == t.table) else {
         return Err(err(format!(
-            "unknown system view dc.{} (have: stats, latency, trace)",
+            "unknown system view dc.{} (have: stats, latency, trace, hotset)",
             t.table
         )));
     };
@@ -1450,6 +1451,7 @@ mod tests {
         assert!(compile_sql("select name, value from dc.stats", &catalog).is_ok());
         assert!(compile_sql("select name, p99_us from dc.latency", &catalog).is_ok());
         assert!(compile_sql("select epoch, stmt, event from dc.trace", &catalog).is_ok());
+        assert!(compile_sql("select bat, state, loi from dc.hotset", &catalog).is_ok());
         // Unknown column and unknown view are compile errors.
         assert!(compile_sql("select bogus from dc.stats", &catalog).is_err());
         assert!(compile_sql("select * from dc.nope", &catalog).is_err());

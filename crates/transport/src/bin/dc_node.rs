@@ -32,6 +32,9 @@
 //! restarted with the same flag recovers its catalog and fragments from
 //! disk, rejoining the ring with its data intact. `--fsync
 //! always|off|every=<n>` picks the WAL sync policy (default `always`).
+//! `--mem-budget <bytes>` (requires `--data-dir`) caps resident owned
+//! fragments: the coldest ones (lowest LOI) are spilled to the data dir
+//! and re-admitted on demand when a query touches them again.
 
 use batstore::Column;
 use datacyclotron::{DataDir, DcConfig, FsyncPolicy, NodeId, NodeOptions, RingNode};
@@ -45,7 +48,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  dc-node serve --ring <a1,a2,…> --me <i> --sql <addr> [--demo] \
-         [--data-dir <path>] [--fsync always|off|every=<n>]\n  \
+         [--data-dir <path>] [--fsync always|off|every=<n>] [--mem-budget <bytes>]\n  \
          dc-node query <addr> [--stats] <sql> [<sql>…]\n  \
          dc-node metrics <addr>"
     );
@@ -90,6 +93,7 @@ fn serve(args: &[String]) -> ! {
     let mut demo = false;
     let mut data_dir = None;
     let mut fsync = FsyncPolicy::Always;
+    let mut mem_budget = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -102,12 +106,23 @@ fn serve(args: &[String]) -> ! {
             "--demo" => demo = true,
             "--data-dir" => data_dir = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--fsync" => fsync = parse_fsync(it.next().unwrap_or_else(|| usage())),
+            "--mem-budget" => {
+                mem_budget = it.next().and_then(|s| s.parse::<u64>().ok());
+                if mem_budget.is_none() {
+                    eprintln!("bad --mem-budget: want a byte count");
+                    std::process::exit(2);
+                }
+            }
             _ => usage(),
         }
     }
     let (Some(me), Some(sql)) = (me, sql) else { usage() };
     if ring.len() < 2 || me >= ring.len() {
         usage();
+    }
+    if mem_budget.is_some() && data_dir.is_none() {
+        eprintln!("--mem-budget requires --data-dir (spilled fragments need an at-rest home)");
+        std::process::exit(2);
     }
 
     eprintln!("[dc-node {me}] joining ring {ring:?}");
@@ -127,6 +142,7 @@ fn serve(args: &[String]) -> ! {
         },
         pin_timeout: Duration::from_secs(20),
         data_dir: data_dir.map(|p| DataDir::new(p).fsync(fsync)),
+        mem_budget,
         ..NodeOptions::default()
     };
     let node = RingNode::try_spawn(NodeId(me as u16), transport, opts).unwrap_or_else(|e| {

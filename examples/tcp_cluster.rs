@@ -88,11 +88,15 @@ fn main() {
                         node.on_bat(header)
                     }
                     // This demo drives the raw protocol; the engine-level
-                    // catalog/append/mutation machinery is exercised by
-                    // the sql_tcp_cluster example instead.
-                    DcMsg::Catalog(_) | DcMsg::Append(_) | DcMsg::Mutate(_) | DcMsg::MutAck(_) => {
-                        Vec::new()
-                    }
+                    // catalog/append/mutation/hot-set machinery is
+                    // exercised by the sql_tcp_cluster example instead.
+                    DcMsg::Catalog(_)
+                    | DcMsg::Append(_)
+                    | DcMsg::Mutate(_)
+                    | DcMsg::MutAck(_)
+                    | DcMsg::Evict(_)
+                    | DcMsg::Readmit(_)
+                    | DcMsg::ReadmitAck(_) => Vec::new(),
                 };
                 let mut loaded = Vec::new();
                 for e in effects {

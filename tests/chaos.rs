@@ -18,11 +18,11 @@ mod support;
 
 use batstore::ops::CmpOp;
 use batstore::{RowPredicate, Val};
-use datacyclotron::msg::{MutOp, MutateMsg};
+use datacyclotron::msg::{MutOp, MutateMsg, ReadmitMsg};
 use datacyclotron::transport::mem;
 use datacyclotron::{
-    DcConfig, DcError, DcMsg, Edge, FaultEvent, FaultPlan, FaultTransport, NodeId, NodeOptions,
-    RingNode, RingTransport,
+    DataDir, DcConfig, DcError, DcMsg, Edge, FaultEvent, FaultPlan, FaultTransport, FsyncPolicy,
+    NodeId, NodeOptions, RingNode, RingTransport,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -41,6 +41,16 @@ struct ChaosRing {
 /// transport. `plan_of(node_seed)` builds each node's plan from a seed
 /// derived deterministically from the run seed.
 fn chaos_ring(seed: u64, plan_of: impl Fn(u64) -> FaultPlan) -> ChaosRing {
+    chaos_ring_with(seed, plan_of, |_, _| {})
+}
+
+/// Like [`chaos_ring`], with a per-node [`NodeOptions`] hook — the
+/// hot-set scenarios give one node a data dir and a tiny memory budget.
+fn chaos_ring_with(
+    seed: u64,
+    plan_of: impl Fn(u64) -> FaultPlan,
+    customize: impl Fn(usize, &mut NodeOptions),
+) -> ChaosRing {
     eprintln!("chaos seed: {seed:#x}");
     let mut nodes = Vec::new();
     let mut faults = Vec::new();
@@ -48,7 +58,7 @@ fn chaos_ring(seed: u64, plan_of: impl Fn(u64) -> FaultPlan) -> ChaosRing {
         let node_seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
         let ft = Arc::new(FaultTransport::new(Arc::new(inner), plan_of(node_seed)));
         faults.push(Arc::clone(&ft));
-        let opts = NodeOptions {
+        let mut opts = NodeOptions {
             cfg: DcConfig {
                 load_interval: netsim::SimDuration::from_millis(5),
                 resend_timeout: netsim::SimDuration::from_millis(200),
@@ -60,6 +70,7 @@ fn chaos_ring(seed: u64, plan_of: impl Fn(u64) -> FaultPlan) -> ChaosRing {
             ack_retries: ACK_RETRIES,
             ..NodeOptions::default()
         };
+        customize(i, &mut opts);
         nodes.push(Arc::new(RingNode::spawn(NodeId(i as u16), ft as Arc<dyn RingTransport>, opts)));
     }
     ChaosRing { nodes, faults }
@@ -322,6 +333,87 @@ fn restarted_origin_reusing_statement_ids_is_not_deduped() {
         assert!(Instant::now() < deadline, "duplicate frame never deduped: {owner:?}");
         std::thread::sleep(Duration::from_millis(50));
     }
+}
+
+/// Hot-set chaos: a Readmit retried after its ack was lost re-admits the
+/// spilled fragment exactly once. Node 0 is durable with a 1-byte memory
+/// budget, so its `acct` fragments really spill to disk; forged Readmit
+/// frames sent through node 1's transport handle simulate the origin's
+/// first demand and its retry (the ack of the first having been
+/// "dropped") deterministically — the owner must reload from disk once
+/// and answer the replay from its dedup cache, never double-injecting.
+#[test]
+fn dropped_readmit_ack_readmits_exactly_once() {
+    let dir = std::env::temp_dir().join(format!("dc_chaos_readmit_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let ring = chaos_ring_with(0xD209, FaultPlan::quiet, |i, opts| {
+        if i == 0 {
+            opts.data_dir = Some(DataDir::new(&dir).fsync(FsyncPolicy::Off));
+            opts.mem_budget = Some(1);
+        }
+    });
+    ring.setup_acct();
+    let rs = ring.nodes[0].execute("insert into acct values (1, 10), (2, 20)").unwrap();
+    assert_eq!(rs.affected, Some(2));
+    settle();
+
+    // The 1-byte budget evicts the fragments: checkpointed to the data
+    // dir (the bat file is the at-rest format), payloads dropped. Pick a
+    // spilled `acct` fragment to demand back.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let bat = loop {
+        let snap = ring.nodes[0].hotset().unwrap();
+        if let Some(r) = snap.rows.iter().find(|r| r.state == "spilled" && r.table == "sys.acct") {
+            break r.bat;
+        }
+        assert!(Instant::now() < deadline, "acct never spilled: {snap:?}");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let base = ring.nodes[0].stats().unwrap();
+
+    // "Node 1" demands re-admission; the owner reloads from disk once.
+    let forged = DcMsg::Readmit(ReadmitMsg { origin: NodeId(1), epoch: 0xA, id: 424, bat });
+    ring.faults[1].send_data(forged.clone()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let owner = ring.nodes[0].stats().unwrap();
+        if owner.loi_readmits > base.loi_readmits {
+            assert_eq!(owner.loi_readmits, base.loi_readmits + 1, "one demand, one reload");
+            break;
+        }
+        assert!(Instant::now() < deadline, "owner never re-admitted: {owner:?}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The retry after the "dropped" ack: same (origin, epoch, id). The
+    // owner answers from its dedup cache instead of reloading or
+    // re-injecting a second copy. (The live node 1 ignores both acks —
+    // foreign epoch — exactly as a restarted origin would.)
+    ring.faults[1].send_data(forged).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let owner = ring.nodes[0].stats().unwrap();
+        if owner.mutations_deduped > base.mutations_deduped {
+            assert_eq!(
+                owner.loi_readmits,
+                base.loi_readmits + 1,
+                "the retry must not reload again: {owner:?}"
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "retried Readmit never deduped: {owner:?}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // End to end under the same budget: queries from every node block on
+    // the ring, the fragments are re-admitted on demand, and the typed
+    // rows come back exact.
+    ring.await_rows(
+        "select id, bal from acct order by id",
+        &[(1, 10), (2, 20)],
+        Duration::from_secs(20),
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// A routed INSERT whose owner edge is severed fails loudly and shows
