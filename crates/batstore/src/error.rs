@@ -18,6 +18,10 @@ pub enum BatError {
     Corrupt(String),
     /// Operator-specific invariant violated (message explains).
     Invalid(String),
+    /// Arithmetic result exceeds the output type's range (e.g. a 64-bit
+    /// sum overflowing). Classified so SQL-reachable kernels report it
+    /// as a query error instead of panicking or silently wrapping.
+    Overflow(String),
 }
 
 pub type Result<T> = std::result::Result<T, BatError>;
@@ -36,6 +40,7 @@ impl fmt::Display for BatError {
             BatError::Io(e) => write!(f, "io error: {e}"),
             BatError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             BatError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+            BatError::Overflow(msg) => write!(f, "arithmetic overflow: {msg}"),
         }
     }
 }

@@ -14,12 +14,17 @@ pub fn count(b: &Bat) -> u64 {
 }
 
 /// `aggr.sum(b)`: integer columns sum to `Lng`, floats to `Dbl`.
+///
+/// Integer sums accumulate in `i128` and narrow once at the end: a
+/// column of near-`i64::MAX` values must surface a classified
+/// [`BatError::Overflow`], not panic in debug builds or wrap in release
+/// (TPC-H Q1's price sums are exactly this shape at scale).
 pub fn sum(b: &Bat) -> Result<Val> {
     Ok(match b.tail() {
-        Column::Int(v) => Val::Lng(v.iter().map(|&x| x as i64).sum()),
-        Column::Lng(v) => Val::Lng(v.iter().sum()),
+        Column::Int(v) => Val::Lng(narrow_sum(v.iter().map(|&x| x as i128).sum())?),
+        Column::Lng(v) => Val::Lng(narrow_sum(v.iter().map(|&x| x as i128).sum())?),
         Column::Dbl(v) => Val::Dbl(v.iter().sum()),
-        Column::Oid(v) => Val::Lng(v.iter().map(|&x| x as i64).sum()),
+        Column::Oid(v) => Val::Lng(narrow_sum(v.iter().map(|&x| x as i128).sum())?),
         other => {
             return Err(BatError::TypeMismatch {
                 expected: "numeric",
@@ -27,6 +32,12 @@ pub fn sum(b: &Bat) -> Result<Val> {
             })
         }
     })
+}
+
+/// Narrow an `i128` accumulator back to the `Lng` output type.
+fn narrow_sum(total: i128) -> Result<i64> {
+    i64::try_from(total)
+        .map_err(|_| BatError::Overflow(format!("sum {total} does not fit in a 64-bit integer")))
 }
 
 /// `aggr.min(b)`; `Nil` on empty input.
@@ -152,39 +163,52 @@ fn check_grouped(vals: &Bat, grp: &Bat) -> Result<()> {
     Ok(())
 }
 
+/// A group id produced by [`group_by`]/[`group_derive`] must address an
+/// accumulator slot; a stale or foreign grouping BAT must fail the
+/// query, not panic the kernel on an out-of-bounds index.
+fn group_slot(g: u64, ngroups: usize) -> Result<usize> {
+    let slot = g as usize;
+    if slot >= ngroups {
+        return Err(BatError::Invalid(format!("group id {g} out of range (ngroups {ngroups})")));
+    }
+    Ok(slot)
+}
+
 /// `aggr.count` per group: `group-id → count`.
 pub fn grouped_count(grp: &Bat, ngroups: usize) -> Result<Bat> {
     let ids = group_ids(grp)?;
     let mut counts = vec![0i64; ngroups];
     for &g in ids {
-        counts[g as usize] += 1;
+        counts[group_slot(g, ngroups)?] += 1;
     }
     Ok(Bat::dense(Column::Lng(counts)))
 }
 
 /// `aggr.sum` per group over `vals` (positionally aligned with `grp`).
+/// Integer accumulators are `i128` like the whole-column [`sum`]: a
+/// per-group overflow surfaces as a classified [`BatError::Overflow`].
 pub fn grouped_sum(vals: &Bat, grp: &Bat, ngroups: usize) -> Result<Bat> {
     check_grouped(vals, grp)?;
     let ids = group_ids(grp)?;
     match vals.tail() {
         Column::Int(v) => {
-            let mut acc = vec![0i64; ngroups];
+            let mut acc = vec![0i128; ngroups];
             for (i, &g) in ids.iter().enumerate() {
-                acc[g as usize] += v[i] as i64;
+                acc[group_slot(g, ngroups)?] += v[i] as i128;
             }
-            Ok(Bat::dense(Column::Lng(acc)))
+            Ok(Bat::dense(Column::Lng(narrow_grouped(acc)?)))
         }
         Column::Lng(v) => {
-            let mut acc = vec![0i64; ngroups];
+            let mut acc = vec![0i128; ngroups];
             for (i, &g) in ids.iter().enumerate() {
-                acc[g as usize] += v[i];
+                acc[group_slot(g, ngroups)?] += v[i] as i128;
             }
-            Ok(Bat::dense(Column::Lng(acc)))
+            Ok(Bat::dense(Column::Lng(narrow_grouped(acc)?)))
         }
         Column::Dbl(v) => {
             let mut acc = vec![0f64; ngroups];
             for (i, &g) in ids.iter().enumerate() {
-                acc[g as usize] += v[i];
+                acc[group_slot(g, ngroups)?] += v[i];
             }
             Ok(Bat::dense(Column::Dbl(acc)))
         }
@@ -193,6 +217,10 @@ pub fn grouped_sum(vals: &Bat, grp: &Bat, ngroups: usize) -> Result<Bat> {
             got: other.col_type().name().to_string(),
         }),
     }
+}
+
+fn narrow_grouped(acc: Vec<i128>) -> Result<Vec<i64>> {
+    acc.into_iter().map(narrow_sum).collect()
 }
 
 /// `aggr.avg` per group.
@@ -228,7 +256,7 @@ fn grouped_extremum(
     let ids = group_ids(grp)?;
     let mut best: Vec<Option<usize>> = vec![None; ngroups];
     for (i, &g) in ids.iter().enumerate() {
-        let slot = &mut best[g as usize];
+        let slot = &mut best[group_slot(g, ngroups)?];
         match slot {
             None => *slot = Some(i),
             Some(j) => {
@@ -319,6 +347,44 @@ mod tests {
         let (grp, _) = group_by(&vals());
         let short = Bat::dense(Column::from(vec![1]));
         assert!(grouped_sum(&short, &grp, 3).is_err());
+    }
+
+    #[test]
+    fn sum_overflow_is_classified() {
+        let b = Bat::dense(Column::from(vec![i64::MAX, i64::MAX]));
+        match sum(&b) {
+            Err(BatError::Overflow(_)) => {}
+            other => panic!("expected Overflow, got {other:?}"),
+        }
+        // A negative overflow too.
+        let b = Bat::dense(Column::from(vec![i64::MIN, -1i64]));
+        assert!(matches!(sum(&b), Err(BatError::Overflow(_))));
+        // Large but in-range sums still narrow fine.
+        let b = Bat::dense(Column::from(vec![i64::MAX, i64::MIN]));
+        assert_eq!(sum(&b).unwrap(), Val::Lng(-1));
+    }
+
+    #[test]
+    fn grouped_sum_overflow_is_classified() {
+        let keys = Bat::dense(Column::from(vec!["a", "a", "b"]));
+        let vals = Bat::dense(Column::from(vec![i64::MAX, 1i64, 7]));
+        let (grp, ext) = group_by(&keys);
+        match grouped_sum(&vals, &grp, ext.count()) {
+            Err(BatError::Overflow(_)) => {}
+            other => panic!("expected Overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_group_ids_error_not_panic() {
+        // A grouping BAT whose ids exceed ngroups (stale or foreign)
+        // must produce a classified error in every grouped kernel.
+        let grp = Bat::dense(Column::Oid(vec![0, 7]));
+        let vals = Bat::dense(Column::from(vec![1, 2]));
+        assert!(matches!(grouped_count(&grp, 2), Err(BatError::Invalid(_))));
+        assert!(matches!(grouped_sum(&vals, &grp, 2), Err(BatError::Invalid(_))));
+        assert!(matches!(grouped_min(&vals, &grp, 2), Err(BatError::Invalid(_))));
+        assert!(matches!(grouped_avg(&vals, &grp, 2), Err(BatError::Invalid(_))));
     }
 
     #[test]

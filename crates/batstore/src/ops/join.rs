@@ -15,7 +15,7 @@ use std::collections::HashMap;
 /// producing `(l.head, r.tail)` pairs in l-major order.
 pub fn join(l: &Bat, r: &Bat) -> Result<Bat> {
     let (li, ri) = join_index(l.tail(), r.head())?;
-    Ok(build_joined(l, r, &li, &ri))
+    build_joined(l, r, &li, &ri)
 }
 
 /// Left outer join is intentionally absent from the paper's plans; what
@@ -35,7 +35,7 @@ fn join_index(left: &Column, right: &Column) -> Result<(Vec<usize>, Vec<usize>)>
         });
     }
     if left.is_sorted() && right.is_sorted() {
-        Ok(merge_join_index(left, right))
+        merge_join_index(left, right)
     } else {
         Ok(hash_join_index(left, right))
     }
@@ -72,12 +72,19 @@ fn hash_join_index(left: &Column, right: &Column) -> (Vec<usize>, Vec<usize>) {
     }
 }
 
-fn merge_join_index(left: &Column, right: &Column) -> (Vec<usize>, Vec<usize>) {
+fn merge_join_index(left: &Column, right: &Column) -> Result<(Vec<usize>, Vec<usize>)> {
     let (mut li, mut ri) = (Vec::new(), Vec::new());
     let (n, m) = (left.len(), right.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < n && j < m {
-        match left.cmp_elem(i, right, j).expect("join_compatible checked") {
+        // `join_compatible` was checked by the caller, but this kernel is
+        // reachable from arbitrary SQL: an incomparable element pair is a
+        // classified error, never a panic in the event loop.
+        let ord = left.cmp_elem(i, right, j).ok_or_else(|| BatError::TypeMismatch {
+            expected: left.col_type().name(),
+            got: right.col_type().name().to_string(),
+        })?;
+        match ord {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
@@ -93,14 +100,14 @@ fn merge_join_index(left: &Column, right: &Column) -> (Vec<usize>, Vec<usize>) {
             }
         }
     }
-    (li, ri)
+    Ok((li, ri))
 }
 
-fn build_joined(l: &Bat, r: &Bat, li: &[usize], ri: &[usize]) -> Bat {
+fn build_joined(l: &Bat, r: &Bat, li: &[usize], ri: &[usize]) -> Result<Bat> {
     let head = l.head().gather(li);
     let tail = r.tail().gather(ri);
     let props = Props { tail_sorted: tail.is_sorted(), head_key: false, no_nil: true };
-    Bat::with_props(head, tail, props).expect("join indexes are parallel")
+    Bat::with_props(head, tail, props)
 }
 
 #[cfg(test)]

@@ -17,6 +17,9 @@ fn filter_by_head(l: &Bat, keep: impl Fn(&Key<'_>) -> bool) -> Bat {
     let tail = l.tail().gather(&idx);
     let props =
         Props { tail_sorted: l.props().tail_sorted, head_key: l.props().head_key, no_nil: true };
+    // Both columns are gathered by the same index list, so the only
+    // `with_props` failure mode (length mismatch) cannot occur for any
+    // input — this is a local invariant, not a reachable-from-SQL path.
     Bat::with_props(head, tail, props).expect("parallel gather")
 }
 

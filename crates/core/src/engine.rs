@@ -1753,14 +1753,22 @@ impl NodeCtx {
                     self.begin_spill(bat);
                 }
                 Effect::Deliver { header, queries } => {
-                    let p = payload
-                        .bat()
+                    let off_ring = payload.bat();
+                    let p = off_ring
+                        .clone()
                         .or_else(|| self.cache.get(&header.bat).map(|f| Arc::clone(&f.bat)));
                     if let Some(list) = self.waiting.remove(&header.bat) {
                         let (to_serve, keep): (Vec<_>, Vec<_>) =
                             list.into_iter().partition(|(q, _)| queries.contains(q));
                         if !keep.is_empty() {
                             self.waiting.insert(header.bat, keep);
+                        }
+                        // §3 bytes-moved accounting: a fragment that
+                        // arrived over the ring and fulfills at least one
+                        // registered query cost one payload transfer.
+                        // Cache- and owner-served pins move nothing.
+                        if off_ring.is_some() && !to_serve.is_empty() {
+                            self.node.stats.ring_query_bytes_moved += header.size;
                         }
                         for (_, w) in to_serve {
                             match &p {
@@ -2629,7 +2637,11 @@ mod tests {
         let (plan, dc) =
             ring.explain_sql(1, "select c.t_id from t, c where c.t_id = t.id").unwrap();
         assert!(plan.contains("sql.bind"), "{plan}");
-        assert!(!plan.contains("datacyclotron"), "{plan}");
+        // The front-end plan carries the joinplan annotation but none of
+        // the DC rewrite (request/pin/unpin) — that is the optimizer's.
+        assert!(plan.contains("datacyclotron.joinplan"), "{plan}");
+        assert!(!plan.contains("datacyclotron.request"), "{plan}");
+        assert!(!plan.contains("datacyclotron.pin"), "{plan}");
         assert!(dc.contains("datacyclotron.request"), "{dc}");
         assert!(dc.contains("datacyclotron.pin"), "{dc}");
         assert!(dc.contains("datacyclotron.unpin"), "{dc}");

@@ -638,7 +638,8 @@ pub fn decode(mut buf: &[u8]) -> Result<DcMsg, String> {
     let tag = buf.get_u8();
     match tag {
         TAG_BAT => {
-            if buf.remaining() < 42 {
+            // 39 header bytes + the 8-byte payload length that follows.
+            if buf.remaining() < 47 {
                 return Err("truncated BAT header".into());
             }
             let header = BatHeader {

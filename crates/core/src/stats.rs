@@ -39,6 +39,12 @@ pub struct NodeStats {
     pub bats_lost: u64,
     /// Pin deliveries to local queries.
     pub deliveries: u64,
+    /// Payload bytes pulled off the ring to serve waiting local queries
+    /// (§3 multi-fragment evaluation): counted when a circulating
+    /// fragment is delivered to at least one registered query at this
+    /// node. Locally-owned and cache-served pins move nothing and do not
+    /// count — this is the distributed-join/aggregate data-movement cost.
+    pub ring_query_bytes_moved: u64,
     /// Row-append batches applied at this node as fragment owner (§6.4).
     pub appends_applied: u64,
     /// Row-append batches this node had to discard: the batch returned
@@ -145,6 +151,7 @@ impl NodeStats {
             bats_loaded,
             bats_lost,
             deliveries,
+            ring_query_bytes_moved,
             appends_applied,
             appends_dropped,
             appends_failed,
@@ -185,6 +192,7 @@ impl NodeStats {
             ("bats_loaded", *bats_loaded),
             ("bats_lost", *bats_lost),
             ("deliveries", *deliveries),
+            ("ring_query_bytes_moved", *ring_query_bytes_moved),
             ("appends_applied", *appends_applied),
             ("appends_dropped", *appends_dropped),
             ("appends_failed", *appends_failed),
@@ -229,6 +237,7 @@ impl NodeStats {
             bats_loaded,
             bats_lost,
             deliveries,
+            ring_query_bytes_moved,
             appends_applied,
             appends_dropped,
             appends_failed,
@@ -266,6 +275,7 @@ impl NodeStats {
         self.bats_loaded += bats_loaded;
         self.bats_lost += bats_lost;
         self.deliveries += deliveries;
+        self.ring_query_bytes_moved += ring_query_bytes_moved;
         self.appends_applied += appends_applied;
         self.appends_dropped += appends_dropped;
         self.appends_failed += appends_failed;

@@ -1,15 +1,25 @@
-//! Property tests for the ring message codec, focused on the framed
-//! mutation path (`Mutate`/`MutAck`/`Catalog`): arbitrary messages
+//! Property tests for the ring message codec, covering the full `DcMsg`
+//! surface: the query-circulation path (`Bat`/`Request`), the framed
+//! mutation path (`Mutate`/`MutAck`/`Append`/`Catalog`), and the
+//! hot-set path (`Evict`/`Readmit`/`ReadmitAck`). Arbitrary messages
 //! round-trip byte-exactly, every strict prefix of a valid frame is
 //! rejected (never mis-decoded or panicked on), and hostile count/length
 //! prefixes neither panic nor provoke an unbounded allocation.
+//!
+//! Distributed query execution (§3) deliberately introduces no new wire
+//! message: registered queries ride the existing `Request` (interest)
+//! and `Bat` (fragment delivery) circulation, so these two shapes carry
+//! the whole distributed-join traffic and get the same hostile-input
+//! discipline as the mutation path.
 
 use batstore::ops::CmpOp;
 use batstore::{ColType, RowPredicate, Val};
+use bytes::Bytes;
 use datacyclotron::msg::{
-    decode, encode, EvictMsg, MutAckMsg, MutOp, MutateMsg, ReadmitAckMsg, ReadmitMsg,
+    decode, encode, BatHeader, EvictMsg, MutAckMsg, MutOp, MutateMsg, ReadmitAckMsg, ReadmitMsg,
+    ReqMsg,
 };
-use datacyclotron::{BatId, CatalogCol, CatalogMsg, DcMsg, NodeId};
+use datacyclotron::{AppendMsg, BatId, CatalogCol, CatalogMsg, DcMsg, NodeId};
 use proptest::prelude::*;
 
 /// A deterministic value of the given kind. Doubles stay finite:
@@ -129,10 +139,62 @@ fn readmitack_from(seed: i64, text: &str) -> DcMsg {
     })
 }
 
-/// One message of each framed-mutation-path and hot-set shape from the
-/// same inputs.
+fn bat_from(kind: u8, seed: i64, npayload: usize) -> DcMsg {
+    // `Some(empty)` is canonicalized to `None` on decode, so a present
+    // payload always carries at least one byte.
+    let payload = if kind.is_multiple_of(2) {
+        Some(Bytes::copy_from_slice(
+            &(0..=npayload).map(|i| (seed as usize + i) as u8).collect::<Vec<u8>>(),
+        ))
+    } else {
+        None
+    };
+    DcMsg::Bat {
+        header: BatHeader {
+            owner: NodeId(seed.unsigned_abs() as u16),
+            bat: BatId(seed.unsigned_abs() as u32),
+            size: seed.unsigned_abs().wrapping_mul(41),
+            loi: seed as f64 * 0.125,
+            copies: (seed.unsigned_abs() % 64) as u32,
+            hops: (seed.unsigned_abs() % 128) as u32,
+            cycles: (seed.unsigned_abs() % 32) as u32,
+            version: (seed.unsigned_abs() % 1000) as u32,
+            updating: kind.is_multiple_of(3),
+        },
+        payload,
+    }
+}
+
+fn request_from(seed: i64) -> DcMsg {
+    DcMsg::Request(ReqMsg {
+        origin: NodeId(seed.unsigned_abs() as u16),
+        bat: BatId(seed.unsigned_abs().wrapping_mul(3) as u32),
+    })
+}
+
+fn append_from(kind: u8, seed: i64, text: &str, nparts: usize) -> DcMsg {
+    DcMsg::Append(AppendMsg {
+        origin: NodeId(seed.unsigned_abs() as u16),
+        epoch: seed.unsigned_abs().wrapping_mul(23),
+        id: seed.unsigned_abs().wrapping_mul(5),
+        parts: (0..nparts)
+            .map(|i| {
+                let mut rows = text.as_bytes().to_vec();
+                rows.push(kind.wrapping_add(i as u8));
+                (BatId((seed.unsigned_abs() as u32).wrapping_add(i as u32)), Bytes::from(rows))
+            })
+            .collect(),
+    })
+}
+
+/// One message of every `DcMsg` shape from the same inputs: the
+/// query-circulation path (`Bat`/`Request`), the mutation path, and the
+/// hot-set path.
 fn messages(kind: u8, seed: i64, text: &str, n1: usize, n2: usize) -> Vec<DcMsg> {
     vec![
+        bat_from(kind, seed, n1),
+        request_from(seed),
+        append_from(kind, seed, text, n1),
         mutate_from(kind, seed, text, n1, n2),
         mutack_from(seed, text),
         catalog_from(kind, seed, text, n1),
@@ -143,7 +205,7 @@ fn messages(kind: u8, seed: i64, text: &str, n1: usize, n2: usize) -> Vec<DcMsg>
 }
 
 proptest! {
-    /// Encode → decode is the identity for Mutate, MutAck, and Catalog.
+    /// Encode → decode is the identity for every message shape.
     #[test]
     fn mutation_path_messages_round_trip(kind in any::<u8>(),
                                          seed in -100_000i64..100_000,
@@ -213,6 +275,23 @@ proptest! {
         .to_vec();
         let len = append.len();
         append[len - 2..].copy_from_slice(&count.to_le_bytes());
+        prop_assert!(decode(&append).is_err());
+    }
+
+    /// A BAT frame whose u64 payload-length field claims more bytes than
+    /// the buffer holds errors before any allocation for the claim; an
+    /// Append part with a lying row-bytes length does the same.
+    #[test]
+    fn hostile_payload_lengths_rejected(claim in 1_000u64..u64::MAX, seed in -100_000i64..100_000) {
+        let mut bat = encode(&bat_from(0, seed, 4)).to_vec();
+        // tag(1) + 39-byte header, then the u64 payload length.
+        bat[40..48].copy_from_slice(&claim.to_le_bytes());
+        prop_assert!(decode(&bat).is_err());
+
+        let mut append = encode(&append_from(1, seed, "rows", 1)).to_vec();
+        // tag(1) + origin(2) + epoch(8) + id(8) + count(2) + bat(4) = 25
+        // bytes, then the u64 row-bytes length of the only part.
+        append[25..33].copy_from_slice(&claim.to_le_bytes());
         prop_assert!(decode(&append).is_err());
     }
 

@@ -273,8 +273,67 @@ impl<'a> Compiler<'a> {
         Ok(())
     }
 
+    /// Estimated resident bytes of one join column: catalog row count ×
+    /// the column type's in-memory width. The compile-time input to the
+    /// shuffle-vs-broadcast decision; the ring seam re-validates against
+    /// live gossiped fragment sizes when the plan runs.
+    fn column_bytes(&self, ti: usize, column: &str) -> Result<u64> {
+        let t = &self.tables[ti].tref;
+        let def = self.g.catalog.table(&t.schema, &t.table)?;
+        let width: u64 = match self.column_type(ti, column)? {
+            ColType::Bool => 1,
+            ColType::Int | ColType::Date => 4,
+            // Strings are heap values; 16 bytes is the planning estimate.
+            ColType::Str => 16,
+            ColType::Void | ColType::Oid | ColType::Lng | ColType::Dbl => 8,
+        };
+        Ok(def.row_count as u64 * width)
+    }
+
+    /// Annotate one equi-join with its distribution strategy, chosen per
+    /// Beame/Koutris/Suciu ("Communication Cost in Parallel Query
+    /// Processing"): over `p` nodes, broadcasting the smaller side moves
+    /// `p·min(|R|,|S|)` bytes while hash-shuffling both sides moves
+    /// `|R|+|S|`; take whichever is cheaper. The annotation is a
+    /// void-target `datacyclotron.joinplan` call — impure module, so CSE
+    /// and DCE leave it alone — that the execution seam turns into
+    /// co-located/routed classification and telemetry.
+    fn emit_join_plan(&mut self, li: usize, lcol: &str, ri: usize, rcol: &str) -> Result<()> {
+        // The planning ring size: the paper's deployment unit is a
+        // 3-node ring (our acceptance suite); the ring seam recomputes
+        // with the actual ring width at run time.
+        const PLANNED_RING_NODES: u64 = 3;
+        let lb = self.column_bytes(li, lcol)?;
+        let rb = self.column_bytes(ri, rcol)?;
+        let broadcast_cost = PLANNED_RING_NODES * lb.min(rb);
+        let shuffle_cost = lb + rb;
+        let (strategy, moved) = if broadcast_cost <= shuffle_cost {
+            ("broadcast", broadcast_cost)
+        } else {
+            ("shuffle", shuffle_cost)
+        };
+        let schema = self.tables[li].tref.schema.clone();
+        let ltab = self.tables[li].tref.table.clone();
+        let rtab = self.tables[ri].tref.table.clone();
+        self.g.emit_void(
+            "datacyclotron",
+            "joinplan",
+            vec![
+                Gen::cstr(&schema),
+                Gen::cstr(&ltab),
+                Gen::cstr(lcol),
+                Gen::cstr(&rtab),
+                Gen::cstr(rcol),
+                Gen::cstr(strategy),
+                Gen::cint(moved.min(i64::MAX as u64) as i64),
+            ],
+        );
+        Ok(())
+    }
+
     /// First join: `(oidL → oidR)` pairs, then row maps via markT/markH.
     fn first_join(&mut self, li: usize, lcol: &str, ri: usize, rcol: &str) -> Result<()> {
+        self.emit_join_plan(li, lcol, ri, rcol)?;
         let lb = self.bind(li, lcol)?;
         let lb = self.selected(li, lb);
         let rb = self.bind(ri, rcol)?;
@@ -297,6 +356,7 @@ impl<'a> Compiler<'a> {
     /// `joined.jcol = new.ncol`; renumbers the result space and composes
     /// all existing row maps.
     fn extend_join(&mut self, ji: usize, jcol: &str, ni: usize, ncol: &str) -> Result<()> {
+        self.emit_join_plan(ji, jcol, ni, ncol)?;
         let jmap = self.tables[ji].rowmap.expect("caller checked");
         let jb = self.bind(ji, jcol)?;
         // (res→val) for the joined side.
@@ -1148,6 +1208,56 @@ mod tests {
         assert!(lines[0].contains("ap") && lines[0].contains("13"), "{out}");
         assert!(lines[1].contains("eu") && lines[1].contains("16"), "{out}");
         assert!(lines[2].contains("us") && lines[2].contains("24"), "{out}");
+    }
+
+    /// Regression: the grouped-aggregation chain must refine correctly
+    /// for one, two, and three grouping keys (group.subgroup composes
+    /// the group ids; a bad composition collapses or splits groups).
+    #[test]
+    fn group_by_one_two_three_keys() {
+        let mut catalog = Catalog::new();
+        let mut store = BatStore::new();
+        catalog
+            .create_table_columnar(
+                &mut store,
+                "sys",
+                "g",
+                vec![
+                    ("a", Column::from(vec!["x", "x", "x", "y", "y", "y"])),
+                    ("b", Column::from(vec![1, 1, 2, 2, 2, 2])),
+                    ("c", Column::from(vec![7, 8, 7, 7, 7, 8])),
+                    ("v", Column::from(vec![1, 2, 4, 8, 16, 32])),
+                ],
+            )
+            .unwrap();
+        let store = Arc::new(RwLock::new(store));
+        let catalog = Arc::new(RwLock::new(catalog));
+        let exec = |sql: &str| -> Vec<String> {
+            let prog = compile_sql(sql, &catalog.read()).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            let ctx = SessionCtx::new(Arc::clone(&catalog), Arc::clone(&store));
+            run_sequential(&prog, &ctx).unwrap_or_else(|e| panic!("{sql}:\n{prog}\n{e}"));
+            ctx.take_output().lines().filter(|l| l.starts_with('[')).map(String::from).collect()
+        };
+
+        // 1 key: x → 1+2+4, y → 8+16+32.
+        let rows = exec("select a, sum(v), count(*) from g group by a order by a");
+        assert_eq!(rows, vec!["[ \"x\",\t7,\t3 ]", "[ \"y\",\t56,\t3 ]"]);
+
+        // 2 keys: (x,1)=3, (x,2)=4, (y,2)=56.
+        let rows = exec("select a, b, sum(v) from g group by a, b order by a");
+        assert_eq!(rows.len(), 3, "{rows:?}");
+        assert!(rows.contains(&"[ \"x\",\t1,\t3 ]".to_string()), "{rows:?}");
+        assert!(rows.contains(&"[ \"x\",\t2,\t4 ]".to_string()), "{rows:?}");
+        assert!(rows.contains(&"[ \"y\",\t2,\t56 ]".to_string()), "{rows:?}");
+
+        // 3 keys: (x,1,7)=1, (x,1,8)=2, (x,2,7)=4, (y,2,7)=24, (y,2,8)=32.
+        let rows = exec("select a, b, c, sum(v), count(*) from g group by a, b, c order by a");
+        assert_eq!(rows.len(), 5, "{rows:?}");
+        assert!(rows.contains(&"[ \"x\",\t1,\t7,\t1,\t1 ]".to_string()), "{rows:?}");
+        assert!(rows.contains(&"[ \"x\",\t1,\t8,\t2,\t1 ]".to_string()), "{rows:?}");
+        assert!(rows.contains(&"[ \"x\",\t2,\t7,\t4,\t1 ]".to_string()), "{rows:?}");
+        assert!(rows.contains(&"[ \"y\",\t2,\t7,\t24,\t2 ]".to_string()), "{rows:?}");
+        assert!(rows.contains(&"[ \"y\",\t2,\t8,\t32,\t1 ]".to_string()), "{rows:?}");
     }
 
     #[test]

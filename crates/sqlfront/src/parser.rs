@@ -460,6 +460,29 @@ fn parse_insert(p: &mut P) -> Result<Stmt> {
     Ok(Stmt::Insert(InsertStmt { schema, table, columns, rows }))
 }
 
+/// `[schema.]table [alias]` — one FROM item (comma-separated or the
+/// right-hand side of an explicit JOIN).
+fn parse_table_ref(p: &mut P) -> Result<TableRef> {
+    let first = p.word()?;
+    let (schema, table) = if p.peek() == Some(&Tok::Dot) {
+        p.next()?;
+        (first, p.word()?)
+    } else {
+        ("sys".to_string(), first)
+    };
+    // Optional alias (a bare word that is not a clause keyword).
+    let alias = match p.peek() {
+        Some(Tok::Word(w))
+            if !["where", "group", "order", "limit", "join", "inner", "on"]
+                .contains(&w.to_ascii_lowercase().as_str()) =>
+        {
+            p.word()?
+        }
+        _ => table.clone(),
+    };
+    Ok(TableRef { schema, table, alias })
+}
+
 /// Parse one SELECT statement.
 pub fn parse_query(sql: &str) -> Result<Query> {
     let mut p = P { toks: lex(sql)?, pos: 0 };
@@ -477,24 +500,26 @@ pub fn parse_query(sql: &str) -> Result<Query> {
 
     p.expect_kw("from")?;
     loop {
-        let first = p.word()?;
-        let (schema, table) = if p.peek() == Some(&Tok::Dot) {
-            p.next()?;
-            (first, p.word()?)
-        } else {
-            ("sys".to_string(), first)
-        };
-        // Optional alias (a bare word that is not a clause keyword).
-        let alias = match p.peek() {
-            Some(Tok::Word(w))
-                if !["where", "group", "order", "limit"]
-                    .contains(&w.to_ascii_lowercase().as_str()) =>
-            {
-                p.word()?
+        q.from.push(parse_table_ref(&mut p)?);
+        // Explicit `[INNER] JOIN t [alias] ON a.x = b.y` items: the join
+        // table enters the FROM list and the ON equality becomes a
+        // [`Predicate::ColEq`] conjunct — exactly the shape the comma +
+        // WHERE spelling produces, so codegen treats both identically.
+        while p.peek_kw("inner") || p.peek_kw("join") {
+            if p.eat_kw("inner") && !p.peek_kw("join") {
+                return Err(err("expected JOIN after INNER"));
             }
-            _ => table.clone(),
-        };
-        q.from.push(TableRef { schema, table, alias });
+            p.expect_kw("join")?;
+            q.from.push(parse_table_ref(&mut p)?);
+            p.expect_kw("on")?;
+            let left = parse_colref(&mut p)?;
+            match p.next()? {
+                Tok::Sym(op) if op == "=" => {}
+                other => return Err(err(format!("JOIN ON supports only '=', got {other:?}"))),
+            }
+            let right = parse_colref(&mut p)?;
+            q.predicates.push(Predicate::ColEq { left, right });
+        }
         if p.peek() == Some(&Tok::Comma) {
             p.next()?;
         } else {
@@ -560,6 +585,37 @@ mod tests {
         assert_eq!(q.from[0].schema, "sys");
         assert_eq!(q.predicates.len(), 1);
         assert!(matches!(q.predicates[0], Predicate::ColEq { .. }));
+    }
+
+    #[test]
+    fn explicit_join_on() {
+        // The paper example in explicit-JOIN spelling parses to the same
+        // shape as the comma + WHERE form.
+        let q = parse_query("select c.t_id from t join c on c.t_id = t.id").unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[1].table, "c");
+        assert_eq!(q.predicates.len(), 1);
+        assert!(matches!(&q.predicates[0],
+            Predicate::ColEq { left, right } if left.column == "t_id" && right.column == "id"));
+
+        // INNER is optional noise; aliases and chained joins work.
+        let q = parse_query(
+            "select o.id from customer c inner join orders o on o.custkey = c.custkey \
+             join lineitem l on l.orderkey = o.id where l.qty > 5",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.from[0].alias, "c");
+        assert_eq!(q.from[2].alias, "l");
+        assert_eq!(q.predicates.len(), 3, "two ON equalities + one WHERE filter");
+        assert!(matches!(q.predicates[2], Predicate::Cmp { .. }));
+    }
+
+    #[test]
+    fn join_without_on_rejected() {
+        assert!(parse_query("select a from t join c where c.x = t.a").is_err());
+        assert!(parse_query("select a from t inner c on c.x = t.a").is_err());
+        assert!(parse_query("select a from t join c on c.x < t.a").is_err());
     }
 
     #[test]

@@ -602,6 +602,217 @@ fn split_segments(total_core_seconds: f64, k: usize) -> Vec<SimDuration> {
     out
 }
 
+/// Executable TPC-H: deterministic micro-scale data plus the SQL texts
+/// of the acceptance subset (Q1, Q3, Q6), expressed in the engine's SQL
+/// dialect so they run end-to-end over a live ring.
+///
+/// The trace synthesizer above models the paper's SF-5 calibration; this
+/// section is its executable counterpart. Sizes are tiny (the ring moves
+/// fragments, not gigabytes, in CI), but the shapes are faithful:
+/// `customer → orders → lineitem` foreign keys, dates as `yyyymmdd`
+/// integers, prices in cents. The dialect has no scalar arithmetic, so
+/// each query is the standard simplified form: `revenue` is
+/// `sum(l_extendedprice)` rather than `sum(price * (1 - discount))`.
+pub mod sql {
+    use batstore::Column;
+    use netsim::DetRng;
+
+    /// Deterministic row targets at scale 1.0. `DC_SCALE`-style scaling
+    /// multiplies these; the FK structure is preserved at any scale.
+    const CUSTOMERS: usize = 30;
+    const ORDERS_PER_CUSTOMER: usize = 4;
+    const MAX_LINES_PER_ORDER: usize = 6;
+
+    const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+    const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+    const LINE_STATUS: [&str; 2] = ["O", "F"];
+
+    /// Columns for one table, in declared order, ready for
+    /// `RingNode::load_table`.
+    pub type Table = Vec<(&'static str, Column)>;
+
+    /// The three acceptance tables.
+    pub struct TpchData {
+        pub customer: Table,
+        pub orders: Table,
+        pub lineitem: Table,
+    }
+
+    /// A `yyyymmdd` integer date within 1992-01-01 .. 1998-12-28.
+    fn date(rng: &mut DetRng) -> i32 {
+        let y = rng.uniform_u64(1992, 1998) as i32;
+        let m = rng.uniform_u64(1, 12) as i32;
+        let d = rng.uniform_u64(1, 28) as i32;
+        y * 10000 + m * 100 + d
+    }
+
+    /// Generate the dataset deterministically. `scale` multiplies the
+    /// row targets (0.25 for quick CI runs, 1.0 default); identical
+    /// `(scale, seed)` always yields identical tables.
+    pub fn generate(scale: f64, seed: u64) -> TpchData {
+        let mut rng = DetRng::new(seed);
+        let ncust = ((CUSTOMERS as f64 * scale).round() as usize).max(3);
+
+        let mut c_custkey = Vec::new();
+        let mut c_mktsegment = Vec::new();
+        let mut c_nationkey = Vec::new();
+        for k in 1..=ncust {
+            c_custkey.push(k as i32);
+            c_mktsegment.push(SEGMENTS[rng.index(SEGMENTS.len())]);
+            c_nationkey.push(rng.uniform_u64(0, 24) as i32);
+        }
+
+        let mut o_orderkey = Vec::new();
+        let mut o_custkey = Vec::new();
+        let mut o_orderdate = Vec::new();
+        let mut o_shippriority = Vec::new();
+        let mut o_totalprice = Vec::new();
+        for c in 1..=ncust {
+            for _ in 0..ORDERS_PER_CUSTOMER {
+                o_orderkey.push(o_orderkey.len() as i32 + 1);
+                o_custkey.push(c as i32);
+                o_orderdate.push(date(&mut rng));
+                o_shippriority.push(0i32);
+                o_totalprice.push(rng.uniform_u64(1_000, 500_000) as i64);
+            }
+        }
+
+        let mut l_orderkey = Vec::new();
+        let mut l_quantity = Vec::new();
+        let mut l_extendedprice = Vec::new();
+        let mut l_discount = Vec::new();
+        let mut l_returnflag = Vec::new();
+        let mut l_linestatus = Vec::new();
+        let mut l_shipdate = Vec::new();
+        for &ok in &o_orderkey {
+            let lines = rng.uniform_u64(1, MAX_LINES_PER_ORDER as u64);
+            for _ in 0..lines {
+                l_orderkey.push(ok);
+                l_quantity.push(rng.uniform_u64(1, 50) as i64);
+                l_extendedprice.push(rng.uniform_u64(100, 100_000) as i64);
+                l_discount.push(rng.uniform_u64(0, 10) as i64);
+                l_returnflag.push(RETURN_FLAGS[rng.index(RETURN_FLAGS.len())]);
+                l_linestatus.push(LINE_STATUS[rng.index(LINE_STATUS.len())]);
+                l_shipdate.push(date(&mut rng));
+            }
+        }
+
+        TpchData {
+            customer: vec![
+                ("c_custkey", Column::from(c_custkey)),
+                ("c_mktsegment", Column::from(c_mktsegment)),
+                ("c_nationkey", Column::from(c_nationkey)),
+            ],
+            orders: vec![
+                ("o_orderkey", Column::from(o_orderkey)),
+                ("o_custkey", Column::from(o_custkey)),
+                ("o_orderdate", Column::from(o_orderdate)),
+                ("o_shippriority", Column::from(o_shippriority)),
+                ("o_totalprice", Column::from(o_totalprice)),
+            ],
+            lineitem: vec![
+                ("l_orderkey", Column::from(l_orderkey)),
+                ("l_quantity", Column::from(l_quantity)),
+                ("l_extendedprice", Column::from(l_extendedprice)),
+                ("l_discount", Column::from(l_discount)),
+                ("l_returnflag", Column::from(l_returnflag)),
+                ("l_linestatus", Column::from(l_linestatus)),
+                ("l_shipdate", Column::from(l_shipdate)),
+            ],
+        }
+    }
+
+    /// Q1 — pricing summary report: scan + multi-column GROUP BY.
+    pub const Q1: &str = "select l_returnflag, l_linestatus, sum(l_quantity), \
+         sum(l_extendedprice), avg(l_discount), count(*) \
+         from lineitem where l_shipdate <= 19980902 \
+         group by l_returnflag, l_linestatus order by l_returnflag";
+
+    /// Q3 — shipping priority: a three-table equi-join chain
+    /// (customer → orders → lineitem) with GROUP BY over three keys,
+    /// written in explicit `INNER JOIN … ON` syntax.
+    pub const Q3: &str = "select o.o_orderkey, o.o_orderdate, o.o_shippriority, \
+         sum(l.l_extendedprice) \
+         from customer c \
+         inner join orders o on c.c_custkey = o.o_custkey \
+         inner join lineitem l on l.l_orderkey = o.o_orderkey \
+         where c.c_mktsegment = 'BUILDING' \
+         and o.o_orderdate < 19950315 and l.l_shipdate > 19950315 \
+         group by o.o_orderkey, o.o_orderdate, o.o_shippriority \
+         order by o.o_orderkey limit 10";
+
+    /// Q6 — forecasting revenue change: selective range scan with
+    /// BETWEEN predicates and ungrouped aggregates.
+    pub const Q6: &str = "select sum(l_extendedprice), count(*) \
+         from lineitem where l_shipdate between 19940101 and 19941231 \
+         and l_discount between 5 and 7 and l_quantity < 24";
+
+    /// The acceptance subset: `(name, sql)` in run order.
+    pub fn queries() -> Vec<(&'static str, &'static str)> {
+        vec![("q1", Q1), ("q3", Q3), ("q6", Q6)]
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn rows(t: &Table) -> usize {
+            t[0].1.len()
+        }
+
+        #[test]
+        fn deterministic_and_fk_consistent() {
+            let a = generate(1.0, 42);
+            let b = generate(1.0, 42);
+            for (x, y) in
+                [(&a.customer, &b.customer), (&a.orders, &b.orders), (&a.lineitem, &b.lineitem)]
+            {
+                for ((an, ac), (bn, bc)) in x.iter().zip(y.iter()) {
+                    assert_eq!(an, bn);
+                    assert_eq!(ac, bc);
+                }
+            }
+            // Every o_custkey references a customer; every l_orderkey an order.
+            let ncust = rows(&a.customer) as i32;
+            let nord = rows(&a.orders) as i32;
+            if let Column::Int(v) = &a.orders[1].1 {
+                assert!(v.iter().all(|&c| (1..=ncust).contains(&c)));
+            } else {
+                panic!("o_custkey not Int");
+            }
+            if let Column::Int(v) = &a.lineitem[0].1 {
+                assert!(v.iter().all(|&o| (1..=nord).contains(&o)));
+            } else {
+                panic!("l_orderkey not Int");
+            }
+        }
+
+        #[test]
+        fn scale_changes_row_counts() {
+            let small = generate(0.25, 7);
+            let big = generate(1.0, 7);
+            assert!(rows(&small.customer) < rows(&big.customer));
+            assert!(rows(&small.lineitem) < rows(&big.lineitem));
+            assert!(rows(&small.customer) >= 3, "scale floor keeps joins non-trivial");
+        }
+
+        #[test]
+        fn dates_are_valid_yyyymmdd() {
+            let d = generate(1.0, 3);
+            if let Column::Int(v) = &d.lineitem[6].1 {
+                for &x in v {
+                    let (y, m, day) = (x / 10000, (x / 100) % 100, x % 100);
+                    assert!((1992..=1998).contains(&y), "{x}");
+                    assert!((1..=12).contains(&m), "{x}");
+                    assert!((1..=28).contains(&day), "{x}");
+                }
+            } else {
+                panic!("l_shipdate not Int");
+            }
+        }
+    }
+}
+
 /// Model for the paper's "MonetDB" row of Table 4: the real DBMS reaches
 /// only ~70% CPU utilization due to thread management and client context
 /// switches, so the same work takes proportionally longer than the
